@@ -1,0 +1,54 @@
+//! Fit/predict throughput of the five classifier substrates, with and
+//! without GBABS sampling in front — the ablation behind the paper's
+//! "linear time complexity accelerates classifiers" framing: a smaller
+//! sampled train set must shrink downstream fit time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_classifiers::ClassifierKind;
+use gb_dataset::catalog::DatasetId;
+use gbabs::{GbabsSampler, Sampler};
+use std::hint::black_box;
+
+fn bench_fit(c: &mut Criterion) {
+    let data = DatasetId::S5.generate(0.1, 5);
+    let sampled = GbabsSampler::default().sample(&data, 0).dataset;
+    let mut group = c.benchmark_group("classifier_fit");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in ClassifierKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "full_train"),
+            &data,
+            |b, d| {
+                b.iter(|| black_box(kind.fit_fast(d, 0)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(kind.name(), "gbabs_sampled"),
+            &sampled,
+            |b, d| {
+                b.iter(|| black_box(kind.fit_fast(d, 0)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = DatasetId::S5.generate(0.1, 5);
+    let mut group = c.benchmark_group("classifier_predict");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for kind in ClassifierKind::ALL {
+        let model = kind.fit_fast(&data, 0);
+        group.bench_function(BenchmarkId::new(kind.name(), "predict_all"), |b| {
+            b.iter(|| black_box(model.predict(&data)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ball-generation throughput across the GBG lineage: RD-GBG (the paper's
+//! method) vs the classic purity-threshold k-division GBG used by
+//! GGBS/IGBS, the original 2-means GBG, and GBG++ hard-attention division.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_dataset::catalog::DatasetId;
+use gb_sampling::gbg_kdiv::{k_division_gbg, KDivConfig};
+use gb_sampling::gbg_kmeans::{kmeans_gbg, KMeansGbgConfig};
+use gb_sampling::gbg_pp::{gbg_pp, GbgPpConfig};
+use gbabs::{rd_gbg, RdGbgConfig};
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gb_generation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (id, scale) in [
+        (DatasetId::S5, 0.1), // 2-D curved boundary
+        (DatasetId::S2, 0.5), // 8-D overlapping blobs
+        (DatasetId::S6, 0.1), // 11-D 5-class imbalanced
+    ] {
+        let data = id.generate(scale, 7);
+        let label = format!("{}_n{}", id.rename(), data.n_samples());
+        group.bench_with_input(BenchmarkId::new("rd_gbg", &label), &data, |b, d| {
+            b.iter(|| black_box(rd_gbg(d, &RdGbgConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("kdiv_gbg", &label), &data, |b, d| {
+            b.iter(|| black_box(k_division_gbg(d, &KDivConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("kmeans_gbg", &label), &data, |b, d| {
+            b.iter(|| black_box(kmeans_gbg(d, &KMeansGbgConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("gbg_pp", &label), &data, |b, d| {
+            b.iter(|| black_box(gbg_pp(d, &GbgPpConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

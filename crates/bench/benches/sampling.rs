@@ -1,0 +1,41 @@
+//! End-to-end sampler throughput on representative catalog surrogates —
+//! the paper's efficiency claim is that GBABS's linear-time pipeline
+//! "accelerates classifiers" relative to quadratic borderline methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_dataset::catalog::DatasetId;
+use gb_sampling::{Adasyn, BorderlineSmote, CondensedNn, Ggbs, Smote, Srs, Stratified, Systematic, TomekLinks};
+use gbabs::{GbabsSampler, Sampler};
+use std::hint::black_box;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for (id, scale) in [(DatasetId::S5, 0.1), (DatasetId::S9, 0.05)] {
+        let data = id.generate(scale, 3);
+        let label = format!("{}_n{}", id.rename(), data.n_samples());
+        let samplers: Vec<(&str, Box<dyn Sampler>)> = vec![
+            ("GBABS", Box::new(GbabsSampler::default())),
+            ("GGBS", Box::new(Ggbs::default())),
+            ("SMOTE", Box::new(Smote::default())),
+            ("BSM", Box::new(BorderlineSmote::default())),
+            ("Tomek", Box::new(TomekLinks::default())),
+            ("ADASYN", Box::new(Adasyn::default())),
+            ("CNN", Box::new(CondensedNn::new(8))),
+            ("SRS", Box::new(Srs::new(0.5))),
+            ("Stratified", Box::new(Stratified::new(0.5))),
+            ("Systematic", Box::new(Systematic::new(0.5))),
+        ];
+        for (name, sampler) in &samplers {
+            group.bench_with_input(BenchmarkId::new(*name, &label), &data, |b, d| {
+                b.iter(|| black_box(sampler.sample(d, 0)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Complexity-shape benches for the paper's §IV-B3/§IV-C claims:
+//! RD-GBG's total work is near-linear in N (`O(t·q·N)` with shrinking `U`),
+//! and GBABS sampling adds `O(p·m·log m)`.
+//!
+//! Criterion reports per-N times; the reproduction target is the *growth
+//! shape* (≈ linear in N, mildly super-linear in p), not absolute numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gb_dataset::synth::banana::BananaSpec;
+use gb_dataset::synth::class_weights_for_ir;
+use gb_dataset::synth::gaussian::BlobSpec;
+use gbabs::{gbabs, rd_gbg, RdGbgConfig};
+use std::hint::black_box;
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_n");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [500usize, 1000, 2000, 4000] {
+        let data = BananaSpec {
+            n_samples: n,
+            noise: 0.12,
+            imbalance_ratio: 1.23,
+            scatter: 0.05,
+        }
+        .generate(11);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("rd_gbg", n), &data, |b, d| {
+            b.iter(|| black_box(rd_gbg(d, &RdGbgConfig::default())));
+        });
+        group.bench_with_input(BenchmarkId::new("gbabs_total", n), &data, |b, d| {
+            b.iter(|| black_box(gbabs(d, &RdGbgConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_p");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for p in [4usize, 16, 64, 128] {
+        let data = BlobSpec {
+            n_samples: 1000,
+            n_features: p,
+            n_classes: 3,
+            class_weights: class_weights_for_ir(3, 2.0),
+            blobs_per_class: 2,
+            separation: 3.0,
+            scale: 1.0,
+            informative_dims: p.min(8),
+            scatter: 0.05,
+        }
+        .generate(13);
+        group.throughput(Throughput::Elements(p as u64));
+        group.bench_with_input(BenchmarkId::new("gbabs_total", p), &data, |b, d| {
+            b.iter(|| black_box(gbabs(d, &RdGbgConfig::default())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n, bench_scaling_p);
+criterion_main!(benches);

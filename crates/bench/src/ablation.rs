@@ -1,0 +1,241 @@
+//! Ablation study of the two design choices DESIGN.md calls out —
+//! the overlap restriction (Eqs. 4–6) and the noise-detection rules
+//! (Eq. 2) — plus a GB-kNN comparison (classify *with* balls instead of
+//! sampling *on* balls).
+//!
+//! Not a paper artifact; it substantiates the paper's §IV motivation that
+//! (a) overlapping balls blur class boundaries and (b) built-in noise
+//! removal is what makes GBABS threshold-free on noisy data.
+
+use crate::config::HarnessConfig;
+use crate::report::{f, format_table, write_csv};
+use gbabs::diagnostics::count_overlaps;
+use gbabs::gbknn::{GbKnn, GbKnnConfig};
+use gbabs::{borderline_from_model, rd_gbg, RdGbgConfig};
+use gb_classifiers::ClassifierKind;
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::noise::inject_class_noise;
+use gb_dataset::rng::derive_seed;
+use gb_dataset::split::stratified_k_fold;
+use gb_metrics::accuracy;
+
+/// The RD-GBG variants compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The paper's full method.
+    Full,
+    /// Conflict-radius restriction disabled (balls may overlap).
+    NoOverlapRestriction,
+    /// Noise-detection rules disabled (nothing removed).
+    NoNoiseDetection,
+}
+
+impl Variant {
+    /// All variants in report order.
+    pub const ALL: [Variant; 3] = [
+        Variant::Full,
+        Variant::NoOverlapRestriction,
+        Variant::NoNoiseDetection,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Full => "RD-GBG (full)",
+            Variant::NoOverlapRestriction => "no overlap restriction",
+            Variant::NoNoiseDetection => "no noise detection",
+        }
+    }
+
+    /// Config for this variant.
+    #[must_use]
+    pub fn config(self, seed: u64) -> RdGbgConfig {
+        let mut cfg = RdGbgConfig {
+            seed,
+            ..RdGbgConfig::default()
+        };
+        match self {
+            Variant::Full => {}
+            Variant::NoOverlapRestriction => cfg.restrict_overlap = false,
+            Variant::NoNoiseDetection => cfg.detect_noise = false,
+        }
+        cfg
+    }
+}
+
+/// Per-variant aggregate on one dataset/noise setting.
+#[derive(Debug, Clone, Copy)]
+pub struct VariantOutcome {
+    /// Mean DT accuracy over folds when training on the variant's GBABS
+    /// sample.
+    pub dt_accuracy: f64,
+    /// Mean GBABS sampling ratio.
+    pub sampling_ratio: f64,
+    /// Mean overlapping ball pairs in the training-fold covers.
+    pub overlaps: f64,
+    /// Mean detected-noise rows per fold.
+    pub noise_removed: f64,
+}
+
+/// Runs one variant through `folds`-fold CV on `data`.
+#[must_use]
+pub fn run_variant(
+    data: &gb_dataset::Dataset,
+    variant: Variant,
+    folds: usize,
+    seed: u64,
+    fast: bool,
+) -> VariantOutcome {
+    let mut accs = Vec::new();
+    let mut ratios = Vec::new();
+    let mut overlaps = Vec::new();
+    let mut removed = Vec::new();
+    for (fi, fold) in stratified_k_fold(data, folds, seed).into_iter().enumerate() {
+        let train = data.select(&fold.train);
+        let test = data.select(&fold.test);
+        let cfg = variant.config(derive_seed(seed, fi as u64));
+        let model = rd_gbg(&train, &cfg);
+        overlaps.push(count_overlaps(&model.balls, 1e-9) as f64);
+        removed.push(model.noise.len() as f64);
+        let (rows, _) = borderline_from_model(&train, &model);
+        ratios.push(rows.len() as f64 / train.n_samples() as f64);
+        let sampled = train.select(&rows);
+        let clf = if fast {
+            ClassifierKind::DecisionTree.fit_fast(&sampled, 0)
+        } else {
+            ClassifierKind::DecisionTree.fit(&sampled, 0)
+        };
+        accs.push(accuracy(test.labels(), &clf.predict(&test)));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    VariantOutcome {
+        dt_accuracy: mean(&accs),
+        sampling_ratio: mean(&ratios),
+        overlaps: mean(&overlaps),
+        noise_removed: mean(&removed),
+    }
+}
+
+/// GB-kNN vs GBABS→kNN on one dataset (mean accuracy over folds).
+#[must_use]
+pub fn gbknn_vs_gbabs_knn(data: &gb_dataset::Dataset, folds: usize, seed: u64) -> (f64, f64) {
+    let mut gbknn_accs = Vec::new();
+    let mut sampled_knn_accs = Vec::new();
+    for (fi, fold) in stratified_k_fold(data, folds, seed).into_iter().enumerate() {
+        let train = data.select(&fold.train);
+        let test = data.select(&fold.test);
+        let rdgbg = RdGbgConfig {
+            seed: derive_seed(seed, fi as u64),
+            ..RdGbgConfig::default()
+        };
+        let model = rd_gbg(&train, &rdgbg);
+        let gbknn = GbKnn::from_model(&model, train.n_classes(), GbKnnConfig::default().k);
+        gbknn_accs.push(accuracy(test.labels(), &gbknn.predict(&test)));
+        let (rows, _) = borderline_from_model(&train, &model);
+        let sampled = train.select(&rows);
+        let knn = ClassifierKind::Knn.fit(&sampled, 0);
+        sampled_knn_accs.push(accuracy(test.labels(), &knn.predict(&test)));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    (mean(&gbknn_accs), mean(&sampled_knn_accs))
+}
+
+/// Full ablation report across representative datasets and noise levels.
+pub fn ablation(cfg: &HarnessConfig) {
+    let datasets = [DatasetId::S5, DatasetId::S2, DatasetId::S9];
+    let noises = [0.0, 0.20];
+    let mut rows = vec![vec![
+        "dataset".to_string(),
+        "noise".to_string(),
+        "variant".to_string(),
+        "DT accuracy".to_string(),
+        "sampling ratio".to_string(),
+        "overlapping pairs".to_string(),
+        "noise removed".to_string(),
+    ]];
+    for id in datasets {
+        let base = id.generate(cfg.scale, derive_seed(cfg.seed, 77));
+        for &noise in &noises {
+            let d = if noise > 0.0 {
+                inject_class_noise(&base, noise, derive_seed(cfg.seed, 78)).0
+            } else {
+                base.clone()
+            };
+            for variant in Variant::ALL {
+                let out = run_variant(&d, variant, cfg.folds, cfg.seed, cfg.fast_classifiers);
+                rows.push(vec![
+                    id.rename().to_string(),
+                    format!("{:.0}%", noise * 100.0),
+                    variant.name().to_string(),
+                    f(out.dt_accuracy),
+                    f(out.sampling_ratio),
+                    format!("{:.1}", out.overlaps),
+                    format!("{:.1}", out.noise_removed),
+                ]);
+            }
+        }
+    }
+    println!("Ablation: RD-GBG design choices (DT on GBABS sample)");
+    println!("{}", format_table(&rows));
+    write_csv(&cfg.out_dir, "ablation_rdgbg.csv", &rows);
+
+    let mut knn_rows = vec![vec![
+        "dataset".to_string(),
+        "GB-kNN accuracy".to_string(),
+        "GBABS->kNN accuracy".to_string(),
+    ]];
+    for id in datasets {
+        let d = id.generate(cfg.scale, derive_seed(cfg.seed, 77));
+        let (a, b) = gbknn_vs_gbabs_knn(&d, cfg.folds, cfg.seed);
+        knn_rows.push(vec![id.rename().to_string(), f(a), f(b)]);
+    }
+    println!("Ablation: classify with balls (GB-kNN) vs sample-then-kNN");
+    println!("{}", format_table(&knn_rows));
+    write_csv(&cfg.out_dir, "ablation_gbknn.csv", &knn_rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_have_expected_configs() {
+        let full = Variant::Full.config(1);
+        assert!(full.restrict_overlap && full.detect_noise);
+        let no = Variant::NoOverlapRestriction.config(1);
+        assert!(!no.restrict_overlap && no.detect_noise);
+        let nd = Variant::NoNoiseDetection.config(1);
+        assert!(nd.restrict_overlap && !nd.detect_noise);
+    }
+
+    #[test]
+    fn run_variant_smoke() {
+        let d = DatasetId::S5.generate(0.03, 1);
+        let out = run_variant(&d, Variant::Full, 3, 0, true);
+        assert!(out.dt_accuracy > 0.4);
+        assert_eq!(out.overlaps, 0.0, "full method never overlaps");
+        let ablated = run_variant(&d, Variant::NoOverlapRestriction, 3, 0, true);
+        assert!(
+            ablated.overlaps > 0.0,
+            "overlap ablation should produce overlaps"
+        );
+    }
+
+    #[test]
+    fn noise_ablation_removes_nothing() {
+        let base = DatasetId::S5.generate(0.03, 1);
+        let (d, _) = inject_class_noise(&base, 0.2, 5);
+        let out = run_variant(&d, Variant::NoNoiseDetection, 3, 0, true);
+        assert_eq!(out.noise_removed, 0.0);
+        let full = run_variant(&d, Variant::Full, 3, 0, true);
+        assert!(full.noise_removed > 0.0);
+    }
+
+    #[test]
+    fn gbknn_comparison_runs() {
+        let d = DatasetId::S9.generate(0.03, 2);
+        let (a, b) = gbknn_vs_gbabs_knn(&d, 3, 1);
+        assert!(a > 0.5 && b > 0.5, "gbknn {a}, sampled knn {b}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Experiment driver regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments <artifact> [--full] [--scale X] [--repeats N] [--folds K]
+//!             [--seed S] [--threads T] [--out DIR]
+//!
+//! artifacts: all | table1 | fig4 | fig5 | fig6 | table2 | table3 | table4
+//!          | fig7 | fig8 | fig9 | fig10 | fig11 | ablation | granulation | svm | cross | scaling
+//! ```
+//!
+//! `table3` runs `table2` first (it tests those accuracies).
+
+use gb_bench::config::HarnessConfig;
+use gb_bench::experiments as exp;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <all|table1|fig4|table2|table3|table4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|granulation|svm|cross|scaling> \
+         [--full] [--smoke] [--scale X] [--repeats N] [--folds K] [--seed S] [--threads T] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(args: &[String]) -> HarnessConfig {
+    let mut cfg = if args.iter().any(|a| a == "--full") {
+        HarnessConfig::full()
+    } else if args.iter().any(|a| a == "--smoke") {
+        HarnessConfig::smoke()
+    } else {
+        HarnessConfig::default()
+    };
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        let mut grab = || {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {arg}");
+                    usage()
+                })
+                .clone()
+        };
+        match arg.as_str() {
+            "--scale" => cfg.scale = grab().parse().unwrap_or_else(|_| usage()),
+            "--repeats" => cfg.repeats = grab().parse().unwrap_or_else(|_| usage()),
+            "--folds" => cfg.folds = grab().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = grab().parse().unwrap_or_else(|_| usage()),
+            "--threads" => cfg.threads = grab().parse().unwrap_or_else(|_| usage()),
+            "--out" => cfg.out_dir = PathBuf::from(grab()),
+            "--full" | "--smoke" => {}
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+            _ => {}
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(artifact) = args.first().cloned() else {
+        usage()
+    };
+    let cfg = parse_config(&args[1..]);
+    eprintln!(
+        "[experiments] profile: scale={} folds={} repeats={} fast_classifiers={} threads={} out={:?}",
+        cfg.scale, cfg.folds, cfg.repeats, cfg.fast_classifiers, cfg.threads, cfg.out_dir
+    );
+    let start = std::time::Instant::now();
+    match artifact.as_str() {
+        "all" => exp::run_all(&cfg),
+        "table1" => exp::table1(&cfg),
+        "fig4" => exp::fig4(&cfg),
+        "fig5" => exp::fig5(&cfg),
+        "fig6" => exp::fig6(&cfg),
+        "table2" => {
+            exp::table2(&cfg);
+        }
+        "table3" => {
+            let t2 = exp::table2(&cfg);
+            exp::table3(&cfg, &t2);
+        }
+        "table4" => exp::table4(&cfg),
+        "fig7" => exp::fig7(&cfg),
+        "fig8" => exp::fig8(&cfg),
+        "fig9" => exp::fig9(&cfg),
+        "fig10" => exp::fig10(&cfg),
+        "fig11" => exp::fig11(&cfg),
+        "ablation" => gb_bench::ablation::ablation(&cfg),
+        "granulation" => gb_bench::granulation::granulation(&cfg),
+        "svm" => exp::svm_study(&cfg),
+        "cross" => gb_bench::granulation::cross_ablation(&cfg),
+        "scaling" => exp::scaling_study(&cfg),
+        _ => usage(),
+    }
+    eprintln!("[experiments] done in {:.1?}", start.elapsed());
+}

@@ -1,0 +1,32 @@
+//! # gb-bench
+//!
+//! Experiment harness for the GBABS reproduction: a repeated stratified-CV
+//! evaluation engine ([`eval`]), the paper's sampler registry
+//! ([`samplers`]), and one runner per table/figure ([`experiments`]).
+//!
+//! Regenerate everything with:
+//!
+//! ```text
+//! cargo run --release -p gb-bench --bin experiments -- all
+//! ```
+//!
+//! or individual artifacts (`table2`, `fig6`, …), the ablations
+//! (`ablation`, `granulation`, `cross`) and the extension studies (`svm`,
+//! `scaling`). `--full` switches to the paper-fidelity profile (full-size
+//! datasets, 5×5-fold CV, 100-round boosters); the default profile is
+//! laptop-sized.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ablation;
+pub mod config;
+pub mod eval;
+pub mod granulation;
+pub mod experiments;
+pub mod report;
+pub mod samplers;
+
+pub use config::HarnessConfig;
+pub use eval::{evaluate, summarize, EvalSummary, FoldOutcome};
+pub use samplers::SamplerKind;

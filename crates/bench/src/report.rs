@@ -1,0 +1,107 @@
+//! Output plumbing: CSV artifacts and aligned console tables.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Writes rows (first row = header) as a CSV file under `dir`, creating the
+/// directory as needed. Returns the file path.
+///
+/// # Panics
+/// Panics on I/O failure (experiment artifacts are best-effort tooling).
+pub fn write_csv(dir: &Path, name: &str, rows: &[Vec<String>]) -> PathBuf {
+    fs::create_dir_all(dir).expect("create experiment output dir");
+    let path = dir.join(name);
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains(',') || cell.contains('"') {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(&path).expect("create csv");
+    f.write_all(out.as_bytes()).expect("write csv");
+    path
+}
+
+/// Renders rows (first row = header) as an aligned console table.
+#[must_use]
+pub fn format_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Shorthand for formatting a float cell.
+#[must_use]
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_and_quoting() {
+        let dir = std::env::temp_dir().join("gbabs-report-test");
+        let rows = vec![
+            vec!["a".into(), "b,c".into()],
+            vec!["1".into(), "say \"hi\"".into()],
+        ];
+        let path = write_csv(&dir, "t.csv", &rows);
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.contains("a,\"b,c\""));
+        assert!(content.contains("\"say \"\"hi\"\"\""));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn table_alignment() {
+        let rows = vec![
+            vec!["name".into(), "acc".into()],
+            vec!["S1".into(), "0.9".into()],
+            vec!["S10".into(), "0.85".into()],
+        ];
+        let t = format_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.123456), "0.1235");
+    }
+}

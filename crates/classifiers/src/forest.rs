@@ -1,0 +1,185 @@
+//! Random forest (Breiman 2001).
+//!
+//! Bagged CART trees with per-split feature subsampling, mirroring
+//! `sklearn.ensemble.RandomForestClassifier` defaults: 100 trees, bootstrap
+//! resampling, √p features per split, unbounded depth. Prediction is a
+//! majority vote (sklearn averages probabilities; with unbounded pure-leaf
+//! trees the two coincide almost everywhere).
+
+use crate::common::{majority_label, Classifier};
+use crate::tree::{DecisionTree, MaxFeatures, TreeConfig};
+use gb_dataset::rng::{derive_seed, rng_from_seed};
+use gb_dataset::Dataset;
+use rand::Rng;
+
+/// Random-forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees (sklearn default 100).
+    pub n_trees: usize,
+    /// Features per split.
+    pub max_features: MaxFeatures,
+    /// Optional depth cap forwarded to each tree.
+    pub max_depth: Option<usize>,
+    /// Master seed; per-tree seeds are derived from it.
+    pub seed: u64,
+}
+
+impl ForestConfig {
+    /// sklearn defaults with an explicit seed.
+    #[must_use]
+    pub fn default_with_seed(seed: u64) -> Self {
+        Self {
+            n_trees: 100,
+            max_features: MaxFeatures::Sqrt,
+            max_depth: None,
+            seed,
+        }
+    }
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self::default_with_seed(0)
+    }
+}
+
+/// A fitted random forest.
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` bootstrap trees.
+    ///
+    /// # Panics
+    /// Panics on an empty training set or `n_trees == 0`.
+    #[must_use]
+    pub fn fit(train: &Dataset, config: &ForestConfig) -> Self {
+        assert!(config.n_trees > 0, "need at least one tree");
+        assert!(train.n_samples() > 0, "empty training set");
+        let n = train.n_samples();
+        let trees = (0..config.n_trees)
+            .map(|t| {
+                let tree_seed = derive_seed(config.seed, t as u64);
+                let mut rng = rng_from_seed(tree_seed);
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                let tree_cfg = TreeConfig {
+                    max_depth: config.max_depth,
+                    min_samples_split: 2,
+                    min_samples_leaf: 1,
+                    max_features: config.max_features,
+                    seed: derive_seed(tree_seed, 1),
+                };
+                DecisionTree::fit_on_rows(train, &rows, &tree_cfg)
+            })
+            .collect();
+        Self {
+            trees,
+            n_classes: train.n_classes(),
+        }
+    }
+
+    /// Number of trees in the ensemble.
+    #[must_use]
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        majority_label(
+            self.trees.iter().map(|t| t.predict_row(row)),
+            self.n_classes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+    use gb_dataset::split::stratified_holdout;
+
+    fn holdout_accuracy(forest: &RandomForest, test: &Dataset) -> f64 {
+        forest
+            .predict(test)
+            .iter()
+            .zip(test.labels())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / test.n_samples() as f64
+    }
+
+    #[test]
+    fn beats_chance_substantially() {
+        let d = DatasetId::S10.generate(0.05, 3);
+        let (tr, te) = stratified_holdout(&d, 0.3, 1);
+        let cfg = ForestConfig {
+            n_trees: 25,
+            ..ForestConfig::default_with_seed(7)
+        };
+        let forest = RandomForest::fit(&d.select(&tr), &cfg);
+        let acc = holdout_accuracy(&forest, &d.select(&te));
+        assert!(acc > 0.8, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = DatasetId::S2.generate(0.1, 3);
+        let cfg = ForestConfig {
+            n_trees: 10,
+            ..ForestConfig::default_with_seed(5)
+        };
+        let a = RandomForest::fit(&d, &cfg);
+        let b = RandomForest::fit(&d, &cfg);
+        assert_eq!(a.predict(&d), b.predict(&d));
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let d = DatasetId::S2.generate(0.2, 3);
+        let mk = |seed| {
+            RandomForest::fit(
+                &d,
+                &ForestConfig {
+                    n_trees: 5,
+                    ..ForestConfig::default_with_seed(seed)
+                },
+            )
+        };
+        let a = mk(1).predict(&d);
+        let b = mk(2).predict(&d);
+        // bootstrap randomness should change at least one prediction on an
+        // overlapping dataset
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tree_count_respected() {
+        let d = DatasetId::S2.generate(0.05, 0);
+        let f = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 13,
+                ..Default::default()
+            },
+        );
+        assert_eq!(f.n_trees(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let d = DatasetId::S2.generate(0.05, 0);
+        let _ = RandomForest::fit(
+            &d,
+            &ForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! Exact-greedy second-order GBDT (XGBoost-style, Chen & Guestrin 2016).
+//!
+//! Depth-wise regression trees on gradient/hessian pairs with the XGBoost
+//! gain formula; defaults mirror the library the paper used:
+//! `n_estimators = 100`, `max_depth = 6`, `eta = 0.3`, `lambda = 1`,
+//! `gamma = 0`, `min_child_weight = 1`. Binary targets use logistic loss
+//! (one tree per round); multi-class targets use softmax (one tree per class
+//! per round).
+
+use super::loss::{logistic_grad_hess, sigmoid, softmax_grad_hess, softmax_into};
+use crate::common::Classifier;
+use gb_dataset::Dataset;
+
+/// Hyper-parameters of the exact GBDT.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactGbdtConfig {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Shrinkage (learning rate).
+    pub eta: f64,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// L2 regularization on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain to split.
+    pub gamma: f64,
+    /// Minimum hessian sum per child.
+    pub min_child_weight: f64,
+}
+
+impl Default for ExactGbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 100,
+            eta: 0.3,
+            max_depth: 6,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RegNode {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A single regression tree over gradients.
+#[derive(Debug, Clone)]
+pub(crate) struct RegTree {
+    nodes: Vec<RegNode>,
+}
+
+impl RegTree {
+    pub(crate) fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match self.nodes[idx] {
+                RegNode::Leaf { weight } => return weight,
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => idx = if row[feature] <= threshold { left } else { right },
+            }
+        }
+    }
+}
+
+struct TreeBuilder<'a> {
+    data: &'a Dataset,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    cfg: &'a ExactGbdtConfig,
+    nodes: Vec<RegNode>,
+}
+
+fn leaf_weight(g: f64, h: f64, lambda: f64) -> f64 {
+    -g / (h + lambda)
+}
+
+fn score(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+impl<'a> TreeBuilder<'a> {
+    fn build(&mut self, rows: &mut [usize], depth: usize) -> usize {
+        let (g_sum, h_sum) = rows.iter().fold((0.0, 0.0), |(g, h), &r| {
+            (g + self.grad[r], h + self.hess[r])
+        });
+        let make_leaf = |nodes: &mut Vec<RegNode>| {
+            let idx = nodes.len();
+            nodes.push(RegNode::Leaf {
+                weight: leaf_weight(g_sum, h_sum, self.cfg.lambda),
+            });
+            idx
+        };
+        if depth >= self.cfg.max_depth || rows.len() < 2 {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let parent_score = score(g_sum, h_sum, self.cfg.lambda);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut scratch: Vec<(f64, f64, f64)> = Vec::with_capacity(rows.len());
+        for feat in 0..self.data.n_features() {
+            scratch.clear();
+            scratch.extend(
+                rows.iter()
+                    .map(|&r| (self.data.value(r, feat), self.grad[r], self.hess[r])),
+            );
+            scratch.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for i in 0..scratch.len() - 1 {
+                let (v, g, h) = scratch[i];
+                gl += g;
+                hl += h;
+                let next_v = scratch[i + 1].0;
+                if next_v <= v {
+                    continue;
+                }
+                let gr = g_sum - gl;
+                let hr = h_sum - hl;
+                if hl < self.cfg.min_child_weight || hr < self.cfg.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (score(gl, hl, self.cfg.lambda) + score(gr, hr, self.cfg.lambda)
+                        - parent_score)
+                    - self.cfg.gamma;
+                if gain > 0.0 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                    best = Some((gain, feat, v + (next_v - v) * 0.5));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return make_leaf(&mut self.nodes);
+        };
+        let split_at = partition_rows(rows, |&r| self.data.value(r, feature) <= threshold);
+        debug_assert!(split_at > 0 && split_at < rows.len());
+        let idx = self.nodes.len();
+        self.nodes.push(RegNode::Leaf { weight: 0.0 }); // placeholder
+        let (left_rows, right_rows) = rows.split_at_mut(split_at);
+        let left = self.build(left_rows, depth + 1);
+        let right = self.build(right_rows, depth + 1);
+        self.nodes[idx] = RegNode::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        idx
+    }
+}
+
+fn partition_rows(rows: &mut [usize], mut pred: impl FnMut(&usize) -> bool) -> usize {
+    let mut keep: Vec<usize> = Vec::with_capacity(rows.len());
+    let mut rest: Vec<usize> = Vec::new();
+    for &r in rows.iter() {
+        if pred(&r) {
+            keep.push(r);
+        } else {
+            rest.push(r);
+        }
+    }
+    let k = keep.len();
+    keep.extend_from_slice(&rest);
+    rows.copy_from_slice(&keep);
+    k
+}
+
+fn fit_reg_tree(data: &Dataset, grad: &[f64], hess: &[f64], cfg: &ExactGbdtConfig) -> RegTree {
+    let mut builder = TreeBuilder {
+        data,
+        grad,
+        hess,
+        cfg,
+        nodes: Vec::new(),
+    };
+    let mut rows: Vec<usize> = (0..data.n_samples()).collect();
+    builder.build(&mut rows, 0);
+    RegTree {
+        nodes: builder.nodes,
+    }
+}
+
+/// A fitted exact GBDT ensemble.
+pub struct ExactGbdt {
+    /// `trees[round][class]`; binary models have one tree per round.
+    trees: Vec<Vec<RegTree>>,
+    n_classes: usize,
+    eta: f64,
+}
+
+impl ExactGbdt {
+    /// Fits the ensemble on `train` with config `cfg`.
+    ///
+    /// # Panics
+    /// Panics on empty training data.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // parallel-array updates read clearer indexed
+    pub fn fit(train: &Dataset, cfg: &ExactGbdtConfig) -> Self {
+        assert!(train.n_samples() > 0, "empty training set");
+        let n = train.n_samples();
+        let q = train.n_classes();
+        let mut trees: Vec<Vec<RegTree>> = Vec::with_capacity(cfg.n_rounds);
+        if q <= 2 {
+            // binary logistic: one score per sample
+            let mut scores = vec![0.0f64; n];
+            let mut grad = vec![0.0f64; n];
+            let mut hess = vec![0.0f64; n];
+            for _ in 0..cfg.n_rounds {
+                for i in 0..n {
+                    let (g, h) = logistic_grad_hess(scores[i], f64::from(train.label(i)));
+                    grad[i] = g;
+                    hess[i] = h;
+                }
+                let tree = fit_reg_tree(train, &grad, &hess, cfg);
+                for i in 0..n {
+                    scores[i] += cfg.eta * tree.predict_row(train.row(i));
+                }
+                trees.push(vec![tree]);
+            }
+        } else {
+            // softmax: one score per class per sample
+            let mut scores = vec![0.0f64; n * q];
+            let mut probs = vec![0.0f64; q];
+            let mut grad = vec![vec![0.0f64; n]; q];
+            let mut hess = vec![vec![0.0f64; n]; q];
+            for _ in 0..cfg.n_rounds {
+                for i in 0..n {
+                    softmax_into(&scores[i * q..(i + 1) * q], &mut probs);
+                    let y = train.label(i) as usize;
+                    for (k, &p) in probs.iter().enumerate() {
+                        let (g, h) = softmax_grad_hess(p, f64::from(u8::from(k == y)));
+                        grad[k][i] = g;
+                        hess[k][i] = h;
+                    }
+                }
+                let mut round = Vec::with_capacity(q);
+                for k in 0..q {
+                    let tree = fit_reg_tree(train, &grad[k], &hess[k], cfg);
+                    for i in 0..n {
+                        scores[i * q + k] += cfg.eta * tree.predict_row(train.row(i));
+                    }
+                    round.push(tree);
+                }
+                trees.push(round);
+            }
+        }
+        Self {
+            trees,
+            n_classes: q,
+            eta: cfg.eta,
+        }
+    }
+
+    /// Raw margin score(s) for a row (length 1 for binary, `q` otherwise).
+    #[must_use]
+    pub fn decision_function(&self, row: &[f64]) -> Vec<f64> {
+        if self.n_classes <= 2 {
+            let mut s = 0.0;
+            for round in &self.trees {
+                s += self.eta * round[0].predict_row(row);
+            }
+            vec![s]
+        } else {
+            let mut s = vec![0.0; self.n_classes];
+            for round in &self.trees {
+                for (k, tree) in round.iter().enumerate() {
+                    s[k] += self.eta * tree.predict_row(row);
+                }
+            }
+            s
+        }
+    }
+}
+
+impl Classifier for ExactGbdt {
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        let s = self.decision_function(row);
+        if self.n_classes <= 2 {
+            u32::from(sigmoid(s[0]) >= 0.5)
+        } else {
+            crate::common::argmax(&s) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+    use gb_dataset::split::stratified_holdout;
+
+    fn acc(model: &ExactGbdt, test: &Dataset) -> f64 {
+        model
+            .predict(test)
+            .iter()
+            .zip(test.labels())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / test.n_samples() as f64
+    }
+
+    fn small_cfg() -> ExactGbdtConfig {
+        ExactGbdtConfig {
+            n_rounds: 20,
+            max_depth: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn binary_blobs() {
+        let d = DatasetId::S9.generate(0.05, 1);
+        let (tr, te) = stratified_holdout(&d, 0.3, 2);
+        let m = ExactGbdt::fit(&d.select(&tr), &small_cfg());
+        let a = acc(&m, &d.select(&te));
+        assert!(a > 0.9, "binary accuracy {a}");
+    }
+
+    #[test]
+    fn multiclass_blobs() {
+        let d = DatasetId::S8.generate(0.02, 1);
+        let (tr, te) = stratified_holdout(&d, 0.3, 2);
+        let m = ExactGbdt::fit(&d.select(&tr), &small_cfg());
+        let a = acc(&m, &d.select(&te));
+        assert!(a > 0.75, "multiclass accuracy {a}");
+    }
+
+    #[test]
+    fn xor_learnable() {
+        // depth-2 interactions: xor with 50 points per quadrant
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let x = (i % 2) as f64 + (i as f64 * 0.001);
+            let y = ((i / 2) % 2) as f64 + (i as f64 * 0.0007);
+            feats.push(x);
+            feats.push(y);
+            labels.push(((i % 2) ^ ((i / 2) % 2)) as u32);
+        }
+        let d = Dataset::from_parts(feats, labels, 2, 2);
+        let m = ExactGbdt::fit(&d, &small_cfg());
+        let a = acc(&m, &d);
+        assert!(a > 0.95, "xor training accuracy {a}");
+    }
+
+    #[test]
+    fn more_rounds_do_not_hurt_training_fit() {
+        let d = DatasetId::S2.generate(0.1, 4);
+        let short = ExactGbdt::fit(
+            &d,
+            &ExactGbdtConfig {
+                n_rounds: 3,
+                ..Default::default()
+            },
+        );
+        let long = ExactGbdt::fit(
+            &d,
+            &ExactGbdtConfig {
+                n_rounds: 30,
+                ..Default::default()
+            },
+        );
+        assert!(acc(&long, &d) >= acc(&short, &d) - 1e-9);
+    }
+
+    #[test]
+    fn decision_function_shape() {
+        let bin = DatasetId::S2.generate(0.05, 0);
+        let m = ExactGbdt::fit(&bin, &small_cfg());
+        assert_eq!(m.decision_function(bin.row(0)).len(), 1);
+        let multi = DatasetId::S6.generate(0.05, 0);
+        let m2 = ExactGbdt::fit(&multi, &small_cfg());
+        assert_eq!(m2.decision_function(multi.row(0)).len(), 5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DatasetId::S2.generate(0.05, 8);
+        let a = ExactGbdt::fit(&d, &small_cfg());
+        let b = ExactGbdt::fit(&d, &small_cfg());
+        assert_eq!(a.predict(&d), b.predict(&d));
+    }
+}

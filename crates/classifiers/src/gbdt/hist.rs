@@ -1,0 +1,521 @@
+//! Histogram-based leaf-wise GBDT (LightGBM-style, Ke et al. 2017).
+//!
+//! Features are quantile-binned once (≤ 255 bins); split finding scans bin
+//! histograms of gradient/hessian sums; trees grow *leaf-wise* — always
+//! expanding the leaf with the largest gain — up to `num_leaves` (default
+//! 31). Defaults mirror LightGBM: 100 rounds, learning rate 0.1,
+//! `min_data_in_leaf = 20`.
+
+use super::loss::{logistic_grad_hess, sigmoid, softmax_grad_hess, softmax_into};
+use crate::common::Classifier;
+use gb_dataset::Dataset;
+
+/// Hyper-parameters of the histogram GBDT.
+#[derive(Debug, Clone, Copy)]
+pub struct HistGbdtConfig {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Maximum leaves per tree.
+    pub num_leaves: usize,
+    /// Maximum histogram bins per feature.
+    pub max_bins: usize,
+    /// Minimum samples per leaf.
+    pub min_data_in_leaf: usize,
+    /// L2 regularization on leaf weights.
+    pub lambda: f64,
+}
+
+impl Default for HistGbdtConfig {
+    fn default() -> Self {
+        Self {
+            n_rounds: 100,
+            learning_rate: 0.1,
+            num_leaves: 31,
+            max_bins: 255,
+            min_data_in_leaf: 20,
+            lambda: 0.0,
+        }
+    }
+}
+
+/// Per-feature quantile binner.
+#[derive(Debug, Clone)]
+pub(crate) struct Binner {
+    /// `edges[f]` are ascending upper-edge thresholds; bin b holds values
+    /// `edges[f][b-1] < v <= edges[f][b]` (bin 0: `v <= edges[f][0]`,
+    /// last bin unbounded).
+    edges: Vec<Vec<f64>>,
+}
+
+impl Binner {
+    pub(crate) fn fit(data: &Dataset, max_bins: usize) -> Self {
+        let n = data.n_samples();
+        let p = data.n_features();
+        let mut edges = Vec::with_capacity(p);
+        let mut col: Vec<f64> = Vec::with_capacity(n);
+        for f in 0..p {
+            col.clear();
+            col.extend((0..n).map(|i| data.value(i, f)));
+            col.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            col.dedup();
+            let distinct = col.len();
+            let mut e: Vec<f64> = if distinct <= max_bins {
+                // one bin per distinct value: edges midway between values
+                col.windows(2).map(|w| (w[0] + w[1]) * 0.5).collect()
+            } else {
+                (1..max_bins)
+                    .map(|b| {
+                        let idx = b * distinct / max_bins;
+                        col[idx.min(distinct - 1)]
+                    })
+                    .collect()
+            };
+            e.dedup_by(|a, b| a == b);
+            edges.push(e);
+        }
+        Self { edges }
+    }
+
+    /// Bin index of `value` in feature `f`.
+    pub(crate) fn bin(&self, f: usize, value: f64) -> usize {
+        self.edges[f].partition_point(|&e| e < value)
+    }
+
+    /// Number of bins for feature `f`.
+    pub(crate) fn n_bins(&self, f: usize) -> usize {
+        self.edges[f].len() + 1
+    }
+
+    /// Raw threshold corresponding to splitting after bin `b` of feature `f`.
+    fn threshold(&self, f: usize, b: usize) -> f64 {
+        self.edges[f][b]
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HNode {
+    Leaf {
+        weight: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct HistTree {
+    nodes: Vec<HNode>,
+}
+
+impl HistTree {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0;
+        loop {
+            match self.nodes[idx] {
+                HNode::Leaf { weight } => return weight,
+                HNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => idx = if row[feature] <= threshold { left } else { right },
+            }
+        }
+    }
+}
+
+/// Candidate split for a leaf.
+#[derive(Debug, Clone, Copy)]
+struct BestSplit {
+    gain: f64,
+    feature: usize,
+    bin: usize,
+    g_left: f64,
+    h_left: f64,
+    n_left: usize,
+}
+
+struct LeafTask {
+    node: usize,
+    rows: Vec<u32>,
+    g_sum: f64,
+    h_sum: f64,
+}
+
+fn leaf_obj(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn find_best_split(
+    binned: &[Vec<u8>],
+    binner: &Binner,
+    rows: &[u32],
+    grad: &[f64],
+    hess: &[f64],
+    g_sum: f64,
+    h_sum: f64,
+    cfg: &HistGbdtConfig,
+) -> Option<BestSplit> {
+    let parent = leaf_obj(g_sum, h_sum, cfg.lambda);
+    let p = binned.len();
+    let mut best: Option<BestSplit> = None;
+    for f in 0..p {
+        let nb = binner.n_bins(f);
+        if nb < 2 {
+            continue;
+        }
+        let mut hist_g = vec![0.0f64; nb];
+        let mut hist_h = vec![0.0f64; nb];
+        let mut hist_n = vec![0usize; nb];
+        let col = &binned[f];
+        for &r in rows {
+            let b = col[r as usize] as usize;
+            hist_g[b] += grad[r as usize];
+            hist_h[b] += hess[r as usize];
+            hist_n[b] += 1;
+        }
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        let mut nl = 0usize;
+        for b in 0..nb - 1 {
+            gl += hist_g[b];
+            hl += hist_h[b];
+            nl += hist_n[b];
+            let nr = rows.len() - nl;
+            if nl < cfg.min_data_in_leaf || nr < cfg.min_data_in_leaf {
+                continue;
+            }
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            let gain =
+                0.5 * (leaf_obj(gl, hl, cfg.lambda) + leaf_obj(gr, hr, cfg.lambda) - parent);
+            if gain > 1e-12 && best.is_none_or(|b2| gain > b2.gain) {
+                best = Some(BestSplit {
+                    gain,
+                    feature: f,
+                    bin: b,
+                    g_left: gl,
+                    h_left: hl,
+                    n_left: nl,
+                });
+            }
+        }
+    }
+    best
+}
+
+fn fit_hist_tree(
+    data: &Dataset,
+    binned: &[Vec<u8>],
+    binner: &Binner,
+    grad: &[f64],
+    hess: &[f64],
+    cfg: &HistGbdtConfig,
+) -> HistTree {
+    let n = data.n_samples();
+    let root_rows: Vec<u32> = (0..n as u32).collect();
+    let g_sum: f64 = grad.iter().sum();
+    let h_sum: f64 = hess.iter().sum();
+    let mut nodes = vec![HNode::Leaf {
+        weight: -g_sum / (h_sum + cfg.lambda),
+    }];
+    // Leaf-wise growth: repeatedly expand the splittable leaf of max gain.
+    let mut frontier: Vec<(LeafTask, Option<BestSplit>)> = Vec::new();
+    let root = LeafTask {
+        node: 0,
+        rows: root_rows,
+        g_sum,
+        h_sum,
+    };
+    let split = find_best_split(binned, binner, &root.rows, grad, hess, g_sum, h_sum, cfg);
+    frontier.push((root, split));
+    let mut n_leaves = 1usize;
+    while n_leaves < cfg.num_leaves {
+        // pick the frontier entry with the best gain
+        let Some(pos) = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, s))| s.is_some())
+            .max_by(|(_, (_, a)), (_, (_, b))| {
+                a.unwrap()
+                    .gain
+                    .partial_cmp(&b.unwrap().gain)
+                    .expect("finite gains")
+            })
+            .map(|(i, _)| i)
+        else {
+            break; // nothing splittable
+        };
+        let (task, split) = frontier.swap_remove(pos);
+        let split = split.expect("filtered to Some");
+        let thr = binner.threshold(split.feature, split.bin);
+        let mut left_rows = Vec::with_capacity(split.n_left);
+        let mut right_rows = Vec::with_capacity(task.rows.len() - split.n_left);
+        let col = &binned[split.feature];
+        for &r in &task.rows {
+            if (col[r as usize] as usize) <= split.bin {
+                left_rows.push(r);
+            } else {
+                right_rows.push(r);
+            }
+        }
+        debug_assert_eq!(left_rows.len(), split.n_left);
+        let gl = split.g_left;
+        let hl = split.h_left;
+        let gr = task.g_sum - gl;
+        let hr = task.h_sum - hl;
+        let left_idx = nodes.len();
+        nodes.push(HNode::Leaf {
+            weight: -gl / (hl + cfg.lambda),
+        });
+        let right_idx = nodes.len();
+        nodes.push(HNode::Leaf {
+            weight: -gr / (hr + cfg.lambda),
+        });
+        nodes[task.node] = HNode::Split {
+            feature: split.feature,
+            threshold: thr,
+            left: left_idx,
+            right: right_idx,
+        };
+        n_leaves += 1;
+        let l_task = LeafTask {
+            node: left_idx,
+            rows: left_rows,
+            g_sum: gl,
+            h_sum: hl,
+        };
+        let l_split = find_best_split(binned, binner, &l_task.rows, grad, hess, gl, hl, cfg);
+        frontier.push((l_task, l_split));
+        let r_task = LeafTask {
+            node: right_idx,
+            rows: right_rows,
+            g_sum: gr,
+            h_sum: hr,
+        };
+        let r_split = find_best_split(binned, binner, &r_task.rows, grad, hess, gr, hr, cfg);
+        frontier.push((r_task, r_split));
+    }
+    HistTree { nodes }
+}
+
+/// A fitted histogram GBDT ensemble.
+pub struct HistGbdt {
+    trees: Vec<Vec<HistTree>>,
+    n_classes: usize,
+    learning_rate: f64,
+}
+
+impl HistGbdt {
+    /// Fits on `train` with config `cfg`.
+    ///
+    /// # Panics
+    /// Panics on empty training data or `max_bins > 256`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // parallel-array updates read clearer indexed
+    pub fn fit(train: &Dataset, cfg: &HistGbdtConfig) -> Self {
+        assert!(train.n_samples() > 0, "empty training set");
+        assert!(cfg.max_bins <= 256, "bins must fit u8");
+        let n = train.n_samples();
+        let q = train.n_classes();
+        let binner = Binner::fit(train, cfg.max_bins);
+        // column-major binned matrix
+        let binned: Vec<Vec<u8>> = (0..train.n_features())
+            .map(|f| {
+                (0..n)
+                    .map(|i| binner.bin(f, train.value(i, f)) as u8)
+                    .collect()
+            })
+            .collect();
+        let mut trees: Vec<Vec<HistTree>> = Vec::with_capacity(cfg.n_rounds);
+        if q <= 2 {
+            let mut scores = vec![0.0f64; n];
+            let mut grad = vec![0.0f64; n];
+            let mut hess = vec![0.0f64; n];
+            for _ in 0..cfg.n_rounds {
+                for i in 0..n {
+                    let (g, h) = logistic_grad_hess(scores[i], f64::from(train.label(i)));
+                    grad[i] = g;
+                    hess[i] = h;
+                }
+                let tree = fit_hist_tree(train, &binned, &binner, &grad, &hess, cfg);
+                for i in 0..n {
+                    scores[i] += cfg.learning_rate * tree.predict_row(train.row(i));
+                }
+                trees.push(vec![tree]);
+            }
+        } else {
+            let mut scores = vec![0.0f64; n * q];
+            let mut probs = vec![0.0f64; q];
+            let mut grad = vec![vec![0.0f64; n]; q];
+            let mut hess = vec![vec![0.0f64; n]; q];
+            for _ in 0..cfg.n_rounds {
+                for i in 0..n {
+                    softmax_into(&scores[i * q..(i + 1) * q], &mut probs);
+                    let y = train.label(i) as usize;
+                    for (k, &p) in probs.iter().enumerate() {
+                        let (g, h) = softmax_grad_hess(p, f64::from(u8::from(k == y)));
+                        grad[k][i] = g;
+                        hess[k][i] = h;
+                    }
+                }
+                let mut round = Vec::with_capacity(q);
+                for k in 0..q {
+                    let tree = fit_hist_tree(train, &binned, &binner, &grad[k], &hess[k], cfg);
+                    for i in 0..n {
+                        scores[i * q + k] += cfg.learning_rate * tree.predict_row(train.row(i));
+                    }
+                    round.push(tree);
+                }
+                trees.push(round);
+            }
+        }
+        Self {
+            trees,
+            n_classes: q,
+            learning_rate: cfg.learning_rate,
+        }
+    }
+
+    /// Raw margin score(s) for a row.
+    #[must_use]
+    pub fn decision_function(&self, row: &[f64]) -> Vec<f64> {
+        if self.n_classes <= 2 {
+            let mut s = 0.0;
+            for round in &self.trees {
+                s += self.learning_rate * round[0].predict_row(row);
+            }
+            vec![s]
+        } else {
+            let mut s = vec![0.0; self.n_classes];
+            for round in &self.trees {
+                for (k, tree) in round.iter().enumerate() {
+                    s[k] += self.learning_rate * tree.predict_row(row);
+                }
+            }
+            s
+        }
+    }
+}
+
+impl Classifier for HistGbdt {
+    fn predict_row(&self, row: &[f64]) -> u32 {
+        let s = self.decision_function(row);
+        if self.n_classes <= 2 {
+            u32::from(sigmoid(s[0]) >= 0.5)
+        } else {
+            crate::common::argmax(&s) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+    use gb_dataset::split::stratified_holdout;
+
+    fn acc(model: &HistGbdt, test: &Dataset) -> f64 {
+        model
+            .predict(test)
+            .iter()
+            .zip(test.labels())
+            .filter(|(a, b)| a == b)
+            .count() as f64
+            / test.n_samples() as f64
+    }
+
+    fn small_cfg() -> HistGbdtConfig {
+        HistGbdtConfig {
+            n_rounds: 25,
+            min_data_in_leaf: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn binner_bins_are_monotone() {
+        let d = DatasetId::S2.generate(0.1, 1);
+        let binner = Binner::fit(&d, 16);
+        for f in 0..d.n_features() {
+            let mut vals: Vec<f64> = (0..d.n_samples()).map(|i| d.value(i, f)).collect();
+            vals.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+            let bins: Vec<usize> = vals.iter().map(|&v| binner.bin(f, v)).collect();
+            assert!(bins.windows(2).all(|w| w[0] <= w[1]));
+            assert!(*bins.last().unwrap() < binner.n_bins(f));
+        }
+    }
+
+    #[test]
+    fn binner_handles_few_distinct_values() {
+        let d = Dataset::from_parts(vec![1.0, 1.0, 2.0, 2.0, 3.0], vec![0; 5], 1, 1);
+        let binner = Binner::fit(&d, 255);
+        assert_eq!(binner.n_bins(0), 3);
+        assert_eq!(binner.bin(0, 1.0), 0);
+        assert_eq!(binner.bin(0, 2.0), 1);
+        assert_eq!(binner.bin(0, 3.0), 2);
+    }
+
+    #[test]
+    fn binary_blobs() {
+        let d = DatasetId::S9.generate(0.05, 1);
+        let (tr, te) = stratified_holdout(&d, 0.3, 2);
+        let m = HistGbdt::fit(&d.select(&tr), &small_cfg());
+        let a = acc(&m, &d.select(&te));
+        assert!(a > 0.9, "binary accuracy {a}");
+    }
+
+    #[test]
+    fn multiclass_blobs() {
+        let d = DatasetId::S6.generate(0.1, 1);
+        let (tr, te) = stratified_holdout(&d, 0.3, 2);
+        let m = HistGbdt::fit(&d.select(&tr), &small_cfg());
+        let a = acc(&m, &d.select(&te));
+        assert!(a > 0.9, "multiclass accuracy {a}");
+    }
+
+    #[test]
+    fn leaf_cap_respected() {
+        let d = DatasetId::S5.generate(0.1, 3);
+        let cfg = HistGbdtConfig {
+            n_rounds: 1,
+            num_leaves: 4,
+            min_data_in_leaf: 1,
+            ..Default::default()
+        };
+        let m = HistGbdt::fit(&d, &cfg);
+        let leaves = m.trees[0][0]
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, HNode::Leaf { .. }))
+            .count();
+        assert!(leaves <= 4, "{leaves} leaves");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DatasetId::S2.generate(0.05, 8);
+        let a = HistGbdt::fit(&d, &small_cfg());
+        let b = HistGbdt::fit(&d, &small_cfg());
+        assert_eq!(a.predict(&d), b.predict(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must fit u8")]
+    fn too_many_bins_rejected() {
+        let d = DatasetId::S2.generate(0.05, 8);
+        let _ = HistGbdt::fit(
+            &d,
+            &HistGbdtConfig {
+                max_bins: 1000,
+                ..Default::default()
+            },
+        );
+    }
+}

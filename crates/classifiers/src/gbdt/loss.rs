@@ -1,0 +1,102 @@
+//! Second-order loss layer for gradient boosting.
+//!
+//! Binary tasks use logistic loss with a single score per sample; multi-class
+//! tasks use softmax with one score per class. Gradients/hessians follow the
+//! XGBoost formulation: `g = p − y`, `h = p·(1 − p)` (hessian floored to keep
+//! leaf weights finite).
+
+/// Floor applied to hessians.
+pub const HESS_FLOOR: f64 = 1e-6;
+
+/// Numerically safe sigmoid.
+#[must_use]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Softmax over a score slice, written into `out` (same length).
+pub fn softmax_into(scores: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(scores.len(), out.len());
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for (o, &s) in out.iter_mut().zip(scores.iter()) {
+        let e = (s - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Gradient and hessian of binary logistic loss at raw score `score` for
+/// 0/1 target `y`.
+#[must_use]
+pub fn logistic_grad_hess(score: f64, y: f64) -> (f64, f64) {
+    let p = sigmoid(score);
+    (p - y, (p * (1.0 - p)).max(HESS_FLOOR))
+}
+
+/// Gradient and hessian of softmax cross-entropy for class-`k` score given
+/// the probability `p_k` and indicator `y_k`.
+#[must_use]
+pub fn softmax_grad_hess(p_k: f64, y_k: f64) -> (f64, f64) {
+    (p_k - y_k, (p_k * (1.0 - p_k)).max(HESS_FLOOR))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-745.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut out = vec![0.0; 3];
+        softmax_into(&[1.0, 2.0, 3.0], &mut out);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let mut a = vec![0.0; 2];
+        let mut b = vec![0.0; 2];
+        softmax_into(&[1.0, 2.0], &mut a);
+        softmax_into(&[1001.0, 1002.0], &mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn gradients_point_the_right_way() {
+        // positive sample, score 0 -> gradient negative (push score up)
+        let (g, h) = logistic_grad_hess(0.0, 1.0);
+        assert!(g < 0.0);
+        assert!(h > 0.0);
+        let (g2, _) = logistic_grad_hess(0.0, 0.0);
+        assert!(g2 > 0.0);
+    }
+
+    #[test]
+    fn hessians_floored() {
+        let (_, h) = logistic_grad_hess(40.0, 1.0);
+        assert!(h >= HESS_FLOOR);
+        let (_, h2) = softmax_grad_hess(1.0, 1.0);
+        assert!(h2 >= HESS_FLOOR);
+    }
+}

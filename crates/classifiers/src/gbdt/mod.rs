@@ -1,0 +1,16 @@
+//! Gradient-boosted decision trees.
+//!
+//! Two independent implementations stand in for the paper's XGBoost and
+//! LightGBM baselines:
+//!
+//! * [`exact`] — second-order boosting with exact greedy split enumeration
+//!   and depth-wise growth (XGBoost-style).
+//! * [`hist`] — quantile-binned histogram split finding with leaf-wise
+//!   (best-first) growth (LightGBM-style).
+//!
+//! Both share the loss layer in [`loss`] (binary logistic / multi-class
+//! softmax with second-order gradients).
+
+pub mod exact;
+pub mod hist;
+pub mod loss;

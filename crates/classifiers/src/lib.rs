@@ -1,0 +1,36 @@
+//! # gb-classifiers
+//!
+//! From-scratch implementations of the five classifiers the GBABS paper
+//! evaluates with (its §V-A baselines run behind scikit-learn / XGBoost /
+//! LightGBM; here everything is pure Rust):
+//!
+//! * [`knn::KnnClassifier`] — k-nearest neighbours (k = 5),
+//! * [`tree::DecisionTree`] — CART with Gini impurity,
+//! * [`forest::RandomForest`] — bagged CART with √p feature subsampling,
+//! * [`gbdt::exact::ExactGbdt`] — exact second-order boosting (XGBoost-like),
+//! * [`gbdt::hist::HistGbdt`] — histogram leaf-wise boosting (LightGBM-like).
+//!
+//! Beyond the paper's five, [`svm::LinearSvm`] (Pegasos, one-vs-rest)
+//! covers the SVM-acceleration motivation of the paper's refs \[24\]–\[26\].
+//!
+//! ```
+//! use gb_classifiers::{Classifier, ClassifierKind};
+//! use gb_dataset::catalog::DatasetId;
+//!
+//! let data = DatasetId::S2.generate(0.1, 1);
+//! let model = ClassifierKind::DecisionTree.fit(&data, 0);
+//! let preds = model.predict(&data);
+//! assert_eq!(preds.len(), data.n_samples());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod common;
+pub mod forest;
+pub mod gbdt;
+pub mod knn;
+pub mod svm;
+pub mod tree;
+
+pub use common::{Classifier, ClassifierKind};

@@ -1,0 +1,117 @@
+//! Property tests on the classifier families, driven by random datasets:
+//! no panics on arbitrary finite inputs, predictions always in class
+//! range, structural invariants (tree depth bounds, duplicate-feature
+//! robustness, permutation consistency for kNN).
+
+use gb_classifiers::knn::{KnnClassifier, KnnConfig};
+use gb_classifiers::svm::{LinearSvm, SvmConfig};
+use gb_classifiers::tree::{DecisionTree, TreeConfig};
+use gb_classifiers::{Classifier, ClassifierKind};
+use gb_dataset::Dataset;
+use proptest::prelude::*;
+
+/// Random small labelled dataset: n in [4, 60], p in [1, 5], q in [1, 4].
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (4usize..60, 1usize..6, 1usize..5).prop_flat_map(|(n, p, q)| {
+        (
+            proptest::collection::vec(-100.0f64..100.0, n * p),
+            proptest::collection::vec(0u32..q as u32, n),
+            Just(p),
+            Just(q),
+        )
+            .prop_map(|(feats, labels, p, q)| Dataset::from_parts(feats, labels, p, q))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_family_survives_random_data(data in arb_dataset(), seed in 0u64..100) {
+        for kind in ClassifierKind::EXTENDED {
+            let model = kind.fit_fast(&data, seed);
+            let preds = model.predict(&data);
+            prop_assert_eq!(preds.len(), data.n_samples());
+            prop_assert!(preds.iter().all(|&p| (p as usize) < data.n_classes()));
+        }
+    }
+
+    #[test]
+    fn tree_respects_depth_limit(data in arb_dataset(), depth in 1usize..6) {
+        let cfg = TreeConfig {
+            max_depth: Some(depth),
+            ..TreeConfig::default_with_seed(0)
+        };
+        let tree = DecisionTree::fit(&data, &cfg);
+        prop_assert!(tree.depth() <= depth, "depth {} > limit {}", tree.depth(), depth);
+    }
+
+    #[test]
+    fn unbounded_tree_memorizes_consistent_data(data in arb_dataset()) {
+        // When no two identical feature rows carry different labels, an
+        // unbounded CART must reach 100% training accuracy.
+        let mut seen: std::collections::HashMap<Vec<u64>, u32> = std::collections::HashMap::new();
+        let consistent = (0..data.n_samples()).all(|i| {
+            let key: Vec<u64> = data.row(i).iter().map(|v| v.to_bits()).collect();
+            *seen.entry(key).or_insert_with(|| data.label(i)) == data.label(i)
+        });
+        prop_assume!(consistent);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default_with_seed(0));
+        let preds = tree.predict(&data);
+        prop_assert!(preds.iter().zip(data.labels()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn knn_with_k1_memorizes_distinct_rows(data in arb_dataset()) {
+        // With k = 1 and all-distinct rows, each sample is its own nearest
+        // neighbour at query time -> perfect training predictions.
+        let mut keys: Vec<Vec<u64>> = (0..data.n_samples())
+            .map(|i| data.row(i).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        prop_assume!(keys.len() == data.n_samples());
+        let knn = KnnClassifier::fit(&data, KnnConfig { k: 1 });
+        let preds = knn.predict(&data);
+        prop_assert!(preds.iter().zip(data.labels()).all(|(a, b)| a == b));
+    }
+
+    #[test]
+    fn duplicated_feature_column_never_hurts_tree_predictions(data in arb_dataset()) {
+        // Appending a copy of column 0 must not change what the tree can
+        // express; training accuracy is preserved exactly for CART because
+        // splits on the clone are identical to splits on the original.
+        let p = data.n_features();
+        let mut feats = Vec::with_capacity(data.n_samples() * (p + 1));
+        for i in 0..data.n_samples() {
+            feats.extend_from_slice(data.row(i));
+            feats.push(data.value(i, 0));
+        }
+        let doubled = Dataset::from_parts(feats, data.labels().to_vec(), p + 1, data.n_classes());
+        let base = DecisionTree::fit(&data, &TreeConfig::default_with_seed(0));
+        let wide = DecisionTree::fit(&doubled, &TreeConfig::default_with_seed(0));
+        let base_acc = base
+            .predict(&data)
+            .iter()
+            .zip(data.labels())
+            .filter(|(a, b)| a == b)
+            .count();
+        let wide_acc = wide
+            .predict(&doubled)
+            .iter()
+            .zip(doubled.labels())
+            .filter(|(a, b)| a == b)
+            .count();
+        prop_assert_eq!(base_acc, wide_acc);
+    }
+
+    #[test]
+    fn svm_decision_scores_are_finite(data in arb_dataset(), seed in 0u64..50) {
+        let model = LinearSvm::fit(&data, &SvmConfig { epochs: 4, seed, ..Default::default() });
+        for i in 0..data.n_samples() {
+            let scores = model.decision_function(data.row(i));
+            prop_assert_eq!(scores.len(), data.n_classes());
+            prop_assert!(scores.iter().all(|s| s.is_finite()));
+        }
+    }
+}

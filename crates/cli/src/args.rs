@@ -1,0 +1,334 @@
+//! Hand-rolled argument parsing (no external CLI dependency).
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Sampling methods selectable from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The paper's GBABS (default).
+    Gbabs,
+    /// GGBS baseline.
+    Ggbs,
+    /// IGBS baseline (imbalanced datasets).
+    Igbs,
+    /// Simple random sampling (needs `--ratio`).
+    Srs,
+    /// Stratified sampling (needs `--ratio`).
+    Stratified,
+    /// Systematic sampling (needs `--ratio`).
+    Systematic,
+    /// SMOTE oversampling.
+    Smote,
+    /// Borderline-SMOTE oversampling.
+    BorderlineSmote,
+    /// ADASYN oversampling.
+    Adasyn,
+    /// Tomek-link undersampling.
+    Tomek,
+    /// Condensed nearest neighbour undersampling.
+    Cnn,
+    /// Edited nearest neighbours (Wilson editing).
+    Enn,
+    /// SMOTE followed by Tomek-link cleaning.
+    SmoteTomek,
+    /// SMOTE followed by ENN cleaning.
+    SmoteEnn,
+}
+
+impl Method {
+    /// All methods with their CLI spellings.
+    pub const ALL: [(&'static str, Method); 14] = [
+        ("gbabs", Method::Gbabs),
+        ("ggbs", Method::Ggbs),
+        ("igbs", Method::Igbs),
+        ("srs", Method::Srs),
+        ("stratified", Method::Stratified),
+        ("systematic", Method::Systematic),
+        ("smote", Method::Smote),
+        ("borderline-smote", Method::BorderlineSmote),
+        ("adasyn", Method::Adasyn),
+        ("tomek", Method::Tomek),
+        ("cnn", Method::Cnn),
+        ("enn", Method::Enn),
+        ("smote-tomek", Method::SmoteTomek),
+        ("smote-enn", Method::SmoteEnn),
+    ];
+
+    /// Parses a CLI spelling.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Method> {
+        Method::ALL
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(s))
+            .map(|&(_, m)| m)
+    }
+
+    /// True when the method needs an explicit `--ratio`.
+    #[must_use]
+    pub fn needs_ratio(self) -> bool {
+        matches!(self, Method::Srs | Method::Stratified | Method::Systematic)
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand to run.
+    pub command: Command,
+    /// Input CSV path.
+    pub input: PathBuf,
+    /// Output CSV path (`sample` only).
+    pub output: Option<PathBuf>,
+    /// Sampling method (`sample` only).
+    pub method: Method,
+    /// RD-GBG density tolerance ρ.
+    pub rho: usize,
+    /// Keep ratio for the ratio-based general samplers.
+    pub ratio: Option<f64>,
+    /// Seed for all randomness.
+    pub seed: u64,
+}
+
+/// Subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Sample a CSV to a new CSV.
+    Sample,
+    /// Print a granulation report.
+    Inspect,
+}
+
+/// Parse failures, rendered to the user with usage text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// No input path given.
+    MissingInput,
+    /// `sample` without `-o`.
+    MissingOutput,
+    /// Unknown flag.
+    UnknownFlag(String),
+    /// A flag without its value, or a value that does not parse.
+    BadValue(String),
+    /// `--method` value not recognized.
+    UnknownMethod(String),
+    /// Ratio-based method without `--ratio`, or ratio out of (0, 1].
+    BadRatio,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "missing subcommand (sample | inspect)"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
+            ParseError::MissingInput => write!(f, "missing input CSV path"),
+            ParseError::MissingOutput => write!(f, "sample requires -o/--output"),
+            ParseError::UnknownFlag(s) => write!(f, "unknown flag '{s}'"),
+            ParseError::BadValue(s) => write!(f, "bad or missing value for '{s}'"),
+            ParseError::UnknownMethod(m) => {
+                let names: Vec<&str> = Method::ALL.iter().map(|(n, _)| *n).collect();
+                write!(f, "unknown method '{m}' (expected one of {})", names.join(", "))
+            }
+            ParseError::BadRatio => {
+                write!(f, "this method requires --ratio in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+usage:
+  gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S]
+  gbabs inspect INPUT.csv [--rho N] [--seed S]
+
+methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
+         smote, borderline-smote, adasyn, tomek, cnn, enn,
+         smote-tomek, smote-enn
+         (srs/stratified/systematic require --ratio)
+
+options:
+  -o, --output PATH   output CSV (sample)
+  --method M          sampling method (default gbabs)
+  --rho N             RD-GBG density tolerance (default 5)
+  --ratio R           keep ratio in (0,1] for the general samplers
+  --seed S            RNG seed (default 42)
+";
+
+/// Parses `args` (without the program name).
+///
+/// # Errors
+/// Returns a [`ParseError`] describing the first problem found.
+pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
+    let mut it = args.iter();
+    let command = match it.next().map(String::as_str) {
+        None => return Err(ParseError::MissingCommand),
+        Some("sample") => Command::Sample,
+        Some("inspect") => Command::Inspect,
+        Some(other) => return Err(ParseError::UnknownCommand(other.to_string())),
+    };
+    let mut cli = Cli {
+        command,
+        input: PathBuf::new(),
+        output: None,
+        method: Method::Gbabs,
+        rho: 5,
+        ratio: None,
+        seed: 42,
+    };
+    let mut have_input = false;
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ParseError::BadValue(flag.to_string()))
+        };
+        match arg.as_str() {
+            "-o" | "--output" => cli.output = Some(PathBuf::from(value(arg)?)),
+            "--method" => {
+                let v = value(arg)?;
+                cli.method =
+                    Method::from_str_opt(&v).ok_or(ParseError::UnknownMethod(v))?;
+            }
+            "--rho" => {
+                cli.rho = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+            }
+            "--ratio" => {
+                cli.ratio = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ParseError::BadValue(arg.clone()))?,
+                );
+            }
+            "--seed" => {
+                cli.seed = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+            }
+            flag if flag.starts_with('-') => {
+                return Err(ParseError::UnknownFlag(flag.to_string()))
+            }
+            path => {
+                if have_input {
+                    return Err(ParseError::UnknownFlag(path.to_string()));
+                }
+                cli.input = PathBuf::from(path);
+                have_input = true;
+            }
+        }
+    }
+    if !have_input {
+        return Err(ParseError::MissingInput);
+    }
+    if cli.command == Command::Sample && cli.output.is_none() {
+        return Err(ParseError::MissingOutput);
+    }
+    if cli.method.needs_ratio()
+        && !cli.ratio.is_some_and(|r| r > 0.0 && r <= 1.0)
+    {
+        return Err(ParseError::BadRatio);
+    }
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_minimal_sample() {
+        let cli = parse(&argv("sample in.csv -o out.csv")).unwrap();
+        assert_eq!(cli.command, Command::Sample);
+        assert_eq!(cli.input, PathBuf::from("in.csv"));
+        assert_eq!(cli.output, Some(PathBuf::from("out.csv")));
+        assert_eq!(cli.method, Method::Gbabs);
+        assert_eq!(cli.rho, 5);
+        assert_eq!(cli.seed, 42);
+    }
+
+    #[test]
+    fn parses_inspect_with_rho() {
+        let cli = parse(&argv("inspect data.csv --rho 9 --seed 7")).unwrap();
+        assert_eq!(cli.command, Command::Inspect);
+        assert_eq!(cli.rho, 9);
+        assert_eq!(cli.seed, 7);
+        assert!(cli.output.is_none());
+    }
+
+    #[test]
+    fn parses_every_method_name() {
+        for (name, m) in Method::ALL {
+            let line = if m.needs_ratio() {
+                format!("sample in.csv -o out.csv --method {name} --ratio 0.5")
+            } else {
+                format!("sample in.csv -o out.csv --method {name}")
+            };
+            let cli = parse(&argv(&line)).unwrap();
+            assert_eq!(cli.method, m, "{name}");
+        }
+    }
+
+    #[test]
+    fn sample_without_output_rejected() {
+        assert_eq!(parse(&argv("sample in.csv")), Err(ParseError::MissingOutput));
+    }
+
+    #[test]
+    fn ratio_methods_require_valid_ratio() {
+        assert_eq!(
+            parse(&argv("sample in.csv -o o.csv --method srs")),
+            Err(ParseError::BadRatio)
+        );
+        assert_eq!(
+            parse(&argv("sample in.csv -o o.csv --method srs --ratio 1.5")),
+            Err(ParseError::BadRatio)
+        );
+        assert!(parse(&argv("sample in.csv -o o.csv --method srs --ratio 0.3")).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_bits() {
+        assert_eq!(
+            parse(&argv("frobnicate in.csv")),
+            Err(ParseError::UnknownCommand("frobnicate".into()))
+        );
+        assert_eq!(
+            parse(&argv("sample in.csv -o o.csv --wat")),
+            Err(ParseError::UnknownFlag("--wat".into()))
+        );
+        assert_eq!(
+            parse(&argv("sample in.csv -o o.csv --method astrology")),
+            Err(ParseError::UnknownMethod("astrology".into()))
+        );
+        assert_eq!(
+            parse(&argv("sample in.csv extra.csv -o o.csv")),
+            Err(ParseError::UnknownFlag("extra.csv".into()))
+        );
+        assert_eq!(parse(&argv("")), Err(ParseError::MissingCommand));
+        assert_eq!(parse(&argv("sample -o o.csv")), Err(ParseError::MissingInput));
+    }
+
+    #[test]
+    fn bad_numeric_values_rejected() {
+        assert_eq!(
+            parse(&argv("inspect in.csv --rho banana")),
+            Err(ParseError::BadValue("--rho".into()))
+        );
+        assert_eq!(
+            parse(&argv("inspect in.csv --seed")),
+            Err(ParseError::BadValue("--seed".into()))
+        );
+    }
+}

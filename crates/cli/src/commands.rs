@@ -1,0 +1,209 @@
+//! Subcommand implementations.
+
+use crate::args::{Cli, Command, Method};
+use gb_dataset::io::{read_csv, write_csv, CsvOptions};
+use gb_dataset::Dataset;
+use gb_sampling::{
+    Adasyn, BorderlineSmote, CondensedNn, EditedNn, Ggbs, Igbs, Smote, SmoteEnn, SmoteTomek,
+    Srs, Stratified, Systematic, TomekLinks,
+};
+use gbabs::{gbabs, GbabsSampler, RdGbgConfig, Sampler};
+use std::fmt::Write as _;
+
+/// Builds the requested sampler. `ratio` must be validated by the parser
+/// for the ratio-based methods.
+#[must_use]
+pub fn build_sampler(method: Method, rho: usize, ratio: Option<f64>) -> Box<dyn Sampler> {
+    match method {
+        Method::Gbabs => Box::new(GbabsSampler {
+            density_tolerance: rho,
+        }),
+        Method::Ggbs => Box::new(Ggbs::default()),
+        Method::Igbs => Box::new(Igbs::default()),
+        Method::Srs => Box::new(Srs::new(ratio.expect("parser enforces ratio"))),
+        Method::Stratified => Box::new(Stratified::new(ratio.expect("parser enforces ratio"))),
+        Method::Systematic => Box::new(Systematic::new(ratio.expect("parser enforces ratio"))),
+        Method::Smote => Box::new(Smote::default()),
+        Method::BorderlineSmote => Box::new(BorderlineSmote::default()),
+        Method::Adasyn => Box::new(Adasyn::default()),
+        Method::Tomek => Box::new(TomekLinks::default()),
+        Method::Cnn => Box::new(CondensedNn::new(16)),
+        Method::Enn => Box::new(EditedNn::default()),
+        Method::SmoteTomek => Box::new(SmoteTomek::default()),
+        Method::SmoteEnn => Box::new(SmoteEnn::default()),
+    }
+}
+
+/// Runs a parsed command line. Returns the human-readable report that
+/// `main` prints (side effects: reads the input CSV, and for `sample`
+/// writes the output CSV).
+///
+/// # Errors
+/// Any I/O or CSV-format failure, stringified for the user.
+pub fn run(cli: &Cli) -> Result<String, String> {
+    let data = read_csv(&cli.input, &CsvOptions::default())
+        .map_err(|e| format!("{}: {e:?}", cli.input.display()))?;
+    match cli.command {
+        Command::Sample => sample(cli, &data),
+        Command::Inspect => Ok(inspect(cli, &data)),
+    }
+}
+
+fn sample(cli: &Cli, data: &Dataset) -> Result<String, String> {
+    let sampler = build_sampler(cli.method, cli.rho, cli.ratio);
+    let out = sampler.sample(data, cli.seed);
+    if out.dataset.n_samples() == 0 {
+        return Err(format!(
+            "{} produced an empty sample (single-class input?); nothing written",
+            sampler.name()
+        ));
+    }
+    let path = cli.output.as_ref().expect("parser enforces output");
+    write_csv(&out.dataset, path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{}: {} rows -> {} rows (ratio {:.3})",
+        sampler.name(),
+        data.n_samples(),
+        out.dataset.n_samples(),
+        out.dataset.n_samples() as f64 / data.n_samples().max(1) as f64,
+    );
+    let _ = writeln!(report, "wrote {}", path.display());
+    Ok(report)
+}
+
+fn inspect(cli: &Cli, data: &Dataset) -> String {
+    let cfg = RdGbgConfig {
+        density_tolerance: cli.rho,
+        seed: cli.seed,
+        ..RdGbgConfig::default()
+    };
+    let summary = gb_dataset::summary::describe(data);
+    let result = gbabs(data, &cfg);
+    let balls = &result.model.balls;
+    let singleton = balls.iter().filter(|b| b.radius == 0.0).count();
+    let largest = balls.iter().map(gbabs::GranularBall::len).max().unwrap_or(0);
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{}: {} samples x {} features, {} classes (IR {:.2})",
+        data.name(),
+        data.n_samples(),
+        data.n_features(),
+        data.n_classes(),
+        data.imbalance_ratio(),
+    );
+    let _ = writeln!(report, "class counts: {:?}", summary.class_counts);
+    let _ = writeln!(
+        report,
+        "{:<6} {:<11} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "col", "kind", "min", "max", "mean", "std", "distinct"
+    );
+    for c in &summary.columns {
+        let _ = writeln!(
+            report,
+            "f{:<5} {:<11} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>9}{}",
+            c.index,
+            format!("{:?}", c.kind),
+            c.min,
+            c.max,
+            c.mean,
+            c.std,
+            c.distinct,
+            if c.is_constant() { "  (constant)" } else { "" },
+        );
+    }
+    let _ = writeln!(
+        report,
+        "RD-GBG (rho = {}): {} balls ({} singleton, largest {}), {} iterations",
+        cli.rho,
+        balls.len(),
+        singleton,
+        largest,
+        result.model.iterations,
+    );
+    let _ = writeln!(
+        report,
+        "noise detected: {} rows ({:.1}%)",
+        result.model.noise.len(),
+        100.0 * result.model.noise.len() as f64 / data.n_samples().max(1) as f64,
+    );
+    let _ = writeln!(
+        report,
+        "borderline sample: {} rows (ratio {:.3})",
+        result.sampled_rows.len(),
+        result.sampling_ratio(data),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use gb_dataset::catalog::DatasetId;
+    use std::path::PathBuf;
+
+    fn write_fixture(name: &str) -> PathBuf {
+        let data = DatasetId::S5.generate(0.05, 3);
+        let path = std::env::temp_dir().join(name);
+        write_csv(&data, &path).expect("fixture");
+        path
+    }
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn sample_roundtrip_writes_smaller_csv() {
+        let input = write_fixture("gbabs_cli_test_in.csv");
+        let output = std::env::temp_dir().join("gbabs_cli_test_out.csv");
+        let cli = parse(&argv(&format!(
+            "sample {} -o {} --rho 5 --seed 1",
+            input.display(),
+            output.display()
+        )))
+        .unwrap();
+        let report = run(&cli).expect("sample runs");
+        assert!(report.contains("GBABS"), "{report}");
+        let sampled = read_csv(&output, &CsvOptions::default()).unwrap();
+        let original = read_csv(&input, &CsvOptions::default()).unwrap();
+        assert!(sampled.n_samples() < original.n_samples());
+        assert_eq!(sampled.n_features(), original.n_features());
+    }
+
+    #[test]
+    fn every_method_builds_and_runs() {
+        let input = write_fixture("gbabs_cli_methods_in.csv");
+        for (name, m) in Method::ALL {
+            let output = std::env::temp_dir().join(format!("gbabs_cli_m_{name}.csv"));
+            let ratio = if m.needs_ratio() { "--ratio 0.5" } else { "" };
+            let cli = parse(&argv(&format!(
+                "sample {} -o {} --method {name} {ratio}",
+                input.display(),
+                output.display()
+            )))
+            .unwrap();
+            let report = run(&cli).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.contains("rows"), "{name}: {report}");
+        }
+    }
+
+    #[test]
+    fn inspect_reports_granulation() {
+        let input = write_fixture("gbabs_cli_inspect_in.csv");
+        let cli = parse(&argv(&format!("inspect {}", input.display()))).unwrap();
+        let report = run(&cli).expect("inspect runs");
+        assert!(report.contains("RD-GBG"), "{report}");
+        assert!(report.contains("borderline sample"), "{report}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let cli = parse(&argv("inspect /nonexistent/nope.csv")).unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.contains("nope.csv"), "{err}");
+    }
+}

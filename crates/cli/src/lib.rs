@@ -1,0 +1,21 @@
+//! # gbabs-cli
+//!
+//! Library backing the `gbabs` command-line tool: argument parsing and the
+//! two subcommands, kept out of `main.rs` so they are unit-testable.
+//!
+//! ```text
+//! gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S]
+//! gbabs inspect INPUT.csv [--rho N] [--seed S]
+//! ```
+//!
+//! `sample` runs a sampling method over a CSV (last column = label) and
+//! writes the sampled CSV; `inspect` prints the RD-GBG granulation report
+//! (ball census, noise rows, borderline share) without writing anything.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Cli, Command, Method, ParseError};

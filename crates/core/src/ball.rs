@@ -1,0 +1,175 @@
+//! The granular ball (GB).
+//!
+//! A GB `gb = (O, (c, r, l))` covers a set of samples `O` with a center `c`,
+//! radius `r` and class label `l`. Under RD-GBG the center is an actual
+//! sample and the ball is *pure* (every member shares `l`) and geometrically
+//! exact (every member lies within `r` of `c`) — the paper's fix for the
+//! classic GBG definition (Eq. 1) that lets samples fall outside their ball.
+//!
+//! The same struct also serves the purity-threshold k-division GBG used by
+//! the GGBS/IGBS baselines, where the center is a centroid (`center_row` is
+//! `None`) and `purity` may be below 1.
+
+use gb_dataset::distance::euclidean;
+use gb_dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// A granular ball over rows of some dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularBall {
+    /// Center coordinates in feature space.
+    pub center: Vec<f64>,
+    /// Ball radius (0 for singleton/orphan balls).
+    pub radius: f64,
+    /// Majority (RD-GBG: unanimous) class label of the members.
+    pub label: u32,
+    /// Row indices of the member samples (center sample included when the
+    /// center is a sample).
+    pub members: Vec<usize>,
+    /// Row index of the center when the center is an actual sample
+    /// (RD-GBG); `None` when the center is a computed centroid (k-division
+    /// GBG per Eq. 1).
+    pub center_row: Option<usize>,
+    /// Fraction of members whose label equals `label` (1.0 for RD-GBG).
+    pub purity: f64,
+}
+
+impl GranularBall {
+    /// Number of member samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ball has no members (never produced by RD-GBG).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Distance from this ball's center to a point.
+    #[must_use]
+    pub fn center_distance(&self, point: &[f64]) -> f64 {
+        euclidean(&self.center, point)
+    }
+
+    /// True when `point` lies within the ball (distance ≤ radius + `eps`).
+    #[must_use]
+    pub fn contains_point(&self, point: &[f64], eps: f64) -> bool {
+        self.center_distance(point) <= self.radius + eps
+    }
+
+    /// True when this ball's sphere overlaps `other`'s (center distance
+    /// strictly less than the radius sum minus `eps`).
+    #[must_use]
+    pub fn overlaps(&self, other: &GranularBall, eps: f64) -> bool {
+        self.center_distance(&other.center) < self.radius + other.radius - eps
+    }
+
+    /// Recomputes purity against a dataset's labels (diagnostic).
+    #[must_use]
+    pub fn measured_purity(&self, data: &Dataset) -> f64 {
+        if self.members.is_empty() {
+            return 1.0;
+        }
+        let hits = self
+            .members
+            .iter()
+            .filter(|&&i| data.label(i) == self.label)
+            .count();
+        hits as f64 / self.members.len() as f64
+    }
+
+    /// The member whose coordinate along `dim` is largest / smallest
+    /// (`max = true` / `false`). Returns `None` for empty balls.
+    #[must_use]
+    pub fn extreme_member(&self, data: &Dataset, dim: usize, max: bool) -> Option<usize> {
+        self.members.iter().copied().reduce(|best, cand| {
+            let b = data.value(best, dim);
+            let c = data.value(cand, dim);
+            let better = if max { c > b } else { c < b };
+            if better || (c == b && cand < best) {
+                cand
+            } else {
+                best
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        Dataset::from_parts(
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 2.0, 5.0, 5.0],
+            vec![0, 0, 0, 1],
+            2,
+            2,
+        )
+    }
+
+    fn ball() -> GranularBall {
+        GranularBall {
+            center: vec![0.0, 0.0],
+            radius: 2.0,
+            label: 0,
+            members: vec![0, 1, 2],
+            center_row: Some(0),
+            purity: 1.0,
+        }
+    }
+
+    #[test]
+    fn containment_and_len() {
+        let b = ball();
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert!(b.contains_point(&[0.0, 2.0], 1e-12));
+        assert!(!b.contains_point(&[0.0, 2.1], 1e-12));
+    }
+
+    #[test]
+    fn overlap_geometry() {
+        let a = ball();
+        let mut b = ball();
+        b.center = vec![5.0, 0.0];
+        b.radius = 2.9;
+        assert!(!a.overlaps(&b, 1e-9)); // 2.0 + 2.9 < 5.0
+        b.radius = 3.5;
+        assert!(a.overlaps(&b, 1e-9)); // 2.0 + 3.5 > 5.0
+    }
+
+    #[test]
+    fn tangent_balls_do_not_overlap() {
+        let a = ball();
+        let mut b = ball();
+        b.center = vec![4.0, 0.0];
+        b.radius = 2.0; // exactly tangent
+        assert!(!a.overlaps(&b, 1e-9));
+    }
+
+    #[test]
+    fn purity_measurement() {
+        let d = data();
+        let mut b = ball();
+        assert_eq!(b.measured_purity(&d), 1.0);
+        b.members.push(3); // heterogeneous member
+        assert!((b.measured_purity(&d) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_members() {
+        let d = data();
+        let b = ball();
+        assert_eq!(b.extreme_member(&d, 0, true), Some(1)); // x-max at (1,0)
+        assert_eq!(b.extreme_member(&d, 1, true), Some(2)); // y-max at (0,2)
+        assert_eq!(b.extreme_member(&d, 0, false), Some(0)); // tie (0,0)/(0,2) -> lower idx
+        let empty = GranularBall {
+            members: vec![],
+            ..ball()
+        };
+        assert_eq!(empty.extreme_member(&d, 0, true), None);
+    }
+}

@@ -1,0 +1,657 @@
+//! RD-GBG — Restricted Diffusion-based Granular-Ball Generation
+//! (Algorithm 1 of the paper).
+//!
+//! The dataset starts as the *undivided set* `U`. Each global iteration
+//! draws one random candidate center per class still present in `U − L`
+//! (largest classes first), vets each candidate with the local-density rules
+//! (Eq. 2), grows a pure ball around every surviving center by diffusion
+//! stopped at the first heterogeneous sample (Eq. 3) and at the surface of
+//! every previously built ball (Eqs. 4–6), and removes the covered samples
+//! from `U`. Iteration ends when every undivided sample is low-density
+//! (`U ⊆ L`); the leftovers become radius-0 *orphan* balls.
+//!
+//! Properties guaranteed by construction (and property-tested):
+//! * every ball is pure (purity 1.0),
+//! * balls never overlap,
+//! * every input row ends up in exactly one ball or in the detected-noise
+//!   list.
+
+use crate::ball::GranularBall;
+use gb_dataset::distance::euclidean;
+use gb_dataset::rng::rng_from_seed;
+use gb_dataset::Dataset;
+use rand::Rng;
+
+/// Configuration for RD-GBG.
+#[derive(Debug, Clone, Copy)]
+pub struct RdGbgConfig {
+    /// Density tolerance ρ: size of the neighbourhood inspected when a
+    /// candidate center's nearest neighbour is heterogeneous. The paper
+    /// sweeps 3–19 (Figs. 10–11) and uses 5 as the working value.
+    pub density_tolerance: usize,
+    /// Seed for candidate-center selection.
+    pub seed: u64,
+    /// Enforce the conflict-radius restriction (Eqs. 4–6). Disabling it is
+    /// an *ablation* of the paper's contribution 1: balls grow to their
+    /// locally consistent radius regardless of previously built balls, so
+    /// spheres may overlap (samples are still claimed exactly once).
+    pub restrict_overlap: bool,
+    /// Apply the local-density noise-removal rules (Eq. 2). Disabling it is
+    /// an *ablation* of contribution 2: candidates whose nearest neighbour
+    /// is heterogeneous are routed to the low-density set instead of
+    /// triggering removals.
+    pub detect_noise: bool,
+}
+
+impl Default for RdGbgConfig {
+    fn default() -> Self {
+        Self {
+            density_tolerance: 5,
+            seed: 0,
+            restrict_overlap: true,
+            detect_noise: true,
+        }
+    }
+}
+
+impl RdGbgConfig {
+    /// Paper-default config with an explicit ρ.
+    #[must_use]
+    pub fn with_rho(density_tolerance: usize) -> Self {
+        Self {
+            density_tolerance,
+            ..Self::default()
+        }
+    }
+}
+
+/// Output of RD-GBG: the ball cover plus bookkeeping.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RdGbgModel {
+    /// All generated balls (diffusion balls first, then orphan balls).
+    pub balls: Vec<GranularBall>,
+    /// Rows removed as detected class noise (member of no ball).
+    pub noise: Vec<usize>,
+    /// Number of balls created in the orphan phase (radius 0).
+    pub orphan_count: usize,
+    /// Number of global iterations executed.
+    pub iterations: usize,
+}
+
+impl RdGbgModel {
+    /// Ball centers with labels, in generation order — the center set `C`
+    /// consumed by GBABS.
+    #[must_use]
+    pub fn centers(&self) -> Vec<(&[f64], u32)> {
+        self.balls
+            .iter()
+            .map(|b| (b.center.as_slice(), b.label))
+            .collect()
+    }
+
+    /// Total number of samples covered by balls.
+    #[must_use]
+    pub fn covered_samples(&self) -> usize {
+        self.balls.iter().map(GranularBall::len).sum()
+    }
+}
+
+/// Internal per-candidate distance scan against the current `U`.
+struct Scan {
+    /// `(row, distance)` for every row in `U` except the candidate itself.
+    dists: Vec<(usize, f64)>,
+}
+
+impl Scan {
+    fn new(data: &Dataset, u: &[usize], center_row: usize) -> Self {
+        let c = data.row(center_row);
+        let dists = u
+            .iter()
+            .copied()
+            .filter(|&row| row != center_row)
+            .map(|row| (row, euclidean(data.row(row), c)))
+            .collect();
+        Self { dists }
+    }
+
+    fn exclude(&mut self, row: usize) {
+        self.dists.retain(|&(r, _)| r != row);
+    }
+
+    /// Nearest row by `(distance, row)` order.
+    fn nearest(&self) -> Option<(usize, f64)> {
+        self.dists
+            .iter()
+            .copied()
+            .min_by(|a, b| cmp_dist(*a, *b))
+    }
+
+    /// The `k` nearest rows (ascending), via a bounded insertion buffer.
+    fn k_nearest(&self, k: usize) -> Vec<(usize, f64)> {
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+        for &cand in &self.dists {
+            let pos = best.partition_point(|&b| cmp_dist(b, cand) == std::cmp::Ordering::Less);
+            if pos < k {
+                best.insert(pos, cand);
+                best.truncate(k);
+            }
+        }
+        best
+    }
+
+    /// Minimum distance to a heterogeneous row, or `None` if all rows are
+    /// homogeneous with `label`.
+    fn nearest_heterogeneous(&self, data: &Dataset, label: u32) -> Option<f64> {
+        self.dists
+            .iter()
+            .filter(|&&(row, _)| data.label(row) != label)
+            .map(|&(_, d)| d)
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+    }
+
+    /// Largest distance strictly below `bound` (locally consistent radius
+    /// support, Eq. 3), or 0 when no row qualifies.
+    fn max_below(&self, bound: f64) -> f64 {
+        self.dists
+            .iter()
+            .map(|&(_, d)| d)
+            .filter(|&d| d < bound)
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest distance ≤ `bound` (restricted maximum consistent radius,
+    /// Eq. 6), or 0 when no row qualifies.
+    fn max_at_most(&self, bound: f64) -> f64 {
+        self.dists
+            .iter()
+            .map(|&(_, d)| d)
+            .filter(|&d| d <= bound)
+            .fold(0.0, f64::max)
+    }
+
+    /// Rows within `radius` of the center.
+    fn within(&self, radius: f64) -> Vec<usize> {
+        self.dists
+            .iter()
+            .filter(|&&(_, d)| d <= radius)
+            .map(|&(row, _)| row)
+            .collect()
+    }
+}
+
+fn cmp_dist(a: (usize, f64), b: (usize, f64)) -> std::cmp::Ordering {
+    a.1.partial_cmp(&b.1)
+        .expect("finite distances")
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// What the local-density detection (Eq. 2 rules) decided for a candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CenterVerdict {
+    /// Candidate passes; optional row to delete first (the `h == 1` noisy
+    /// nearest neighbour).
+    Accept { noisy_neighbor: Option<usize> },
+    /// Candidate itself is class noise (`h == ρ`): remove it from `U`.
+    CandidateIsNoise,
+    /// Candidate is a low-density sample (`1 < h < ρ`): move to `L`.
+    LowDensity,
+}
+
+/// Applies the paper's local-density center detection rules to a candidate
+/// whose distances have already been scanned.
+fn detect_center(
+    data: &Dataset,
+    scan: &Scan,
+    label: u32,
+    density_tolerance: usize,
+) -> CenterVerdict {
+    let Some((nn_row, _)) = scan.nearest() else {
+        // No other undivided sample: nothing to diffuse into. Treat as
+        // low-density; the orphan phase will pick it up.
+        return CenterVerdict::LowDensity;
+    };
+    if data.label(nn_row) == label {
+        return CenterVerdict::Accept {
+            noisy_neighbor: None,
+        };
+    }
+    // Nearest neighbour is heterogeneous: inspect the ρ-neighbourhood. When
+    // fewer than ρ rows remain the neighbourhood shrinks accordingly.
+    let hood = scan.k_nearest(density_tolerance);
+    let effective = hood.len();
+    let h = hood
+        .iter()
+        .filter(|&&(row, _)| data.label(row) != label)
+        .count();
+    if h == effective {
+        CenterVerdict::CandidateIsNoise
+    } else if h == 1 {
+        CenterVerdict::Accept {
+            noisy_neighbor: Some(nn_row),
+        }
+    } else {
+        CenterVerdict::LowDensity
+    }
+}
+
+/// Runs RD-GBG over `data`.
+///
+/// # Panics
+/// Panics if `density_tolerance < 2` (the rules `h == 1`, `1 < h < ρ`,
+/// `h == ρ` need ρ ≥ 2 to be distinguishable) or the dataset is empty.
+#[must_use]
+pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
+    assert!(
+        config.density_tolerance >= 2,
+        "density tolerance must be at least 2"
+    );
+    assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
+
+    let n = data.n_samples();
+    let mut in_u = vec![true; n];
+    let mut low_density = vec![false; n];
+    let mut balls: Vec<GranularBall> = Vec::new();
+    let mut noise: Vec<usize> = Vec::new();
+    let mut rng = rng_from_seed(config.seed);
+    let mut iterations = 0usize;
+
+    loop {
+        // T = U − L, grouped per class.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+        for row in 0..n {
+            if in_u[row] && !low_density[row] {
+                groups[data.label(row) as usize].push(row);
+            }
+        }
+        // One random candidate per non-empty class, larger classes first.
+        let mut order: Vec<usize> = (0..data.n_classes())
+            .filter(|&c| !groups[c].is_empty())
+            .collect();
+        if order.is_empty() {
+            break; // U ⊆ L
+        }
+        order.sort_by_key(|&c| std::cmp::Reverse(groups[c].len()));
+        let candidates: Vec<usize> = order
+            .iter()
+            .map(|&c| groups[c][rng.gen_range(0..groups[c].len())])
+            .collect();
+        iterations += 1;
+
+        for center_row in candidates {
+            // A ball built earlier in this iteration may have absorbed the
+            // candidate, or detection may have deleted it.
+            if !in_u[center_row] || low_density[center_row] {
+                continue;
+            }
+            let u: Vec<usize> = (0..n).filter(|&r| in_u[r]).collect();
+            let label = data.label(center_row);
+            let mut scan = Scan::new(data, &u, center_row);
+
+            let verdict = if config.detect_noise {
+                detect_center(data, &scan, label, config.density_tolerance)
+            } else {
+                // Ablation: no removals — a heterogeneous nearest neighbour
+                // simply routes the candidate to the low-density set.
+                match scan.nearest() {
+                    Some((nn_row, _)) if data.label(nn_row) == label => CenterVerdict::Accept {
+                        noisy_neighbor: None,
+                    },
+                    _ => CenterVerdict::LowDensity,
+                }
+            };
+            match verdict {
+                CenterVerdict::CandidateIsNoise => {
+                    in_u[center_row] = false;
+                    noise.push(center_row);
+                    continue;
+                }
+                CenterVerdict::LowDensity => {
+                    low_density[center_row] = true;
+                    continue;
+                }
+                CenterVerdict::Accept { noisy_neighbor } => {
+                    if let Some(bad) = noisy_neighbor {
+                        in_u[bad] = false;
+                        noise.push(bad);
+                        scan.exclude(bad);
+                    }
+                }
+            }
+
+            // Locally consistent radius (Eq. 3): grow until the first
+            // heterogeneous sample; unlimited if none remains.
+            let cr = match scan.nearest_heterogeneous(data, label) {
+                Some(d_het) => scan.max_below(d_het),
+                None => scan.max_at_most(f64::INFINITY),
+            };
+            // Conflict radius (Eq. 4) against every previous ball; the
+            // ablation drops the restriction (balls may then overlap).
+            let c = data.row(center_row);
+            let rconf = if config.restrict_overlap {
+                balls
+                    .iter()
+                    .map(|b| (euclidean(&b.center, c) - b.radius).max(0.0))
+                    .fold(f64::INFINITY, f64::min)
+            } else {
+                f64::INFINITY
+            };
+            // Final radius (Eq. 5 / Eq. 6).
+            let r = if cr <= rconf {
+                cr
+            } else {
+                scan.max_at_most(rconf)
+            };
+
+            if r > 0.0 {
+                let mut members = scan.within(r);
+                members.push(center_row);
+                members.sort_unstable();
+                for &m in &members {
+                    debug_assert!(in_u[m]);
+                    debug_assert_eq!(
+                        data.label(m),
+                        label,
+                        "restricted diffusion must yield pure balls"
+                    );
+                    in_u[m] = false;
+                }
+                balls.push(GranularBall {
+                    center: c.to_vec(),
+                    radius: r,
+                    label,
+                    members,
+                    center_row: Some(center_row),
+                    purity: 1.0,
+                });
+            } else {
+                // Center sits on the edge of U; defer to a later iteration
+                // or the orphan phase.
+                low_density[center_row] = true;
+            }
+        }
+    }
+
+    // Orphan phase: every remaining undivided (all low-density) sample
+    // becomes its own radius-0 ball, honouring the completeness criterion.
+    let mut orphan_count = 0usize;
+    for (row, _) in in_u.iter().enumerate().filter(|(_, &alive)| alive) {
+        balls.push(GranularBall {
+            center: data.row(row).to_vec(),
+            radius: 0.0,
+            label: data.label(row),
+            members: vec![row],
+            center_row: Some(row),
+            purity: 1.0,
+        });
+        orphan_count += 1;
+    }
+
+    RdGbgModel {
+        balls,
+        noise,
+        orphan_count,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    fn two_clusters() -> Dataset {
+        // class 0 near origin, class 1 near (10, 10): trivially separable
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            feats.push((i % 5) as f64 * 0.1);
+            feats.push((i / 5) as f64 * 0.1);
+            labels.push(0);
+        }
+        for i in 0..20 {
+            feats.push(10.0 + (i % 5) as f64 * 0.1);
+            feats.push(10.0 + (i / 5) as f64 * 0.1);
+            labels.push(1);
+        }
+        Dataset::from_parts(feats, labels, 2, 2)
+    }
+
+    fn check_invariants(data: &Dataset, model: &RdGbgModel) {
+        // purity
+        for b in &model.balls {
+            assert_eq!(b.measured_purity(data), 1.0, "impure ball");
+            assert!(!b.is_empty());
+        }
+        // exact partition of non-noise rows
+        let mut seen = vec![0usize; data.n_samples()];
+        for b in &model.balls {
+            for &m in &b.members {
+                seen[m] += 1;
+            }
+        }
+        for &x in &model.noise {
+            seen[x] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "cover + noise must partition rows: {seen:?}"
+        );
+        // geometric membership
+        for b in &model.balls {
+            for &m in &b.members {
+                assert!(
+                    b.contains_point(data.row(m), 1e-9),
+                    "member escapes its ball"
+                );
+            }
+        }
+        // pairwise non-overlap
+        for (i, a) in model.balls.iter().enumerate() {
+            for b in model.balls.iter().skip(i + 1) {
+                assert!(!a.overlaps(b, 1e-9), "balls overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn separable_clusters_yield_few_large_balls() {
+        let data = two_clusters();
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        check_invariants(&data, &model);
+        assert!(model.noise.is_empty(), "no noise in clean data");
+        // the two clusters should be covered compactly
+        assert!(
+            model.balls.len() <= 10,
+            "expected compact cover, got {} balls",
+            model.balls.len()
+        );
+        assert!(model.balls.iter().any(|b| b.len() >= 10));
+    }
+
+    #[test]
+    fn invariants_on_catalog_samples() {
+        for id in [DatasetId::S5, DatasetId::S2, DatasetId::S6] {
+            let data = id.generate(0.05, 3);
+            let model = rd_gbg(&data, &RdGbgConfig::default());
+            check_invariants(&data, &model);
+        }
+    }
+
+    #[test]
+    fn isolated_noise_point_is_detected() {
+        let mut data = two_clusters();
+        // a lone class-1 sample deep inside class-0 territory
+        data.push_row(&[0.2, 0.2], 1);
+        let model = rd_gbg(
+            &data,
+            &RdGbgConfig {
+                density_tolerance: 5,
+                seed: 9,
+                ..Default::default()
+            },
+        );
+        check_invariants(&data, &model);
+        assert!(
+            model.noise.contains(&40),
+            "planted noise row 40 not detected; noise = {:?}",
+            model.noise
+        );
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let data = DatasetId::S5.generate(0.03, 1);
+        let cfg = RdGbgConfig {
+            density_tolerance: 5,
+            seed: 123,
+            ..Default::default()
+        };
+        let a = rd_gbg(&data, &cfg);
+        let b = rd_gbg(&data, &cfg);
+        assert_eq!(a.balls.len(), b.balls.len());
+        for (x, y) in a.balls.iter().zip(b.balls.iter()) {
+            assert_eq!(x.members, y.members);
+            assert_eq!(x.radius, y.radius);
+        }
+    }
+
+    #[test]
+    fn single_class_dataset_gets_one_big_ball_cover() {
+        let feats: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let data = Dataset::from_parts(feats, vec![0; 30], 1, 1);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        check_invariants(&data, &model);
+        assert!(model.noise.is_empty());
+        // with no heterogeneous samples, diffusion is unbounded: 1 ball
+        assert_eq!(model.balls.len(), 1);
+        assert_eq!(model.balls[0].len(), 30);
+    }
+
+    #[test]
+    fn orphan_balls_have_radius_zero_and_one_member() {
+        // two classes interleaved so tightly that most centers fail the
+        // density test -> plenty of orphans
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30 {
+            feats.push(i as f64 * 0.1);
+            labels.push((i % 2) as u32);
+        }
+        let data = Dataset::from_parts(feats, labels, 1, 2);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        check_invariants(&data, &model);
+        for b in model.balls.iter().filter(|b| b.radius == 0.0) {
+            assert_eq!(b.len(), 1);
+        }
+        assert!(model.orphan_count > 0);
+    }
+
+    #[test]
+    fn overlap_ablation_produces_overlaps_but_stays_pure() {
+        use crate::diagnostics::count_overlaps;
+        let data = DatasetId::S5.generate(0.05, 4);
+        let restricted = rd_gbg(&data, &RdGbgConfig::default());
+        let unrestricted = rd_gbg(
+            &data,
+            &RdGbgConfig {
+                restrict_overlap: false,
+                ..RdGbgConfig::default()
+            },
+        );
+        assert_eq!(count_overlaps(&restricted.balls, 1e-9), 0);
+        assert!(
+            count_overlaps(&unrestricted.balls, 1e-9) > 0,
+            "ablation should reintroduce ball overlap"
+        );
+        // purity and exact partition still hold in the ablation
+        for b in &unrestricted.balls {
+            assert_eq!(b.measured_purity(&data), 1.0);
+        }
+        let covered: usize = unrestricted.balls.iter().map(|b| b.len()).sum();
+        assert_eq!(covered + unrestricted.noise.len(), data.n_samples());
+    }
+
+    #[test]
+    fn noise_detection_ablation_removes_nothing() {
+        use gb_dataset::noise::inject_class_noise;
+        let clean = DatasetId::S5.generate(0.05, 4);
+        let (noisy, _) = inject_class_noise(&clean, 0.2, 3);
+        let model = rd_gbg(
+            &noisy,
+            &RdGbgConfig {
+                detect_noise: false,
+                ..RdGbgConfig::default()
+            },
+        );
+        assert!(model.noise.is_empty(), "ablation must not remove samples");
+        let covered: usize = model.balls.iter().map(|b| b.len()).sum();
+        assert_eq!(covered, noisy.n_samples(), "completeness without removals");
+    }
+
+    #[test]
+    fn with_rho_helper_sets_defaults() {
+        let cfg = RdGbgConfig::with_rho(9);
+        assert_eq!(cfg.density_tolerance, 9);
+        assert!(cfg.restrict_overlap);
+        assert!(cfg.detect_noise);
+    }
+
+    #[test]
+    #[should_panic(expected = "density tolerance")]
+    fn rejects_tiny_rho()
+    {
+        let data = two_clusters();
+        let _ = rd_gbg(
+            &data,
+            &RdGbgConfig {
+                density_tolerance: 1,
+                seed: 0,
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty() {
+        let data = Dataset::from_parts(Vec::new(), Vec::new(), 1, 1);
+        let _ = rd_gbg(&data, &RdGbgConfig::default());
+    }
+
+    #[test]
+    fn injected_noise_triggers_detection() {
+        use gb_dataset::noise::inject_class_noise;
+        // a clean, well-separated base so every flipped label is isolated
+        let clean = {
+            let mut feats = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..200 {
+                let c = i % 2;
+                feats.push(c as f64 * 20.0 + (i / 2 % 10) as f64 * 0.1);
+                feats.push((i / 20) as f64 * 0.1);
+                labels.push(c as u32);
+            }
+            Dataset::from_parts(feats, labels, 2, 2)
+        };
+        let cfg = RdGbgConfig::default();
+        let m_clean = rd_gbg(&clean, &cfg);
+        assert!(m_clean.noise.is_empty());
+        let (noisy, flipped) = inject_class_noise(&clean, 0.10, 5);
+        let m = rd_gbg(&noisy, &cfg);
+        // most removals should be actual planted flips
+        let true_hits = m
+            .noise
+            .iter()
+            .filter(|r| flipped.contains(r))
+            .count();
+        assert!(
+            true_hits * 2 >= m.noise.len(),
+            "precision too low: {true_hits}/{}",
+            m.noise.len()
+        );
+        assert!(
+            !m.noise.is_empty(),
+            "isolated flipped labels must be detected as noise"
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! The common sampling interface shared by GBABS and every baseline.
+//!
+//! The paper plugs eight sampling methods in front of five classifiers; the
+//! harness does the same through this trait. A sampler maps a training
+//! dataset to a (possibly smaller, possibly partly synthetic) training
+//! dataset.
+
+use crate::borderline::gbabs;
+use crate::rdgbg::RdGbgConfig;
+use gb_dataset::Dataset;
+
+/// Outcome of applying a sampling method to a training set.
+#[derive(Debug, Clone)]
+pub struct SampleResult {
+    /// The dataset to train on.
+    pub dataset: Dataset,
+    /// For pure undersamplers: the kept row indices into the input dataset
+    /// (sorted). `None` when the output contains synthetic rows (SMOTE
+    /// family) or duplicated rows.
+    pub kept_rows: Option<Vec<usize>>,
+}
+
+impl SampleResult {
+    /// |output| / |input| — the paper's sampling ratio.
+    #[must_use]
+    pub fn ratio(&self, input: &Dataset) -> f64 {
+        self.dataset.n_samples() as f64 / input.n_samples().max(1) as f64
+    }
+}
+
+/// A general sampling method in the sense of the paper's §I: applicable to
+/// any dataset and any downstream classifier.
+pub trait Sampler {
+    /// Short method name as used in the paper's tables ("GBABS", "GGBS", …).
+    fn name(&self) -> &'static str;
+
+    /// Produces the sampled training set. `seed` controls all randomness.
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult;
+}
+
+/// The identity "sampler" — the paper's unsampled baseline column ("Ori").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSampling;
+
+impl Sampler for NoSampling {
+    fn name(&self) -> &'static str {
+        "Ori"
+    }
+
+    fn sample(&self, data: &Dataset, _seed: u64) -> SampleResult {
+        SampleResult {
+            dataset: data.clone(),
+            kept_rows: Some((0..data.n_samples()).collect()),
+        }
+    }
+}
+
+/// GBABS as a [`Sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct GbabsSampler {
+    /// Density tolerance ρ forwarded to RD-GBG (paper default 5).
+    pub density_tolerance: usize,
+}
+
+impl Default for GbabsSampler {
+    fn default() -> Self {
+        Self {
+            density_tolerance: 5,
+        }
+    }
+}
+
+impl Sampler for GbabsSampler {
+    fn name(&self) -> &'static str {
+        "GBABS"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let res = gbabs(
+            data,
+            &RdGbgConfig {
+                density_tolerance: self.density_tolerance,
+                seed,
+                ..Default::default()
+            },
+        );
+        SampleResult {
+            dataset: res.sampled_dataset(data),
+            kept_rows: Some(res.sampled_rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    #[test]
+    fn no_sampling_is_identity() {
+        let d = DatasetId::S2.generate(0.1, 1);
+        let out = NoSampling.sample(&d, 0);
+        assert_eq!(out.dataset.n_samples(), d.n_samples());
+        assert!((out.ratio(&d) - 1.0).abs() < 1e-12);
+        assert_eq!(out.kept_rows.unwrap().len(), d.n_samples());
+    }
+
+    #[test]
+    fn gbabs_sampler_reports_subset() {
+        let d = DatasetId::S5.generate(0.05, 2);
+        let out = GbabsSampler::default().sample(&d, 3);
+        assert!(out.ratio(&d) <= 1.0);
+        let kept = out.kept_rows.expect("undersampler");
+        assert_eq!(kept.len(), out.dataset.n_samples());
+        // rows must match selected content
+        for (pos, &row) in kept.iter().enumerate() {
+            assert_eq!(out.dataset.row(pos), d.row(row));
+            assert_eq!(out.dataset.label(pos), d.label(row));
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(NoSampling.name(), "Ori");
+        assert_eq!(GbabsSampler::default().name(), "GBABS");
+    }
+}

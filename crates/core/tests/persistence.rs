@@ -1,0 +1,52 @@
+//! Model persistence: `GranularBall` and `RdGbgModel` derive serde
+//! traits so a granulation can be stored and reloaded (e.g. to sample the
+//! same cover repeatedly, or ship a cleaned cover to another process).
+//! These tests pin the JSON round-trip.
+
+use gb_dataset::catalog::DatasetId;
+use gbabs::{borderline_from_model, rd_gbg, GranularBall, RdGbgConfig, RdGbgModel};
+
+#[test]
+fn ball_roundtrips_through_json() {
+    let ball = GranularBall {
+        center: vec![1.0, -2.5],
+        radius: 0.75,
+        label: 3,
+        members: vec![0, 4, 9],
+        center_row: Some(4),
+        purity: 1.0,
+    };
+    let json = serde_json::to_string(&ball).expect("serialize");
+    let back: GranularBall = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(ball, back);
+}
+
+#[test]
+fn model_roundtrips_and_samples_identically() {
+    let data = DatasetId::S5.generate(0.05, 1);
+    let model = rd_gbg(&data, &RdGbgConfig::default());
+    let json = serde_json::to_string(&model).expect("serialize model");
+    let back: RdGbgModel = serde_json::from_str(&json).expect("deserialize model");
+
+    assert_eq!(model.balls.len(), back.balls.len());
+    assert_eq!(model.noise, back.noise);
+    assert_eq!(model.orphan_count, back.orphan_count);
+    assert_eq!(model.iterations, back.iterations);
+
+    // The reloaded model must drive GBABS to the identical sample.
+    let (rows_a, balls_a) = borderline_from_model(&data, &model);
+    let (rows_b, balls_b) = borderline_from_model(&data, &back);
+    assert_eq!(rows_a, rows_b);
+    assert_eq!(balls_a, balls_b);
+}
+
+#[test]
+fn json_is_humanly_inspectable() {
+    let data = DatasetId::S2.generate(0.05, 2);
+    let model = rd_gbg(&data, &RdGbgConfig::default());
+    let json = serde_json::to_string_pretty(&model).expect("serialize");
+    // field names survive as documented API surface
+    for key in ["balls", "noise", "orphan_count", "iterations", "center", "radius"] {
+        assert!(json.contains(key), "missing key {key}");
+    }
+}

@@ -1,0 +1,530 @@
+//! Dense, row-major labelled dataset used throughout the workspace.
+//!
+//! The paper operates on datasets `D = {(x_1, y_1), …, (x_N, y_N)}` with
+//! `x_i ∈ R^p` and class labels from a finite set. We store features as a
+//! single contiguous `Vec<f64>` (row major) so that distance kernels stream
+//! linearly through memory, and labels as dense `u32` class ids in
+//! `0..n_classes`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kind of a feature column.
+///
+/// Most of the paper's datasets are numeric; `Categorical` columns carry
+/// integer category codes stored as `f64` and are treated specially by
+/// SMOTENC and by the synthetic catalog (e.g. Car Evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// Continuous real-valued feature.
+    Numeric,
+    /// Discrete categorical feature; values are non-negative integer codes.
+    Categorical,
+}
+
+/// A dense labelled dataset.
+///
+/// Invariants (checked by constructors and `debug_assert`s):
+/// * `features.len() == n_samples * n_features`
+/// * `labels.len() == n_samples`
+/// * every label is `< n_classes`
+/// * `feature_kinds.len() == n_features`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<f64>,
+    labels: Vec<u32>,
+    n_samples: usize,
+    n_features: usize,
+    n_classes: usize,
+    feature_kinds: Vec<FeatureKind>,
+    /// Human-readable name (e.g. the paper's `S5`/`banana`). Cosmetic only.
+    name: String,
+}
+
+/// Errors produced when assembling a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// `features.len()` is not a multiple of the row width.
+    RaggedFeatures {
+        /// Total number of feature values provided.
+        len: usize,
+        /// Declared row width.
+        n_features: usize,
+    },
+    /// Number of rows does not match the number of labels.
+    LabelMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label is outside `0..n_classes`.
+    LabelOutOfRange {
+        /// Offending label value.
+        label: u32,
+        /// Declared number of classes.
+        n_classes: usize,
+    },
+    /// `feature_kinds` length differs from `n_features`.
+    KindMismatch {
+        /// Length of the provided kinds vector.
+        kinds: usize,
+        /// Declared number of features.
+        n_features: usize,
+    },
+    /// A feature value is NaN (distances would be poisoned).
+    NonFinite {
+        /// Row of the offending value.
+        row: usize,
+        /// Column of the offending value.
+        col: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::RaggedFeatures { len, n_features } => write!(
+                f,
+                "feature buffer of length {len} is not a multiple of row width {n_features}"
+            ),
+            DatasetError::LabelMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            DatasetError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} out of range for {n_classes} classes")
+            }
+            DatasetError::KindMismatch { kinds, n_features } => {
+                write!(f, "{kinds} feature kinds for {n_features} features")
+            }
+            DatasetError::NonFinite { row, col } => {
+                write!(f, "non-finite feature value at row {row}, column {col}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset from a row-major feature buffer and dense labels.
+    ///
+    /// All feature columns are assumed [`FeatureKind::Numeric`]; use
+    /// [`Dataset::with_kinds`] afterwards for mixed-type data.
+    ///
+    /// # Errors
+    /// Returns a [`DatasetError`] if buffer sizes disagree, a label is out of
+    /// range, or any feature value is NaN/infinite.
+    pub fn new(
+        features: Vec<f64>,
+        labels: Vec<u32>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if n_features == 0 || features.len() % n_features != 0 {
+            return Err(DatasetError::RaggedFeatures {
+                len: features.len(),
+                n_features,
+            });
+        }
+        let n_samples = features.len() / n_features;
+        if labels.len() != n_samples {
+            return Err(DatasetError::LabelMismatch {
+                rows: n_samples,
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| (l as usize) >= n_classes) {
+            return Err(DatasetError::LabelOutOfRange {
+                label: bad,
+                n_classes,
+            });
+        }
+        if let Some(pos) = features.iter().position(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFinite {
+                row: pos / n_features,
+                col: pos % n_features,
+            });
+        }
+        Ok(Self {
+            features,
+            labels,
+            n_samples,
+            n_features,
+            n_classes,
+            feature_kinds: vec![FeatureKind::Numeric; n_features],
+            name: String::new(),
+        })
+    }
+
+    /// Like [`Dataset::new`] but panics on malformed input. Intended for
+    /// tests and generators whose output is correct by construction.
+    #[must_use]
+    pub fn from_parts(
+        features: Vec<f64>,
+        labels: Vec<u32>,
+        n_features: usize,
+        n_classes: usize,
+    ) -> Self {
+        Self::new(features, labels, n_features, n_classes).expect("well-formed dataset")
+    }
+
+    /// Sets the human-readable dataset name (builder style).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Overrides the per-column feature kinds (builder style).
+    ///
+    /// # Panics
+    /// Panics if `kinds.len() != n_features()`.
+    #[must_use]
+    pub fn with_kinds(mut self, kinds: Vec<FeatureKind>) -> Self {
+        assert_eq!(
+            kinds.len(),
+            self.n_features,
+            "feature kind vector must match feature count"
+        );
+        self.feature_kinds = kinds;
+        self
+    }
+
+    /// Number of samples `N`.
+    #[must_use]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of features `p`.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes `q`. Labels are `0..q`.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Dataset name (may be empty).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-column feature kinds.
+    #[must_use]
+    pub fn feature_kinds(&self) -> &[FeatureKind] {
+        &self.feature_kinds
+    }
+
+    /// Indices of categorical columns.
+    #[must_use]
+    pub fn categorical_columns(&self) -> Vec<usize> {
+        self.feature_kinds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| (*k == FeatureKind::Categorical).then_some(i))
+            .collect()
+    }
+
+    /// Feature row `i`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Label of sample `i`.
+    #[must_use]
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Raw row-major feature buffer.
+    #[must_use]
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+
+    /// Single feature value.
+    #[must_use]
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.features[row * self.n_features + col]
+    }
+
+    /// Iterator over `(row, label)` pairs.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (&[f64], u32)> + '_ {
+        self.features
+            .chunks_exact(self.n_features)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Number of samples per class (length `n_classes`).
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// Indices of samples grouped per class (length `n_classes`).
+    #[must_use]
+    pub fn class_indices(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.n_classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            groups[l as usize].push(i);
+        }
+        groups
+    }
+
+    /// Imbalance ratio: majority count / minority count over non-empty
+    /// classes, as reported in the paper's Table I. Returns 1.0 for empty or
+    /// single-class data.
+    #[must_use]
+    pub fn imbalance_ratio(&self) -> f64 {
+        let counts = self.class_counts();
+        let present: Vec<usize> = counts.into_iter().filter(|&c| c > 0).collect();
+        let (Some(&max), Some(&min)) = (present.iter().max(), present.iter().min()) else {
+            return 1.0;
+        };
+        if min == 0 {
+            return f64::INFINITY;
+        }
+        max as f64 / min as f64
+    }
+
+    /// New dataset consisting of the given rows (in order; duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.n_features);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            features,
+            labels,
+            n_samples: indices.len(),
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            feature_kinds: self.feature_kinds.clone(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Appends a single labelled row.
+    ///
+    /// # Panics
+    /// Panics if the row width or label is inconsistent.
+    pub fn push_row(&mut self, row: &[f64], label: u32) {
+        assert_eq!(row.len(), self.n_features, "row width mismatch");
+        assert!(
+            (label as usize) < self.n_classes,
+            "label {label} out of range"
+        );
+        self.features.extend_from_slice(row);
+        self.labels.push(label);
+        self.n_samples += 1;
+    }
+
+    /// Concatenates another dataset with identical schema onto this one.
+    ///
+    /// # Panics
+    /// Panics on schema mismatch (feature count, class count or kinds).
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.n_features, other.n_features, "feature count mismatch");
+        assert_eq!(self.n_classes, other.n_classes, "class count mismatch");
+        assert_eq!(self.feature_kinds, other.feature_kinds, "kind mismatch");
+        self.features.extend_from_slice(&other.features);
+        self.labels.extend_from_slice(&other.labels);
+        self.n_samples += other.n_samples;
+    }
+
+    /// An empty dataset sharing this one's schema; useful as an accumulator.
+    #[must_use]
+    pub fn empty_like(&self) -> Dataset {
+        Dataset {
+            features: Vec::new(),
+            labels: Vec::new(),
+            n_samples: 0,
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            feature_kinds: self.feature_kinds.clone(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Column-wise minimum and maximum (`(min, max)` vectors).
+    /// Returns zeros for an empty dataset.
+    #[must_use]
+    pub fn column_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let p = self.n_features;
+        if self.n_samples == 0 {
+            return (vec![0.0; p], vec![0.0; p]);
+        }
+        let mut lo = vec![f64::INFINITY; p];
+        let mut hi = vec![f64::NEG_INFINITY; p];
+        for row in self.features.chunks_exact(p) {
+            for (j, &v) in row.iter().enumerate() {
+                lo[j] = lo[j].min(v);
+                hi[j] = hi[j].max(v);
+            }
+        }
+        (lo, hi)
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{} samples x {} features, {} classes, IR {:.2}]",
+            if self.name.is_empty() {
+                "<dataset>"
+            } else {
+                &self.name
+            },
+            self.n_samples,
+            self.n_features,
+            self.n_classes,
+            self.imbalance_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::from_parts(
+            vec![0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 5.0, 5.0],
+            vec![0, 0, 0, 1],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        assert!(matches!(
+            Dataset::new(vec![1.0, 2.0, 3.0], vec![0], 2, 1),
+            Err(DatasetError::RaggedFeatures { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![1.0, 2.0], vec![0, 1], 2, 2),
+            Err(DatasetError::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![1.0, 2.0], vec![3], 2, 2),
+            Err(DatasetError::LabelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![f64::NAN, 2.0], vec![0], 2, 1),
+            Err(DatasetError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_features_rejected() {
+        assert!(matches!(
+            Dataset::new(vec![], vec![], 0, 1),
+            Err(DatasetError::RaggedFeatures { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = toy();
+        assert_eq!(d.n_samples(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.row(3), &[5.0, 5.0]);
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.value(1, 0), 1.0);
+        assert_eq!(d.class_counts(), vec![3, 1]);
+        assert!((d.imbalance_ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_indices_partition_rows() {
+        let d = toy();
+        let groups = d.class_indices();
+        assert_eq!(groups[0], vec![0, 1, 2]);
+        assert_eq!(groups[1], vec![3]);
+    }
+
+    #[test]
+    fn select_preserves_order_and_allows_duplicates() {
+        let d = toy();
+        let s = d.select(&[3, 0, 3]);
+        assert_eq!(s.n_samples(), 3);
+        assert_eq!(s.row(0), &[5.0, 5.0]);
+        assert_eq!(s.row(1), &[0.0, 0.0]);
+        assert_eq!(s.label(2), 1);
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut d = toy();
+        d.push_row(&[9.0, 9.0], 1);
+        assert_eq!(d.n_samples(), 5);
+        let other = toy();
+        d.extend_from(&other);
+        assert_eq!(d.n_samples(), 9);
+        assert_eq!(d.row(8), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn bounds() {
+        let d = toy();
+        let (lo, hi) = d.column_bounds();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn kinds_and_categorical_columns() {
+        let d = toy().with_kinds(vec![FeatureKind::Numeric, FeatureKind::Categorical]);
+        assert_eq!(d.categorical_columns(), vec![1]);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let d = toy().with_name("banana");
+        let s = format!("{d}");
+        assert!(s.contains("banana"));
+        assert!(s.contains("4 samples"));
+    }
+
+    #[test]
+    fn empty_like_shares_schema() {
+        let d = toy().with_name("t");
+        let e = d.empty_like();
+        assert_eq!(e.n_samples(), 0);
+        assert_eq!(e.n_features(), 2);
+        assert_eq!(e.n_classes(), 2);
+        assert_eq!(e.name(), "t");
+    }
+
+    #[test]
+    fn imbalance_ratio_degenerate() {
+        let d = Dataset::from_parts(vec![0.0], vec![0], 1, 1);
+        assert!((d.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+}

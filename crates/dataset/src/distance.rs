@@ -1,0 +1,92 @@
+//! Distance kernels.
+//!
+//! The paper uses Euclidean distance throughout (`△(·,⋆)` in Eq. 1). We keep
+//! the squared form available because every comparison-only consumer (nearest
+//! neighbour search, radius checks) can avoid the `sqrt`.
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+/// Debug-asserts equal lengths; in release, the shorter length wins (callers
+/// in this workspace always pass rows of a single dataset).
+#[inline]
+#[must_use]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two equal-length vectors.
+#[inline]
+#[must_use]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Heterogeneous value-difference used by SMOTENC-style samplers: Euclidean
+/// over numeric columns plus a fixed `categorical_penalty` for every
+/// categorical column whose codes differ.
+#[must_use]
+pub fn mixed_distance(
+    a: &[f64],
+    b: &[f64],
+    categorical: &[bool],
+    categorical_penalty: f64,
+) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), categorical.len());
+    let mut acc = 0.0;
+    for ((x, y), &is_cat) in a.iter().zip(b.iter()).zip(categorical.iter()) {
+        if is_cat {
+            if (x - y).abs() > f64::EPSILON {
+                acc += categorical_penalty * categorical_penalty;
+            }
+        } else {
+            let d = x - y;
+            acc += d * d;
+        }
+    }
+    acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert!((euclidean(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((sq_euclidean(&a, &b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = [1.5, -2.0, 7.0];
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mixed_distance_counts_category_mismatches() {
+        let a = [1.0, 0.0, 2.0];
+        let b = [1.0, 1.0, 3.0];
+        let cat = [false, true, true];
+        // numeric part identical; two categorical mismatches of penalty 1.
+        let d = mixed_distance(&a, &b, &cat, 1.0);
+        assert!((d - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_distance_equal_categories_costs_nothing() {
+        let a = [1.0, 5.0];
+        let b = [2.0, 5.0];
+        let cat = [false, true];
+        assert!((mixed_distance(&a, &b, &cat, 10.0) - 1.0).abs() < 1e-12);
+    }
+}

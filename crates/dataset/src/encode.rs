@@ -1,0 +1,184 @@
+//! One-hot encoding for categorical columns.
+//!
+//! The distance- and margin-based learners in this workspace (kNN, SMOTE
+//! interpolation, the linear SVM) treat every column as numeric; categorical
+//! codes like Car Evaluation's (S3) would otherwise impose a fake ordering.
+//! `OneHotEncoder` expands each categorical column into one indicator
+//! column per category *seen during fit*, leaving numeric columns in place
+//! (categories first appearing at transform time map to all-zeros, the
+//! sklearn `handle_unknown="ignore"` behaviour).
+
+use crate::dataset::{Dataset, FeatureKind};
+
+/// A fitted one-hot encoder.
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    /// For each input column: `None` for numeric pass-through, or the
+    /// sorted list of category codes seen during fit.
+    categories: Vec<Option<Vec<i64>>>,
+    /// Output width.
+    out_width: usize,
+}
+
+impl OneHotEncoder {
+    /// Learns the category vocabulary of every categorical column.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(data.n_samples() > 0, "cannot fit an encoder on no data");
+        let mut categories: Vec<Option<Vec<i64>>> = Vec::with_capacity(data.n_features());
+        for (j, kind) in data.feature_kinds().iter().enumerate() {
+            if *kind == FeatureKind::Categorical {
+                let mut seen: Vec<i64> = (0..data.n_samples())
+                    .map(|i| data.value(i, j) as i64)
+                    .collect();
+                seen.sort_unstable();
+                seen.dedup();
+                categories.push(Some(seen));
+            } else {
+                categories.push(None);
+            }
+        }
+        let out_width = categories
+            .iter()
+            .map(|c| c.as_ref().map_or(1, Vec::len))
+            .sum();
+        Self {
+            categories,
+            out_width,
+        }
+    }
+
+    /// Number of output columns after encoding.
+    #[must_use]
+    pub fn out_width(&self) -> usize {
+        self.out_width
+    }
+
+    /// Expands `data` into the encoded representation (all columns
+    /// numeric).
+    ///
+    /// # Panics
+    /// Panics if `data` has a different feature count than the fitted one.
+    #[must_use]
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        assert_eq!(
+            data.n_features(),
+            self.categories.len(),
+            "encoder fitted on different width"
+        );
+        let mut out = Vec::with_capacity(data.n_samples() * self.out_width);
+        for i in 0..data.n_samples() {
+            for (j, cats) in self.categories.iter().enumerate() {
+                match cats {
+                    None => out.push(data.value(i, j)),
+                    Some(cats) => {
+                        let code = data.value(i, j) as i64;
+                        for &c in cats {
+                            out.push(f64::from(u8::from(c == code)));
+                        }
+                    }
+                }
+            }
+        }
+        Dataset::from_parts(out, data.labels().to_vec(), self.out_width, data.n_classes())
+            .with_name(data.name().to_string())
+    }
+
+    /// Convenience: fit on `train`, transform both folds.
+    #[must_use]
+    pub fn fit_transform_pair(train: &Dataset, test: &Dataset) -> (Dataset, Dataset) {
+        let enc = Self::fit(train);
+        (enc.transform(train), enc.transform(test))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed() -> Dataset {
+        // col 0 numeric, col 1 categorical with codes {0, 2, 5}
+        Dataset::from_parts(
+            vec![1.0, 0.0, 2.0, 2.0, 3.0, 5.0, 4.0, 2.0],
+            vec![0, 1, 0, 1],
+            2,
+            2,
+        )
+        .with_kinds(vec![FeatureKind::Numeric, FeatureKind::Categorical])
+    }
+
+    #[test]
+    fn expands_categorical_columns_only() {
+        let d = mixed();
+        let enc = OneHotEncoder::fit(&d);
+        assert_eq!(enc.out_width(), 1 + 3);
+        let t = enc.transform(&d);
+        assert_eq!(t.n_features(), 4);
+        // row 0: numeric 1.0, code 0 -> [1, 0, 0]
+        assert_eq!(t.row(0), &[1.0, 1.0, 0.0, 0.0]);
+        // row 1: numeric 2.0, code 2 -> [0, 1, 0]
+        assert_eq!(t.row(1), &[2.0, 0.0, 1.0, 0.0]);
+        // row 2: code 5 -> [0, 0, 1]
+        assert_eq!(t.row(2), &[3.0, 0.0, 0.0, 1.0]);
+        assert_eq!(t.labels(), d.labels());
+        // encoded columns are all numeric
+        assert!(t.feature_kinds().iter().all(|k| *k == FeatureKind::Numeric));
+    }
+
+    #[test]
+    fn exactly_one_indicator_fires_per_known_row() {
+        let d = mixed();
+        let t = OneHotEncoder::fit(&d).transform(&d);
+        for i in 0..t.n_samples() {
+            let ones: f64 = t.row(i)[1..].iter().sum();
+            assert_eq!(ones, 1.0, "row {i}");
+        }
+    }
+
+    #[test]
+    fn unknown_category_maps_to_all_zeros() {
+        let train = mixed();
+        let enc = OneHotEncoder::fit(&train);
+        let test = Dataset::from_parts(vec![9.0, 7.0], vec![0], 2, 2)
+            .with_kinds(vec![FeatureKind::Numeric, FeatureKind::Categorical]);
+        let t = enc.transform(&test);
+        assert_eq!(t.row(0), &[9.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn all_numeric_dataset_is_identity() {
+        let d = Dataset::from_parts(vec![1.0, 2.0, 3.0, 4.0], vec![0, 1], 2, 2);
+        let enc = OneHotEncoder::fit(&d);
+        assert_eq!(enc.out_width(), 2);
+        let t = enc.transform(&d);
+        assert_eq!(t.features(), d.features());
+    }
+
+    #[test]
+    fn pair_helper_uses_train_vocabulary() {
+        let train = mixed();
+        let test = Dataset::from_parts(vec![0.0, 5.0], vec![1], 2, 2)
+            .with_kinds(vec![FeatureKind::Numeric, FeatureKind::Categorical]);
+        let (tr, te) = OneHotEncoder::fit_transform_pair(&train, &test);
+        assert_eq!(tr.n_features(), te.n_features());
+        assert_eq!(te.row(0), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit an encoder on no data")]
+    fn empty_rejected() {
+        let d = Dataset::from_parts(Vec::new(), Vec::new(), 1, 1);
+        let _ = OneHotEncoder::fit(&d);
+    }
+
+    #[test]
+    #[should_panic(expected = "encoder fitted on different width")]
+    fn width_mismatch_rejected() {
+        let enc = OneHotEncoder::fit(&mixed());
+        let narrow = Dataset::from_parts(vec![1.0], vec![0], 1, 1);
+        let _ = enc.transform(&narrow);
+    }
+}

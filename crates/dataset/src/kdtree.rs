@@ -1,0 +1,352 @@
+//! KD-tree exact nearest-neighbour index.
+//!
+//! The brute-force search in [`crate::neighbors`] is the reference
+//! implementation; this median-split KD-tree gives the same exact results
+//! with `O(log n)`-ish queries on low/medium-dimensional data (the regime of
+//! most catalog datasets). High-dimensional data (S12, S13) degrades toward
+//! a linear scan, as KD-trees do — callers choose per use case.
+
+use crate::dataset::Dataset;
+use crate::distance::sq_euclidean;
+use crate::neighbors::Neighbor;
+
+/// A node of the tree (arena-allocated).
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Row indices stored at this leaf.
+        rows: Vec<u32>,
+    },
+    Split {
+        /// Splitting dimension.
+        dim: usize,
+        /// Splitting value (rows with `value <= split` go left).
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An immutable KD-tree over the rows of a dataset snapshot.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    /// Flattened copy of the indexed points (row-major).
+    points: Vec<f64>,
+    n_features: usize,
+    n_rows: usize,
+    leaf_size: usize,
+}
+
+/// Bounded max-heap entry for query candidates.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    sq_dist: f64,
+    row: u32,
+}
+
+impl KdTree {
+    /// Builds the index over every row of `data`. `leaf_size` controls the
+    /// bucket size (16 is a good default).
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `leaf_size == 0`.
+    #[must_use]
+    pub fn build(data: &Dataset, leaf_size: usize) -> Self {
+        assert!(leaf_size > 0, "leaf size must be positive");
+        assert!(data.n_samples() > 0, "cannot index an empty dataset");
+        let mut tree = Self {
+            nodes: Vec::new(),
+            points: data.features().to_vec(),
+            n_features: data.n_features(),
+            n_rows: data.n_samples(),
+            leaf_size,
+        };
+        let mut rows: Vec<u32> = (0..data.n_samples() as u32).collect();
+        tree.build_node(&mut rows);
+        tree
+    }
+
+    fn coord(&self, row: u32, dim: usize) -> f64 {
+        self.points[row as usize * self.n_features + dim]
+    }
+
+    fn build_node(&mut self, rows: &mut [u32]) -> usize {
+        if rows.len() <= self.leaf_size {
+            let idx = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                rows: rows.to_vec(),
+            });
+            return idx;
+        }
+        // pick the dimension with the largest spread
+        let mut best_dim = 0;
+        let mut best_spread = -1.0;
+        for d in 0..self.n_features {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &r in rows.iter() {
+                let v = self.coord(r, d);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = d;
+            }
+        }
+        if best_spread <= 0.0 {
+            // all points identical: cannot split
+            let idx = self.nodes.len();
+            self.nodes.push(Node::Leaf {
+                rows: rows.to_vec(),
+            });
+            return idx;
+        }
+        let mid = rows.len() / 2;
+        rows.select_nth_unstable_by(mid, |&a, &b| {
+            self.coord(a, best_dim)
+                .partial_cmp(&self.coord(b, best_dim))
+                .expect("finite coords")
+                .then_with(|| a.cmp(&b))
+        });
+        let split_value = self.coord(rows[mid], best_dim);
+        // guard: ensure both sides non-empty under `<=` routing
+        let n_left = rows
+            .iter()
+            .filter(|&&r| self.coord(r, best_dim) <= split_value)
+            .count();
+        if n_left == rows.len() {
+            // split value is the max; nudge: put strictly-less on the left
+            let prev = rows
+                .iter()
+                .map(|&r| self.coord(r, best_dim))
+                .filter(|&v| v < split_value)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if prev == f64::NEG_INFINITY {
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    rows: rows.to_vec(),
+                });
+                return idx;
+            }
+            return self.build_node_with(rows, best_dim, prev);
+        }
+        self.build_node_with(rows, best_dim, split_value)
+    }
+
+    fn build_node_with(&mut self, rows: &mut [u32], dim: usize, value: f64) -> usize {
+        let mut left_rows: Vec<u32> = Vec::new();
+        let mut right_rows: Vec<u32> = Vec::new();
+        for &r in rows.iter() {
+            if self.coord(r, dim) <= value {
+                left_rows.push(r);
+            } else {
+                right_rows.push(r);
+            }
+        }
+        debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf { rows: Vec::new() }); // placeholder
+        let left = self.build_node(&mut left_rows);
+        let right = self.build_node(&mut right_rows);
+        self.nodes[idx] = Node::Split {
+            dim,
+            value,
+            left,
+            right,
+        };
+        idx
+    }
+
+    /// Number of indexed rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the index is empty (never, by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Exact `k` nearest neighbours of `query`, sorted ascending by
+    /// `(distance, row)`; `skip` excludes one row (the query's own).
+    #[must_use]
+    pub fn k_nearest(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.n_features, "query width mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: Vec<Candidate> = Vec::with_capacity(k + 1);
+        self.search(0, query, k, skip, &mut heap);
+        heap.sort_by(|a, b| {
+            a.sq_dist
+                .partial_cmp(&b.sq_dist)
+                .expect("finite distances")
+                .then_with(|| a.row.cmp(&b.row))
+        });
+        heap.into_iter()
+            .map(|c| Neighbor {
+                index: c.row as usize,
+                distance: c.sq_dist.sqrt(),
+            })
+            .collect()
+    }
+
+    fn worst(heap: &[Candidate], k: usize) -> f64 {
+        if heap.len() < k {
+            f64::INFINITY
+        } else {
+            heap.iter()
+                .map(|c| c.sq_dist)
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+    }
+
+    fn push(heap: &mut Vec<Candidate>, k: usize, cand: Candidate) {
+        heap.push(cand);
+        if heap.len() > k {
+            // drop the worst (max sq_dist, ties by larger row)
+            let (wi, _) = heap
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.sq_dist
+                        .partial_cmp(&b.sq_dist)
+                        .expect("finite")
+                        .then_with(|| a.row.cmp(&b.row))
+                })
+                .expect("non-empty");
+            heap.swap_remove(wi);
+        }
+    }
+
+    fn search(
+        &self,
+        node: usize,
+        query: &[f64],
+        k: usize,
+        skip: Option<usize>,
+        heap: &mut Vec<Candidate>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { rows } => {
+                for &r in rows {
+                    if Some(r as usize) == skip {
+                        continue;
+                    }
+                    let base = r as usize * self.n_features;
+                    let d = sq_euclidean(&self.points[base..base + self.n_features], query);
+                    let worst = Self::worst(heap, k);
+                    if d < worst || (d == worst && heap.len() < k) {
+                        Self::push(heap, k, Candidate { sq_dist: d, row: r });
+                    }
+                }
+            }
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*dim] - value;
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.search(near, query, k, skip, heap);
+                if diff * diff <= Self::worst(heap, k) {
+                    self.search(far, query, k, skip, heap);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbors::k_nearest as brute_k_nearest;
+    use crate::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn random_dataset(n: usize, p: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let feats: Vec<f64> = (0..n * p).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        Dataset::from_parts(feats, vec![0; n], p, 1)
+    }
+
+    #[test]
+    fn matches_brute_force_exactly() {
+        for (n, p) in [(50usize, 2usize), (200, 3), (300, 8)] {
+            let d = random_dataset(n, p, n as u64);
+            let tree = KdTree::build(&d, 8);
+            let mut rng = rng_from_seed(99);
+            for _ in 0..20 {
+                let q: Vec<f64> = (0..p).map(|_| rng.gen_range(-5.0..5.0)).collect();
+                let brute = brute_k_nearest(&d, &q, 7, None);
+                let fast = tree.k_nearest(&q, 7, None);
+                assert_eq!(
+                    brute.iter().map(|h| h.index).collect::<Vec<_>>(),
+                    fast.iter().map(|h| h.index).collect::<Vec<_>>(),
+                    "n={n} p={p}"
+                );
+                for (a, b) in brute.iter().zip(fast.iter()) {
+                    assert!((a.distance - b.distance).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skip_excludes_row() {
+        let d = random_dataset(60, 2, 1);
+        let tree = KdTree::build(&d, 4);
+        let hits = tree.k_nearest(d.row(10), 3, Some(10));
+        assert!(hits.iter().all(|h| h.index != 10));
+        let brute = brute_k_nearest(&d, d.row(10), 3, Some(10));
+        assert_eq!(
+            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
+            brute.iter().map(|h| h.index).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let d = Dataset::from_parts(vec![1.0; 40], vec![0; 40], 1, 1);
+        let tree = KdTree::build(&d, 4);
+        let hits = tree.k_nearest(&[1.0], 5, None);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.distance == 0.0));
+        // ties resolved by ascending row
+        assert_eq!(
+            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn k_larger_than_data() {
+        let d = random_dataset(5, 2, 3);
+        let tree = KdTree::build(&d, 2);
+        let hits = tree.k_nearest(&[0.0, 0.0], 50, None);
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn k_zero_empty() {
+        let d = random_dataset(5, 2, 3);
+        let tree = KdTree::build(&d, 2);
+        assert!(tree.k_nearest(&[0.0, 0.0], 0, None).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_rejected() {
+        let d = Dataset::from_parts(Vec::new(), Vec::new(), 2, 1);
+        let _ = KdTree::build(&d, 4);
+    }
+}

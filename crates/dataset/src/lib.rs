@@ -1,0 +1,41 @@
+//! # gb-dataset
+//!
+//! Dataset substrate for the GBABS reproduction (ICDE 2025, arXiv:2506.02366):
+//! a dense labelled [`Dataset`] type, distance kernels, brute-force
+//! neighbour search, stratified splitting, feature scaling, class-noise
+//! injection, and a synthetic catalog standing in for the paper's 13 public
+//! datasets.
+//!
+//! Everything downstream — the granular-ball algorithms, the baseline
+//! samplers, the classifiers — is written against this crate.
+//!
+//! ```
+//! use gb_dataset::catalog::DatasetId;
+//! use gb_dataset::noise::inject_class_noise;
+//!
+//! let banana = DatasetId::S5.generate(0.05, 42);
+//! assert_eq!(banana.n_features(), 2);
+//! let (noisy, flipped) = inject_class_noise(&banana, 0.10, 7);
+//! assert_eq!(flipped.len(), (noisy.n_samples() as f64 * 0.10).round() as usize);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod catalog;
+pub mod dataset;
+pub mod distance;
+pub mod encode;
+pub mod io;
+pub mod kdtree;
+pub mod neighbors;
+pub mod noise;
+pub mod rng;
+pub mod scale;
+pub mod split;
+pub mod summary;
+pub mod synth;
+pub mod vptree;
+
+pub use dataset::{Dataset, DatasetError, FeatureKind};
+pub use neighbors::Neighbor;

@@ -1,0 +1,226 @@
+//! Brute-force nearest-neighbour search.
+//!
+//! The algorithms in this workspace (RD-GBG center detection, SMOTE variants,
+//! Tomek links, the kNN classifier) all need "k nearest rows of a dataset to
+//! a query point". A flat brute-force scan with a bounded max-heap is exact,
+//! cache-friendly on the row-major buffer, and fast enough for the paper's
+//! dataset sizes (≤ 58 000 × 256).
+
+use crate::dataset::Dataset;
+use crate::distance::sq_euclidean;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A neighbour hit: dataset row index plus (non-squared) distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row index into the searched dataset.
+    pub index: usize,
+    /// Euclidean distance to the query.
+    pub distance: f64,
+}
+
+/// Max-heap entry ordered by squared distance (ties broken by index for
+/// determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    sq_dist: f64,
+    index: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sq_dist
+            .partial_cmp(&other.sq_dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Returns the `k` nearest rows of `data` to `query`, sorted by ascending
+/// distance (ties by ascending row index). `skip` lets callers exclude the
+/// query's own row (`Some(row)`); pass `None` to search all rows.
+///
+/// Returns fewer than `k` hits when the dataset is smaller than `k`.
+#[must_use]
+pub fn k_nearest(data: &Dataset, query: &[f64], k: usize, skip: Option<usize>) -> Vec<Neighbor> {
+    k_nearest_filtered(data, query, k, |i| Some(i) != skip)
+}
+
+/// Like [`k_nearest`], restricted to rows for which `keep` returns true.
+#[must_use]
+pub fn k_nearest_filtered(
+    data: &Dataset,
+    query: &[f64],
+    k: usize,
+    mut keep: impl FnMut(usize) -> bool,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+    for i in 0..data.n_samples() {
+        if !keep(i) {
+            continue;
+        }
+        let d = sq_euclidean(data.row(i), query);
+        if heap.len() < k {
+            heap.push(HeapEntry {
+                sq_dist: d,
+                index: i,
+            });
+        } else if let Some(top) = heap.peek() {
+            if d < top.sq_dist || (d == top.sq_dist && i < top.index) {
+                heap.pop();
+                heap.push(HeapEntry {
+                    sq_dist: d,
+                    index: i,
+                });
+            }
+        }
+    }
+    let mut hits: Vec<HeapEntry> = heap.into_vec();
+    hits.sort_unstable();
+    hits.into_iter()
+        .map(|e| Neighbor {
+            index: e.index,
+            distance: e.sq_dist.sqrt(),
+        })
+        .collect()
+}
+
+/// All distances from `query` to every row, as `(row, distance)` sorted
+/// ascending. Used by RD-GBG, which consumes the full ordered sequence when
+/// growing a ball ("the distance calculated by the local-density center
+/// detection ... is also used for subsequent construction of the GB").
+#[must_use]
+pub fn sorted_distances(data: &Dataset, query: &[f64], skip: Option<usize>) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = (0..data.n_samples())
+        .filter(|&i| Some(i) != skip)
+        .map(|i| Neighbor {
+            index: i,
+            distance: sq_euclidean(data.row(i), query),
+        })
+        .collect();
+    all.sort_unstable_by(|a, b| {
+        a.distance
+            .partial_cmp(&b.distance)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    for n in &mut all {
+        n.distance = n.distance.sqrt();
+    }
+    all
+}
+
+/// The single nearest row (excluding `skip`), or `None` on an empty search.
+#[must_use]
+pub fn nearest(data: &Dataset, query: &[f64], skip: Option<usize>) -> Option<Neighbor> {
+    k_nearest(data, query, 1, skip).into_iter().next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Dataset {
+        // points at x = 0, 1, 2, 3, 4 on a line
+        Dataset::from_parts(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0, 0, 1, 1, 1], 1, 2)
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let d = line();
+        let hits = k_nearest(&d, &[2.2], 3, None);
+        assert_eq!(
+            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
+            vec![2, 3, 1]
+        );
+        assert!((hits[0].distance - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skip_excludes_self() {
+        let d = line();
+        let hits = k_nearest(&d, d.row(2), 2, Some(2));
+        assert_eq!(
+            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let d = line();
+        // query at 1.5 is equidistant from rows 1 and 2
+        let hits = k_nearest(&d, &[1.5], 2, None);
+        assert_eq!(hits[0].index, 1);
+        assert_eq!(hits[1].index, 2);
+    }
+
+    #[test]
+    fn fewer_rows_than_k() {
+        let d = line();
+        let hits = k_nearest(&d, &[0.0], 100, None);
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let d = line();
+        assert!(k_nearest(&d, &[0.0], 0, None).is_empty());
+    }
+
+    #[test]
+    fn sorted_distances_full_order() {
+        let d = line();
+        let all = sorted_distances(&d, &[0.0], None);
+        assert_eq!(
+            all.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!((all[4].distance - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_matches_k1() {
+        let d = line();
+        let n = nearest(&d, &[3.9], None).unwrap();
+        assert_eq!(n.index, 4);
+    }
+
+    #[test]
+    fn filtered_search_respects_predicate() {
+        let d = line();
+        let hits = k_nearest_filtered(&d, &[0.0], 2, |i| d.label(i) == 1);
+        assert_eq!(
+            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+    }
+
+    #[test]
+    fn heap_matches_full_sort_on_random_data() {
+        use rand::Rng;
+        let mut rng = crate::rng::rng_from_seed(9);
+        let n = 200;
+        let feats: Vec<f64> = (0..n * 3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d = Dataset::from_parts(feats, vec![0; n], 3, 1);
+        let q = [0.1, -0.2, 0.3];
+        let full = sorted_distances(&d, &q, None);
+        let topk = k_nearest(&d, &q, 7, None);
+        for (a, b) in full.iter().zip(topk.iter()) {
+            assert_eq!(a.index, b.index);
+            assert!((a.distance - b.distance).abs() < 1e-9);
+        }
+    }
+}

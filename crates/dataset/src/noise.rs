@@ -1,0 +1,139 @@
+//! Class-noise injection.
+//!
+//! The paper constructs "class noise datasets with noise ratios of 5 %, 10 %,
+//! 20 %, 30 %, and 40 % ... by randomly selecting samples and altering their
+//! labels". We flip each selected sample to a uniformly random *different*
+//! class so the corruption is label-only and feature geometry is untouched.
+
+use crate::dataset::Dataset;
+use crate::rng::rng_from_seed;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The noise ratios evaluated by the paper (Figs. 6–9, Table IV).
+pub const PAPER_NOISE_RATIOS: [f64; 5] = [0.05, 0.10, 0.20, 0.30, 0.40];
+
+/// Returns a copy of `data` in which `ratio` of the samples (rounded) have
+/// had their label flipped to a random different class. The set of flipped
+/// rows is also returned so tests/diagnostics can measure recovery.
+///
+/// Single-class datasets are returned unchanged (there is nothing to flip
+/// to).
+///
+/// # Panics
+/// Panics if `ratio` is not in `[0, 1]`.
+#[must_use]
+pub fn inject_class_noise(data: &Dataset, ratio: f64, seed: u64) -> (Dataset, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&ratio), "noise ratio must be in [0,1]");
+    if data.n_classes() < 2 || ratio == 0.0 {
+        return (data.clone(), Vec::new());
+    }
+    let mut rng = rng_from_seed(seed);
+    let n = data.n_samples();
+    let n_flip = ((n as f64) * ratio).round() as usize;
+    let mut rows: Vec<usize> = (0..n).collect();
+    rows.shuffle(&mut rng);
+    let mut flipped: Vec<usize> = rows.into_iter().take(n_flip).collect();
+    flipped.sort_unstable();
+
+    let mut labels = data.labels().to_vec();
+    let q = data.n_classes() as u32;
+    for &i in &flipped {
+        let old = labels[i];
+        // choose uniformly among the q-1 other classes
+        let mut new = rng.gen_range(0..q - 1);
+        if new >= old {
+            new += 1;
+        }
+        labels[i] = new;
+    }
+    let noisy = Dataset::from_parts(
+        data.features().to_vec(),
+        labels,
+        data.n_features(),
+        data.n_classes(),
+    )
+    .with_name(format!("{}+noise{:.0}%", data.name(), ratio * 100.0))
+    .with_kinds(data.feature_kinds().to_vec());
+    (noisy, flipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(n: usize, q: usize) -> Dataset {
+        let feats: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let labels: Vec<u32> = (0..n).map(|i| (i % q) as u32).collect();
+        Dataset::from_parts(feats, labels, 1, q).with_name("base")
+    }
+
+    #[test]
+    fn flips_requested_fraction() {
+        let d = base(200, 4);
+        let (noisy, flipped) = inject_class_noise(&d, 0.25, 3);
+        assert_eq!(flipped.len(), 50);
+        let changed = (0..200).filter(|&i| noisy.label(i) != d.label(i)).count();
+        assert_eq!(changed, 50, "every flipped row must actually change class");
+        for &i in &flipped {
+            assert_ne!(noisy.label(i), d.label(i));
+        }
+    }
+
+    #[test]
+    fn features_untouched() {
+        let d = base(50, 2);
+        let (noisy, _) = inject_class_noise(&d, 0.4, 9);
+        assert_eq!(noisy.features(), d.features());
+    }
+
+    #[test]
+    fn zero_ratio_is_identity() {
+        let d = base(30, 3);
+        let (noisy, flipped) = inject_class_noise(&d, 0.0, 1);
+        assert!(flipped.is_empty());
+        assert_eq!(noisy.labels(), d.labels());
+    }
+
+    #[test]
+    fn single_class_untouched() {
+        let d = base(30, 1);
+        let (noisy, flipped) = inject_class_noise(&d, 0.5, 1);
+        assert!(flipped.is_empty());
+        assert_eq!(noisy.labels(), d.labels());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = base(100, 3);
+        let (a, fa) = inject_class_noise(&d, 0.2, 77);
+        let (b, fb) = inject_class_noise(&d, 0.2, 77);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn new_labels_roughly_uniform_over_other_classes() {
+        let d = base(9000, 3);
+        let (noisy, flipped) = inject_class_noise(&d, 1.0, 5);
+        let mut transitions = [[0usize; 3]; 3];
+        for &i in &flipped {
+            transitions[d.label(i) as usize][noisy.label(i) as usize] += 1;
+        }
+        for from in 0..3 {
+            for to in 0..3 {
+                if from == to {
+                    assert_eq!(transitions[from][to], 0);
+                } else {
+                    // each off-diagonal cell expects ~1500; allow wide slack
+                    assert!(
+                        transitions[from][to] > 1200 && transitions[from][to] < 1800,
+                        "cell {from}->{to} = {}",
+                        transitions[from][to]
+                    );
+                }
+            }
+        }
+    }
+}

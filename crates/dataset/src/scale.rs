@@ -1,0 +1,273 @@
+//! Feature scaling.
+//!
+//! Distance-based methods (granular balls, kNN, SMOTE) are sensitive to
+//! feature ranges, so the experiment harness standardizes numeric columns
+//! (fit on the training fold, applied to both folds — never leaking test
+//! statistics). Categorical columns are passed through untouched.
+
+use crate::dataset::{Dataset, FeatureKind};
+
+/// A fitted per-column standardizer (z-score on numeric columns).
+#[derive(Debug, Clone)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    kinds: Vec<FeatureKind>,
+}
+
+impl StandardScaler {
+    /// Fits column means and standard deviations on `data`.
+    ///
+    /// Columns with (near-)zero variance get `std = 1` so they map to zero
+    /// rather than exploding.
+    #[must_use]
+    pub fn fit(data: &Dataset) -> Self {
+        let p = data.n_features();
+        let n = data.n_samples().max(1) as f64;
+        let mut means = vec![0.0; p];
+        for row in data.features().chunks_exact(p) {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; p];
+        for row in data.features().chunks_exact(p) {
+            for (j, &v) in row.iter().enumerate() {
+                let d = v - means[j];
+                vars[j] += d * d;
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self {
+            means,
+            stds,
+            kinds: data.feature_kinds().to_vec(),
+        }
+    }
+
+    /// Applies the fitted transform, returning a new dataset.
+    ///
+    /// # Panics
+    /// Panics if `data` has a different feature count than the fitted one.
+    #[must_use]
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let p = data.n_features();
+        assert_eq!(p, self.means.len(), "scaler fitted on different width");
+        let mut out = Vec::with_capacity(data.features().len());
+        for row in data.features().chunks_exact(p) {
+            for (j, &v) in row.iter().enumerate() {
+                if self.kinds[j] == FeatureKind::Categorical {
+                    out.push(v);
+                } else {
+                    out.push((v - self.means[j]) / self.stds[j]);
+                }
+            }
+        }
+        Dataset::from_parts(out, data.labels().to_vec(), p, data.n_classes())
+            .with_name(data.name().to_string())
+            .with_kinds(data.feature_kinds().to_vec())
+    }
+
+    /// Convenience: fit on `train`, transform both folds.
+    #[must_use]
+    pub fn fit_transform_pair(train: &Dataset, test: &Dataset) -> (Dataset, Dataset) {
+        let scaler = Self::fit(train);
+        (scaler.transform(train), scaler.transform(test))
+    }
+
+    /// Fitted column means.
+    #[must_use]
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted column standard deviations.
+    #[must_use]
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// A fitted per-column min–max scaler mapping numeric columns to `[0, 1]`
+/// — the normalization the granular-ball reference implementations apply
+/// before granulation (GB radii are only comparable across dimensions when
+/// feature ranges are).
+#[derive(Debug, Clone)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+    kinds: Vec<FeatureKind>,
+}
+
+impl MinMaxScaler {
+    /// Fits column minima and ranges on `data`. Constant columns get range
+    /// 1 so they map to 0 instead of dividing by zero.
+    #[must_use]
+    pub fn fit(data: &Dataset) -> Self {
+        let p = data.n_features();
+        let (mins, maxs) = data.column_bounds();
+        let ranges = mins
+            .iter()
+            .zip(maxs.iter())
+            .map(|(&lo, &hi)| {
+                let r = hi - lo;
+                if r < 1e-12 {
+                    1.0
+                } else {
+                    r
+                }
+            })
+            .collect();
+        debug_assert_eq!(mins.len(), p);
+        Self {
+            mins,
+            ranges,
+            kinds: data.feature_kinds().to_vec(),
+        }
+    }
+
+    /// Applies the fitted transform. Out-of-range values (test fold beyond
+    /// the training extremes) map linearly outside `[0, 1]`, the sklearn
+    /// behaviour.
+    ///
+    /// # Panics
+    /// Panics if `data` has a different feature count than the fitted one.
+    #[must_use]
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        let p = data.n_features();
+        assert_eq!(p, self.mins.len(), "scaler fitted on different width");
+        let mut out = Vec::with_capacity(data.features().len());
+        for row in data.features().chunks_exact(p) {
+            for (j, &v) in row.iter().enumerate() {
+                if self.kinds[j] == FeatureKind::Categorical {
+                    out.push(v);
+                } else {
+                    out.push((v - self.mins[j]) / self.ranges[j]);
+                }
+            }
+        }
+        Dataset::from_parts(out, data.labels().to_vec(), p, data.n_classes())
+            .with_name(data.name().to_string())
+            .with_kinds(data.feature_kinds().to_vec())
+    }
+
+    /// Convenience: fit on `train`, transform both folds.
+    #[must_use]
+    pub fn fit_transform_pair(train: &Dataset, test: &Dataset) -> (Dataset, Dataset) {
+        let scaler = Self::fit(train);
+        (scaler.transform(train), scaler.transform(test))
+    }
+
+    /// Fitted column minima.
+    #[must_use]
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Fitted column ranges (max − min, floored to 1 for constants).
+    #[must_use]
+    pub fn ranges(&self) -> &[f64] {
+        &self.ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_var() {
+        let d = Dataset::from_parts(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![0, 0, 0], 2, 1);
+        let s = StandardScaler::fit(&d);
+        let t = s.transform(&d);
+        let p = 2;
+        for j in 0..p {
+            let mean: f64 = (0..3).map(|i| t.value(i, j)).sum::<f64>() / 3.0;
+            let var: f64 = (0..3).map(|i| t.value(i, j).powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let d = Dataset::from_parts(vec![7.0, 7.0, 7.0], vec![0, 0, 0], 1, 1);
+        let s = StandardScaler::fit(&d);
+        let t = s.transform(&d);
+        for i in 0..3 {
+            assert_eq!(t.value(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn categorical_columns_pass_through() {
+        let d = Dataset::from_parts(vec![1.0, 2.0, 3.0, 0.0, 5.0, 1.0], vec![0, 0, 0], 2, 1)
+            .with_kinds(vec![FeatureKind::Numeric, FeatureKind::Categorical]);
+        let t = StandardScaler::fit(&d).transform(&d);
+        assert_eq!(t.value(0, 1), 2.0);
+        assert_eq!(t.value(1, 1), 0.0);
+        assert_eq!(t.value(2, 1), 1.0);
+    }
+
+    #[test]
+    fn transform_uses_train_statistics_only() {
+        let train = Dataset::from_parts(vec![0.0, 10.0], vec![0, 0], 1, 1);
+        let test = Dataset::from_parts(vec![5.0], vec![0], 1, 1);
+        let (_tr, te) = StandardScaler::fit_transform_pair(&train, &test);
+        // train mean 5, std 5 -> test value 5 maps to 0
+        assert!(te.value(0, 0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_maps_training_columns_onto_unit_interval() {
+        let d = Dataset::from_parts(vec![2.0, -1.0, 4.0, 0.0, 6.0, 1.0], vec![0, 0, 0], 2, 1);
+        let t = MinMaxScaler::fit(&d).transform(&d);
+        for j in 0..2 {
+            let vals: Vec<f64> = (0..3).map(|i| t.value(i, j)).collect();
+            assert_eq!(vals.iter().cloned().fold(f64::INFINITY, f64::min), 0.0);
+            assert_eq!(vals.iter().cloned().fold(0.0, f64::max), 1.0);
+        }
+        // linearity: midpoint maps to 0.5
+        assert!((t.value(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_constant_column_maps_to_zero() {
+        let d = Dataset::from_parts(vec![3.0, 3.0, 3.0], vec![0, 0, 0], 1, 1);
+        let t = MinMaxScaler::fit(&d).transform(&d);
+        for i in 0..3 {
+            assert_eq!(t.value(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn minmax_test_fold_can_exceed_unit_interval() {
+        let train = Dataset::from_parts(vec![0.0, 10.0], vec![0, 0], 1, 1);
+        let test = Dataset::from_parts(vec![-5.0, 15.0], vec![0, 0], 1, 1);
+        let (_tr, te) = MinMaxScaler::fit_transform_pair(&train, &test);
+        assert!((te.value(0, 0) + 0.5).abs() < 1e-12);
+        assert!((te.value(1, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_categorical_columns_pass_through() {
+        let d = Dataset::from_parts(vec![1.0, 2.0, 3.0, 0.0, 5.0, 1.0], vec![0, 0, 0], 2, 1)
+            .with_kinds(vec![FeatureKind::Numeric, FeatureKind::Categorical]);
+        let t = MinMaxScaler::fit(&d).transform(&d);
+        assert_eq!(t.value(0, 1), 2.0);
+        assert_eq!(t.value(2, 1), 1.0);
+    }
+}

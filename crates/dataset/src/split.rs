@@ -1,0 +1,211 @@
+//! Train/test splitting and stratified k-fold cross-validation.
+//!
+//! The paper evaluates with "five-fold cross-validation ... repeated five
+//! times". We implement stratified folds (per-class round-robin after a
+//! seeded shuffle) so imbalanced datasets like `shuttle` (IR ≈ 4558) keep
+//! minority samples in every fold where possible.
+
+use crate::dataset::Dataset;
+use crate::rng::rng_from_seed;
+use rand::seq::SliceRandom;
+
+/// One cross-validation fold: row indices of the train and test partitions.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Training row indices (into the original dataset).
+    pub train: Vec<usize>,
+    /// Held-out row indices.
+    pub test: Vec<usize>,
+}
+
+/// Produces `k` stratified folds of `data` using `seed` for the per-class
+/// shuffles.
+///
+/// Every row appears in exactly one test partition; train partitions are the
+/// complements. Classes with fewer than `k` members simply appear in fewer
+/// test folds.
+///
+/// # Panics
+/// Panics if `k < 2` or the dataset has fewer than `k` samples.
+#[must_use]
+pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<Fold> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    assert!(
+        data.n_samples() >= k,
+        "cannot make {k} folds from {} samples",
+        data.n_samples()
+    );
+    let mut rng = rng_from_seed(seed);
+    let mut test_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for mut class_rows in data.class_indices() {
+        class_rows.shuffle(&mut rng);
+        for (pos, row) in class_rows.into_iter().enumerate() {
+            test_sets[pos % k].push(row);
+        }
+    }
+    let n = data.n_samples();
+    test_sets
+        .into_iter()
+        .map(|mut test| {
+            test.sort_unstable();
+            let mut in_test = vec![false; n];
+            for &t in &test {
+                in_test[t] = true;
+            }
+            let train = (0..n).filter(|&i| !in_test[i]).collect();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+/// Stratified holdout split: returns `(train, test)` index sets where the
+/// test set contains roughly `test_fraction` of every class.
+///
+/// # Panics
+/// Panics if `test_fraction` is not in `(0, 1)`.
+#[must_use]
+pub fn stratified_holdout(data: &Dataset, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0,1)"
+    );
+    let mut rng = rng_from_seed(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut class_rows in data.class_indices() {
+        class_rows.shuffle(&mut rng);
+        let n_test = ((class_rows.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(class_rows.len());
+        test.extend_from_slice(&class_rows[..n_test]);
+        train.extend_from_slice(&class_rows[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Draws a stratified subsample of at most `max_samples` rows, preserving
+/// class proportions (each class keeps at least one row when possible).
+/// Used by the harness's `--scale` mode and by the t-SNE figure.
+#[must_use]
+pub fn stratified_subsample(data: &Dataset, max_samples: usize, seed: u64) -> Vec<usize> {
+    if data.n_samples() <= max_samples {
+        return (0..data.n_samples()).collect();
+    }
+    let frac = max_samples as f64 / data.n_samples() as f64;
+    let mut rng = rng_from_seed(seed);
+    let mut keep = Vec::with_capacity(max_samples);
+    for mut class_rows in data.class_indices() {
+        if class_rows.is_empty() {
+            continue;
+        }
+        class_rows.shuffle(&mut rng);
+        let n_keep = ((class_rows.len() as f64 * frac).round() as usize)
+            .clamp(1, class_rows.len());
+        keep.extend_from_slice(&class_rows[..n_keep]);
+    }
+    keep.sort_unstable();
+    keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n_per_class: &[usize]) -> Dataset {
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &n) in n_per_class.iter().enumerate() {
+            for i in 0..n {
+                feats.push(c as f64 * 10.0 + i as f64 * 0.01);
+                labels.push(c as u32);
+            }
+        }
+        Dataset::from_parts(feats, labels, 1, n_per_class.len())
+    }
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let d = blob(&[20, 10]);
+        let folds = stratified_k_fold(&d, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; d.n_samples()];
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), d.n_samples());
+            for &t in &f.test {
+                seen[t] += 1;
+            }
+            // no overlap train/test
+            for &t in &f.test {
+                assert!(!f.train.contains(&t));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row in exactly one test fold");
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let d = blob(&[50, 10]);
+        for f in stratified_k_fold(&d, 5, 1) {
+            let test = d.select(&f.test);
+            let counts = test.class_counts();
+            assert_eq!(counts[0], 10);
+            assert_eq!(counts[1], 2);
+        }
+    }
+
+    #[test]
+    fn tiny_class_still_covered() {
+        let d = blob(&[12, 2]);
+        let folds = stratified_k_fold(&d, 5, 3);
+        let covered: usize = folds
+            .iter()
+            .map(|f| f.test.iter().filter(|&&i| d.label(i) == 1).count())
+            .sum();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let d = blob(&[30, 30]);
+        let a = stratified_k_fold(&d, 5, 99);
+        let b = stratified_k_fold(&d, 5, 99);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.test, y.test);
+        }
+        let c = stratified_k_fold(&d, 5, 100);
+        assert!(a.iter().zip(c.iter()).any(|(x, y)| x.test != y.test));
+    }
+
+    #[test]
+    #[should_panic(expected = "k-fold needs k >= 2")]
+    fn rejects_k1() {
+        let d = blob(&[10]);
+        let _ = stratified_k_fold(&d, 1, 0);
+    }
+
+    #[test]
+    fn holdout_fractions() {
+        let d = blob(&[100, 50]);
+        let (train, test) = stratified_holdout(&d, 0.2, 5);
+        assert_eq!(test.len(), 30);
+        assert_eq!(train.len(), 120);
+        let t = d.select(&test);
+        assert_eq!(t.class_counts(), vec![20, 10]);
+    }
+
+    #[test]
+    fn subsample_keeps_minorities() {
+        let d = blob(&[1000, 10]);
+        let keep = stratified_subsample(&d, 100, 11);
+        let s = d.select(&keep);
+        assert!(s.class_counts()[1] >= 1);
+        assert!(keep.len() <= 110);
+    }
+
+    #[test]
+    fn subsample_noop_when_small() {
+        let d = blob(&[5, 5]);
+        assert_eq!(stratified_subsample(&d, 100, 0).len(), 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-column dataset summaries (a `describe()` in the pandas sense).
+//!
+//! Used by the `gbabs inspect` CLI and handy when importing unknown CSVs:
+//! column ranges reveal whether scaling is needed (the distance-based
+//! algorithms in this workspace are scale-sensitive), and near-constant
+//! columns flag features that cannot influence any granulation.
+
+use crate::dataset::{Dataset, FeatureKind};
+
+/// Summary statistics of one feature column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnSummary {
+    /// Column index.
+    pub index: usize,
+    /// Declared kind.
+    pub kind: FeatureKind,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Mean value.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Number of distinct values (exact).
+    pub distinct: usize,
+}
+
+impl ColumnSummary {
+    /// True when every value in the column is identical.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.distinct <= 1
+    }
+}
+
+/// Whole-dataset summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Per-column statistics, in column order.
+    pub columns: Vec<ColumnSummary>,
+    /// Per-class sample counts.
+    pub class_counts: Vec<usize>,
+    /// Majority / minority ratio.
+    pub imbalance_ratio: f64,
+}
+
+/// Computes per-column and class statistics for `data`.
+///
+/// # Panics
+/// Panics on an empty dataset.
+#[must_use]
+pub fn describe(data: &Dataset) -> DatasetSummary {
+    assert!(data.n_samples() > 0, "cannot describe an empty dataset");
+    let n = data.n_samples() as f64;
+    let columns = (0..data.n_features())
+        .map(|j| {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            let mut distinct: std::collections::HashSet<u64> =
+                std::collections::HashSet::new();
+            for i in 0..data.n_samples() {
+                let v = data.value(i, j);
+                min = min.min(v);
+                max = max.max(v);
+                sum += v;
+                distinct.insert(v.to_bits());
+            }
+            let mean = sum / n;
+            let var = (0..data.n_samples())
+                .map(|i| {
+                    let d = data.value(i, j) - mean;
+                    d * d
+                })
+                .sum::<f64>()
+                / n;
+            ColumnSummary {
+                index: j,
+                kind: data.feature_kinds()[j],
+                min,
+                max,
+                mean,
+                std: var.sqrt(),
+                distinct: distinct.len(),
+            }
+        })
+        .collect();
+    DatasetSummary {
+        columns,
+        class_counts: data.class_counts(),
+        imbalance_ratio: data.imbalance_ratio(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DatasetId;
+
+    #[test]
+    fn hand_computed_column_stats() {
+        let d = Dataset::from_parts(vec![1.0, 2.0, 3.0, 4.0], vec![0, 0, 1, 1], 1, 2);
+        let s = describe(&d);
+        assert_eq!(s.columns.len(), 1);
+        let c = &s.columns[0];
+        assert_eq!(c.min, 1.0);
+        assert_eq!(c.max, 4.0);
+        assert_eq!(c.mean, 2.5);
+        assert!((c.std - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(c.distinct, 4);
+        assert!(!c.is_constant());
+        assert_eq!(s.class_counts, vec![2, 2]);
+        assert!((s.imbalance_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_flagged() {
+        let d = Dataset::from_parts(vec![7.0, 1.0, 7.0, 2.0, 7.0, 3.0], vec![0, 0, 0], 2, 1);
+        let s = describe(&d);
+        assert!(s.columns[0].is_constant());
+        assert_eq!(s.columns[0].std, 0.0);
+        assert!(!s.columns[1].is_constant());
+    }
+
+    #[test]
+    fn catalog_summary_matches_schema() {
+        let d = DatasetId::S3.generate(0.2, 1); // mixed-type surrogate
+        let s = describe(&d);
+        assert_eq!(s.columns.len(), d.n_features());
+        assert_eq!(s.class_counts, d.class_counts());
+        for c in &s.columns {
+            assert!(c.min <= c.mean && c.mean <= c.max);
+            assert!(c.std >= 0.0);
+            assert!(c.distinct >= 1);
+        }
+        // the surrogate declares categorical columns; describe preserves kinds
+        let cats = d.categorical_columns();
+        for &j in &cats {
+            assert_eq!(s.columns[j].kind, FeatureKind::Categorical);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot describe an empty dataset")]
+    fn empty_dataset_rejected() {
+        let d = Dataset::from_parts(Vec::new(), Vec::new(), 1, 1);
+        let _ = describe(&d);
+    }
+}

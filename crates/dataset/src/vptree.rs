@@ -1,0 +1,352 @@
+//! VP-tree (vantage-point tree) exact nearest-neighbour index.
+//!
+//! The paper's conclusion flags GBABS's cost "when facing high-dimensional
+//! feature spaces" as future work. KD-trees (see [`crate::kdtree`])
+//! degenerate to linear scans beyond a few dozen dimensions because their
+//! axis-aligned splits stop pruning; metric trees split on *distance to a
+//! vantage point* instead, which keeps pruning whenever the data has low
+//! intrinsic dimensionality regardless of the ambient dimension — exactly
+//! the regime of the catalog's S12 (128-d gas-sensor) and S13 (256-d USPS)
+//! surrogates.
+//!
+//! The index is exact: queries return the same neighbours as the
+//! brute-force reference in [`crate::neighbors`] (property-tested), so it
+//! can be swapped under any algorithm in the workspace.
+
+use crate::dataset::Dataset;
+use crate::distance::euclidean;
+use crate::neighbors::Neighbor;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A node of the tree (arena-allocated; `u32::MAX` marks "no child").
+#[derive(Debug, Clone)]
+struct Node {
+    /// Row index of the vantage point.
+    vantage: u32,
+    /// Median distance from the vantage point to the rows in its subtree;
+    /// rows with distance ≤ `mu` descend inside, the rest outside.
+    mu: f64,
+    inside: u32,
+    outside: u32,
+}
+
+const NONE: u32 = u32::MAX;
+
+/// An immutable VP-tree over the rows of a dataset snapshot.
+#[derive(Debug, Clone)]
+pub struct VpTree {
+    nodes: Vec<Node>,
+    root: u32,
+    /// Flattened copy of the indexed points (row-major).
+    points: Vec<f64>,
+    n_features: usize,
+    n_rows: usize,
+}
+
+/// Max-heap entry for the k-best candidate set.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    dist: f64,
+    row: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.row == other.row
+    }
+}
+impl Eq for Candidate {}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.row.cmp(&other.row))
+    }
+}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl VpTree {
+    /// Builds the index over every row of `data`.
+    ///
+    /// Vantage points are chosen deterministically (the first row of each
+    /// partition), so identical inputs build identical trees.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty.
+    #[must_use]
+    pub fn build(data: &Dataset) -> Self {
+        assert!(data.n_samples() > 0, "cannot index an empty dataset");
+        let mut tree = Self {
+            nodes: Vec::with_capacity(data.n_samples()),
+            root: NONE,
+            points: data.features().to_vec(),
+            n_features: data.n_features(),
+            n_rows: data.n_samples(),
+        };
+        let mut rows: Vec<u32> = (0..data.n_samples() as u32).collect();
+        tree.root = tree.build_rec(&mut rows);
+        tree
+    }
+
+    fn row(&self, r: u32) -> &[f64] {
+        let r = r as usize;
+        &self.points[r * self.n_features..(r + 1) * self.n_features]
+    }
+
+    /// Recursively builds a subtree over `rows` (consumed) and returns its
+    /// arena index, or `NONE` for an empty slice.
+    fn build_rec(&mut self, rows: &mut [u32]) -> u32 {
+        let Some((&vantage, rest)) = rows.split_first() else {
+            return NONE;
+        };
+        if rest.is_empty() {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                vantage,
+                mu: 0.0,
+                inside: NONE,
+                outside: NONE,
+            });
+            return id;
+        }
+        // Partition the remaining rows by distance-to-vantage around the
+        // median: the inside half gets at least one row, and mu is the
+        // largest inside distance so "≤ mu" matches the partition exactly.
+        let mut sorted: Vec<(f64, u32)> = rest
+            .iter()
+            .map(|&r| (euclidean(self.row(vantage), self.row(r)), r))
+            .collect();
+        sorted.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        let split = (sorted.len() / 2).max(1);
+        let mu = sorted[split - 1].0;
+        let mut inside_rows: Vec<u32> = sorted[..split].iter().map(|&(_, r)| r).collect();
+        let mut outside_rows: Vec<u32> = sorted[split..].iter().map(|&(_, r)| r).collect();
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            vantage,
+            mu,
+            inside: NONE,
+            outside: NONE,
+        });
+        let inside = self.build_rec(&mut inside_rows);
+        let outside = self.build_rec(&mut outside_rows);
+        self.nodes[id as usize].inside = inside;
+        self.nodes[id as usize].outside = outside;
+        id
+    }
+
+    /// Number of indexed rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n_rows
+    }
+
+    /// True when the index holds no rows (never: construction panics).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n_rows == 0
+    }
+
+    /// Returns the `k` nearest indexed rows to `query`, sorted by ascending
+    /// distance (ties by ascending row index), excluding row `skip` when
+    /// given. Exact — identical to the brute-force reference.
+    #[must_use]
+    pub fn k_nearest(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.n_features, "query width mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+        let mut tau = f64::INFINITY;
+        self.search(self.root, query, k, skip, &mut best, &mut tau);
+        let mut hits: Vec<Neighbor> = best
+            .into_iter()
+            .map(|c| Neighbor {
+                index: c.row as usize,
+                distance: c.dist,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+        hits
+    }
+
+    fn search(
+        &self,
+        node: u32,
+        query: &[f64],
+        k: usize,
+        skip: Option<usize>,
+        best: &mut BinaryHeap<Candidate>,
+        tau: &mut f64,
+    ) {
+        if node == NONE {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        let d = euclidean(query, self.row(n.vantage));
+        if skip != Some(n.vantage as usize) {
+            // Accept when the heap has room, the hit strictly improves, or it
+            // ties the current worst with a smaller row index (matching the
+            // brute-force tie rule).
+            let accept = best.len() < k
+                || d < *tau
+                || (d == *tau && best.peek().is_some_and(|t| n.vantage < t.row));
+            if accept {
+                best.push(Candidate {
+                    dist: d,
+                    row: n.vantage,
+                });
+                if best.len() > k {
+                    best.pop();
+                }
+                if best.len() == k {
+                    *tau = best.peek().expect("non-empty").dist;
+                }
+            }
+        }
+        // Visit the likelier side first, prune the other with the
+        // triangle-inequality bound.
+        let (first, second) = if d <= n.mu {
+            (n.inside, n.outside)
+        } else {
+            (n.outside, n.inside)
+        };
+        self.search(first, query, k, skip, best, tau);
+        let bound = (d - n.mu).abs();
+        if best.len() < k || bound <= *tau {
+            self.search(second, query, k, skip, best, tau);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::DatasetId;
+    use crate::neighbors::k_nearest as brute_k_nearest;
+    use crate::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn random_data(n: usize, p: usize, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let feats: Vec<f64> = (0..n * p).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        Dataset::from_parts(feats, labels, p, 3)
+    }
+
+    /// Distances must match brute force exactly; indices may differ only
+    /// within equidistant groups.
+    fn assert_matches_brute(data: &Dataset, tree: &VpTree, k: usize, queries: usize, seed: u64) {
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..queries {
+            let qi = rng.gen_range(0..data.n_samples());
+            let skip = if rng.gen_bool(0.5) { Some(qi) } else { None };
+            let query = data.row(qi).to_vec();
+            let got = tree.k_nearest(&query, k, skip);
+            let want = brute_k_nearest(data, &query, k, skip);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert!(
+                    (g.distance - w.distance).abs() < 1e-9,
+                    "distance mismatch: {} vs {}",
+                    g.distance,
+                    w.distance
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_on_low_dimensional_data() {
+        let data = random_data(300, 3, 1);
+        let tree = VpTree::build(&data);
+        assert_eq!(tree.len(), 300);
+        assert_matches_brute(&data, &tree, 5, 40, 2);
+    }
+
+    #[test]
+    fn exact_on_high_dimensional_data() {
+        // the regime KD-trees lose and VP-trees are built for
+        let data = random_data(200, 64, 3);
+        let tree = VpTree::build(&data);
+        assert_matches_brute(&data, &tree, 7, 30, 4);
+    }
+
+    #[test]
+    fn exact_on_catalog_surrogate() {
+        let data = DatasetId::S5.generate(0.05, 5);
+        let tree = VpTree::build(&data);
+        assert_matches_brute(&data, &tree, 5, 40, 6);
+    }
+
+    #[test]
+    fn exact_with_duplicate_points() {
+        // heavy ties stress the tie-breaking rules
+        let mut feats = Vec::new();
+        for i in 0..60 {
+            feats.push(f64::from(i % 5));
+        }
+        let data = Dataset::from_parts(feats, vec![0; 60], 1, 1);
+        let tree = VpTree::build(&data);
+        assert_matches_brute(&data, &tree, 8, 30, 7);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let data = random_data(10, 2, 8);
+        let tree = VpTree::build(&data);
+        let hits = tree.k_nearest(data.row(0), 50, None);
+        assert_eq!(hits.len(), 10);
+        let hits_skip = tree.k_nearest(data.row(0), 50, Some(0));
+        assert_eq!(hits_skip.len(), 9);
+        assert!(hits_skip.iter().all(|h| h.index != 0));
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let data = random_data(10, 2, 9);
+        let tree = VpTree::build(&data);
+        assert!(tree.k_nearest(data.row(0), 0, None).is_empty());
+    }
+
+    #[test]
+    fn single_row_tree() {
+        let data = Dataset::from_parts(vec![1.0, 2.0], vec![0], 2, 1);
+        let tree = VpTree::build(&data);
+        let hits = tree.k_nearest(&[0.0, 0.0], 3, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].index, 0);
+    }
+
+    #[test]
+    fn results_are_sorted() {
+        let data = random_data(120, 4, 10);
+        let tree = VpTree::build(&data);
+        let hits = tree.k_nearest(&[0.0; 4], 15, None);
+        assert!(hits
+            .windows(2)
+            .all(|w| w[0].distance <= w[1].distance));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot index an empty dataset")]
+    fn empty_dataset_rejected() {
+        let data = Dataset::from_parts(Vec::new(), Vec::new(), 2, 1);
+        let _ = VpTree::build(&data);
+    }
+}

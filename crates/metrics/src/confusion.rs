@@ -1,0 +1,240 @@
+//! Confusion matrix.
+
+/// A dense `q × q` confusion matrix; `counts[true][pred]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    n_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel truth/prediction slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a label is ≥ `n_classes`.
+    #[must_use]
+    pub fn from_predictions(truth: &[u32], pred: &[u32], n_classes: usize) -> Self {
+        assert_eq!(truth.len(), pred.len(), "length mismatch");
+        let mut counts = vec![0usize; n_classes * n_classes];
+        for (&t, &p) in truth.iter().zip(pred.iter()) {
+            assert!(
+                (t as usize) < n_classes && (p as usize) < n_classes,
+                "label out of range"
+            );
+            counts[t as usize * n_classes + p as usize] += 1;
+        }
+        Self { counts, n_classes }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Cell `(true_class, predicted_class)`.
+    #[must_use]
+    pub fn get(&self, true_class: usize, predicted: usize) -> usize {
+        self.counts[true_class * self.n_classes + predicted]
+    }
+
+    /// Total number of scored samples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Per-class recall (sensitivity); `None` for absent classes.
+    #[must_use]
+    pub fn recalls(&self) -> Vec<Option<f64>> {
+        (0..self.n_classes)
+            .map(|c| {
+                let support: usize = (0..self.n_classes).map(|p| self.get(c, p)).sum();
+                (support > 0).then(|| self.get(c, c) as f64 / support as f64)
+            })
+            .collect()
+    }
+
+    /// Per-class precision; `None` when the class was never predicted.
+    #[must_use]
+    pub fn precisions(&self) -> Vec<Option<f64>> {
+        (0..self.n_classes)
+            .map(|c| {
+                let predicted: usize = (0..self.n_classes).map(|t| self.get(t, c)).sum();
+                (predicted > 0).then(|| self.get(c, c) as f64 / predicted as f64)
+            })
+            .collect()
+    }
+
+    /// Overall accuracy (trace / total).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = (0..self.n_classes).map(|c| self.get(c, c)).sum();
+        hits as f64 / total as f64
+    }
+
+    /// Row sums (per-class truth supports).
+    #[must_use]
+    pub fn supports(&self) -> Vec<usize> {
+        (0..self.n_classes)
+            .map(|c| (0..self.n_classes).map(|p| self.get(c, p)).sum())
+            .collect()
+    }
+
+    /// Column sums (per-class prediction counts).
+    #[must_use]
+    pub fn predicted_counts(&self) -> Vec<usize> {
+        (0..self.n_classes)
+            .map(|c| (0..self.n_classes).map(|t| self.get(t, c)).sum())
+            .collect()
+    }
+
+    /// Cohen's kappa: chance-corrected agreement
+    /// `(p_o − p_e) / (1 − p_e)`. Returns 0 when `p_e = 1` (both raters
+    /// constant), the sklearn convention.
+    #[must_use]
+    pub fn cohen_kappa(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let p_o = self.accuracy();
+        let p_e: f64 = self
+            .supports()
+            .iter()
+            .zip(self.predicted_counts().iter())
+            .map(|(&s, &p)| (s as f64 / total) * (p as f64 / total))
+            .sum();
+        if (1.0 - p_e).abs() < 1e-12 {
+            return 0.0;
+        }
+        (p_o - p_e) / (1.0 - p_e)
+    }
+
+    /// Matthews correlation coefficient, multi-class (R_k) form:
+    /// `(c·s − Σ p_k t_k) / sqrt((s² − Σ p_k²)(s² − Σ t_k²))`, where `c` is
+    /// the trace, `s` the total, `t_k` truth supports and `p_k` prediction
+    /// counts. Returns 0 for degenerate denominators (sklearn convention).
+    #[must_use]
+    pub fn matthews_corrcoef(&self) -> f64 {
+        let s = self.total() as f64;
+        if s == 0.0 {
+            return 0.0;
+        }
+        let c: f64 = (0..self.n_classes).map(|k| self.get(k, k)).sum::<usize>() as f64;
+        let t: Vec<f64> = self.supports().iter().map(|&v| v as f64).collect();
+        let p: Vec<f64> = self.predicted_counts().iter().map(|&v| v as f64).collect();
+        let tp_dot: f64 = t.iter().zip(p.iter()).map(|(a, b)| a * b).sum();
+        let t_sq: f64 = t.iter().map(|v| v * v).sum();
+        let p_sq: f64 = p.iter().map(|v| v * v).sum();
+        let denom = ((s * s - p_sq) * (s * s - t_sq)).sqrt();
+        if denom < 1e-12 {
+            return 0.0;
+        }
+        (c * s - tp_dot) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_counts() {
+        let truth = [0, 0, 1, 1, 2];
+        let pred = [0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 3);
+        assert_eq!(cm.get(0, 0), 1);
+        assert_eq!(cm.get(0, 1), 1);
+        assert_eq!(cm.get(1, 1), 2);
+        assert_eq!(cm.get(2, 0), 1);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recalls_and_precisions() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 1, 1, 1];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 3);
+        let r = cm.recalls();
+        assert!((r[0].unwrap() - 0.5).abs() < 1e-12);
+        assert!((r[1].unwrap() - 1.0).abs() < 1e-12);
+        assert!(r[2].is_none(), "class 2 absent");
+        let p = cm.precisions();
+        assert!((p[0].unwrap() - 1.0).abs() < 1e-12);
+        assert!((p[1].unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(p[2].is_none());
+    }
+
+    #[test]
+    fn empty_input() {
+        let cm = ConfusionMatrix::from_predictions(&[], &[], 2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[], 1);
+    }
+
+    #[test]
+    fn kappa_perfect_and_chance() {
+        let truth = [0, 0, 1, 1];
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, 2);
+        assert!((cm.cohen_kappa() - 1.0).abs() < 1e-12);
+        // predictions independent of truth -> kappa ~ 0
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 0, 1], 2);
+        assert!(cm.cohen_kappa().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_known_binary_value() {
+        // classic worked example: po = 0.8, pe = 0.5 -> kappa = 0.6
+        let truth = [0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let pred = [0, 0, 0, 0, 1, 1, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        assert!((cm.cohen_kappa() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_constant_raters_is_zero() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 0], &[0, 0, 0], 2);
+        assert_eq!(cm.cohen_kappa(), 0.0);
+    }
+
+    #[test]
+    fn mcc_matches_binary_formula() {
+        // tp=4 fn=1 fp=1 tn=4 -> mcc = (16-1)/sqrt(5*5*5*5) = 0.6
+        let truth = [0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
+        let pred = [0, 0, 0, 0, 1, 1, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, 2);
+        assert!((cm.matthews_corrcoef() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcc_bounds_and_extremes() {
+        let truth = [0, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, 3);
+        assert!((cm.matthews_corrcoef() - 1.0).abs() < 1e-12);
+        // total inversion in binary is -1
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[1, 1, 0, 0], 2);
+        assert!((cm.matthews_corrcoef() + 1.0).abs() < 1e-12);
+        // constant prediction is degenerate -> 0
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 0, 1], &[0, 0, 0, 0], 2);
+        assert_eq!(cm.matthews_corrcoef(), 0.0);
+    }
+
+    #[test]
+    fn supports_and_predicted_counts() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 2], &[0, 1, 1, 1], 3);
+        assert_eq!(cm.supports(), vec![2, 1, 1]);
+        assert_eq!(cm.predicted_counts(), vec![1, 3, 0]);
+    }
+}

@@ -1,0 +1,411 @@
+//! Friedman test with Iman–Davenport correction and Nemenyi critical
+//! difference.
+//!
+//! The paper compares 8 sampling methods over 13 datasets by per-dataset
+//! ranks (Fig. 9) and tests pairwise significance with Wilcoxon
+//! (Table III). The Friedman test is the standard omnibus companion for
+//! exactly such k-methods × n-datasets rank matrices (Demšar 2006): it asks
+//! whether *any* method differs before pairwise posthoc comparisons, and
+//! the Nemenyi critical difference says how far two mean ranks must be
+//! apart to differ significantly. The `experiments fig9` runner reports
+//! both alongside the paper's rank heatmap.
+
+use crate::ranking::fractional_ranks;
+
+/// Result of the Friedman omnibus test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FriedmanResult {
+    /// Friedman chi-square statistic (k−1 degrees of freedom).
+    pub chi_square: f64,
+    /// P-value of the chi-square statistic.
+    pub p_value: f64,
+    /// Iman–Davenport F statistic (less conservative than the raw
+    /// chi-square; df = (k−1, (k−1)(n−1))).
+    pub iman_davenport_f: f64,
+    /// P-value of the Iman–Davenport statistic.
+    pub iman_davenport_p: f64,
+    /// Mean rank per method (lower = better when ranks come from
+    /// [`friedman_from_scores`], which ranks higher scores better).
+    pub mean_ranks: Vec<f64>,
+    /// Number of datasets (blocks).
+    pub n_datasets: usize,
+}
+
+/// Errors for malformed Friedman inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FriedmanError {
+    /// Fewer than two methods or two datasets.
+    TooSmall,
+    /// Rows have inconsistent lengths.
+    Ragged,
+}
+
+impl std::fmt::Display for FriedmanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FriedmanError::TooSmall => {
+                write!(f, "need at least 2 methods and 2 datasets")
+            }
+            FriedmanError::Ragged => write!(f, "score rows have differing lengths"),
+        }
+    }
+}
+
+impl std::error::Error for FriedmanError {}
+
+/// Regularized lower incomplete gamma `P(a, x)` (series for `x < a+1`,
+/// continued fraction otherwise). Numerical Recipes formulation.
+fn gamma_p(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0 && x >= 0.0);
+    if x == 0.0 {
+        return 0.0;
+    }
+    let ln_gamma_a = ln_gamma(a);
+    if x < a + 1.0 {
+        // series expansion
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma_a).exp()
+    } else {
+        // continued fraction for Q(a, x), Lentz's algorithm
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma_a).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Chi-square survival function (upper tail) with `df` degrees of freedom.
+#[must_use]
+pub fn chi_square_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - gamma_p(df / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+/// Regularized incomplete beta `I_x(a, b)` via continued fraction.
+fn beta_inc(a: f64, b: f64, x: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&x));
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // use the symmetry that converges fastest
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - (front * beta_cf(b, a, 1.0 - x) / b)
+    }
+}
+
+/// Continued fraction for the incomplete beta (Lentz's algorithm).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    let tiny = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < tiny {
+        d = tiny;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..500 {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // even step
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h
+}
+
+/// F-distribution survival function with `(d1, d2)` degrees of freedom.
+#[must_use]
+pub fn f_sf(x: f64, d1: f64, d2: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    beta_inc(d2 / 2.0, d1 / 2.0, d2 / (d2 + d1 * x)).clamp(0.0, 1.0)
+}
+
+/// Runs the Friedman test on a pre-ranked matrix: `ranks[dataset][method]`,
+/// fractional ranks 1..=k within each dataset row.
+///
+/// # Errors
+/// [`FriedmanError::TooSmall`] with fewer than 2 methods or datasets;
+/// [`FriedmanError::Ragged`] when rows disagree in length.
+pub fn friedman_from_ranks(ranks: &[Vec<f64>]) -> Result<FriedmanResult, FriedmanError> {
+    let n = ranks.len();
+    if n < 2 {
+        return Err(FriedmanError::TooSmall);
+    }
+    let k = ranks[0].len();
+    if k < 2 {
+        return Err(FriedmanError::TooSmall);
+    }
+    if ranks.iter().any(|r| r.len() != k) {
+        return Err(FriedmanError::Ragged);
+    }
+    let mut mean_ranks = vec![0.0f64; k];
+    for row in ranks {
+        for (j, &r) in row.iter().enumerate() {
+            mean_ranks[j] += r;
+        }
+    }
+    for m in mean_ranks.iter_mut() {
+        *m /= n as f64;
+    }
+    let (nf, kf) = (n as f64, k as f64);
+    let sum_sq: f64 = mean_ranks.iter().map(|r| r * r).sum();
+    let chi_square = 12.0 * nf / (kf * (kf + 1.0)) * (sum_sq - kf * (kf + 1.0) * (kf + 1.0) / 4.0);
+    let p_value = chi_square_sf(chi_square, kf - 1.0);
+    // Iman–Davenport correction; guard the denominator for chi² ≈ n(k−1).
+    let denom = nf * (kf - 1.0) - chi_square;
+    let (iman_davenport_f, iman_davenport_p) = if denom > 1e-12 {
+        let f = (nf - 1.0) * chi_square / denom;
+        (f, f_sf(f, kf - 1.0, (kf - 1.0) * (nf - 1.0)))
+    } else {
+        (f64::INFINITY, 0.0)
+    };
+    Ok(FriedmanResult {
+        chi_square,
+        p_value,
+        iman_davenport_f,
+        iman_davenport_p,
+        mean_ranks,
+        n_datasets: n,
+    })
+}
+
+/// Runs the Friedman test on raw scores `scores[dataset][method]` where
+/// **higher is better** (accuracy, G-mean): each dataset row is converted
+/// to fractional ranks with rank 1 for the best method.
+///
+/// # Errors
+/// Same as [`friedman_from_ranks`].
+pub fn friedman_from_scores(scores: &[Vec<f64>]) -> Result<FriedmanResult, FriedmanError> {
+    // fractional_ranks already assigns rank 1 to the highest score
+    let ranks: Vec<Vec<f64>> = scores.iter().map(|row| fractional_ranks(row)).collect();
+    friedman_from_ranks(&ranks)
+}
+
+/// Nemenyi critical difference at α = 0.05 for `k` methods over
+/// `n_datasets` datasets: two methods differ significantly when their mean
+/// ranks differ by at least this much (Demšar 2006, Table 5).
+///
+/// # Panics
+/// Panics for `k < 2` or `k > 10` (the tabulated range).
+#[must_use]
+pub fn nemenyi_critical_difference(k: usize, n_datasets: usize) -> f64 {
+    // q_0.05 for the studentized range statistic / sqrt(2), k = 2..=10
+    const Q05: [f64; 9] = [
+        1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+    ];
+    assert!((2..=10).contains(&k), "Nemenyi table covers k in 2..=10");
+    let q = Q05[k - 2];
+    q * (k as f64 * (k as f64 + 1.0) / (6.0 * n_datasets as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_matches_known_quantiles() {
+        // chi² with 1 df: P(X > 3.841) ≈ 0.05
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        // 4 df: P(X > 9.488) ≈ 0.05
+        assert!((chi_square_sf(9.488, 4.0) - 0.05).abs() < 1e-3);
+        // boundary behaviour
+        assert_eq!(chi_square_sf(0.0, 3.0), 1.0);
+        assert!(chi_square_sf(1e3, 3.0) < 1e-12);
+    }
+
+    #[test]
+    fn f_sf_matches_known_quantiles() {
+        // F(2, 10): P(X > 4.103) ≈ 0.05
+        assert!((f_sf(4.103, 2.0, 10.0) - 0.05).abs() < 2e-3);
+        // F(1, 1): median is 1 -> sf(1) = 0.5
+        assert!((f_sf(1.0, 1.0, 1.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friedman_on_demsar_worked_example() {
+        // Demšar (2006) §3.2.2-style data: 4 methods, 4 datasets with a
+        // consistent winner produce a significant omnibus result.
+        let ranks = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 3.0, 2.0, 4.0],
+        ];
+        let res = friedman_from_ranks(&ranks).unwrap();
+        assert!(res.p_value < 0.05, "p = {}", res.p_value);
+        assert!(res.mean_ranks[0] < res.mean_ranks[3]);
+        assert_eq!(res.n_datasets, 4);
+    }
+
+    #[test]
+    fn friedman_no_difference_is_insignificant() {
+        // Rotating ranks: every method has the same mean rank.
+        let ranks = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 3.0, 1.0],
+            vec![3.0, 1.0, 2.0],
+        ];
+        let res = friedman_from_ranks(&ranks).unwrap();
+        assert!(res.chi_square.abs() < 1e-9);
+        assert!((res.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_scores_ranks_higher_as_better() {
+        let scores = vec![
+            vec![0.9, 0.8, 0.7],
+            vec![0.95, 0.85, 0.6],
+            vec![0.99, 0.9, 0.5],
+        ];
+        let res = friedman_from_scores(&scores).unwrap();
+        assert!((res.mean_ranks[0] - 1.0).abs() < 1e-12);
+        assert!((res.mean_ranks[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_share_fractional_ranks() {
+        let scores = vec![vec![0.5, 0.5, 0.1], vec![0.7, 0.7, 0.2]];
+        let res = friedman_from_scores(&scores).unwrap();
+        assert!((res.mean_ranks[0] - 1.5).abs() < 1e-12);
+        assert!((res.mean_ranks[1] - 1.5).abs() < 1e-12);
+        assert!((res.mean_ranks[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert_eq!(
+            friedman_from_ranks(&[vec![1.0, 2.0]]),
+            Err(FriedmanError::TooSmall)
+        );
+        assert_eq!(
+            friedman_from_ranks(&[vec![1.0], vec![1.0]]),
+            Err(FriedmanError::TooSmall)
+        );
+        assert_eq!(
+            friedman_from_ranks(&[vec![1.0, 2.0], vec![1.0, 2.0, 3.0]]),
+            Err(FriedmanError::Ragged)
+        );
+    }
+
+    #[test]
+    fn nemenyi_cd_matches_demsar_table() {
+        // Demšar reports CD ≈ 3.143 for k=10, n=10 at α=0.05 … check the
+        // formula on a couple of points instead:
+        // k=2: q=1.960, CD = 1.960*sqrt(2*3/(6n)) = 1.960/sqrt(n)
+        let cd = nemenyi_critical_difference(2, 16);
+        assert!((cd - 1.960 / 4.0).abs() < 1e-12);
+        let cd8 = nemenyi_critical_difference(8, 13);
+        assert!(cd8 > 0.0 && cd8 < 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Nemenyi table covers k in 2..=10")]
+    fn nemenyi_out_of_table() {
+        let _ = nemenyi_critical_difference(11, 5);
+    }
+}

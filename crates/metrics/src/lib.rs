@@ -1,0 +1,33 @@
+//! # gb-metrics
+//!
+//! Evaluation metrics and statistics for the GBABS reproduction: Accuracy,
+//! multi-class G-mean, confusion matrices, the Wilcoxon signed-rank test
+//! (the paper's Table III), rank utilities (Fig. 9) and summary statistics
+//! for the ridge plots (Figs. 7–8).
+//!
+//! ```
+//! use gb_metrics::{accuracy, g_mean, wilcoxon::wilcoxon_signed_rank};
+//!
+//! let truth = [0, 0, 1, 1];
+//! let pred = [0, 1, 1, 1];
+//! assert_eq!(accuracy(&truth, &pred), 0.75);
+//! assert!(g_mean(&truth, &pred, 2) > 0.7);
+//!
+//! let a = [0.9, 0.8, 0.95, 0.7, 0.85, 0.9];
+//! let b = [0.7, 0.6, 0.80, 0.5, 0.70, 0.8];
+//! let res = wilcoxon_signed_rank(&a, &b).unwrap();
+//! assert!(res.p_value < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod confusion;
+pub mod friedman;
+pub mod ranking;
+pub mod scores;
+pub mod stats;
+pub mod wilcoxon;
+
+pub use confusion::ConfusionMatrix;
+pub use scores::{accuracy, balanced_accuracy, g_mean, macro_f1, macro_precision};

@@ -1,0 +1,109 @@
+//! Method rankings (the paper's Fig. 9 heatmaps).
+//!
+//! Given one score per method on a dataset, methods are ranked 1 (best,
+//! highest score) to m. Two flavours: *ordinal* integer ranks with ties
+//! broken by method order (what a heatmap cell shows) and *fractional*
+//! average ranks (what rank-based statistics want).
+
+/// Ordinal ranks, 1 = highest score; ties broken toward the earlier method.
+#[must_use]
+pub fn ordinal_ranks(scores: &[f64]) -> Vec<usize> {
+    let m = scores.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then_with(|| a.cmp(&b))
+    });
+    let mut ranks = vec![0usize; m];
+    for (pos, &method) in order.iter().enumerate() {
+        ranks[method] = pos + 1;
+    }
+    ranks
+}
+
+/// Fractional ranks with ties averaged, 1 = highest score.
+#[must_use]
+pub fn fractional_ranks(scores: &[f64]) -> Vec<f64> {
+    let m = scores.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite scores")
+            .then_with(|| a.cmp(&b))
+    });
+    let mut ranks = vec![0.0f64; m];
+    let mut i = 0;
+    while i < m {
+        let mut j = i;
+        while j + 1 < m && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &method in &order[i..=j] {
+            ranks[method] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Mean rank per method across datasets: `ranks_per_dataset[d][method]`.
+///
+/// # Panics
+/// Panics on empty input or ragged rows.
+#[must_use]
+pub fn mean_ranks(ranks_per_dataset: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!ranks_per_dataset.is_empty(), "no datasets");
+    let m = ranks_per_dataset[0].len();
+    let mut sums = vec![0.0; m];
+    for row in ranks_per_dataset {
+        assert_eq!(row.len(), m, "ragged rank rows");
+        for (s, &r) in sums.iter_mut().zip(row.iter()) {
+            *s += r;
+        }
+    }
+    let d = ranks_per_dataset.len() as f64;
+    sums.into_iter().map(|s| s / d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinal_basic() {
+        assert_eq!(ordinal_ranks(&[0.5, 0.9, 0.7]), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn ordinal_tie_breaks_by_method_order() {
+        assert_eq!(ordinal_ranks(&[0.9, 0.9, 0.1]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fractional_ties_averaged() {
+        let r = fractional_ranks(&[0.9, 0.9, 0.1]);
+        assert_eq!(r, vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn fractional_matches_ordinal_without_ties() {
+        let scores = [0.3, 0.8, 0.1, 0.5];
+        let o = ordinal_ranks(&scores);
+        let f = fractional_ranks(&scores);
+        for (a, b) in o.iter().zip(f.iter()) {
+            assert!((*a as f64 - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_ranks_across_datasets() {
+        let per = vec![vec![1.0, 2.0], vec![2.0, 1.0], vec![1.0, 2.0]];
+        let m = mean_ranks(&per);
+        assert!((m[0] - 4.0 / 3.0).abs() < 1e-12);
+        assert!((m[1] - 5.0 / 3.0).abs() < 1e-12);
+    }
+}

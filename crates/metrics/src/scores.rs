@@ -1,0 +1,188 @@
+//! Scalar classification scores: Accuracy and G-mean.
+//!
+//! The paper scores standard/noise experiments with Accuracy (Tables II, IV)
+//! and imbalanced experiments with G-mean (Fig. 9). For multi-class data the
+//! G-mean is the geometric mean of per-class recalls — the convention used
+//! by imbalanced-learn, which the paper's tooling builds on.
+
+use crate::confusion::ConfusionMatrix;
+
+/// Fraction of correct predictions.
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+#[must_use]
+pub fn accuracy(truth: &[u32], pred: &[u32]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "no predictions to score");
+    truth.iter().zip(pred.iter()).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+}
+
+/// Geometric mean of per-class recalls over the classes present in `truth`.
+/// Returns 0 when any present class has zero recall (imbalanced-learn
+/// convention).
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+#[must_use]
+pub fn g_mean(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let cm = ConfusionMatrix::from_predictions(truth, pred, n_classes);
+    let recalls: Vec<f64> = cm.recalls().into_iter().flatten().collect();
+    assert!(!recalls.is_empty(), "no predictions to score");
+    if recalls.contains(&0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = recalls.iter().map(|r| r.ln()).sum();
+    (log_sum / recalls.len() as f64).exp()
+}
+
+/// Macro-averaged recall over the classes present in `truth` (a.k.a.
+/// balanced accuracy, sklearn's `balanced_accuracy_score`).
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+#[must_use]
+pub fn balanced_accuracy(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let cm = ConfusionMatrix::from_predictions(truth, pred, n_classes);
+    let recalls: Vec<f64> = cm.recalls().into_iter().flatten().collect();
+    assert!(!recalls.is_empty(), "no predictions to score");
+    recalls.iter().sum::<f64>() / recalls.len() as f64
+}
+
+/// Macro-averaged precision over classes present in `truth`; classes never
+/// predicted contribute precision 0 (sklearn's `zero_division=0`).
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+#[must_use]
+pub fn macro_precision(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let cm = ConfusionMatrix::from_predictions(truth, pred, n_classes);
+    let present: Vec<usize> = (0..n_classes)
+        .filter(|&c| (0..n_classes).map(|p| cm.get(c, p)).sum::<usize>() > 0)
+        .collect();
+    assert!(!present.is_empty(), "no predictions to score");
+    let precisions = cm.precisions();
+    present
+        .iter()
+        .map(|&c| precisions[c].unwrap_or(0.0))
+        .sum::<f64>()
+        / present.len() as f64
+}
+
+/// Macro-averaged F1 over classes present in `truth`: the unweighted mean
+/// of per-class harmonic precision/recall means, with 0 for degenerate
+/// classes (sklearn's `f1_score(average="macro")`).
+///
+/// # Panics
+/// Panics if slices differ in length or are empty.
+#[must_use]
+pub fn macro_f1(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
+    let cm = ConfusionMatrix::from_predictions(truth, pred, n_classes);
+    let precisions = cm.precisions();
+    let recalls = cm.recalls();
+    let mut f1s = Vec::new();
+    for c in 0..n_classes {
+        let Some(r) = recalls[c] else {
+            continue; // class absent from truth
+        };
+        let p = precisions[c].unwrap_or(0.0);
+        let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        f1s.push(f1);
+    }
+    assert!(!f1s.is_empty(), "no predictions to score");
+    f1s.iter().sum::<f64>() / f1s.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert!((accuracy(&[0, 1, 1], &[0, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&[1], &[1]), 1.0);
+    }
+
+    #[test]
+    fn gmean_binary() {
+        // recall(0) = 1.0, recall(1) = 0.5 -> sqrt(0.5)
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 0];
+        let g = g_mean(&truth, &pred, 2);
+        assert!((g - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_zero_when_class_fully_missed() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 0, 0];
+        assert_eq!(g_mean(&truth, &pred, 2), 0.0);
+    }
+
+    #[test]
+    fn gmean_ignores_absent_classes() {
+        // class 2 never appears in truth: only classes 0 and 1 counted
+        let truth = [0, 1];
+        let pred = [0, 1];
+        assert_eq!(g_mean(&truth, &pred, 3), 1.0);
+    }
+
+    #[test]
+    fn gmean_multiclass() {
+        // recalls 1.0, 0.5, 0.5 -> (0.25)^(1/3)
+        let truth = [0, 1, 1, 2, 2];
+        let pred = [0, 1, 0, 2, 0];
+        let g = g_mean(&truth, &pred, 3);
+        assert!((g - 0.25f64.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let truth = [0, 1, 2, 1];
+        assert_eq!(accuracy(&truth, &truth), 1.0);
+        assert_eq!(g_mean(&truth, &truth, 3), 1.0);
+        assert_eq!(balanced_accuracy(&truth, &truth, 3), 1.0);
+        assert_eq!(macro_precision(&truth, &truth, 3), 1.0);
+        assert_eq!(macro_f1(&truth, &truth, 3), 1.0);
+    }
+
+    #[test]
+    fn balanced_accuracy_is_mean_recall() {
+        // recall(0)=1.0, recall(1)=0.5 -> 0.75
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 0];
+        assert!((balanced_accuracy(&truth, &pred, 2) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_precision_counts_unpredicted_class_as_zero() {
+        // class 1 present in truth but never predicted: precision 0
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 0, 0];
+        assert!((macro_precision(&truth, &pred, 2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_binary_hand_computed() {
+        // class 0: p=2/3, r=1 -> f1=0.8; class 1: p=1, r=0.5 -> f1=2/3
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 0];
+        let expect = (0.8 + 2.0 / 3.0) / 2.0;
+        assert!((macro_f1(&truth, &pred, 2) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_scores_ignore_absent_classes() {
+        let truth = [0, 1];
+        let pred = [0, 1];
+        assert_eq!(macro_f1(&truth, &pred, 5), 1.0);
+        assert_eq!(balanced_accuracy(&truth, &pred, 5), 1.0);
+    }
+
+    #[test]
+    fn f1_zero_when_nothing_right_for_class() {
+        let truth = [1, 1];
+        let pred = [0, 0];
+        assert_eq!(macro_f1(&truth, &pred, 2), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Small summary-statistics helpers used by the experiment harness.
+
+/// Arithmetic mean. Returns 0 for empty input.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns 0 for fewer than 2 values.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`).
+///
+/// # Panics
+/// Panics on empty input or `q` outside `[0, 1]`.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (0.5 quantile).
+///
+/// # Panics
+/// Panics on empty input.
+#[must_use]
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Gaussian-kernel density estimate evaluated at `grid` points — the data
+/// behind the paper's ridge plots (Figs. 7–8). Bandwidth by Silverman's
+/// rule, floored to avoid degenerate spikes.
+#[must_use]
+pub fn kde(xs: &[f64], grid: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return vec![0.0; grid.len()];
+    }
+    let sd = std_dev(xs);
+    let n = xs.len() as f64;
+    let bw = (0.9 * sd * n.powf(-0.2)).max(1e-3);
+    let norm = 1.0 / (n * bw * (2.0 * std::f64::consts::PI).sqrt());
+    grid.iter()
+        .map(|&g| {
+            xs.iter()
+                .map(|&x| {
+                    let z = (g - x) / bw;
+                    (-0.5 * z * z).exp()
+                })
+                .sum::<f64>()
+                * norm
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((median(&xs) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kde_integrates_to_roughly_one() {
+        let xs = [0.0, 0.1, 0.2, 0.5, 0.6];
+        let grid: Vec<f64> = (-200..300).map(|i| i as f64 * 0.01).collect();
+        let dens = kde(&xs, &grid);
+        let integral: f64 = dens.iter().sum::<f64>() * 0.01;
+        assert!((integral - 1.0).abs() < 0.05, "integral {integral}");
+    }
+
+    #[test]
+    fn kde_peaks_near_data() {
+        let xs = [0.5; 10];
+        let grid = [0.0, 0.5, 1.0];
+        let dens = kde(&xs, &grid);
+        assert!(dens[1] > dens[0] && dens[1] > dens[2]);
+    }
+}

@@ -1,0 +1,191 @@
+//! CNN — Condensed Nearest Neighbour undersampling (Hart 1968).
+//!
+//! Tomek's paper the GBABS evaluation uses (\[16\]) is literally titled "Two
+//! modifications of CNN"; CNN itself is the classic prototype-selection
+//! undersampler those modifications refine, so it completes the baseline
+//! family. The condensed store keeps every sample the current 1-NN rule gets
+//! wrong — which is, in practice, the borderline — making CNN the historical
+//! ancestor of the paper's borderline-sampling idea (with the quadratic cost
+//! the paper's §I criticizes).
+//!
+//! Multi-class handling follows imbalanced-learn: all samples of the
+//! smallest class are kept, every other class is condensed against the
+//! store.
+
+use gb_dataset::distance::sq_euclidean;
+use gb_dataset::rng::rng_from_seed;
+use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The CNN undersampler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CondensedNn {
+    /// Maximum full passes over the data (safety valve; Hart's rule
+    /// converges long before this on real data). 0 means a single pass.
+    pub max_passes: usize,
+}
+
+impl CondensedNn {
+    /// CNN iterated to convergence (bounded by `max_passes` full sweeps).
+    #[must_use]
+    pub fn new(max_passes: usize) -> Self {
+        Self { max_passes }
+    }
+}
+
+/// 1-NN label of `row` among the `store` rows of `data`; `None` when the
+/// store is empty.
+fn one_nn_label(data: &Dataset, store: &[usize], row: &[f64]) -> Option<u32> {
+    store
+        .iter()
+        .map(|&s| (sq_euclidean(data.row(s), row), s))
+        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)))
+        .map(|(_, s)| data.label(s))
+}
+
+impl Sampler for CondensedNn {
+    fn name(&self) -> &'static str {
+        "CNN"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let mut rng = rng_from_seed(seed);
+        let counts = data.class_counts();
+        let minority = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .min_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then_with(|| ia.cmp(ib)))
+            .map(|(i, _)| i as u32)
+            .unwrap_or(0);
+
+        // Store: all minority rows plus one random row per other class.
+        let groups = data.class_indices();
+        let mut store: Vec<usize> = groups
+            .get(minority as usize)
+            .cloned()
+            .unwrap_or_default();
+        let mut pool: Vec<usize> = Vec::new();
+        for (class, rows) in groups.iter().enumerate() {
+            if class == minority as usize || rows.is_empty() {
+                continue;
+            }
+            let pick = rows[rng.gen_range(0..rows.len())];
+            store.push(pick);
+            pool.extend(rows.iter().copied().filter(|&r| r != pick));
+        }
+        pool.shuffle(&mut rng);
+
+        // Hart's rule: absorb every sample the current store misclassifies,
+        // sweeping until a full pass adds nothing.
+        for _ in 0..=self.max_passes {
+            let mut added = false;
+            pool.retain(|&r| {
+                let correct = one_nn_label(data, &store, data.row(r)) == Some(data.label(r));
+                if !correct {
+                    store.push(r);
+                    added = true;
+                }
+                correct // keep correctly-classified rows in the pool
+            });
+            if !added {
+                break;
+            }
+        }
+
+        store.sort_unstable();
+        store.dedup();
+        SampleResult {
+            dataset: data.select(&store),
+            kept_rows: Some(store),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    fn cnn() -> CondensedNn {
+        CondensedNn::new(16)
+    }
+
+    #[test]
+    fn keeps_all_minority_rows() {
+        let d = DatasetId::S9.generate(0.1, 1); // IR ~ 9.9, class 1 minority
+        let out = cnn().sample(&d, 0);
+        let before = d.class_counts();
+        let minority = if before[0] < before[1] { 0 } else { 1 };
+        assert_eq!(out.dataset.class_counts()[minority], before[minority]);
+    }
+
+    #[test]
+    fn condenses_well_separated_majority_hard() {
+        // Two tight clusters far apart: one majority prototype classifies
+        // everything, so the store stays near |minority| + 1.
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..100 {
+            feats.push(i as f64 * 0.01);
+            labels.push(0);
+        }
+        for i in 0..10 {
+            feats.push(100.0 + i as f64 * 0.01);
+            labels.push(1);
+        }
+        let d = Dataset::from_parts(feats, labels, 1, 2);
+        let out = cnn().sample(&d, 1);
+        let counts = out.dataset.class_counts();
+        assert_eq!(counts[1], 10, "minority intact");
+        assert!(counts[0] <= 3, "majority should condense, kept {}", counts[0]);
+    }
+
+    #[test]
+    fn condensed_store_is_one_nn_consistent() {
+        // Hart's invariant at convergence: the store classifies every
+        // original sample correctly under the 1-NN rule.
+        let d = DatasetId::S5.generate(0.05, 2);
+        let out = cnn().sample(&d, 3);
+        let store = out.kept_rows.expect("undersampler");
+        for i in 0..d.n_samples() {
+            // skip rows in the store: trivially correct
+            if store.binary_search(&i).is_ok() {
+                continue;
+            }
+            assert_eq!(
+                one_nn_label(&d, &store, d.row(i)),
+                Some(d.label(i)),
+                "row {i} misclassified by the condensed store"
+            );
+        }
+    }
+
+    #[test]
+    fn kept_rows_sorted_unique_and_match() {
+        let d = DatasetId::S2.generate(0.1, 1);
+        let out = cnn().sample(&d, 2);
+        let kept = out.kept_rows.expect("undersampler");
+        assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        for (pos, &row) in kept.iter().enumerate() {
+            assert_eq!(out.dataset.row(pos), d.row(row));
+        }
+    }
+
+    #[test]
+    fn single_class_input_keeps_everything() {
+        let d = Dataset::from_parts((0..20).map(f64::from).collect(), vec![0; 20], 1, 1);
+        let out = cnn().sample(&d, 0);
+        assert_eq!(out.dataset.n_samples(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = DatasetId::S5.generate(0.05, 1);
+        let a = cnn().sample(&d, 7);
+        let b = cnn().sample(&d, 7);
+        assert_eq!(a.kept_rows, b.kept_rows);
+    }
+}

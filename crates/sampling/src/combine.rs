@@ -1,0 +1,166 @@
+//! Combined over- + under-sampling: SMOTE-Tomek and SMOTE-ENN.
+//!
+//! The standard imbalanced-learn combinations the SMOTE literature pairs
+//! with the paper's baselines: first SMOTE tops every class up to the
+//! majority count, then a cleaning rule removes the boundary artifacts
+//! oversampling creates — exactly the "SMOTE may blur class boundaries"
+//! problem the paper's introduction calls out. SMOTE-Tomek deletes both
+//! endpoints of every Tomek link; SMOTE-ENN applies Wilson editing to all
+//! classes (the stronger cleaner).
+
+use crate::enn::enn_removals;
+use crate::smote::Smote;
+use crate::tomek::find_tomek_links;
+use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
+
+/// SMOTE followed by Tomek-link removal (both endpoints, imblearn's
+/// `SMOTETomek`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmoteTomek {
+    /// The SMOTE stage.
+    pub smote: Smote,
+}
+
+/// SMOTE followed by all-classes ENN editing (imblearn's `SMOTEENN`).
+#[derive(Debug, Clone, Copy)]
+pub struct SmoteEnn {
+    /// The SMOTE stage.
+    pub smote: Smote,
+    /// ENN neighbour count (imblearn default 3).
+    pub enn_k: usize,
+}
+
+impl Default for SmoteEnn {
+    fn default() -> Self {
+        Self {
+            smote: Smote::default(),
+            enn_k: 3,
+        }
+    }
+}
+
+fn keep_all_but(data: &Dataset, removals: &[usize]) -> SampleResult {
+    let mut remove = vec![false; data.n_samples()];
+    for &r in removals {
+        remove[r] = true;
+    }
+    let mut rows: Vec<usize> = (0..data.n_samples()).filter(|&r| !remove[r]).collect();
+    if rows.is_empty() {
+        rows = (0..data.n_samples()).collect();
+    }
+    SampleResult {
+        dataset: data.select(&rows),
+        // The intermediate dataset contains synthetic rows, so there is no
+        // mapping back to the caller's row indices.
+        kept_rows: None,
+    }
+}
+
+impl Sampler for SmoteTomek {
+    fn name(&self) -> &'static str {
+        "SM+Tomek"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let oversampled = self.smote.sample(data, seed).dataset;
+        let removals: Vec<usize> = find_tomek_links(&oversampled)
+            .into_iter()
+            .flat_map(|(a, b)| [a, b])
+            .collect();
+        keep_all_but(&oversampled, &removals)
+    }
+}
+
+impl Sampler for SmoteEnn {
+    fn name(&self) -> &'static str {
+        "SM+ENN"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let oversampled = self.smote.sample(data, seed).dataset;
+        let removals = enn_removals(&oversampled, self.enn_k, true);
+        keep_all_but(&oversampled, &removals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    #[test]
+    fn smote_tomek_removes_links_from_the_oversampled_set() {
+        let d = DatasetId::S9.generate(0.05, 1);
+        let plain = Smote::default().sample(&d, 0).dataset;
+        let combined = SmoteTomek::default().sample(&d, 0).dataset;
+        assert!(combined.n_samples() <= plain.n_samples());
+        // Tomek cleaning must leave no links behind.
+        assert!(find_tomek_links(&combined).is_empty());
+    }
+
+    #[test]
+    fn smote_enn_cleans_harder_than_smote_tomek() {
+        // ENN editing is the aggressive cleaner of the two — on noisy,
+        // overlapping data it removes at least as much.
+        let d = DatasetId::S2.generate(0.3, 2);
+        let tomek = SmoteTomek::default().sample(&d, 1).dataset;
+        let enn = SmoteEnn::default().sample(&d, 1).dataset;
+        assert!(enn.n_samples() <= tomek.n_samples());
+    }
+
+    #[test]
+    fn rough_balance_survives_cleaning() {
+        let d = DatasetId::S9.generate(0.05, 3);
+        for out in [
+            SmoteTomek::default().sample(&d, 2).dataset,
+            SmoteEnn::default().sample(&d, 2).dataset,
+        ] {
+            let counts = out.class_counts();
+            let max = *counts.iter().max().unwrap() as f64;
+            let min = *counts.iter().filter(|&&c| c > 0).min().unwrap() as f64;
+            assert!(
+                min / max > 0.5,
+                "cleaning destroyed the balance: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_kept_rows_reported() {
+        let d = DatasetId::S9.generate(0.05, 0);
+        assert!(SmoteTomek::default().sample(&d, 0).kept_rows.is_none());
+        assert!(SmoteEnn::default().sample(&d, 0).kept_rows.is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = DatasetId::S9.generate(0.05, 4);
+        for (a, b) in [
+            (
+                SmoteTomek::default().sample(&d, 9),
+                SmoteTomek::default().sample(&d, 9),
+            ),
+            (
+                SmoteEnn::default().sample(&d, 9),
+                SmoteEnn::default().sample(&d, 9),
+            ),
+        ] {
+            assert_eq!(a.dataset.features(), b.dataset.features());
+        }
+    }
+
+    #[test]
+    fn balanced_clean_input_roughly_unchanged() {
+        // Separated, balanced clusters: SMOTE adds little, cleaners remove
+        // nothing.
+        let d = Dataset::from_parts(
+            vec![0.0, 0.1, 0.2, 0.3, 10.0, 10.1, 10.2, 10.3],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+            1,
+            2,
+        );
+        let out = SmoteTomek::default().sample(&d, 0).dataset;
+        assert_eq!(out.n_samples(), d.n_samples());
+    }
+}

@@ -1,0 +1,180 @@
+//! SMOTE — Synthetic Minority Over-sampling Technique (Chawla et al. 2002).
+//!
+//! Every non-majority class is topped up to the majority-class count by
+//! interpolating between a random class member and one of its `k = 5`
+//! nearest same-class neighbours (imbalanced-learn's `auto` strategy and
+//! default `k_neighbors`).
+
+use gbabs::{SampleResult, Sampler};
+use gb_dataset::neighbors::k_nearest_filtered;
+use gb_dataset::rng::rng_from_seed;
+use gb_dataset::Dataset;
+use rand::Rng;
+
+/// SMOTE configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoteConfig {
+    /// Neighbours per synthesis (imblearn default 5).
+    pub k_neighbors: usize,
+}
+
+impl Default for SmoteConfig {
+    fn default() -> Self {
+        Self { k_neighbors: 5 }
+    }
+}
+
+/// The SMOTE sampler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Smote {
+    /// Configuration.
+    pub config: SmoteConfig,
+}
+
+/// Per-class synthesis targets under imblearn's `auto` strategy: every class
+/// is raised to the majority count.
+#[must_use]
+pub(crate) fn oversample_targets(data: &Dataset) -> Vec<usize> {
+    let counts = data.class_counts();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    counts
+        .iter()
+        .map(|&c| if c > 0 { max - c } else { 0 })
+        .collect()
+}
+
+/// Synthesizes `n_new` samples for `class` by SMOTE interpolation from the
+/// donor rows `donors` (all of `class`), appending to `out`.
+pub(crate) fn synthesize_for_class(
+    data: &Dataset,
+    donors: &[usize],
+    class: u32,
+    n_new: usize,
+    k: usize,
+    rng: &mut impl Rng,
+    out: &mut Dataset,
+) {
+    if donors.is_empty() || n_new == 0 {
+        return;
+    }
+    if donors.len() == 1 {
+        // no neighbour to interpolate with: duplicate the lone donor
+        for _ in 0..n_new {
+            out.push_row(data.row(donors[0]), class);
+        }
+        return;
+    }
+    for _ in 0..n_new {
+        let base = donors[rng.gen_range(0..donors.len())];
+        let hits = k_nearest_filtered(data, data.row(base), k, |i| {
+            i != base && data.label(i) == class
+        });
+        let pick = &hits[rng.gen_range(0..hits.len())];
+        let gap: f64 = rng.gen();
+        let row: Vec<f64> = data
+            .row(base)
+            .iter()
+            .zip(data.row(pick.index).iter())
+            .map(|(a, b)| a + gap * (b - a))
+            .collect();
+        out.push_row(&row, class);
+    }
+}
+
+impl Sampler for Smote {
+    fn name(&self) -> &'static str {
+        "SM"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let mut rng = rng_from_seed(seed);
+        let mut out = data.clone();
+        let targets = oversample_targets(data);
+        let groups = data.class_indices();
+        for (class, &n_new) in targets.iter().enumerate() {
+            synthesize_for_class(
+                data,
+                &groups[class],
+                class as u32,
+                n_new,
+                self.config.k_neighbors,
+                &mut rng,
+                &mut out,
+            );
+        }
+        SampleResult {
+            dataset: out,
+            kept_rows: None, // contains synthetic rows
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    #[test]
+    fn balances_class_counts() {
+        let d = DatasetId::S9.generate(0.1, 1); // IR ~ 9.9
+        let out = Smote::default().sample(&d, 0);
+        let counts = out.dataset.class_counts();
+        let max = *counts.iter().max().unwrap();
+        assert!(counts.iter().all(|&c| c == max), "{counts:?}");
+    }
+
+    #[test]
+    fn original_rows_preserved_as_prefix() {
+        let d = DatasetId::S2.generate(0.1, 2);
+        let out = Smote::default().sample(&d, 1);
+        for i in 0..d.n_samples() {
+            assert_eq!(out.dataset.row(i), d.row(i));
+            assert_eq!(out.dataset.label(i), d.label(i));
+        }
+    }
+
+    #[test]
+    fn synthetic_rows_lie_between_class_members() {
+        // 1-D minority at {0, 1}: synthetic values must be in [0, 1]
+        let d = Dataset::from_parts(
+            vec![0.0, 1.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0],
+            vec![1, 1, 0, 0, 0, 0, 0, 0],
+            1,
+            2,
+        );
+        let out = Smote::default().sample(&d, 3);
+        for i in d.n_samples()..out.dataset.n_samples() {
+            assert_eq!(out.dataset.label(i), 1);
+            let v = out.dataset.value(i, 0);
+            assert!((0.0..=1.0).contains(&v), "synthetic {v} out of hull");
+        }
+    }
+
+    #[test]
+    fn lone_minority_sample_duplicated() {
+        let d = Dataset::from_parts(vec![0.0, 5.0, 6.0, 7.0], vec![1, 0, 0, 0], 1, 2);
+        let out = Smote::default().sample(&d, 0);
+        let counts = out.dataset.class_counts();
+        assert_eq!(counts[0], counts[1]);
+        for i in d.n_samples()..out.dataset.n_samples() {
+            assert_eq!(out.dataset.value(i, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn balanced_input_unchanged() {
+        let d = DatasetId::S4.generate(0.05, 1); // IR 1.08
+        let out = Smote::default().sample(&d, 2);
+        let added = out.dataset.n_samples() - d.n_samples();
+        let counts = d.class_counts();
+        assert_eq!(added, counts.iter().max().unwrap() * 2 - d.n_samples());
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = DatasetId::S9.generate(0.05, 4);
+        let a = Smote::default().sample(&d, 9);
+        let b = Smote::default().sample(&d, 9);
+        assert_eq!(a.dataset.features(), b.dataset.features());
+    }
+}

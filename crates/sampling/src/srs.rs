@@ -1,0 +1,100 @@
+//! Simple random sampling (SRS, reservoir-style uniform subset).
+//!
+//! The paper's unbiased general-sampling baseline; its ratio is always tied
+//! to GBABS's ratio on the same dataset ("the sampling ratio of the SRS on
+//! each dataset is consistent with that of GBABS").
+
+use gbabs::{SampleResult, Sampler};
+use gb_dataset::rng::rng_from_seed;
+use gb_dataset::Dataset;
+use rand::seq::SliceRandom;
+
+/// Uniform random subsampler at a fixed ratio.
+#[derive(Debug, Clone, Copy)]
+pub struct Srs {
+    /// Fraction of rows to keep, in `(0, 1]`.
+    pub ratio: f64,
+}
+
+impl Srs {
+    /// Creates an SRS sampler keeping `ratio` of the rows.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ratio <= 1`.
+    #[must_use]
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        Self { ratio }
+    }
+}
+
+impl Sampler for Srs {
+    fn name(&self) -> &'static str {
+        "SRS"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let n = data.n_samples();
+        let keep = (((n as f64) * self.ratio).round() as usize).clamp(1, n);
+        let mut rows: Vec<usize> = (0..n).collect();
+        rows.shuffle(&mut rng_from_seed(seed));
+        rows.truncate(keep);
+        rows.sort_unstable();
+        SampleResult {
+            dataset: data.select(&rows),
+            kept_rows: Some(rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let d = DatasetId::S2.generate(0.5, 1);
+        let out = Srs::new(0.3).sample(&d, 0);
+        let expected = ((d.n_samples() as f64) * 0.3).round() as usize;
+        assert_eq!(out.dataset.n_samples(), expected);
+    }
+
+    #[test]
+    fn ratio_one_keeps_everything() {
+        let d = DatasetId::S2.generate(0.1, 1);
+        let out = Srs::new(1.0).sample(&d, 0);
+        assert_eq!(out.dataset.n_samples(), d.n_samples());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let d = DatasetId::S2.generate(0.2, 1);
+        let a = Srs::new(0.5).sample(&d, 7);
+        let b = Srs::new(0.5).sample(&d, 7);
+        let c = Srs::new(0.5).sample(&d, 8);
+        assert_eq!(a.kept_rows, b.kept_rows);
+        assert_ne!(a.kept_rows, c.kept_rows);
+    }
+
+    #[test]
+    fn is_roughly_unbiased_across_classes() {
+        let d = DatasetId::S9.generate(0.3, 2);
+        let out = Srs::new(0.5).sample(&d, 3);
+        let before = d.class_counts();
+        let after = out.dataset.class_counts();
+        for c in 0..d.n_classes() {
+            let frac = after[c] as f64 / before[c].max(1) as f64;
+            assert!(
+                (frac - 0.5).abs() < 0.15,
+                "class {c} kept fraction {frac}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in (0,1]")]
+    fn zero_ratio_rejected() {
+        let _ = Srs::new(0.0);
+    }
+}

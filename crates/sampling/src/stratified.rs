@@ -1,0 +1,128 @@
+//! Stratified sampling (proportional allocation).
+//!
+//! One of the paper's §I "general sampling methods" (Johnson &
+//! Bhattacharyya \[19\]): the dataset is partitioned into per-class strata
+//! and a uniform sample of `ratio · |stratum|` rows is drawn independently
+//! inside each stratum, preserving the class distribution of the input by
+//! construction. Like SRS it samples from the overall distribution — the
+//! property that makes the general methods noise-sensitive in the paper's
+//! analysis — but it removes the class-proportion variance of plain SRS.
+
+use gb_dataset::rng::rng_from_seed;
+use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
+use rand::seq::SliceRandom;
+
+/// Proportional-allocation stratified subsampler.
+#[derive(Debug, Clone, Copy)]
+pub struct Stratified {
+    /// Fraction of each class to keep, in `(0, 1]`.
+    pub ratio: f64,
+}
+
+impl Stratified {
+    /// Creates a stratified sampler keeping `ratio` of every class.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ratio <= 1`.
+    #[must_use]
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1]");
+        Self { ratio }
+    }
+}
+
+impl Sampler for Stratified {
+    fn name(&self) -> &'static str {
+        "Stratified"
+    }
+
+    fn sample(&self, data: &Dataset, seed: u64) -> SampleResult {
+        let mut rng = rng_from_seed(seed);
+        let mut rows: Vec<usize> = Vec::new();
+        for mut stratum in data.class_indices() {
+            if stratum.is_empty() {
+                continue;
+            }
+            // At least one row per non-empty class, so no class vanishes.
+            let keep = (((stratum.len() as f64) * self.ratio).round() as usize)
+                .clamp(1, stratum.len());
+            stratum.shuffle(&mut rng);
+            rows.extend_from_slice(&stratum[..keep]);
+        }
+        rows.sort_unstable();
+        SampleResult {
+            dataset: data.select(&rows),
+            kept_rows: Some(rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    #[test]
+    fn preserves_class_proportions_exactly() {
+        let d = DatasetId::S9.generate(0.1, 1); // IR ~ 9.9
+        let out = Stratified::new(0.5).sample(&d, 0);
+        let before = d.class_counts();
+        let after = out.dataset.class_counts();
+        for c in 0..d.n_classes() {
+            let expected = ((before[c] as f64) * 0.5).round() as usize;
+            assert_eq!(after[c], expected.clamp(1, before[c]), "class {c}");
+        }
+    }
+
+    #[test]
+    fn never_drops_a_class() {
+        // A class with 2 members at ratio 0.1 would round to 0 without the
+        // floor-of-one rule.
+        let d = Dataset::from_parts(
+            (0..42).map(f64::from).collect(),
+            (0..42).map(|i| u32::from(i >= 40)).collect(),
+            1,
+            2,
+        );
+        let out = Stratified::new(0.1).sample(&d, 1);
+        let counts = out.dataset.class_counts();
+        assert_eq!(counts[1], 1, "tiny class floored to one row");
+        assert_eq!(counts[0], 4);
+    }
+
+    #[test]
+    fn kept_rows_match_content() {
+        let d = DatasetId::S2.generate(0.1, 2);
+        let out = Stratified::new(0.4).sample(&d, 3);
+        let kept = out.kept_rows.expect("pure undersampler");
+        assert_eq!(kept.len(), out.dataset.n_samples());
+        for (pos, &row) in kept.iter().enumerate() {
+            assert_eq!(out.dataset.row(pos), d.row(row));
+            assert_eq!(out.dataset.label(pos), d.label(row));
+        }
+    }
+
+    #[test]
+    fn ratio_one_is_identity_set() {
+        let d = DatasetId::S2.generate(0.1, 1);
+        let out = Stratified::new(1.0).sample(&d, 0);
+        assert_eq!(out.dataset.n_samples(), d.n_samples());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = DatasetId::S5.generate(0.05, 1);
+        let a = Stratified::new(0.3).sample(&d, 7);
+        let b = Stratified::new(0.3).sample(&d, 7);
+        let c = Stratified::new(0.3).sample(&d, 8);
+        assert_eq!(a.kept_rows, b.kept_rows);
+        assert_ne!(a.kept_rows, c.kept_rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in (0,1]")]
+    fn rejects_ratio_above_one() {
+        let _ = Stratified::new(1.5);
+    }
+}

@@ -1,0 +1,24 @@
+//! # gb-viz
+//!
+//! Dimensionality reduction for the reproduction's figures: power-iteration
+//! [`pca::Pca`] and an exact O(N²) [`tsne::tsne_2d`] used to regenerate the
+//! paper's Fig. 5 dataset visualizations.
+//!
+//! ```
+//! use gb_dataset::catalog::DatasetId;
+//! use gb_viz::tsne::{tsne_2d, TsneConfig};
+//!
+//! let data = DatasetId::S5.generate(0.01, 1);
+//! let embedding = tsne_2d(&data, &TsneConfig { n_iter: 50, ..Default::default() });
+//! assert_eq!(embedding.len(), data.n_samples());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod pca;
+pub mod svg;
+pub mod tsne;
+
+pub use pca::Pca;
+pub use tsne::{tsne_2d, TsneConfig};

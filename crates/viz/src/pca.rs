@@ -1,0 +1,180 @@
+//! Principal component analysis via power iteration with deflation.
+//!
+//! Used to initialize t-SNE (the standard `init="pca"`) and as a cheap
+//! standalone 2-D projector. Power iteration is plenty for the one or two
+//! leading components we need.
+
+use gb_dataset::rng::rng_from_seed;
+use gb_dataset::Dataset;
+use rand::Rng;
+
+/// A fitted PCA with `k` components.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Component vectors, row-major `k × p`.
+    components: Vec<Vec<f64>>,
+    /// Column means subtracted before projection.
+    means: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits the top-`k` principal components of `data` by power iteration.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `k > p`, or the dataset is empty.
+    #[must_use]
+    pub fn fit(data: &Dataset, k: usize, seed: u64) -> Self {
+        let n = data.n_samples();
+        let p = data.n_features();
+        assert!(n > 0, "empty dataset");
+        assert!(k > 0 && k <= p, "need 0 < k <= p");
+        let mut means = vec![0.0; p];
+        for row in data.features().chunks_exact(p) {
+            for (j, &v) in row.iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        // centered data copy
+        let mut x = data.features().to_vec();
+        for row in x.chunks_exact_mut(p) {
+            for (j, v) in row.iter_mut().enumerate() {
+                *v -= means[j];
+            }
+        }
+        let mut rng = rng_from_seed(seed);
+        let mut components: Vec<Vec<f64>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut v: Vec<f64> = (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            normalize(&mut v);
+            for _ in 0..100 {
+                // w = X^T (X v)
+                let mut xv = vec![0.0; n];
+                for (i, row) in x.chunks_exact(p).enumerate() {
+                    xv[i] = dot(row, &v);
+                }
+                let mut w = vec![0.0; p];
+                for (i, row) in x.chunks_exact(p).enumerate() {
+                    for (j, &r) in row.iter().enumerate() {
+                        w[j] += r * xv[i];
+                    }
+                }
+                // orthogonalize against previous components
+                for c in &components {
+                    let proj = dot(&w, c);
+                    for (wj, cj) in w.iter_mut().zip(c.iter()) {
+                        *wj -= proj * cj;
+                    }
+                }
+                let norm = normalize(&mut w);
+                let delta: f64 = w.iter().zip(v.iter()).map(|(a, b)| (a - b).abs()).sum();
+                v = w;
+                if norm == 0.0 || delta < 1e-9 {
+                    break;
+                }
+            }
+            components.push(v);
+        }
+        Self { components, means }
+    }
+
+    /// Projects every row of `data` into component space (`n × k`
+    /// row-major).
+    #[must_use]
+    pub fn transform(&self, data: &Dataset) -> Vec<Vec<f64>> {
+        let p = self.means.len();
+        assert_eq!(data.n_features(), p, "feature width mismatch");
+        (0..data.n_samples())
+            .map(|i| {
+                let row = data.row(i);
+                self.components
+                    .iter()
+                    .map(|c| {
+                        row.iter()
+                            .zip(self.means.iter())
+                            .zip(c.iter())
+                            .map(|((&v, &m), &cv)| (v - m) * cv)
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The fitted component vectors.
+    #[must_use]
+    pub fn components(&self) -> &[Vec<f64>] {
+        &self.components
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along the (1, 1) diagonal.
+    fn diagonal_data() -> Dataset {
+        let mut feats = Vec::new();
+        for i in 0..100 {
+            let t = (i as f64 - 50.0) * 0.1;
+            feats.push(t + 0.01 * ((i * 7) % 13) as f64);
+            feats.push(t - 0.01 * ((i * 11) % 17) as f64);
+        }
+        Dataset::from_parts(feats, vec![0; 100], 2, 1)
+    }
+
+    #[test]
+    fn first_component_follows_variance() {
+        let d = diagonal_data();
+        let pca = Pca::fit(&d, 1, 0);
+        let c = &pca.components()[0];
+        // should align with (1,1)/sqrt(2) up to sign
+        let align = (c[0] * c[1]).signum();
+        assert!(align > 0.0, "components {c:?}");
+        assert!((c[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.05);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let d = diagonal_data();
+        let pca = Pca::fit(&d, 2, 1);
+        let c = pca.components();
+        assert!((dot(&c[0], &c[0]) - 1.0).abs() < 1e-6);
+        assert!((dot(&c[1], &c[1]) - 1.0).abs() < 1e-6);
+        assert!(dot(&c[0], &c[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let d = diagonal_data();
+        let pca = Pca::fit(&d, 2, 2);
+        let proj = pca.transform(&d);
+        for k in 0..2 {
+            let mean: f64 = proj.iter().map(|r| r[k]).sum::<f64>() / proj.len() as f64;
+            assert!(mean.abs() < 1e-9, "component {k} mean {mean}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < k <= p")]
+    fn k_bounds_checked() {
+        let d = diagonal_data();
+        let _ = Pca::fit(&d, 3, 0);
+    }
+}

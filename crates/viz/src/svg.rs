@@ -1,0 +1,714 @@
+//! Minimal SVG chart rendering.
+//!
+//! The experiment harness regenerates the paper's *figures*, not just their
+//! numbers; this module turns those series into standalone SVG files:
+//! scatter plots (Fig. 5), grouped bar charts (Fig. 6), and multi-series
+//! line charts (Figs. 10–11). No external dependencies — plain string
+//! assembly with a fixed 10-colour palette.
+
+#![allow(clippy::write_with_newline)] // multi-element template strings read better inline
+
+use std::fmt::Write as _;
+
+/// Categorical colour palette (tab10-like).
+pub const PALETTE: [&str; 10] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf",
+];
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 56.0;
+
+fn plot_w() -> f64 {
+    WIDTH - MARGIN_L - MARGIN_R
+}
+
+fn plot_h() -> f64 {
+    HEIGHT - MARGIN_T - MARGIN_B
+}
+
+/// Axis bounds with a small symmetric pad; degenerate ranges are widened.
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        return (lo - 0.5, hi + 0.5);
+    }
+    let pad = (hi - lo) * 0.05;
+    (lo - pad, hi + pad)
+}
+
+struct Frame {
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+}
+
+impl Frame {
+    fn x(&self, v: f64) -> f64 {
+        MARGIN_L + (v - self.x_lo) / (self.x_hi - self.x_lo) * plot_w()
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        MARGIN_T + plot_h() - (v - self.y_lo) / (self.y_hi - self.y_lo) * plot_h()
+    }
+}
+
+fn header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n\
+         <text x=\"{}\" y=\"24\" font-family=\"sans-serif\" font-size=\"16\" \
+         text-anchor=\"middle\">{}</text>\n",
+        WIDTH / 2.0,
+        escape(title)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn axes(out: &mut String, frame: &Frame, x_label: &str, y_label: &str) {
+    let x0 = MARGIN_L;
+    let x1 = MARGIN_L + plot_w();
+    let y0 = MARGIN_T + plot_h();
+    let y1 = MARGIN_T;
+    let _ = write!(
+        out,
+        "<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y0}\" stroke=\"black\"/>\n\
+         <line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x0}\" y2=\"{y1}\" stroke=\"black\"/>\n"
+    );
+    // 5 ticks per axis
+    for t in 0..=4 {
+        let fx = frame.x_lo + (frame.x_hi - frame.x_lo) * t as f64 / 4.0;
+        let fy = frame.y_lo + (frame.y_hi - frame.y_lo) * t as f64 / 4.0;
+        let px = frame.x(fx);
+        let py = frame.y(fy);
+        let _ = write!(
+            out,
+            "<line x1=\"{px}\" y1=\"{y0}\" x2=\"{px}\" y2=\"{}\" stroke=\"black\"/>\n\
+             <text x=\"{px}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"middle\">{fx:.2}</text>\n\
+             <line x1=\"{x0}\" y1=\"{py}\" x2=\"{}\" y2=\"{py}\" stroke=\"black\"/>\n\
+             <text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"end\">{fy:.2}</text>\n",
+            y0 + 5.0,
+            y0 + 20.0,
+            x0 - 5.0,
+            x0 - 8.0,
+            py + 4.0,
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"13\" \
+         text-anchor=\"middle\">{}</text>\n\
+         <text x=\"16\" y=\"{}\" font-family=\"sans-serif\" font-size=\"13\" \
+         text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">{}</text>\n",
+        MARGIN_L + plot_w() / 2.0,
+        HEIGHT - 12.0,
+        escape(x_label),
+        MARGIN_T + plot_h() / 2.0,
+        MARGIN_T + plot_h() / 2.0,
+        escape(y_label),
+    );
+}
+
+fn legend(out: &mut String, names: &[&str]) {
+    for (i, name) in names.iter().enumerate() {
+        let x = MARGIN_L + 8.0 + (i as f64 % 4.0) * 160.0;
+        let y = MARGIN_T + 6.0 + (i as f64 / 4.0).floor() * 16.0;
+        let _ = write!(
+            out,
+            "<rect x=\"{x}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n\
+             <text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\">{}</text>\n",
+            y - 9.0,
+            PALETTE[i % PALETTE.len()],
+            x + 14.0,
+            y,
+            escape(name)
+        );
+    }
+}
+
+/// Scatter plot of labelled 2-D points (one colour per label).
+#[must_use]
+pub fn scatter_plot(points: &[(f64, f64, u32)], title: &str) -> String {
+    let (x_lo, x_hi) = bounds(points.iter().map(|p| p.0));
+    let (y_lo, y_hi) = bounds(points.iter().map(|p| p.1));
+    let frame = Frame {
+        x_lo,
+        x_hi,
+        y_lo,
+        y_hi,
+    };
+    let mut out = header(title);
+    axes(&mut out, &frame, "x", "y");
+    for &(x, y, label) in points {
+        let _ = write!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.2\" fill=\"{}\" fill-opacity=\"0.75\"/>\n",
+            frame.x(x),
+            frame.y(y),
+            PALETTE[label as usize % PALETTE.len()]
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Multi-series line chart. Each series is `(name, points)`.
+#[must_use]
+pub fn line_chart(series: &[(String, Vec<(f64, f64)>)], title: &str, x_label: &str, y_label: &str) -> String {
+    let (x_lo, x_hi) = bounds(series.iter().flat_map(|s| s.1.iter().map(|p| p.0)));
+    let (y_lo, y_hi) = bounds(series.iter().flat_map(|s| s.1.iter().map(|p| p.1)));
+    let frame = Frame {
+        x_lo,
+        x_hi,
+        y_lo,
+        y_hi,
+    };
+    let mut out = header(title);
+    axes(&mut out, &frame, x_label, y_label);
+    for (i, (_, pts)) in series.iter().enumerate() {
+        let path: Vec<String> = pts
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", frame.x(x), frame.y(y)))
+            .collect();
+        let _ = write!(
+            out,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.8\"/>\n",
+            path.join(" "),
+            PALETTE[i % PALETTE.len()]
+        );
+        for &(x, y) in pts {
+            let _ = write!(
+                out,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"{}\"/>\n",
+                frame.x(x),
+                frame.y(y),
+                PALETTE[i % PALETTE.len()]
+            );
+        }
+    }
+    let names: Vec<&str> = series.iter().map(|s| s.0.as_str()).collect();
+    legend(&mut out, &names);
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Grouped bar chart: one cluster per category, one bar per group.
+/// `values[group][category]` in `[0, ∞)`.
+///
+/// # Panics
+/// Panics on ragged input.
+#[must_use]
+pub fn grouped_bars(
+    categories: &[String],
+    groups: &[(String, Vec<f64>)],
+    title: &str,
+    y_label: &str,
+) -> String {
+    for (_, vals) in groups {
+        assert_eq!(vals.len(), categories.len(), "ragged bar data");
+    }
+    let y_hi = groups
+        .iter()
+        .flat_map(|g| g.1.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-9)
+        * 1.08;
+    let frame = Frame {
+        x_lo: 0.0,
+        x_hi: categories.len() as f64,
+        y_lo: 0.0,
+        y_hi,
+    };
+    let mut out = header(title);
+    // y axis only; category labels under clusters
+    axes(&mut out, &frame, "", y_label);
+    let cluster_w = plot_w() / categories.len() as f64;
+    let bar_w = (cluster_w * 0.8) / groups.len() as f64;
+    for (ci, cat) in categories.iter().enumerate() {
+        for (gi, (_, vals)) in groups.iter().enumerate() {
+            let x = MARGIN_L + ci as f64 * cluster_w + cluster_w * 0.1 + gi as f64 * bar_w;
+            let y = frame.y(vals[ci]);
+            let h = MARGIN_T + plot_h() - y;
+            let _ = write!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" \
+                 fill=\"{}\"/>\n",
+                PALETTE[gi % PALETTE.len()]
+            );
+        }
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"middle\">{}</text>\n",
+            MARGIN_L + (ci as f64 + 0.5) * cluster_w,
+            MARGIN_T + plot_h() + 20.0,
+            escape(cat)
+        );
+    }
+    let names: Vec<&str> = groups.iter().map(|g| g.0.as_str()).collect();
+    legend(&mut out, &names);
+    out.push_str("</svg>\n");
+    out
+}
+
+/// One lane of a ridge plot: a named density curve plus the raw score
+/// points scattered on the lane's baseline.
+#[derive(Debug, Clone)]
+pub struct RidgeRow {
+    /// Lane label (e.g. "GBABS-XGBoost").
+    pub name: String,
+    /// Density curve as `(x, density)` pairs, x ascending.
+    pub curve: Vec<(f64, f64)>,
+    /// Raw per-dataset scores drawn as dots on the baseline.
+    pub points: Vec<f64>,
+}
+
+/// Ridge plot (the paper's Figs. 7–8): stacked density lanes sharing one
+/// x-axis, one lane per method, with per-dataset scores as baseline dots.
+/// Densities are normalized per plot so the tallest peak fills ~1.6 lane
+/// heights, giving the overlapping "ridge" look.
+#[must_use]
+pub fn ridge_plot(rows: &[RidgeRow], title: &str, x_label: &str) -> String {
+    let (x_lo, x_hi) = bounds(
+        rows.iter()
+            .flat_map(|r| r.curve.iter().map(|p| p.0).chain(r.points.iter().copied())),
+    );
+    let frame = Frame {
+        x_lo,
+        x_hi,
+        y_lo: 0.0,
+        y_hi: 1.0,
+    };
+    let peak = rows
+        .iter()
+        .flat_map(|r| r.curve.iter().map(|p| p.1))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let mut out = header(title);
+    let lanes = rows.len().max(1) as f64;
+    let lane_h = plot_h() / lanes;
+    // shared x axis at the bottom
+    let y0 = MARGIN_T + plot_h();
+    let _ = write!(
+        out,
+        "<line x1=\"{MARGIN_L}\" y1=\"{y0}\" x2=\"{}\" y2=\"{y0}\" stroke=\"black\"/>\n",
+        MARGIN_L + plot_w()
+    );
+    for t in 0..=4 {
+        let fx = x_lo + (x_hi - x_lo) * t as f64 / 4.0;
+        let px = frame.x(fx);
+        let _ = write!(
+            out,
+            "<line x1=\"{px}\" y1=\"{y0}\" x2=\"{px}\" y2=\"{}\" stroke=\"black\"/>\n\
+             <text x=\"{px}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"middle\">{fx:.2}</text>\n",
+            y0 + 5.0,
+            y0 + 20.0,
+        );
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"13\" \
+         text-anchor=\"middle\">{}</text>\n",
+        MARGIN_L + plot_w() / 2.0,
+        HEIGHT - 12.0,
+        escape(x_label),
+    );
+    // lanes top-down in row order; each ridge may spill 0.6 lane upward
+    for (i, row) in rows.iter().enumerate() {
+        let base = MARGIN_T + lane_h * (i as f64 + 1.0);
+        let color = PALETTE[i % PALETTE.len()];
+        if row.curve.len() > 1 {
+            let mut d = format!(
+                "M {:.1} {:.1}",
+                frame.x(row.curve[0].0),
+                base - (row.curve[0].1 / peak) * lane_h * 1.6
+            );
+            for &(x, dens) in &row.curve[1..] {
+                let _ = write!(
+                    d,
+                    " L {:.1} {:.1}",
+                    frame.x(x),
+                    base - (dens / peak) * lane_h * 1.6
+                );
+            }
+            // close along the baseline for the fill
+            let _ = write!(
+                d,
+                " L {:.1} {base:.1} L {:.1} {base:.1} Z",
+                frame.x(row.curve.last().expect("len > 1").0),
+                frame.x(row.curve[0].0),
+            );
+            let _ = write!(
+                out,
+                "<path d=\"{d}\" fill=\"{color}\" fill-opacity=\"0.45\" \
+                 stroke=\"{color}\" stroke-width=\"1.4\"/>\n"
+            );
+        }
+        let _ = write!(
+            out,
+            "<line x1=\"{MARGIN_L}\" y1=\"{base:.1}\" x2=\"{}\" y2=\"{base:.1}\" \
+             stroke=\"#999\" stroke-width=\"0.6\"/>\n",
+            MARGIN_L + plot_w()
+        );
+        for &p in &row.points {
+            let _ = write!(
+                out,
+                "<circle cx=\"{:.1}\" cy=\"{base:.1}\" r=\"2.4\" fill=\"{color}\" \
+                 fill-opacity=\"0.9\"/>\n",
+                frame.x(p)
+            );
+        }
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"end\">{}</text>\n",
+            MARGIN_L - 6.0,
+            base - 2.0,
+            escape(&row.name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A circle overlay for [`ball_plot`]: center, radius and class label.
+#[derive(Debug, Clone)]
+pub struct BallGlyph {
+    /// Center x.
+    pub x: f64,
+    /// Center y.
+    pub y: f64,
+    /// Radius in data units.
+    pub r: f64,
+    /// Class label (colour index).
+    pub label: u32,
+    /// Emphasized (borderline) balls get a thicker stroke.
+    pub emphasized: bool,
+}
+
+/// Scatter of labelled 2-D points with granular-ball circles overlaid —
+/// the paper's Fig. 4 panels. Points and circles share one data frame so
+/// radii render true to scale (the frame is square-scaled on the larger
+/// axis span to keep circles circular).
+#[must_use]
+pub fn ball_plot(points: &[(f64, f64, u32)], balls: &[BallGlyph], title: &str) -> String {
+    let xs = points
+        .iter()
+        .map(|p| p.0)
+        .chain(balls.iter().flat_map(|b| [b.x - b.r, b.x + b.r]));
+    let ys = points
+        .iter()
+        .map(|p| p.1)
+        .chain(balls.iter().flat_map(|b| [b.y - b.r, b.y + b.r]));
+    let (x_lo, x_hi) = bounds(xs);
+    let (y_lo, y_hi) = bounds(ys);
+    // square scaling: widen the shorter axis so 1 unit is equal in x and y
+    let span = (x_hi - x_lo).max(y_hi - y_lo);
+    let (x_mid, y_mid) = ((x_lo + x_hi) / 2.0, (y_lo + y_hi) / 2.0);
+    let frame = Frame {
+        x_lo: x_mid - span / 2.0,
+        x_hi: x_mid + span / 2.0,
+        y_lo: y_mid - span / 2.0,
+        y_hi: y_mid + span / 2.0,
+    };
+    let px_per_unit = plot_w().min(plot_h()) / span;
+    let mut out = header(title);
+    axes(&mut out, &frame, "z", "w");
+    for b in balls {
+        let stroke_w = if b.emphasized { 2.5 } else { 1.0 };
+        let _ = write!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"{}\" fill-opacity=\"0.10\" \
+             stroke=\"{}\" stroke-width=\"{stroke_w}\"/>\n",
+            frame.x(b.x),
+            frame.y(b.y),
+            (b.r * px_per_unit).max(1.5),
+            PALETTE[b.label as usize % PALETTE.len()],
+            PALETTE[b.label as usize % PALETTE.len()],
+        );
+    }
+    for &(x, y, label) in points {
+        let _ = write!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.0\" fill=\"{}\" fill-opacity=\"0.8\"/>\n",
+            frame.x(x),
+            frame.y(y),
+            PALETTE[label as usize % PALETTE.len()]
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Rank heatmap (the paper's Fig. 9): one cell per (method row, dataset
+/// column) holding an integer rank, colour-graded from best (rank 1, dark
+/// blue) to worst (light). `ranks[row][col]`.
+///
+/// # Panics
+/// Panics on ragged input or empty dimensions.
+#[must_use]
+pub fn rank_heatmap(
+    row_names: &[String],
+    col_names: &[String],
+    ranks: &[Vec<usize>],
+    title: &str,
+) -> String {
+    assert!(!row_names.is_empty() && !col_names.is_empty(), "empty heatmap");
+    assert_eq!(ranks.len(), row_names.len(), "ragged heatmap rows");
+    for r in ranks {
+        assert_eq!(r.len(), col_names.len(), "ragged heatmap cols");
+    }
+    let max_rank = ranks
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let mut out = header(title);
+    let label_w = 110.0;
+    let cell_w = (WIDTH - label_w - MARGIN_R) / col_names.len() as f64;
+    let cell_h = (HEIGHT - MARGIN_T - MARGIN_B) / row_names.len() as f64;
+    for (ri, (name, row)) in row_names.iter().zip(ranks.iter()).enumerate() {
+        let y = MARGIN_T + ri as f64 * cell_h;
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"end\">{}</text>\n",
+            label_w - 6.0,
+            y + cell_h / 2.0 + 4.0,
+            escape(name)
+        );
+        for (ci, &rank) in row.iter().enumerate() {
+            let x = label_w + ci as f64 * cell_w;
+            // best rank = saturated blue, worst = near-white
+            let t = (rank as f64 - 1.0) / (max_rank - 1.0).max(1.0);
+            let r = (31.0 + t * (240.0 - 31.0)) as u8;
+            let g = (119.0 + t * (244.0 - 119.0)) as u8;
+            let b = (180.0 + t * (250.0 - 180.0)) as u8;
+            let dark_text = t > 0.55;
+            let _ = write!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{cell_w:.1}\" height=\"{cell_h:.1}\" \
+                 fill=\"rgb({r},{g},{b})\" stroke=\"white\" stroke-width=\"1\"/>\n\
+                 <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"11\" \
+                 text-anchor=\"middle\" fill=\"{}\">{rank}</text>\n",
+                x + cell_w / 2.0,
+                y + cell_h / 2.0 + 4.0,
+                if dark_text { "black" } else { "white" },
+            );
+        }
+    }
+    for (ci, name) in col_names.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"11\" \
+             text-anchor=\"middle\">{}</text>\n",
+            label_w + (ci as f64 + 0.5) * cell_w,
+            HEIGHT - MARGIN_B + 18.0,
+            escape(name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Writes an SVG string to disk, creating parent directories.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn save_svg(path: &std::path::Path, svg: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, svg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_contains_all_points_and_valid_xml_shell() {
+        let pts = vec![(0.0, 0.0, 0u32), (1.0, 1.0, 1), (0.5, 0.2, 0)];
+        let svg = scatter_plot(&pts, "test & demo");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("test &amp; demo"));
+    }
+
+    #[test]
+    fn line_chart_one_polyline_per_series() {
+        let series = vec![
+            ("a".to_string(), vec![(0.0, 1.0), (1.0, 2.0)]),
+            ("b".to_string(), vec![(0.0, 2.0), (1.0, 1.0)]),
+        ];
+        let svg = line_chart(&series, "t", "x", "y");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn bars_count() {
+        let cats = vec!["S1".to_string(), "S2".to_string(), "S3".to_string()];
+        let groups = vec![
+            ("GBABS".to_string(), vec![0.5, 0.6, 0.7]),
+            ("GGBS".to_string(), vec![0.9, 1.0, 0.8]),
+        ];
+        let svg = grouped_bars(&cats, &groups, "ratios", "ratio");
+        // background + 6 bars + 2 legend swatches
+        assert_eq!(svg.matches("<rect").count(), 1 + 6 + 2);
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let pts = vec![(1.0, 1.0, 0u32), (1.0, 1.0, 0)];
+        let svg = scatter_plot(&pts, "flat");
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged bar data")]
+    fn ragged_bars_rejected() {
+        let cats = vec!["a".to_string()];
+        let groups = vec![("g".to_string(), vec![0.1, 0.2])];
+        let _ = grouped_bars(&cats, &groups, "t", "y");
+    }
+
+    #[test]
+    fn ball_plot_draws_every_point_and_ball() {
+        let pts = vec![(0.0, 0.0, 0u32), (1.0, 1.0, 1)];
+        let balls = vec![
+            BallGlyph {
+                x: 0.0,
+                y: 0.0,
+                r: 0.5,
+                label: 0,
+                emphasized: false,
+            },
+            BallGlyph {
+                x: 1.0,
+                y: 1.0,
+                r: 0.3,
+                label: 1,
+                emphasized: true,
+            },
+        ];
+        let svg = ball_plot(&pts, &balls, "fig4");
+        assert_eq!(svg.matches("<circle").count(), 4);
+        assert!(svg.contains("stroke-width=\"2.5\""), "emphasis stroke");
+    }
+
+    #[test]
+    fn ball_plot_zero_radius_gets_minimum_visible_size() {
+        let balls = vec![BallGlyph {
+            x: 0.0,
+            y: 0.0,
+            r: 0.0,
+            label: 0,
+            emphasized: false,
+        }];
+        let svg = ball_plot(&[(0.0, 0.0, 0)], &balls, "singleton");
+        assert!(svg.contains("r=\"1.5\""));
+    }
+
+    #[test]
+    fn heatmap_cell_and_label_counts() {
+        let rows = vec!["GBABS".to_string(), "GGBS".to_string()];
+        let cols = vec!["S1".to_string(), "S2".to_string(), "S3".to_string()];
+        let ranks = vec![vec![1, 1, 2], vec![2, 2, 1]];
+        let svg = rank_heatmap(&rows, &cols, &ranks, "fig9");
+        // background + 6 cells
+        assert_eq!(svg.matches("<rect").count(), 1 + 6);
+        assert!(svg.contains(">GBABS</text>"));
+        assert!(svg.contains(">S3</text>"));
+    }
+
+    #[test]
+    fn heatmap_uniform_ranks_do_not_divide_by_zero() {
+        let rows = vec!["a".to_string()];
+        let cols = vec!["c".to_string()];
+        let svg = rank_heatmap(&rows, &cols, &[vec![1]], "flat");
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged heatmap")]
+    fn heatmap_rejects_ragged() {
+        let rows = vec!["a".to_string()];
+        let cols = vec!["c".to_string(), "d".to_string()];
+        let _ = rank_heatmap(&rows, &cols, &[vec![1]], "bad");
+    }
+
+    #[test]
+    fn ridge_plot_one_lane_per_row() {
+        let rows = vec![
+            RidgeRow {
+                name: "GBABS".to_string(),
+                curve: (0..20).map(|i| (i as f64 / 20.0, (i % 5) as f64)).collect(),
+                points: vec![0.4, 0.6, 0.8],
+            },
+            RidgeRow {
+                name: "GGBS".to_string(),
+                curve: (0..20).map(|i| (i as f64 / 20.0, 1.0)).collect(),
+                points: vec![0.3, 0.5],
+            },
+        ];
+        let svg = ridge_plot(&rows, "ridge", "Testing Accuracy");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<path").count(), 2, "one density per lane");
+        assert_eq!(svg.matches("<circle").count(), 5, "one dot per score");
+        assert!(svg.contains(">GBABS</text>"));
+        assert!(svg.contains(">GGBS</text>"));
+    }
+
+    #[test]
+    fn ridge_plot_handles_empty_and_degenerate_rows() {
+        let rows = vec![
+            RidgeRow {
+                name: "empty".to_string(),
+                curve: Vec::new(),
+                points: Vec::new(),
+            },
+            RidgeRow {
+                name: "single".to_string(),
+                curve: vec![(0.5, 1.0)],
+                points: vec![0.5],
+            },
+        ];
+        let svg = ridge_plot(&rows, "degenerate", "x");
+        // no paths (need >= 2 curve points), one baseline dot
+        assert_eq!(svg.matches("<path").count(), 0);
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let path = std::env::temp_dir().join("gbabs-svg-test/plot.svg");
+        save_svg(&path, "<svg></svg>").unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

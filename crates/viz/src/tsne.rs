@@ -1,0 +1,263 @@
+//! Exact t-SNE (van der Maaten & Hinton 2008).
+//!
+//! The paper's Fig. 5 visualizes datasets with scikit-learn's TSNE; this is
+//! an exact O(N²) implementation sufficient for the ≤ 2000-point stratified
+//! subsets the figure harness feeds it: symmetric SNE affinities with
+//! per-point perplexity calibration (binary search over the Gaussian
+//! bandwidth), PCA initialization, gradient descent with momentum and early
+//! exaggeration.
+
+use crate::pca::Pca;
+use gb_dataset::distance::sq_euclidean;
+use gb_dataset::Dataset;
+
+/// t-SNE hyper-parameters (defaults follow sklearn).
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (sklearn default 30).
+    pub perplexity: f64,
+    /// Gradient-descent iterations (sklearn default 1000; 500 is plenty at
+    /// our sizes).
+    pub n_iter: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub early_exaggeration: f64,
+    /// Seed for PCA initialization.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            n_iter: 500,
+            learning_rate: 200.0,
+            early_exaggeration: 12.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds `data` into 2-D. Returns one `[x, y]` pair per row.
+///
+/// # Panics
+/// Panics if the dataset has fewer than 4 samples.
+#[must_use]
+pub fn tsne_2d(data: &Dataset, config: &TsneConfig) -> Vec<[f64; 2]> {
+    let n = data.n_samples();
+    assert!(n >= 4, "t-SNE needs at least 4 samples");
+    let perplexity = config.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+
+    // --- pairwise squared distances ---
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = sq_euclidean(data.row(i), data.row(j));
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+
+    // --- per-row conditional affinities at the target perplexity ---
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let mut beta = 1.0f64; // precision = 1/(2σ²)
+        let mut beta_lo = 0.0f64;
+        let mut beta_hi = f64::INFINITY;
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            for (j, pr) in probs.iter_mut().enumerate() {
+                *pr = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += *pr;
+            }
+            if sum <= 0.0 {
+                // all neighbours infinitely far at this beta: relax
+                beta /= 2.0;
+                continue;
+            }
+            let mut entropy = 0.0;
+            for pr in probs.iter_mut() {
+                *pr /= sum;
+                if *pr > 1e-12 {
+                    entropy -= *pr * pr.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        p[i * n..(i + 1) * n].copy_from_slice(&probs);
+    }
+
+    // --- symmetrize ---
+    let mut pij = vec![0.0f64; n * n];
+    let norm = 1.0 / (2.0 * n as f64);
+    for i in 0..n {
+        for j in 0..n {
+            pij[i * n + j] = ((p[i * n + j] + p[j * n + i]) * norm).max(1e-12);
+        }
+    }
+
+    // --- init from PCA, scaled small ---
+    let pca = Pca::fit(data, 2.min(data.n_features()), config.seed);
+    let proj = pca.transform(data);
+    let scale = {
+        let sd: f64 = (proj.iter().map(|r| r[0] * r[0]).sum::<f64>() / n as f64).sqrt();
+        if sd > 0.0 {
+            1e-4 / sd
+        } else {
+            1e-4
+        }
+    };
+    let mut y: Vec<[f64; 2]> = proj
+        .iter()
+        .map(|r| [r[0] * scale, *r.get(1).unwrap_or(&0.0) * scale])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+
+    let exaggeration_end = config.n_iter / 4;
+    let mut q = vec![0.0f64; n * n];
+    for it in 0..config.n_iter {
+        let ex = if it < exaggeration_end {
+            config.early_exaggeration
+        } else {
+            1.0
+        };
+        // low-dimensional affinities (Student-t kernel)
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let w = 1.0 / (1.0 + dx * dx + dy * dy);
+                q[i * n + j] = w;
+                q[j * n + i] = w;
+                q_sum += 2.0 * w;
+            }
+        }
+        let momentum = if it < exaggeration_end { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let w = q[i * n + j];
+                let qij = (w / q_sum).max(1e-12);
+                let mult = (ex * pij[i * n + j] - qij) * w;
+                grad[0] += 4.0 * mult * (y[i][0] - y[j][0]);
+                grad[1] += 4.0 * mult * (y[i][1] - y[j][1]);
+            }
+            for k in 0..2 {
+                vel[i][k] = momentum * vel[i][k] - config.learning_rate * grad[k];
+            }
+        }
+        for (yi, vi) in y.iter_mut().zip(vel.iter()) {
+            yi[0] += vi[0];
+            yi[1] += vi[1];
+        }
+        // recenter
+        let mean = y.iter().fold([0.0f64; 2], |m, v| [m[0] + v[0], m[1] + v[1]]);
+        let mean = [mean[0] / n as f64, mean[1] / n as f64];
+        for yi in y.iter_mut() {
+            yi[0] -= mean[0];
+            yi[1] -= mean[1];
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+    use gb_dataset::split::stratified_subsample;
+
+    fn small_cfg() -> TsneConfig {
+        TsneConfig {
+            n_iter: 250,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn separable_clusters_stay_separated_in_embedding() {
+        // two far-apart 5-D clusters
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let off = if i % 2 == 0 { 0.0 } else { 20.0 };
+            for j in 0..5 {
+                feats.push(off + ((i * 13 + j * 7) % 10) as f64 * 0.05);
+            }
+            labels.push((i % 2) as u32);
+        }
+        let d = Dataset::from_parts(feats, labels, 5, 2);
+        let emb = tsne_2d(&d, &small_cfg());
+        // centroid distance in embedding should dominate intra-class spread
+        let centroid = |c: u32| {
+            let pts: Vec<&[f64; 2]> = (0..60).filter(|&i| d.label(i) == c).map(|i| &emb[i]).collect();
+            let n = pts.len() as f64;
+            [
+                pts.iter().map(|p| p[0]).sum::<f64>() / n,
+                pts.iter().map(|p| p[1]).sum::<f64>() / n,
+            ]
+        };
+        let c0 = centroid(0);
+        let c1 = centroid(1);
+        let between = ((c0[0] - c1[0]).powi(2) + (c0[1] - c1[1]).powi(2)).sqrt();
+        let spread0: f64 = (0..60)
+            .filter(|&i| d.label(i) == 0)
+            .map(|i| ((emb[i][0] - c0[0]).powi(2) + (emb[i][1] - c0[1]).powi(2)).sqrt())
+            .sum::<f64>()
+            / 30.0;
+        assert!(
+            between > 2.0 * spread0,
+            "between {between} vs spread {spread0}"
+        );
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let d = DatasetId::S5.generate(0.02, 1);
+        let keep = stratified_subsample(&d, 80, 0);
+        let s = d.select(&keep);
+        let emb = tsne_2d(&s, &small_cfg());
+        assert_eq!(emb.len(), s.n_samples());
+        for p in &emb {
+            assert!(p[0].is_finite() && p[1].is_finite());
+        }
+        let mx: f64 = emb.iter().map(|p| p[0]).sum::<f64>() / emb.len() as f64;
+        assert!(mx.abs() < 1e-6, "not centered: {mx}");
+    }
+
+    #[test]
+    fn perplexity_clamped_for_tiny_inputs() {
+        let d = Dataset::from_parts(vec![0.0, 1.0, 2.0, 10.0, 11.0], vec![0, 0, 0, 1, 1], 1, 2);
+        let emb = tsne_2d(&d, &small_cfg());
+        assert_eq!(emb.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 samples")]
+    fn too_small_rejected() {
+        let d = Dataset::from_parts(vec![0.0, 1.0], vec![0, 0], 1, 1);
+        let _ = tsne_2d(&d, &TsneConfig::default());
+    }
+}

@@ -1,0 +1,50 @@
+//! Model persistence: granulate once, store the RD-GBG cover as JSON,
+//! reload it later and resample without re-granulating.
+//!
+//! Useful when the same cleaned cover feeds several downstream consumers
+//! (different classifiers, audits of the detected noise, visualization) or
+//! when granulation runs in a separate ingest process.
+//!
+//! ```text
+//! cargo run --release -p gb-bench --example model_persistence
+//! ```
+
+use gb_dataset::catalog::DatasetId;
+use gbabs::{borderline_from_model, rd_gbg, RdGbgConfig, RdGbgModel};
+
+fn main() {
+    let data = DatasetId::S9.generate(0.1, 42);
+    println!("dataset: {} rows", data.n_samples());
+
+    // 1. Granulate once.
+    let model = rd_gbg(&data, &RdGbgConfig::default());
+    println!(
+        "granulated: {} balls, {} noise rows, {} iterations",
+        model.balls.len(),
+        model.noise.len(),
+        model.iterations
+    );
+
+    // 2. Persist the cover.
+    let path = std::env::temp_dir().join("gbabs_model.json");
+    let json = serde_json::to_string(&model).expect("serialize model");
+    std::fs::write(&path, &json).expect("write model");
+    println!("stored {} ({} bytes)", path.display(), json.len());
+
+    // 3. Reload in a "different process" and resample.
+    let restored: RdGbgModel =
+        serde_json::from_str(&std::fs::read_to_string(&path).expect("read model"))
+            .expect("deserialize model");
+    let (rows, borderline) = borderline_from_model(&data, &restored);
+    println!(
+        "reloaded: {} balls -> {} borderline balls, {} sampled rows",
+        restored.balls.len(),
+        borderline.len(),
+        rows.len()
+    );
+
+    // 4. The reload is bit-exact: same sample as the original model.
+    let (orig_rows, _) = borderline_from_model(&data, &model);
+    assert_eq!(rows, orig_rows, "persistence changed the sample");
+    println!("round-trip verified: identical borderline sample");
+}

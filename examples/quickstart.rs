@@ -1,0 +1,48 @@
+//! Quickstart: granulate a dataset with RD-GBG, sample its borderline
+//! region with GBABS, and train a decision tree on the compressed set.
+//!
+//! ```text
+//! cargo run --release -p gb-bench --example quickstart
+//! ```
+
+use gb_classifiers::ClassifierKind;
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::split::stratified_holdout;
+use gb_metrics::accuracy;
+use gbabs::{gbabs, RdGbgConfig};
+
+fn main() {
+    // 1. A banana-shaped two-class dataset (the paper's S5 surrogate).
+    let data = DatasetId::S5.generate(0.2, 42);
+    println!("dataset: {data}");
+
+    // 2. Hold out 30% for testing.
+    let (train_idx, test_idx) = stratified_holdout(&data, 0.3, 7);
+    let train = data.select(&train_idx);
+    let test = data.select(&test_idx);
+
+    // 3. Run the full GBABS pipeline on the training fold.
+    let result = gbabs(&train, &RdGbgConfig::default());
+    println!(
+        "RD-GBG: {} balls ({} orphan), {} detected noise rows, {} iterations",
+        result.model.balls.len(),
+        result.model.orphan_count,
+        result.model.noise.len(),
+        result.model.iterations,
+    );
+    println!(
+        "GBABS: kept {} of {} train samples (ratio {:.2})",
+        result.sampled_rows.len(),
+        train.n_samples(),
+        result.sampling_ratio(&train),
+    );
+
+    // 4. Train a CART decision tree on the borderline sample set and on the
+    //    full training fold, and compare.
+    let sampled = result.sampled_dataset(&train);
+    let on_sampled = ClassifierKind::DecisionTree.fit(&sampled, 0);
+    let on_full = ClassifierKind::DecisionTree.fit(&train, 0);
+    let acc_sampled = accuracy(test.labels(), &on_sampled.predict(&test));
+    let acc_full = accuracy(test.labels(), &on_full.predict(&test));
+    println!("DT accuracy — GBABS-sampled train: {acc_sampled:.4}, full train: {acc_full:.4}");
+}

@@ -1,0 +1,102 @@
+//! Contract suite for every classifier family (the paper's five plus the
+//! SVM extension): schema, determinism, and basic learning ability.
+
+use gb_classifiers::ClassifierKind;
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::split::stratified_holdout;
+use gb_dataset::Dataset;
+use gb_metrics::accuracy;
+
+/// Two well-separated Gaussian-ish blobs — everything must learn this.
+fn separable_blobs() -> Dataset {
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..60 {
+        let (cx, class) = if i < 30 { (0.0, 0) } else { (8.0, 1) };
+        feats.push(cx + (i % 6) as f64 * 0.1);
+        feats.push((i % 5) as f64 * 0.1);
+        labels.push(class);
+    }
+    Dataset::from_parts(feats, labels, 2, 2)
+}
+
+#[test]
+fn every_family_fits_and_predicts_in_range() {
+    let d = DatasetId::S6.generate(0.03, 1); // 5-class
+    for kind in ClassifierKind::EXTENDED {
+        let model = kind.fit_fast(&d, 0);
+        let preds = model.predict(&d);
+        assert_eq!(preds.len(), d.n_samples(), "{}", kind.name());
+        assert!(
+            preds.iter().all(|&p| (p as usize) < d.n_classes()),
+            "{}: prediction out of class range",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn every_family_learns_separable_blobs() {
+    let d = separable_blobs();
+    for kind in ClassifierKind::EXTENDED {
+        let model = kind.fit(&d, 0);
+        let acc = accuracy(d.labels(), &model.predict(&d));
+        assert_eq!(acc, 1.0, "{} failed on trivially separable data", kind.name());
+    }
+}
+
+#[test]
+fn every_family_is_seed_deterministic() {
+    let d = DatasetId::S2.generate(0.05, 1);
+    for kind in ClassifierKind::EXTENDED {
+        let a = kind.fit_fast(&d, 7).predict(&d);
+        let b = kind.fit_fast(&d, 7).predict(&d);
+        assert_eq!(a, b, "{}: same seed, different predictions", kind.name());
+    }
+}
+
+#[test]
+fn every_family_generalizes_beyond_majority_rate() {
+    let d = DatasetId::S5.generate(0.1, 2);
+    let (train_idx, test_idx) = stratified_holdout(&d, 0.3, 3);
+    let train = d.select(&train_idx);
+    let test = d.select(&test_idx);
+    let majority =
+        *test.class_counts().iter().max().unwrap() as f64 / test.n_samples() as f64;
+    for kind in ClassifierKind::EXTENDED {
+        let model = kind.fit_fast(&train, 0);
+        let acc = accuracy(test.labels(), &model.predict(&test));
+        // The banana surrogate is nonlinear, so the linear SVM only needs
+        // to clear the majority rate; tree families should do much better.
+        assert!(
+            acc >= majority - 0.02,
+            "{}: test accuracy {acc} below majority rate {majority}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn single_class_training_predicts_that_class() {
+    let d = Dataset::from_parts((0..24).map(f64::from).collect(), vec![0; 24], 1, 1);
+    for kind in ClassifierKind::EXTENDED {
+        let model = kind.fit_fast(&d, 0);
+        assert!(
+            model.predict(&d).iter().all(|&p| p == 0),
+            "{}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn extended_set_contains_paper_set() {
+    for k in ClassifierKind::ALL {
+        assert!(
+            ClassifierKind::EXTENDED.contains(&k),
+            "{} missing from EXTENDED",
+            k.name()
+        );
+    }
+    assert_eq!(ClassifierKind::EXTENDED.len(), ClassifierKind::ALL.len() + 1);
+}

@@ -1,0 +1,78 @@
+//! Determinism guarantees: every stochastic component is a pure function of
+//! its seed — the property behind "the random seeds are set in all used
+//! classifiers for a fair comparison" (§V-A3).
+
+use gb_bench::{evaluate, HarnessConfig, SamplerKind};
+use gb_classifiers::ClassifierKind;
+use gb_dataset::catalog::DatasetId;
+use gbabs::{gbabs, RdGbgConfig};
+
+fn cfg() -> HarnessConfig {
+    HarnessConfig {
+        folds: 3,
+        repeats: 1,
+        threads: 2,
+        out_dir: std::env::temp_dir().join("gbabs-det-test"),
+        ..HarnessConfig::smoke()
+    }
+}
+
+#[test]
+fn catalog_generation_is_seed_deterministic() {
+    for id in DatasetId::ALL {
+        let a = id.generate(0.02, 11);
+        let b = id.generate(0.02, 11);
+        assert_eq!(a.features(), b.features(), "{}", id.rename());
+        assert_eq!(a.labels(), b.labels(), "{}", id.rename());
+    }
+}
+
+#[test]
+fn gbabs_is_seed_deterministic() {
+    let d = DatasetId::S5.generate(0.04, 3);
+    let a = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 9, ..Default::default() });
+    let b = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 9, ..Default::default() });
+    assert_eq!(a.sampled_rows, b.sampled_rows);
+    assert_eq!(a.borderline_balls, b.borderline_balls);
+    assert_eq!(a.model.noise, b.model.noise);
+}
+
+#[test]
+fn full_evaluation_is_reproducible_despite_threading() {
+    // Fold jobs execute on worker threads; results must still be
+    // order-stable and value-identical across runs.
+    let d = DatasetId::S2.generate(0.1, 5);
+    let c1 = cfg();
+    let mut c2 = cfg();
+    c2.threads = 1; // different thread count, same results
+    for sampler in [SamplerKind::Gbabs, SamplerKind::Sm, SamplerKind::Tomek] {
+        let a = evaluate(&d, sampler, ClassifierKind::DecisionTree, 0.1, &c1);
+        let b = evaluate(&d, sampler, ClassifierKind::DecisionTree, 0.1, &c2);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.accuracy, y.accuracy, "{}", sampler.name());
+            assert_eq!(x.g_mean, y.g_mean);
+            assert_eq!(x.sampling_ratio, y.sampling_ratio);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_change_stochastic_components() {
+    let d = DatasetId::S5.generate(0.04, 3);
+    let a = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 1, ..Default::default() });
+    let b = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 2, ..Default::default() });
+    // center selection is random, so covers generally differ
+    assert_ne!(
+        a.model
+            .balls
+            .iter()
+            .map(|x| x.members.clone())
+            .collect::<Vec<_>>(),
+        b.model
+            .balls
+            .iter()
+            .map(|x| x.members.clone())
+            .collect::<Vec<_>>()
+    );
+}

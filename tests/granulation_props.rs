@@ -1,0 +1,160 @@
+//! Property tests for the granulation lineage and the extended samplers,
+//! driven by random datasets.
+
+use gb_dataset::Dataset;
+use gb_metrics::friedman::{friedman_from_scores, nemenyi_critical_difference};
+use gb_sampling::gbg_kmeans::{kmeans_gbg, KMeansGbgConfig};
+use gb_sampling::gbg_pp::{gbg_pp, GbgPpConfig};
+use gb_sampling::{Adasyn, Bootstrap, CondensedNn, Stratified, Systematic};
+use gbabs::Sampler;
+use proptest::prelude::*;
+
+/// Random small labelled dataset: n in [8, 100], p in [1, 5], q in [1, 4].
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (8usize..100, 1usize..6, 1usize..5).prop_flat_map(|(n, p, q)| {
+        (
+            proptest::collection::vec(-25.0f64..25.0, n * p),
+            proptest::collection::vec(0u32..q as u32, n),
+            Just(p),
+            Just(q),
+        )
+            .prop_map(|(feats, labels, p, q)| Dataset::from_parts(feats, labels, p, q))
+    })
+}
+
+fn assert_partition(data: &Dataset, balls: &[gbabs::GranularBall]) {
+    let mut seen = vec![0usize; data.n_samples()];
+    for b in balls {
+        for &m in &b.members {
+            seen[m] += 1;
+        }
+    }
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "cover is not a partition: {seen:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kmeans_gbg_partitions_rows(data in arb_dataset(), seed in 0u64..500) {
+        let balls = kmeans_gbg(&data, &KMeansGbgConfig { seed, ..Default::default() });
+        assert_partition(&data, &balls);
+    }
+
+    #[test]
+    fn gbgpp_partitions_with_pure_exact_balls(data in arb_dataset()) {
+        let balls = gbg_pp(&data, &GbgPpConfig::default());
+        assert_partition(&data, &balls);
+        for b in &balls {
+            prop_assert_eq!(b.measured_purity(&data), 1.0);
+            for &m in &b.members {
+                prop_assert!(b.contains_point(data.row(m), 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_never_drops_a_present_class(
+        data in arb_dataset(),
+        seed in 0u64..500,
+        ratio in 0.05f64..1.0,
+    ) {
+        let out = Stratified::new(ratio).sample(&data, seed);
+        let before = data.class_counts();
+        let after = out.dataset.class_counts();
+        for c in 0..data.n_classes() {
+            prop_assert_eq!(after[c] == 0, before[c] == 0, "class {} vanished", c);
+        }
+    }
+
+    #[test]
+    fn systematic_output_is_sorted_subset(
+        data in arb_dataset(),
+        seed in 0u64..500,
+        ratio in 0.05f64..1.0,
+    ) {
+        let out = Systematic::new(ratio).sample(&data, seed);
+        let rows = out.kept_rows.expect("systematic is an undersampler");
+        prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(rows.iter().all(|&r| r < data.n_samples()));
+    }
+
+    #[test]
+    fn bootstrap_rows_all_come_from_input(data in arb_dataset(), seed in 0u64..500) {
+        let out = Bootstrap::default().sample(&data, seed);
+        prop_assert_eq!(out.dataset.n_samples(), data.n_samples());
+        for i in 0..out.dataset.n_samples() {
+            let row = out.dataset.row(i);
+            let found = (0..data.n_samples()).any(|j| data.row(j) == row
+                && data.label(j) == out.dataset.label(i));
+            prop_assert!(found, "bootstrap invented a row");
+        }
+    }
+
+    #[test]
+    fn adasyn_balances_and_respects_bounds(data in arb_dataset(), seed in 0u64..500) {
+        let out = Adasyn::default().sample(&data, seed);
+        // balanced to the majority count
+        let counts = out.dataset.class_counts();
+        let max = *counts.iter().max().unwrap();
+        for (c, &n) in counts.iter().enumerate() {
+            if data.class_counts()[c] > 0 {
+                prop_assert_eq!(n, max, "class {} not topped up", c);
+            }
+        }
+        // synthetic rows stay inside the input's bounding box (interpolation)
+        let (lo, hi) = data.column_bounds();
+        for i in data.n_samples()..out.dataset.n_samples() {
+            for (j, &v) in out.dataset.row(i).iter().enumerate() {
+                prop_assert!(v >= lo[j] - 1e-9 && v <= hi[j] + 1e-9,
+                    "synthetic value {} outside [{}, {}]", v, lo[j], hi[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn cnn_store_is_consistent_on_its_own_rows(data in arb_dataset(), seed in 0u64..500) {
+        let out = CondensedNn::new(8).sample(&data, seed);
+        let kept = out.kept_rows.expect("CNN is an undersampler");
+        prop_assert!(!kept.is_empty());
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn friedman_is_invariant_under_method_permutation(
+        scores in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 4),
+            3..10,
+        ),
+    ) {
+        let res = friedman_from_scores(&scores).unwrap();
+        // reverse the method order
+        let reversed: Vec<Vec<f64>> = scores
+            .iter()
+            .map(|row| row.iter().rev().copied().collect())
+            .collect();
+        let res_rev = friedman_from_scores(&reversed).unwrap();
+        prop_assert!((res.chi_square - res_rev.chi_square).abs() < 1e-9);
+        prop_assert!((res.p_value - res_rev.p_value).abs() < 1e-9);
+        for (a, b) in res.mean_ranks.iter().zip(res_rev.mean_ranks.iter().rev()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        // sanity bounds
+        prop_assert!(res.chi_square >= -1e-9);
+        prop_assert!((0.0..=1.0).contains(&res.p_value));
+        let k = scores[0].len();
+        let mean_sum: f64 = res.mean_ranks.iter().sum();
+        prop_assert!((mean_sum - (k * (k + 1)) as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nemenyi_cd_shrinks_with_more_datasets(k in 2usize..=10, n in 2usize..50) {
+        let cd_n = nemenyi_critical_difference(k, n);
+        let cd_2n = nemenyi_critical_difference(k, 2 * n);
+        prop_assert!(cd_2n < cd_n);
+        prop_assert!(cd_n > 0.0);
+    }
+}

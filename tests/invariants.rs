@@ -1,0 +1,114 @@
+//! Structural invariants of the paper's algorithms, checked across the
+//! whole catalog and under every noise level — the properties §IV claims:
+//! RD-GBG covers are pure, non-overlapping, complete (modulo detected
+//! noise); GBABS output is a duplicate-free subset excluding noise.
+
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::noise::inject_class_noise;
+use gbabs::diagnostics::{count_overlaps, verify_rdgbg_invariants};
+use gbabs::{gbabs, rd_gbg, RdGbgConfig};
+
+#[test]
+fn rdgbg_invariants_hold_across_catalog() {
+    for id in DatasetId::ALL {
+        let data = id.generate(0.02, 9);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        verify_rdgbg_invariants(&data, &model)
+            .unwrap_or_else(|e| panic!("{}: {e}", id.rename()));
+    }
+}
+
+#[test]
+fn rdgbg_invariants_hold_under_all_noise_levels() {
+    let base = DatasetId::S5.generate(0.05, 1);
+    for &noise in &[0.05, 0.10, 0.20, 0.30, 0.40] {
+        let (noisy, _) = inject_class_noise(&base, noise, 7);
+        let model = rd_gbg(&noisy, &RdGbgConfig::default());
+        verify_rdgbg_invariants(&noisy, &model)
+            .unwrap_or_else(|e| panic!("noise {noise}: {e}"));
+    }
+}
+
+#[test]
+fn rdgbg_invariants_hold_across_density_tolerances() {
+    let data = DatasetId::S2.generate(0.15, 3);
+    for rho in [3usize, 5, 9, 15, 19] {
+        let model = rd_gbg(
+            &data,
+            &RdGbgConfig {
+                density_tolerance: rho,
+                seed: 0,
+                ..Default::default()
+            },
+        );
+        verify_rdgbg_invariants(&data, &model).unwrap_or_else(|e| panic!("rho {rho}: {e}"));
+        assert_eq!(count_overlaps(&model.balls, 1e-9), 0);
+    }
+}
+
+#[test]
+fn gbabs_output_is_sorted_unique_subset_excluding_noise() {
+    for id in [DatasetId::S5, DatasetId::S6, DatasetId::S9] {
+        let base = id.generate(0.03, 5);
+        let (noisy, _) = inject_class_noise(&base, 0.2, 3);
+        let res = gbabs(&noisy, &RdGbgConfig::default());
+        assert!(
+            res.sampled_rows.windows(2).all(|w| w[0] < w[1]),
+            "{}: not sorted/unique",
+            id.rename()
+        );
+        assert!(res.sampled_rows.iter().all(|&r| r < noisy.n_samples()));
+        for r in &res.model.noise {
+            assert!(
+                !res.sampled_rows.contains(r),
+                "{}: noise row {r} sampled",
+                id.rename()
+            );
+        }
+    }
+}
+
+#[test]
+fn borderline_balls_reference_valid_indices() {
+    let data = DatasetId::S6.generate(0.05, 2);
+    let res = gbabs(&data, &RdGbgConfig::default());
+    for &b in &res.borderline_balls {
+        assert!(b < res.model.balls.len());
+    }
+    // borderline ball ids are sorted unique
+    assert!(res.borderline_balls.windows(2).all(|w| w[0] < w[1]));
+}
+
+#[test]
+fn single_class_data_yields_no_borderline_samples() {
+    use gb_dataset::Dataset;
+    let feats: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin()).collect();
+    let data = Dataset::from_parts(feats, vec![0; 30], 2, 1);
+    let res = gbabs(&data, &RdGbgConfig::default());
+    assert!(
+        res.sampled_rows.is_empty(),
+        "no class boundary exists in single-class data"
+    );
+    assert!(res.borderline_balls.is_empty());
+}
+
+#[test]
+fn rho_affects_low_density_routing_but_never_purity() {
+    let data = DatasetId::S10.generate(0.02, 8);
+    let mut prev_balls = None;
+    for rho in [3usize, 11, 19] {
+        let model = rd_gbg(
+            &data,
+            &RdGbgConfig {
+                density_tolerance: rho,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        for b in &model.balls {
+            assert_eq!(b.measured_purity(&data), 1.0, "rho {rho}");
+        }
+        prev_balls = Some(model.balls.len().max(prev_balls.unwrap_or(0)));
+    }
+    assert!(prev_balls.unwrap() > 0);
+}

@@ -1,0 +1,114 @@
+//! Property tests on the evaluation metrics: bounds, symmetries, and
+//! cross-metric consistency laws that must hold for arbitrary prediction
+//! vectors.
+
+use gb_metrics::{
+    accuracy, balanced_accuracy, g_mean, macro_f1, macro_precision, ConfusionMatrix,
+};
+use proptest::prelude::*;
+
+/// Random (truth, prediction) pair over `q` classes where every class
+/// appears at least once in the truth (so per-class metrics are defined).
+fn arb_labels() -> impl Strategy<Value = (Vec<u32>, Vec<u32>, usize)> {
+    (2usize..5).prop_flat_map(|q| {
+        (8usize..60).prop_flat_map(move |n| {
+            (
+                proptest::collection::vec(0u32..q as u32, n),
+                proptest::collection::vec(0u32..q as u32, n),
+                Just(q),
+            )
+                .prop_map(move |(mut truth, pred, q)| {
+                    // force every class to appear in truth
+                    let n = truth.len();
+                    for c in 0..q {
+                        truth[c % n] = c as u32;
+                    }
+                    (truth, pred, q)
+                })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_scores_bounded_zero_one((truth, pred, q) in arb_labels()) {
+        for s in [
+            accuracy(&truth, &pred),
+            g_mean(&truth, &pred, q),
+            balanced_accuracy(&truth, &pred, q),
+            macro_precision(&truth, &pred, q),
+            macro_f1(&truth, &pred, q),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&s), "score {s} out of [0,1]");
+        }
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, q);
+        prop_assert!((-1.0..=1.0).contains(&cm.matthews_corrcoef()));
+        prop_assert!((-1.0..=1.0).contains(&cm.cohen_kappa()));
+    }
+
+    #[test]
+    fn perfect_prediction_maxes_everything((truth, _, q) in arb_labels()) {
+        prop_assert_eq!(accuracy(&truth, &truth), 1.0);
+        prop_assert_eq!(g_mean(&truth, &truth, q), 1.0);
+        prop_assert_eq!(balanced_accuracy(&truth, &truth, q), 1.0);
+        prop_assert_eq!(macro_f1(&truth, &truth, q), 1.0);
+        let cm = ConfusionMatrix::from_predictions(&truth, &truth, q);
+        prop_assert!((cm.matthews_corrcoef() - 1.0).abs() < 1e-12);
+        prop_assert!((cm.cohen_kappa() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_never_exceeds_balanced_accuracy((truth, pred, q) in arb_labels()) {
+        // geometric mean <= arithmetic mean of the same recalls
+        let g = g_mean(&truth, &pred, q);
+        let b = balanced_accuracy(&truth, &pred, q);
+        prop_assert!(g <= b + 1e-12, "g-mean {g} > balanced accuracy {b}");
+    }
+
+    #[test]
+    fn relabeling_classes_preserves_symmetric_scores((truth, pred, q) in arb_labels()) {
+        // swap class ids 0 and 1 in both vectors: every class-symmetric
+        // metric must be unchanged
+        let swap = |v: &[u32]| -> Vec<u32> {
+            v.iter()
+                .map(|&l| match l {
+                    0 => 1,
+                    1 => 0,
+                    other => other,
+                })
+                .collect()
+        };
+        let (t2, p2) = (swap(&truth), swap(&pred));
+        prop_assert!((accuracy(&truth, &pred) - accuracy(&t2, &p2)).abs() < 1e-12);
+        prop_assert!((g_mean(&truth, &pred, q) - g_mean(&t2, &p2, q)).abs() < 1e-12);
+        prop_assert!(
+            (balanced_accuracy(&truth, &pred, q) - balanced_accuracy(&t2, &p2, q)).abs() < 1e-12
+        );
+        prop_assert!((macro_f1(&truth, &pred, q) - macro_f1(&t2, &p2, q)).abs() < 1e-12);
+        let a = ConfusionMatrix::from_predictions(&truth, &pred, q);
+        let b = ConfusionMatrix::from_predictions(&t2, &p2, q);
+        prop_assert!((a.matthews_corrcoef() - b.matthews_corrcoef()).abs() < 1e-12);
+        prop_assert!((a.cohen_kappa() - b.cohen_kappa()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_accuracy_agrees_with_scalar((truth, pred, q) in arb_labels()) {
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, q);
+        prop_assert!((cm.accuracy() - accuracy(&truth, &pred)).abs() < 1e-12);
+        prop_assert_eq!(cm.total(), truth.len());
+        let support_sum: usize = cm.supports().iter().sum();
+        let pred_sum: usize = cm.predicted_counts().iter().sum();
+        prop_assert_eq!(support_sum, truth.len());
+        prop_assert_eq!(pred_sum, truth.len());
+    }
+
+    #[test]
+    fn kappa_at_most_accuracy_scaled((truth, pred, q) in arb_labels()) {
+        // kappa = (po - pe)/(1 - pe) <= po when pe >= 0
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred, q);
+        let kappa = cm.cohen_kappa();
+        prop_assert!(kappa <= cm.accuracy() + 1e-12);
+    }
+}

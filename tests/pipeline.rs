@@ -1,0 +1,149 @@
+//! End-to-end integration tests: generate → (noise) → sample → train →
+//! score, spanning every crate in the workspace.
+
+use gb_bench::{evaluate, summarize, HarnessConfig, SamplerKind};
+use gb_classifiers::ClassifierKind;
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::split::stratified_holdout;
+use gb_metrics::accuracy;
+use gbabs::{gbabs, RdGbgConfig};
+
+fn tiny_cfg() -> HarnessConfig {
+    HarnessConfig {
+        folds: 3,
+        repeats: 1,
+        out_dir: std::env::temp_dir().join("gbabs-pipeline-test"),
+        ..HarnessConfig::smoke()
+    }
+}
+
+#[test]
+fn gbabs_pipeline_end_to_end_on_banana() {
+    let data = DatasetId::S5.generate(0.1, 42);
+    let (tr, te) = stratified_holdout(&data, 0.3, 7);
+    let train = data.select(&tr);
+    let test = data.select(&te);
+
+    let result = gbabs(&train, &RdGbgConfig::default());
+    let sampled = result.sampled_dataset(&train);
+    assert!(sampled.n_samples() < train.n_samples(), "no compression");
+
+    let model = ClassifierKind::DecisionTree.fit(&sampled, 0);
+    let acc = accuracy(test.labels(), &model.predict(&test));
+    assert!(acc > 0.75, "pipeline accuracy too low: {acc}");
+}
+
+#[test]
+fn every_sampler_feeds_every_classifier() {
+    // Small but complete compatibility matrix (the paper's full grid is
+    // 8 samplers x 5 classifiers; here one fold each on a tiny surrogate).
+    let data = DatasetId::S2.generate(0.15, 1);
+    let cfg = tiny_cfg();
+    for sampler in SamplerKind::FIG9 {
+        for classifier in [ClassifierKind::DecisionTree, ClassifierKind::Knn] {
+            let folds = evaluate(&data, sampler, classifier, 0.0, &cfg);
+            let s = summarize(&folds);
+            assert!(
+                s.accuracy > 0.3,
+                "{} + {} collapsed to {}",
+                sampler.name(),
+                classifier.name(),
+                s.accuracy
+            );
+        }
+    }
+}
+
+#[test]
+fn gbabs_beats_or_matches_plain_dt_under_heavy_noise() {
+    // The paper's central claim (Table IV): on noisy data, GBABS-DT
+    // outperforms DT trained on everything.
+    let data = DatasetId::S9.generate(0.08, 3);
+    let cfg = HarnessConfig {
+        folds: 5,
+        repeats: 2,
+        ..tiny_cfg()
+    };
+    let gbabs_acc = summarize(&evaluate(
+        &data,
+        SamplerKind::Gbabs,
+        ClassifierKind::DecisionTree,
+        0.30,
+        &cfg,
+    ))
+    .accuracy;
+    let ori_acc = summarize(&evaluate(
+        &data,
+        SamplerKind::Ori,
+        ClassifierKind::DecisionTree,
+        0.30,
+        &cfg,
+    ))
+    .accuracy;
+    assert!(
+        gbabs_acc >= ori_acc - 0.01,
+        "GBABS-DT {gbabs_acc} should not trail DT {ori_acc} at 30% noise"
+    );
+}
+
+#[test]
+fn srs_ratio_tracks_gbabs_ratio() {
+    // Paper §V-A3: SRS keeps the same fraction GBABS does.
+    let data = DatasetId::S5.generate(0.06, 5);
+    let cfg = tiny_cfg();
+    let gbabs_folds = evaluate(
+        &data,
+        SamplerKind::Gbabs,
+        ClassifierKind::Knn,
+        0.0,
+        &cfg,
+    );
+    let srs_folds = evaluate(&data, SamplerKind::Srs, ClassifierKind::Knn, 0.0, &cfg);
+    for (g, s) in gbabs_folds.iter().zip(srs_folds.iter()) {
+        assert!(
+            (g.sampling_ratio - s.sampling_ratio).abs() < 0.02,
+            "SRS ratio {} diverged from GBABS ratio {}",
+            s.sampling_ratio,
+            g.sampling_ratio
+        );
+    }
+}
+
+#[test]
+fn sampling_never_breaks_schema() {
+    let data = DatasetId::S1.generate(0.3, 2); // mixed types
+    for sampler in SamplerKind::FIG9 {
+        let out = sampler.sample(&data, 0, 0.5);
+        assert_eq!(out.dataset.n_features(), data.n_features());
+        assert_eq!(out.dataset.n_classes(), data.n_classes());
+        assert_eq!(
+            out.dataset.feature_kinds(),
+            data.feature_kinds(),
+            "{} lost feature kinds",
+            sampler.name()
+        );
+    }
+}
+
+#[test]
+fn undersamplers_report_consistent_kept_rows() {
+    let data = DatasetId::S2.generate(0.1, 4);
+    for sampler in [
+        SamplerKind::Gbabs,
+        SamplerKind::Ggbs,
+        SamplerKind::Igbs,
+        SamplerKind::Tomek,
+        SamplerKind::Srs,
+        SamplerKind::Ori,
+    ] {
+        let out = sampler.sample(&data, 1, 0.4);
+        let rows = out
+            .kept_rows
+            .unwrap_or_else(|| panic!("{} is an undersampler", sampler.name()));
+        assert_eq!(rows.len(), out.dataset.n_samples());
+        for (pos, &row) in rows.iter().enumerate() {
+            assert_eq!(out.dataset.row(pos), data.row(row), "{}", sampler.name());
+            assert_eq!(out.dataset.label(pos), data.label(row));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Contract suite every sampler must satisfy, including the §I
+//! related-work methods added beyond the paper's Table-oriented registry.
+//!
+//! Contracts:
+//! * schema preservation (feature count, kinds, class count),
+//! * label validity,
+//! * per-seed determinism,
+//! * `kept_rows` consistency for pure undersamplers,
+//! * direction: undersamplers never grow the set, oversamplers never
+//!   shrink it,
+//! * graceful handling of degenerate inputs (tiny sets, duplicate rows,
+//!   constant features, single class).
+
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::Dataset;
+use gb_sampling::{
+    Adasyn, Bootstrap, BorderlineSmote, CondensedNn, EditedNn, Ggbs, Igbs, Smote, SmoteEnn,
+    SmoteNc, SmoteTomek, Srs, Stratified, Systematic, TomekLinks,
+};
+use gbabs::{GbabsSampler, NoSampling, Sampler};
+
+/// Whether the sampler may only remove rows (`kept_rows` must be `Some`
+/// when true for this suite's samplers).
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Under,
+    Over,
+    Resample,
+}
+
+fn registry() -> Vec<(Box<dyn Sampler>, Direction)> {
+    vec![
+        (Box::new(NoSampling), Direction::Under),
+        (Box::new(GbabsSampler::default()), Direction::Under),
+        (Box::new(Ggbs::default()), Direction::Under),
+        (Box::new(Igbs::default()), Direction::Resample),
+        (Box::new(Srs::new(0.5)), Direction::Under),
+        (Box::new(Stratified::new(0.5)), Direction::Under),
+        (Box::new(Systematic::new(0.5)), Direction::Under),
+        (Box::new(Bootstrap::default()), Direction::Resample),
+        (Box::new(Smote::default()), Direction::Over),
+        (Box::new(BorderlineSmote::default()), Direction::Over),
+        (Box::new(SmoteNc::default()), Direction::Over),
+        (Box::new(Adasyn::default()), Direction::Over),
+        (Box::new(TomekLinks::default()), Direction::Under),
+        (Box::new(CondensedNn::new(8)), Direction::Under),
+        (Box::new(EditedNn::default()), Direction::Under),
+        (Box::new(SmoteTomek::default()), Direction::Resample),
+        (Box::new(SmoteEnn::default()), Direction::Resample),
+    ]
+}
+
+fn check_contracts(data: &Dataset, seed: u64) {
+    for (sampler, direction) in registry() {
+        let name = sampler.name();
+        let out = sampler.sample(data, seed);
+
+        // Schema preservation.
+        assert_eq!(
+            out.dataset.n_features(),
+            data.n_features(),
+            "{name}: feature count changed"
+        );
+        assert_eq!(
+            out.dataset.n_classes(),
+            data.n_classes(),
+            "{name}: class count changed"
+        );
+        assert_eq!(
+            out.dataset.feature_kinds(),
+            data.feature_kinds(),
+            "{name}: feature kinds changed"
+        );
+        // GBABS legitimately returns an empty sample when there is no class
+        // boundary at all (single-class input — no borderline exists).
+        let single_class = data.class_counts().iter().filter(|&&c| c > 0).count() <= 1;
+        if !(name == "GBABS" && single_class) {
+            assert!(out.dataset.n_samples() > 0, "{name}: emptied the dataset");
+        }
+        assert!(
+            out.dataset.labels().iter().all(|&l| (l as usize) < data.n_classes()),
+            "{name}: out-of-range label"
+        );
+
+        // Direction.
+        match direction {
+            Direction::Under => assert!(
+                out.dataset.n_samples() <= data.n_samples(),
+                "{name}: undersampler grew the set"
+            ),
+            Direction::Over => assert!(
+                out.dataset.n_samples() >= data.n_samples(),
+                "{name}: oversampler shrank the set"
+            ),
+            Direction::Resample => {}
+        }
+
+        // kept_rows consistency.
+        if let Some(kept) = &out.kept_rows {
+            assert_eq!(kept.len(), out.dataset.n_samples(), "{name}: kept_rows length");
+            assert!(
+                kept.windows(2).all(|w| w[0] < w[1]),
+                "{name}: kept_rows not sorted-unique"
+            );
+            for (pos, &row) in kept.iter().enumerate() {
+                assert!(row < data.n_samples(), "{name}: kept row out of range");
+                assert_eq!(out.dataset.row(pos), data.row(row), "{name}: row content");
+                assert_eq!(out.dataset.label(pos), data.label(row), "{name}: row label");
+            }
+        }
+
+        // Determinism per seed.
+        let again = sampler.sample(data, seed);
+        assert_eq!(
+            out.dataset.features(),
+            again.dataset.features(),
+            "{name}: nondeterministic features for fixed seed"
+        );
+        assert_eq!(
+            out.dataset.labels(),
+            again.dataset.labels(),
+            "{name}: nondeterministic labels for fixed seed"
+        );
+    }
+}
+
+#[test]
+fn contracts_on_binary_catalog_data() {
+    let d = DatasetId::S5.generate(0.05, 1);
+    check_contracts(&d, 3);
+}
+
+#[test]
+fn contracts_on_imbalanced_catalog_data() {
+    let d = DatasetId::S9.generate(0.05, 2);
+    check_contracts(&d, 4);
+}
+
+#[test]
+fn contracts_on_multiclass_catalog_data() {
+    let d = DatasetId::S6.generate(0.05, 3);
+    check_contracts(&d, 5);
+}
+
+#[test]
+fn contracts_on_mixed_type_catalog_data() {
+    // S3 (Car Evaluation surrogate) carries categorical columns — the
+    // SMOTENC path.
+    let d = DatasetId::S3.generate(0.2, 4);
+    check_contracts(&d, 6);
+}
+
+#[test]
+fn contracts_on_duplicate_rows() {
+    // 30 copies of two points per class: distance ties everywhere.
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..60 {
+        let class = (i % 2) as u32;
+        feats.extend_from_slice(&[f64::from(class) * 4.0, 1.0]);
+        labels.push(class);
+    }
+    let d = Dataset::from_parts(feats, labels, 2, 2);
+    check_contracts(&d, 7);
+}
+
+#[test]
+fn contracts_on_constant_feature() {
+    let mut feats = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40 {
+        feats.extend_from_slice(&[i as f64, 5.0]); // col 1 constant
+        labels.push(u32::from(i >= 20));
+    }
+    let d = Dataset::from_parts(feats, labels, 2, 2);
+    check_contracts(&d, 8);
+}
+
+#[test]
+fn contracts_on_single_class() {
+    let d = Dataset::from_parts((0..30).map(f64::from).collect(), vec![0; 30], 1, 1);
+    check_contracts(&d, 9);
+}
+
+#[test]
+fn contracts_on_tiny_dataset() {
+    // Small enough that k-NN scans run out of neighbours (k = 5 > class
+    // sizes): every sampler must still behave.
+    let d = Dataset::from_parts(
+        vec![0.0, 0.1, 4.0, 4.1, 0.2, 3.9],
+        vec![0, 0, 1, 1, 0, 1],
+        1,
+        2,
+    );
+    check_contracts(&d, 10);
+}
+
+#[test]
+fn sampler_names_are_unique() {
+    let names: Vec<&str> = registry().iter().map(|(s, _)| s.name()).collect();
+    let unique: std::collections::HashSet<&&str> = names.iter().collect();
+    assert_eq!(unique.len(), names.len(), "{names:?}");
+}
