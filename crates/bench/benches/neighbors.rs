@@ -21,12 +21,17 @@ fn bench_knn_indexes(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(2));
     for (id, scale) in [
-        (DatasetId::S5, 0.2),  // p = 2
-        (DatasetId::S8, 0.05), // p = 16
+        (DatasetId::S5, 0.2),   // p = 2
+        (DatasetId::S8, 0.05),  // p = 16
         (DatasetId::S12, 0.05), // p = 128
     ] {
         let data = id.generate(scale, 11);
-        let label = format!("{}_n{}_p{}", id.rename(), data.n_samples(), data.n_features());
+        let label = format!(
+            "{}_n{}_p{}",
+            id.rename(),
+            data.n_samples(),
+            data.n_features()
+        );
         let queries: Vec<Vec<f64>> = (0..64)
             .map(|i| data.row(i % data.n_samples()).to_vec())
             .collect();

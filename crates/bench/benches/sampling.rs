@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gb_dataset::catalog::DatasetId;
-use gb_sampling::{Adasyn, BorderlineSmote, CondensedNn, Ggbs, Smote, Srs, Stratified, Systematic, TomekLinks};
+use gb_sampling::{
+    Adasyn, BorderlineSmote, CondensedNn, Ggbs, Smote, Srs, Stratified, Systematic, TomekLinks,
+};
 use gbabs::{GbabsSampler, Sampler};
 use std::hint::black_box;
 

@@ -9,15 +9,16 @@
 
 use crate::config::HarnessConfig;
 use crate::report::{f, format_table, write_csv};
-use gbabs::diagnostics::count_overlaps;
-use gbabs::gbknn::{GbKnn, GbKnnConfig};
-use gbabs::{borderline_from_model, rd_gbg, RdGbgConfig};
 use gb_classifiers::ClassifierKind;
 use gb_dataset::catalog::DatasetId;
+use gb_dataset::index::GranulationBackend;
 use gb_dataset::noise::inject_class_noise;
 use gb_dataset::rng::derive_seed;
 use gb_dataset::split::stratified_k_fold;
 use gb_metrics::accuracy;
+use gbabs::diagnostics::count_overlaps;
+use gbabs::gbknn::{GbKnn, GbKnnConfig};
+use gbabs::{borderline_from_model, rd_gbg, RdGbgConfig};
 
 /// The RD-GBG variants compared.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,9 +51,10 @@ impl Variant {
 
     /// Config for this variant.
     #[must_use]
-    pub fn config(self, seed: u64) -> RdGbgConfig {
+    pub fn config(self, seed: u64, backend: GranulationBackend) -> RdGbgConfig {
         let mut cfg = RdGbgConfig {
             seed,
+            backend,
             ..RdGbgConfig::default()
         };
         match self {
@@ -80,12 +82,14 @@ pub struct VariantOutcome {
 
 /// Runs one variant through `folds`-fold CV on `data`.
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn run_variant(
     data: &gb_dataset::Dataset,
     variant: Variant,
     folds: usize,
     seed: u64,
     fast: bool,
+    backend: GranulationBackend,
 ) -> VariantOutcome {
     let mut accs = Vec::new();
     let mut ratios = Vec::new();
@@ -94,7 +98,7 @@ pub fn run_variant(
     for (fi, fold) in stratified_k_fold(data, folds, seed).into_iter().enumerate() {
         let train = data.select(&fold.train);
         let test = data.select(&fold.test);
-        let cfg = variant.config(derive_seed(seed, fi as u64));
+        let cfg = variant.config(derive_seed(seed, fi as u64), backend);
         let model = rd_gbg(&train, &cfg);
         overlaps.push(count_overlaps(&model.balls, 1e-9) as f64);
         removed.push(model.noise.len() as f64);
@@ -119,7 +123,12 @@ pub fn run_variant(
 
 /// GB-kNN vs GBABS→kNN on one dataset (mean accuracy over folds).
 #[must_use]
-pub fn gbknn_vs_gbabs_knn(data: &gb_dataset::Dataset, folds: usize, seed: u64) -> (f64, f64) {
+pub fn gbknn_vs_gbabs_knn(
+    data: &gb_dataset::Dataset,
+    folds: usize,
+    seed: u64,
+    backend: GranulationBackend,
+) -> (f64, f64) {
     let mut gbknn_accs = Vec::new();
     let mut sampled_knn_accs = Vec::new();
     for (fi, fold) in stratified_k_fold(data, folds, seed).into_iter().enumerate() {
@@ -127,6 +136,7 @@ pub fn gbknn_vs_gbabs_knn(data: &gb_dataset::Dataset, folds: usize, seed: u64) -
         let test = data.select(&fold.test);
         let rdgbg = RdGbgConfig {
             seed: derive_seed(seed, fi as u64),
+            backend,
             ..RdGbgConfig::default()
         };
         let model = rd_gbg(&train, &rdgbg);
@@ -163,7 +173,14 @@ pub fn ablation(cfg: &HarnessConfig) {
                 base.clone()
             };
             for variant in Variant::ALL {
-                let out = run_variant(&d, variant, cfg.folds, cfg.seed, cfg.fast_classifiers);
+                let out = run_variant(
+                    &d,
+                    variant,
+                    cfg.folds,
+                    cfg.seed,
+                    cfg.fast_classifiers,
+                    cfg.backend,
+                );
                 rows.push(vec![
                     id.rename().to_string(),
                     format!("{:.0}%", noise * 100.0),
@@ -187,7 +204,7 @@ pub fn ablation(cfg: &HarnessConfig) {
     ]];
     for id in datasets {
         let d = id.generate(cfg.scale, derive_seed(cfg.seed, 77));
-        let (a, b) = gbknn_vs_gbabs_knn(&d, cfg.folds, cfg.seed);
+        let (a, b) = gbknn_vs_gbabs_knn(&d, cfg.folds, cfg.seed, cfg.backend);
         knn_rows.push(vec![id.rename().to_string(), f(a), f(b)]);
     }
     println!("Ablation: classify with balls (GB-kNN) vs sample-then-kNN");
@@ -201,21 +218,28 @@ mod tests {
 
     #[test]
     fn variants_have_expected_configs() {
-        let full = Variant::Full.config(1);
+        let full = Variant::Full.config(1, GranulationBackend::Auto);
         assert!(full.restrict_overlap && full.detect_noise);
-        let no = Variant::NoOverlapRestriction.config(1);
+        let no = Variant::NoOverlapRestriction.config(1, GranulationBackend::Auto);
         assert!(!no.restrict_overlap && no.detect_noise);
-        let nd = Variant::NoNoiseDetection.config(1);
+        let nd = Variant::NoNoiseDetection.config(1, GranulationBackend::Auto);
         assert!(nd.restrict_overlap && !nd.detect_noise);
     }
 
     #[test]
     fn run_variant_smoke() {
         let d = DatasetId::S5.generate(0.03, 1);
-        let out = run_variant(&d, Variant::Full, 3, 0, true);
+        let out = run_variant(&d, Variant::Full, 3, 0, true, GranulationBackend::Auto);
         assert!(out.dt_accuracy > 0.4);
         assert_eq!(out.overlaps, 0.0, "full method never overlaps");
-        let ablated = run_variant(&d, Variant::NoOverlapRestriction, 3, 0, true);
+        let ablated = run_variant(
+            &d,
+            Variant::NoOverlapRestriction,
+            3,
+            0,
+            true,
+            GranulationBackend::Auto,
+        );
         assert!(
             ablated.overlaps > 0.0,
             "overlap ablation should produce overlaps"
@@ -226,16 +250,23 @@ mod tests {
     fn noise_ablation_removes_nothing() {
         let base = DatasetId::S5.generate(0.03, 1);
         let (d, _) = inject_class_noise(&base, 0.2, 5);
-        let out = run_variant(&d, Variant::NoNoiseDetection, 3, 0, true);
+        let out = run_variant(
+            &d,
+            Variant::NoNoiseDetection,
+            3,
+            0,
+            true,
+            GranulationBackend::Auto,
+        );
         assert_eq!(out.noise_removed, 0.0);
-        let full = run_variant(&d, Variant::Full, 3, 0, true);
+        let full = run_variant(&d, Variant::Full, 3, 0, true, GranulationBackend::Auto);
         assert!(full.noise_removed > 0.0);
     }
 
     #[test]
     fn gbknn_comparison_runs() {
         let d = DatasetId::S9.generate(0.03, 2);
-        let (a, b) = gbknn_vs_gbabs_knn(&d, 3, 1);
+        let (a, b) = gbknn_vs_gbabs_knn(&d, 3, 1, GranulationBackend::Auto);
         assert!(a > 0.5 && b > 0.5, "gbknn {a}, sampled knn {b}");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! experiments <artifact> [--full] [--scale X] [--repeats N] [--folds K]
-//!             [--seed S] [--threads T] [--out DIR]
+//!             [--seed S] [--threads T] [--out DIR] [--backend B]
 //!
 //! artifacts: all | table1 | fig4 | fig5 | fig6 | table2 | table3 | table4
 //!          | fig7 | fig8 | fig9 | fig10 | fig11 | ablation | granulation | svm | cross | scaling
@@ -12,12 +12,14 @@
 
 use gb_bench::config::HarnessConfig;
 use gb_bench::experiments as exp;
+use gb_dataset::index::GranulationBackend;
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <all|table1|fig4|table2|table3|table4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ablation|granulation|svm|cross|scaling> \
-         [--full] [--smoke] [--scale X] [--repeats N] [--folds K] [--seed S] [--threads T] [--out DIR]"
+         [--full] [--smoke] [--scale X] [--repeats N] [--folds K] [--seed S] [--threads T] [--out DIR] \
+         [--backend auto|brute|kdtree|vptree]"
     );
     std::process::exit(2);
 }
@@ -47,6 +49,9 @@ fn parse_config(args: &[String]) -> HarnessConfig {
             "--seed" => cfg.seed = grab().parse().unwrap_or_else(|_| usage()),
             "--threads" => cfg.threads = grab().parse().unwrap_or_else(|_| usage()),
             "--out" => cfg.out_dir = PathBuf::from(grab()),
+            "--backend" => {
+                cfg.backend = GranulationBackend::from_str_opt(&grab()).unwrap_or_else(|| usage());
+            }
             "--full" | "--smoke" => {}
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
@@ -65,8 +70,8 @@ fn main() {
     };
     let cfg = parse_config(&args[1..]);
     eprintln!(
-        "[experiments] profile: scale={} folds={} repeats={} fast_classifiers={} threads={} out={:?}",
-        cfg.scale, cfg.folds, cfg.repeats, cfg.fast_classifiers, cfg.threads, cfg.out_dir
+        "[experiments] profile: scale={} folds={} repeats={} fast_classifiers={} threads={} backend={} out={:?}",
+        cfg.scale, cfg.folds, cfg.repeats, cfg.fast_classifiers, cfg.threads, cfg.backend, cfg.out_dir
     );
     let start = std::time::Instant::now();
     match artifact.as_str() {

@@ -6,6 +6,7 @@
 //! in minutes on a laptop. Scaling down changes absolute numbers, not the
 //! qualitative orderings the reproduction targets (see EXPERIMENTS.md).
 
+use gb_dataset::index::GranulationBackend;
 use std::path::PathBuf;
 
 /// Global experiment parameters.
@@ -27,6 +28,10 @@ pub struct HarnessConfig {
     pub threads: usize,
     /// GBABS density tolerance ρ (paper default 5; swept by Figs. 10–11).
     pub gbabs_rho: usize,
+    /// Neighbour-index backend for every RD-GBG granulation the harness
+    /// runs. All backends produce identical results (property-tested);
+    /// this knob lets experiments compare their wall-clock.
+    pub backend: GranulationBackend,
 }
 
 impl Default for HarnessConfig {
@@ -42,6 +47,7 @@ impl Default for HarnessConfig {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             gbabs_rho: 5,
+            backend: GranulationBackend::Auto,
         }
     }
 }

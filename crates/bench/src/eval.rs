@@ -9,13 +9,13 @@
 
 use crate::config::HarnessConfig;
 use crate::samplers::SamplerKind;
-use gbabs::{GbabsSampler, Sampler};
 use gb_classifiers::ClassifierKind;
 use gb_dataset::noise::inject_class_noise;
 use gb_dataset::rng::derive_seed;
 use gb_dataset::split::stratified_k_fold;
 use gb_dataset::Dataset;
 use gb_metrics::{accuracy, g_mean};
+use gbabs::{GbabsSampler, Sampler};
 use parking_lot::Mutex;
 
 /// Scores of one CV fold.
@@ -138,14 +138,24 @@ fn run_fold(
     let srs_ratio = if sampler == SamplerKind::Srs {
         GbabsSampler {
             density_tolerance: cfg.gbabs_rho,
+            backend: cfg.backend,
         }
         .sample(&train, fold_seed)
         .ratio(&train)
     } else {
         1.0
     };
-    let sampled = sampler.sample_with_rho(&train, fold_seed, srs_ratio, cfg.gbabs_rho);
+    let sampled = sampler.sample_with_rho(&train, fold_seed, srs_ratio, cfg.gbabs_rho, cfg.backend);
+    // Degenerate fold guard: a (near-)single-class training fold can have no
+    // borderline at all, leaving nothing to train on. Fall back to the
+    // unsampled fold so the classifier stays defined; the reported ratio
+    // still reflects what the sampler kept.
     let ratio = sampled.ratio(&train);
+    let sampled = if sampled.dataset.n_samples() == 0 {
+        gbabs::NoSampling.sample(&train, fold_seed)
+    } else {
+        sampled
+    };
     let model = if cfg.fast_classifiers {
         classifier.fit_fast(&sampled.dataset, derive_seed(fold_seed, 1))
     } else {

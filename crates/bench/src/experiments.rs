@@ -8,7 +8,6 @@ use crate::config::HarnessConfig;
 use crate::eval::{evaluate, summarize};
 use crate::report::{f, format_table, write_csv};
 use crate::samplers::SamplerKind;
-use gbabs::{GbabsSampler, Sampler};
 use gb_classifiers::ClassifierKind;
 use gb_dataset::catalog::DatasetId;
 use gb_dataset::noise::inject_class_noise;
@@ -21,12 +20,19 @@ use gb_metrics::wilcoxon::wilcoxon_signed_rank;
 use gb_sampling::Ggbs;
 use gb_viz::svg::{grouped_bars, line_chart, save_svg, scatter_plot};
 use gb_viz::tsne::{tsne_2d, TsneConfig};
+use gbabs::{GbabsSampler, Sampler};
 
 /// The class-noise grid of Figs. 6 and 9 (0 % plus the paper's five levels).
 pub const NOISE_GRID: [f64; 6] = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40];
 
 fn dataset(id: DatasetId, cfg: &HarnessConfig) -> Dataset {
-    id.generate(cfg.scale, derive_seed(cfg.seed, id.rename().len() as u64 * 131 + id.info().samples as u64))
+    id.generate(
+        cfg.scale,
+        derive_seed(
+            cfg.seed,
+            id.rename().len() as u64 * 131 + id.info().samples as u64,
+        ),
+    )
 }
 
 /// **Table I** — dataset details. Prints the catalog (original metadata and
@@ -77,6 +83,7 @@ pub fn fig4(cfg: &HarnessConfig) {
         &d,
         &gbabs::RdGbgConfig {
             seed: cfg.seed,
+            backend: cfg.backend,
             ..Default::default()
         },
     );
@@ -109,9 +116,18 @@ pub fn fig4(cfg: &HarnessConfig) {
         .collect();
 
     let panels: [(&str, String); 6] = [
-        ("fig4a_original", ball_plot(&points, &[], "Fig. 4(a): original dataset")),
-        ("fig4b_balls", ball_plot(&points, &all, "Fig. 4(b): RD-GBG cover")),
-        ("fig4c_centers", ball_plot(&centers, &[], "Fig. 4(c): centers of all GBs")),
+        (
+            "fig4a_original",
+            ball_plot(&points, &[], "Fig. 4(a): original dataset"),
+        ),
+        (
+            "fig4b_balls",
+            ball_plot(&points, &all, "Fig. 4(b): RD-GBG cover"),
+        ),
+        (
+            "fig4c_centers",
+            ball_plot(&centers, &[], "Fig. 4(c): centers of all GBs"),
+        ),
         (
             "fig4d_borderline",
             ball_plot(&points, &borderline, "Fig. 4(d): borderline GBs"),
@@ -147,7 +163,10 @@ pub fn fig4(cfg: &HarnessConfig) {
 /// **Fig. 5** — t-SNE visualizations of S5, S1, S3, S6. Emits one CSV of
 /// `(x, y, label)` per dataset.
 pub fn fig5(cfg: &HarnessConfig) {
-    println!("Fig. 5: t-SNE 2-D embeddings (CSV per dataset under {:?})", cfg.out_dir);
+    println!(
+        "Fig. 5: t-SNE 2-D embeddings (CSV per dataset under {:?})",
+        cfg.out_dir
+    );
     for id in [DatasetId::S5, DatasetId::S1, DatasetId::S3, DatasetId::S6] {
         let d = dataset(id, cfg);
         let keep = stratified_subsample(&d, 500, derive_seed(cfg.seed, 55));
@@ -168,7 +187,11 @@ pub fn fig5(cfg: &HarnessConfig) {
                 sub.label(i).to_string(),
             ]);
         }
-        let path = write_csv(&cfg.out_dir, &format!("fig5_tsne_{}.csv", id.rename()), &rows);
+        let path = write_csv(
+            &cfg.out_dir,
+            &format!("fig5_tsne_{}.csv", id.rename()),
+            &rows,
+        );
         let points: Vec<(f64, f64, u32)> = emb
             .iter()
             .enumerate()
@@ -177,7 +200,12 @@ pub fn fig5(cfg: &HarnessConfig) {
         let svg = scatter_plot(&points, &format!("Fig. 5 — t-SNE of {}", id.rename()));
         let svg_path = cfg.out_dir.join(format!("fig5_tsne_{}.svg", id.rename()));
         save_svg(&svg_path, &svg).expect("write svg");
-        println!("  {} -> {} + .svg ({} points)", id.rename(), path.display(), emb.len());
+        println!(
+            "  {} -> {} + .svg ({} points)",
+            id.rename(),
+            path.display(),
+            emb.len()
+        );
     }
 }
 
@@ -210,6 +238,7 @@ pub fn fig6(cfg: &HarnessConfig) {
             let seed = derive_seed(cfg.seed, 67);
             let ga = GbabsSampler {
                 density_tolerance: cfg.gbabs_rho,
+                backend: cfg.backend,
             }
             .sample(&d, seed);
             let gg = Ggbs::default().sample(&d, seed);
@@ -217,13 +246,24 @@ pub fn fig6(cfg: &HarnessConfig) {
             gbabs_bars.push(ra);
             ggbs_bars.push(rg);
             panel.push(vec![id.rename().to_string(), f(ra), f(rg)]);
-            rows.push(vec![format!("{noise:.2}"), id.rename().to_string(), f(ra), f(rg)]);
+            rows.push(vec![
+                format!("{noise:.2}"),
+                id.rename().to_string(),
+                f(ra),
+                f(rg),
+            ]);
         }
         println!("{}", format_table(&panel));
-        let cats: Vec<String> = DatasetId::ALL.iter().map(|id| id.rename().to_string()).collect();
+        let cats: Vec<String> = DatasetId::ALL
+            .iter()
+            .map(|id| id.rename().to_string())
+            .collect();
         let svg = grouped_bars(
             &cats,
-            &[("GBABS".to_string(), gbabs_bars), ("GGBS".to_string(), ggbs_bars)],
+            &[
+                ("GBABS".to_string(), gbabs_bars),
+                ("GGBS".to_string(), ggbs_bars),
+            ],
             &format!("Fig. 6 — sampling ratio, noise {:.0}%", noise * 100.0),
             "sampling ratio",
         );
@@ -237,11 +277,7 @@ pub fn fig6(cfg: &HarnessConfig) {
 
 /// Per-dataset mean accuracies of one classifier under the Table-II method
 /// set. Returned as `results[method][dataset]`.
-fn method_accuracies(
-    classifier: ClassifierKind,
-    noise: f64,
-    cfg: &HarnessConfig,
-) -> Vec<Vec<f64>> {
+fn method_accuracies(classifier: ClassifierKind, noise: f64, cfg: &HarnessConfig) -> Vec<Vec<f64>> {
     SamplerKind::TABLE2
         .iter()
         .map(|&m| {
@@ -376,7 +412,10 @@ fn fig_ridge(name: &str, classifier: ClassifierKind, noises: [f64; 2], cfg: &Har
             classifier.name(),
             noise * 100.0
         );
-        let mut panel = vec![vec!["method".to_string(), "per-dataset accuracies".to_string()]];
+        let mut panel = vec![vec![
+            "method".to_string(),
+            "per-dataset accuracies".to_string(),
+        ]];
         let acc = method_accuracies(classifier, noise, cfg);
         for (mi, m) in SamplerKind::TABLE2.iter().enumerate() {
             let label = if *m == SamplerKind::Ori {
@@ -462,8 +501,7 @@ pub fn fig9(cfg: &HarnessConfig) {
                     .iter()
                     .map(|&id| {
                         let d = dataset(id, cfg);
-                        summarize(&evaluate(&d, m, ClassifierKind::DecisionTree, noise, cfg))
-                            .g_mean
+                        summarize(&evaluate(&d, m, ClassifierKind::DecisionTree, noise, cfg)).g_mean
                     })
                     .collect()
             })
@@ -476,7 +514,10 @@ pub fn fig9(cfg: &HarnessConfig) {
                 ranks[mi][di] = r;
             }
         }
-        println!("Fig. 9 panel — G-mean ranks (1 = best), noise {:.0}%:", noise * 100.0);
+        println!(
+            "Fig. 9 panel — G-mean ranks (1 = best), noise {:.0}%:",
+            noise * 100.0
+        );
         let mut panel = vec![{
             let mut h = vec!["Method".to_string()];
             h.extend(DatasetId::ALL.iter().map(|id| id.rename().to_string()));
@@ -491,10 +532,14 @@ pub fn fig9(cfg: &HarnessConfig) {
             rows.push(csv_row);
         }
         println!("{}", format_table(&panel));
-        let method_names: Vec<String> =
-            SamplerKind::FIG9.iter().map(|m| m.name().to_string()).collect();
-        let dataset_names: Vec<String> =
-            DatasetId::ALL.iter().map(|id| id.rename().to_string()).collect();
+        let method_names: Vec<String> = SamplerKind::FIG9
+            .iter()
+            .map(|m| m.name().to_string())
+            .collect();
+        let dataset_names: Vec<String> = DatasetId::ALL
+            .iter()
+            .map(|id| id.rename().to_string())
+            .collect();
         let svg = gb_viz::svg::rank_heatmap(
             &method_names,
             &dataset_names,
@@ -554,6 +599,7 @@ pub fn fig10(cfg: &HarnessConfig) {
             let d = dataset(id, cfg);
             let out = GbabsSampler {
                 density_tolerance: rho,
+                backend: cfg.backend,
             }
             .sample(&d, derive_seed(cfg.seed, 1010));
             row.push(f(out.ratio(&d)));
@@ -562,12 +608,24 @@ pub fn fig10(cfg: &HarnessConfig) {
     }
     println!("{}", format_table(&rows));
     write_csv(&cfg.out_dir, "fig10_rho_sampling_ratio.csv", &rows);
-    save_rho_chart(cfg, &rows, "Fig. 10 — rho vs sampling ratio", "sampling ratio", "fig10_rho_sampling_ratio.svg");
+    save_rho_chart(
+        cfg,
+        &rows,
+        "Fig. 10 — rho vs sampling ratio",
+        "sampling ratio",
+        "fig10_rho_sampling_ratio.svg",
+    );
 }
 
 /// Renders the per-dataset series of a ρ-sweep table (rows as produced by
 /// [`fig10`]/[`fig11`]) as a multi-series line chart.
-fn save_rho_chart(cfg: &HarnessConfig, rows: &[Vec<String>], title: &str, y_label: &str, file: &str) {
+fn save_rho_chart(
+    cfg: &HarnessConfig,
+    rows: &[Vec<String>],
+    title: &str,
+    y_label: &str,
+    file: &str,
+) {
     let mut series: Vec<(String, Vec<(f64, f64)>)> = DatasetId::ALL
         .iter()
         .map(|id| (id.rename().to_string(), Vec::new()))
@@ -609,7 +667,13 @@ pub fn fig11(cfg: &HarnessConfig) {
     }
     println!("{}", format_table(&rows));
     write_csv(&cfg.out_dir, "fig11_rho_accuracy.csv", &rows);
-    save_rho_chart(cfg, &rows, "Fig. 11 — rho vs DT accuracy", "testing accuracy", "fig11_rho_accuracy.svg");
+    save_rho_chart(
+        cfg,
+        &rows,
+        "Fig. 11 — rho vs DT accuracy",
+        "testing accuracy",
+        "fig11_rho_accuracy.svg",
+    );
 }
 
 /// Runs the complete suite in paper order.
@@ -713,12 +777,7 @@ pub fn svm_study(cfg: &HarnessConfig) {
         "fit full ms".to_string(),
         "fit GBABS ms".to_string(),
     ]];
-    for id in [
-        DatasetId::S5,
-        DatasetId::S9,
-        DatasetId::S10,
-        DatasetId::S12,
-    ] {
+    for id in [DatasetId::S5, DatasetId::S9, DatasetId::S10, DatasetId::S12] {
         let base = dataset(id, cfg);
         for noise in [0.0, 0.20] {
             let d = if noise > 0.0 {
@@ -738,6 +797,7 @@ pub fn svm_study(cfg: &HarnessConfig) {
                 let test = d.select(&fold.test);
                 let gb = GbabsSampler {
                     density_tolerance: cfg.gbabs_rho,
+                    backend: cfg.backend,
                 }
                 .sample(&train, derive_seed(cfg.seed, fi as u64));
                 n_train += train.n_samples() as f64;

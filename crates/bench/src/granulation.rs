@@ -18,6 +18,7 @@
 use crate::config::HarnessConfig;
 use crate::report::{f, format_table, write_csv};
 use gb_dataset::catalog::DatasetId;
+use gb_dataset::index::GranulationBackend;
 use gb_dataset::noise::inject_class_noise;
 use gb_dataset::rng::derive_seed;
 use gb_dataset::Dataset;
@@ -61,15 +62,22 @@ impl Generator {
         }
     }
 
-    /// Generates a ball cover of `data`.
+    /// Generates a ball cover of `data`. `backend` selects RD-GBG's
+    /// neighbour index (output-invariant); the other generators ignore it.
     #[must_use]
-    pub fn generate(self, data: &Dataset, seed: u64) -> Vec<GranularBall> {
+    pub fn generate(
+        self,
+        data: &Dataset,
+        seed: u64,
+        backend: GranulationBackend,
+    ) -> Vec<GranularBall> {
         match self {
             Generator::RdGbg => {
                 rd_gbg(
                     data,
                     &RdGbgConfig {
                         seed,
+                        backend,
                         ..RdGbgConfig::default()
                     },
                 )
@@ -141,9 +149,14 @@ pub fn measure(data: &Dataset, balls: &[GranularBall], gen_ms: f64) -> CoverQual
 
 /// Generates with `generator` and measures the result.
 #[must_use]
-pub fn run_generator(data: &Dataset, generator: Generator, seed: u64) -> CoverQuality {
+pub fn run_generator(
+    data: &Dataset,
+    generator: Generator,
+    seed: u64,
+    backend: GranulationBackend,
+) -> CoverQuality {
     let t0 = Instant::now();
-    let balls = generator.generate(data, seed);
+    let balls = generator.generate(data, seed, backend);
     let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
     measure(data, &balls, gen_ms)
 }
@@ -172,7 +185,7 @@ pub fn granulation(cfg: &HarnessConfig) {
                 base.clone()
             };
             for generator in Generator::ALL {
-                let q = run_generator(&d, generator, cfg.seed);
+                let q = run_generator(&d, generator, cfg.seed, cfg.backend);
                 rows.push(vec![
                     id.rename().to_string(),
                     format!("{:.0}%", noise * 100.0),
@@ -241,6 +254,7 @@ pub fn run_cross(
     rule: SamplingRule,
     folds: usize,
     seed: u64,
+    backend: GranulationBackend,
 ) -> CrossOutcome {
     use gb_classifiers::ClassifierKind;
     use gb_dataset::split::stratified_k_fold;
@@ -251,7 +265,7 @@ pub fn run_cross(
     for (fi, fold) in stratified_k_fold(data, folds, seed).into_iter().enumerate() {
         let train = data.select(&fold.train);
         let test = data.select(&fold.test);
-        let balls = generator.generate(&train, derive_seed(seed, fi as u64));
+        let balls = generator.generate(&train, derive_seed(seed, fi as u64), backend);
         let rows = rule.apply(&train, balls);
         if rows.is_empty() {
             continue; // degenerate (single-class fold): skip
@@ -291,7 +305,7 @@ pub fn cross_ablation(cfg: &HarnessConfig) {
             };
             for generator in [Generator::RdGbg, Generator::KDivision] {
                 for rule in SamplingRule::ALL {
-                    let out = run_cross(&d, generator, rule, cfg.folds, cfg.seed);
+                    let out = run_cross(&d, generator, rule, cfg.folds, cfg.seed, cfg.backend);
                     rows.push(vec![
                         id.rename().to_string(),
                         format!("{:.0}%", noise * 100.0),
@@ -316,7 +330,7 @@ mod tests {
     #[test]
     fn rdgbg_cover_is_clean() {
         let d = DatasetId::S5.generate(0.03, 1);
-        let q = run_generator(&d, Generator::RdGbg, 0);
+        let q = run_generator(&d, Generator::RdGbg, 0, GranulationBackend::Auto);
         assert_eq!(q.overlapping_pairs, 0, "RD-GBG must not overlap");
         assert!((q.mean_purity - 1.0).abs() < 1e-12, "RD-GBG balls are pure");
         assert_eq!(q.members_outside, 0.0, "RD-GBG is geometrically exact");
@@ -325,7 +339,7 @@ mod tests {
     #[test]
     fn gbgpp_pure_and_exact_but_may_overlap() {
         let d = DatasetId::S5.generate(0.03, 2);
-        let q = run_generator(&d, Generator::GbgPp, 0);
+        let q = run_generator(&d, Generator::GbgPp, 0, GranulationBackend::Auto);
         assert!((q.mean_purity - 1.0).abs() < 1e-12);
         assert_eq!(q.members_outside, 0.0);
         assert!((q.coverage - 1.0).abs() < 1e-12, "GBG++ covers everything");
@@ -335,7 +349,7 @@ mod tests {
     fn eq1_generators_leak_members() {
         let d = DatasetId::S5.generate(0.03, 3);
         for g in [Generator::KMeans, Generator::KDivision] {
-            let q = run_generator(&d, g, 0);
+            let q = run_generator(&d, g, 0, GranulationBackend::Auto);
             assert!(
                 q.members_outside > 0.0,
                 "{} mean-radius balls should leak members",
@@ -357,7 +371,7 @@ mod tests {
         let d = DatasetId::S5.generate(0.03, 5);
         for generator in [Generator::RdGbg, Generator::KDivision] {
             for rule in SamplingRule::ALL {
-                let out = run_cross(&d, generator, rule, 3, 1);
+                let out = run_cross(&d, generator, rule, 3, 1, GranulationBackend::Auto);
                 assert!(
                     out.ratio > 0.0 && out.ratio <= 1.0,
                     "{} x {}: ratio {}",
@@ -381,8 +395,22 @@ mod tests {
         // On the banana surrogate the borderline rule keeps only the
         // boundary, the GGBS rule keeps per-ball extremes of ALL balls.
         let d = DatasetId::S5.generate(0.05, 6);
-        let b = run_cross(&d, Generator::RdGbg, SamplingRule::Borderline, 3, 2);
-        let g = run_cross(&d, Generator::RdGbg, SamplingRule::GgbsRule, 3, 2);
+        let b = run_cross(
+            &d,
+            Generator::RdGbg,
+            SamplingRule::Borderline,
+            3,
+            2,
+            GranulationBackend::Auto,
+        );
+        let g = run_cross(
+            &d,
+            Generator::RdGbg,
+            SamplingRule::GgbsRule,
+            3,
+            2,
+            GranulationBackend::Auto,
+        );
         assert!(
             b.ratio < g.ratio,
             "borderline {} vs ggbs-rule {}",

@@ -22,8 +22,8 @@
 pub mod ablation;
 pub mod config;
 pub mod eval;
-pub mod granulation;
 pub mod experiments;
+pub mod granulation;
 pub mod report;
 pub mod samplers;
 

@@ -1,8 +1,9 @@
 //! Registry of the eight sampling methods of the paper's evaluation.
 
-use gbabs::{GbabsSampler, NoSampling, SampleResult, Sampler};
-use gb_sampling::{BorderlineSmote, Ggbs, Igbs, Smote, SmoteNc, Srs, TomekLinks};
+use gb_dataset::index::GranulationBackend;
 use gb_dataset::Dataset;
+use gb_sampling::{BorderlineSmote, Ggbs, Igbs, Smote, SmoteNc, Srs, TomekLinks};
+use gbabs::{GbabsSampler, NoSampling, SampleResult, Sampler};
 
 /// The sampling methods of the paper's §V, in Fig. 9 row order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,16 +65,18 @@ impl SamplerKind {
         }
     }
 
-    /// Runs the method on a training fold with the paper's default ρ = 5.
+    /// Runs the method on a training fold with the paper's default ρ = 5
+    /// and the `Auto` granulation backend.
     #[must_use]
     pub fn sample(self, train: &Dataset, seed: u64, srs_ratio: f64) -> SampleResult {
-        self.sample_with_rho(train, seed, srs_ratio, 5)
+        self.sample_with_rho(train, seed, srs_ratio, 5, GranulationBackend::Auto)
     }
 
     /// Runs the method on a training fold. `srs_ratio` is the ratio SRS
     /// should match (the paper ties it to GBABS's ratio on that dataset);
     /// `gbabs_rho` is GBABS's density tolerance (the Fig. 10/11 sweep
-    /// variable). Both are ignored by every other method.
+    /// variable) and `backend` its neighbour index. All three are ignored
+    /// by every other method.
     #[must_use]
     pub fn sample_with_rho(
         self,
@@ -81,10 +84,12 @@ impl SamplerKind {
         seed: u64,
         srs_ratio: f64,
         gbabs_rho: usize,
+        backend: GranulationBackend,
     ) -> SampleResult {
         match self {
             SamplerKind::Gbabs => GbabsSampler {
                 density_tolerance: gbabs_rho,
+                backend,
             }
             .sample(train, seed),
             SamplerKind::Ggbs => Ggbs::default().sample(train, seed),
@@ -94,8 +99,9 @@ impl SamplerKind {
             SamplerKind::Sm => Smote::default().sample(train, seed),
             SamplerKind::Bsm => BorderlineSmote::default().sample(train, seed),
             SamplerKind::Ori => NoSampling.sample(train, seed),
-            SamplerKind::Srs => Srs::new(srs_ratio.clamp(f64::MIN_POSITIVE, 1.0))
-                .sample(train, seed),
+            SamplerKind::Srs => {
+                Srs::new(srs_ratio.clamp(f64::MIN_POSITIVE, 1.0)).sample(train, seed)
+            }
         }
     }
 }

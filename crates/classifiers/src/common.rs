@@ -14,8 +14,12 @@ pub trait Classifier: Send + Sync {
     fn predict_row(&self, row: &[f64]) -> u32;
 
     /// Predicts classes for every row of `data` (label column ignored).
+    /// Rows are scored in parallel; results come back in row order, so the
+    /// output matches the sequential loop exactly.
     fn predict(&self, data: &Dataset) -> Vec<u32> {
+        use rayon::prelude::*;
         (0..data.n_samples())
+            .into_par_iter()
             .map(|i| self.predict_row(data.row(i)))
             .collect()
     }

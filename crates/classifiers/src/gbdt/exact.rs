@@ -71,7 +71,13 @@ impl RegTree {
                     threshold,
                     left,
                     right,
-                } => idx = if row[feature] <= threshold { left } else { right },
+                } => {
+                    idx = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    }
+                }
             }
         }
     }

@@ -123,7 +123,13 @@ impl HistTree {
                     threshold,
                     left,
                     right,
-                } => idx = if row[feature] <= threshold { left } else { right },
+                } => {
+                    idx = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    }
+                }
             }
         }
     }
@@ -193,8 +199,7 @@ fn find_best_split(
             }
             let gr = g_sum - gl;
             let hr = h_sum - hl;
-            let gain =
-                0.5 * (leaf_obj(gl, hl, cfg.lambda) + leaf_obj(gr, hr, cfg.lambda) - parent);
+            let gain = 0.5 * (leaf_obj(gl, hl, cfg.lambda) + leaf_obj(gr, hr, cfg.lambda) - parent);
             if gain > 1e-12 && best.is_none_or(|b2| gain > b2.gain) {
                 best = Some(BestSplit {
                     gain,

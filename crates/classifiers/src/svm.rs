@@ -51,7 +51,12 @@ struct Hyperplane {
 
 impl Hyperplane {
     fn score(&self, row: &[f64]) -> f64 {
-        self.w.iter().zip(row.iter()).map(|(w, x)| w * x).sum::<f64>() + self.b
+        self.w
+            .iter()
+            .zip(row.iter())
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
+            + self.b
     }
 }
 

@@ -168,8 +168,7 @@ impl<'a> Builder<'a> {
                 }
                 let n_left = i + 1;
                 let n_right = total - n_left;
-                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf
-                {
+                if n_left < self.config.min_samples_leaf || n_right < self.config.min_samples_leaf {
                     continue;
                 }
                 let w = (n_left as f64 * gini(&left, n_left)
@@ -302,7 +301,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    idx = if row[feature] <= threshold { left } else { right };
+                    idx = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -327,11 +330,7 @@ mod tests {
         let d = DatasetId::S2.generate(0.3, 1);
         let tree = DecisionTree::fit(&d, &TreeConfig::default());
         let preds = tree.predict(&d);
-        let acc = preds
-            .iter()
-            .zip(d.labels())
-            .filter(|(a, b)| a == b)
-            .count() as f64
+        let acc = preds.iter().zip(d.labels()).filter(|(a, b)| a == b).count() as f64
             / d.n_samples() as f64;
         // unbounded CART drives training error to ~0 unless duplicate
         // feature rows carry different labels

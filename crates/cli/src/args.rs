@@ -1,5 +1,6 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
+use gb_dataset::index::GranulationBackend;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -88,6 +89,9 @@ pub struct Cli {
     pub ratio: Option<f64>,
     /// Seed for all randomness.
     pub seed: u64,
+    /// Neighbour-index backend for the RD-GBG granulation. All backends
+    /// produce identical output; this only selects the query asymptotics.
+    pub backend: GranulationBackend,
 }
 
 /// Subcommands.
@@ -116,6 +120,8 @@ pub enum ParseError {
     BadValue(String),
     /// `--method` value not recognized.
     UnknownMethod(String),
+    /// `--backend` value not recognized.
+    UnknownBackend(String),
     /// Ratio-based method without `--ratio`, or ratio out of (0, 1].
     BadRatio,
 }
@@ -131,7 +137,17 @@ impl fmt::Display for ParseError {
             ParseError::BadValue(s) => write!(f, "bad or missing value for '{s}'"),
             ParseError::UnknownMethod(m) => {
                 let names: Vec<&str> = Method::ALL.iter().map(|(n, _)| *n).collect();
-                write!(f, "unknown method '{m}' (expected one of {})", names.join(", "))
+                write!(
+                    f,
+                    "unknown method '{m}' (expected one of {})",
+                    names.join(", ")
+                )
+            }
+            ParseError::UnknownBackend(b) => {
+                write!(
+                    f,
+                    "unknown backend '{b}' (expected auto, brute, kdtree or vptree)"
+                )
             }
             ParseError::BadRatio => {
                 write!(f, "this method requires --ratio in (0, 1]")
@@ -145,8 +161,8 @@ impl std::error::Error for ParseError {}
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 usage:
-  gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S]
-  gbabs inspect INPUT.csv [--rho N] [--seed S]
+  gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S] [--backend B]
+  gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
          smote, borderline-smote, adasyn, tomek, cnn, enn,
@@ -159,6 +175,8 @@ options:
   --rho N             RD-GBG density tolerance (default 5)
   --ratio R           keep ratio in (0,1] for the general samplers
   --seed S            RNG seed (default 42)
+  --backend B         granulation index: auto (default), brute, kdtree,
+                      vptree — output-identical, speed differs
 ";
 
 /// Parses `args` (without the program name).
@@ -181,6 +199,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         rho: 5,
         ratio: None,
         seed: 42,
+        backend: GranulationBackend::Auto,
     };
     let mut have_input = false;
     while let Some(arg) = it.next() {
@@ -193,8 +212,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             "-o" | "--output" => cli.output = Some(PathBuf::from(value(arg)?)),
             "--method" => {
                 let v = value(arg)?;
-                cli.method =
-                    Method::from_str_opt(&v).ok_or(ParseError::UnknownMethod(v))?;
+                cli.method = Method::from_str_opt(&v).ok_or(ParseError::UnknownMethod(v))?;
             }
             "--rho" => {
                 cli.rho = value(arg)?
@@ -213,9 +231,12 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     .parse()
                     .map_err(|_| ParseError::BadValue(arg.clone()))?;
             }
-            flag if flag.starts_with('-') => {
-                return Err(ParseError::UnknownFlag(flag.to_string()))
+            "--backend" => {
+                let v = value(arg)?;
+                cli.backend =
+                    GranulationBackend::from_str_opt(&v).ok_or(ParseError::UnknownBackend(v))?;
             }
+            flag if flag.starts_with('-') => return Err(ParseError::UnknownFlag(flag.to_string())),
             path => {
                 if have_input {
                     return Err(ParseError::UnknownFlag(path.to_string()));
@@ -231,9 +252,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     if cli.command == Command::Sample && cli.output.is_none() {
         return Err(ParseError::MissingOutput);
     }
-    if cli.method.needs_ratio()
-        && !cli.ratio.is_some_and(|r| r > 0.0 && r <= 1.0)
-    {
+    if cli.method.needs_ratio() && !cli.ratio.is_some_and(|r| r > 0.0 && r <= 1.0) {
         return Err(ParseError::BadRatio);
     }
     Ok(cli)
@@ -268,6 +287,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_backend_flag() {
+        let cli = parse(&argv("inspect data.csv --backend vptree")).unwrap();
+        assert_eq!(cli.backend, GranulationBackend::VpTree);
+        let default = parse(&argv("inspect data.csv")).unwrap();
+        assert_eq!(default.backend, GranulationBackend::Auto);
+        assert_eq!(
+            parse(&argv("inspect data.csv --backend warp")),
+            Err(ParseError::UnknownBackend("warp".into()))
+        );
+    }
+
+    #[test]
     fn parses_every_method_name() {
         for (name, m) in Method::ALL {
             let line = if m.needs_ratio() {
@@ -282,7 +313,10 @@ mod tests {
 
     #[test]
     fn sample_without_output_rejected() {
-        assert_eq!(parse(&argv("sample in.csv")), Err(ParseError::MissingOutput));
+        assert_eq!(
+            parse(&argv("sample in.csv")),
+            Err(ParseError::MissingOutput)
+        );
     }
 
     #[test]
@@ -317,7 +351,10 @@ mod tests {
             Err(ParseError::UnknownFlag("extra.csv".into()))
         );
         assert_eq!(parse(&argv("")), Err(ParseError::MissingCommand));
-        assert_eq!(parse(&argv("sample -o o.csv")), Err(ParseError::MissingInput));
+        assert_eq!(
+            parse(&argv("sample -o o.csv")),
+            Err(ParseError::MissingInput)
+        );
     }
 
     #[test]

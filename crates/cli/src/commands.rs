@@ -4,19 +4,26 @@ use crate::args::{Cli, Command, Method};
 use gb_dataset::io::{read_csv, write_csv, CsvOptions};
 use gb_dataset::Dataset;
 use gb_sampling::{
-    Adasyn, BorderlineSmote, CondensedNn, EditedNn, Ggbs, Igbs, Smote, SmoteEnn, SmoteTomek,
-    Srs, Stratified, Systematic, TomekLinks,
+    Adasyn, BorderlineSmote, CondensedNn, EditedNn, Ggbs, Igbs, Smote, SmoteEnn, SmoteTomek, Srs,
+    Stratified, Systematic, TomekLinks,
 };
 use gbabs::{gbabs, GbabsSampler, RdGbgConfig, Sampler};
 use std::fmt::Write as _;
 
 /// Builds the requested sampler. `ratio` must be validated by the parser
-/// for the ratio-based methods.
+/// for the ratio-based methods; `backend` selects the RD-GBG neighbour
+/// index (GBABS only — baselines are index-free or brute by design).
 #[must_use]
-pub fn build_sampler(method: Method, rho: usize, ratio: Option<f64>) -> Box<dyn Sampler> {
+pub fn build_sampler(
+    method: Method,
+    rho: usize,
+    ratio: Option<f64>,
+    backend: gb_dataset::index::GranulationBackend,
+) -> Box<dyn Sampler> {
     match method {
         Method::Gbabs => Box::new(GbabsSampler {
             density_tolerance: rho,
+            backend,
         }),
         Method::Ggbs => Box::new(Ggbs::default()),
         Method::Igbs => Box::new(Igbs::default()),
@@ -50,7 +57,7 @@ pub fn run(cli: &Cli) -> Result<String, String> {
 }
 
 fn sample(cli: &Cli, data: &Dataset) -> Result<String, String> {
-    let sampler = build_sampler(cli.method, cli.rho, cli.ratio);
+    let sampler = build_sampler(cli.method, cli.rho, cli.ratio, cli.backend);
     let out = sampler.sample(data, cli.seed);
     if out.dataset.n_samples() == 0 {
         return Err(format!(
@@ -77,13 +84,18 @@ fn inspect(cli: &Cli, data: &Dataset) -> String {
     let cfg = RdGbgConfig {
         density_tolerance: cli.rho,
         seed: cli.seed,
+        backend: cli.backend,
         ..RdGbgConfig::default()
     };
     let summary = gb_dataset::summary::describe(data);
     let result = gbabs(data, &cfg);
     let balls = &result.model.balls;
     let singleton = balls.iter().filter(|b| b.radius == 0.0).count();
-    let largest = balls.iter().map(gbabs::GranularBall::len).max().unwrap_or(0);
+    let largest = balls
+        .iter()
+        .map(gbabs::GranularBall::len)
+        .max()
+        .unwrap_or(0);
     let mut report = String::new();
     let _ = writeln!(
         report,
@@ -189,6 +201,25 @@ mod tests {
             let report = run(&cli).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(report.contains("rows"), "{name}: {report}");
         }
+    }
+
+    #[test]
+    fn all_backends_write_identical_samples() {
+        let input = write_fixture("gbabs_cli_backend_in.csv");
+        let mut outputs = Vec::new();
+        for backend in ["brute", "kdtree", "vptree"] {
+            let output = std::env::temp_dir().join(format!("gbabs_cli_backend_{backend}.csv"));
+            let cli = parse(&argv(&format!(
+                "sample {} -o {} --backend {backend} --seed 7",
+                input.display(),
+                output.display()
+            )))
+            .unwrap();
+            run(&cli).expect("backend sample runs");
+            outputs.push(std::fs::read_to_string(&output).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "brute vs kdtree CSV");
+        assert_eq!(outputs[0], outputs[2], "brute vs vptree CSV");
     }
 
     #[test]

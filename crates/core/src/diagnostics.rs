@@ -181,7 +181,10 @@ mod tests {
             iterations: 1,
         };
         let err = verify_rdgbg_invariants(&data, &model).unwrap_err();
-        assert!(err.contains("covered 2 times") || err.contains("overlap"), "{err}");
+        assert!(
+            err.contains("covered 2 times") || err.contains("overlap"),
+            "{err}"
+        );
     }
 
     #[test]

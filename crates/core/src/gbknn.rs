@@ -129,10 +129,14 @@ impl GbKnn {
             .unwrap_or(0)
     }
 
-    /// Predicts every row of `data`.
+    /// Predicts every row of `data`. Rows are scored in parallel — each
+    /// prediction is independent, and results are returned in row order, so
+    /// the output is identical to the sequential loop.
     #[must_use]
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
+        use rayon::prelude::*;
         (0..data.n_samples())
+            .into_par_iter()
             .map(|i| self.predict_row(data.row(i)))
             .collect()
     }
@@ -188,8 +192,20 @@ mod tests {
     #[test]
     fn k3_votes() {
         let d = DatasetId::S5.generate(0.05, 3);
-        let m1 = GbKnn::fit(&d, &GbKnnConfig { k: 1, ..Default::default() });
-        let m3 = GbKnn::fit(&d, &GbKnnConfig { k: 3, ..Default::default() });
+        let m1 = GbKnn::fit(
+            &d,
+            &GbKnnConfig {
+                k: 1,
+                ..Default::default()
+            },
+        );
+        let m3 = GbKnn::fit(
+            &d,
+            &GbKnnConfig {
+                k: 3,
+                ..Default::default()
+            },
+        );
         // both should classify most training points correctly
         let a1 = accuracy(d.labels(), &m1.predict(&d));
         let a3 = accuracy(d.labels(), &m3.predict(&d));
@@ -249,6 +265,12 @@ mod tests {
     #[should_panic(expected = "k must be positive")]
     fn zero_k_rejected() {
         let d = DatasetId::S5.generate(0.02, 0);
-        let _ = GbKnn::fit(&d, &GbKnnConfig { k: 0, ..Default::default() });
+        let _ = GbKnn::fit(
+            &d,
+            &GbKnnConfig {
+                k: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -10,6 +10,21 @@
 //! from `U`. Iteration ends when every undivided sample is low-density
 //! (`U ⊆ L`); the leftovers become radius-0 *orphan* balls.
 //!
+//! # Indexed hot path
+//!
+//! The naive implementation scans all of `U` per candidate — `O(n²·d)`
+//! overall. Here every per-candidate operation (nearest neighbour, the
+//! ρ-neighbourhood, nearest heterogeneous sample, diffusion range query)
+//! runs against a [`NeighborIndex`] chosen by
+//! [`RdGbgConfig::backend`], and rows leave `U` by **tombstone deletion**
+//! instead of list rewriting. Distances stay **squared** until a ball
+//! radius is finalized (one `sqrt` per ball, not one per pair). All
+//! backends are exact with identical `(distance, row)` tie-breaks, so the
+//! produced model is **bit-identical across backends and thread counts**
+//! (property-tested in `tests/granulation_props.rs`); candidate-selection
+//! RNG draws depend only on the evolving `U − L` sets, never on the
+//! backend.
+//!
 //! Properties guaranteed by construction (and property-tested):
 //! * every ball is pure (purity 1.0),
 //! * balls never overlap,
@@ -18,6 +33,7 @@
 
 use crate::ball::GranularBall;
 use gb_dataset::distance::euclidean;
+use gb_dataset::index::{GranulationBackend, NeighborIndex, RangeBound};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
 use rand::Rng;
@@ -41,6 +57,9 @@ pub struct RdGbgConfig {
     /// is heterogeneous are routed to the low-density set instead of
     /// triggering removals.
     pub detect_noise: bool,
+    /// Neighbour-index backend for the granulation hot path. Every backend
+    /// yields a bit-identical model; this only selects the asymptotics.
+    pub backend: GranulationBackend,
 }
 
 impl Default for RdGbgConfig {
@@ -50,6 +69,7 @@ impl Default for RdGbgConfig {
             seed: 0,
             restrict_overlap: true,
             detect_noise: true,
+            backend: GranulationBackend::Auto,
         }
     }
 }
@@ -62,6 +82,13 @@ impl RdGbgConfig {
             density_tolerance,
             ..Self::default()
         }
+    }
+
+    /// Builder-style backend override.
+    #[must_use]
+    pub fn with_backend(mut self, backend: GranulationBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -96,95 +123,6 @@ impl RdGbgModel {
     }
 }
 
-/// Internal per-candidate distance scan against the current `U`.
-struct Scan {
-    /// `(row, distance)` for every row in `U` except the candidate itself.
-    dists: Vec<(usize, f64)>,
-}
-
-impl Scan {
-    fn new(data: &Dataset, u: &[usize], center_row: usize) -> Self {
-        let c = data.row(center_row);
-        let dists = u
-            .iter()
-            .copied()
-            .filter(|&row| row != center_row)
-            .map(|row| (row, euclidean(data.row(row), c)))
-            .collect();
-        Self { dists }
-    }
-
-    fn exclude(&mut self, row: usize) {
-        self.dists.retain(|&(r, _)| r != row);
-    }
-
-    /// Nearest row by `(distance, row)` order.
-    fn nearest(&self) -> Option<(usize, f64)> {
-        self.dists
-            .iter()
-            .copied()
-            .min_by(|a, b| cmp_dist(*a, *b))
-    }
-
-    /// The `k` nearest rows (ascending), via a bounded insertion buffer.
-    fn k_nearest(&self, k: usize) -> Vec<(usize, f64)> {
-        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
-        for &cand in &self.dists {
-            let pos = best.partition_point(|&b| cmp_dist(b, cand) == std::cmp::Ordering::Less);
-            if pos < k {
-                best.insert(pos, cand);
-                best.truncate(k);
-            }
-        }
-        best
-    }
-
-    /// Minimum distance to a heterogeneous row, or `None` if all rows are
-    /// homogeneous with `label`.
-    fn nearest_heterogeneous(&self, data: &Dataset, label: u32) -> Option<f64> {
-        self.dists
-            .iter()
-            .filter(|&&(row, _)| data.label(row) != label)
-            .map(|&(_, d)| d)
-            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
-    }
-
-    /// Largest distance strictly below `bound` (locally consistent radius
-    /// support, Eq. 3), or 0 when no row qualifies.
-    fn max_below(&self, bound: f64) -> f64 {
-        self.dists
-            .iter()
-            .map(|&(_, d)| d)
-            .filter(|&d| d < bound)
-            .fold(0.0, f64::max)
-    }
-
-    /// Largest distance ≤ `bound` (restricted maximum consistent radius,
-    /// Eq. 6), or 0 when no row qualifies.
-    fn max_at_most(&self, bound: f64) -> f64 {
-        self.dists
-            .iter()
-            .map(|&(_, d)| d)
-            .filter(|&d| d <= bound)
-            .fold(0.0, f64::max)
-    }
-
-    /// Rows within `radius` of the center.
-    fn within(&self, radius: f64) -> Vec<usize> {
-        self.dists
-            .iter()
-            .filter(|&&(_, d)| d <= radius)
-            .map(|&(row, _)| row)
-            .collect()
-    }
-}
-
-fn cmp_dist(a: (usize, f64), b: (usize, f64)) -> std::cmp::Ordering {
-    a.1.partial_cmp(&b.1)
-        .expect("finite distances")
-        .then_with(|| a.0.cmp(&b.0))
-}
-
 /// What the local-density detection (Eq. 2 rules) decided for a candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CenterVerdict {
@@ -197,40 +135,329 @@ enum CenterVerdict {
     LowDensity,
 }
 
-/// Applies the paper's local-density center detection rules to a candidate
-/// whose distances have already been scanned.
+/// Applies the paper's local-density center detection rules to a candidate,
+/// querying the alive set through the index. A single ρ-sized k-NN query
+/// serves both the nearest-neighbour check and the neighbourhood vote (its
+/// first hit *is* the nearest neighbour under the shared tie-break), so the
+/// hot path pays one index traversal per candidate instead of two.
 fn detect_center(
     data: &Dataset,
-    scan: &Scan,
+    index: &dyn NeighborIndex,
+    center_row: usize,
     label: u32,
     density_tolerance: usize,
 ) -> CenterVerdict {
-    let Some((nn_row, _)) = scan.nearest() else {
+    let c = data.row(center_row);
+    let hood = index.k_nearest_sq(c, density_tolerance, Some(center_row));
+    let Some(&nn) = hood.first() else {
         // No other undivided sample: nothing to diffuse into. Treat as
         // low-density; the orphan phase will pick it up.
         return CenterVerdict::LowDensity;
     };
-    if data.label(nn_row) == label {
+    if data.label(nn.row) == label {
         return CenterVerdict::Accept {
             noisy_neighbor: None,
         };
     }
     // Nearest neighbour is heterogeneous: inspect the ρ-neighbourhood. When
     // fewer than ρ rows remain the neighbourhood shrinks accordingly.
-    let hood = scan.k_nearest(density_tolerance);
     let effective = hood.len();
-    let h = hood
-        .iter()
-        .filter(|&&(row, _)| data.label(row) != label)
-        .count();
+    let h = hood.iter().filter(|&&n| data.label(n.row) != label).count();
     if h == effective {
         CenterVerdict::CandidateIsNoise
     } else if h == 1 {
         CenterVerdict::Accept {
-            noisy_neighbor: Some(nn_row),
+            noisy_neighbor: Some(nn.row),
         }
     } else {
         CenterVerdict::LowDensity
+    }
+}
+
+/// Per-class candidate pool: the rows of one class still in `T = U − L`,
+/// stored as a Fenwick (binary indexed) tree over row ids so that
+///
+/// * `select(k)` — the k-th remaining row in **ascending row order** (the
+///   exact element `groups[class][k]` of the naive per-iteration grouping
+///   pass would produce) — and
+/// * `remove(row)`
+///
+/// are both `O(log n)`. This replaces the O(n) full-dataset sweep the
+/// naive implementation performed at the top of *every* global iteration,
+/// without disturbing a single RNG draw: the candidate index `k` maps to
+/// the same row as before, so models are unchanged.
+struct ClassPool {
+    /// 1-based Fenwick tree of 0/1 membership counts per row.
+    fen: Vec<u32>,
+    member: Vec<bool>,
+    count: usize,
+}
+
+impl ClassPool {
+    fn build(n: usize, rows: impl Iterator<Item = usize>) -> Self {
+        let mut pool = Self {
+            fen: vec![0; n + 1],
+            member: vec![false; n],
+            count: 0,
+        };
+        for row in rows {
+            pool.member[row] = true;
+            pool.count += 1;
+            let mut i = row + 1;
+            while i <= n {
+                pool.fen[i] += 1;
+                i += i & i.wrapping_neg();
+            }
+        }
+        pool
+    }
+
+    fn remove(&mut self, row: usize) {
+        if !self.member[row] {
+            return;
+        }
+        self.member[row] = false;
+        self.count -= 1;
+        let n = self.fen.len() - 1;
+        let mut i = row + 1;
+        while i <= n {
+            self.fen[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// The k-th (0-based) remaining row in ascending row order.
+    ///
+    /// # Panics
+    /// Debug-asserts `k < count`.
+    fn select(&self, k: usize) -> usize {
+        debug_assert!(k < self.count);
+        let n = self.fen.len() - 1;
+        let mut pos = 0usize;
+        let mut remaining = (k + 1) as u32;
+        let mut step = n.next_power_of_two();
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.fen[next] < remaining {
+                remaining -= self.fen[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        // `pos` is the largest 1-based prefix whose count is still < k+1,
+        // so the answer is the 1-based position `pos + 1`, i.e. row `pos`.
+        pos
+    }
+}
+
+/// Incremental index over finished balls answering the Eq.-4 conflict-radius
+/// query `min_b (‖center_b − c‖ − r_b)` in better than O(m).
+///
+/// Structure: an arena KD-tree over the centers of the balls built so far,
+/// with each split node carrying the **maximum radius of its subtree** so a
+/// whole branch prunes once `|axis gap| − r_max` already exceeds the best
+/// gap found. New balls land in a linear `recent` buffer (scanned brute
+/// per query) and the tree is rebuilt once the buffer outgrows the indexed
+/// part — LSM-style, so insertion stays O(1) amortized-ish and the naive
+/// O(m) scan per accepted candidate (which dominated the indexed hot path
+/// at tens of thousands of balls) becomes O(log m) in practice.
+///
+/// Exactness: gaps are evaluated with the same expression as the naive
+/// loop, pruning bounds are relaxed by `1 − 1e−12` so `sqrt` rounding can
+/// only cause extra visits, and `min` is order-independent — the returned
+/// conflict radius is bit-identical to the naive scan's.
+struct BallConflictIndex {
+    /// Flattened centers of every ball seen (row-major).
+    centers: Vec<f64>,
+    radii: Vec<f64>,
+    n_features: usize,
+    nodes: Vec<ConflictNode>,
+    root: u32,
+    /// Balls `0..indexed` live in the tree; `indexed..len` are the brute
+    /// buffer.
+    indexed: usize,
+}
+
+enum ConflictNode {
+    Leaf {
+        balls: Vec<u32>,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        /// Max ball radius within this subtree (pruning slack).
+        r_max: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+const NO_NODE: u32 = u32::MAX;
+const CONFLICT_LEAF: usize = 16;
+const CONFLICT_PRUNE_SLACK: f64 = 1.0 - 1e-12;
+
+impl BallConflictIndex {
+    fn new(n_features: usize) -> Self {
+        Self {
+            centers: Vec::new(),
+            radii: Vec::new(),
+            n_features,
+            nodes: Vec::new(),
+            root: NO_NODE,
+            indexed: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.radii.len()
+    }
+
+    fn center(&self, i: u32) -> &[f64] {
+        let i = i as usize;
+        &self.centers[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    fn push(&mut self, center: &[f64], radius: f64) {
+        debug_assert_eq!(center.len(), self.n_features);
+        self.centers.extend_from_slice(center);
+        self.radii.push(radius);
+        // Rebuild once the linear buffer outgrows the indexed portion.
+        if self.len() - self.indexed > 64.max(self.indexed) {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.nodes.clear();
+        self.indexed = self.len();
+        let mut balls: Vec<u32> = (0..self.len() as u32).collect();
+        self.root = self.build_rec(&mut balls);
+    }
+
+    /// Median-split build; each split memoizes its subtree's max radius.
+    fn build_rec(&mut self, balls: &mut [u32]) -> u32 {
+        if balls.is_empty() {
+            return NO_NODE;
+        }
+        if balls.len() <= CONFLICT_LEAF {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ConflictNode::Leaf {
+                balls: balls.to_vec(),
+            });
+            return id;
+        }
+        // Widest-spread dimension.
+        let mut best_dim = 0;
+        let mut best_spread = -1.0;
+        for d in 0..self.n_features {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &b in balls.iter() {
+                let v = self.center(b)[d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = d;
+            }
+        }
+        if best_spread <= 0.0 {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ConflictNode::Leaf {
+                balls: balls.to_vec(),
+            });
+            return id;
+        }
+        let mid = balls.len() / 2;
+        balls.select_nth_unstable_by(mid, |&a, &b| {
+            self.center(a)[best_dim]
+                .partial_cmp(&self.center(b)[best_dim])
+                .expect("finite centers")
+                .then_with(|| a.cmp(&b))
+        });
+        let value = self.center(balls[mid])[best_dim];
+        let (mut left, mut right): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+        for &b in balls.iter() {
+            if self.center(b)[best_dim] <= value {
+                left.push(b);
+            } else {
+                right.push(b);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            // All coords equal to the median on this axis despite spread —
+            // fall back to an (oversized) leaf rather than recurse forever.
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ConflictNode::Leaf {
+                balls: balls.to_vec(),
+            });
+            return id;
+        }
+        let r_max = balls
+            .iter()
+            .map(|&b| self.radii[b as usize])
+            .fold(0.0f64, f64::max);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ConflictNode::Leaf { balls: Vec::new() }); // placeholder
+        let l = self.build_rec(&mut left);
+        let r = self.build_rec(&mut right);
+        self.nodes[id as usize] = ConflictNode::Split {
+            dim: best_dim,
+            value,
+            r_max,
+            left: l,
+            right: r,
+        };
+        id
+    }
+
+    #[inline]
+    fn gap(&self, ball: u32, c: &[f64]) -> f64 {
+        (euclidean(self.center(ball), c) - self.radii[ball as usize]).max(0.0)
+    }
+
+    /// `min_b (‖center_b − c‖ − r_b)⁺`, or `+inf` with no balls.
+    fn conflict_radius(&self, c: &[f64]) -> f64 {
+        let mut best = f64::INFINITY;
+        // Brute buffer first (most recent balls are usually nearby).
+        for b in self.indexed as u32..self.len() as u32 {
+            best = best.min(self.gap(b, c));
+        }
+        if self.root != NO_NODE {
+            self.query_rec(self.root, c, &mut best);
+        }
+        best
+    }
+
+    fn query_rec(&self, node: u32, c: &[f64], best: &mut f64) {
+        match &self.nodes[node as usize] {
+            ConflictNode::Leaf { balls } => {
+                for &b in balls {
+                    *best = best.min(self.gap(b, c));
+                }
+            }
+            ConflictNode::Split {
+                dim,
+                value,
+                r_max,
+                left,
+                right,
+            } => {
+                let diff = c[*dim] - value;
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.query_rec(near, c, best);
+                // Any ball on the far side is at least |diff| away from c
+                // on this axis, so its gap is ≥ |diff| − r_max.
+                if (diff.abs() - r_max) * CONFLICT_PRUNE_SLACK <= *best {
+                    self.query_rec(far, c, best);
+                }
+            }
+        }
     }
 }
 
@@ -248,52 +475,58 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
     assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
 
     let n = data.n_samples();
-    let mut in_u = vec![true; n];
+    // `U` lives inside the index as its alive set; `L` stays separate
+    // (low-density rows remain in `U` and can still be absorbed by balls).
+    let mut index = config.backend.build(data);
     let mut low_density = vec![false; n];
     let mut balls: Vec<GranularBall> = Vec::new();
+    let mut conflicts = BallConflictIndex::new(data.n_features());
     let mut noise: Vec<usize> = Vec::new();
     let mut rng = rng_from_seed(config.seed);
     let mut iterations = 0usize;
 
+    // T = U − L, one rank-select pool per class (rows only ever leave).
+    let mut pools: Vec<ClassPool> = (0..data.n_classes())
+        .map(|c| ClassPool::build(n, (0..n).filter(|&r| data.label(r) as usize == c)))
+        .collect();
+
     loop {
-        // T = U − L, grouped per class.
-        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
-        for row in 0..n {
-            if in_u[row] && !low_density[row] {
-                groups[data.label(row) as usize].push(row);
-            }
-        }
         // One random candidate per non-empty class, larger classes first.
         let mut order: Vec<usize> = (0..data.n_classes())
-            .filter(|&c| !groups[c].is_empty())
+            .filter(|&c| pools[c].count > 0)
             .collect();
         if order.is_empty() {
             break; // U ⊆ L
         }
-        order.sort_by_key(|&c| std::cmp::Reverse(groups[c].len()));
+        order.sort_by_key(|&c| std::cmp::Reverse(pools[c].count));
         let candidates: Vec<usize> = order
             .iter()
-            .map(|&c| groups[c][rng.gen_range(0..groups[c].len())])
+            .map(|&c| pools[c].select(rng.gen_range(0..pools[c].count)))
             .collect();
         iterations += 1;
 
         for center_row in candidates {
             // A ball built earlier in this iteration may have absorbed the
             // candidate, or detection may have deleted it.
-            if !in_u[center_row] || low_density[center_row] {
+            if !index.is_alive(center_row) || low_density[center_row] {
                 continue;
             }
-            let u: Vec<usize> = (0..n).filter(|&r| in_u[r]).collect();
             let label = data.label(center_row);
-            let mut scan = Scan::new(data, &u, center_row);
+            let c = data.row(center_row);
 
             let verdict = if config.detect_noise {
-                detect_center(data, &scan, label, config.density_tolerance)
+                detect_center(
+                    data,
+                    index.as_ref(),
+                    center_row,
+                    label,
+                    config.density_tolerance,
+                )
             } else {
                 // Ablation: no removals — a heterogeneous nearest neighbour
                 // simply routes the candidate to the low-density set.
-                match scan.nearest() {
-                    Some((nn_row, _)) if data.label(nn_row) == label => CenterVerdict::Accept {
+                match index.nearest_sq(c, Some(center_row)) {
+                    Some(nn) if data.label(nn.row) == label => CenterVerdict::Accept {
                         noisy_neighbor: None,
                     },
                     _ => CenterVerdict::LowDensity,
@@ -301,59 +534,73 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
             };
             match verdict {
                 CenterVerdict::CandidateIsNoise => {
-                    in_u[center_row] = false;
+                    index.delete(center_row);
+                    pools[label as usize].remove(center_row);
                     noise.push(center_row);
                     continue;
                 }
                 CenterVerdict::LowDensity => {
                     low_density[center_row] = true;
+                    pools[label as usize].remove(center_row);
                     continue;
                 }
                 CenterVerdict::Accept { noisy_neighbor } => {
                     if let Some(bad) = noisy_neighbor {
-                        in_u[bad] = false;
+                        index.delete(bad);
+                        pools[data.label(bad) as usize].remove(bad);
                         noise.push(bad);
-                        scan.exclude(bad);
                     }
                 }
             }
 
-            // Locally consistent radius (Eq. 3): grow until the first
-            // heterogeneous sample; unlimited if none remains.
-            let cr = match scan.nearest_heterogeneous(data, label) {
-                Some(d_het) => scan.max_below(d_het),
-                None => scan.max_at_most(f64::INFINITY),
-            };
-            // Conflict radius (Eq. 4) against every previous ball; the
-            // ablation drops the restriction (balls may then overlap).
-            let c = data.row(center_row);
+            // Diffusion bound: the first heterogeneous sample (Eq. 3) and
+            // the conflict radius against every previous ball (Eq. 4; the
+            // ablation drops it and balls may overlap). Both bounds are
+            // known before members are collected, so ONE range query
+            // suffices for Eq. 5/6:
+            //
+            // * rconf ≥ d_het — the heterogeneous stop binds first; the
+            //   members are exactly {d < d_het} and r = cr = max of them
+            //   (cr ≤ rconf holds by construction).
+            // * rconf < d_het — the sets {d < d_het} clipped to cr ≤ rconf
+            //   and {d ≤ rconf} coincide: any d ≤ rconf is < d_het, and if
+            //   cr ≤ rconf then no member of {d < d_het} exceeds rconf.
+            //
+            // All backends evaluate the same expressions on the same
+            // floats, so the choice of bound stays backend-invariant.
+            let d_het_sq = index
+                .nearest_heterogeneous_sq(c, label, Some(center_row))
+                .map_or(f64::INFINITY, |h| h.sq_dist);
             let rconf = if config.restrict_overlap {
-                balls
-                    .iter()
-                    .map(|b| (euclidean(&b.center, c) - b.radius).max(0.0))
-                    .fold(f64::INFINITY, f64::min)
+                conflicts.conflict_radius(c)
             } else {
                 f64::INFINITY
             };
-            // Final radius (Eq. 5 / Eq. 6).
-            let r = if cr <= rconf {
-                cr
+            let (sq_bound, bound_kind) = if rconf * rconf < d_het_sq {
+                (rconf * rconf, RangeBound::Inclusive)
             } else {
-                scan.max_at_most(rconf)
+                (d_het_sq, RangeBound::Strict)
             };
+            let hits = index.range_sq(c, sq_bound, bound_kind, Some(center_row));
+            let r_sq = hits.iter().fold(0.0f64, |m, h| m.max(h.sq_dist));
+            let r = r_sq.sqrt();
 
             if r > 0.0 {
-                let mut members = scan.within(r);
+                let mut members: Vec<usize> = hits.iter().map(|h| h.row).collect();
                 members.push(center_row);
                 members.sort_unstable();
                 for &m in &members {
-                    debug_assert!(in_u[m]);
+                    debug_assert!(index.is_alive(m));
                     debug_assert_eq!(
                         data.label(m),
                         label,
                         "restricted diffusion must yield pure balls"
                     );
-                    in_u[m] = false;
+                    index.delete(m);
+                    pools[label as usize].remove(m);
+                }
+                if config.restrict_overlap {
+                    conflicts.push(c, r);
                 }
                 balls.push(GranularBall {
                     center: c.to_vec(),
@@ -367,6 +614,7 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
                 // Center sits on the edge of U; defer to a later iteration
                 // or the orphan phase.
                 low_density[center_row] = true;
+                pools[label as usize].remove(center_row);
             }
         }
     }
@@ -374,7 +622,7 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
     // Orphan phase: every remaining undivided (all low-density) sample
     // becomes its own radius-0 ball, honouring the completeness criterion.
     let mut orphan_count = 0usize;
-    for (row, _) in in_u.iter().enumerate().filter(|(_, &alive)| alive) {
+    for row in (0..n).filter(|&r| index.is_alive(r)) {
         balls.push(GranularBall {
             center: data.row(row).to_vec(),
             radius: 0.0,
@@ -474,6 +722,36 @@ mod tests {
             let data = id.generate(0.05, 3);
             let model = rd_gbg(&data, &RdGbgConfig::default());
             check_invariants(&data, &model);
+        }
+    }
+
+    #[test]
+    fn invariants_hold_on_every_backend() {
+        let data = DatasetId::S5.generate(0.05, 3);
+        for backend in GranulationBackend::CONCRETE {
+            let model = rd_gbg(&data, &RdGbgConfig::default().with_backend(backend));
+            check_invariants(&data, &model);
+        }
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_models() {
+        let data = DatasetId::S2.generate(0.1, 6);
+        let cfg = RdGbgConfig {
+            seed: 11,
+            ..RdGbgConfig::default()
+        };
+        let reference = rd_gbg(&data, &cfg.with_backend(GranulationBackend::Brute));
+        for backend in [GranulationBackend::KdTree, GranulationBackend::VpTree] {
+            let model = rd_gbg(&data, &cfg.with_backend(backend));
+            assert_eq!(model.noise, reference.noise, "{backend}");
+            assert_eq!(model.iterations, reference.iterations, "{backend}");
+            assert_eq!(model.balls.len(), reference.balls.len(), "{backend}");
+            for (a, b) in model.balls.iter().zip(reference.balls.iter()) {
+                assert_eq!(a.members, b.members, "{backend}");
+                assert_eq!(a.radius, b.radius, "{backend}");
+                assert_eq!(a.label, b.label, "{backend}");
+            }
         }
     }
 
@@ -594,12 +872,12 @@ mod tests {
         assert_eq!(cfg.density_tolerance, 9);
         assert!(cfg.restrict_overlap);
         assert!(cfg.detect_noise);
+        assert_eq!(cfg.backend, GranulationBackend::Auto);
     }
 
     #[test]
     #[should_panic(expected = "density tolerance")]
-    fn rejects_tiny_rho()
-    {
+    fn rejects_tiny_rho() {
         let data = two_clusters();
         let _ = rd_gbg(
             &data,
@@ -639,11 +917,7 @@ mod tests {
         let (noisy, flipped) = inject_class_noise(&clean, 0.10, 5);
         let m = rd_gbg(&noisy, &cfg);
         // most removals should be actual planted flips
-        let true_hits = m
-            .noise
-            .iter()
-            .filter(|r| flipped.contains(r))
-            .count();
+        let true_hits = m.noise.iter().filter(|r| flipped.contains(r)).count();
         assert!(
             true_hits * 2 >= m.noise.len(),
             "precision too low: {true_hits}/{}",

@@ -7,6 +7,7 @@
 
 use crate::borderline::gbabs;
 use crate::rdgbg::RdGbgConfig;
+use gb_dataset::index::GranulationBackend;
 use gb_dataset::Dataset;
 
 /// Outcome of applying a sampling method to a training set.
@@ -60,12 +61,15 @@ impl Sampler for NoSampling {
 pub struct GbabsSampler {
     /// Density tolerance ρ forwarded to RD-GBG (paper default 5).
     pub density_tolerance: usize,
+    /// Neighbour-index backend for the granulation (output-invariant).
+    pub backend: GranulationBackend,
 }
 
 impl Default for GbabsSampler {
     fn default() -> Self {
         Self {
             density_tolerance: 5,
+            backend: GranulationBackend::Auto,
         }
     }
 }
@@ -81,6 +85,7 @@ impl Sampler for GbabsSampler {
             &RdGbgConfig {
                 density_tolerance: self.density_tolerance,
                 seed,
+                backend: self.backend,
                 ..Default::default()
             },
         );

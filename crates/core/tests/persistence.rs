@@ -46,7 +46,14 @@ fn json_is_humanly_inspectable() {
     let model = rd_gbg(&data, &RdGbgConfig::default());
     let json = serde_json::to_string_pretty(&model).expect("serialize");
     // field names survive as documented API surface
-    for key in ["balls", "noise", "orphan_count", "iterations", "center", "radius"] {
+    for key in [
+        "balls",
+        "noise",
+        "orphan_count",
+        "iterations",
+        "center",
+        "radius",
+    ] {
         assert!(json.contains(key), "missing key {key}");
     }
 }

@@ -10,10 +10,10 @@
 use crate::dataset::Dataset;
 use crate::synth::banana::BananaSpec;
 use crate::synth::categorical::{CategoricalSpec, MixedSpec};
+use crate::synth::class_weights_for_ir;
 use crate::synth::digits::DigitsSpec;
 use crate::synth::gaussian::BlobSpec;
 use crate::synth::sensor::SensorSpec;
-use crate::synth::class_weights_for_ir;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a catalog dataset (the paper's renames S1–S13).

@@ -121,7 +121,7 @@ impl Dataset {
         n_features: usize,
         n_classes: usize,
     ) -> Result<Self, DatasetError> {
-        if n_features == 0 || features.len() % n_features != 0 {
+        if n_features == 0 || !features.len().is_multiple_of(n_features) {
             return Err(DatasetError::RaggedFeatures {
                 len: features.len(),
                 n_features,

@@ -32,12 +32,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 /// over numeric columns plus a fixed `categorical_penalty` for every
 /// categorical column whose codes differ.
 #[must_use]
-pub fn mixed_distance(
-    a: &[f64],
-    b: &[f64],
-    categorical: &[bool],
-    categorical_penalty: f64,
-) -> f64 {
+pub fn mixed_distance(a: &[f64], b: &[f64], categorical: &[bool], categorical_penalty: f64) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     debug_assert_eq!(a.len(), categorical.len());
     let mut acc = 0.0;

@@ -83,8 +83,13 @@ impl OneHotEncoder {
                 }
             }
         }
-        Dataset::from_parts(out, data.labels().to_vec(), self.out_width, data.n_classes())
-            .with_name(data.name().to_string())
+        Dataset::from_parts(
+            out,
+            data.labels().to_vec(),
+            self.out_width,
+            data.n_classes(),
+        )
+        .with_name(data.name().to_string())
     }
 
     /// Convenience: fit on `train`, transform both folds.

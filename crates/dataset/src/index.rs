@@ -1,0 +1,787 @@
+//! The `NeighborIndex` abstraction: one API over the brute-force scan
+//! ([`crate::neighbors`]), the KD-tree ([`crate::kdtree`]) and the VP-tree
+//! ([`crate::vptree`]), with **tombstone deletion** so RD-GBG can remove
+//! covered rows from the undivided set without rebuilding from scratch.
+//!
+//! Contract shared by every backend (property-tested in `gbabs`):
+//!
+//! * all distances are **squared** Euclidean — `sqrt` is deferred until a
+//!   ball radius is finalized;
+//! * k-NN results are the exact `k` nearest *alive* rows ordered by
+//!   `(sq_dist, row)` ascending, ties broken toward the smaller row;
+//! * range queries return every alive row within the (squared) bound, in
+//!   unspecified order;
+//! * deleted rows never appear in any result.
+//!
+//! Because every backend is exact and applies the identical tie-break, the
+//! RD-GBG models built on top of them are **bit-identical** across
+//! backends; the backend only changes the asymptotics:
+//!
+//! | operation            | Brute  | KdTree (low p)  | VpTree (low intrinsic dim) |
+//! |----------------------|--------|-----------------|----------------------------|
+//! | build                | O(n)   | O(n log n)      | O(n log n)                 |
+//! | k-NN query           | O(n)   | O(log n + k)    | O(log n + k)               |
+//! | range query          | O(n)   | O(log n + out)  | O(log n + out)             |
+//! | delete               | O(1)   | O(1)            | O(1)                       |
+//!
+//! Tree queries degrade toward O(n) as the (intrinsic) dimensionality
+//! grows; [`GranulationBackend::Auto`] picks a sensible backend per
+//! dataset shape.
+
+use crate::dataset::Dataset;
+use crate::distance::sq_euclidean;
+use crate::kdtree::KdTree;
+use crate::vptree::VpTree;
+use std::fmt;
+
+/// One neighbour hit in squared-distance space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqNeighbor {
+    /// Row index into the indexed dataset.
+    pub row: usize,
+    /// Squared Euclidean distance to the query.
+    pub sq_dist: f64,
+}
+
+/// Whether a range query's bound is `< bound` or `<= bound`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeBound {
+    /// Strictly inside: `sq_dist < bound`.
+    Strict,
+    /// Inclusive: `sq_dist <= bound`.
+    Inclusive,
+}
+
+impl RangeBound {
+    /// Applies the bound test.
+    #[inline]
+    #[must_use]
+    pub fn admits(self, sq_dist: f64, sq_bound: f64) -> bool {
+        match self {
+            RangeBound::Strict => sq_dist < sq_bound,
+            RangeBound::Inclusive => sq_dist <= sq_bound,
+        }
+    }
+}
+
+/// Bounded best-`k` accumulator over `(sq_dist, row)` with the workspace's
+/// canonical tie-break (smaller row wins at equal distance). A binary
+/// max-heap, so inserts are `O(log k)` — this replaces both the `O(k·n)`
+/// insertion buffer the old RD-GBG scan used and the linear worst-entry
+/// scans in the tree queries.
+#[derive(Debug, Clone)]
+pub struct KBest {
+    k: usize,
+    /// Max-heap on `(sq_dist, row)` lexicographic order.
+    heap: Vec<(f64, usize)>,
+}
+
+#[inline]
+fn entry_gt(a: (f64, usize), b: (f64, usize)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 > b.1)
+}
+
+impl KBest {
+    /// New accumulator keeping the best `k` entries.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// Squared distance of the current worst kept entry, or `+inf` while
+    /// fewer than `k` entries are held. Exact pruning threshold for tree
+    /// traversals.
+    #[inline]
+    #[must_use]
+    pub fn worst_sq(&self) -> f64 {
+        if self.heap.len() < self.k {
+            f64::INFINITY
+        } else {
+            self.heap[0].0
+        }
+    }
+
+    /// Number of entries currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers an entry; keeps it only if it beats the current worst.
+    #[inline]
+    pub fn insert(&mut self, sq_dist: f64, row: usize) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((sq_dist, row));
+            self.sift_up(self.heap.len() - 1);
+        } else if entry_gt(self.heap[0], (sq_dist, row)) {
+            self.heap[0] = (sq_dist, row);
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if entry_gt(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && entry_gt(self.heap[l], self.heap[largest]) {
+                largest = l;
+            }
+            if r < self.heap.len() && entry_gt(self.heap[r], self.heap[largest]) {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// Merges another accumulator into this one (used by chunked parallel
+    /// brute scans; the result is independent of chunking).
+    pub fn merge(&mut self, other: &KBest) {
+        for &(d, r) in &other.heap {
+            self.insert(d, r);
+        }
+    }
+
+    /// Extracts the kept entries sorted ascending by `(sq_dist, row)`.
+    #[must_use]
+    pub fn into_sorted(self) -> Vec<SqNeighbor> {
+        let mut v: Vec<SqNeighbor> = self
+            .heap
+            .into_iter()
+            .map(|(sq_dist, row)| SqNeighbor { row, sq_dist })
+            .collect();
+        v.sort_unstable_by(|a, b| {
+            a.sq_dist
+                .partial_cmp(&b.sq_dist)
+                .expect("finite distances")
+                .then_with(|| a.row.cmp(&b.row))
+        });
+        v
+    }
+}
+
+/// A nearest-neighbour index over the rows of a dataset snapshot, with
+/// tombstone deletion. See the module docs for the exactness contract.
+pub trait NeighborIndex: Send + Sync {
+    /// Rows the index was built over (alive + deleted).
+    fn n_rows(&self) -> usize;
+
+    /// Rows still alive.
+    fn n_alive(&self) -> usize;
+
+    /// Whether `row` is alive.
+    fn is_alive(&self, row: usize) -> bool;
+
+    /// Tombstones `row`. Returns `false` when it was already deleted.
+    fn delete(&mut self, row: usize) -> bool;
+
+    /// Exact `k` nearest alive rows to `query` (excluding `skip`), sorted
+    /// ascending by `(sq_dist, row)`.
+    fn k_nearest_sq(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<SqNeighbor>;
+
+    /// The single nearest alive row, or `None` when nothing (else) is alive.
+    fn nearest_sq(&self, query: &[f64], skip: Option<usize>) -> Option<SqNeighbor> {
+        self.k_nearest_sq(query, 1, skip).first().copied()
+    }
+
+    /// Nearest alive row whose label differs from `label`, or `None`.
+    fn nearest_heterogeneous_sq(
+        &self,
+        query: &[f64],
+        label: u32,
+        skip: Option<usize>,
+    ) -> Option<SqNeighbor>;
+
+    /// Every alive row within `sq_bound` of `query` under `bound`
+    /// semantics, excluding `skip`. Order unspecified.
+    fn range_sq(
+        &self,
+        query: &[f64],
+        sq_bound: f64,
+        bound: RangeBound,
+        skip: Option<usize>,
+    ) -> Vec<SqNeighbor>;
+}
+
+/// Shared tombstone state for the tree indexes: the alive bitmap plus the
+/// compaction policy (rebuild once deletions since the last build outnumber
+/// the survivors, so query cost tracks `|alive|`, amortized O(log n) per
+/// delete). Owning the policy here keeps KD-tree and VP-tree behaviour in
+/// lock-step.
+#[derive(Debug, Clone)]
+pub(crate) struct Tombstones {
+    alive: Vec<bool>,
+    n_alive: usize,
+    deleted_since_build: usize,
+}
+
+impl Tombstones {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            alive: vec![true; n],
+            n_alive: n,
+            deleted_since_build: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_alive(&self, row: usize) -> bool {
+        self.alive[row]
+    }
+
+    pub(crate) fn n_alive(&self) -> usize {
+        self.n_alive
+    }
+
+    /// Tombstones `row`. `None` when it was already deleted; otherwise
+    /// whether the owner should rebuild its node arena now.
+    pub(crate) fn delete(&mut self, row: usize) -> Option<bool> {
+        if !self.alive[row] {
+            return None;
+        }
+        self.alive[row] = false;
+        self.n_alive -= 1;
+        self.deleted_since_build += 1;
+        Some(self.n_alive >= 64 && self.deleted_since_build > self.n_alive)
+    }
+
+    /// Marks a rebuild done and returns the surviving rows in ascending
+    /// order.
+    pub(crate) fn begin_rebuild(&mut self) -> Vec<u32> {
+        self.deleted_since_build = 0;
+        (0..self.alive.len() as u32)
+            .filter(|&r| self.alive[r as usize])
+            .collect()
+    }
+}
+
+/// Brute-force [`NeighborIndex`]: a dense list of alive rows scanned
+/// linearly. `delete` is O(1) via swap-remove; scans touch only alive rows
+/// no matter how many tombstones have accumulated, so late RD-GBG
+/// iterations stay cheap — this replaces the old `Scan::exclude`'s O(|U|)
+/// `retain` per removed row.
+#[derive(Debug, Clone)]
+pub struct BruteIndex {
+    points: Vec<f64>,
+    labels: Vec<u32>,
+    n_features: usize,
+    /// Dense list of alive rows (unordered).
+    alive_rows: Vec<u32>,
+    /// `position[row]` = index into `alive_rows`, or `u32::MAX` if deleted.
+    position: Vec<u32>,
+}
+
+const GONE: u32 = u32::MAX;
+
+impl BruteIndex {
+    /// Builds the index over every row of `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn build(data: &Dataset) -> Self {
+        assert!(data.n_samples() > 0, "cannot index an empty dataset");
+        let n = data.n_samples();
+        Self {
+            points: data.features().to_vec(),
+            labels: data.labels().to_vec(),
+            n_features: data.n_features(),
+            alive_rows: (0..n as u32).collect(),
+            position: (0..n as u32).collect(),
+        }
+    }
+
+    #[inline]
+    fn point(&self, row: u32) -> &[f64] {
+        let r = row as usize;
+        &self.points[r * self.n_features..(r + 1) * self.n_features]
+    }
+}
+
+impl NeighborIndex for BruteIndex {
+    fn n_rows(&self) -> usize {
+        self.position.len()
+    }
+
+    fn n_alive(&self) -> usize {
+        self.alive_rows.len()
+    }
+
+    fn is_alive(&self, row: usize) -> bool {
+        self.position[row] != GONE
+    }
+
+    fn delete(&mut self, row: usize) -> bool {
+        let pos = self.position[row];
+        if pos == GONE {
+            return false;
+        }
+        self.alive_rows.swap_remove(pos as usize);
+        if let Some(&moved) = self.alive_rows.get(pos as usize) {
+            self.position[moved as usize] = pos;
+        }
+        self.position[row] = GONE;
+        true
+    }
+
+    fn k_nearest_sq(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<SqNeighbor> {
+        if k == 0 {
+            return Vec::new();
+        }
+        self.scan_best(query, k, &|row| Some(row as usize) != skip)
+            .into_sorted()
+    }
+
+    fn nearest_heterogeneous_sq(
+        &self,
+        query: &[f64],
+        label: u32,
+        skip: Option<usize>,
+    ) -> Option<SqNeighbor> {
+        self.scan_best(query, 1, &|row| {
+            Some(row as usize) != skip && self.labels[row as usize] != label
+        })
+        .into_sorted()
+        .first()
+        .copied()
+    }
+
+    fn range_sq(
+        &self,
+        query: &[f64],
+        sq_bound: f64,
+        bound: RangeBound,
+        skip: Option<usize>,
+    ) -> Vec<SqNeighbor> {
+        let chunks = self.scan_chunks();
+        let scan_one = |rows: &[u32]| {
+            let mut out = Vec::new();
+            for &row in rows {
+                if Some(row as usize) == skip {
+                    continue;
+                }
+                let d = sq_euclidean(self.point(row), query);
+                if bound.admits(d, sq_bound) {
+                    out.push(SqNeighbor {
+                        row: row as usize,
+                        sq_dist: d,
+                    });
+                }
+            }
+            out
+        };
+        if chunks <= 1 {
+            return scan_one(&self.alive_rows);
+        }
+        use rayon::prelude::*;
+        let chunk_len = self.alive_rows.len().div_ceil(chunks);
+        let parts: Vec<Vec<SqNeighbor>> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(self.alive_rows.len());
+                scan_one(&self.alive_rows[lo..hi])
+            })
+            .collect();
+        parts.concat()
+    }
+}
+
+impl BruteIndex {
+    /// Number of parallel chunks for the current scan size (1 = serial).
+    /// Distance scans only go multi-threaded once they are long enough to
+    /// amortize thread hand-off.
+    fn scan_chunks(&self) -> usize {
+        const PAR_THRESHOLD: usize = 16_384;
+        let n = self.alive_rows.len();
+        if n < PAR_THRESHOLD {
+            1
+        } else {
+            rayon::current_num_threads()
+                .min(n / (PAR_THRESHOLD / 2))
+                .max(1)
+        }
+    }
+
+    /// Best-`k` scan over alive rows, chunked across threads when large.
+    /// The merge applies the same `(sq_dist, row)` total order as a serial
+    /// scan, so the result is independent of chunking and thread count.
+    fn scan_best(&self, query: &[f64], k: usize, keep: &(impl Fn(u32) -> bool + Sync)) -> KBest {
+        let chunks = self.scan_chunks();
+        let scan_one = |rows: &[u32]| {
+            let mut best = KBest::new(k);
+            for &row in rows {
+                if keep(row) {
+                    best.insert(sq_euclidean(self.point(row), query), row as usize);
+                }
+            }
+            best
+        };
+        if chunks <= 1 {
+            return scan_one(&self.alive_rows);
+        }
+        use rayon::prelude::*;
+        let chunk_len = self.alive_rows.len().div_ceil(chunks);
+        let parts: Vec<KBest> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk_len;
+                let hi = ((c + 1) * chunk_len).min(self.alive_rows.len());
+                scan_one(&self.alive_rows[lo..hi])
+            })
+            .collect();
+        let mut merged = KBest::new(k);
+        for part in &parts {
+            merged.merge(part);
+        }
+        merged
+    }
+}
+
+/// Which index implementation backs the granulation / neighbour queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GranulationBackend {
+    /// Choose per dataset shape: KD-tree up to moderate dimensionality,
+    /// VP-tree beyond (axis-aligned splits stop pruning in high `p`).
+    #[default]
+    Auto,
+    /// Linear scan over alive rows. Exact reference; best for tiny data
+    /// and worst-case dimensionality.
+    Brute,
+    /// Median-split KD-tree. Best at low/medium `p`.
+    KdTree,
+    /// Vantage-point tree. Best when intrinsic dimensionality is low even
+    /// if ambient `p` is large.
+    VpTree,
+}
+
+impl GranulationBackend {
+    /// The concrete (non-`Auto`) backends, for sweeps and property tests.
+    pub const CONCRETE: [GranulationBackend; 3] = [
+        GranulationBackend::Brute,
+        GranulationBackend::KdTree,
+        GranulationBackend::VpTree,
+    ];
+
+    /// CLI spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GranulationBackend::Auto => "auto",
+            GranulationBackend::Brute => "brute",
+            GranulationBackend::KdTree => "kdtree",
+            GranulationBackend::VpTree => "vptree",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    #[must_use]
+    pub fn from_str_opt(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(GranulationBackend::Auto),
+            "brute" | "bruteforce" | "linear" => Some(GranulationBackend::Brute),
+            "kdtree" | "kd" | "kd-tree" => Some(GranulationBackend::KdTree),
+            "vptree" | "vp" | "vp-tree" => Some(GranulationBackend::VpTree),
+            _ => None,
+        }
+    }
+
+    /// Resolves `Auto` to a concrete backend for a dataset shape.
+    #[must_use]
+    pub fn resolve(self, n_samples: usize, n_features: usize) -> Self {
+        match self {
+            GranulationBackend::Auto => {
+                if n_samples < 256 {
+                    // Tree build overhead beats query savings on tiny data.
+                    GranulationBackend::Brute
+                } else if n_features <= 24 {
+                    GranulationBackend::KdTree
+                } else {
+                    GranulationBackend::VpTree
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Builds an index over every row of `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn build(self, data: &Dataset) -> Box<dyn NeighborIndex> {
+        match self.resolve(data.n_samples(), data.n_features()) {
+            GranulationBackend::Brute => Box::new(BruteIndex::build(data)),
+            GranulationBackend::KdTree => Box::new(KdTree::build(data, 16)),
+            GranulationBackend::VpTree => Box::new(VpTree::build(data)),
+            GranulationBackend::Auto => unreachable!("resolve returns concrete"),
+        }
+    }
+}
+
+impl fmt::Display for GranulationBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn random_data(n: usize, p: usize, q: u32, seed: u64) -> Dataset {
+        let mut rng = rng_from_seed(seed);
+        let feats: Vec<f64> = (0..n * p).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let labels: Vec<u32> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        Dataset::from_parts(feats, labels, p, q as usize)
+    }
+
+    fn backends(data: &Dataset) -> Vec<(&'static str, Box<dyn NeighborIndex>)> {
+        GranulationBackend::CONCRETE
+            .iter()
+            .map(|b| (b.name(), b.build(data)))
+            .collect()
+    }
+
+    /// Reference result computed straight from the dataset.
+    fn ref_k_nearest(
+        data: &Dataset,
+        alive: &[bool],
+        query: &[f64],
+        k: usize,
+        skip: Option<usize>,
+    ) -> Vec<SqNeighbor> {
+        let mut all: Vec<SqNeighbor> = (0..data.n_samples())
+            .filter(|&r| alive[r] && Some(r) != skip)
+            .map(|r| SqNeighbor {
+                row: r,
+                sq_dist: sq_euclidean(data.row(r), query),
+            })
+            .collect();
+        all.sort_by(|a, b| {
+            a.sq_dist
+                .partial_cmp(&b.sq_dist)
+                .unwrap()
+                .then_with(|| a.row.cmp(&b.row))
+        });
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn kbest_keeps_exact_topk_with_ties() {
+        let mut kb = KBest::new(3);
+        for (d, r) in [(2.0, 5), (1.0, 9), (1.0, 2), (3.0, 0), (1.0, 7), (0.5, 4)] {
+            kb.insert(d, r);
+        }
+        let got = kb.into_sorted();
+        let rows: Vec<usize> = got.iter().map(|n| n.row).collect();
+        // 0.5@4, then the 1.0 ties by ascending row: 2, 7
+        assert_eq!(rows, vec![4, 2, 7]);
+    }
+
+    #[test]
+    fn kbest_merge_is_chunking_invariant() {
+        let entries: Vec<(f64, usize)> = (0..200)
+            .map(|i| ((i * 37 % 101) as f64 * 0.25, i))
+            .collect();
+        let mut whole = KBest::new(9);
+        for &(d, r) in &entries {
+            whole.insert(d, r);
+        }
+        let mut left = KBest::new(9);
+        let mut right = KBest::new(9);
+        for &(d, r) in &entries[..97] {
+            left.insert(d, r);
+        }
+        for &(d, r) in &entries[97..] {
+            right.insert(d, r);
+        }
+        left.merge(&right);
+        assert_eq!(whole.into_sorted(), left.into_sorted());
+    }
+
+    #[test]
+    fn all_backends_agree_with_reference_under_deletions() {
+        for (n, p) in [(120usize, 2usize), (150, 7), (90, 40)] {
+            let data = random_data(n, p, 3, n as u64);
+            let mut alive = vec![true; n];
+            let mut idx = backends(&data);
+            let mut rng = rng_from_seed(17);
+            for round in 0..6 {
+                // delete a random batch
+                for _ in 0..n / 10 {
+                    let r = rng.gen_range(0..n);
+                    if alive.iter().filter(|&&a| a).count() <= 5 {
+                        break;
+                    }
+                    if alive[r] {
+                        alive[r] = false;
+                        for (_, ix) in idx.iter_mut() {
+                            assert!(ix.delete(r));
+                        }
+                    }
+                }
+                for _ in 0..10 {
+                    let qi = rng.gen_range(0..n);
+                    let skip = if rng.gen_bool(0.5) { Some(qi) } else { None };
+                    let q = data.row(qi).to_vec();
+                    let want = ref_k_nearest(&data, &alive, &q, 4, skip);
+                    for (name, ix) in idx.iter() {
+                        let got = ix.k_nearest_sq(&q, 4, skip);
+                        assert_eq!(
+                            got.iter().map(|h| h.row).collect::<Vec<_>>(),
+                            want.iter().map(|h| h.row).collect::<Vec<_>>(),
+                            "{name} n={n} p={p} round={round}"
+                        );
+                        assert_eq!(ix.n_alive(), alive.iter().filter(|&&a| a).count());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_and_range_agree_across_backends() {
+        let data = random_data(140, 3, 4, 9);
+        let mut idx = backends(&data);
+        let mut rng = rng_from_seed(5);
+        for _ in 0..25 {
+            let del = rng.gen_range(0..data.n_samples());
+            for (_, ix) in idx.iter_mut() {
+                ix.delete(del);
+            }
+        }
+        for _ in 0..20 {
+            let qi = rng.gen_range(0..data.n_samples());
+            let q = data.row(qi).to_vec();
+            let label = data.label(qi);
+            let sq_bound = rng.gen_range(0.5..40.0);
+            let het: Vec<Option<SqNeighbor>> = idx
+                .iter()
+                .map(|(_, ix)| ix.nearest_heterogeneous_sq(&q, label, Some(qi)))
+                .collect();
+            for w in het.windows(2) {
+                match (&w[0], &w[1]) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.row, b.row);
+                        assert!((a.sq_dist - b.sq_dist).abs() < 1e-12);
+                    }
+                    (None, None) => {}
+                    _ => panic!("backends disagree on heterogeneous existence"),
+                }
+            }
+            for bound in [RangeBound::Strict, RangeBound::Inclusive] {
+                let mut sets: Vec<Vec<usize>> = idx
+                    .iter()
+                    .map(|(_, ix)| {
+                        let mut rows: Vec<usize> = ix
+                            .range_sq(&q, sq_bound, bound, Some(qi))
+                            .into_iter()
+                            .map(|h| h.row)
+                            .collect();
+                        rows.sort_unstable();
+                        rows
+                    })
+                    .collect();
+                let first = sets.remove(0);
+                for s in sets {
+                    assert_eq!(first, s, "range sets differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delete_reports_double_delete() {
+        let data = random_data(20, 2, 2, 1);
+        for (_, mut ix) in backends(&data) {
+            assert!(ix.delete(3));
+            assert!(!ix.delete(3));
+            assert!(!ix.is_alive(3));
+            assert_eq!(ix.n_alive(), 19);
+            assert_eq!(ix.n_rows(), 20);
+        }
+    }
+
+    #[test]
+    fn deleted_rows_never_returned() {
+        let data = random_data(50, 2, 2, 2);
+        for (name, mut ix) in backends(&data) {
+            for r in 0..25 {
+                ix.delete(r * 2);
+            }
+            let hits = ix.k_nearest_sq(data.row(0), 50, None);
+            assert_eq!(hits.len(), 25, "{name}");
+            assert!(hits.iter().all(|h| h.row % 2 == 1), "{name}");
+        }
+    }
+
+    #[test]
+    fn k_zero_and_oversized_k() {
+        let data = random_data(10, 2, 2, 3);
+        for (_, ix) in backends(&data) {
+            assert!(ix.k_nearest_sq(data.row(0), 0, None).is_empty());
+            assert_eq!(ix.k_nearest_sq(data.row(0), 99, Some(0)).len(), 9);
+        }
+    }
+
+    #[test]
+    fn backend_parsing_and_auto_resolution() {
+        assert_eq!(
+            GranulationBackend::from_str_opt("KD-Tree"),
+            Some(GranulationBackend::KdTree)
+        );
+        assert_eq!(
+            GranulationBackend::from_str_opt("vp"),
+            Some(GranulationBackend::VpTree)
+        );
+        assert_eq!(GranulationBackend::from_str_opt("quantum"), None);
+        assert_eq!(
+            GranulationBackend::Auto.resolve(100, 2),
+            GranulationBackend::Brute
+        );
+        assert_eq!(
+            GranulationBackend::Auto.resolve(10_000, 2),
+            GranulationBackend::KdTree
+        );
+        assert_eq!(
+            GranulationBackend::Auto.resolve(10_000, 128),
+            GranulationBackend::VpTree
+        );
+        assert_eq!(
+            GranulationBackend::Brute.resolve(10_000, 128),
+            GranulationBackend::Brute
+        );
+        assert_eq!(format!("{}", GranulationBackend::KdTree), "kdtree");
+    }
+}

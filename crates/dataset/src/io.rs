@@ -162,7 +162,9 @@ pub fn read_csv_str(content: &str, options: &CsvOptions) -> Result<Dataset, CsvE
     let label_idx = match &options.label {
         LabelColumn::Index(i) => {
             if *i >= width {
-                return Err(CsvError::BadLabelColumn(format!("index {i} >= width {width}")));
+                return Err(CsvError::BadLabelColumn(format!(
+                    "index {i} >= width {width}"
+                )));
             }
             *i
         }
@@ -189,7 +191,11 @@ pub fn read_csv_str(content: &str, options: &CsvOptions) -> Result<Dataset, CsvE
     let mut label_values: Vec<String> = rows.iter().map(|(_, f2)| f2[label_idx].clone()).collect();
     label_values.sort();
     label_values.dedup();
-    let label_code = |s: &str| label_values.binary_search_by(|v| v.as_str().cmp(s)).expect("present") as u32;
+    let label_code = |s: &str| {
+        label_values
+            .binary_search_by(|v| v.as_str().cmp(s))
+            .expect("present") as u32
+    };
 
     let mut features = Vec::with_capacity(rows.len() * feature_cols.len());
     let mut labels = Vec::with_capacity(rows.len());

@@ -4,10 +4,20 @@
 //! implementation; this median-split KD-tree gives the same exact results
 //! with `O(log n)`-ish queries on low/medium-dimensional data (the regime of
 //! most catalog datasets). High-dimensional data (S12, S13) degrades toward
-//! a linear scan, as KD-trees do — callers choose per use case.
+//! a linear scan, as KD-trees do — callers choose per use case (or let
+//! [`crate::index::GranulationBackend::Auto`] choose).
+//!
+//! The tree also implements [`NeighborIndex`]: squared-distance queries,
+//! label-aware nearest-heterogeneous search, range queries, and **tombstone
+//! deletion** with periodic compaction — once the number of deletions since
+//! the last (re)build exceeds the number of still-alive rows, the tree is
+//! rebuilt over the survivors so query cost tracks `|alive|`, not the
+//! original `n`. Results are unaffected (rebuilds only change traversal
+//! order, and queries are exact).
 
 use crate::dataset::Dataset;
 use crate::distance::sq_euclidean;
+use crate::index::{KBest, NeighborIndex, RangeBound, SqNeighbor, Tombstones};
 use crate::neighbors::Neighbor;
 
 /// A node of the tree (arena-allocated).
@@ -33,16 +43,12 @@ pub struct KdTree {
     nodes: Vec<Node>,
     /// Flattened copy of the indexed points (row-major).
     points: Vec<f64>,
+    /// Copied labels (for heterogeneous queries).
+    labels: Vec<u32>,
     n_features: usize,
     n_rows: usize,
     leaf_size: usize,
-}
-
-/// Bounded max-heap entry for query candidates.
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    sq_dist: f64,
-    row: u32,
+    tombstones: Tombstones,
 }
 
 impl KdTree {
@@ -55,16 +61,30 @@ impl KdTree {
     pub fn build(data: &Dataset, leaf_size: usize) -> Self {
         assert!(leaf_size > 0, "leaf size must be positive");
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
+        let n = data.n_samples();
         let mut tree = Self {
             nodes: Vec::new(),
             points: data.features().to_vec(),
+            labels: data.labels().to_vec(),
             n_features: data.n_features(),
-            n_rows: data.n_samples(),
+            n_rows: n,
             leaf_size,
+            tombstones: Tombstones::new(n),
         };
-        let mut rows: Vec<u32> = (0..data.n_samples() as u32).collect();
+        let mut rows: Vec<u32> = (0..n as u32).collect();
         tree.build_node(&mut rows);
         tree
+    }
+
+    /// Rebuilds the node arena over the currently alive rows.
+    fn rebuild(&mut self) {
+        self.nodes.clear();
+        let mut rows = self.tombstones.begin_rebuild();
+        if rows.is_empty() {
+            self.nodes.push(Node::Leaf { rows: Vec::new() });
+        } else {
+            self.build_node(&mut rows);
+        }
     }
 
     fn coord(&self, row: u32, dim: usize) -> f64 {
@@ -159,7 +179,7 @@ impl KdTree {
         idx
     }
 
-    /// Number of indexed rows.
+    /// Number of indexed rows (alive + deleted).
     #[must_use]
     pub fn len(&self) -> usize {
         self.n_rows
@@ -173,76 +193,37 @@ impl KdTree {
 
     /// Exact `k` nearest neighbours of `query`, sorted ascending by
     /// `(distance, row)`; `skip` excludes one row (the query's own).
+    /// Tombstoned rows are excluded.
     #[must_use]
     pub fn k_nearest(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.n_features, "query width mismatch");
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut heap: Vec<Candidate> = Vec::with_capacity(k + 1);
-        self.search(0, query, k, skip, &mut heap);
-        heap.sort_by(|a, b| {
-            a.sq_dist
-                .partial_cmp(&b.sq_dist)
-                .expect("finite distances")
-                .then_with(|| a.row.cmp(&b.row))
-        });
-        heap.into_iter()
-            .map(|c| Neighbor {
-                index: c.row as usize,
-                distance: c.sq_dist.sqrt(),
+        self.k_nearest_sq(query, k, skip)
+            .into_iter()
+            .map(|h| Neighbor {
+                index: h.row,
+                distance: h.sq_dist.sqrt(),
             })
             .collect()
     }
 
-    fn worst(heap: &[Candidate], k: usize) -> f64 {
-        if heap.len() < k {
-            f64::INFINITY
-        } else {
-            heap.iter()
-                .map(|c| c.sq_dist)
-                .fold(f64::NEG_INFINITY, f64::max)
-        }
-    }
-
-    fn push(heap: &mut Vec<Candidate>, k: usize, cand: Candidate) {
-        heap.push(cand);
-        if heap.len() > k {
-            // drop the worst (max sq_dist, ties by larger row)
-            let (wi, _) = heap
-                .iter()
-                .enumerate()
-                .max_by(|(_, a), (_, b)| {
-                    a.sq_dist
-                        .partial_cmp(&b.sq_dist)
-                        .expect("finite")
-                        .then_with(|| a.row.cmp(&b.row))
-                })
-                .expect("non-empty");
-            heap.swap_remove(wi);
-        }
-    }
-
-    fn search(
+    /// Shared leaf/split traversal for best-k queries with a row filter.
+    fn search_filtered(
         &self,
         node: usize,
         query: &[f64],
-        k: usize,
         skip: Option<usize>,
-        heap: &mut Vec<Candidate>,
+        keep: &impl Fn(u32) -> bool,
+        best: &mut KBest,
     ) {
         match &self.nodes[node] {
             Node::Leaf { rows } => {
                 for &r in rows {
-                    if Some(r as usize) == skip {
+                    if !self.tombstones.is_alive(r as usize) || Some(r as usize) == skip || !keep(r)
+                    {
                         continue;
                     }
                     let base = r as usize * self.n_features;
                     let d = sq_euclidean(&self.points[base..base + self.n_features], query);
-                    let worst = Self::worst(heap, k);
-                    if d < worst || (d == worst && heap.len() < k) {
-                        Self::push(heap, k, Candidate { sq_dist: d, row: r });
-                    }
+                    best.insert(d, r as usize);
                 }
             }
             Node::Split {
@@ -257,12 +238,129 @@ impl KdTree {
                 } else {
                     (*right, *left)
                 };
-                self.search(near, query, k, skip, heap);
-                if diff * diff <= Self::worst(heap, k) {
-                    self.search(far, query, k, skip, heap);
+                self.search_filtered(near, query, skip, keep, best);
+                if diff * diff <= best.worst_sq() {
+                    self.search_filtered(far, query, skip, keep, best);
                 }
             }
         }
+    }
+
+    fn range_rec(
+        &self,
+        node: usize,
+        query: &[f64],
+        sq_bound: f64,
+        bound: RangeBound,
+        skip: Option<usize>,
+        out: &mut Vec<SqNeighbor>,
+    ) {
+        match &self.nodes[node] {
+            Node::Leaf { rows } => {
+                for &r in rows {
+                    if !self.tombstones.is_alive(r as usize) || Some(r as usize) == skip {
+                        continue;
+                    }
+                    let base = r as usize * self.n_features;
+                    let d = sq_euclidean(&self.points[base..base + self.n_features], query);
+                    if bound.admits(d, sq_bound) {
+                        out.push(SqNeighbor {
+                            row: r as usize,
+                            sq_dist: d,
+                        });
+                    }
+                }
+            }
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let diff = query[*dim] - value;
+                // Minimum achievable squared distance to each half-space.
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.range_rec(near, query, sq_bound, bound, skip, out);
+                if bound.admits(diff * diff, sq_bound) {
+                    self.range_rec(far, query, sq_bound, bound, skip, out);
+                }
+            }
+        }
+    }
+}
+
+impl NeighborIndex for KdTree {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn n_alive(&self) -> usize {
+        self.tombstones.n_alive()
+    }
+
+    fn is_alive(&self, row: usize) -> bool {
+        self.tombstones.is_alive(row)
+    }
+
+    fn delete(&mut self, row: usize) -> bool {
+        match self.tombstones.delete(row) {
+            None => false,
+            Some(needs_rebuild) => {
+                if needs_rebuild {
+                    self.rebuild();
+                }
+                true
+            }
+        }
+    }
+
+    fn k_nearest_sq(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<SqNeighbor> {
+        assert_eq!(query.len(), self.n_features, "query width mismatch");
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut best = KBest::new(k);
+        self.search_filtered(0, query, skip, &|_| true, &mut best);
+        best.into_sorted()
+    }
+
+    fn nearest_heterogeneous_sq(
+        &self,
+        query: &[f64],
+        label: u32,
+        skip: Option<usize>,
+    ) -> Option<SqNeighbor> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut best = KBest::new(1);
+        self.search_filtered(
+            0,
+            query,
+            skip,
+            &|r| self.labels[r as usize] != label,
+            &mut best,
+        );
+        best.into_sorted().first().copied()
+    }
+
+    fn range_sq(
+        &self,
+        query: &[f64],
+        sq_bound: f64,
+        bound: RangeBound,
+        skip: Option<usize>,
+    ) -> Vec<SqNeighbor> {
+        assert_eq!(query.len(), self.n_features, "query width mismatch");
+        let mut out = Vec::new();
+        if !self.nodes.is_empty() {
+            self.range_rec(0, query, sq_bound, bound, skip, &mut out);
+        }
+        out
     }
 }
 
@@ -348,5 +446,27 @@ mod tests {
     fn empty_rejected() {
         let d = Dataset::from_parts(Vec::new(), Vec::new(), 2, 1);
         let _ = KdTree::build(&d, 4);
+    }
+
+    #[test]
+    fn tombstones_excluded_and_compaction_preserves_results() {
+        let d = random_dataset(400, 3, 7);
+        let mut tree = KdTree::build(&d, 8);
+        // Delete 350 rows — enough to trigger at least one rebuild.
+        for r in 0..350 {
+            assert!(NeighborIndex::delete(&mut tree, r));
+        }
+        assert_eq!(tree.n_alive(), 50);
+        let hits = tree.k_nearest(d.row(0), 10, None);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|h| h.index >= 350));
+        // Against a fresh brute scan over the survivors.
+        let survivors: Vec<usize> = (350..400).collect();
+        let sub = d.select(&survivors);
+        let brute = brute_k_nearest(&sub, d.row(0), 10, None);
+        assert_eq!(
+            hits.iter().map(|h| h.index - 350).collect::<Vec<_>>(),
+            brute.iter().map(|h| h.index).collect::<Vec<_>>()
+        );
     }
 }

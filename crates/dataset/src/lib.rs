@@ -26,6 +26,7 @@ pub mod catalog;
 pub mod dataset;
 pub mod distance;
 pub mod encode;
+pub mod index;
 pub mod io;
 pub mod kdtree;
 pub mod neighbors;
@@ -38,4 +39,5 @@ pub mod synth;
 pub mod vptree;
 
 pub use dataset::{Dataset, DatasetError, FeatureKind};
+pub use index::{GranulationBackend, NeighborIndex, SqNeighbor};
 pub use neighbors::Neighbor;

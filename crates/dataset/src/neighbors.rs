@@ -128,6 +128,34 @@ pub fn nearest(data: &Dataset, query: &[f64], skip: Option<usize>) -> Option<Nei
     k_nearest(data, query, 1, skip).into_iter().next()
 }
 
+/// Batch form of [`k_nearest`] for external queries, one result per query,
+/// computed in parallel across worker threads. Results are identical to
+/// (and ordered like) the sequential per-query calls — batch queries are
+/// embarrassingly parallel.
+#[must_use]
+pub fn k_nearest_batch(data: &Dataset, queries: &[&[f64]], k: usize) -> Vec<Vec<Neighbor>> {
+    use rayon::prelude::*;
+    queries
+        .par_iter()
+        .map(|q| k_nearest(data, q, k, None))
+        .collect()
+}
+
+/// Batch self-join: the `k` nearest neighbours of every *row* of `data`
+/// (each row excluded from its own neighbourhood), in parallel. Backs
+/// all-rows neighbour passes such as Tomek-link detection; samplers whose
+/// per-row search carries an extra filter (ENN's class edit rule, the
+/// SMOTE family's same-class donor search) parallelize their own filtered
+/// loops instead.
+#[must_use]
+pub fn k_nearest_all_rows(data: &Dataset, k: usize) -> Vec<Vec<Neighbor>> {
+    use rayon::prelude::*;
+    (0..data.n_samples())
+        .into_par_iter()
+        .map(|i| k_nearest(data, data.row(i), k, Some(i)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,10 +180,7 @@ mod tests {
     fn skip_excludes_self() {
         let d = line();
         let hits = k_nearest(&d, d.row(2), 2, Some(2));
-        assert_eq!(
-            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
-            vec![1, 3]
-        );
+        assert_eq!(hits.iter().map(|h| h.index).collect::<Vec<_>>(), vec![1, 3]);
     }
 
     #[test]
@@ -202,10 +227,29 @@ mod tests {
     fn filtered_search_respects_predicate() {
         let d = line();
         let hits = k_nearest_filtered(&d, &[0.0], 2, |i| d.label(i) == 1);
-        assert_eq!(
-            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
-            vec![2, 3]
-        );
+        assert_eq!(hits.iter().map(|h| h.index).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn batch_queries_match_sequential() {
+        let d = line();
+        let queries: Vec<Vec<f64>> = vec![vec![0.1], vec![2.2], vec![3.9]];
+        let refs: Vec<&[f64]> = queries.iter().map(Vec::as_slice).collect();
+        let batch = k_nearest_batch(&d, &refs, 2);
+        for (q, got) in refs.iter().zip(batch.iter()) {
+            assert_eq!(got, &k_nearest(&d, q, 2, None));
+        }
+    }
+
+    #[test]
+    fn all_rows_batch_excludes_self() {
+        let d = line();
+        let all = k_nearest_all_rows(&d, 3);
+        assert_eq!(all.len(), d.n_samples());
+        for (i, hits) in all.iter().enumerate() {
+            assert!(hits.iter().all(|h| h.index != i));
+            assert_eq!(hits, &k_nearest(&d, d.row(i), 3, Some(i)));
+        }
     }
 
     #[test]

@@ -64,7 +64,11 @@ pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<Fold> {
 /// # Panics
 /// Panics if `test_fraction` is not in `(0, 1)`.
 #[must_use]
-pub fn stratified_holdout(data: &Dataset, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+pub fn stratified_holdout(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     assert!(
         test_fraction > 0.0 && test_fraction < 1.0,
         "test_fraction must be in (0,1)"
@@ -100,8 +104,7 @@ pub fn stratified_subsample(data: &Dataset, max_samples: usize, seed: u64) -> Ve
             continue;
         }
         class_rows.shuffle(&mut rng);
-        let n_keep = ((class_rows.len() as f64 * frac).round() as usize)
-            .clamp(1, class_rows.len());
+        let n_keep = ((class_rows.len() as f64 * frac).round() as usize).clamp(1, class_rows.len());
         keep.extend_from_slice(&class_rows[..n_keep]);
     }
     keep.sort_unstable();
@@ -140,7 +143,10 @@ mod tests {
                 assert!(!f.train.contains(&t));
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each row in exactly one test fold");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each row in exactly one test fold"
+        );
     }
 
     #[test]

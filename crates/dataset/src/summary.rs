@@ -58,8 +58,7 @@ pub fn describe(data: &Dataset) -> DatasetSummary {
             let mut min = f64::INFINITY;
             let mut max = f64::NEG_INFINITY;
             let mut sum = 0.0;
-            let mut distinct: std::collections::HashSet<u64> =
-                std::collections::HashSet::new();
+            let mut distinct: std::collections::HashSet<u64> = std::collections::HashSet::new();
             for i in 0..data.n_samples() {
                 let v = data.value(i, j);
                 min = min.min(v);

@@ -69,7 +69,9 @@ impl DigitsSpec {
         let mut rng = rng_from_seed(seed);
         let s = self.side;
         let p = s * s;
-        let prototypes: Vec<Vec<f64>> = (0..self.n_classes).map(|_| self.prototype(&mut rng)).collect();
+        let prototypes: Vec<Vec<f64>> = (0..self.n_classes)
+            .map(|_| self.prototype(&mut rng))
+            .collect();
         let counts = apportion(self.n_samples, &self.class_weights);
         let mut features = Vec::with_capacity(self.n_samples * p);
         let mut labels = Vec::with_capacity(self.n_samples);

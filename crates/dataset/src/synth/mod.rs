@@ -100,10 +100,7 @@ mod tests {
             assert_eq!(w.len(), q);
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
             let ratio = w[0] / w[q - 1];
-            assert!(
-                (ratio - ir).abs() / ir < 1e-9,
-                "q={q} ir={ir} got {ratio}"
-            );
+            assert!((ratio - ir).abs() / ir < 1e-9, "q={q} ir={ir} got {ratio}");
         }
     }
 

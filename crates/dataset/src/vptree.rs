@@ -11,13 +11,20 @@
 //!
 //! The index is exact: queries return the same neighbours as the
 //! brute-force reference in [`crate::neighbors`] (property-tested), so it
-//! can be swapped under any algorithm in the workspace.
+//! can be swapped under any algorithm in the workspace. Like the KD-tree it
+//! implements [`NeighborIndex`]: squared-distance acceptance (so results
+//! are bit-identical to the other backends), tombstone deletion, and
+//! periodic compaction. Triangle-inequality pruning needs real distances,
+//! so each *visited node* pays one `sqrt`; accepted candidates carry their
+//! squared distance unchanged. Prune bounds are relaxed by a hair
+//! (1 − 1e−12) so `sqrt` rounding can only cause an extra visit, never a
+//! missed exact neighbour.
 
 use crate::dataset::Dataset;
-use crate::distance::euclidean;
+use crate::distance::{euclidean, sq_euclidean};
+use crate::index::{KBest, NeighborIndex, RangeBound, SqNeighbor, Tombstones};
 use crate::neighbors::Neighbor;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A node of the tree (arena-allocated; `u32::MAX` marks "no child").
 #[derive(Debug, Clone)]
@@ -33,6 +40,10 @@ struct Node {
 
 const NONE: u32 = u32::MAX;
 
+/// Conservative slack on prune bounds: compensates `sqrt` rounding so the
+/// traversal can only over-visit, never over-prune.
+const PRUNE_SLACK: f64 = 1.0 - 1e-12;
+
 /// An immutable VP-tree over the rows of a dataset snapshot.
 #[derive(Debug, Clone)]
 pub struct VpTree {
@@ -40,35 +51,11 @@ pub struct VpTree {
     root: u32,
     /// Flattened copy of the indexed points (row-major).
     points: Vec<f64>,
+    /// Copied labels (for heterogeneous queries).
+    labels: Vec<u32>,
     n_features: usize,
     n_rows: usize,
-}
-
-/// Max-heap entry for the k-best candidate set.
-#[derive(Debug, Clone, Copy)]
-struct Candidate {
-    dist: f64,
-    row: u32,
-}
-
-impl PartialEq for Candidate {
-    fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist && self.row == other.row
-    }
-}
-impl Eq for Candidate {}
-impl Ord for Candidate {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .partial_cmp(&other.dist)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| self.row.cmp(&other.row))
-    }
-}
-impl PartialOrd for Candidate {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+    tombstones: Tombstones,
 }
 
 impl VpTree {
@@ -82,16 +69,26 @@ impl VpTree {
     #[must_use]
     pub fn build(data: &Dataset) -> Self {
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
+        let n = data.n_samples();
         let mut tree = Self {
-            nodes: Vec::with_capacity(data.n_samples()),
+            nodes: Vec::with_capacity(n),
             root: NONE,
             points: data.features().to_vec(),
+            labels: data.labels().to_vec(),
             n_features: data.n_features(),
-            n_rows: data.n_samples(),
+            n_rows: n,
+            tombstones: Tombstones::new(n),
         };
-        let mut rows: Vec<u32> = (0..data.n_samples() as u32).collect();
+        let mut rows: Vec<u32> = (0..n as u32).collect();
         tree.root = tree.build_rec(&mut rows);
         tree
+    }
+
+    /// Rebuilds the node arena over the currently alive rows.
+    fn rebuild(&mut self) {
+        self.nodes.clear();
+        let mut rows = self.tombstones.begin_rebuild();
+        self.root = self.build_rec(&mut rows);
     }
 
     fn row(&self, r: u32) -> &[f64] {
@@ -145,7 +142,7 @@ impl VpTree {
         id
     }
 
-    /// Number of indexed rows.
+    /// Number of indexed rows (alive + deleted).
     #[must_use]
     pub fn len(&self) -> usize {
         self.n_rows
@@ -159,78 +156,163 @@ impl VpTree {
 
     /// Returns the `k` nearest indexed rows to `query`, sorted by ascending
     /// distance (ties by ascending row index), excluding row `skip` when
-    /// given. Exact — identical to the brute-force reference.
+    /// given. Exact — identical to the brute-force reference. Tombstoned
+    /// rows are excluded.
     #[must_use]
     pub fn k_nearest(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.n_features, "query width mismatch");
-        if k == 0 {
-            return Vec::new();
-        }
-        let mut best: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
-        let mut tau = f64::INFINITY;
-        self.search(self.root, query, k, skip, &mut best, &mut tau);
-        let mut hits: Vec<Neighbor> = best
+        self.k_nearest_sq(query, k, skip)
             .into_iter()
-            .map(|c| Neighbor {
-                index: c.row as usize,
-                distance: c.dist,
+            .map(|h| Neighbor {
+                index: h.row,
+                distance: h.sq_dist.sqrt(),
             })
-            .collect();
-        hits.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| a.index.cmp(&b.index))
-        });
-        hits
+            .collect()
     }
 
-    fn search(
+    /// Shared best-k traversal with a row filter. Acceptance happens in
+    /// squared space (exact ties by row); pruning uses real distances with
+    /// [`PRUNE_SLACK`].
+    fn search_filtered(
         &self,
         node: u32,
         query: &[f64],
-        k: usize,
         skip: Option<usize>,
-        best: &mut BinaryHeap<Candidate>,
-        tau: &mut f64,
+        keep: &impl Fn(u32) -> bool,
+        best: &mut KBest,
     ) {
         if node == NONE {
             return;
         }
         let n = &self.nodes[node as usize];
-        let d = euclidean(query, self.row(n.vantage));
-        if skip != Some(n.vantage as usize) {
-            // Accept when the heap has room, the hit strictly improves, or it
-            // ties the current worst with a smaller row index (matching the
-            // brute-force tie rule).
-            let accept = best.len() < k
-                || d < *tau
-                || (d == *tau && best.peek().is_some_and(|t| n.vantage < t.row));
-            if accept {
-                best.push(Candidate {
-                    dist: d,
-                    row: n.vantage,
-                });
-                if best.len() > k {
-                    best.pop();
-                }
-                if best.len() == k {
-                    *tau = best.peek().expect("non-empty").dist;
-                }
-            }
+        let d_sq = sq_euclidean(query, self.row(n.vantage));
+        if self.tombstones.is_alive(n.vantage as usize)
+            && skip != Some(n.vantage as usize)
+            && keep(n.vantage)
+        {
+            best.insert(d_sq, n.vantage as usize);
         }
+        let d = d_sq.sqrt();
         // Visit the likelier side first, prune the other with the
         // triangle-inequality bound.
-        let (first, second) = if d <= n.mu {
-            (n.inside, n.outside)
+        let (first, second, second_bound) = if d <= n.mu {
+            (n.inside, n.outside, n.mu - d)
         } else {
-            (n.outside, n.inside)
+            (n.outside, n.inside, d - n.mu)
         };
-        self.search(first, query, k, skip, best, tau);
-        let bound = (d - n.mu).abs();
-        if best.len() < k || bound <= *tau {
-            self.search(second, query, k, skip, best, tau);
+        self.search_filtered(first, query, skip, keep, best);
+        let b = second_bound.max(0.0) * PRUNE_SLACK;
+        if b * b <= best.worst_sq() {
+            self.search_filtered(second, query, skip, keep, best);
         }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn range_rec(
+        &self,
+        node: u32,
+        query: &[f64],
+        sq_bound: f64,
+        radius: f64,
+        bound: RangeBound,
+        skip: Option<usize>,
+        out: &mut Vec<SqNeighbor>,
+    ) {
+        if node == NONE {
+            return;
+        }
+        let n = &self.nodes[node as usize];
+        let d_sq = sq_euclidean(query, self.row(n.vantage));
+        if self.tombstones.is_alive(n.vantage as usize)
+            && skip != Some(n.vantage as usize)
+            && bound.admits(d_sq, sq_bound)
+        {
+            out.push(SqNeighbor {
+                row: n.vantage as usize,
+                sq_dist: d_sq,
+            });
+        }
+        let d = d_sq.sqrt();
+        // Inside subtree: distances to vantage ≤ mu, so the minimum
+        // possible distance to the query is d − mu; outside: mu − d.
+        let inside_min = ((d - n.mu).max(0.0)) * PRUNE_SLACK;
+        if inside_min <= radius {
+            self.range_rec(n.inside, query, sq_bound, radius, bound, skip, out);
+        }
+        let outside_min = ((n.mu - d).max(0.0)) * PRUNE_SLACK;
+        if outside_min <= radius {
+            self.range_rec(n.outside, query, sq_bound, radius, bound, skip, out);
+        }
+    }
+}
+
+impl NeighborIndex for VpTree {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn n_alive(&self) -> usize {
+        self.tombstones.n_alive()
+    }
+
+    fn is_alive(&self, row: usize) -> bool {
+        self.tombstones.is_alive(row)
+    }
+
+    fn delete(&mut self, row: usize) -> bool {
+        match self.tombstones.delete(row) {
+            None => false,
+            Some(needs_rebuild) => {
+                if needs_rebuild {
+                    self.rebuild();
+                }
+                true
+            }
+        }
+    }
+
+    fn k_nearest_sq(&self, query: &[f64], k: usize, skip: Option<usize>) -> Vec<SqNeighbor> {
+        assert_eq!(query.len(), self.n_features, "query width mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best = KBest::new(k);
+        self.search_filtered(self.root, query, skip, &|_| true, &mut best);
+        best.into_sorted()
+    }
+
+    fn nearest_heterogeneous_sq(
+        &self,
+        query: &[f64],
+        label: u32,
+        skip: Option<usize>,
+    ) -> Option<SqNeighbor> {
+        let mut best = KBest::new(1);
+        self.search_filtered(
+            self.root,
+            query,
+            skip,
+            &|r| self.labels[r as usize] != label,
+            &mut best,
+        );
+        best.into_sorted().first().copied()
+    }
+
+    fn range_sq(
+        &self,
+        query: &[f64],
+        sq_bound: f64,
+        bound: RangeBound,
+        skip: Option<usize>,
+    ) -> Vec<SqNeighbor> {
+        assert_eq!(query.len(), self.n_features, "query width mismatch");
+        let mut out = Vec::new();
+        let radius = if sq_bound == f64::INFINITY {
+            f64::INFINITY
+        } else {
+            sq_bound.max(0.0).sqrt()
+        };
+        self.range_rec(self.root, query, sq_bound, radius, bound, skip, &mut out);
+        out
     }
 }
 
@@ -338,9 +420,7 @@ mod tests {
         let data = random_data(120, 4, 10);
         let tree = VpTree::build(&data);
         let hits = tree.k_nearest(&[0.0; 4], 15, None);
-        assert!(hits
-            .windows(2)
-            .all(|w| w[0].distance <= w[1].distance));
+        assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
     }
 
     #[test]
@@ -348,5 +428,25 @@ mod tests {
     fn empty_dataset_rejected() {
         let data = Dataset::from_parts(Vec::new(), Vec::new(), 2, 1);
         let _ = VpTree::build(&data);
+    }
+
+    #[test]
+    fn tombstones_excluded_and_compaction_preserves_results() {
+        let data = random_data(400, 5, 11);
+        let mut tree = VpTree::build(&data);
+        for r in 0..300 {
+            assert!(NeighborIndex::delete(&mut tree, r));
+        }
+        assert_eq!(tree.n_alive(), 100);
+        let survivors: Vec<usize> = (300..400).collect();
+        let sub = data.select(&survivors);
+        for qi in [0usize, 37, 399] {
+            let got = tree.k_nearest(data.row(qi), 8, None);
+            let want = brute_k_nearest(&sub, data.row(qi), 8, None);
+            assert_eq!(
+                got.iter().map(|h| h.index - 300).collect::<Vec<_>>(),
+                want.iter().map(|h| h.index).collect::<Vec<_>>()
+            );
+        }
     }
 }

@@ -15,7 +15,12 @@ use crate::confusion::ConfusionMatrix;
 pub fn accuracy(truth: &[u32], pred: &[u32]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "no predictions to score");
-    truth.iter().zip(pred.iter()).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+    truth
+        .iter()
+        .zip(pred.iter())
+        .filter(|(a, b)| a == b)
+        .count() as f64
+        / truth.len() as f64
 }
 
 /// Geometric mean of per-class recalls over the classes present in `truth`.
@@ -86,7 +91,11 @@ pub fn macro_f1(truth: &[u32], pred: &[u32], n_classes: usize) -> f64 {
             continue; // class absent from truth
         };
         let p = precisions[c].unwrap_or(0.0);
-        let f1 = if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        let f1 = if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        };
         f1s.push(f1);
     }
     assert!(!f1s.is_empty(), "no predictions to score");

@@ -155,8 +155,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -259,7 +258,9 @@ mod tests {
     fn exact_matches_normal_roughly_for_moderate_n() {
         // sanity: the two computations should agree in magnitude
         let a: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin()).collect();
-        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin() * 0.8 + 0.01).collect();
+        let b: Vec<f64> = (0..20)
+            .map(|i| (i as f64 * 0.7).sin() * 0.8 + 0.01)
+            .collect();
         let r = wilcoxon_signed_rank(&a, &b).unwrap();
         let w_plus_from_ranks = {
             // recompute normal p with same ranks by forcing tie path:

@@ -49,10 +49,7 @@ fn allocate(weights: &[f64], total: usize) -> Vec<usize> {
             .map(|i| total / n + usize::from(i < total % n))
             .collect();
     }
-    let raw: Vec<f64> = weights
-        .iter()
-        .map(|w| w / sum * total as f64)
-        .collect();
+    let raw: Vec<f64> = weights.iter().map(|w| w / sum * total as f64).collect();
     let mut counts: Vec<usize> = raw.iter().map(|r| r.floor() as usize).collect();
     let assigned: usize = counts.iter().sum();
     let mut rema: Vec<(usize, f64)> = raw
@@ -84,31 +81,42 @@ impl Sampler for Adasyn {
                 continue;
             }
             let class = class as u32;
+            use rayon::prelude::*;
             // Difficulty r_i: heterogeneous fraction of the k-NN in D.
+            // Independent per donor — scanned in parallel, donor order kept.
             let weights: Vec<f64> = donors
-                .iter()
+                .par_iter()
                 .map(|&d| {
                     let hits = k_nearest(data, data.row(d), k, Some(d));
                     if hits.is_empty() {
                         return 0.0;
                     }
-                    let hetero = hits
-                        .iter()
-                        .filter(|h| data.label(h.index) != class)
-                        .count();
+                    let hetero = hits.iter().filter(|h| data.label(h.index) != class).count();
                     hetero as f64 / hits.len() as f64
                 })
                 .collect();
             let counts = allocate(&weights, n_new);
-            for (&donor, &g) in donors.iter().zip(counts.iter()) {
+            // Same-class partners among each active donor's k-NN; these are
+            // RNG-independent, so the searches parallelize while the
+            // synthesis below keeps consuming the stream sequentially.
+            let partner_lists: Vec<Option<Vec<gb_dataset::Neighbor>>> = (0..donors.len())
+                .into_par_iter()
+                .map(|di| {
+                    let donor = donors[di];
+                    (counts[di] > 0).then(|| {
+                        k_nearest_filtered(data, data.row(donor), k, |i| {
+                            i != donor && data.label(i) == class
+                        })
+                    })
+                })
+                .collect();
+            for ((&donor, &g), partners) in donors.iter().zip(counts.iter()).zip(&partner_lists) {
                 if g == 0 {
                     continue;
                 }
-                // Same-class partners among the donor's k-NN; empty when the
-                // donor is fully surrounded by other classes — duplicate then.
-                let partners = k_nearest_filtered(data, data.row(donor), k, |i| {
-                    i != donor && data.label(i) == class
-                });
+                // Empty when the donor is fully surrounded by other
+                // classes — duplicate then.
+                let partners = partners.as_ref().expect("computed for g > 0");
                 for _ in 0..g {
                     if partners.is_empty() {
                         out.push_row(data.row(donor), class);

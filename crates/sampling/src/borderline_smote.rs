@@ -6,10 +6,10 @@
 //! `k = 5` nearest same-class neighbours, as in plain SMOTE.
 
 use crate::smote::{oversample_targets, synthesize_for_class};
-use gbabs::{SampleResult, Sampler};
 use gb_dataset::neighbors::k_nearest;
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
 
 /// Borderline-SMOTE configuration.
 #[derive(Debug, Clone, Copy)]
@@ -77,11 +77,18 @@ impl Sampler for BorderlineSmote {
             if n_new == 0 {
                 continue;
             }
-            let danger: Vec<usize> = groups[class]
-                .iter()
-                .copied()
-                .filter(|&r| region_of(data, r, self.config.m_neighbors) == Region::Danger)
-                .collect();
+            // Region checks are independent per row: run the m-NN scans in
+            // parallel, keeping donor order (and thus output) unchanged.
+            let danger: Vec<usize> = {
+                use rayon::prelude::*;
+                groups[class]
+                    .par_iter()
+                    .map(|&r| (r, region_of(data, r, self.config.m_neighbors)))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .filter_map(|(r, region)| (region == Region::Danger).then_some(r))
+                    .collect()
+            };
             // Han et al.: if no borderline sample exists, nothing is
             // synthesized for the class.
             synthesize_for_class(

@@ -63,10 +63,7 @@ impl Sampler for CondensedNn {
 
         // Store: all minority rows plus one random row per other class.
         let groups = data.class_indices();
-        let mut store: Vec<usize> = groups
-            .get(minority as usize)
-            .cloned()
-            .unwrap_or_default();
+        let mut store: Vec<usize> = groups.get(minority as usize).cloned().unwrap_or_default();
         let mut pool: Vec<usize> = Vec::new();
         for (class, rows) in groups.iter().enumerate() {
             if class == minority as usize || rows.is_empty() {
@@ -140,7 +137,11 @@ mod tests {
         let out = cnn().sample(&d, 1);
         let counts = out.dataset.class_counts();
         assert_eq!(counts[1], 10, "minority intact");
-        assert!(counts[0] <= 3, "majority should condense, kept {}", counts[0]);
+        assert!(
+            counts[0] <= 3,
+            "majority should condense, kept {}",
+            counts[0]
+        );
     }
 
     #[test]

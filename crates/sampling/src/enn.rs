@@ -43,8 +43,14 @@ pub struct EditedNn {
 /// Rows ENN would remove from `data`: samples whose k-NN majority label
 /// disagrees with their own. `edit_all` controls whether minority-class
 /// rows are eligible.
+///
+/// Every row's neighbourhood vote is independent, so the k-NN scans run in
+/// parallel; the removal list is assembled in row order, identical to the
+/// sequential loop.
 #[must_use]
 pub fn enn_removals(data: &Dataset, k: usize, edit_all: bool) -> Vec<usize> {
+    use rayon::prelude::*;
+
     let counts = data.class_counts();
     let minority = counts
         .iter()
@@ -53,30 +59,34 @@ pub fn enn_removals(data: &Dataset, k: usize, edit_all: bool) -> Vec<usize> {
         .min_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then_with(|| ia.cmp(ib)))
         .map(|(i, _)| i as u32)
         .unwrap_or(0);
-    let mut removals = Vec::new();
-    for i in 0..data.n_samples() {
-        if !edit_all && data.label(i) == minority {
-            continue;
-        }
-        let hits = k_nearest(data, data.row(i), k, Some(i));
-        if hits.is_empty() {
-            continue;
-        }
-        let mut votes = vec![0usize; data.n_classes()];
-        for h in &hits {
-            votes[data.label(h.index) as usize] += 1;
-        }
-        let winner = votes
-            .iter()
-            .enumerate()
-            .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then_with(|| ib.cmp(ia)))
-            .map(|(c, _)| c as u32)
-            .unwrap_or(0);
-        if winner != data.label(i) {
-            removals.push(i);
-        }
-    }
-    removals
+    let flagged: Vec<bool> = (0..data.n_samples())
+        .into_par_iter()
+        .map(|i| {
+            if !edit_all && data.label(i) == minority {
+                return false;
+            }
+            let hits = k_nearest(data, data.row(i), k, Some(i));
+            if hits.is_empty() {
+                return false;
+            }
+            let mut votes = vec![0usize; data.n_classes()];
+            for h in &hits {
+                votes[data.label(h.index) as usize] += 1;
+            }
+            let winner = votes
+                .iter()
+                .enumerate()
+                .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then_with(|| ib.cmp(ia)))
+                .map(|(c, _)| c as u32)
+                .unwrap_or(0);
+            winner != data.label(i)
+        })
+        .collect();
+    flagged
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.then_some(i))
+        .collect()
 }
 
 impl Sampler for EditedNn {

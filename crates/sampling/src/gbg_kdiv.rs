@@ -10,10 +10,10 @@
 //! outside their radius: exactly the deficiencies the paper's method fixes
 //! (and our ablation benches measure).
 
-use gbabs::GranularBall;
 use gb_dataset::distance::euclidean;
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
+use gbabs::GranularBall;
 use rand::Rng;
 
 /// Configuration for the k-division GBG.
@@ -52,8 +52,11 @@ fn make_ball(data: &Dataset, rows: Vec<usize>) -> GranularBall {
     for c in center.iter_mut() {
         *c /= rows.len() as f64;
     }
-    let radius =
-        rows.iter().map(|&r| euclidean(data.row(r), &center)).sum::<f64>() / rows.len() as f64;
+    let radius = rows
+        .iter()
+        .map(|&r| euclidean(data.row(r), &center))
+        .sum::<f64>()
+        / rows.len() as f64;
     let mut counts = vec![0usize; data.n_classes()];
     for &r in &rows {
         counts[data.label(r) as usize] += 1;
@@ -192,8 +195,8 @@ pub fn is_large(ball: &GranularBall, n_features: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbabs::diagnostics::count_overlaps;
     use gb_dataset::catalog::DatasetId;
+    use gbabs::diagnostics::count_overlaps;
 
     #[test]
     fn covers_every_row_exactly_once() {
@@ -267,7 +270,12 @@ mod tests {
     fn identical_points_terminate() {
         // all rows identical but labels mixed: k-division cannot separate;
         // must not loop forever
-        let data = Dataset::from_parts(vec![1.0; 40], (0..40).map(|i| (i % 2) as u32).collect(), 1, 2);
+        let data = Dataset::from_parts(
+            vec![1.0; 40],
+            (0..40).map(|i| (i % 2) as u32).collect(),
+            1,
+            2,
+        );
         let balls = k_division_gbg(&data, &KDivConfig::default());
         let total: usize = balls.iter().map(|b| b.len()).sum();
         assert_eq!(total, 40);

@@ -165,8 +165,8 @@ pub fn kmeans_gbg(data: &Dataset, config: &KMeansGbgConfig) -> Vec<GranularBall>
     let mut done: Vec<GranularBall> = Vec::new();
     while let Some(rows) = queue.pop() {
         let ball = make_ball(data, rows);
-        let splittable = ball.purity < config.purity_threshold
-            && ball.len() >= config.min_split_size.max(2);
+        let splittable =
+            ball.purity < config.purity_threshold && ball.len() >= config.min_split_size.max(2);
         if splittable {
             match two_means(data, &ball.members, config.lloyd_iters, &mut rng) {
                 Some((left, right)) => {
@@ -228,8 +228,7 @@ mod tests {
         // many balls.
         let data = DatasetId::S6.generate(0.05, 1);
         let km = kmeans_gbg(&data, &KMeansGbgConfig::default());
-        let kd =
-            crate::gbg_kdiv::k_division_gbg(&data, &crate::gbg_kdiv::KDivConfig::default());
+        let kd = crate::gbg_kdiv::k_division_gbg(&data, &crate::gbg_kdiv::KDivConfig::default());
         assert!(
             km.len() + 5 >= kd.len(),
             "2-means produced {} balls vs k-division {}",

@@ -7,9 +7,9 @@
 //! of the two axis-intersection points `c ± r·e_d` (up to `2·p` samples).
 
 use crate::gbg_kdiv::{is_large, k_division_gbg, KDivConfig};
-use gbabs::{GranularBall, SampleResult, Sampler};
 use gb_dataset::distance::sq_euclidean;
 use gb_dataset::Dataset;
+use gbabs::{GranularBall, SampleResult, Sampler};
 
 /// GGBS configuration.
 #[derive(Debug, Clone, Copy)]
@@ -35,11 +35,7 @@ pub struct Ggbs {
 }
 
 /// Collects the `2·p` axis-extreme homogeneous samples of a large ball.
-pub(crate) fn large_ball_samples(
-    data: &Dataset,
-    ball: &GranularBall,
-    keep: &mut [bool],
-) {
+pub(crate) fn large_ball_samples(data: &Dataset, ball: &GranularBall, keep: &mut [bool]) {
     let p = data.n_features();
     for dim in 0..p {
         for sign in [-1.0f64, 1.0] {
@@ -125,12 +121,7 @@ mod tests {
     #[test]
     fn small_balls_fully_kept() {
         // A dataset smaller than 2p forms a single small ball -> ratio 1.0
-        let d = Dataset::from_parts(
-            vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0],
-            vec![0, 0, 1],
-            2,
-            2,
-        );
+        let d = Dataset::from_parts(vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0], vec![0, 0, 1], 2, 2);
         let out = Ggbs::default().sample(&d, 0);
         assert_eq!(out.dataset.n_samples(), 3);
     }

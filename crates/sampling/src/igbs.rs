@@ -12,9 +12,9 @@
 
 use crate::gbg_kdiv::{is_large, k_division_gbg, KDivConfig};
 use crate::ggbs::large_ball_samples;
-use gbabs::{SampleResult, Sampler};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
 use rand::seq::SliceRandom;
 
 /// IGBS configuration.

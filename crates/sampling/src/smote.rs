@@ -5,10 +5,10 @@
 //! nearest same-class neighbours (imbalanced-learn's `auto` strategy and
 //! default `k_neighbors`).
 
-use gbabs::{SampleResult, Sampler};
 use gb_dataset::neighbors::k_nearest_filtered;
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
 use rand::Rng;
 
 /// SMOTE configuration.
@@ -45,6 +45,14 @@ pub(crate) fn oversample_targets(data: &Dataset) -> Vec<usize> {
 
 /// Synthesizes `n_new` samples for `class` by SMOTE interpolation from the
 /// donor rows `donors` (all of `class`), appending to `out`.
+///
+/// Runs in two phases so the expensive part parallelizes without touching
+/// the random stream: all RNG decisions (base donor, neighbour pick,
+/// interpolation gap) are drawn sequentially first — in exactly the order
+/// the naive loop would draw them — then the per-sample k-NN searches and
+/// interpolations execute in parallel and are appended in draw order. The
+/// output is therefore identical to the sequential implementation for any
+/// thread count.
 pub(crate) fn synthesize_for_class(
     data: &Dataset,
     donors: &[usize],
@@ -54,6 +62,8 @@ pub(crate) fn synthesize_for_class(
     rng: &mut impl Rng,
     out: &mut Dataset,
 ) {
+    use rayon::prelude::*;
+
     if donors.is_empty() || n_new == 0 {
         return;
     }
@@ -64,19 +74,37 @@ pub(crate) fn synthesize_for_class(
         }
         return;
     }
-    for _ in 0..n_new {
-        let base = donors[rng.gen_range(0..donors.len())];
-        let hits = k_nearest_filtered(data, data.row(base), k, |i| {
-            i != base && data.label(i) == class
-        });
-        let pick = &hits[rng.gen_range(0..hits.len())];
-        let gap: f64 = rng.gen();
-        let row: Vec<f64> = data
-            .row(base)
-            .iter()
-            .zip(data.row(pick.index).iter())
-            .map(|(a, b)| a + gap * (b - a))
-            .collect();
+    // The neighbour search below ranges over every same-class row of the
+    // dataset (not just `donors`, which Borderline-SMOTE narrows to the
+    // danger subset), so each donor's hit count is `min(k, class size − 1)`
+    // — known before the search runs, which is what lets the pick index be
+    // drawn up front.
+    let class_size = data.class_counts()[class as usize];
+    debug_assert!(class_size >= donors.len());
+    let n_hits = k.min(class_size - 1);
+    let plans: Vec<(usize, usize, f64)> = (0..n_new)
+        .map(|_| {
+            let base = donors[rng.gen_range(0..donors.len())];
+            let pick = rng.gen_range(0..n_hits);
+            let gap: f64 = rng.gen();
+            (base, pick, gap)
+        })
+        .collect();
+    let rows: Vec<Vec<f64>> = plans
+        .par_iter()
+        .map(|&(base, pick, gap)| {
+            let hits = k_nearest_filtered(data, data.row(base), k, |i| {
+                i != base && data.label(i) == class
+            });
+            let pick = &hits[pick];
+            data.row(base)
+                .iter()
+                .zip(data.row(pick.index).iter())
+                .map(|(a, b)| a + gap * (b - a))
+                .collect()
+        })
+        .collect();
+    for row in rows {
         out.push_row(&row, class);
     }
 }
@@ -176,5 +204,51 @@ mod tests {
         let a = Smote::default().sample(&d, 9);
         let b = Smote::default().sample(&d, 9);
         assert_eq!(a.dataset.features(), b.dataset.features());
+    }
+
+    /// Regression: when `donors` is a strict subset of the class (as in
+    /// Borderline-SMOTE's danger set), the parallel two-phase synthesis
+    /// must match the naive sequential loop draw-for-draw — the neighbour
+    /// search ranges over the whole class, not the donor subset, so the
+    /// pre-drawn pick index must use the class size.
+    #[test]
+    fn subset_donors_match_sequential_reference() {
+        use gb_dataset::rng::rng_from_seed;
+
+        // class 1: 8 clustered rows; class 0: far away.
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            feats.push(i as f64 * 0.1);
+            labels.push(1u32);
+        }
+        for i in 0..6 {
+            feats.push(50.0 + i as f64);
+            labels.push(0u32);
+        }
+        let d = Dataset::from_parts(feats, labels, 1, 2);
+        let donors = vec![0usize, 3, 5]; // strict subset of class 1
+        let (k, n_new) = (5usize, 40usize);
+
+        let mut fast = d.empty_like();
+        synthesize_for_class(&d, &donors, 1, n_new, k, &mut rng_from_seed(11), &mut fast);
+
+        // Naive sequential reference (the pre-refactor algorithm).
+        let mut slow = d.empty_like();
+        let mut rng = rng_from_seed(11);
+        for _ in 0..n_new {
+            let base = donors[rng.gen_range(0..donors.len())];
+            let hits = k_nearest_filtered(&d, d.row(base), k, |i| i != base && d.label(i) == 1);
+            let pick = &hits[rng.gen_range(0..hits.len())];
+            let gap: f64 = rng.gen();
+            let row: Vec<f64> = d
+                .row(base)
+                .iter()
+                .zip(d.row(pick.index).iter())
+                .map(|(a, b)| a + gap * (b - a))
+                .collect();
+            slow.push_row(&row, 1);
+        }
+        assert_eq!(fast.features(), slow.features());
     }
 }

@@ -10,10 +10,10 @@
 //! DESIGN.md).
 
 use crate::smote::oversample_targets;
-use gbabs::{SampleResult, Sampler};
 use gb_dataset::distance::mixed_distance;
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::{Dataset, FeatureKind};
+use gbabs::{SampleResult, Sampler};
 use rand::Rng;
 
 /// SMOTENC configuration.

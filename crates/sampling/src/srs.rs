@@ -4,9 +4,9 @@
 //! to GBABS's ratio on the same dataset ("the sampling ratio of the SRS on
 //! each dataset is consistent with that of GBABS").
 
-use gbabs::{SampleResult, Sampler};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
 use rand::seq::SliceRandom;
 
 /// Uniform random subsampler at a fixed ratio.
@@ -85,10 +85,7 @@ mod tests {
         let after = out.dataset.class_counts();
         for c in 0..d.n_classes() {
             let frac = after[c] as f64 / before[c].max(1) as f64;
-            assert!(
-                (frac - 0.5).abs() < 0.15,
-                "class {c} kept fraction {frac}"
-            );
+            assert!((frac - 0.5).abs() < 0.15, "class {c} kept fraction {frac}");
         }
     }
 

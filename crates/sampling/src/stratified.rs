@@ -45,8 +45,8 @@ impl Sampler for Stratified {
                 continue;
             }
             // At least one row per non-empty class, so no class vanishes.
-            let keep = (((stratum.len() as f64) * self.ratio).round() as usize)
-                .clamp(1, stratum.len());
+            let keep =
+                (((stratum.len() as f64) * self.ratio).round() as usize).clamp(1, stratum.len());
             stratum.shuffle(&mut rng);
             rows.extend_from_slice(&stratum[..keep]);
         }

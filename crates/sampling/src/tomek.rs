@@ -5,9 +5,9 @@
 //! member of each link is removed (removing both is the other classic
 //! variant, available via [`TomekConfig::remove_both`]).
 
-use gbabs::{SampleResult, Sampler};
-use gb_dataset::neighbors::nearest;
+use gb_dataset::neighbors::k_nearest_all_rows;
 use gb_dataset::Dataset;
+use gbabs::{SampleResult, Sampler};
 
 /// Tomek-links configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,11 +24,15 @@ pub struct TomekLinks {
 }
 
 /// Finds all Tomek links as index pairs `(a, b)` with `a < b`.
+///
+/// The all-rows nearest-neighbour pass (the O(n²) part) runs in parallel;
+/// the mutual-pair sweep that follows is linear and stays sequential.
 #[must_use]
 pub fn find_tomek_links(data: &Dataset) -> Vec<(usize, usize)> {
     let n = data.n_samples();
-    let nn: Vec<Option<usize>> = (0..n)
-        .map(|i| nearest(data, data.row(i), Some(i)).map(|h| h.index))
+    let nn: Vec<Option<usize>> = k_nearest_all_rows(data, 1)
+        .into_iter()
+        .map(|hits| hits.first().map(|h| h.index))
         .collect();
     let mut links = Vec::new();
     for a in 0..n {

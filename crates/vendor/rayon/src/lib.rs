@@ -1,0 +1,393 @@
+//! Minimal in-tree stand-in for `rayon`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides the parallel-iterator subset the workspace consumes —
+//! `par_iter()` on slices, `into_par_iter()` on `Range<usize>` and vectors,
+//! `map`/`for_each`/`collect`/`sum` — executed on `std::thread::scope`
+//! worker threads with contiguous chunking.
+//!
+//! Guarantees relied on by callers:
+//!
+//! * **Order preservation** — `collect::<Vec<_>>()` yields results in input
+//!   order regardless of thread count, so parallel consumers stay
+//!   deterministic.
+//! * **Panic propagation** — a panicking closure aborts the whole operation
+//!   with that panic, like rayon.
+//!
+//! There is no work stealing: each worker takes one contiguous chunk. For
+//! the near-uniform per-item costs in this workspace (distance scans, kNN
+//! queries, per-row synthesis) that is within noise of a stealing pool.
+//! Swap the path dependency for real rayon when registry access exists.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Re-exports of the traits needed at call sites, mirroring rayon.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel operations.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// An indexed source of items: length plus random access. All stand-in
+/// parallel iterators are indexed, which is what makes order-preserving
+/// chunked execution trivial.
+pub trait IndexedSource: Sync {
+    /// The item type produced for each index.
+    type Item: Send;
+    /// Total number of items.
+    fn len(&self) -> usize;
+    /// True when the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produces the item at `i`. Must be safe to call concurrently for
+    /// distinct `i`.
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A parallel iterator over an [`IndexedSource`].
+pub struct ParIter<S> {
+    source: S,
+}
+
+/// `map` adapter.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: IndexedSource, R: Send, F: Fn(S::Item) -> R + Sync> IndexedSource for Map<S, F> {
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.source.get(i))
+    }
+}
+
+/// The user-facing parallel iterator API subset.
+pub trait ParallelIterator: Sized {
+    /// The underlying indexed source type.
+    type Source: IndexedSource;
+
+    /// Unwraps the source.
+    fn into_source(self) -> Self::Source;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> ParIter<Map<Self::Source, F>>
+    where
+        R: Send,
+        F: Fn(<Self::Source as IndexedSource>::Item) -> R + Sync,
+    {
+        ParIter {
+            source: Map {
+                source: self.into_source(),
+                f,
+            },
+        }
+    }
+
+    /// Runs `f` on every item in parallel (no ordering guarantees between
+    /// invocations; all complete before returning).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(<Self::Source as IndexedSource>::Item) + Sync,
+    {
+        run_chunked(&self.into_source(), &|_i, item| f(item));
+    }
+
+    /// Collects results in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<<Self::Source as IndexedSource>::Item>,
+    {
+        collect_vec(&self.into_source()).into_iter().collect()
+    }
+
+    /// Sums the items in input order (deterministic for floats).
+    fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<<Self::Source as IndexedSource>::Item>,
+    {
+        collect_vec(&self.into_source()).into_iter().sum()
+    }
+}
+
+impl<S: IndexedSource> ParallelIterator for ParIter<S> {
+    type Source = S;
+
+    fn into_source(self) -> S {
+        self.source
+    }
+}
+
+/// Executes `f(i, item)` for every index, chunked across worker threads.
+fn run_chunked<S: IndexedSource>(source: &S, f: &(impl Fn(usize, S::Item) + Sync)) {
+    run_chunked_with(source, current_num_threads(), f);
+}
+
+/// [`run_chunked`] with an explicit worker count, so the multi-threaded
+/// branch is testable even on single-CPU hosts (threads timeslice).
+fn run_chunked_with<S: IndexedSource>(
+    source: &S,
+    workers: usize,
+    f: &(impl Fn(usize, S::Item) + Sync),
+) {
+    let n = source.len();
+    if n == 0 {
+        return;
+    }
+    let workers = workers.min(n);
+    if workers <= 1 || n == 1 {
+        for i in 0..n {
+            f(i, source.get(i));
+        }
+        return;
+    }
+    // Atomic chunk cursor: threads grab fixed-size chunks until exhausted,
+    // which tolerates moderately non-uniform item costs.
+    let chunk = (n / (workers * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                for i in start..(start + chunk).min(n) {
+                    f(i, source.get(i));
+                }
+            });
+        }
+    });
+}
+
+/// Materializes all items in input order.
+fn collect_vec<S: IndexedSource>(source: &S) -> Vec<S::Item> {
+    let n = source.len();
+    let mut slots: Vec<Option<S::Item>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    {
+        // Each index is written exactly once, so handing out disjoint
+        // &mut slots across threads is safe; a SyncCell wrapper expresses
+        // that to the compiler.
+        struct SyncSlots<T>(*mut Option<T>);
+        unsafe impl<T: Send> Sync for SyncSlots<T> {}
+        impl<T> SyncSlots<T> {
+            /// # Safety
+            /// `i` must be in bounds and written by exactly one thread.
+            unsafe fn write(&self, i: usize, v: T) {
+                *self.0.add(i) = Some(v);
+            }
+        }
+        let ptr = SyncSlots(slots.as_mut_ptr());
+        run_chunked(source, &|i, item| {
+            // SAFETY: `i < n`, every index visited exactly once, and the
+            // Vec outlives the scoped threads inside run_chunked.
+            unsafe { ptr.write(i, item) };
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index filled"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator (owning form).
+pub trait IntoParallelIterator {
+    /// Source produced.
+    type Source: IndexedSource;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Source>;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Source produced.
+    type Source: IndexedSource;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Source>;
+}
+
+/// Source over `Range<usize>`.
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl IndexedSource for RangeSource {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Source = RangeSource;
+
+    fn into_par_iter(self) -> ParIter<RangeSource> {
+        ParIter {
+            source: RangeSource {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            },
+        }
+    }
+}
+
+/// Source over a slice.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceSource<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Source = SliceSource<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Source = SliceSource<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<SliceSource<'a, T>> {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+/// Source over an owned `Vec` (items cloned out per index).
+pub struct VecSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> IndexedSource for VecSource<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, i: usize) -> T {
+        self.items[i].clone()
+    }
+}
+
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Source = VecSource<T>;
+
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
+        ParIter {
+            source: VecSource { items: self },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn slice_par_iter_matches_serial() {
+        let xs: Vec<f64> = (0..500).map(f64::from).collect();
+        let par: Vec<f64> = xs.par_iter().map(|x| x.sqrt()).collect();
+        let ser: Vec<f64> = xs.iter().map(|x| x.sqrt()).collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn sum_is_deterministic() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.1).collect();
+        let a: f64 = xs.par_iter().map(|x| *x).sum();
+        let b: f64 = xs.par_iter().map(|x| *x).sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..777usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), 777);
+    }
+
+    #[test]
+    fn multi_worker_chunking_is_order_preserving() {
+        // Force the threaded branch regardless of host CPU count: on a
+        // single-CPU container `current_num_threads()` is 1 and the
+        // default path would stay serial, leaving the SyncSlots writes
+        // unexercised.
+        struct Sq;
+        impl crate::IndexedSource for Sq {
+            type Item = usize;
+            fn len(&self) -> usize {
+                997 // prime, so chunks never divide evenly
+            }
+            fn get(&self, i: usize) -> usize {
+                i * i
+            }
+        }
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u8; 997]);
+        crate::run_chunked_with(&Sq, 4, &|i, item| {
+            assert_eq!(item, i * i);
+            hits.lock().unwrap()[i] += 1;
+        });
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn owned_vec_into_par_iter() {
+        let xs = vec!["a".to_string(), "b".to_string()];
+        let out: Vec<String> = xs.into_par_iter().map(|s| s + "!").collect();
+        assert_eq!(out, vec!["a!", "b!"]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` implementations for the
+//! in-tree serde stand-in. Written against `proc_macro` directly (no
+//! syn/quote — the registry is unreachable), so it supports exactly the
+//! shapes this workspace derives on:
+//!
+//! * structs with named fields,
+//! * enums whose variants are all unit variants.
+//!
+//! Anything else (tuple structs, generics, data-carrying enums) is a
+//! compile error with a pointed message rather than silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive input.
+enum Shape {
+    /// `struct Name { field, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Variant, ... }`
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skips one attribute (`#` followed by a bracket group) if present.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility modifier (`pub` optionally followed by a paren group).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: &TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "derive on `{name}`: only braced structs/enums are supported \
+                 (no tuple structs or generics)"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                j = skip_vis(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let field = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected field name, got {other:?}")),
+                };
+                fields.push(field);
+                j += 1;
+                match body.get(j) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+                    other => return Err(format!("expected `:` after field, got {other:?}")),
+                }
+                // Skip the type: consume until a comma at angle-bracket depth 0.
+                let mut depth = 0i32;
+                while j < body.len() {
+                    match &body[j] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Ok(Shape::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let variant = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                variants.push(variant);
+                j += 1;
+                match body.get(j) {
+                    None => break,
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                    Some(other) => {
+                        return Err(format!(
+                            "enum `{name}`: only unit variants are supported, got {other:?}"
+                        ))
+                    }
+                }
+            }
+            Ok(Shape::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive on `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error")
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(&input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Obj(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(&input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                         ::serde::Error(format!(\"missing field `{f}` in {name}\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Obj(_) => Ok(Self {{ {inits} }}),\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"expected object for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::Error(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"expected string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated impl parses")
+}

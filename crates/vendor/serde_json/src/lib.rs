@@ -1,0 +1,368 @@
+//! Minimal in-tree stand-in for `serde_json`: renders and parses the
+//! [`serde::Value`] data model used by the in-tree serde stand-in. Supports
+//! the full JSON grammar (numbers, escaped strings, nested arrays/objects),
+//! compact and pretty output.
+
+use serde::{Deserialize, Error, Serialize, Value};
+use std::fmt::Write as _;
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+/// Infallible for the shapes this workspace produces; the `Result` mirrors
+/// the real serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Infallible for the shapes this workspace produces.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        s: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.i)));
+    }
+    T::from_value(&v)
+}
+
+fn render(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => render_number(*n, out),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) => render_seq(out, indent, depth, items.is_empty(), '[', ']', |out| {
+            for (i, item) in items.iter().enumerate() {
+                sep(out, indent, depth + 1, i > 0);
+                render(item, out, indent, depth + 1);
+            }
+        }),
+        Value::Obj(fields) => render_seq(out, indent, depth, fields.is_empty(), '{', '}', |out| {
+            for (i, (k, item)) in fields.iter().enumerate() {
+                sep(out, indent, depth + 1, i > 0);
+                render_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, out, indent, depth + 1);
+            }
+        }),
+    }
+}
+
+fn render_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: char,
+    close: char,
+    body: impl FnOnce(&mut String),
+) {
+    out.push(open);
+    if empty {
+        out.push(close);
+        return;
+    }
+    body(out);
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn sep(out: &mut String, indent: Option<usize>, depth: usize, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn render_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        // Integral values print without a trailing ".0", matching serde_json.
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.i)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.i))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.i))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.i))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.i += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.i += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.i + 4 > self.s.len() {
+                                return Err(Error("truncated \\u escape".into()));
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.i..self.i + 4])
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.i += 4;
+                            // Surrogate pairs are not produced by this
+                            // workspace's writer; map lone surrogates to the
+                            // replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at i - 1.
+                    let start = self.i - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if end > self.s.len() {
+                        return Err(Error("truncated UTF-8 sequence".into()));
+                    }
+                    let chunk = std::str::from_utf8(&self.s[start..end])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.s[start..self.i]).map_err(|_| Error("bad number".into()))?;
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error(format!("bad number `{text}`")))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("ba\"na\\na\n".into())),
+            (
+                "xs".into(),
+                Value::Arr(vec![Value::Num(1.0), Value::Num(-2.5)]),
+            ),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            ("empty".into(), Value::Arr(vec![])),
+        ]);
+        let compact = to_string(&v).unwrap();
+        let back: Value = from_str(&compact).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(to_string(&3u32).unwrap(), "3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Value::Str("héllo ∆ wörld".into());
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+        assert_eq!(
+            from_str::<Value>("\"\\u0041\"").unwrap(),
+            Value::Str("A".into())
+        );
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

@@ -79,7 +79,9 @@ fn header(title: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn axes(out: &mut String, frame: &Frame, x_label: &str, y_label: &str) {
@@ -173,7 +175,12 @@ pub fn scatter_plot(points: &[(f64, f64, u32)], title: &str) -> String {
 
 /// Multi-series line chart. Each series is `(name, points)`.
 #[must_use]
-pub fn line_chart(series: &[(String, Vec<(f64, f64)>)], title: &str, x_label: &str, y_label: &str) -> String {
+pub fn line_chart(
+    series: &[(String, Vec<(f64, f64)>)],
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+) -> String {
     let (x_lo, x_hi) = bounds(series.iter().flat_map(|s| s.1.iter().map(|p| p.0)));
     let (y_lo, y_hi) = bounds(series.iter().flat_map(|s| s.1.iter().map(|p| p.1)));
     let frame = Frame {
@@ -473,7 +480,10 @@ pub fn rank_heatmap(
     ranks: &[Vec<usize>],
     title: &str,
 ) -> String {
-    assert!(!row_names.is_empty() && !col_names.is_empty(), "empty heatmap");
+    assert!(
+        !row_names.is_empty() && !col_names.is_empty(),
+        "empty heatmap"
+    );
     assert_eq!(ranks.len(), row_names.len(), "ragged heatmap rows");
     for r in ranks {
         assert_eq!(r.len(), col_names.len(), "ragged heatmap cols");

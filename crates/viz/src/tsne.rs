@@ -173,7 +173,9 @@ pub fn tsne_2d(data: &Dataset, config: &TsneConfig) -> Vec<[f64; 2]> {
             yi[1] += vi[1];
         }
         // recenter
-        let mean = y.iter().fold([0.0f64; 2], |m, v| [m[0] + v[0], m[1] + v[1]]);
+        let mean = y
+            .iter()
+            .fold([0.0f64; 2], |m, v| [m[0] + v[0], m[1] + v[1]]);
         let mean = [mean[0] / n as f64, mean[1] / n as f64];
         for yi in y.iter_mut() {
             yi[0] -= mean[0];
@@ -212,7 +214,10 @@ mod tests {
         let emb = tsne_2d(&d, &small_cfg());
         // centroid distance in embedding should dominate intra-class spread
         let centroid = |c: u32| {
-            let pts: Vec<&[f64; 2]> = (0..60).filter(|&i| d.label(i) == c).map(|i| &emb[i]).collect();
+            let pts: Vec<&[f64; 2]> = (0..60)
+                .filter(|&i| d.label(i) == c)
+                .map(|i| &emb[i])
+                .collect();
             let n = pts.len() as f64;
             [
                 pts.iter().map(|p| p[0]).sum::<f64>() / n,

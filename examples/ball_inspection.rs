@@ -27,7 +27,10 @@ fn main() {
     println!("  mean radius      : {:.3}", stats.mean_radius);
     println!("  min purity       : {:.3}", stats.min_purity);
     println!("  overlapping pairs: {}", stats.overlapping_pairs);
-    println!("  coverage         : {:.3} (uncovered rows are detected noise)", stats.coverage);
+    println!(
+        "  coverage         : {:.3} (uncovered rows are detected noise)",
+        stats.coverage
+    );
     match verify_rdgbg_invariants(&data, &model) {
         Ok(()) => println!("  invariants       : all hold (pure, disjoint, exact partition)"),
         Err(e) => println!("  invariants       : VIOLATED — {e}"),
@@ -61,7 +64,5 @@ fn main() {
         "  overlapping pairs: {}   <- class-boundary blur the paper fixes",
         cstats.overlapping_pairs
     );
-    println!(
-        "  members outside their own radius: {escapees}   <- mean-radius leakage (Eq. 1)"
-    );
+    println!("  members outside their own radius: {escapees}   <- mean-radius leakage (Eq. 1)");
 }

@@ -12,6 +12,7 @@
 
 use gb_bench::granulation::{run_generator, Generator};
 use gb_dataset::catalog::DatasetId;
+use gb_dataset::index::GranulationBackend;
 use gb_dataset::noise::inject_class_noise;
 
 fn main() {
@@ -34,7 +35,7 @@ fn main() {
                 "generator", "balls", "overlaps", "purity", "outside", "coverage", "gen ms"
             );
             for g in Generator::ALL {
-                let q = run_generator(&data, g, 0);
+                let q = run_generator(&data, g, 0, GranulationBackend::Auto);
                 println!(
                     "{:<12} {:>7} {:>10} {:>8.4} {:>9.4} {:>9.4} {:>8.1}",
                     g.name(),

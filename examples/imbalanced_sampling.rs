@@ -41,7 +41,10 @@ fn main() {
         sizes.push(s.sampling_ratio);
     }
     let ranks = ordinal_ranks(&gmeans);
-    println!("{:<7} {:>8} {:>9} {:>12} {:>5}", "method", "G-mean", "accuracy", "train ratio", "rank");
+    println!(
+        "{:<7} {:>8} {:>9} {:>12} {:>5}",
+        "method", "G-mean", "accuracy", "train ratio", "rank"
+    );
     for i in 0..names.len() {
         println!(
             "{:<7} {:>8.4} {:>9.4} {:>12.2} {:>5}",

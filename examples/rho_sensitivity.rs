@@ -38,7 +38,10 @@ fn main() {
         train.n_features(),
         train.n_classes()
     );
-    println!("{:>4} {:>14} {:>12} {:>12}", "rho", "sampling ratio", "DT accuracy", "noise rows");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12}",
+        "rho", "sampling ratio", "DT accuracy", "noise rows"
+    );
     for rho in (3..=19).step_by(2) {
         let cfg = RdGbgConfig {
             density_tolerance: rho,

@@ -19,8 +19,10 @@ use gbabs::{gbabs, RdGbgConfig};
 use std::time::Instant;
 
 fn main() {
-    println!("{:<10} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
-        "dataset", "N full", "N GBABS", "acc full", "acc GBABS", "fit full", "fit GBABS");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "dataset", "N full", "N GBABS", "acc full", "acc GBABS", "fit full", "fit GBABS"
+    );
     for id in [DatasetId::S5, DatasetId::S9, DatasetId::S10] {
         let data = id.generate(0.2, 42);
         let (train_idx, test_idx) = stratified_holdout(&data, 0.3, 7);

@@ -1,0 +1,13 @@
+//! Umbrella crate for the GBABS reproduction workspace.
+//!
+//! The real code lives in the `crates/` members; this package exists so the
+//! workspace-level integration tests (`tests/`) and examples (`examples/`)
+//! have a host. It re-exports the member crates for convenience.
+
+pub use gb_bench;
+pub use gb_classifiers;
+pub use gb_dataset;
+pub use gb_metrics;
+pub use gb_sampling;
+pub use gb_viz;
+pub use gbabs;

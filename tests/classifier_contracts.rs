@@ -41,7 +41,12 @@ fn every_family_learns_separable_blobs() {
     for kind in ClassifierKind::EXTENDED {
         let model = kind.fit(&d, 0);
         let acc = accuracy(d.labels(), &model.predict(&d));
-        assert_eq!(acc, 1.0, "{} failed on trivially separable data", kind.name());
+        assert_eq!(
+            acc,
+            1.0,
+            "{} failed on trivially separable data",
+            kind.name()
+        );
     }
 }
 
@@ -61,8 +66,7 @@ fn every_family_generalizes_beyond_majority_rate() {
     let (train_idx, test_idx) = stratified_holdout(&d, 0.3, 3);
     let train = d.select(&train_idx);
     let test = d.select(&test_idx);
-    let majority =
-        *test.class_counts().iter().max().unwrap() as f64 / test.n_samples() as f64;
+    let majority = *test.class_counts().iter().max().unwrap() as f64 / test.n_samples() as f64;
     for kind in ClassifierKind::EXTENDED {
         let model = kind.fit_fast(&train, 0);
         let acc = accuracy(test.labels(), &model.predict(&test));
@@ -81,11 +85,7 @@ fn single_class_training_predicts_that_class() {
     let d = Dataset::from_parts((0..24).map(f64::from).collect(), vec![0; 24], 1, 1);
     for kind in ClassifierKind::EXTENDED {
         let model = kind.fit_fast(&d, 0);
-        assert!(
-            model.predict(&d).iter().all(|&p| p == 0),
-            "{}",
-            kind.name()
-        );
+        assert!(model.predict(&d).iter().all(|&p| p == 0), "{}", kind.name());
     }
 }
 
@@ -98,5 +98,8 @@ fn extended_set_contains_paper_set() {
             k.name()
         );
     }
-    assert_eq!(ClassifierKind::EXTENDED.len(), ClassifierKind::ALL.len() + 1);
+    assert_eq!(
+        ClassifierKind::EXTENDED.len(),
+        ClassifierKind::ALL.len() + 1
+    );
 }

@@ -30,8 +30,22 @@ fn catalog_generation_is_seed_deterministic() {
 #[test]
 fn gbabs_is_seed_deterministic() {
     let d = DatasetId::S5.generate(0.04, 3);
-    let a = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 9, ..Default::default() });
-    let b = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 9, ..Default::default() });
+    let a = gbabs(
+        &d,
+        &RdGbgConfig {
+            density_tolerance: 5,
+            seed: 9,
+            ..Default::default()
+        },
+    );
+    let b = gbabs(
+        &d,
+        &RdGbgConfig {
+            density_tolerance: 5,
+            seed: 9,
+            ..Default::default()
+        },
+    );
     assert_eq!(a.sampled_rows, b.sampled_rows);
     assert_eq!(a.borderline_balls, b.borderline_balls);
     assert_eq!(a.model.noise, b.model.noise);
@@ -60,8 +74,22 @@ fn full_evaluation_is_reproducible_despite_threading() {
 #[test]
 fn different_seeds_change_stochastic_components() {
     let d = DatasetId::S5.generate(0.04, 3);
-    let a = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 1, ..Default::default() });
-    let b = gbabs(&d, &RdGbgConfig { density_tolerance: 5, seed: 2, ..Default::default() });
+    let a = gbabs(
+        &d,
+        &RdGbgConfig {
+            density_tolerance: 5,
+            seed: 1,
+            ..Default::default()
+        },
+    );
+    let b = gbabs(
+        &d,
+        &RdGbgConfig {
+            density_tolerance: 5,
+            seed: 2,
+            ..Default::default()
+        },
+    );
     // center selection is random, so covers generally differ
     assert_ne!(
         a.model

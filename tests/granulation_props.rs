@@ -158,3 +158,77 @@ proptest! {
         prop_assert!(cd_n > 0.0);
     }
 }
+
+/// ISSUE 1 acceptance property: for every concrete backend and seeds 0..8,
+/// the indexed `rd_gbg` produces a model identical to the brute-force
+/// reference — same balls (members, radii, labels, centers), same noise
+/// list, same iteration count — and the cover invariants hold. A seeded
+/// loop rather than `proptest!` so the cross-backend comparison is explicit
+/// per (dataset, seed) pair.
+#[test]
+fn indexed_rdgbg_is_bit_identical_to_brute_reference() {
+    use gb_dataset::catalog::DatasetId;
+    use gb_dataset::index::GranulationBackend;
+    use gb_dataset::noise::inject_class_noise;
+    use gbabs::diagnostics::verify_rdgbg_invariants;
+    use gbabs::{rd_gbg, RdGbgConfig};
+
+    // Shapes that exercise all tree regimes: 2-d banana, 2-d imbalanced
+    // blobs, an 8-d multiclass cloud, and a noisy variant (non-empty noise
+    // list + low-density churn).
+    let mut datasets = vec![
+        DatasetId::S5.generate(0.04, 1),
+        DatasetId::S2.generate(0.12, 2),
+        DatasetId::S8.generate(0.03, 3),
+    ];
+    datasets.push(inject_class_noise(&datasets[0], 0.15, 4).0);
+
+    for (di, data) in datasets.iter().enumerate() {
+        for seed in 0u64..8 {
+            let cfg = RdGbgConfig {
+                seed,
+                ..RdGbgConfig::default()
+            };
+            let reference = rd_gbg(data, &cfg.with_backend(GranulationBackend::Brute));
+            verify_rdgbg_invariants(data, &reference)
+                .unwrap_or_else(|e| panic!("dataset {di} seed {seed} (brute): {e}"));
+            for backend in [GranulationBackend::KdTree, GranulationBackend::VpTree] {
+                let model = rd_gbg(data, &cfg.with_backend(backend));
+                verify_rdgbg_invariants(data, &model)
+                    .unwrap_or_else(|e| panic!("dataset {di} seed {seed} ({backend}): {e}"));
+                assert_eq!(
+                    model.noise, reference.noise,
+                    "noise differs: dataset {di} seed {seed} {backend}"
+                );
+                assert_eq!(
+                    model.iterations, reference.iterations,
+                    "iterations differ: dataset {di} seed {seed} {backend}"
+                );
+                assert_eq!(
+                    model.orphan_count, reference.orphan_count,
+                    "orphans differ: dataset {di} seed {seed} {backend}"
+                );
+                assert_eq!(
+                    model.balls.len(),
+                    reference.balls.len(),
+                    "ball count differs: dataset {di} seed {seed} {backend}"
+                );
+                for (bi, (a, b)) in model.balls.iter().zip(reference.balls.iter()).enumerate() {
+                    assert_eq!(
+                        a.members, b.members,
+                        "ball {bi} members: dataset {di} seed {seed} {backend}"
+                    );
+                    assert!(
+                        a.radius == b.radius,
+                        "ball {bi} radius {} vs {}: dataset {di} seed {seed} {backend}",
+                        a.radius,
+                        b.radius
+                    );
+                    assert_eq!(a.label, b.label);
+                    assert_eq!(a.center, b.center);
+                    assert_eq!(a.center_row, b.center_row);
+                }
+            }
+        }
+    }
+}

@@ -13,8 +13,7 @@ fn rdgbg_invariants_hold_across_catalog() {
     for id in DatasetId::ALL {
         let data = id.generate(0.02, 9);
         let model = rd_gbg(&data, &RdGbgConfig::default());
-        verify_rdgbg_invariants(&data, &model)
-            .unwrap_or_else(|e| panic!("{}: {e}", id.rename()));
+        verify_rdgbg_invariants(&data, &model).unwrap_or_else(|e| panic!("{}: {e}", id.rename()));
     }
 }
 
@@ -24,8 +23,7 @@ fn rdgbg_invariants_hold_under_all_noise_levels() {
     for &noise in &[0.05, 0.10, 0.20, 0.30, 0.40] {
         let (noisy, _) = inject_class_noise(&base, noise, 7);
         let model = rd_gbg(&noisy, &RdGbgConfig::default());
-        verify_rdgbg_invariants(&noisy, &model)
-            .unwrap_or_else(|e| panic!("noise {noise}: {e}"));
+        verify_rdgbg_invariants(&noisy, &model).unwrap_or_else(|e| panic!("noise {noise}: {e}"));
     }
 }
 

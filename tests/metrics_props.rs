@@ -2,9 +2,7 @@
 //! cross-metric consistency laws that must hold for arbitrary prediction
 //! vectors.
 
-use gb_metrics::{
-    accuracy, balanced_accuracy, g_mean, macro_f1, macro_precision, ConfusionMatrix,
-};
+use gb_metrics::{accuracy, balanced_accuracy, g_mean, macro_f1, macro_precision, ConfusionMatrix};
 use proptest::prelude::*;
 
 /// Random (truth, prediction) pair over `q` classes where every class

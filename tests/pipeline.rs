@@ -91,13 +91,7 @@ fn srs_ratio_tracks_gbabs_ratio() {
     // Paper §V-A3: SRS keeps the same fraction GBABS does.
     let data = DatasetId::S5.generate(0.06, 5);
     let cfg = tiny_cfg();
-    let gbabs_folds = evaluate(
-        &data,
-        SamplerKind::Gbabs,
-        ClassifierKind::Knn,
-        0.0,
-        &cfg,
-    );
+    let gbabs_folds = evaluate(&data, SamplerKind::Gbabs, ClassifierKind::Knn, 0.0, &cfg);
     let srs_folds = evaluate(&data, SamplerKind::Srs, ClassifierKind::Knn, 0.0, &cfg);
     for (g, s) in gbabs_folds.iter().zip(srs_folds.iter()) {
         assert!(

@@ -78,7 +78,10 @@ fn check_contracts(data: &Dataset, seed: u64) {
             assert!(out.dataset.n_samples() > 0, "{name}: emptied the dataset");
         }
         assert!(
-            out.dataset.labels().iter().all(|&l| (l as usize) < data.n_classes()),
+            out.dataset
+                .labels()
+                .iter()
+                .all(|&l| (l as usize) < data.n_classes()),
             "{name}: out-of-range label"
         );
 
@@ -97,7 +100,11 @@ fn check_contracts(data: &Dataset, seed: u64) {
 
         // kept_rows consistency.
         if let Some(kept) = &out.kept_rows {
-            assert_eq!(kept.len(), out.dataset.n_samples(), "{name}: kept_rows length");
+            assert_eq!(
+                kept.len(),
+                out.dataset.n_samples(),
+                "{name}: kept_rows length"
+            );
             assert!(
                 kept.windows(2).all(|w| w[0] < w[1]),
                 "{name}: kept_rows not sorted-unique"
