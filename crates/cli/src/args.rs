@@ -92,6 +92,15 @@ pub struct Cli {
     /// Neighbour-index backend for the RD-GBG granulation. All backends
     /// produce identical output; this only selects the query asymptotics.
     pub backend: GranulationBackend,
+    /// Listen address (`serve` only).
+    pub addr: String,
+    /// GB-kNN vote size k (`serve` only).
+    pub k: usize,
+    /// Server worker threads (`serve` only).
+    pub workers: usize,
+    /// Micro-batch concurrent predictions (`serve` only; `--no-batch`
+    /// disables).
+    pub micro_batch: bool,
 }
 
 /// Subcommands.
@@ -101,6 +110,8 @@ pub enum Command {
     Sample,
     /// Print a granulation report.
     Inspect,
+    /// Granulate a CSV and serve predictions over HTTP.
+    Serve,
 }
 
 /// Parse failures, rendered to the user with usage text.
@@ -124,12 +135,16 @@ pub enum ParseError {
     UnknownBackend(String),
     /// Ratio-based method without `--ratio`, or ratio out of (0, 1].
     BadRatio,
+    /// `--rho` below 2 (the density rules need ρ ≥ 2).
+    BadRho,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ParseError::MissingCommand => write!(f, "missing subcommand (sample | inspect)"),
+            ParseError::MissingCommand => {
+                write!(f, "missing subcommand (sample | inspect | serve)")
+            }
             ParseError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
             ParseError::MissingInput => write!(f, "missing input CSV path"),
             ParseError::MissingOutput => write!(f, "sample requires -o/--output"),
@@ -152,6 +167,9 @@ impl fmt::Display for ParseError {
             ParseError::BadRatio => {
                 write!(f, "this method requires --ratio in (0, 1]")
             }
+            ParseError::BadRho => {
+                write!(f, "--rho must be at least 2 (the density rules h == 1, 1 < h < rho, h == rho need it)")
+            }
         }
     }
 }
@@ -163,6 +181,8 @@ pub const USAGE: &str = "\
 usage:
   gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S] [--backend B]
   gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
+  gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
+                [--k K] [--workers W] [--no-batch]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
          smote, borderline-smote, adasyn, tomek, cnn, enn,
@@ -172,11 +192,15 @@ methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
 options:
   -o, --output PATH   output CSV (sample)
   --method M          sampling method (default gbabs)
-  --rho N             RD-GBG density tolerance (default 5)
+  --rho N             RD-GBG density tolerance (default 5, minimum 2)
   --ratio R           keep ratio in (0,1] for the general samplers
   --seed S            RNG seed (default 42)
   --backend B         granulation index: auto (default), brute, kdtree,
                       vptree — output-identical, speed differs
+  --addr HOST:PORT    serve listen address (default 127.0.0.1:8080)
+  --k K               serve: GB-kNN vote size (default 1)
+  --workers W         serve: worker threads (default 8)
+  --no-batch          serve: disable predict micro-batching
 ";
 
 /// Parses `args` (without the program name).
@@ -189,6 +213,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         None => return Err(ParseError::MissingCommand),
         Some("sample") => Command::Sample,
         Some("inspect") => Command::Inspect,
+        Some("serve") => Command::Serve,
         Some(other) => return Err(ParseError::UnknownCommand(other.to_string())),
     };
     let mut cli = Cli {
@@ -200,6 +225,10 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         ratio: None,
         seed: 42,
         backend: GranulationBackend::Auto,
+        addr: "127.0.0.1:8080".to_string(),
+        k: 1,
+        workers: 8,
+        micro_batch: true,
     };
     let mut have_input = false;
     while let Some(arg) = it.next() {
@@ -236,6 +265,24 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 cli.backend =
                     GranulationBackend::from_str_opt(&v).ok_or(ParseError::UnknownBackend(v))?;
             }
+            "--addr" => cli.addr = value(arg)?,
+            "--k" => {
+                cli.k = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+                if cli.k == 0 {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
+            }
+            "--workers" => {
+                cli.workers = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+                if cli.workers == 0 {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
+            }
+            "--no-batch" => cli.micro_batch = false,
             flag if flag.starts_with('-') => return Err(ParseError::UnknownFlag(flag.to_string())),
             path => {
                 if have_input {
@@ -254,6 +301,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     }
     if cli.method.needs_ratio() && !cli.ratio.is_some_and(|r| r > 0.0 && r <= 1.0) {
         return Err(ParseError::BadRatio);
+    }
+    if cli.rho < 2 {
+        return Err(ParseError::BadRho);
     }
     Ok(cli)
 }
@@ -354,6 +404,45 @@ mod tests {
         assert_eq!(
             parse(&argv("sample -o o.csv")),
             Err(ParseError::MissingInput)
+        );
+    }
+
+    #[test]
+    fn parses_serve_with_options() {
+        let cli = parse(&argv(
+            "serve data.csv --addr 0.0.0.0:9000 --k 3 --workers 2 --no-batch --rho 7",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.addr, "0.0.0.0:9000");
+        assert_eq!(cli.k, 3);
+        assert_eq!(cli.workers, 2);
+        assert!(!cli.micro_batch);
+        assert_eq!(cli.rho, 7);
+        let defaults = parse(&argv("serve data.csv")).unwrap();
+        assert_eq!(defaults.addr, "127.0.0.1:8080");
+        assert_eq!(defaults.k, 1);
+        assert_eq!(defaults.workers, 8);
+        assert!(defaults.micro_batch);
+    }
+
+    #[test]
+    fn degenerate_rho_and_serve_values_rejected() {
+        assert_eq!(
+            parse(&argv("inspect data.csv --rho 1")),
+            Err(ParseError::BadRho)
+        );
+        assert_eq!(
+            parse(&argv("inspect data.csv --rho 0")),
+            Err(ParseError::BadRho)
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --k 0")),
+            Err(ParseError::BadValue("--k".into()))
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --workers 0")),
+            Err(ParseError::BadValue("--workers".into()))
         );
     }
 

@@ -43,25 +43,36 @@ pub fn build_sampler(
 
 /// Runs a parsed command line. Returns the human-readable report that
 /// `main` prints (side effects: reads the input CSV, and for `sample`
-/// writes the output CSV).
+/// writes the output CSV; `serve` never returns on success).
 ///
 /// # Errors
-/// Any I/O or CSV-format failure, stringified for the user.
+/// Any I/O or CSV-format failure, and degenerate inputs (zero data rows,
+/// a single class where sampling needs two) — stringified for the user
+/// instead of panicking.
 pub fn run(cli: &Cli) -> Result<String, String> {
     let data = read_csv(&cli.input, &CsvOptions::default())
-        .map_err(|e| format!("{}: {e:?}", cli.input.display()))?;
+        .map_err(|e| format!("{}: {e}", cli.input.display()))?;
     match cli.command {
         Command::Sample => sample(cli, &data),
         Command::Inspect => Ok(inspect(cli, &data)),
+        Command::Serve => serve(cli, &data),
     }
 }
 
 fn sample(cli: &Cli, data: &Dataset) -> Result<String, String> {
+    if data.n_classes() < 2 && cli.method == Method::Gbabs {
+        return Err(format!(
+            "{}: all {} rows share one class label; borderline sampling \
+             needs at least 2 classes",
+            cli.input.display(),
+            data.n_samples()
+        ));
+    }
     let sampler = build_sampler(cli.method, cli.rho, cli.ratio, cli.backend);
     let out = sampler.sample(data, cli.seed);
     if out.dataset.n_samples() == 0 {
         return Err(format!(
-            "{} produced an empty sample (single-class input?); nothing written",
+            "{} produced an empty sample; nothing written",
             sampler.name()
         ));
     }
@@ -150,6 +161,64 @@ fn inspect(cli: &Cli, data: &Dataset) -> String {
     report
 }
 
+/// `gbabs serve`: granulate the input once, register it as model
+/// `default`, and serve predictions until the process is killed.
+///
+/// # Errors
+/// Bind failures and degenerate inputs, stringified.
+fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
+    use gb_serve::registry::LoadOptions;
+    use gb_serve::{ModelRegistry, ServeConfig, Server};
+    use std::sync::Arc;
+
+    let cfg = RdGbgConfig {
+        density_tolerance: cli.rho,
+        seed: cli.seed,
+        backend: cli.backend,
+        ..RdGbgConfig::default()
+    };
+    let model = gbabs::rd_gbg(data, &cfg);
+    let registry = Arc::new(ModelRegistry::new());
+    let served = registry
+        .load(
+            "default",
+            &model,
+            &LoadOptions {
+                k: cli.k,
+                n_classes: Some(data.n_classes()),
+                backend: cli.backend,
+                ..LoadOptions::default()
+            },
+        )
+        .map_err(|e| format!("{}: {e}", cli.input.display()))?;
+    let server = Server::bind(
+        ServeConfig {
+            addr: cli.addr.clone(),
+            workers: cli.workers,
+            micro_batch: cli.micro_batch,
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .map_err(|e| format!("bind {}: {e}", cli.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serving '{}' ({} balls over {} rows, k = {}, backend {}) on http://{addr}",
+        data.name(),
+        served.stats.n_balls,
+        data.n_samples(),
+        cli.k,
+        cli.backend,
+    );
+    println!(
+        "endpoints: POST /predict | POST /sample | POST /models/{{name}} | \
+         GET /model /models /healthz /metrics"
+    );
+    let handle = server.start().map_err(|e| e.to_string())?;
+    handle.wait();
+    Ok(String::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +305,34 @@ mod tests {
         let cli = parse(&argv("inspect /nonexistent/nope.csv")).unwrap();
         let err = run(&cli).unwrap_err();
         assert!(err.contains("nope.csv"), "{err}");
+    }
+
+    #[test]
+    fn empty_csv_is_a_clean_error() {
+        let path = std::env::temp_dir().join("gbabs_cli_empty.csv");
+        std::fs::write(&path, "f0,f1,label\n").unwrap();
+        let cli = parse(&argv(&format!("inspect {}", path.display()))).unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.contains("no data rows"), "{err}");
+    }
+
+    #[test]
+    fn single_class_sample_is_a_clean_error() {
+        let path = std::env::temp_dir().join("gbabs_cli_oneclass.csv");
+        std::fs::write(&path, "f0,label\n1.0,a\n2.0,a\n3.0,a\n").unwrap();
+        let out = std::env::temp_dir().join("gbabs_cli_oneclass_out.csv");
+        let cli = parse(&argv(&format!(
+            "sample {} -o {}",
+            path.display(),
+            out.display()
+        )))
+        .unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.contains("one class"), "{err}");
+        assert!(!out.exists() || std::fs::read_to_string(&out).unwrap().is_empty());
+        // inspect still works on single-class data (report, no sampling)
+        let cli = parse(&argv(&format!("inspect {}", path.display()))).unwrap();
+        let report = run(&cli).expect("inspect runs on single-class input");
+        assert!(report.contains("RD-GBG"), "{report}");
     }
 }

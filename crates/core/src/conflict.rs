@@ -1,0 +1,323 @@
+//! Incremental max-radius KD-tree over finished balls.
+//!
+//! Two hot queries run against a growing set of balls:
+//!
+//! * the Eq.-4 **conflict radius** `min_b (‖center_b − c‖ − r_b)⁺` used by
+//!   RD-GBG while growing a new ball, and
+//! * the **overlap count** `|{b : ‖center_b − c‖ < r_b + r − eps}|` used by
+//!   [`crate::diagnostics::count_overlaps`] to audit a cover.
+//!
+//! Structure: an arena KD-tree over the centers of the balls inserted so
+//! far, with each split node carrying the **maximum radius of its subtree**
+//! so a whole branch prunes once the axis gap minus `r_max` already decides
+//! the query. New balls land in a linear `recent` buffer (scanned brute per
+//! query) and the tree is rebuilt once the buffer outgrows the indexed part
+//! — LSM-style, so insertion stays O(1) amortized-ish and both queries run
+//! in O(log m) in practice instead of O(m) / O(m²).
+//!
+//! Exactness: leaf-level predicates evaluate the same floating-point
+//! expressions as the naive loops (`euclidean − r` for the gap,
+//! `GranularBall::overlaps`'s `dist < r_a + r_b − eps` for overlap), pruning
+//! bounds are relaxed by `1 − 1e−12` so `sqrt` rounding can only cause
+//! extra visits, and `min`/counting are order-independent — results are
+//! bit-identical to the brute scans.
+
+use gb_dataset::distance::euclidean;
+
+pub(crate) struct BallConflictIndex {
+    /// Flattened centers of every ball seen (row-major).
+    centers: Vec<f64>,
+    radii: Vec<f64>,
+    n_features: usize,
+    nodes: Vec<ConflictNode>,
+    root: u32,
+    /// Balls `0..indexed` live in the tree; `indexed..len` are the brute
+    /// buffer.
+    indexed: usize,
+}
+
+enum ConflictNode {
+    Leaf {
+        balls: Vec<u32>,
+    },
+    Split {
+        dim: usize,
+        value: f64,
+        /// Max ball radius within this subtree (pruning slack).
+        r_max: f64,
+        left: u32,
+        right: u32,
+    },
+}
+
+const NO_NODE: u32 = u32::MAX;
+const CONFLICT_LEAF: usize = 16;
+const CONFLICT_PRUNE_SLACK: f64 = 1.0 - 1e-12;
+
+impl BallConflictIndex {
+    pub(crate) fn new(n_features: usize) -> Self {
+        Self {
+            centers: Vec::new(),
+            radii: Vec::new(),
+            n_features,
+            nodes: Vec::new(),
+            root: NO_NODE,
+            indexed: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.radii.len()
+    }
+
+    fn center(&self, i: u32) -> &[f64] {
+        let i = i as usize;
+        &self.centers[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    pub(crate) fn push(&mut self, center: &[f64], radius: f64) {
+        debug_assert_eq!(center.len(), self.n_features);
+        self.centers.extend_from_slice(center);
+        self.radii.push(radius);
+        // Rebuild once the linear buffer outgrows the indexed portion.
+        if self.len() - self.indexed > 64.max(self.indexed) {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.nodes.clear();
+        self.indexed = self.len();
+        let mut balls: Vec<u32> = (0..self.len() as u32).collect();
+        self.root = self.build_rec(&mut balls);
+    }
+
+    /// Median-split build; each split memoizes its subtree's max radius.
+    fn build_rec(&mut self, balls: &mut [u32]) -> u32 {
+        if balls.is_empty() {
+            return NO_NODE;
+        }
+        if balls.len() <= CONFLICT_LEAF {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ConflictNode::Leaf {
+                balls: balls.to_vec(),
+            });
+            return id;
+        }
+        // Widest-spread dimension.
+        let mut best_dim = 0;
+        let mut best_spread = -1.0;
+        for d in 0..self.n_features {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &b in balls.iter() {
+                let v = self.center(b)[d];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_dim = d;
+            }
+        }
+        if best_spread <= 0.0 {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ConflictNode::Leaf {
+                balls: balls.to_vec(),
+            });
+            return id;
+        }
+        let mid = balls.len() / 2;
+        balls.select_nth_unstable_by(mid, |&a, &b| {
+            self.center(a)[best_dim]
+                .partial_cmp(&self.center(b)[best_dim])
+                .expect("finite centers")
+                .then_with(|| a.cmp(&b))
+        });
+        let value = self.center(balls[mid])[best_dim];
+        let (mut left, mut right): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+        for &b in balls.iter() {
+            if self.center(b)[best_dim] <= value {
+                left.push(b);
+            } else {
+                right.push(b);
+            }
+        }
+        if left.is_empty() || right.is_empty() {
+            // All coords equal to the median on this axis despite spread —
+            // fall back to an (oversized) leaf rather than recurse forever.
+            let id = self.nodes.len() as u32;
+            self.nodes.push(ConflictNode::Leaf {
+                balls: balls.to_vec(),
+            });
+            return id;
+        }
+        let r_max = balls
+            .iter()
+            .map(|&b| self.radii[b as usize])
+            .fold(0.0f64, f64::max);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(ConflictNode::Leaf { balls: Vec::new() }); // placeholder
+        let l = self.build_rec(&mut left);
+        let r = self.build_rec(&mut right);
+        self.nodes[id as usize] = ConflictNode::Split {
+            dim: best_dim,
+            value,
+            r_max,
+            left: l,
+            right: r,
+        };
+        id
+    }
+
+    #[inline]
+    fn gap(&self, ball: u32, c: &[f64]) -> f64 {
+        (euclidean(self.center(ball), c) - self.radii[ball as usize]).max(0.0)
+    }
+
+    /// `min_b (‖center_b − c‖ − r_b)⁺`, or `+inf` with no balls.
+    pub(crate) fn conflict_radius(&self, c: &[f64]) -> f64 {
+        let mut best = f64::INFINITY;
+        // Brute buffer first (most recent balls are usually nearby).
+        for b in self.indexed as u32..self.len() as u32 {
+            best = best.min(self.gap(b, c));
+        }
+        if self.root != NO_NODE {
+            self.query_rec(self.root, c, &mut best);
+        }
+        best
+    }
+
+    fn query_rec(&self, node: u32, c: &[f64], best: &mut f64) {
+        match &self.nodes[node as usize] {
+            ConflictNode::Leaf { balls } => {
+                for &b in balls {
+                    *best = best.min(self.gap(b, c));
+                }
+            }
+            ConflictNode::Split {
+                dim,
+                value,
+                r_max,
+                left,
+                right,
+            } => {
+                let diff = c[*dim] - value;
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.query_rec(near, c, best);
+                // Any ball on the far side is at least |diff| away from c
+                // on this axis, so its gap is ≥ |diff| − r_max.
+                if (diff.abs() - r_max) * CONFLICT_PRUNE_SLACK <= *best {
+                    self.query_rec(far, c, best);
+                }
+            }
+        }
+    }
+
+    /// Number of inserted balls whose sphere overlaps the sphere
+    /// `(c, radius)` — the exact predicate of `GranularBall::overlaps`:
+    /// `‖center_b − c‖ < r_b + radius − eps`.
+    pub(crate) fn count_overlapping(&self, c: &[f64], radius: f64, eps: f64) -> usize {
+        let mut count = 0;
+        for b in self.indexed as u32..self.len() as u32 {
+            if euclidean(self.center(b), c) < self.radii[b as usize] + radius - eps {
+                count += 1;
+            }
+        }
+        if self.root != NO_NODE {
+            self.count_rec(self.root, c, radius, eps, &mut count);
+        }
+        count
+    }
+
+    fn count_rec(&self, node: u32, c: &[f64], radius: f64, eps: f64, count: &mut usize) {
+        match &self.nodes[node as usize] {
+            ConflictNode::Leaf { balls } => {
+                for &b in balls {
+                    if euclidean(self.center(b), c) < self.radii[b as usize] + radius - eps {
+                        *count += 1;
+                    }
+                }
+            }
+            ConflictNode::Split {
+                dim,
+                value,
+                r_max,
+                left,
+                right,
+            } => {
+                let diff = c[*dim] - value;
+                let (near, far) = if diff <= 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.count_rec(near, c, radius, eps, count);
+                // A far-side ball is ≥ |diff| from c, so it overlaps only if
+                // |diff| < r_max + radius − eps. Relaxed so rounding can
+                // only cause extra visits, never a miss.
+                if diff.abs() * CONFLICT_PRUNE_SLACK < r_max + radius - eps {
+                    self.count_rec(far, c, radius, eps, count);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::rng::rng_from_seed;
+    use rand::Rng;
+
+    fn random_balls(n: usize, d: usize, seed: u64) -> Vec<(Vec<f64>, f64)> {
+        let mut rng = rng_from_seed(seed);
+        (0..n)
+            .map(|_| {
+                let c: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..10.0)).collect();
+                let r = rng.gen_range(0.0..0.6);
+                (c, r)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn conflict_radius_matches_brute_min() {
+        let balls = random_balls(500, 3, 1);
+        let mut idx = BallConflictIndex::new(3);
+        let mut rng = rng_from_seed(2);
+        for (c, r) in &balls {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let brute = (0..idx.len() as u32)
+                .map(|b| (euclidean(idx.center(b), &q) - idx.radii[b as usize]).max(0.0))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(idx.conflict_radius(&q), brute);
+            idx.push(c, *r);
+        }
+    }
+
+    #[test]
+    fn overlap_count_matches_brute_scan() {
+        let balls = random_balls(800, 2, 3);
+        let mut idx = BallConflictIndex::new(2);
+        for (i, (c, r)) in balls.iter().enumerate() {
+            let brute = balls[..i]
+                .iter()
+                .filter(|(bc, br)| euclidean(bc, c) < br + r - 1e-9)
+                .count();
+            assert_eq!(idx.count_overlapping(c, *r, 1e-9), brute, "ball {i}");
+            idx.push(c, *r);
+        }
+    }
+
+    #[test]
+    fn empty_index_answers() {
+        let idx = BallConflictIndex::new(4);
+        assert_eq!(idx.conflict_radius(&[0.0; 4]), f64::INFINITY);
+        assert_eq!(idx.count_overlapping(&[0.0; 4], 1.0, 1e-9), 0);
+    }
+}

@@ -80,8 +80,33 @@ pub fn cover_stats(data: &Dataset, balls: &[GranularBall]) -> CoverStats {
 /// Number of unordered ball pairs whose spheres overlap beyond `eps`.
 /// The paper's key structural complaint about classic GBG; RD-GBG covers
 /// must return 0.
+///
+/// Runs on the same max-radius KD-tree that answers RD-GBG's Eq.-4
+/// conflict-radius query ([`crate::conflict`]): balls are inserted one by
+/// one and each counts its overlaps against the balls already indexed, so
+/// the scan is O(m·log m) in practice instead of the O(m²) pairwise loop —
+/// with bit-identical counts (the leaf predicate is exactly
+/// [`GranularBall::overlaps`]; see `count_overlaps_pairwise`-vs-indexed
+/// tests below).
 #[must_use]
 pub fn count_overlaps(balls: &[GranularBall], eps: f64) -> usize {
+    let Some(first) = balls.first() else {
+        return 0;
+    };
+    let mut index = crate::conflict::BallConflictIndex::new(first.center.len());
+    let mut count = 0;
+    for b in balls {
+        count += index.count_overlapping(&b.center, b.radius, eps);
+        index.push(&b.center, b.radius);
+    }
+    count
+}
+
+/// Reference O(m²) implementation of [`count_overlaps`], kept as the oracle
+/// the indexed version is asserted against (see the `overlap_count_*`
+/// tests). Prefer [`count_overlaps`] everywhere else.
+#[must_use]
+pub fn count_overlaps_pairwise(balls: &[GranularBall], eps: f64) -> usize {
     let mut count = 0;
     for (i, a) in balls.iter().enumerate() {
         for b in balls.iter().skip(i + 1) {
@@ -161,6 +186,51 @@ mod tests {
         };
         let balls = vec![mk(0.0, 1.0), mk(1.5, 1.0), mk(10.0, 1.0)];
         assert_eq!(count_overlaps(&balls, 1e-9), 1);
+        assert_eq!(count_overlaps_pairwise(&balls, 1e-9), 1);
+    }
+
+    #[test]
+    fn overlap_count_indexed_matches_pairwise_on_real_covers() {
+        // The restricted cover (0 overlaps), the overlap-ablation cover
+        // (many overlaps), and a pile of random balls must all agree with
+        // the O(m²) oracle exactly.
+        let data = DatasetId::S5.generate(0.05, 4);
+        let restricted = rd_gbg(&data, &RdGbgConfig::default());
+        let unrestricted = rd_gbg(
+            &data,
+            &RdGbgConfig {
+                restrict_overlap: false,
+                ..RdGbgConfig::default()
+            },
+        );
+        for balls in [&restricted.balls, &unrestricted.balls] {
+            assert_eq!(
+                count_overlaps(balls, 1e-9),
+                count_overlaps_pairwise(balls, 1e-9)
+            );
+        }
+        assert_eq!(count_overlaps(&restricted.balls, 1e-9), 0);
+        assert!(count_overlaps(&unrestricted.balls, 1e-9) > 0);
+    }
+
+    #[test]
+    fn overlap_count_indexed_matches_pairwise_on_random_balls() {
+        use gb_dataset::rng::rng_from_seed;
+        use rand::Rng;
+        let mut rng = rng_from_seed(11);
+        let balls: Vec<GranularBall> = (0..400)
+            .map(|i| GranularBall {
+                center: vec![rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)],
+                radius: rng.gen_range(0.0..0.7),
+                label: 0,
+                members: vec![i],
+                center_row: None,
+                purity: 1.0,
+            })
+            .collect();
+        let expected = count_overlaps_pairwise(&balls, 1e-9);
+        assert!(expected > 0, "test should exercise overlapping geometry");
+        assert_eq!(count_overlaps(&balls, 1e-9), expected);
     }
 
     #[test]

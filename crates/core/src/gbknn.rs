@@ -94,6 +94,36 @@ impl GbKnn {
         self.balls.len()
     }
 
+    /// Number of classes the model votes over.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature-space dimensionality of the ball centers.
+    #[must_use]
+    pub fn n_features(&self) -> usize {
+        self.balls[0].center.len()
+    }
+
+    /// Number of nearest balls that vote.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured distance rule.
+    #[must_use]
+    pub fn rule(&self) -> DistanceRule {
+        self.rule
+    }
+
+    /// Overrides the distance rule (for callers building via
+    /// [`Self::from_model`], which defaults to [`DistanceRule::Surface`]).
+    pub fn set_rule(&mut self, rule: DistanceRule) {
+        self.rule = rule;
+    }
+
     /// Distance from `row` to ball `i` under the configured rule (surface
     /// distance is signed: negative inside the ball).
     fn ball_distance(&self, i: usize, row: &[f64]) -> f64 {
@@ -134,10 +164,35 @@ impl GbKnn {
     /// the output is identical to the sequential loop.
     #[must_use]
     pub fn predict(&self, data: &Dataset) -> Vec<u32> {
+        self.predict_batch(data.features(), data.n_features())
+    }
+
+    /// Predicts every row of a raw row-major feature buffer, in parallel
+    /// and in row order — the predictor-reuse entry point for callers (like
+    /// the `gb-serve` micro-batcher) that assemble query rows without
+    /// building a [`Dataset`]. Bit-identical to calling
+    /// [`Self::predict_row`] on each row sequentially.
+    ///
+    /// # Panics
+    /// Panics if `n_features` does not match the model's dimensionality or
+    /// `features.len()` is not a multiple of it.
+    #[must_use]
+    pub fn predict_batch(&self, features: &[f64], n_features: usize) -> Vec<u32> {
         use rayon::prelude::*;
-        (0..data.n_samples())
+        assert_eq!(
+            n_features,
+            self.n_features(),
+            "query dimensionality must match the ball cover"
+        );
+        assert_eq!(
+            features.len() % n_features,
+            0,
+            "feature buffer must be a whole number of rows"
+        );
+        let n = features.len() / n_features;
+        (0..n)
             .into_par_iter()
-            .map(|i| self.predict_row(data.row(i)))
+            .map(|i| self.predict_row(&features[i * n_features..(i + 1) * n_features]))
             .collect()
     }
 }
@@ -259,6 +314,29 @@ mod tests {
             let acc = accuracy(test.labels(), &model.predict(&test));
             assert!(acc > 0.8, "{rule:?} accuracy {acc}");
         }
+    }
+
+    #[test]
+    fn predict_batch_matches_row_loop_and_accessors_report() {
+        let d = DatasetId::S5.generate(0.05, 7);
+        let model = GbKnn::fit(&d, &GbKnnConfig::default());
+        let batch = model.predict_batch(d.features(), d.n_features());
+        let serial: Vec<u32> = (0..d.n_samples())
+            .map(|i| model.predict_row(d.row(i)))
+            .collect();
+        assert_eq!(batch, serial);
+        assert_eq!(model.n_classes(), d.n_classes());
+        assert_eq!(model.n_features(), d.n_features());
+        assert_eq!(model.k(), 1);
+        assert_eq!(model.rule(), DistanceRule::Surface);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn predict_batch_rejects_wrong_width() {
+        let d = DatasetId::S5.generate(0.05, 7);
+        let model = GbKnn::fit(&d, &GbKnnConfig::default());
+        let _ = model.predict_batch(&[0.0; 6], 3);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 pub mod ball;
 pub mod borderline;
+mod conflict;
 pub mod diagnostics;
 pub mod gbknn;
 pub mod rdgbg;

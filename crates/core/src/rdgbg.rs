@@ -32,7 +32,7 @@
 //!   list.
 
 use crate::ball::GranularBall;
-use gb_dataset::distance::euclidean;
+use crate::conflict::BallConflictIndex;
 use gb_dataset::index::{GranulationBackend, NeighborIndex, RangeBound};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
@@ -247,217 +247,6 @@ impl ClassPool {
         // `pos` is the largest 1-based prefix whose count is still < k+1,
         // so the answer is the 1-based position `pos + 1`, i.e. row `pos`.
         pos
-    }
-}
-
-/// Incremental index over finished balls answering the Eq.-4 conflict-radius
-/// query `min_b (‖center_b − c‖ − r_b)` in better than O(m).
-///
-/// Structure: an arena KD-tree over the centers of the balls built so far,
-/// with each split node carrying the **maximum radius of its subtree** so a
-/// whole branch prunes once `|axis gap| − r_max` already exceeds the best
-/// gap found. New balls land in a linear `recent` buffer (scanned brute
-/// per query) and the tree is rebuilt once the buffer outgrows the indexed
-/// part — LSM-style, so insertion stays O(1) amortized-ish and the naive
-/// O(m) scan per accepted candidate (which dominated the indexed hot path
-/// at tens of thousands of balls) becomes O(log m) in practice.
-///
-/// Exactness: gaps are evaluated with the same expression as the naive
-/// loop, pruning bounds are relaxed by `1 − 1e−12` so `sqrt` rounding can
-/// only cause extra visits, and `min` is order-independent — the returned
-/// conflict radius is bit-identical to the naive scan's.
-struct BallConflictIndex {
-    /// Flattened centers of every ball seen (row-major).
-    centers: Vec<f64>,
-    radii: Vec<f64>,
-    n_features: usize,
-    nodes: Vec<ConflictNode>,
-    root: u32,
-    /// Balls `0..indexed` live in the tree; `indexed..len` are the brute
-    /// buffer.
-    indexed: usize,
-}
-
-enum ConflictNode {
-    Leaf {
-        balls: Vec<u32>,
-    },
-    Split {
-        dim: usize,
-        value: f64,
-        /// Max ball radius within this subtree (pruning slack).
-        r_max: f64,
-        left: u32,
-        right: u32,
-    },
-}
-
-const NO_NODE: u32 = u32::MAX;
-const CONFLICT_LEAF: usize = 16;
-const CONFLICT_PRUNE_SLACK: f64 = 1.0 - 1e-12;
-
-impl BallConflictIndex {
-    fn new(n_features: usize) -> Self {
-        Self {
-            centers: Vec::new(),
-            radii: Vec::new(),
-            n_features,
-            nodes: Vec::new(),
-            root: NO_NODE,
-            indexed: 0,
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.radii.len()
-    }
-
-    fn center(&self, i: u32) -> &[f64] {
-        let i = i as usize;
-        &self.centers[i * self.n_features..(i + 1) * self.n_features]
-    }
-
-    fn push(&mut self, center: &[f64], radius: f64) {
-        debug_assert_eq!(center.len(), self.n_features);
-        self.centers.extend_from_slice(center);
-        self.radii.push(radius);
-        // Rebuild once the linear buffer outgrows the indexed portion.
-        if self.len() - self.indexed > 64.max(self.indexed) {
-            self.rebuild();
-        }
-    }
-
-    fn rebuild(&mut self) {
-        self.nodes.clear();
-        self.indexed = self.len();
-        let mut balls: Vec<u32> = (0..self.len() as u32).collect();
-        self.root = self.build_rec(&mut balls);
-    }
-
-    /// Median-split build; each split memoizes its subtree's max radius.
-    fn build_rec(&mut self, balls: &mut [u32]) -> u32 {
-        if balls.is_empty() {
-            return NO_NODE;
-        }
-        if balls.len() <= CONFLICT_LEAF {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(ConflictNode::Leaf {
-                balls: balls.to_vec(),
-            });
-            return id;
-        }
-        // Widest-spread dimension.
-        let mut best_dim = 0;
-        let mut best_spread = -1.0;
-        for d in 0..self.n_features {
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for &b in balls.iter() {
-                let v = self.center(b)[d];
-                lo = lo.min(v);
-                hi = hi.max(v);
-            }
-            if hi - lo > best_spread {
-                best_spread = hi - lo;
-                best_dim = d;
-            }
-        }
-        if best_spread <= 0.0 {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(ConflictNode::Leaf {
-                balls: balls.to_vec(),
-            });
-            return id;
-        }
-        let mid = balls.len() / 2;
-        balls.select_nth_unstable_by(mid, |&a, &b| {
-            self.center(a)[best_dim]
-                .partial_cmp(&self.center(b)[best_dim])
-                .expect("finite centers")
-                .then_with(|| a.cmp(&b))
-        });
-        let value = self.center(balls[mid])[best_dim];
-        let (mut left, mut right): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
-        for &b in balls.iter() {
-            if self.center(b)[best_dim] <= value {
-                left.push(b);
-            } else {
-                right.push(b);
-            }
-        }
-        if left.is_empty() || right.is_empty() {
-            // All coords equal to the median on this axis despite spread —
-            // fall back to an (oversized) leaf rather than recurse forever.
-            let id = self.nodes.len() as u32;
-            self.nodes.push(ConflictNode::Leaf {
-                balls: balls.to_vec(),
-            });
-            return id;
-        }
-        let r_max = balls
-            .iter()
-            .map(|&b| self.radii[b as usize])
-            .fold(0.0f64, f64::max);
-        let id = self.nodes.len() as u32;
-        self.nodes.push(ConflictNode::Leaf { balls: Vec::new() }); // placeholder
-        let l = self.build_rec(&mut left);
-        let r = self.build_rec(&mut right);
-        self.nodes[id as usize] = ConflictNode::Split {
-            dim: best_dim,
-            value,
-            r_max,
-            left: l,
-            right: r,
-        };
-        id
-    }
-
-    #[inline]
-    fn gap(&self, ball: u32, c: &[f64]) -> f64 {
-        (euclidean(self.center(ball), c) - self.radii[ball as usize]).max(0.0)
-    }
-
-    /// `min_b (‖center_b − c‖ − r_b)⁺`, or `+inf` with no balls.
-    fn conflict_radius(&self, c: &[f64]) -> f64 {
-        let mut best = f64::INFINITY;
-        // Brute buffer first (most recent balls are usually nearby).
-        for b in self.indexed as u32..self.len() as u32 {
-            best = best.min(self.gap(b, c));
-        }
-        if self.root != NO_NODE {
-            self.query_rec(self.root, c, &mut best);
-        }
-        best
-    }
-
-    fn query_rec(&self, node: u32, c: &[f64], best: &mut f64) {
-        match &self.nodes[node as usize] {
-            ConflictNode::Leaf { balls } => {
-                for &b in balls {
-                    *best = best.min(self.gap(b, c));
-                }
-            }
-            ConflictNode::Split {
-                dim,
-                value,
-                r_max,
-                left,
-                right,
-            } => {
-                let diff = c[*dim] - value;
-                let (near, far) = if diff <= 0.0 {
-                    (*left, *right)
-                } else {
-                    (*right, *left)
-                };
-                self.query_rec(near, c, best);
-                // Any ball on the far side is at least |diff| away from c
-                // on this axis, so its gap is ≥ |diff| − r_max.
-                if (diff.abs() - r_max) * CONFLICT_PRUNE_SLACK <= *best {
-                    self.query_rec(far, c, best);
-                }
-            }
-        }
     }
 }
 

@@ -1,0 +1,375 @@
+//! Micro-batching queue for `/predict`.
+//!
+//! Concurrent requests each submit their query rows and block; a dedicated
+//! batcher thread drains the queue and issues **one** parallel
+//! `GbKnn::predict_batch` call per model over the coalesced rows, then
+//! hands every submitter back exactly the slice of predictions matching its
+//! rows, in its row order. Coalescing amortizes the per-call parallel-
+//! section cost across requests, so many small requests approach the
+//! throughput of one big batch.
+//!
+//! Ordering: submissions are appended FIFO; rows are concatenated in that
+//! order and predictions are split back in the same order, so each request
+//! receives what a standalone `predict_batch` on its own rows would return
+//! (per-row predictions are independent — see `gbabs::gbknn`).
+//!
+//! Admission: the queue is bounded by `max_queued_rows`. A submission that
+//! would overflow it is rejected immediately ([`SubmitError::Overloaded`],
+//! surfaced as HTTP 503) instead of queuing unboundedly.
+//!
+//! Latency shaping: the batcher waits up to `batch_wait` after the first
+//! pending submission for more arrivals, then flushes whatever it has
+//! (never more than `max_batch_rows` rows per flush).
+
+use crate::registry::ServingModel;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One submitted prediction request.
+struct Pending {
+    model: Arc<ServingModel>,
+    rows: Vec<f64>,
+    n_rows: usize,
+    reply: mpsc::Sender<Result<Vec<u32>, String>>,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity; shed instead of queuing (HTTP 503).
+    Overloaded,
+    /// The batcher has shut down.
+    Closed,
+    /// The coalesced predict call panicked (HTTP 500). The batcher thread
+    /// survives — the panic is contained per flush.
+    Failed(String),
+}
+
+#[derive(Default)]
+struct Queue {
+    pending: Vec<Pending>,
+    queued_rows: usize,
+    stopped: bool,
+}
+
+/// Counters exported through `/metrics`.
+#[derive(Default)]
+pub struct BatchStats {
+    /// Coalesced predict calls issued.
+    pub flushes: AtomicU64,
+    /// Total rows predicted through the batcher.
+    pub rows: AtomicU64,
+    /// Largest number of requests coalesced into one flush.
+    pub max_requests_per_flush: AtomicU64,
+    /// Submissions shed because the queue was full.
+    pub shed: AtomicU64,
+}
+
+/// The shared micro-batching queue plus its worker thread.
+pub struct Batcher {
+    queue: Mutex<Queue>,
+    arrived: Condvar,
+    max_batch_rows: usize,
+    max_queued_rows: usize,
+    batch_wait: Duration,
+    stop: AtomicBool,
+    /// Exported batching counters.
+    pub stats: BatchStats,
+}
+
+impl Batcher {
+    /// Creates the shared state and spawns the batcher thread.
+    #[must_use]
+    pub fn start(
+        max_batch_rows: usize,
+        max_queued_rows: usize,
+        batch_wait: Duration,
+    ) -> Arc<Batcher> {
+        let batcher = Arc::new(Batcher {
+            queue: Mutex::new(Queue::default()),
+            arrived: Condvar::new(),
+            max_batch_rows: max_batch_rows.max(1),
+            max_queued_rows: max_queued_rows.max(1),
+            batch_wait,
+            stop: AtomicBool::new(false),
+            stats: BatchStats::default(),
+        });
+        let worker = Arc::clone(&batcher);
+        std::thread::Builder::new()
+            .name("gb-serve-batcher".into())
+            .spawn(move || worker.run())
+            .expect("spawn batcher");
+        batcher
+    }
+
+    /// Submits `rows` (row-major, `model.n_features` wide) and blocks until
+    /// the coalesced predictions for exactly those rows come back.
+    ///
+    /// # Errors
+    /// [`SubmitError::Overloaded`] when admission would exceed the queue
+    /// bound; [`SubmitError::Closed`] after shutdown.
+    pub fn predict(
+        &self,
+        model: &Arc<ServingModel>,
+        rows: Vec<f64>,
+    ) -> Result<Vec<u32>, SubmitError> {
+        let n_rows = rows.len() / model.n_features.max(1);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self.queue.lock().expect("batcher lock");
+            if q.stopped {
+                return Err(SubmitError::Closed);
+            }
+            if q.queued_rows + n_rows > self.max_queued_rows {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded);
+            }
+            q.queued_rows += n_rows;
+            q.pending.push(Pending {
+                model: Arc::clone(model),
+                rows,
+                n_rows,
+                reply: tx,
+            });
+            self.arrived.notify_all();
+        }
+        match rx.recv() {
+            Ok(Ok(predictions)) => Ok(predictions),
+            Ok(Err(message)) => Err(SubmitError::Failed(message)),
+            Err(_) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Signals the batcher thread to flush leftovers and exit.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut q = self.queue.lock().expect("batcher lock");
+        q.stopped = true;
+        self.arrived.notify_all();
+    }
+
+    fn run(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().expect("batcher lock");
+                // Park until work arrives (or shutdown).
+                while q.pending.is_empty() {
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (guard, _) = self
+                        .arrived
+                        .wait_timeout(q, Duration::from_millis(50))
+                        .expect("batcher wait");
+                    q = guard;
+                }
+                // Linger briefly so concurrent submitters coalesce.
+                if !self.batch_wait.is_zero() && q.queued_rows < self.max_batch_rows {
+                    let (guard, _) = self
+                        .arrived
+                        .wait_timeout(q, self.batch_wait)
+                        .expect("batcher wait");
+                    q = guard;
+                }
+                // Drain FIFO up to the row cap (always at least one request).
+                let mut take = 0usize;
+                let mut rows = 0usize;
+                for p in &q.pending {
+                    if take > 0 && rows + p.n_rows > self.max_batch_rows {
+                        break;
+                    }
+                    rows += p.n_rows;
+                    take += 1;
+                }
+                q.queued_rows -= rows;
+                q.pending.drain(..take).collect::<Vec<Pending>>()
+            };
+            self.flush(batch);
+        }
+    }
+
+    /// Executes one coalesced batch: group by model (pointer identity, FIFO
+    /// within a group), one `predict_batch` per group, split results back.
+    fn flush(&self, batch: Vec<Pending>) {
+        if batch.is_empty() {
+            return;
+        }
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .max_requests_per_flush
+            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+        let mut groups: Vec<(Arc<ServingModel>, Vec<Pending>)> = Vec::new();
+        for p in batch {
+            match groups.iter_mut().find(|(m, _)| Arc::ptr_eq(m, &p.model)) {
+                Some((_, ps)) => ps.push(p),
+                None => groups.push((Arc::clone(&p.model), vec![p])),
+            }
+        }
+        for (model, group) in groups {
+            let total_rows: usize = group.iter().map(|p| p.n_rows).sum();
+            self.stats
+                .rows
+                .fetch_add(total_rows as u64, Ordering::Relaxed);
+            let mut features = Vec::with_capacity(total_rows * model.n_features);
+            for p in &group {
+                features.extend_from_slice(&p.rows);
+            }
+            // Contain a panicking predict (e.g. a model whose geometry
+            // slipped past validation): the batch fails with a message, the
+            // batcher thread lives on, and later flushes are unaffected.
+            let predictions = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                model.predictor.predict_batch(&features, model.n_features)
+            }));
+            match predictions {
+                Ok(predictions) => {
+                    let mut offset = 0;
+                    for p in group {
+                        let slice = predictions[offset..offset + p.n_rows].to_vec();
+                        offset += p.n_rows;
+                        // A dropped receiver (client gone) is not an error.
+                        let _ = p.reply.send(Ok(slice));
+                    }
+                }
+                Err(panic) => {
+                    let what = panic
+                        .downcast_ref::<&str>()
+                        .map(ToString::to_string)
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "prediction panicked".into());
+                    for p in group {
+                        let _ = p.reply.send(Err(format!(
+                            "prediction failed for '{}': {what}",
+                            model.name
+                        )));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{LoadOptions, ModelRegistry};
+    use gb_dataset::catalog::DatasetId;
+    use gbabs::{rd_gbg, GbKnn, RdGbgConfig};
+
+    fn serving_model() -> (gb_dataset::Dataset, Arc<ServingModel>) {
+        let data = DatasetId::S5.generate(0.05, 3);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let reg = ModelRegistry::new();
+        let served = reg.load("m", &model, &LoadOptions::default()).unwrap();
+        (data, served)
+    }
+
+    #[test]
+    fn concurrent_submissions_match_offline_predictions() {
+        let (data, served) = serving_model();
+        let offline =
+            GbKnn::from_model(&rd_gbg(&data, &RdGbgConfig::default()), data.n_classes(), 1);
+        let expected = offline.predict(&data);
+        let batcher = Batcher::start(4096, 1 << 20, Duration::from_micros(500));
+        std::thread::scope(|s| {
+            for chunk in 0..8 {
+                let batcher = &batcher;
+                let served = &served;
+                let data = &data;
+                let expected = &expected;
+                s.spawn(move || {
+                    let n = data.n_samples();
+                    let lo = chunk * n / 8;
+                    let hi = (chunk + 1) * n / 8;
+                    let mut rows = Vec::new();
+                    for i in lo..hi {
+                        rows.extend_from_slice(data.row(i));
+                    }
+                    let got = batcher.predict(served, rows).unwrap();
+                    assert_eq!(got, expected[lo..hi].to_vec());
+                });
+            }
+        });
+        assert!(batcher.stats.rows.load(Ordering::Relaxed) >= data.n_samples() as u64);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_queuing() {
+        let (data, served) = serving_model();
+        let batcher = Batcher::start(4096, 2, Duration::from_micros(100));
+        let mut rows = Vec::new();
+        for i in 0..3 {
+            rows.extend_from_slice(data.row(i));
+        }
+        assert_eq!(
+            batcher.predict(&served, rows),
+            Err(SubmitError::Overloaded),
+            "3 rows must not fit a 2-row queue bound"
+        );
+        assert_eq!(batcher.stats.shed.load(Ordering::Relaxed), 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn panicking_predict_fails_the_batch_but_not_the_batcher() {
+        use crate::registry::ModelStats;
+        use gbabs::{GranularBall, RdGbgModel};
+        // A poisoned model built by hand (the registry would reject it):
+        // infinite centers with infinite radii make every surface distance
+        // `inf − inf = NaN`, which panics predict_row's comparator.
+        let ball = || GranularBall {
+            center: vec![f64::INFINITY],
+            radius: f64::INFINITY,
+            label: 0,
+            members: vec![0],
+            center_row: None,
+            purity: 1.0,
+        };
+        let poisoned = RdGbgModel {
+            balls: vec![ball(), ball()],
+            noise: vec![],
+            orphan_count: 0,
+            iterations: 1,
+        };
+        let bad = Arc::new(ServingModel {
+            name: "poisoned".into(),
+            version: 1,
+            n_features: 1,
+            n_classes: 1,
+            predictor: GbKnn::from_model(&poisoned, 1, 2),
+            backend: gb_dataset::index::GranulationBackend::Auto,
+            stats: ModelStats {
+                n_balls: 2,
+                n_singletons: 0,
+                radius_min: f64::INFINITY,
+                radius_mean: f64::INFINITY,
+                radius_max: f64::INFINITY,
+                noise_rows: 0,
+                iterations: 1,
+            },
+        });
+        let batcher = Batcher::start(64, 1024, Duration::ZERO);
+        match batcher.predict(&bad, vec![0.5]) {
+            Err(SubmitError::Failed(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The batcher thread survived: a healthy model still predicts.
+        let (data, served) = serving_model();
+        let got = batcher.predict(&served, data.row(0).to_vec()).unwrap();
+        assert_eq!(got.len(), 1);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let (data, served) = serving_model();
+        let batcher = Batcher::start(16, 1024, Duration::ZERO);
+        batcher.shutdown();
+        assert_eq!(
+            batcher.predict(&served, data.row(0).to_vec()),
+            Err(SubmitError::Closed)
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! `loadgen` — closed-loop load generator for a running `gb-serve`.
+//!
+//! Each client thread owns one keep-alive connection and drives it in a
+//! closed loop: build a `/predict` request with `--batch` rows, send,
+//! block for the response, record the latency, repeat until `--duration-s`
+//! elapses. Query rows are deterministic per thread (seeded LCG over the
+//! `--lo..--hi` cube) so runs are reproducible; the report is one JSON
+//! object on stdout with throughput and latency percentiles.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:8080 [--threads 4] [--duration-s 5]
+//!         [--batch 1] [--model default] [--lo 0.0] [--hi 1.0] [--seed 42]
+//! ```
+
+use gb_serve::HttpClient;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    threads: usize,
+    duration_s: f64,
+    batch: usize,
+    model: String,
+    lo: f64,
+    hi: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: String::new(),
+        threads: 4,
+        duration_s: 5.0,
+        batch: 1,
+        model: "default".into(),
+        lo: 0.0,
+        hi: 1.0,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match arg.as_str() {
+            "--addr" => args.addr = value(arg)?,
+            "--threads" => args.threads = value(arg)?.parse().map_err(|_| "bad --threads")?,
+            "--duration-s" => {
+                args.duration_s = value(arg)?.parse().map_err(|_| "bad --duration-s")?;
+            }
+            "--batch" => args.batch = value(arg)?.parse().map_err(|_| "bad --batch")?,
+            "--model" => args.model = value(arg)?,
+            "--lo" => args.lo = value(arg)?.parse().map_err(|_| "bad --lo")?,
+            "--hi" => args.hi = value(arg)?.parse().map_err(|_| "bad --hi")?,
+            "--seed" => args.seed = value(arg)?.parse().map_err(|_| "bad --seed")?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.addr.is_empty() {
+        return Err("--addr HOST:PORT is required".into());
+    }
+    if args.threads == 0 || args.batch == 0 {
+        return Err("--threads and --batch must be positive".into());
+    }
+    Ok(args)
+}
+
+/// SplitMix64 — deterministic, thread-seedable row generator.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds one `/predict` body with `batch` rows of `dims` coordinates.
+fn predict_body(args: &Args, dims: usize, state: &mut u64) -> String {
+    let mut body = String::with_capacity(batch_capacity(args.batch, dims));
+    let _ = write!(body, "{{\"model\":\"{}\",\"rows\":[", args.model);
+    for r in 0..args.batch {
+        if r > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for d in 0..dims {
+            if d > 0 {
+                body.push(',');
+            }
+            let v = args.lo + unit_f64(state) * (args.hi - args.lo);
+            let _ = write!(body, "{v:.6}");
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    body
+}
+
+fn batch_capacity(batch: usize, dims: usize) -> usize {
+    32 + batch * (dims * 10 + 4)
+}
+
+/// Fetches the model's dimensionality from `GET /model`.
+fn model_dims(addr: &str, model: &str) -> Result<usize, String> {
+    let mut client = HttpClient::connect(addr, Duration::from_secs(5))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let (status, body) = client
+        .request("GET", &format!("/model?name={model}"), None)
+        .map_err(|e| format!("GET /model: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /model -> {status}: {body}"));
+    }
+    let v: serde::Value =
+        serde_json::from_str(&body).map_err(|e| format!("bad /model JSON: {e}"))?;
+    match v.get("n_features") {
+        Some(serde::Value::Num(n)) => Ok(*n as usize),
+        _ => Err(format!("no n_features in /model response: {body}")),
+    }
+}
+
+struct ThreadReport {
+    latencies_us: Vec<u64>,
+    requests: u64,
+    errors: u64,
+}
+
+fn client_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> ThreadReport {
+    let mut report = ThreadReport {
+        latencies_us: Vec::with_capacity(1 << 16),
+        requests: 0,
+        errors: 0,
+    };
+    let Ok(mut client) = HttpClient::connect(&args.addr, Duration::from_secs(10)) else {
+        report.errors += 1;
+        return report;
+    };
+    let mut state = args
+        .seed
+        .wrapping_mul(0x100_0000_01b3)
+        .wrapping_add(thread_id as u64);
+    while !stop.load(Ordering::Relaxed) {
+        let body = predict_body(args, dims, &mut state);
+        let t0 = Instant::now();
+        match client.request("POST", "/predict", Some(&body)) {
+            Ok((200, _)) => {
+                report.requests += 1;
+                report
+                    .latencies_us
+                    .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            Ok((_, _)) => report.errors += 1,
+            Err(_) => {
+                report.errors += 1;
+                // Reconnect once; the server may have reaped an idle socket.
+                match HttpClient::connect(&args.addr, Duration::from_secs(10)) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let dims = match model_dims(&args.addr, &args.model) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let reports: Vec<ThreadReport> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.threads)
+            .map(|t| {
+                let args = &args;
+                let stop = &stop;
+                s.spawn(move |_| client_loop(args, dims, t, stop))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(args.duration_s));
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    })
+    .expect("client scope");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for r in reports {
+        latencies.extend(r.latencies_us);
+        requests += r.requests;
+        errors += r.errors;
+    }
+    latencies.sort_unstable();
+    let rows = requests * args.batch as u64;
+    let report = serde::Value::Obj(vec![
+        ("addr".into(), serde::Value::Str(args.addr.clone())),
+        ("model".into(), serde::Value::Str(args.model.clone())),
+        ("threads".into(), serde::Value::Num(args.threads as f64)),
+        ("batch".into(), serde::Value::Num(args.batch as f64)),
+        ("duration_s".into(), serde::Value::Num(elapsed)),
+        ("requests".into(), serde::Value::Num(requests as f64)),
+        ("rows".into(), serde::Value::Num(rows as f64)),
+        ("errors".into(), serde::Value::Num(errors as f64)),
+        (
+            "throughput_req_s".into(),
+            serde::Value::Num(requests as f64 / elapsed),
+        ),
+        (
+            "throughput_rows_s".into(),
+            serde::Value::Num(rows as f64 / elapsed),
+        ),
+        (
+            "latency_ms".into(),
+            serde::Value::Obj(vec![
+                (
+                    "p50".into(),
+                    serde::Value::Num(percentile(&latencies, 0.50)),
+                ),
+                (
+                    "p90".into(),
+                    serde::Value::Num(percentile(&latencies, 0.90)),
+                ),
+                (
+                    "p99".into(),
+                    serde::Value::Num(percentile(&latencies, 0.99)),
+                ),
+                (
+                    "max".into(),
+                    serde::Value::Num(latencies.last().map_or(0.0, |&v| v as f64 / 1000.0)),
+                ),
+            ]),
+        ),
+    ]);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("render report")
+    );
+    if requests == 0 {
+        eprintln!("error: no successful requests");
+        std::process::exit(1);
+    }
+}

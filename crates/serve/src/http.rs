@@ -1,0 +1,334 @@
+//! Dependency-free HTTP/1.1 message framing over `std::net` streams.
+//!
+//! Implements exactly what the serving subsystem needs: request parsing
+//! (request line, headers, `Content-Length` body) with hard size limits,
+//! response serialization with keep-alive support, and a tiny blocking
+//! client used by the load generator and the integration tests. Chunked
+//! transfer encoding is intentionally unsupported — a request carrying
+//! `Transfer-Encoding` is rejected with `411 Length Required` semantics
+//! (as a [`HttpError::UnsupportedEncoding`]) rather than misparsed.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted header block size (request line + headers).
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+    /// True when the client asked to close the connection after this
+    /// exchange (`Connection: close` or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    #[must_use]
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Request-side protocol failures (each maps to a 4xx response).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a complete request arrived.
+    ConnectionClosed,
+    /// Socket-level failure or read timeout.
+    Io(std::io::Error),
+    /// Malformed request line or header.
+    Malformed(String),
+    /// Header block or declared body exceeds the configured limit.
+    TooLarge(String),
+    /// `Transfer-Encoding` is not supported; bodies need `Content-Length`.
+    UnsupportedEncoding,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::UnsupportedEncoding => {
+                write!(f, "transfer-encoding not supported; use content-length")
+            }
+        }
+    }
+}
+
+fn read_line(reader: &mut BufReader<&TcpStream>, budget: &mut usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::ConnectionClosed);
+                }
+                return Err(HttpError::Malformed("truncated line".into()));
+            }
+            Ok(_) => {
+                *budget = budget
+                    .checked_sub(1)
+                    .ok_or_else(|| HttpError::TooLarge("header block".into()))?;
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 header".into()));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).unwrap_or("");
+                if let Ok(v) = u8::from_str_radix(hex, 16) {
+                    out.push(v);
+                    i += 3;
+                } else {
+                    out.push(b'%');
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reads and parses one request from `stream`. `max_body_bytes` bounds the
+/// accepted `Content-Length`.
+///
+/// # Errors
+/// See [`HttpError`]; `ConnectionClosed` on a cleanly closed idle
+/// keep-alive connection.
+pub fn read_request(
+    reader: &mut BufReader<&TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line(reader, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("HTTP/1.0");
+    let http10 = version.eq_ignore_ascii_case("HTTP/1.0");
+
+    let mut content_length = 0usize;
+    let mut close = http10;
+    loop {
+        let line = read_line(reader, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!(
+                "header without colon: {line}"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            }
+            "transfer-encoding" => return Err(HttpError::UnsupportedEncoding),
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    close = true;
+                } else if v.contains("keep-alive") {
+                    close = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds limit {max_body_bytes}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q),
+        None => (target.clone(), ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+        close,
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (JSON for every endpoint of this server).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            body: body.into_bytes(),
+        }
+    }
+
+    /// Canonical reason phrase for the status codes this server emits.
+    #[must_use]
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Writes the response. `close` controls the `Connection` header.
+    ///
+    /// # Errors
+    /// Propagates socket write failures.
+    pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(&server_side);
+        read_request(&mut reader, 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_query() {
+        let req = roundtrip(
+            b"POST /predict?model=default&x=a%20b HTTP/1.1\r\ncontent-length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.query_param("model"), Some("default"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+        assert_eq!(req.body, b"body");
+        assert!(!req.close);
+    }
+
+    #[test]
+    fn connection_close_detected() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(req.close);
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let err = roundtrip(b"POST /x HTTP/1.1\r\ncontent-length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err}");
+    }
+
+    #[test]
+    fn chunked_encoding_rejected() {
+        let err = roundtrip(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::UnsupportedEncoding));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let err = roundtrip(b"NOT-HTTP\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}".into())
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 11"), "{text}");
+        assert!(text.contains("connection: close"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+}

@@ -1,0 +1,61 @@
+//! # gb-serve — online serving for granular-ball models
+//!
+//! Turns a trained granulation ([`gbabs::RdGbgModel`]) into a long-running,
+//! concurrent prediction service: a dependency-free HTTP/1.1 server on
+//! `std::net` with a fixed worker-thread pool, JSON endpoints, and a
+//! closed-loop load generator (`loadgen`) for measuring it.
+//!
+//! ## Endpoints
+//!
+//! | endpoint | method | purpose |
+//! |---|---|---|
+//! | `/predict` | POST | classify one `row` or a batch of `rows` |
+//! | `/sample` | POST | GBABS borderline-sample an uploaded CSV |
+//! | `/model` | GET | cover stats of a named model (`?name=`) |
+//! | `/models` | GET | list registered models |
+//! | `/models/{name}` | POST | **hot-reload** a model from RdGbgModel JSON |
+//! | `/healthz` | GET | liveness + model count |
+//! | `/metrics` | GET | request counters + latency histogram |
+//!
+//! ## Micro-batching
+//!
+//! `/predict` requests do not call the predictor directly: each handler
+//! submits its rows to a shared [`batcher::Batcher`] and blocks. The
+//! batcher lingers a few hundred microseconds after the first pending
+//! submission, coalesces everything that arrived into **one**
+//! order-preserving parallel [`gbabs::GbKnn::predict_batch`] call, and
+//! hands every request back exactly the predictions for its own rows.
+//! Per-row predictions are independent, so coalescing cannot change any
+//! response — it only amortizes the parallel-section setup across
+//! requests (see `BENCH_SERVE.json` for the measured effect). Batching can
+//! be disabled per server via [`server::ServeConfig::micro_batch`].
+//!
+//! ## Hot reload
+//!
+//! The [`registry::ModelRegistry`] maps names to `Arc<ServingModel>`.
+//! `POST /models/{name}` builds the new predictor **off to the side**
+//! (JSON parse + GB-kNN construction happen before the registry lock is
+//! taken) and then swaps the `Arc` in one pointer store. Requests that
+//! already resolved the old `Arc` finish against the old model; new
+//! requests see the new one; nothing blocks on the reload.
+//!
+//! ## Load shedding
+//!
+//! Two bounded admission gates return `503` instead of queuing
+//! unboundedly: the accept loop sheds whole connections once the worker
+//! hand-off queue reaches `backlog`, and the batcher sheds submissions
+//! once `max_queued_rows` rows are pending.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batcher;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use client::HttpClient;
+pub use registry::{LoadOptions, ModelRegistry, ModelStats, ServingModel};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,118 @@
+//! Request counters and latency histogram for `GET /metrics`.
+
+use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 latency buckets (µs): bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs, with the last bucket open-ended (≥ ~2.1 s).
+pub const LATENCY_BUCKETS: usize = 22;
+
+/// Per-endpoint request counters plus a shared latency histogram for the
+/// predict path. All counters are lock-free atomics.
+#[derive(Default)]
+pub struct Metrics {
+    /// Completed requests by endpoint.
+    pub predict_requests: AtomicU64,
+    /// Rows predicted (across batched requests).
+    pub predict_rows: AtomicU64,
+    /// `/sample` requests served.
+    pub sample_requests: AtomicU64,
+    /// `/model` + `/models` requests served.
+    pub model_requests: AtomicU64,
+    /// `/healthz` requests served.
+    pub health_requests: AtomicU64,
+    /// Model hot-reloads performed.
+    pub reloads: AtomicU64,
+    /// 4xx responses (bad JSON, unknown model, bad shapes).
+    pub client_errors: AtomicU64,
+    /// 5xx responses other than shed 503s (contained predict failures).
+    pub server_errors: AtomicU64,
+    /// 503 responses from the admission gates.
+    pub shed: AtomicU64,
+    /// Log2 µs histogram of end-to-end `/predict` handling latency.
+    pub predict_latency: LatencyHistogram,
+}
+
+/// A lock-free log2 histogram over microseconds.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// JSON rendering: bucket upper bounds (µs) with counts, plus
+    /// count/mean.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let count = self.count();
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            self.total_us.load(Ordering::Relaxed) as f64 / count as f64
+        };
+        let buckets: Vec<Value> = (0..LATENCY_BUCKETS)
+            .map(|i| {
+                Value::Obj(vec![
+                    ("le_us".into(), Value::Num((1u64 << (i + 1)) as f64)),
+                    (
+                        "count".into(),
+                        Value::Num(self.buckets[i].load(Ordering::Relaxed) as f64),
+                    ),
+                ])
+            })
+            .filter(|b| matches!(b.get("count"), Some(Value::Num(n)) if *n > 0.0))
+            .collect();
+        Value::Obj(vec![
+            ("count".into(), Value::Num(count as f64)),
+            ("mean_us".into(), Value::Num(mean_us)),
+            ("buckets".into(), Value::Arr(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_microseconds() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::from_micros(3)); // bucket 1: [2,4)
+        h.observe(Duration::from_micros(3));
+        h.observe(Duration::from_micros(1000)); // bucket 9: [512,1024)
+        assert_eq!(h.count(), 3);
+        let v = h.to_value();
+        let Some(Value::Arr(buckets)) = v.get("buckets") else {
+            panic!("buckets missing: {v:?}");
+        };
+        assert_eq!(buckets.len(), 2, "{buckets:?}");
+        assert_eq!(buckets[0].get("le_us"), Some(&Value::Num(4.0)));
+        assert_eq!(buckets[0].get("count"), Some(&Value::Num(2.0)));
+        assert_eq!(buckets[1].get("le_us"), Some(&Value::Num(1024.0)));
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.observe(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,353 @@
+//! Named serving models with atomic hot-reload.
+//!
+//! A [`ServingModel`] bundles everything the request path needs — the
+//! GB-kNN predictor (built **once** per load from the ball cover), the
+//! cover statistics reported by `GET /model`, and a monotonically
+//! increasing version. The [`ModelRegistry`] maps names to
+//! `Arc<ServingModel>`; lookups clone the `Arc` under a briefly held lock,
+//! so a reload is one pointer swap: in-flight requests keep predicting
+//! against the model they resolved, new requests see the new one, and the
+//! old model is freed when its last in-flight request finishes.
+
+use gb_dataset::index::GranulationBackend;
+use gbabs::{DistanceRule, GbKnn, RdGbgModel};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Summary statistics of a loaded ball cover (served by `GET /model`).
+#[derive(Debug, Clone)]
+pub struct ModelStats {
+    /// Total number of balls.
+    pub n_balls: usize,
+    /// Radius-0 balls.
+    pub n_singletons: usize,
+    /// Smallest positive radius (0 when all balls are singletons).
+    pub radius_min: f64,
+    /// Mean radius over positive-radius balls.
+    pub radius_mean: f64,
+    /// Largest radius.
+    pub radius_max: f64,
+    /// Rows the granulation removed as class noise.
+    pub noise_rows: usize,
+    /// RD-GBG iterations that produced the cover.
+    pub iterations: usize,
+}
+
+impl ModelStats {
+    fn from_model(model: &RdGbgModel) -> Self {
+        let positive: Vec<f64> = model
+            .balls
+            .iter()
+            .map(|b| b.radius)
+            .filter(|&r| r > 0.0)
+            .collect();
+        Self {
+            n_balls: model.balls.len(),
+            n_singletons: model.balls.iter().filter(|b| b.radius == 0.0).count(),
+            radius_min: if positive.is_empty() {
+                0.0
+            } else {
+                positive.iter().copied().fold(f64::INFINITY, f64::min)
+            },
+            radius_mean: if positive.is_empty() {
+                0.0
+            } else {
+                positive.iter().sum::<f64>() / positive.len() as f64
+            },
+            radius_max: positive.iter().copied().fold(0.0, f64::max),
+            noise_rows: model.noise.len(),
+            iterations: model.iterations,
+        }
+    }
+}
+
+/// A model as served: predictor + metadata, immutable once loaded.
+pub struct ServingModel {
+    /// Registry name.
+    pub name: String,
+    /// Monotonic load version (registry-wide counter).
+    pub version: u64,
+    /// Feature dimensionality queries must match.
+    pub n_features: usize,
+    /// Number of classes the predictor votes over.
+    pub n_classes: usize,
+    /// The GB-kNN predictor, built once at load time.
+    pub predictor: GbKnn,
+    /// Granulation backend label (metadata only — the cover is already
+    /// built; recorded so `/model` can report how it was produced).
+    pub backend: GranulationBackend,
+    /// Cover statistics for `/model`.
+    pub stats: ModelStats,
+}
+
+/// Parameters for loading a model into the registry.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Number of nearest balls that vote (GB-kNN `k`).
+    pub k: usize,
+    /// Distance rule for ranking balls.
+    pub rule: DistanceRule,
+    /// Number of classes; `None` derives `max ball label + 1`.
+    pub n_classes: Option<usize>,
+    /// Backend label recorded as metadata.
+    pub backend: GranulationBackend,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        Self {
+            k: 1,
+            rule: DistanceRule::Surface,
+            n_classes: None,
+            backend: GranulationBackend::Auto,
+        }
+    }
+}
+
+/// Named models with atomic hot-reload.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: Mutex<HashMap<String, Arc<ServingModel>>>,
+    versions: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a [`ServingModel`] from a granulation and swaps it in under
+    /// `name`, replacing any previous version. Returns the loaded handle.
+    ///
+    /// # Errors
+    /// Rejects empty covers, `k == 0`, and geometrically invalid balls
+    /// (non-finite centers/radii, negative radii, ragged center widths) —
+    /// hot-reload payloads are untrusted, and a non-finite ball would
+    /// poison every later distance comparison in the predict path.
+    pub fn load(
+        &self,
+        name: &str,
+        model: &RdGbgModel,
+        options: &LoadOptions,
+    ) -> Result<Arc<ServingModel>, String> {
+        if model.balls.is_empty() {
+            return Err("model has no balls".into());
+        }
+        if options.k == 0 {
+            return Err("k must be positive".into());
+        }
+        let n_features = model.balls[0].center.len();
+        if n_features == 0 {
+            return Err("ball centers have zero dimensions".into());
+        }
+        for (i, b) in model.balls.iter().enumerate() {
+            if b.center.len() != n_features {
+                return Err(format!(
+                    "ball {i} has {} coordinates but ball 0 has {n_features}",
+                    b.center.len()
+                ));
+            }
+            if !b.center.iter().all(|c| c.is_finite()) {
+                return Err(format!("ball {i} has a non-finite center coordinate"));
+            }
+            if !b.radius.is_finite() || b.radius < 0.0 {
+                return Err(format!("ball {i} has an invalid radius {}", b.radius));
+            }
+        }
+        let derived = model
+            .balls
+            .iter()
+            .map(|b| b.label as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let n_classes = options.n_classes.unwrap_or(derived).max(derived);
+        let mut predictor = GbKnn::from_model(model, n_classes, options.k);
+        predictor.set_rule(options.rule);
+        let stats = ModelStats::from_model(model);
+        // Version allocation and the swap happen under one lock so
+        // concurrent reloads of the same name commit in version order (the
+        // model left serving is always the highest version acknowledged).
+        let mut models = self.models.lock();
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        let serving = Arc::new(ServingModel {
+            name: name.to_string(),
+            version,
+            n_features: predictor.n_features(),
+            n_classes,
+            predictor,
+            backend: options.backend,
+            stats,
+        });
+        models.insert(name.to_string(), Arc::clone(&serving));
+        Ok(serving)
+    }
+
+    /// Parses an [`RdGbgModel`] from JSON and loads it (hot-reload path).
+    ///
+    /// # Errors
+    /// Malformed JSON, empty covers, or bad options.
+    pub fn load_json(
+        &self,
+        name: &str,
+        json: &str,
+        options: &LoadOptions,
+    ) -> Result<Arc<ServingModel>, String> {
+        let model: RdGbgModel =
+            serde_json::from_str(json).map_err(|e| format!("bad model JSON: {e}"))?;
+        self.load(name, &model, options)
+    }
+
+    /// Loads from an already-parsed JSON value (the server's reload path,
+    /// which has the request body as a [`serde::Value`] in hand).
+    ///
+    /// # Errors
+    /// Shape mismatches, empty covers, or bad options.
+    pub fn load_value(
+        &self,
+        name: &str,
+        value: &serde::Value,
+        options: &LoadOptions,
+    ) -> Result<Arc<ServingModel>, String> {
+        let model = <RdGbgModel as serde::Deserialize>::from_value(value)
+            .map_err(|e| format!("bad model: {e}"))?;
+        self.load(name, &model, options)
+    }
+
+    /// Resolves a model by name (cloning the `Arc`: the caller keeps this
+    /// exact version for the whole request even across a reload).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<ServingModel>> {
+        self.models.lock().get(name).cloned()
+    }
+
+    /// Sorted model names currently registered.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.lock().len()
+    }
+
+    /// True when no model is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+    use gbabs::{rd_gbg, RdGbgConfig};
+
+    #[test]
+    fn load_get_and_hot_swap_bump_version() {
+        let data = DatasetId::S5.generate(0.05, 1);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let reg = ModelRegistry::new();
+        let v1 = reg
+            .load("default", &model, &LoadOptions::default())
+            .unwrap();
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.n_classes, data.n_classes());
+        assert_eq!(v1.n_features, data.n_features());
+        let held = reg.get("default").unwrap();
+        let v2 = reg
+            .load("default", &model, &LoadOptions::default())
+            .unwrap();
+        assert_eq!(v2.version, 2);
+        // the held Arc still points at version 1 (hot swap, not mutation)
+        assert_eq!(held.version, 1);
+        assert_eq!(reg.get("default").unwrap().version, 2);
+        assert_eq!(reg.names(), vec!["default".to_string()]);
+    }
+
+    #[test]
+    fn json_roundtrip_load_matches_offline_predictor() {
+        let data = DatasetId::S5.generate(0.05, 2);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let offline = GbKnn::from_model(&model, data.n_classes(), 1);
+        let reg = ModelRegistry::new();
+        let json = serde_json::to_string(&model).unwrap();
+        let served = reg.load_json("m", &json, &LoadOptions::default()).unwrap();
+        assert_eq!(
+            served.predictor.predict(&data),
+            offline.predict(&data),
+            "served predictor must be bit-identical to the offline one"
+        );
+        assert_eq!(served.stats.n_balls, model.balls.len());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let reg = ModelRegistry::new();
+        assert!(reg
+            .load_json("m", "{not json", &LoadOptions::default())
+            .is_err());
+        assert!(reg.get("missing").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_geometry() {
+        use gbabs::GranularBall;
+        let ball = |center: Vec<f64>, radius: f64| GranularBall {
+            center,
+            radius,
+            label: 0,
+            members: vec![0],
+            center_row: None,
+            purity: 1.0,
+        };
+        let reg = ModelRegistry::new();
+        let mk = |balls: Vec<GranularBall>| RdGbgModel {
+            balls,
+            noise: vec![],
+            orphan_count: 0,
+            iterations: 1,
+        };
+        for (bad, why) in [
+            (mk(vec![ball(vec![0.0], f64::INFINITY)]), "infinite radius"),
+            (mk(vec![ball(vec![0.0], -1.0)]), "negative radius"),
+            (mk(vec![ball(vec![f64::NAN], 1.0)]), "NaN center"),
+            (
+                mk(vec![ball(vec![0.0], 1.0), ball(vec![0.0, 1.0], 1.0)]),
+                "ragged centers",
+            ),
+        ] {
+            let Err(err) = reg.load("m", &bad, &LoadOptions::default()) else {
+                panic!("{why} must be rejected");
+            };
+            assert!(!err.is_empty(), "{why} must carry a message");
+            assert!(reg.is_empty(), "{why} must not register");
+        }
+    }
+
+    #[test]
+    fn concurrent_reloads_leave_the_highest_version_serving() {
+        let data = DatasetId::S5.generate(0.05, 1);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let reg = ModelRegistry::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    reg.load("m", &model, &LoadOptions::default()).unwrap();
+                });
+            }
+        });
+        // Versions are allocated under the swap lock, so the surviving
+        // model carries the last version handed out.
+        assert_eq!(reg.get("m").unwrap().version, 8);
+    }
+}

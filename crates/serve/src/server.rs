@@ -1,0 +1,632 @@
+//! The serving loop: listener, worker pool, routing, admission.
+//!
+//! Connections are accepted on a dedicated thread and handed to a **fixed
+//! pool of worker threads** over a bounded queue; a worker owns its
+//! connection until the peer closes (HTTP keep-alive), reading requests,
+//! routing them, and writing JSON responses. When every worker is busy and
+//! the hand-off queue is at `backlog` capacity, the accept thread sheds the
+//! connection with an immediate `503` instead of queuing unboundedly — the
+//! first of the two admission gates (the second bounds queued rows in the
+//! [`crate::batcher`]).
+
+use crate::batcher::{Batcher, SubmitError};
+use crate::http::{read_request, HttpError, Response};
+use crate::metrics::Metrics;
+use crate::registry::{LoadOptions, ModelRegistry, ServingModel};
+use gb_dataset::index::GranulationBackend;
+use gbabs::{DistanceRule, Sampler};
+use serde::Value;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (= max concurrently served connections).
+    pub workers: usize,
+    /// Admission gate 1: connections allowed to wait for a worker before
+    /// the accept loop sheds with 503.
+    pub backlog: usize,
+    /// Micro-batching on/off (off = predict inline per request).
+    pub micro_batch: bool,
+    /// Max rows coalesced into one predict call.
+    pub max_batch_rows: usize,
+    /// Admission gate 2: max rows queued in the batcher before 503.
+    pub max_queued_rows: usize,
+    /// How long the batcher lingers for more arrivals after the first
+    /// pending request.
+    pub batch_wait: Duration,
+    /// Per-connection idle read timeout (keep-alive reaper).
+    pub read_timeout: Duration,
+    /// Max accepted request body size.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            backlog: 64,
+            micro_batch: true,
+            max_batch_rows: 4096,
+            max_queued_rows: 1 << 16,
+            batch_wait: Duration::from_micros(300),
+            read_timeout: Duration::from_secs(10),
+            max_body_bytes: 64 << 20,
+        }
+    }
+}
+
+/// Shared state every worker routes against.
+struct ServerCtx {
+    registry: Arc<ModelRegistry>,
+    /// `None` when micro-batching is disabled — the predict path then
+    /// calls the predictor inline.
+    batcher: Option<Arc<Batcher>>,
+    metrics: Metrics,
+    config: ServeConfig,
+    started: Instant,
+    stop: AtomicBool,
+}
+
+/// A bound (not yet serving) server.
+pub struct Server {
+    listener: TcpListener,
+    ctx: Arc<ServerCtx>,
+}
+
+/// Handle to a running server; dropping it does **not** stop the server —
+/// call [`ServerHandle::stop`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<ServerCtx>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and assembles the shared state.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let batcher = config.micro_batch.then(|| {
+            Batcher::start(
+                config.max_batch_rows,
+                config.max_queued_rows,
+                config.batch_wait,
+            )
+        });
+        let ctx = Arc::new(ServerCtx {
+            registry,
+            batcher,
+            metrics: Metrics::default(),
+            config,
+            started: Instant::now(),
+            stop: AtomicBool::new(false),
+        });
+        Ok(Server { listener, ctx })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    /// Propagates `local_addr` failures.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the accept loop and worker pool and returns immediately.
+    ///
+    /// # Errors
+    /// Propagates address/thread-spawn failures.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let ctx = Arc::clone(&self.ctx);
+        let workers = ctx.config.workers.max(1);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::with_capacity(workers + 1);
+        for i in 0..workers {
+            let ctx = Arc::clone(&ctx);
+            let rx = Arc::clone(&rx);
+            let queued = Arc::clone(&queued);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gb-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        let conn = rx.lock().expect("worker queue").recv();
+                        match conn {
+                            Ok(stream) => {
+                                queued.fetch_sub(1, Ordering::SeqCst);
+                                handle_connection(stream, &ctx);
+                            }
+                            Err(_) => return, // accept loop gone
+                        }
+                    })?,
+            );
+        }
+        let accept_ctx = Arc::clone(&ctx);
+        let listener = self.listener;
+        threads.push(
+            std::thread::Builder::new()
+                .name("gb-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if accept_ctx.stop.load(Ordering::SeqCst) {
+                            return; // tx drops; workers drain and exit
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if queued.fetch_add(1, Ordering::SeqCst) >= accept_ctx.config.backlog {
+                            queued.fetch_sub(1, Ordering::SeqCst);
+                            accept_ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
+                            shed_connection(stream);
+                            continue;
+                        }
+                        if tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                })?,
+        );
+        Ok(ServerHandle { addr, ctx, threads })
+    }
+}
+
+impl ServerHandle {
+    /// The serving address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks the current thread for the server's lifetime (until another
+    /// thread triggers shutdown or the process is killed) — the foreground
+    /// mode `gbabs serve` runs in.
+    pub fn wait(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn stop(self) {
+        self.ctx.stop.store(true, Ordering::SeqCst);
+        if let Some(batcher) = &self.ctx.batcher {
+            batcher.shutdown();
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Writes a bare 503 to a connection shed at the door.
+fn shed_connection(mut stream: TcpStream) {
+    let body = obj(vec![(
+        "error",
+        Value::Str("server overloaded; retry later".into()),
+    )]);
+    let _ = Response::json(503, render(&body)).write_to(&mut stream, true);
+}
+
+/// Idle-poll granularity: how quickly a worker parked on a keep-alive
+/// connection notices shutdown.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// One worker serving one (keep-alive) connection to completion.
+fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(&stream);
+    let mut idle_deadline = Instant::now() + ctx.config.read_timeout;
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Wait for the next request's first byte in short slices so both
+        // shutdown and the idle reaper stay responsive, then switch to the
+        // full timeout for reading the (now in-flight) request.
+        if reader.buffer().is_empty() {
+            let _ = stream.set_read_timeout(Some(IDLE_POLL));
+            match stream.peek(&mut [0u8; 1]) {
+                Ok(0) => return, // peer closed
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= idle_deadline {
+                        return; // reap idle keep-alive connection
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+        let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+        match read_request(&mut reader, ctx.config.max_body_bytes) {
+            Ok(req) => {
+                let close = req.close;
+                let response = route(&req, ctx);
+                let mut out = &stream;
+                if response.write_to(&mut out, close).is_err() || close {
+                    return;
+                }
+                idle_deadline = Instant::now() + ctx.config.read_timeout;
+            }
+            Err(HttpError::ConnectionClosed) => return,
+            Err(HttpError::Io(_)) => return, // timeout or reset: reap
+            Err(e) => {
+                let status = match e {
+                    HttpError::TooLarge(_) => 413,
+                    _ => 400,
+                };
+                ctx.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                let body = obj(vec![("error", Value::Str(e.to_string()))]);
+                let mut out = &stream;
+                let _ = Response::json(status, render(&body)).write_to(&mut out, true);
+                return;
+            }
+        }
+    }
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "{}".into())
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn err_response(ctx: &ServerCtx, status: u16, message: impl Into<String>) -> Response {
+    if status == 503 {
+        ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
+    } else if status >= 500 {
+        ctx.metrics.server_errors.fetch_add(1, Ordering::Relaxed);
+    } else {
+        ctx.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+    }
+    Response::json(
+        status,
+        render(&obj(vec![("error", Value::Str(message.into()))])),
+    )
+}
+
+/// Routes one parsed request.
+fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                render(&obj(vec![
+                    ("status", Value::Str("ok".into())),
+                    ("models", Value::Num(ctx.registry.len() as f64)),
+                    ("uptime_s", Value::Num(ctx.started.elapsed().as_secs_f64())),
+                ])),
+            )
+        }
+        ("GET", "/metrics") => metrics_endpoint(ctx),
+        ("GET", "/models") => {
+            ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
+            let names = ctx
+                .registry
+                .names()
+                .into_iter()
+                .map(Value::Str)
+                .collect::<Vec<_>>();
+            Response::json(200, render(&obj(vec![("models", Value::Arr(names))])))
+        }
+        ("GET", "/model") => model_endpoint(req, ctx),
+        ("POST", "/predict") => predict_endpoint(req, ctx),
+        ("POST", "/sample") => sample_endpoint(req, ctx),
+        ("POST", path) if path.starts_with("/models/") => reload_endpoint(req, ctx),
+        (_, "/healthz" | "/metrics" | "/models" | "/model" | "/predict" | "/sample") => {
+            err_response(ctx, 405, format!("method {} not allowed here", req.method))
+        }
+        _ => err_response(ctx, 404, format!("no route for {}", req.path)),
+    }
+}
+
+fn metrics_endpoint(ctx: &ServerCtx) -> Response {
+    let m = &ctx.metrics;
+    let zero_stats = crate::batcher::BatchStats::default();
+    let b = ctx
+        .batcher
+        .as_ref()
+        .map_or(&zero_stats, |batcher| &batcher.stats);
+    let body = obj(vec![
+        (
+            "requests",
+            obj(vec![
+                (
+                    "predict",
+                    Value::Num(m.predict_requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "sample",
+                    Value::Num(m.sample_requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "model",
+                    Value::Num(m.model_requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "healthz",
+                    Value::Num(m.health_requests.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "reload",
+                    Value::Num(m.reloads.load(Ordering::Relaxed) as f64),
+                ),
+            ]),
+        ),
+        (
+            "predict_rows",
+            Value::Num(m.predict_rows.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "client_errors",
+            Value::Num(m.client_errors.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "server_errors",
+            Value::Num(m.server_errors.load(Ordering::Relaxed) as f64),
+        ),
+        ("shed", Value::Num(m.shed.load(Ordering::Relaxed) as f64)),
+        (
+            "batcher",
+            obj(vec![
+                (
+                    "flushes",
+                    Value::Num(b.flushes.load(Ordering::Relaxed) as f64),
+                ),
+                ("rows", Value::Num(b.rows.load(Ordering::Relaxed) as f64)),
+                (
+                    "max_requests_per_flush",
+                    Value::Num(b.max_requests_per_flush.load(Ordering::Relaxed) as f64),
+                ),
+                ("shed", Value::Num(b.shed.load(Ordering::Relaxed) as f64)),
+            ]),
+        ),
+        ("predict_latency_us", m.predict_latency.to_value()),
+    ]);
+    Response::json(200, render(&body))
+}
+
+fn model_stats_value(model: &ServingModel) -> Value {
+    let s = &model.stats;
+    obj(vec![
+        ("name", Value::Str(model.name.clone())),
+        ("version", Value::Num(model.version as f64)),
+        ("n_features", Value::Num(model.n_features as f64)),
+        ("n_classes", Value::Num(model.n_classes as f64)),
+        ("k", Value::Num(model.predictor.k() as f64)),
+        ("backend", Value::Str(model.backend.to_string())),
+        ("n_balls", Value::Num(s.n_balls as f64)),
+        ("n_singletons", Value::Num(s.n_singletons as f64)),
+        ("radius_min", Value::Num(s.radius_min)),
+        ("radius_mean", Value::Num(s.radius_mean)),
+        ("radius_max", Value::Num(s.radius_max)),
+        ("noise_rows", Value::Num(s.noise_rows as f64)),
+        ("iterations", Value::Num(s.iterations as f64)),
+    ])
+}
+
+fn model_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
+    let name = req.query_param("name").unwrap_or("default");
+    match ctx.registry.get(name) {
+        Some(model) => Response::json(200, render(&model_stats_value(&model))),
+        None => err_response(ctx, 404, format!("no model named '{name}'")),
+    }
+}
+
+fn parse_body(req: &crate::http::Request) -> Result<Value, String> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| "body is not UTF-8".to_string())?;
+    serde_json::from_str::<Value>(text).map_err(|e| format!("bad JSON: {e}"))
+}
+
+/// Extracts the query rows from a predict body: either `"rows": [[..]..]`
+/// or `"row": [..]`. Validates width and finiteness.
+fn extract_rows(body: &Value, n_features: usize) -> Result<Vec<f64>, String> {
+    let rows: Vec<&Value> = match (body.get("rows"), body.get("row")) {
+        (Some(Value::Arr(rows)), None) => rows.iter().collect(),
+        (None, Some(row @ Value::Arr(_))) => vec![row],
+        (Some(_), Some(_)) => return Err("provide either 'row' or 'rows', not both".into()),
+        _ => return Err("missing 'row' (array) or 'rows' (array of arrays)".into()),
+    };
+    if rows.is_empty() {
+        return Err("'rows' is empty".into());
+    }
+    let mut flat = Vec::with_capacity(rows.len() * n_features);
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Arr(values) = row else {
+            return Err(format!("row {i} is not an array"));
+        };
+        if values.len() != n_features {
+            return Err(format!(
+                "row {i} has {} values, model expects {n_features}",
+                values.len()
+            ));
+        }
+        for v in values {
+            let Value::Num(x) = v else {
+                return Err(format!("row {i} contains a non-numeric value"));
+            };
+            if !x.is_finite() {
+                return Err(format!("row {i} contains a non-finite value"));
+            }
+            flat.push(*x);
+        }
+    }
+    Ok(flat)
+}
+
+fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    let start = Instant::now();
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(e) => return err_response(ctx, 400, e),
+    };
+    let name = match body.get("model") {
+        Some(Value::Str(s)) => s.as_str(),
+        None => "default",
+        Some(_) => return err_response(ctx, 400, "'model' must be a string"),
+    };
+    let Some(model) = ctx.registry.get(name) else {
+        return err_response(ctx, 404, format!("no model named '{name}'"));
+    };
+    let rows = match extract_rows(&body, model.n_features) {
+        Ok(r) => r,
+        Err(e) => return err_response(ctx, 400, e),
+    };
+    let n_rows = rows.len() / model.n_features;
+    // Micro-batch small requests; a request at or above the flush cap is
+    // already its own batch, so it runs inline instead of bouncing off the
+    // queued-rows gate with a 503 that no retry could ever satisfy.
+    let coalesce = ctx
+        .batcher
+        .as_ref()
+        .filter(|_| n_rows < ctx.config.max_batch_rows);
+    let predictions = match coalesce {
+        Some(batcher) => match batcher.predict(&model, rows) {
+            Ok(p) => p,
+            Err(SubmitError::Overloaded) => {
+                return err_response(ctx, 503, "prediction queue full; retry later")
+            }
+            Err(SubmitError::Closed) => return err_response(ctx, 503, "server shutting down"),
+            Err(SubmitError::Failed(message)) => return err_response(ctx, 500, message),
+        },
+        None => model.predictor.predict_batch(&rows, model.n_features),
+    };
+    ctx.metrics.predict_requests.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics
+        .predict_rows
+        .fetch_add(n_rows as u64, Ordering::Relaxed);
+    ctx.metrics.predict_latency.observe(start.elapsed());
+    let preds = predictions
+        .into_iter()
+        .map(|p| Value::Num(f64::from(p)))
+        .collect::<Vec<_>>();
+    Response::json(
+        200,
+        render(&obj(vec![
+            ("model", Value::Str(model.name.clone())),
+            ("version", Value::Num(model.version as f64)),
+            ("predictions", Value::Arr(preds)),
+        ])),
+    )
+}
+
+fn sample_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(e) => return err_response(ctx, 400, e),
+    };
+    let Some(Value::Str(csv)) = body.get("csv") else {
+        return err_response(ctx, 400, "missing 'csv' (string: headered CSV, label last)");
+    };
+    let rho = match body.get("rho") {
+        Some(Value::Num(n)) => *n as usize,
+        None => 5,
+        Some(_) => return err_response(ctx, 400, "'rho' must be a number"),
+    };
+    if rho < 2 {
+        return err_response(ctx, 400, "'rho' must be at least 2");
+    }
+    let seed = match body.get("seed") {
+        Some(Value::Num(n)) => *n as u64,
+        None => 42,
+        Some(_) => return err_response(ctx, 400, "'seed' must be a number"),
+    };
+    let data = match gb_dataset::io::read_csv_str(csv, &gb_dataset::io::CsvOptions::default()) {
+        Ok(d) => d,
+        Err(e) => return err_response(ctx, 400, format!("bad CSV: {e}")),
+    };
+    if data.n_classes() < 2 {
+        return err_response(
+            ctx,
+            400,
+            "dataset has a single class; borderline sampling needs at least 2",
+        );
+    }
+    let sampler = gbabs::GbabsSampler {
+        density_tolerance: rho,
+        backend: GranulationBackend::Auto,
+    };
+    let out = sampler.sample(&data, seed);
+    ctx.metrics.sample_requests.fetch_add(1, Ordering::Relaxed);
+    let kept = out
+        .kept_rows
+        .unwrap_or_default()
+        .into_iter()
+        .map(|r| Value::Num(r as f64))
+        .collect::<Vec<_>>();
+    Response::json(
+        200,
+        render(&obj(vec![
+            ("n_in", Value::Num(data.n_samples() as f64)),
+            ("n_out", Value::Num(out.dataset.n_samples() as f64)),
+            (
+                "ratio",
+                Value::Num(out.dataset.n_samples() as f64 / data.n_samples().max(1) as f64),
+            ),
+            ("kept_rows", Value::Arr(kept)),
+        ])),
+    )
+}
+
+fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    let name = req.path.trim_start_matches("/models/");
+    if name.is_empty() || name.contains('/') {
+        return err_response(ctx, 400, "model name must be a single path segment");
+    }
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(e) => return err_response(ctx, 400, e),
+    };
+    let Some(model_value) = body.get("model") else {
+        return err_response(ctx, 400, "missing 'model' (RdGbgModel JSON object)");
+    };
+    let k = match body.get("k") {
+        Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
+        None => 1,
+        Some(_) => return err_response(ctx, 400, "'k' must be a positive number"),
+    };
+    let rule = match body.get("rule") {
+        Some(Value::Str(s)) if s.eq_ignore_ascii_case("surface") => DistanceRule::Surface,
+        Some(Value::Str(s)) if s.eq_ignore_ascii_case("center") => DistanceRule::Center,
+        None => DistanceRule::Surface,
+        Some(_) => return err_response(ctx, 400, "'rule' must be 'surface' or 'center'"),
+    };
+    let options = LoadOptions {
+        k,
+        rule,
+        ..LoadOptions::default()
+    };
+    match ctx.registry.load_value(name, model_value, &options) {
+        Ok(model) => {
+            ctx.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+            Response::json(200, render(&model_stats_value(&model)))
+        }
+        Err(e) => err_response(ctx, 400, e),
+    }
+}

@@ -1,0 +1,394 @@
+//! End-to-end tests of the serving subsystem: a real server on an
+//! ephemeral port, driven by real sockets — concurrent clients, hot
+//! reload under load, malformed input, admission-gate shedding, and
+//! bit-exact agreement with the offline predictor.
+
+use gb_dataset::catalog::DatasetId;
+use gb_dataset::Dataset;
+use gb_serve::registry::LoadOptions;
+use gb_serve::{HttpClient, ModelRegistry, ServeConfig, Server};
+use gbabs::{rd_gbg, GbKnn, RdGbgConfig, Sampler};
+use serde::Value;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fixture() -> (Dataset, gbabs::RdGbgModel) {
+    let data = DatasetId::S5.generate(0.05, 1);
+    let model = rd_gbg(&data, &RdGbgConfig::default());
+    (data, model)
+}
+
+fn boot(config: ServeConfig) -> (gb_serve::ServerHandle, Dataset, GbKnn) {
+    let (data, model) = fixture();
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load("default", &model, &LoadOptions::default())
+        .expect("load model");
+    let offline = GbKnn::from_model(&model, data.n_classes(), 1);
+    let handle = Server::bind(config, registry)
+        .expect("bind")
+        .start()
+        .expect("start");
+    (handle, data, offline)
+}
+
+fn client(handle: &gb_serve::ServerHandle) -> HttpClient {
+    HttpClient::connect(handle.addr(), Duration::from_secs(20)).expect("connect")
+}
+
+fn rows_json(data: &Dataset, rows: &[usize]) -> String {
+    let mut body = String::from("{\"rows\":[");
+    for (i, &r) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (d, v) in data.row(r).iter().enumerate() {
+            if d > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{v}");
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    body
+}
+
+fn predictions_of(body: &str) -> Vec<u32> {
+    let v: Value = serde_json::from_str(body).expect("response JSON");
+    let Some(Value::Arr(preds)) = v.get("predictions") else {
+        panic!("no predictions in {body}");
+    };
+    preds
+        .iter()
+        .map(|p| match p {
+            Value::Num(n) => *n as u32,
+            other => panic!("non-numeric prediction {other:?}"),
+        })
+        .collect()
+}
+
+fn version_of(body: &str) -> u64 {
+    let v: Value = serde_json::from_str(body).expect("response JSON");
+    match v.get("version") {
+        Some(Value::Num(n)) => *n as u64,
+        _ => panic!("no version in {body}"),
+    }
+}
+
+#[test]
+fn predict_single_and_batch_match_offline_exactly() {
+    let (handle, data, offline) = boot(ServeConfig::default());
+    let expected = offline.predict(&data);
+    let mut c = client(&handle);
+
+    // single row
+    let (status, body) = c
+        .request("POST", "/predict", Some(&rows_json(&data, &[0])))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(predictions_of(&body), vec![expected[0]]);
+
+    // a batch
+    let rows: Vec<usize> = (0..data.n_samples()).collect();
+    let (status, body) = c
+        .request("POST", "/predict", Some(&rows_json(&data, &rows)))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(predictions_of(&body), expected, "server must match offline");
+
+    // "row" spelling
+    let mut single = String::from("{\"row\":[");
+    for (d, v) in data.row(7).iter().enumerate() {
+        if d > 0 {
+            single.push(',');
+        }
+        let _ = write!(single, "{v}");
+    }
+    single.push_str("]}");
+    let (status, body) = c.request("POST", "/predict", Some(&single)).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(predictions_of(&body), vec![expected[7]]);
+
+    handle.stop();
+}
+
+#[test]
+fn concurrent_clients_with_hot_reload_mid_traffic() {
+    let (handle, data, offline) = boot(ServeConfig::default());
+    let expected = offline.predict(&data);
+    let n = data.n_samples();
+
+    std::thread::scope(|s| {
+        // Traffic: 6 clients hammering /predict with disjoint-ish slices.
+        for t in 0..6 {
+            let handle = &handle;
+            let data = &data;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut c = client(handle);
+                for round in 0..30 {
+                    let lo = (t * 7 + round) % n;
+                    let hi = (lo + 11).min(n);
+                    let rows: Vec<usize> = (lo..hi).collect();
+                    let (status, body) = c
+                        .request("POST", "/predict", Some(&rows_json(data, &rows)))
+                        .expect("predict under reload");
+                    assert_eq!(status, 200, "{body}");
+                    // The reload swaps in the *same* cover, so every
+                    // response — old or new version — must match offline.
+                    let preds = predictions_of(&body);
+                    for (i, &r) in rows.iter().enumerate() {
+                        assert_eq!(preds[i], expected[r], "row {r} (round {round})");
+                    }
+                }
+            });
+        }
+        // Reloader: repeatedly hot-swap the same model under load.
+        let handle = &handle;
+        s.spawn(move || {
+            let (_, model) = fixture();
+            let model_json = serde_json::to_string(&model).unwrap();
+            let mut c = client(handle);
+            for _ in 0..10 {
+                let body = format!("{{\"model\":{model_json},\"k\":1}}");
+                let (status, resp) = c
+                    .request("POST", "/models/default", Some(&body))
+                    .expect("reload");
+                assert_eq!(status, 200, "{resp}");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+    });
+
+    // After the dust settles the active version reflects the reloads.
+    let mut c = client(&handle);
+    let (status, body) = c
+        .request("POST", "/predict", Some(&rows_json(&data, &[0])))
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(version_of(&body) > 10, "reloads must bump the version");
+    handle.stop();
+}
+
+#[test]
+fn malformed_and_mismatched_requests_get_4xx() {
+    let (handle, data, _) = boot(ServeConfig::default());
+    let mut c = client(&handle);
+
+    let (status, body) = c.request("POST", "/predict", Some("{not json")).unwrap();
+    assert_eq!(status, 400, "{body}");
+
+    let (status, _) = c.request("POST", "/predict", Some("{}")).unwrap();
+    assert_eq!(status, 400);
+
+    let (status, _) = c
+        .request("POST", "/predict", Some("{\"rows\":[[1.0]]}"))
+        .unwrap();
+    assert_eq!(status, 400, "wrong dimensionality");
+
+    let (status, _) = c
+        .request(
+            "POST",
+            "/predict",
+            Some("{\"model\":\"nope\",\"rows\":[[1.0,2.0]]}"),
+        )
+        .unwrap();
+    assert_eq!(status, 404, "unknown model");
+
+    let (status, _) = c.request("GET", "/nowhere", None).unwrap();
+    assert_eq!(status, 404);
+
+    let (status, _) = c.request("DELETE", "/predict", None).unwrap();
+    assert_eq!(status, 405);
+
+    // Metrics saw the client errors.
+    let (status, body) = c.request("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    let Some(Value::Num(errors)) = v.get("client_errors") else {
+        panic!("no client_errors in {body}");
+    };
+    assert!(*errors >= 3.0, "{body}");
+    drop(data);
+    handle.stop();
+}
+
+#[test]
+fn over_capacity_connection_is_shed_with_503() {
+    let (handle, data, _) = boot(ServeConfig {
+        workers: 1,
+        backlog: 1,
+        ..ServeConfig::default()
+    });
+
+    // A: occupies the single worker (keep-alive holds it).
+    let mut a = client(&handle);
+    let (status, _) = a
+        .request("POST", "/predict", Some(&rows_json(&data, &[0])))
+        .unwrap();
+    assert_eq!(status, 200);
+
+    // B: fills the single backlog slot (never served while A is open).
+    let b = client(&handle);
+
+    // C: over capacity — the admission gate must shed with 503. The single
+    // accept thread processes connects in order (B's enqueue happens before
+    // C's gate check) and the only worker is parked on A's open socket, so
+    // this is deterministic.
+    let mut c = client(&handle);
+    let (status, body) = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 503, "expected shed, got {body}");
+
+    // Releasing A and B lets the worker drain the queue: new connections
+    // are served again (poll — the worker notices closed sockets on its
+    // idle-poll tick, and a retry may still hit the gate meanwhile).
+    drop(a);
+    drop(b);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut fresh = client(&handle);
+        match fresh.request("GET", "/healthz", None) {
+            Ok((200, _)) => break,
+            Ok((503, _)) | Err(_) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok((status, body)) => panic!("unexpected recovery response {status}: {body}"),
+            Err(e) => panic!("server did not recover in time: {e}"),
+        }
+    }
+    handle.stop();
+}
+
+#[test]
+fn oversized_request_bypasses_the_batcher_and_still_serves() {
+    // max_batch_rows of 8 with a 20-row request: the batcher would shed it
+    // forever, so the handler must predict inline instead.
+    let (handle, data, offline) = boot(ServeConfig {
+        max_batch_rows: 8,
+        max_queued_rows: 8,
+        ..ServeConfig::default()
+    });
+    let expected = offline.predict(&data);
+    let rows: Vec<usize> = (0..20).collect();
+    let mut c = client(&handle);
+    let (status, body) = c
+        .request("POST", "/predict", Some(&rows_json(&data, &rows)))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(predictions_of(&body), expected[..20].to_vec());
+    handle.stop();
+}
+
+#[test]
+fn poisoned_reload_is_rejected_and_serving_continues() {
+    let (handle, data, offline) = boot(ServeConfig::default());
+    let mut c = client(&handle);
+
+    // Non-finite geometry must be refused at load time (400), never
+    // swapped in where it would poison the predict path.
+    let poisoned = "{\"model\":{\"balls\":[{\"center\":[1e999,0.0],\"radius\":1e999,\
+                    \"label\":0,\"members\":[0],\"center_row\":null,\"purity\":1.0}],\
+                    \"noise\":[],\"orphan_count\":0,\"iterations\":1}}";
+    let (status, body) = c
+        .request("POST", "/models/default", Some(poisoned))
+        .unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.contains("non-finite") || body.contains("invalid radius"),
+        "{body}"
+    );
+
+    // The original model is still serving, bit-identically.
+    let (status, body) = c
+        .request("POST", "/predict", Some(&rows_json(&data, &[0, 1, 2])))
+        .unwrap();
+    assert_eq!(status, 200);
+    let expected = offline.predict(&data);
+    assert_eq!(predictions_of(&body), expected[..3].to_vec());
+    assert_eq!(
+        version_of(&body),
+        1,
+        "poisoned reload must not bump version"
+    );
+    handle.stop();
+}
+
+#[test]
+fn sample_endpoint_matches_offline_gbabs() {
+    let (handle, _, _) = boot(ServeConfig::default());
+    let upload = DatasetId::S2.generate(0.1, 9);
+    let csv = gb_dataset::io::write_csv_str(&upload);
+    let offline = gbabs::GbabsSampler {
+        density_tolerance: 5,
+        backend: gb_dataset::index::GranulationBackend::Auto,
+    }
+    .sample(&upload, 7);
+    let expected: Vec<usize> = offline.kept_rows.expect("undersampler");
+
+    let mut c = client(&handle);
+    let body = serde_json::to_string(&Value::Obj(vec![
+        ("csv".into(), Value::Str(csv)),
+        ("rho".into(), Value::Num(5.0)),
+        ("seed".into(), Value::Num(7.0)),
+    ]))
+    .unwrap();
+    let (status, resp) = c.request("POST", "/sample", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{resp}");
+    let v: Value = serde_json::from_str(&resp).unwrap();
+    let Some(Value::Arr(kept)) = v.get("kept_rows") else {
+        panic!("no kept_rows in {resp}");
+    };
+    let got: Vec<usize> = kept
+        .iter()
+        .map(|k| match k {
+            Value::Num(n) => *n as usize,
+            other => panic!("bad row {other:?}"),
+        })
+        .collect();
+    assert_eq!(got, expected, "served sampling must match offline GBABS");
+
+    // Degenerate uploads are clean 400s, not panics.
+    let one_class = "{\"csv\":\"f0,label\\n1.0,0\\n2.0,0\\n\"}";
+    let (status, resp) = c.request("POST", "/sample", Some(one_class)).unwrap();
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("single class"), "{resp}");
+
+    let bad_rho = "{\"csv\":\"f0,label\\n1.0,0\\n2.0,1\\n\",\"rho\":1}";
+    let (status, resp) = c.request("POST", "/sample", Some(bad_rho)).unwrap();
+    assert_eq!(status, 400, "{resp}");
+    handle.stop();
+}
+
+#[test]
+fn health_model_and_models_endpoints_report() {
+    let (handle, data, offline) = boot(ServeConfig::default());
+    let mut c = client(&handle);
+
+    let (status, body) = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    let (status, body) = c.request("GET", "/models", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("default"), "{body}");
+
+    let (status, body) = c.request("GET", "/model?name=default", None).unwrap();
+    assert_eq!(status, 200);
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        v.get("n_balls"),
+        Some(&Value::Num(offline.n_balls() as f64)),
+        "{body}"
+    );
+    assert_eq!(
+        v.get("n_features"),
+        Some(&Value::Num(data.n_features() as f64))
+    );
+
+    let (status, _) = c.request("GET", "/model?name=ghost", None).unwrap();
+    assert_eq!(status, 404);
+    handle.stop();
+}

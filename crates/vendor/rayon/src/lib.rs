@@ -3,8 +3,8 @@
 //! The registry is unreachable in this build environment, so this crate
 //! provides the parallel-iterator subset the workspace consumes —
 //! `par_iter()` on slices, `into_par_iter()` on `Range<usize>` and vectors,
-//! `map`/`for_each`/`collect`/`sum` — executed on `std::thread::scope`
-//! worker threads with contiguous chunking.
+//! `map`/`for_each`/`collect`/`sum` — executed on a **persistent worker
+//! pool** with contiguous chunking.
 //!
 //! Guarantees relied on by callers:
 //!
@@ -14,12 +14,24 @@
 //! * **Panic propagation** — a panicking closure aborts the whole operation
 //!   with that panic, like rayon.
 //!
-//! There is no work stealing: each worker takes one contiguous chunk. For
-//! the near-uniform per-item costs in this workspace (distance scans, kNN
-//! queries, per-row synthesis) that is within noise of a stealing pool.
-//! Swap the path dependency for real rayon when registry access exists.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! # Persistent pool
+//!
+//! Worker threads are spawned once (lazily, on the first parallel call) and
+//! park on a job queue, so a parallel section costs two atomic hops instead
+//! of thread spawn + join. That moves the break-even size for fine-grained
+//! sections (e.g. a server's micro-batched predict over a few hundred rows)
+//! from tens of thousands of items down to hundreds. The calling thread
+//! always **participates** in its own job — claiming chunks exactly like a
+//! worker — so progress never depends on pool availability: with every
+//! worker busy (or a pool of zero), the call degenerates to the serial
+//! loop. That same property makes nested parallel sections deadlock-free:
+//! a section started from inside a worker completes through its caller.
+//!
+//! There is no work stealing: threads claim fixed-size contiguous chunks
+//! from an atomic cursor. For the near-uniform per-item costs in this
+//! workspace (distance scans, kNN queries, per-row synthesis) that is
+//! within noise of a stealing pool. Swap the path dependency for real
+//! rayon when registry access exists.
 
 /// Re-exports of the traits needed at call sites, mirroring rayon.
 pub mod prelude {
@@ -130,13 +142,15 @@ impl<S: IndexedSource> ParallelIterator for ParIter<S> {
     }
 }
 
-/// Executes `f(i, item)` for every index, chunked across worker threads.
+/// Executes `f(i, item)` for every index, chunked across the persistent
+/// worker pool (the caller participates).
 fn run_chunked<S: IndexedSource>(source: &S, f: &(impl Fn(usize, S::Item) + Sync)) {
     run_chunked_with(source, current_num_threads(), f);
 }
 
-/// [`run_chunked`] with an explicit worker count, so the multi-threaded
-/// branch is testable even on single-CPU hosts (threads timeslice).
+/// [`run_chunked`] with an explicit parallelism width — `workers` only
+/// sizes the chunks (the pool is shared and fixed); passing it keeps the
+/// chunking deterministic in tests regardless of host CPU count.
 fn run_chunked_with<S: IndexedSource>(
     source: &S,
     workers: usize,
@@ -156,20 +170,241 @@ fn run_chunked_with<S: IndexedSource>(
     // Atomic chunk cursor: threads grab fixed-size chunks until exhausted,
     // which tolerates moderately non-uniform item costs.
     let chunk = (n / (workers * 4)).max(1);
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
-                    break;
+    let call = |i: usize| f(i, source.get(i));
+    pool::run(n, chunk, &call);
+}
+
+/// The persistent worker pool backing every parallel section.
+mod pool {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// One parallel section. Lives on the caller's stack for the duration
+    /// of [`run`]; workers reach it through a registered [`JobRef`].
+    struct Job {
+        /// Type-erased `closure(i)`; `ctx` points at the caller's closure.
+        call: unsafe fn(*const (), usize),
+        ctx: *const (),
+        n: usize,
+        chunk: usize,
+        /// Next unclaimed index; claims are `fetch_add(chunk)`.
+        cursor: AtomicUsize,
+        /// Workers currently executing chunks of this job (the caller is
+        /// tracked by program order, not by this counter).
+        active: AtomicUsize,
+        /// First panic payload raised by a worker chunk.
+        panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+        /// Signals `active` reaching 0 to the waiting caller.
+        done: Condvar,
+        done_lock: Mutex<()>,
+    }
+
+    impl Job {
+        /// Claims and executes chunks until the cursor is exhausted.
+        ///
+        /// # Safety
+        /// Must only run while the job's owner is inside [`run`] (enforced
+        /// by the registration protocol: workers find jobs only through the
+        /// registry, enter with `active` incremented under the registry
+        /// lock, and [`run`] deregisters then waits for `active == 0`).
+        unsafe fn execute_chunks(&self) {
+            loop {
+                let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+                if start >= self.n {
+                    return;
                 }
-                for i in start..(start + chunk).min(n) {
-                    f(i, source.get(i));
+                for i in start..(start + self.chunk).min(self.n) {
+                    (self.call)(self.ctx, i);
+                }
+            }
+        }
+
+        /// Stops further chunk claims (already-claimed chunks still finish).
+        fn cancel(&self) {
+            self.cursor.store(self.n, Ordering::Relaxed);
+        }
+    }
+
+    /// Shareable pointer to a stack-resident [`Job`]. Valid only while the
+    /// job is registered or `active` is held (see `execute_chunks` safety).
+    #[derive(Clone, Copy)]
+    struct JobRef(*const Job);
+    unsafe impl Send for JobRef {}
+
+    struct Pool {
+        /// Jobs with potentially unclaimed chunks.
+        jobs: Mutex<Vec<JobRef>>,
+        /// Wakes parked workers when a job is registered.
+        available: Condvar,
+    }
+
+    static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+    /// Lazily spawns the worker threads. At least one worker exists even on
+    /// single-CPU hosts so the concurrent path is always exercised; workers
+    /// park when idle and live for the process lifetime.
+    fn pool() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let pool: &'static Pool = Box::leak(Box::new(Pool {
+                jobs: Mutex::new(Vec::new()),
+                available: Condvar::new(),
+            }));
+            let helpers = super::current_num_threads().saturating_sub(1).max(1);
+            for _ in 0..helpers {
+                std::thread::Builder::new()
+                    .name("gb-rayon-worker".into())
+                    .spawn(move || worker_loop(pool))
+                    .expect("spawn pool worker");
+            }
+            pool
+        })
+    }
+
+    fn worker_loop(pool: &'static Pool) {
+        let mut guard = pool.jobs.lock().expect("pool lock");
+        loop {
+            // Find a job with unclaimed chunks; enter it (bump `active`)
+            // while still holding the registry lock so the owner cannot
+            // deregister-and-return in between.
+            let found = guard
+                .iter()
+                .find(|j| unsafe { (*j.0).cursor.load(Ordering::Relaxed) < (*j.0).n })
+                .copied();
+            let Some(job_ref) = found else {
+                guard = pool.available.wait(guard).expect("pool wait");
+                continue;
+            };
+            let job = unsafe { &*job_ref.0 };
+            job.active.fetch_add(1, Ordering::SeqCst);
+            drop(guard);
+
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { job.execute_chunks() }));
+            if let Err(payload) = outcome {
+                job.panic.lock().expect("panic slot").get_or_insert(payload);
+                job.cancel();
+            }
+            // Leave the job under its completion lock so the owner's
+            // predicate check and our notify cannot interleave badly.
+            let done_guard = job.done_lock.lock().expect("done lock");
+            job.active.fetch_sub(1, Ordering::SeqCst);
+            job.done.notify_all();
+            drop(done_guard);
+
+            guard = pool.jobs.lock().expect("pool lock");
+        }
+    }
+
+    /// Deregisters the job and blocks until no worker is inside it — runs
+    /// on both the normal and the unwinding exit path, which is what makes
+    /// lending out a stack-resident job sound.
+    struct CompletionGuard<'a> {
+        pool: &'static Pool,
+        job: &'a Job,
+    }
+
+    impl Drop for CompletionGuard<'_> {
+        fn drop(&mut self) {
+            self.job.cancel();
+            {
+                let mut jobs = self.pool.jobs.lock().expect("pool lock");
+                let me = self.job as *const Job;
+                jobs.retain(|j| j.0 != me);
+            }
+            let mut guard = self.job.done_lock.lock().expect("done lock");
+            while self.job.active.load(Ordering::SeqCst) > 0 {
+                guard = self.job.done.wait(guard).expect("done wait");
+            }
+        }
+    }
+
+    /// Runs `closure(i)` for every `i in 0..n` across the pool, the caller
+    /// included. Returns when every index has been executed; propagates the
+    /// first panic.
+    pub(super) fn run<F: Fn(usize) + Sync>(n: usize, chunk: usize, closure: &F) {
+        unsafe fn call_closure<F: Fn(usize)>(ctx: *const (), i: usize) {
+            (*ctx.cast::<F>())(i);
+        }
+        let job = Job {
+            call: call_closure::<F>,
+            ctx: std::ptr::from_ref(closure).cast(),
+            n,
+            chunk,
+            cursor: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done: Condvar::new(),
+            done_lock: Mutex::new(()),
+        };
+        let pool = pool();
+        {
+            let mut jobs = pool.jobs.lock().expect("pool lock");
+            jobs.push(JobRef(&job));
+            pool.available.notify_all();
+        }
+        {
+            // The guard deregisters and drains workers even if the caller's
+            // own chunk panics below.
+            let _guard = CompletionGuard { pool, job: &job };
+            // SAFETY: the job outlives this scope; the guard keeps it alive
+            // for workers until `active == 0`.
+            unsafe { job.execute_chunks() };
+        }
+        let payload = job.panic.lock().expect("panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn worker_panic_propagates_to_caller() {
+            let result = std::panic::catch_unwind(|| {
+                super::run(10_000, 8, &|i| {
+                    assert!(i != 7777, "planted panic");
+                });
+            });
+            assert!(result.is_err(), "panic must propagate");
+            // The pool must stay usable after a panicked job.
+            let hits = AtomicUsize::new(0);
+            super::run(1000, 16, &|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), 1000);
+        }
+
+        #[test]
+        fn concurrent_jobs_from_many_threads() {
+            // Several threads race parallel sections through the shared
+            // pool — every section must still visit each index exactly once.
+            std::thread::scope(|s| {
+                for t in 0..6 {
+                    s.spawn(move || {
+                        let n = 3000 + t * 17;
+                        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                        super::run(n, 8, &|i| {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+                    });
                 }
             });
         }
-    });
+
+        #[test]
+        fn nested_sections_complete() {
+            let total = AtomicUsize::new(0);
+            super::run(8, 1, &|_| {
+                super::run(64, 4, &|_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(total.into_inner(), 8 * 64);
+        }
+    }
 }
 
 /// Materializes all items in input order.

@@ -9,5 +9,6 @@ pub use gb_classifiers;
 pub use gb_dataset;
 pub use gb_metrics;
 pub use gb_sampling;
+pub use gb_serve;
 pub use gb_viz;
 pub use gbabs;
