@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate (ISSUE 3 satellite).
+
+Reads the machine-readable bench output the in-tree criterion stand-in
+appends to ``target/bench-results.jsonl`` and compares it against the
+committed baselines in ``ci/bench-thresholds.json``. Two kinds of gate:
+
+* **Calibrated absolute gates** (``baselines_ns``): medians recorded on the
+  baseline host. Raw nanoseconds do not transfer between machines, so the
+  gate first computes ``scale = observed(anchor) / baseline(anchor)`` from
+  the designated anchor bench (a pure-scalar kernel whose implementation is
+  the workspace's frozen reference), then fails any bench whose median
+  exceeds ``baseline * scale * max_regression``. A >25% regression relative
+  to the rest of the suite therefore fails regardless of runner speed.
+* **Ratio gates** (``ratio_gates``): hardware-independent invariants, e.g.
+  "the batched SIMD kernel must stay >=1.5x faster than the per-pair scalar
+  kernel at p >= 64" (``max_ratio`` = 1/1.5). These encode the PR's
+  acceptance criteria directly.
+
+Writes a full report to ``target/perf-gate-report.json`` (uploaded as a
+workflow artifact) and exits non-zero when any gate fails or any gated
+bench is missing from the run.
+"""
+
+import json
+import os
+import sys
+
+RESULTS = os.environ.get("BENCH_RESULTS", "target/bench-results.jsonl")
+THRESHOLDS = os.environ.get("BENCH_THRESHOLDS", "ci/bench-thresholds.json")
+REPORT = os.environ.get("BENCH_REPORT", "target/perf-gate-report.json")
+
+
+def load_results(path):
+    """Latest median per bench name (reruns within one job overwrite)."""
+    medians = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            medians[row["bench"]] = row["median_ns"]
+    return medians
+
+
+def main():
+    with open(THRESHOLDS, encoding="utf-8") as f:
+        spec = json.load(f)
+    try:
+        observed = load_results(RESULTS)
+    except FileNotFoundError:
+        print(f"perf-gate: no bench results at {RESULTS}", file=sys.stderr)
+        return 2
+
+    max_regression = spec.get("max_regression", 1.25)
+    baselines = spec.get("baselines_ns", {})
+    anchor = spec.get("anchor")
+    failures, checks = [], []
+
+    scale = 1.0
+    if anchor:
+        if anchor not in observed:
+            failures.append(f"anchor bench '{anchor}' missing from results")
+        elif anchor not in baselines:
+            failures.append(f"anchor bench '{anchor}' has no committed baseline")
+        else:
+            scale = observed[anchor] / baselines[anchor]
+
+    for name, base_ns in sorted(baselines.items()):
+        if name not in observed:
+            failures.append(f"gated bench '{name}' missing from results")
+            continue
+        limit = base_ns * scale * max_regression
+        got = observed[name]
+        ok = got <= limit
+        checks.append(
+            {
+                "bench": name,
+                "kind": "calibrated-absolute",
+                "observed_ns": got,
+                "baseline_ns": base_ns,
+                "limit_ns": round(limit),
+                "ok": ok,
+            }
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {got} ns > limit {limit:.0f} ns "
+                f"(baseline {base_ns} ns x scale {scale:.2f} x {max_regression})"
+            )
+
+    for name, gate in sorted(spec.get("ratio_gates", {}).items()):
+        ref = gate["vs"]
+        if name not in observed or ref not in observed:
+            failures.append(f"ratio gate '{name}' vs '{ref}': bench missing")
+            continue
+        ratio = observed[name] / observed[ref]
+        ok = ratio <= gate["max_ratio"]
+        checks.append(
+            {
+                "bench": name,
+                "kind": "ratio",
+                "vs": ref,
+                "observed_ratio": round(ratio, 3),
+                "max_ratio": gate["max_ratio"],
+                "ok": ok,
+            }
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {observed[name]} ns is {ratio:.2f}x of {ref} "
+                f"({observed[ref]} ns); gate requires <= {gate['max_ratio']}"
+            )
+
+    report = {
+        "anchor": anchor,
+        "calibration_scale": round(scale, 4),
+        "max_regression": max_regression,
+        "checks": checks,
+        "failures": failures,
+    }
+    os.makedirs(os.path.dirname(REPORT) or ".", exist_ok=True)
+    with open(REPORT, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2)
+
+    for c in checks:
+        print(("PASS " if c["ok"] else "FAIL ") + json.dumps(c))
+    if failures:
+        print(f"\nperf-gate: {len(failures)} failure(s):", file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print(f"\nperf-gate: all {len(checks)} checks passed (scale {scale:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

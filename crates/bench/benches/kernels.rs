@@ -1,0 +1,122 @@
+//! Distance-kernel micro-benchmarks — the ISSUE-3 tentpole regime.
+//!
+//! Measures one full scan (one query row against an `N_ROWS`-row block) at
+//! the paper-relevant widths p ∈ {2, 16, 64, 256} (S5's 2-d banana up to
+//! S13's 256-d USPS surrogate), four ways:
+//!
+//! * `pairwise_naive` — the pre-SIMD sequential kernel called per pair
+//!   (the historical baseline);
+//! * `pairwise_scalar` — the lane-ordered scalar fallback called per pair
+//!   (the tier CI forces with `GB_SIMD=scalar`);
+//! * `pairwise_simd` — the dispatched lane-tree per-pair kernel (AVX2 on
+//!   the recording host): SIMD win without batching;
+//! * `one_to_many` — the batched kernel: SIMD plus amortized dispatch and
+//!   linear streaming. The acceptance bar (BENCH_GRANULATION.json entry 2)
+//!   is ≥ 1.5× over `pairwise_scalar` at p ≥ 64.
+//!
+//! At any fixed width the scan-path kernels produce bit-identical
+//! distances (`tests/kernel_parity.rs`); this bench only measures time.
+//! Run with:
+//!
+//! ```text
+//! cargo bench -p gb-bench --bench kernels
+//! ```
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gb_dataset::distance::{
+    active_kernel, sq_euclidean_naive, sq_euclidean_one_to_many, sq_euclidean_scalar,
+    sq_euclidean_with, Kernel,
+};
+use gb_dataset::rng::rng_from_seed;
+use rand::Rng;
+use std::hint::black_box;
+
+/// Rows per scanned block — big enough that per-call dispatch noise
+/// vanishes, small enough that the block stays cache-resident at p = 256.
+const N_ROWS: usize = 2048;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance_kernels");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    println!("dispatched kernel tier: {}", active_kernel().name());
+    for p in [2usize, 16, 64, 256] {
+        let mut rng = rng_from_seed(p as u64);
+        let query: Vec<f64> = (0..p).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let block: Vec<f64> = (0..N_ROWS * p).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let label = format!("p{p}");
+
+        group.bench_with_input(BenchmarkId::new("pairwise_naive", &label), &p, |b, &p| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..N_ROWS {
+                    acc += sq_euclidean_naive(
+                        black_box(&query),
+                        black_box(&block[r * p..(r + 1) * p]),
+                    );
+                }
+                acc
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("pairwise_scalar", &label), &p, |b, &p| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..N_ROWS {
+                    acc += sq_euclidean_scalar(
+                        black_box(&query),
+                        black_box(&block[r * p..(r + 1) * p]),
+                    );
+                }
+                acc
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("pairwise_simd", &label), &p, |b, &p| {
+            let tier = active_kernel();
+            b.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..N_ROWS {
+                    acc += sq_euclidean_with(
+                        tier,
+                        black_box(&query),
+                        black_box(&block[r * p..(r + 1) * p]),
+                    );
+                }
+                acc
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("one_to_many", &label), &p, |b, _| {
+            let mut out = vec![0.0f64; N_ROWS];
+            b.iter(|| {
+                sq_euclidean_one_to_many(black_box(&query), black_box(&block), &mut out);
+                out[N_ROWS - 1]
+            });
+        });
+
+        // The forced-scalar batched path: isolates batching/streaming gains
+        // from vector width (also what a non-x86 host would run).
+        group.bench_with_input(
+            BenchmarkId::new("one_to_many_scalar", &label),
+            &p,
+            |b, _| {
+                let mut out = vec![0.0f64; N_ROWS];
+                b.iter(|| {
+                    sq_euclidean_one_to_many_scalar(black_box(&query), black_box(&block), &mut out);
+                    out[N_ROWS - 1]
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batched scan pinned to the scalar tier.
+fn sq_euclidean_one_to_many_scalar(query: &[f64], block: &[f64], out: &mut [f64]) {
+    gb_dataset::distance::sq_euclidean_one_to_many_with(Kernel::Scalar, query, block, out);
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

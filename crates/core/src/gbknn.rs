@@ -12,7 +12,7 @@
 
 use crate::ball::GranularBall;
 use crate::rdgbg::{rd_gbg, RdGbgConfig, RdGbgModel};
-use gb_dataset::distance::euclidean;
+use gb_dataset::distance::sq_euclidean_one_to_many;
 use gb_dataset::Dataset;
 
 /// How a query's distance to a ball is measured.
@@ -54,6 +54,9 @@ impl Default for GbKnnConfig {
 /// A fitted GB-kNN model.
 pub struct GbKnn {
     balls: Vec<GranularBall>,
+    /// Ball centers flattened row-major (`n_balls × n_features`) so the
+    /// per-query center scan runs through the batched SIMD kernel.
+    centers: Vec<f64>,
     n_classes: usize,
     k: usize,
     rule: DistanceRule,
@@ -80,8 +83,15 @@ impl GbKnn {
     pub fn from_model(model: &RdGbgModel, n_classes: usize, k: usize) -> Self {
         assert!(k > 0, "k must be positive");
         assert!(!model.balls.is_empty(), "empty ball cover");
+        let p = model.balls[0].center.len();
+        let mut centers = Vec::with_capacity(model.balls.len() * p);
+        for b in &model.balls {
+            assert_eq!(b.center.len(), p, "ragged ball centers");
+            centers.extend_from_slice(&b.center);
+        }
         Self {
             balls: model.balls.clone(),
+            centers,
             n_classes,
             k,
             rule: DistanceRule::Surface,
@@ -124,23 +134,33 @@ impl GbKnn {
         self.rule = rule;
     }
 
-    /// Distance from `row` to ball `i` under the configured rule (surface
-    /// distance is signed: negative inside the ball).
-    fn ball_distance(&self, i: usize, row: &[f64]) -> f64 {
-        let center_dist = euclidean(&self.balls[i].center, row);
-        match self.rule {
-            DistanceRule::Surface => center_dist - self.balls[i].radius,
-            DistanceRule::Center => center_dist,
-        }
+    /// Distances from `row` to every ball under the configured rule
+    /// (surface distance is signed: negative inside the ball). One batched
+    /// kernel call over the flattened center matrix, then a cheap
+    /// `sqrt`/radius pass. Every prediction path shares this function, so
+    /// `predict_row`, `predict`, and `predict_batch` are mutually
+    /// bit-identical for any kernel tier.
+    fn ball_distances(&self, row: &[f64]) -> Vec<(f64, usize)> {
+        let mut sq = vec![0.0f64; self.balls.len()];
+        sq_euclidean_one_to_many(row, &self.centers, &mut sq);
+        sq.into_iter()
+            .enumerate()
+            .map(|(i, d_sq)| {
+                let center_dist = d_sq.sqrt();
+                let d = match self.rule {
+                    DistanceRule::Surface => center_dist - self.balls[i].radius,
+                    DistanceRule::Center => center_dist,
+                };
+                (d, i)
+            })
+            .collect()
     }
 
     /// Predicts the label of one feature row by majority vote among the `k`
     /// nearest balls (ties toward the smaller label).
     #[must_use]
     pub fn predict_row(&self, row: &[f64]) -> u32 {
-        let mut dists: Vec<(f64, usize)> = (0..self.balls.len())
-            .map(|i| (self.ball_distance(i, row), i))
-            .collect();
+        let mut dists = self.ball_distances(row);
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| {
             a.0.partial_cmp(&b.0)

@@ -1,14 +1,181 @@
-//! Distance kernels.
+//! Distance kernels: runtime-dispatched SIMD with deterministic
+//! lane-ordered accumulation.
 //!
 //! The paper uses Euclidean distance throughout (`△(·,⋆)` in Eq. 1). We keep
 //! the squared form available because every comparison-only consumer (nearest
 //! neighbour search, radius checks) can avoid the `sqrt`.
+//!
+//! # Kernel tiers
+//!
+//! `sq_euclidean` is the innermost loop of every neighbour backend, GB-kNN
+//! prediction, and every sampler's NN scan, so it is implemented three times
+//! and the fastest host-supported variant is selected **once** per process
+//! via [`is_x86_feature_detected!`]:
+//!
+//! | tier               | selected when                                      |
+//! |--------------------|----------------------------------------------------|
+//! | [`Kernel::Avx2`]   | x86_64 with AVX2 (4 × f64 per vector op)           |
+//! | [`Kernel::Sse2`]   | x86_64 without AVX2 (2 × f64, two accumulators)    |
+//! | [`Kernel::Scalar`] | any other arch, or forced via `GB_SIMD=scalar`     |
+//!
+//! Set the `GB_SIMD` environment variable to `scalar` (or `off`/`0`) before
+//! the first distance call to force the scalar tier — CI runs the whole test
+//! suite once per tier so the fallback can never silently rot. `sse2` and
+//! `avx2` are also accepted (each silently degrades to the best available
+//! tier when unsupported); any other value means auto-detect.
+//!
+//! # Determinism: a width-keyed contract around one accumulation tree
+//!
+//! Floating-point addition is not associative, so a naive "sum in a
+//! different order when vectorized" kernel would break the workspace's
+//! cross-backend bit-identity property tests the moment two consumers mix
+//! tiers (or two hosts detect different CPUs). Every vectorizable kernel
+//! therefore commits to the **same** summation tree:
+//!
+//! 1. four strided lane accumulators: `lane[j] += d_i²` for `i ≡ j (mod 4)`
+//!    over the length-4-aligned prefix (AVX2 holds them in one 256-bit
+//!    register, SSE2 in two 128-bit registers, the scalar tier in a
+//!    4-element array — the *arithmetic* is identical);
+//! 2. the `len % 4` tail elements fold into lanes `0..len % 4` in order;
+//! 3. final reduction `(lane0 + lane2) + (lane1 + lane3)`.
+//!
+//! IEEE-754 ops are exactly rounded, so identical operand sequences give
+//! bit-identical results on every tier and every host. FMA is deliberately
+//! **not** used: fusing `d*d + acc` changes rounding and would split the
+//! tiers.
+//!
+//! Rows narrower than [`LANE_WIDTH`] have no vector work at all, and there
+//! the deciding cost is code shape, not arithmetic: measured on the RD-GBG
+//! hot path at p = 2, anything heavier than a bare sequential loop in the
+//! inline per-pair kernel (lane arrays, dispatch branches, even a
+//! never-taken fallback call edge) costs 13–40%. The contract is therefore
+//! **keyed on row width**:
+//!
+//! * `p < LANE_WIDTH` — every path sums in **sequential order**:
+//!   [`sq_euclidean`], [`sq_euclidean_dispatched`], and
+//!   [`sq_euclidean_one_to_many`] (all tiers) agree bit-for-bit;
+//! * `p ≥ LANE_WIDTH` — every *hot scan* path uses the **lane tree**:
+//!   [`sq_euclidean_dispatched`], [`sq_euclidean_one_to_many`], and all
+//!   explicit tiers agree bit-for-bit (the inline [`sq_euclidean`] stays
+//!   sequential; scan code never mixes it into lane-tree comparisons at
+//!   these widths).
+//!
+//! Distances are only ever *compared* at one fixed width, so each width
+//! class being internally bit-identical is exactly what the cross-backend
+//! property tests need — and `tests/kernel_parity.rs` drives the whole
+//! contract through odd lengths, remainder tails, subnormals, and ±0.0.
+//! [`sq_euclidean_naive`] names the sequential order explicitly for tests;
+//! the two orders coincide bitwise for `p ≤ 2`.
+//!
+//! # Invariants (no silent truncation)
+//!
+//! The pairwise kernels debug-assert equal lengths (in release the shorter
+//! slice wins, as before the SIMD work). The batched
+//! [`sq_euclidean_one_to_many`] boundary is where mismatches are actually
+//! caught: it always asserts the exact stride relation
+//! `block.len() == query.len() * out.len()`, so a ragged block can never
+//! silently truncate into wrong distances.
 
-/// Squared Euclidean distance between two equal-length vectors.
+use std::sync::OnceLock;
+
+/// f64 lanes per vector op (AVX2 register width). Rows narrower than this
+/// have no vector work at all — scan loops use it to pick the inline
+/// per-pair kernel over a pointless batched call.
+pub const LANE_WIDTH: usize = 4;
+
+/// A distance-kernel tier. See the module docs for the selection rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// AVX2: 4 × f64 lanes in one 256-bit accumulator.
+    Avx2,
+    /// SSE2: 2 × f64 lanes in each of two 128-bit accumulators.
+    Sse2,
+    /// Portable scalar tier with the same 4-lane accumulation tree.
+    Scalar,
+}
+
+impl Kernel {
+    /// CLI/env spelling of the tier.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Avx2 => "avx2",
+            Kernel::Sse2 => "sse2",
+            Kernel::Scalar => "scalar",
+        }
+    }
+
+    /// Every tier runnable on this host, fastest first. Always ends with
+    /// [`Kernel::Scalar`].
+    #[must_use]
+    pub fn available() -> Vec<Kernel> {
+        let mut tiers = Vec::with_capacity(3);
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") {
+                tiers.push(Kernel::Avx2);
+            }
+            tiers.push(Kernel::Sse2);
+        }
+        tiers.push(Kernel::Scalar);
+        tiers
+    }
+
+    /// Detects the preferred tier for this host, honouring the `GB_SIMD`
+    /// override. Does not cache; see [`active_kernel`] for the process-wide
+    /// choice.
+    #[must_use]
+    pub fn detect() -> Kernel {
+        let forced = std::env::var("GB_SIMD").unwrap_or_default();
+        match forced.to_ascii_lowercase().as_str() {
+            "scalar" | "off" | "0" => return Kernel::Scalar,
+            "sse2" => {
+                #[cfg(target_arch = "x86_64")]
+                return Kernel::Sse2;
+                #[cfg(not(target_arch = "x86_64"))]
+                return Kernel::Scalar;
+            }
+            "avx2" => {
+                // Unsupported override degrades to the best available
+                // tier, exactly like auto-detection.
+                return *Kernel::available().first().expect("non-empty tier list");
+            }
+            _ => {}
+        }
+        *Kernel::available().first().expect("non-empty tier list")
+    }
+}
+
+/// The kernel tier every dispatched entry point uses, selected once per
+/// process (first call wins; `GB_SIMD` must be set before that).
+#[must_use]
+pub fn active_kernel() -> Kernel {
+    static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+    *ACTIVE.get_or_init(Kernel::detect)
+}
+
+/// Squared Euclidean distance between two equal-length vectors — the
+/// sequential per-pair kernel, fully inline.
+///
+/// This is the *sub-lane* half of the workspace's determinism contract
+/// (see the module docs): rows narrower than [`LANE_WIDTH`] are summed in
+/// sequential order by every path, and this plain loop is that order. The
+/// body is deliberately a bare zip loop — no dispatch branch, no call
+/// edge, no panic path. Measured on the RD-GBG hot path at p = 2, every
+/// "smarter" body (lane-array forms, slice-pattern ladders, an outlined
+/// fallback call) cost 13–40%: the call edge alone steals registers from
+/// the caller's loop even when never taken.
+///
+/// Hot per-pair call sites on rows ≥ [`LANE_WIDTH`] must use
+/// [`sq_euclidean_dispatched`] (lane-tree arithmetic, SIMD when
+/// available) so their bits match the batched scans; blocked scans use
+/// [`sq_euclidean_one_to_many`].
 ///
 /// # Panics
-/// Debug-asserts equal lengths; in release, the shorter length wins (callers
-/// in this workspace always pass rows of a single dataset).
+/// Debug-asserts equal lengths (documented invariant: callers in this
+/// workspace always pass rows of a single dataset); in release the shorter
+/// length wins, exactly like the pre-SIMD kernel. Batched callers get the
+/// full stride check at the [`sq_euclidean_one_to_many`] boundary.
 #[inline]
 #[must_use]
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
@@ -21,6 +188,293 @@ pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
+/// Per-pair squared Euclidean via the process-wide [`active_kernel`] tier.
+/// For per-pair call sites on rows ≥ [`LANE_WIDTH`] (vantage-point
+/// distances, the sparse arms of the hybrid scans) where bits must match
+/// the batched lane-tree kernels; sub-lane rows fall back to
+/// [`sq_euclidean`]'s sequential order, completing the width-keyed
+/// contract — for any row width, this function, [`sq_euclidean_one_to_many`]
+/// and the scan paths built on them all agree bit-for-bit.
+///
+/// # Panics
+/// Same contract as [`sq_euclidean`], except that a shorter `b` panics
+/// (bounds check) instead of truncating when `a.len() >= LANE_WIDTH`.
+#[must_use]
+pub fn sq_euclidean_dispatched(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() < LANE_WIDTH {
+        debug_assert_eq!(a.len(), b.len());
+        return sq_euclidean(a, b);
+    }
+    sq_euclidean_with(active_kernel(), a, b)
+}
+
+/// [`sq_euclidean`] via an explicit kernel tier (parity tests, benches).
+///
+/// # Panics
+/// Same contract as [`sq_euclidean`].
+#[inline]
+#[must_use]
+pub fn sq_euclidean_with(kernel: Kernel, a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let b = &b[..a.len()];
+    match kernel {
+        // The feature re-check keeps this safe for arbitrary caller-chosen
+        // tiers (not just detected ones); `is_x86_feature_detected!`
+        // caches, and an unsupported request degrades to SSE2 — which is
+        // bit-identical, so results are unaffected.
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified on this host; slices are equal-length.
+        Kernel::Avx2 if is_x86_feature_detected!("avx2") => unsafe { x86::sq_euclidean_avx2(a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Kernel::Avx2 | Kernel::Sse2 => unsafe { x86::sq_euclidean_sse2(a, b) },
+        _ => sq_euclidean_scalar(a, b),
+    }
+}
+
+/// Distances from one query row to every row of a contiguous row-major
+/// block, written into `out` (one `f64` per row). This is the batched form
+/// the hot scans use: tier dispatch happens once per call and the block
+/// streams linearly through cache. Results are bit-identical to
+/// [`sq_euclidean_dispatched`] per row (sequential order below
+/// [`LANE_WIDTH`], the lane tree at or above it).
+///
+/// # Panics
+/// Always (release included) asserts the exact stride relation
+/// `block.len() == query.len() * out.len()` — ragged inputs panic instead
+/// of silently truncating.
+#[inline]
+pub fn sq_euclidean_one_to_many(query: &[f64], block: &[f64], out: &mut [f64]) {
+    sq_euclidean_one_to_many_with(active_kernel(), query, block, out);
+}
+
+/// [`sq_euclidean_one_to_many`] via an explicit kernel tier.
+///
+/// # Panics
+/// Same stride contract as [`sq_euclidean_one_to_many`].
+pub fn sq_euclidean_one_to_many_with(
+    kernel: Kernel,
+    query: &[f64],
+    block: &[f64],
+    out: &mut [f64],
+) {
+    let p = query.len();
+    assert_eq!(
+        block.len(),
+        p * out.len(),
+        "row-major block must be exactly out.len() rows of query.len() features \
+         (block {} vs {} rows x {} features)",
+        block.len(),
+        out.len(),
+        p
+    );
+    if p == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if p < LANE_WIDTH {
+        // Sub-lane rows have no vector work for any tier; every tier uses
+        // the sequential per-pair kernel so the sub-lane half of the
+        // width-keyed contract holds for batched calls too.
+        for (row, d) in block.chunks_exact(p).zip(out.iter_mut()) {
+            *d = sq_euclidean(query, row);
+        }
+        return;
+    }
+    match kernel {
+        // Feature re-check as in `sq_euclidean_with`: safe for arbitrary
+        // caller-chosen tiers, degrading to the bit-identical SSE2 kernel.
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 verified on this host; the stride assertion above
+        // guarantees in-bounds row slices.
+        Kernel::Avx2 if is_x86_feature_detected!("avx2") => unsafe {
+            x86::one_to_many_avx2(query, block, out)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Kernel::Avx2 | Kernel::Sse2 => unsafe { x86::one_to_many_sse2(query, block, out) },
+        _ => {
+            for (row, d) in block.chunks_exact(p).zip(out.iter_mut()) {
+                *d = sq_euclidean_scalar(query, row);
+            }
+        }
+    }
+}
+
+/// The scalar tier: portable, and **the** reference the SIMD tiers must
+/// match bit-for-bit. Uses the 4-lane strided accumulation tree described
+/// in the module docs.
+///
+/// Written to be free of call edges, bounds checks, and panic paths so it
+/// inlines cleanly into hot scan loops (slice patterns for the sub-lane
+/// forms, `chunks_exact` + `zip` for the rest). The sub-lane hardcoded
+/// forms fold the zero lanes away, which is exact — a squared difference
+/// is never `-0.0`, and `x + 0.0 == x` holds bitwise for everything else —
+/// so they are bit-identical to the full tree and to the SIMD tiers
+/// (property-tested). Mismatched lengths truncate to the shorter slice,
+/// like the pre-SIMD kernel (equal lengths are the documented invariant).
+#[inline]
+#[must_use]
+pub fn sq_euclidean_scalar(a: &[f64], b: &[f64]) -> f64 {
+    // Lane tree with the zero lanes folded: (l0 + l2) + (l1 + l3).
+    match (a, b) {
+        ([], _) | (_, []) => return 0.0,
+        ([a0], [b0, ..]) | ([a0, ..], [b0]) => {
+            let d = a0 - b0;
+            return d * d;
+        }
+        ([a0, a1], [b0, b1, ..]) | ([a0, a1, ..], [b0, b1]) => {
+            let d0 = a0 - b0;
+            let d1 = a1 - b1;
+            return d0 * d0 + d1 * d1;
+        }
+        ([a0, a1, a2], [b0, b1, b2, ..]) | ([a0, a1, a2, ..], [b0, b1, b2]) => {
+            let d0 = a0 - b0;
+            let d1 = a1 - b1;
+            let d2 = a2 - b2;
+            return (d0 * d0 + d2 * d2) + d1 * d1;
+        }
+        _ => {}
+    }
+    let mut lanes = [0.0f64; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (ka, kb) in (&mut ca).zip(&mut cb) {
+        // One step per 256-bit vector op: four independent chains the
+        // compiler keeps in registers (and may pack) even without SIMD.
+        for (lane, (x, y)) in lanes.iter_mut().zip(ka.iter().zip(kb.iter())) {
+            let d = x - y;
+            *lane += d * d;
+        }
+    }
+    // `len % 4` tail elements fold into lanes 0..len % 4, in order.
+    for (lane, (x, y)) in lanes
+        .iter_mut()
+        .zip(ca.remainder().iter().zip(cb.remainder().iter()))
+    {
+        let d = x - y;
+        *lane += d * d;
+    }
+    (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+}
+
+/// Sequential left-to-right reference kernel (the pre-SIMD implementation).
+/// Kept as the test oracle: the lane-ordered kernels agree with it within a
+/// scaled-ULP tolerance, never necessarily bit-for-bit.
+#[must_use]
+pub fn sq_euclidean_naive(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! x86_64 tiers. Every function mirrors `sq_euclidean_scalar`'s
+    //! accumulation tree exactly — see the module docs for why.
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_setzero_pd,
+        _mm256_storeu_pd, _mm256_sub_pd, _mm_add_pd, _mm_loadu_pd, _mm_mul_pd, _mm_setzero_pd,
+        _mm_storeu_pd, _mm_sub_pd,
+    };
+
+    /// Folds the `len % 4` tail into the lane array (same order as the
+    /// scalar tier) and applies the final reduction.
+    #[inline(always)]
+    fn finish(mut lanes: [f64; 4], a: &[f64], b: &[f64], chunks: usize) -> f64 {
+        let n = a.len();
+        for (j, lane) in lanes.iter_mut().enumerate().take(n % 4) {
+            let i = 4 * chunks + j;
+            let d = a[i] - b[i];
+            *lane += d * d;
+        }
+        (lanes[0] + lanes[2]) + (lanes[1] + lanes[3])
+    }
+
+    /// # Safety
+    /// Caller guarantees AVX2 support and `b.len() >= a.len()`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sq_euclidean_avx2(a: &[f64], b: &[f64]) -> f64 {
+        let chunks = a.len() / 4;
+        let acc = avx2_accumulate(a.as_ptr(), b.as_ptr(), chunks);
+        let mut lanes = [0.0f64; 4];
+        _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+        finish(lanes, a, b, chunks)
+    }
+
+    /// Lane accumulation over the aligned prefix: `chunks` vector steps of
+    /// sub → mul → add (no FMA; it would change rounding vs. scalar).
+    ///
+    /// # Safety
+    /// Caller guarantees AVX2 support and `4 * chunks` readable f64s at
+    /// both pointers.
+    #[target_feature(enable = "avx2")]
+    #[inline]
+    unsafe fn avx2_accumulate(a: *const f64, b: *const f64, chunks: usize) -> __m256d {
+        let mut acc = _mm256_setzero_pd();
+        for c in 0..chunks {
+            let va = _mm256_loadu_pd(a.add(4 * c));
+            let vb = _mm256_loadu_pd(b.add(4 * c));
+            let d = _mm256_sub_pd(va, vb);
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+        }
+        acc
+    }
+
+    /// # Safety
+    /// Caller guarantees `block.len() == query.len() * out.len()` and AVX2
+    /// support.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn one_to_many_avx2(query: &[f64], block: &[f64], out: &mut [f64]) {
+        let p = query.len();
+        for (r, d) in out.iter_mut().enumerate() {
+            let row = &block[r * p..(r + 1) * p];
+            *d = sq_euclidean_avx2(query, row);
+        }
+    }
+
+    /// # Safety
+    /// `b.len() >= a.len()` (SSE2 is part of the x86_64 baseline).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sq_euclidean_sse2(a: &[f64], b: &[f64]) -> f64 {
+        let chunks = a.len() / 4;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        // Two 128-bit accumulators model the four lanes: acc01 = lanes
+        // {0, 1}, acc23 = lanes {2, 3}.
+        let mut acc01 = _mm_setzero_pd();
+        let mut acc23 = _mm_setzero_pd();
+        for c in 0..chunks {
+            let d0 = _mm_sub_pd(_mm_loadu_pd(ap.add(4 * c)), _mm_loadu_pd(bp.add(4 * c)));
+            acc01 = _mm_add_pd(acc01, _mm_mul_pd(d0, d0));
+            let d1 = _mm_sub_pd(
+                _mm_loadu_pd(ap.add(4 * c + 2)),
+                _mm_loadu_pd(bp.add(4 * c + 2)),
+            );
+            acc23 = _mm_add_pd(acc23, _mm_mul_pd(d1, d1));
+        }
+        let mut lanes = [0.0f64; 4];
+        _mm_storeu_pd(lanes.as_mut_ptr(), acc01);
+        _mm_storeu_pd(lanes.as_mut_ptr().add(2), acc23);
+        finish(lanes, a, b, chunks)
+    }
+
+    /// # Safety
+    /// Caller guarantees `block.len() == query.len() * out.len()`.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn one_to_many_sse2(query: &[f64], block: &[f64], out: &mut [f64]) {
+        let p = query.len();
+        for (r, d) in out.iter_mut().enumerate() {
+            let row = &block[r * p..(r + 1) * p];
+            *d = sq_euclidean_sse2(query, row);
+        }
+    }
+}
+
 /// Euclidean distance between two equal-length vectors.
 #[inline]
 #[must_use]
@@ -30,7 +484,9 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 
 /// Heterogeneous value-difference used by SMOTENC-style samplers: Euclidean
 /// over numeric columns plus a fixed `categorical_penalty` for every
-/// categorical column whose codes differ.
+/// categorical column whose codes differ. Not on the hot path — stays a
+/// sequential scalar loop (its only consumers compare values produced by
+/// this same function).
 #[must_use]
 pub fn mixed_distance(a: &[f64], b: &[f64], categorical: &[bool], categorical_penalty: f64) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -65,6 +521,77 @@ mod tests {
     fn zero_distance_to_self() {
         let a = [1.5, -2.0, 7.0];
         assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn every_available_tier_matches_scalar_bits() {
+        let a: Vec<f64> = (0..23).map(|i| (i as f64).sin() * 3.0).collect();
+        let b: Vec<f64> = (0..23).map(|i| (i as f64).cos() * -2.0).collect();
+        let want = sq_euclidean_scalar(&a, &b);
+        for tier in Kernel::available() {
+            let got = sq_euclidean_with(tier, &a, &b);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{} disagrees with scalar",
+                tier.name()
+            );
+        }
+    }
+
+    #[test]
+    fn one_to_many_matches_per_pair_bits() {
+        let p = 7;
+        let query: Vec<f64> = (0..p).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let block: Vec<f64> = (0..5 * p).map(|i| (i as f64 * 0.71).fract()).collect();
+        let mut out = vec![0.0; 5];
+        for tier in Kernel::available() {
+            sq_euclidean_one_to_many_with(tier, &query, &block, &mut out);
+            for (r, &d) in out.iter().enumerate() {
+                let want = sq_euclidean_with(tier, &query, &block[r * p..(r + 1) * p]);
+                assert_eq!(d.to_bits(), want.to_bits(), "{} row {r}", tier.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major block")]
+    fn one_to_many_rejects_ragged_block() {
+        let mut out = vec![0.0; 2];
+        sq_euclidean_one_to_many(&[1.0, 2.0], &[0.0; 3], &mut out);
+    }
+
+    #[test]
+    fn one_to_many_zero_width_rows() {
+        let mut out = vec![9.0; 4];
+        sq_euclidean_one_to_many(&[], &[], &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn lane_tree_matches_naive_within_tolerance() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 15, 64, 257] {
+            let a: Vec<f64> = (0..n)
+                .map(|i| ((i * 37) % 19) as f64 * 0.37 - 3.0)
+                .collect();
+            let b: Vec<f64> = (0..n)
+                .map(|i| ((i * 11) % 23) as f64 * -0.21 + 1.0)
+                .collect();
+            let lanes = sq_euclidean_scalar(&a, &b);
+            let naive = sq_euclidean_naive(&a, &b);
+            let tol = f64::EPSILON * naive * (n as f64 + 4.0) + f64::MIN_POSITIVE;
+            assert!(
+                (lanes - naive).abs() <= tol,
+                "n={n}: lanes {lanes} vs naive {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_reports_a_host_tier() {
+        let k = active_kernel();
+        assert!(Kernel::available().contains(&k), "{k:?}");
+        assert!(!k.name().is_empty());
     }
 
     #[test]

@@ -29,7 +29,9 @@
 //! dataset shape.
 
 use crate::dataset::Dataset;
-use crate::distance::sq_euclidean;
+use crate::distance::{
+    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
+};
 use crate::kdtree::KdTree;
 use crate::vptree::VpTree;
 use std::fmt;
@@ -282,23 +284,41 @@ impl Tombstones {
     }
 }
 
-/// Brute-force [`NeighborIndex`]: a dense list of alive rows scanned
-/// linearly. `delete` is O(1) via swap-remove; scans touch only alive rows
-/// no matter how many tombstones have accumulated, so late RD-GBG
-/// iterations stay cheap — this replaces the old `Scan::exclude`'s O(|U|)
-/// `retain` per removed row.
+/// Brute-force [`NeighborIndex`]: alive rows kept **densely packed** in a
+/// contiguous row-major buffer, scanned in blocks through the batched
+/// [`crate::distance::sq_euclidean_one_to_many`] kernel. `delete` is O(p)
+/// via a block swap-remove; scans touch only alive rows no matter how many
+/// tombstones have accumulated, so late RD-GBG iterations stay cheap — and
+/// because the buffer compacts itself on every delete, the SIMD kernel
+/// always streams a gap-free slab.
 #[derive(Debug, Clone)]
 pub struct BruteIndex {
-    points: Vec<f64>,
     labels: Vec<u32>,
     n_features: usize,
-    /// Dense list of alive rows (unordered).
+    /// Dense list of alive rows (unordered); `alive_points` is parallel to
+    /// it, one `n_features`-wide block per entry.
     alive_rows: Vec<u32>,
+    /// Row-major coordinates of the alive rows, in `alive_rows` order.
+    alive_points: Vec<f64>,
     /// `position[row]` = index into `alive_rows`, or `u32::MAX` if deleted.
     position: Vec<u32>,
 }
 
 const GONE: u32 = u32::MAX;
+
+/// Rows per batched-kernel call in the brute scans.
+const SCAN_BLOCK: usize = 128;
+
+/// Row filter for the brute sweeps — see [`BruteIndex`]'s `scan_blocked`.
+#[derive(Clone, Copy)]
+enum ScanFilter<'a> {
+    /// Exclude at most one alive *slot* (`usize::MAX` = none); the sweep
+    /// stays fully batched.
+    SkipSlot(usize),
+    /// Arbitrary predicate over original row ids; engages the hybrid
+    /// dense/sparse path.
+    Keep(&'a (dyn Fn(u32) -> bool + Sync)),
+}
 
 impl BruteIndex {
     /// Builds the index over every row of `data`.
@@ -310,18 +330,12 @@ impl BruteIndex {
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
         let n = data.n_samples();
         Self {
-            points: data.features().to_vec(),
             labels: data.labels().to_vec(),
             n_features: data.n_features(),
             alive_rows: (0..n as u32).collect(),
+            alive_points: data.features().to_vec(),
             position: (0..n as u32).collect(),
         }
-    }
-
-    #[inline]
-    fn point(&self, row: u32) -> &[f64] {
-        let r = row as usize;
-        &self.points[r * self.n_features..(r + 1) * self.n_features]
     }
 }
 
@@ -343,9 +357,18 @@ impl NeighborIndex for BruteIndex {
         if pos == GONE {
             return false;
         }
-        self.alive_rows.swap_remove(pos as usize);
-        if let Some(&moved) = self.alive_rows.get(pos as usize) {
-            self.position[moved as usize] = pos;
+        let pos = pos as usize;
+        let last = self.alive_rows.len() - 1;
+        self.alive_rows.swap_remove(pos);
+        // Mirror the swap-remove on the packed coordinate buffer.
+        let p = self.n_features;
+        if pos != last {
+            self.alive_points
+                .copy_within(last * p..(last + 1) * p, pos * p);
+        }
+        self.alive_points.truncate(last * p);
+        if let Some(&moved) = self.alive_rows.get(pos) {
+            self.position[moved as usize] = pos as u32;
         }
         self.position[row] = GONE;
         true
@@ -355,7 +378,7 @@ impl NeighborIndex for BruteIndex {
         if k == 0 {
             return Vec::new();
         }
-        self.scan_best(query, k, &|row| Some(row as usize) != skip)
+        self.scan_best(query, k, self.skip_filter(skip))
             .into_sorted()
     }
 
@@ -365,12 +388,11 @@ impl NeighborIndex for BruteIndex {
         label: u32,
         skip: Option<usize>,
     ) -> Option<SqNeighbor> {
-        self.scan_best(query, 1, &|row| {
-            Some(row as usize) != skip && self.labels[row as usize] != label
-        })
-        .into_sorted()
-        .first()
-        .copied()
+        let keep = move |row: u32| Some(row as usize) != skip && self.labels[row as usize] != label;
+        self.scan_best(query, 1, ScanFilter::Keep(&keep))
+            .into_sorted()
+            .first()
+            .copied()
     }
 
     fn range_sq(
@@ -381,24 +403,21 @@ impl NeighborIndex for BruteIndex {
         skip: Option<usize>,
     ) -> Vec<SqNeighbor> {
         let chunks = self.scan_chunks();
-        let scan_one = |rows: &[u32]| {
+        let filter = self.skip_filter(skip);
+        let scan_one = |slot_lo: usize, slot_hi: usize| {
             let mut out = Vec::new();
-            for &row in rows {
-                if Some(row as usize) == skip {
-                    continue;
-                }
-                let d = sq_euclidean(self.point(row), query);
+            self.scan_blocked(slot_lo, slot_hi, query, filter, |row, d| {
                 if bound.admits(d, sq_bound) {
                     out.push(SqNeighbor {
                         row: row as usize,
                         sq_dist: d,
                     });
                 }
-            }
+            });
             out
         };
         if chunks <= 1 {
-            return scan_one(&self.alive_rows);
+            return scan_one(0, self.alive_rows.len());
         }
         use rayon::prelude::*;
         let chunk_len = self.alive_rows.len().div_ceil(chunks);
@@ -407,7 +426,7 @@ impl NeighborIndex for BruteIndex {
             .map(|c| {
                 let lo = c * chunk_len;
                 let hi = ((c + 1) * chunk_len).min(self.alive_rows.len());
-                scan_one(&self.alive_rows[lo..hi])
+                scan_one(lo, hi)
             })
             .collect();
         parts.concat()
@@ -430,22 +449,121 @@ impl BruteIndex {
         }
     }
 
-    /// Best-`k` scan over alive rows, chunked across threads when large.
-    /// The merge applies the same `(sq_dist, row)` total order as a serial
-    /// scan, so the result is independent of chunking and thread count.
-    fn scan_best(&self, query: &[f64], k: usize, keep: &(impl Fn(u32) -> bool + Sync)) -> KBest {
-        let chunks = self.scan_chunks();
-        let scan_one = |rows: &[u32]| {
-            let mut best = KBest::new(k);
-            for &row in rows {
-                if keep(row) {
-                    best.insert(sq_euclidean(self.point(row), query), row as usize);
+    /// The filter for a skip-only query: resolves the skipped row to its
+    /// current slot so the sweep stays fully batched.
+    fn skip_filter(&self, skip: Option<usize>) -> ScanFilter<'_> {
+        let slot = match skip {
+            Some(row) if self.position[row] != GONE => self.position[row] as usize,
+            _ => usize::MAX,
+        };
+        ScanFilter::SkipSlot(slot)
+    }
+
+    /// Blocked sweep over the packed alive buffer. A [`ScanFilter::SkipSlot`]
+    /// query batches every block through the one-to-many kernel (the one
+    /// excluded slot's distance is computed and discarded); an arbitrary
+    /// [`ScanFilter::Keep`] predicate engages the hybrid path — a fully
+    /// admitted block is batched, a filtered block (heterogeneous-label
+    /// queries) pays per-pair calls for kept rows only, so rejected
+    /// distances are never computed. Every path uses the same kernel tier
+    /// → bit-identical distances.
+    fn scan_blocked(
+        &self,
+        slot_lo: usize,
+        slot_hi: usize,
+        query: &[f64],
+        filter: ScanFilter<'_>,
+        mut hit: impl FnMut(u32, f64),
+    ) {
+        let p = self.n_features;
+        let mut dists = [0.0f64; SCAN_BLOCK];
+        let mut lo = slot_lo;
+        match filter {
+            ScanFilter::SkipSlot(skip_slot) if p >= LANE_WIDTH => {
+                while lo < slot_hi {
+                    let hi = (lo + SCAN_BLOCK).min(slot_hi);
+                    sq_euclidean_one_to_many(
+                        query,
+                        &self.alive_points[lo * p..hi * p],
+                        &mut dists[..hi - lo],
+                    );
+                    for s in lo..hi {
+                        if s != skip_slot {
+                            hit(self.alive_rows[s], dists[s - lo]);
+                        }
+                    }
+                    lo = hi;
                 }
             }
+            ScanFilter::SkipSlot(skip_slot) => {
+                // Sub-lane rows: no vector work to batch — one tight loop
+                // of the inline per-pair kernel over the packed buffer.
+                for s in slot_lo..slot_hi {
+                    if s != skip_slot {
+                        let d = sq_euclidean(query, &self.alive_points[s * p..(s + 1) * p]);
+                        hit(self.alive_rows[s], d);
+                    }
+                }
+            }
+            ScanFilter::Keep(keep) if p < LANE_WIDTH => {
+                // Sub-lane rows: fused filter + inline per-pair kernel.
+                for s in slot_lo..slot_hi {
+                    if keep(self.alive_rows[s]) {
+                        let d = sq_euclidean(query, &self.alive_points[s * p..(s + 1) * p]);
+                        hit(self.alive_rows[s], d);
+                    }
+                }
+            }
+            ScanFilter::Keep(keep) => {
+                let mut admitted = [false; SCAN_BLOCK];
+                while lo < slot_hi {
+                    let hi = (lo + SCAN_BLOCK).min(slot_hi);
+                    let mut kept = 0usize;
+                    for s in lo..hi {
+                        admitted[s - lo] = keep(self.alive_rows[s]);
+                        kept += usize::from(admitted[s - lo]);
+                    }
+                    if kept == hi - lo {
+                        sq_euclidean_one_to_many(
+                            query,
+                            &self.alive_points[lo * p..hi * p],
+                            &mut dists[..hi - lo],
+                        );
+                        for s in lo..hi {
+                            hit(self.alive_rows[s], dists[s - lo]);
+                        }
+                    } else if kept > 0 {
+                        for s in lo..hi {
+                            if admitted[s - lo] {
+                                let d = sq_euclidean_dispatched(
+                                    query,
+                                    &self.alive_points[s * p..(s + 1) * p],
+                                );
+                                hit(self.alive_rows[s], d);
+                            }
+                        }
+                    }
+                    lo = hi;
+                }
+            }
+        }
+    }
+
+    /// Best-`k` scan over the packed alive buffer, blocked through the
+    /// batched kernel and chunked across threads when large. The merge
+    /// applies the same `(sq_dist, row)` total order as a serial scan, so
+    /// the result is independent of chunking and thread count.
+    fn scan_best(&self, query: &[f64], k: usize, filter: ScanFilter<'_>) -> KBest {
+        let chunks = self.scan_chunks();
+        let scan_one = |slot_lo: usize, slot_hi: usize| {
+            let mut best = KBest::new(k);
+            self.scan_blocked(slot_lo, slot_hi, query, filter, |row, d| {
+                best.insert(d, row as usize);
+            });
             best
         };
         if chunks <= 1 {
-            return scan_one(&self.alive_rows);
+            return scan_one(0, self.alive_rows.len());
         }
         use rayon::prelude::*;
         let chunk_len = self.alive_rows.len().div_ceil(chunks);
@@ -454,7 +572,7 @@ impl BruteIndex {
             .map(|c| {
                 let lo = c * chunk_len;
                 let hi = ((c + 1) * chunk_len).min(self.alive_rows.len());
-                scan_one(&self.alive_rows[lo..hi])
+                scan_one(lo, hi)
             })
             .collect();
         let mut merged = KBest::new(k);

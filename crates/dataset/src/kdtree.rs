@@ -14,9 +14,21 @@
 //! rebuilt over the survivors so query cost tracks `|alive|`, not the
 //! original `n`. Results are unaffected (rebuilds only change traversal
 //! order, and queries are exact).
+//!
+//! For rows of a lane width or more, leaf buckets keep a
+//! **leaf-contiguous** copy of their rows' coordinates so a fully-admitted
+//! leaf scan is one batched [`sq_euclidean_one_to_many`] call — the SIMD
+//! kernel streams a gap-free block instead of chasing row indices — while
+//! filtered leaves pay per-pair [`sq_euclidean_dispatched`] calls for
+//! admitted rows only (same lane tree → same bits). Sub-lane datasets skip
+//! the copy and scan per-pair with the inline sequential kernel, which is
+//! both the fastest and the canonical order at those widths. Cross-backend
+//! bit-identity is preserved in every case.
 
 use crate::dataset::Dataset;
-use crate::distance::sq_euclidean;
+use crate::distance::{
+    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
+};
 use crate::index::{KBest, NeighborIndex, RangeBound, SqNeighbor, Tombstones};
 use crate::neighbors::Neighbor;
 
@@ -26,6 +38,9 @@ enum Node {
     Leaf {
         /// Row indices stored at this leaf.
         rows: Vec<u32>,
+        /// First slot of this leaf's contiguous block in `leaf_points`
+        /// (slot `start + i` holds the coordinates of `rows[i]`).
+        start: usize,
     },
     Split {
         /// Splitting dimension.
@@ -37,12 +52,23 @@ enum Node {
     },
 }
 
+/// Rows per batched-kernel call when scanning a leaf block (degenerate
+/// leaves can exceed `leaf_size`, so leaf scans chunk). Matches the default
+/// `leaf_size`: the scratch buffers live on the stack and are re-zeroed per
+/// leaf visit, so oversizing them costs more than the chunking saves.
+const LEAF_BLOCK: usize = 16;
+
 /// An immutable KD-tree over the rows of a dataset snapshot.
 #[derive(Debug, Clone)]
 pub struct KdTree {
     nodes: Vec<Node>,
-    /// Flattened copy of the indexed points (row-major).
+    /// Flattened copy of the indexed points (row-major, original row order;
+    /// used when (re)building).
     points: Vec<f64>,
+    /// Leaf-contiguous copy of the points: every leaf's rows occupy one
+    /// gap-free row-major block, so leaf scans run through the batched
+    /// one-to-many kernel instead of per-pair calls. Rebuilt with the arena.
+    leaf_points: Vec<f64>,
     /// Copied labels (for heterogeneous queries).
     labels: Vec<u32>,
     n_features: usize,
@@ -65,6 +91,7 @@ impl KdTree {
         let mut tree = Self {
             nodes: Vec::new(),
             points: data.features().to_vec(),
+            leaf_points: Vec::with_capacity(data.features().len()),
             labels: data.labels().to_vec(),
             n_features: data.n_features(),
             n_rows: n,
@@ -79,9 +106,10 @@ impl KdTree {
     /// Rebuilds the node arena over the currently alive rows.
     fn rebuild(&mut self) {
         self.nodes.clear();
+        self.leaf_points.clear();
         let mut rows = self.tombstones.begin_rebuild();
         if rows.is_empty() {
-            self.nodes.push(Node::Leaf { rows: Vec::new() });
+            self.push_leaf(&[]);
         } else {
             self.build_node(&mut rows);
         }
@@ -91,13 +119,32 @@ impl KdTree {
         self.points[row as usize * self.n_features + dim]
     }
 
+    /// Appends a leaf node, copying its rows' coordinates into the
+    /// leaf-contiguous buffer. Sub-lane datasets skip the copy entirely:
+    /// their leaf scans go per-pair over `points` (the batched kernel has
+    /// no vector work below one lane width), so the second buffer would be
+    /// pure cache pressure.
+    fn push_leaf(&mut self, rows: &[u32]) -> usize {
+        let p = self.n_features;
+        let start = self.leaf_points.len() / p.max(1);
+        if p >= LANE_WIDTH {
+            for &r in rows {
+                let base = r as usize * p;
+                self.leaf_points
+                    .extend_from_slice(&self.points[base..base + p]);
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            rows: rows.to_vec(),
+            start,
+        });
+        idx
+    }
+
     fn build_node(&mut self, rows: &mut [u32]) -> usize {
         if rows.len() <= self.leaf_size {
-            let idx = self.nodes.len();
-            self.nodes.push(Node::Leaf {
-                rows: rows.to_vec(),
-            });
-            return idx;
+            return self.push_leaf(rows);
         }
         // pick the dimension with the largest spread
         let mut best_dim = 0;
@@ -117,11 +164,7 @@ impl KdTree {
         }
         if best_spread <= 0.0 {
             // all points identical: cannot split
-            let idx = self.nodes.len();
-            self.nodes.push(Node::Leaf {
-                rows: rows.to_vec(),
-            });
-            return idx;
+            return self.push_leaf(rows);
         }
         let mid = rows.len() / 2;
         rows.select_nth_unstable_by(mid, |&a, &b| {
@@ -144,11 +187,7 @@ impl KdTree {
                 .filter(|&v| v < split_value)
                 .fold(f64::NEG_INFINITY, f64::max);
             if prev == f64::NEG_INFINITY {
-                let idx = self.nodes.len();
-                self.nodes.push(Node::Leaf {
-                    rows: rows.to_vec(),
-                });
-                return idx;
+                return self.push_leaf(rows);
             }
             return self.build_node_with(rows, best_dim, prev);
         }
@@ -167,7 +206,11 @@ impl KdTree {
         }
         debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
         let idx = self.nodes.len();
-        self.nodes.push(Node::Leaf { rows: Vec::new() }); // placeholder
+        // placeholder, replaced with the Split below (no leaf_points copy)
+        self.nodes.push(Node::Leaf {
+            rows: Vec::new(),
+            start: 0,
+        });
         let left = self.build_node(&mut left_rows);
         let right = self.build_node(&mut right_rows);
         self.nodes[idx] = Node::Split {
@@ -205,6 +248,70 @@ impl KdTree {
             .collect()
     }
 
+    /// Scans one leaf, invoking `hit` with `(row, sq_dist)` for every row
+    /// admitted by `pass`. Hybrid: when a whole chunk passes the filter
+    /// (the common case — fully-alive leaf, unfiltered query) the distances
+    /// come from one batched kernel sweep over the contiguous block; when
+    /// the filter rejects rows (tombstones, heterogeneous-label queries)
+    /// only admitted rows pay a per-pair kernel call, so filtered scans
+    /// never compute distances they will throw away. Both paths use the
+    /// same kernel tier, so distances are bit-identical either way.
+    fn scan_leaf(
+        &self,
+        rows: &[u32],
+        start: usize,
+        query: &[f64],
+        pass: impl Fn(u32) -> bool,
+        mut hit: impl FnMut(u32, f64),
+    ) {
+        let p = self.n_features;
+        if p < LANE_WIDTH {
+            // Sub-lane rows have no vector work to batch: one fused loop
+            // of the inline per-pair kernel over `points`, exactly the
+            // pre-SIMD shape (no leaf_points copy exists at these widths).
+            for &r in rows {
+                if pass(r) {
+                    let base = r as usize * p;
+                    hit(r, sq_euclidean(query, &self.points[base..base + p]));
+                }
+            }
+            return;
+        }
+        let mut dists = [0.0f64; LEAF_BLOCK];
+        let mut admitted = [false; LEAF_BLOCK];
+        let mut lo = 0;
+        while lo < rows.len() {
+            let hi = (lo + LEAF_BLOCK).min(rows.len());
+            let block = &rows[lo..hi];
+            let mut kept = 0usize;
+            for (i, &r) in block.iter().enumerate() {
+                admitted[i] = pass(r);
+                kept += usize::from(admitted[i]);
+            }
+            if kept == block.len() {
+                sq_euclidean_one_to_many(
+                    query,
+                    &self.leaf_points[(start + lo) * p..(start + hi) * p],
+                    &mut dists[..block.len()],
+                );
+                for (i, &r) in block.iter().enumerate() {
+                    hit(r, dists[i]);
+                }
+            } else if kept > 0 {
+                for (i, &r) in block.iter().enumerate() {
+                    if admitted[i] {
+                        let base = (start + lo + i) * p;
+                        hit(
+                            r,
+                            sq_euclidean_dispatched(query, &self.leaf_points[base..base + p]),
+                        );
+                    }
+                }
+            }
+            lo = hi;
+        }
+    }
+
     /// Shared leaf/split traversal for best-k queries with a row filter.
     fn search_filtered(
         &self,
@@ -215,16 +322,14 @@ impl KdTree {
         best: &mut KBest,
     ) {
         match &self.nodes[node] {
-            Node::Leaf { rows } => {
-                for &r in rows {
-                    if !self.tombstones.is_alive(r as usize) || Some(r as usize) == skip || !keep(r)
-                    {
-                        continue;
-                    }
-                    let base = r as usize * self.n_features;
-                    let d = sq_euclidean(&self.points[base..base + self.n_features], query);
-                    best.insert(d, r as usize);
-                }
+            Node::Leaf { rows, start } => {
+                self.scan_leaf(
+                    rows,
+                    *start,
+                    query,
+                    |r| self.tombstones.is_alive(r as usize) && Some(r as usize) != skip && keep(r),
+                    |r, d| best.insert(d, r as usize),
+                );
             }
             Node::Split {
                 dim,
@@ -256,20 +361,21 @@ impl KdTree {
         out: &mut Vec<SqNeighbor>,
     ) {
         match &self.nodes[node] {
-            Node::Leaf { rows } => {
-                for &r in rows {
-                    if !self.tombstones.is_alive(r as usize) || Some(r as usize) == skip {
-                        continue;
-                    }
-                    let base = r as usize * self.n_features;
-                    let d = sq_euclidean(&self.points[base..base + self.n_features], query);
-                    if bound.admits(d, sq_bound) {
-                        out.push(SqNeighbor {
-                            row: r as usize,
-                            sq_dist: d,
-                        });
-                    }
-                }
+            Node::Leaf { rows, start } => {
+                self.scan_leaf(
+                    rows,
+                    *start,
+                    query,
+                    |r| self.tombstones.is_alive(r as usize) && Some(r as usize) != skip,
+                    |r, d| {
+                        if bound.admits(d, sq_bound) {
+                            out.push(SqNeighbor {
+                                row: r as usize,
+                                sq_dist: d,
+                            });
+                        }
+                    },
+                );
             }
             Node::Split {
                 dim,

@@ -5,11 +5,25 @@
 //! a query point". A flat brute-force scan with a bounded max-heap is exact,
 //! cache-friendly on the row-major buffer, and fast enough for the paper's
 //! dataset sizes (≤ 58 000 × 256).
+//!
+//! Rows of a lane width or more scan in blocks of [`SCAN_BLOCK`] through
+//! the batched [`sq_euclidean_one_to_many`] kernel: one tier dispatch per
+//! block and the row-major slab streams linearly through cache; filtered
+//! blocks fall back to per-pair [`sq_euclidean_dispatched`] calls for kept
+//! rows only (same lane tree → same bits). Sub-lane rows keep the fused
+//! per-pair loop — there is no vector work to batch at p < 4, and the
+//! inline sequential kernel is the fastest thing there is.
 
 use crate::dataset::Dataset;
-use crate::distance::sq_euclidean;
+use crate::distance::{
+    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Rows per batched-kernel call in the scan loops (the distance buffer lives
+/// on the stack).
+const SCAN_BLOCK: usize = 128;
 
 /// A neighbour hit: dataset row index plus (non-squared) distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,12 +80,17 @@ pub fn k_nearest_filtered(
     if k == 0 {
         return Vec::new();
     }
+    assert_eq!(
+        query.len(),
+        data.n_features(),
+        "query width must match the dataset"
+    );
+    let p = data.n_features();
+    let feats = data.features();
+    let mut dists = [0.0f64; SCAN_BLOCK];
+    let mut admitted = [false; SCAN_BLOCK];
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    for i in 0..data.n_samples() {
-        if !keep(i) {
-            continue;
-        }
-        let d = sq_euclidean(data.row(i), query);
+    let insert = |heap: &mut BinaryHeap<HeapEntry>, i: usize, d: f64| {
         if heap.len() < k {
             heap.push(HeapEntry {
                 sq_dist: d,
@@ -86,7 +105,53 @@ pub fn k_nearest_filtered(
                 });
             }
         }
+    };
+    if p < LANE_WIDTH {
+        // Sub-lane rows have no vector work to batch: one fused loop of
+        // the inline per-pair kernel, exactly the pre-SIMD shape.
+        for i in 0..data.n_samples() {
+            if keep(i) {
+                insert(
+                    &mut heap,
+                    i,
+                    sq_euclidean(query, &feats[i * p..(i + 1) * p]),
+                );
+            }
+        }
+        return finish_heap(heap);
     }
+    let mut lo = 0;
+    // Hybrid blocked sweep: a block whose rows all pass `keep` takes one
+    // batched kernel call over the contiguous row-major slab; a filtered
+    // block (self-exclusion, same-class donor searches) pays per-pair
+    // kernel calls for kept rows only. Same tier both ways → same bits.
+    while lo < data.n_samples() {
+        let hi = (lo + SCAN_BLOCK).min(data.n_samples());
+        let mut kept = 0usize;
+        for i in lo..hi {
+            admitted[i - lo] = keep(i);
+            kept += usize::from(admitted[i - lo]);
+        }
+        if kept == hi - lo {
+            sq_euclidean_one_to_many(query, &feats[lo * p..hi * p], &mut dists[..hi - lo]);
+            for i in lo..hi {
+                insert(&mut heap, i, dists[i - lo]);
+            }
+        } else if kept > 0 {
+            for i in lo..hi {
+                if admitted[i - lo] {
+                    let d = sq_euclidean_dispatched(query, &feats[i * p..(i + 1) * p]);
+                    insert(&mut heap, i, d);
+                }
+            }
+        }
+        lo = hi;
+    }
+    finish_heap(heap)
+}
+
+/// Drains a best-`k` heap into ascending `(distance, row)` order.
+fn finish_heap(heap: BinaryHeap<HeapEntry>) -> Vec<Neighbor> {
     let mut hits: Vec<HeapEntry> = heap.into_vec();
     hits.sort_unstable();
     hits.into_iter()
@@ -103,11 +168,19 @@ pub fn k_nearest_filtered(
 /// detection ... is also used for subsequent construction of the GB").
 #[must_use]
 pub fn sorted_distances(data: &Dataset, query: &[f64], skip: Option<usize>) -> Vec<Neighbor> {
-    let mut all: Vec<Neighbor> = (0..data.n_samples())
+    assert_eq!(
+        query.len(),
+        data.n_features(),
+        "query width must match the dataset"
+    );
+    let n = data.n_samples();
+    let mut sq = vec![0.0f64; n];
+    sq_euclidean_one_to_many(query, data.features(), &mut sq);
+    let mut all: Vec<Neighbor> = (0..n)
         .filter(|&i| Some(i) != skip)
         .map(|i| Neighbor {
             index: i,
-            distance: sq_euclidean(data.row(i), query),
+            distance: sq[i],
         })
         .collect();
     all.sort_unstable_by(|a, b| {

@@ -19,26 +19,56 @@
 //! squared distance unchanged. Prune bounds are relaxed by a hair
 //! (1 − 1e−12) so `sqrt` rounding can only cause an extra visit, never a
 //! missed exact neighbour.
+//!
+//! Partitions of ≤ [`VP_LEAF_SIZE`] rows stop splitting and become bucket
+//! leaves, shrinking the arena ~16×. For rows of a lane width or more the
+//! leaves keep their coordinates in a **leaf-contiguous** buffer so a
+//! fully-admitted bucket scan is one batched [`sq_euclidean_one_to_many`]
+//! call and vantage distances use the dispatched lane-tree kernel;
+//! sub-lane datasets scan per-pair with the inline sequential kernel
+//! (fastest and canonical at those widths). Bit-identity across backends
+//! holds in every case — see `gb_dataset::distance`'s width-keyed
+//! contract.
 
 use crate::dataset::Dataset;
-use crate::distance::{euclidean, sq_euclidean};
+use crate::distance::{
+    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
+};
 use crate::index::{KBest, NeighborIndex, RangeBound, SqNeighbor, Tombstones};
 use crate::neighbors::Neighbor;
 use std::cmp::Ordering;
 
 /// A node of the tree (arena-allocated; `u32::MAX` marks "no child").
 #[derive(Debug, Clone)]
-struct Node {
-    /// Row index of the vantage point.
-    vantage: u32,
-    /// Median distance from the vantage point to the rows in its subtree;
-    /// rows with distance ≤ `mu` descend inside, the rest outside.
-    mu: f64,
-    inside: u32,
-    outside: u32,
+enum Node {
+    /// An interior metric ball around a vantage point.
+    Ball {
+        /// Row index of the vantage point.
+        vantage: u32,
+        /// Median distance from the vantage point to the rows in its
+        /// subtree; rows with distance ≤ `mu` descend inside, the rest
+        /// outside.
+        mu: f64,
+        inside: u32,
+        outside: u32,
+    },
+    /// A bucket of rows scanned in one batched-kernel call; partitions of
+    /// at most [`VP_LEAF_SIZE`] rows stop splitting.
+    Leaf {
+        /// Row indices stored at this leaf.
+        rows: Vec<u32>,
+        /// First slot of this leaf's block in `leaf_points`.
+        start: usize,
+    },
 }
 
 const NONE: u32 = u32::MAX;
+
+/// Partition size below which a bucket leaf is emitted instead of another
+/// vantage split. Matches the KD-tree's default bucket size: the metric
+/// pruning gained by splitting a handful of rows never beats one contiguous
+/// SIMD sweep over them.
+const VP_LEAF_SIZE: usize = 16;
 
 /// Conservative slack on prune bounds: compensates `sqrt` rounding so the
 /// traversal can only over-visit, never over-prune.
@@ -49,8 +79,13 @@ const PRUNE_SLACK: f64 = 1.0 - 1e-12;
 pub struct VpTree {
     nodes: Vec<Node>,
     root: u32,
-    /// Flattened copy of the indexed points (row-major).
+    /// Flattened copy of the indexed points (row-major, original row
+    /// order; used when (re)building).
     points: Vec<f64>,
+    /// Leaf-contiguous copy of the bucketed rows' coordinates, so leaf
+    /// scans run through the batched one-to-many kernel. Rebuilt with the
+    /// arena.
+    leaf_points: Vec<f64>,
     /// Copied labels (for heterogeneous queries).
     labels: Vec<u32>,
     n_features: usize,
@@ -71,9 +106,10 @@ impl VpTree {
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
         let n = data.n_samples();
         let mut tree = Self {
-            nodes: Vec::with_capacity(n),
+            nodes: Vec::with_capacity(n / VP_LEAF_SIZE.max(1) * 2 + 1),
             root: NONE,
             points: data.features().to_vec(),
+            leaf_points: Vec::with_capacity(data.features().len()),
             labels: data.labels().to_vec(),
             n_features: data.n_features(),
             n_rows: n,
@@ -87,8 +123,88 @@ impl VpTree {
     /// Rebuilds the node arena over the currently alive rows.
     fn rebuild(&mut self) {
         self.nodes.clear();
+        self.leaf_points.clear();
         let mut rows = self.tombstones.begin_rebuild();
         self.root = self.build_rec(&mut rows);
+    }
+
+    /// Appends a bucket leaf, copying its rows' coordinates into the
+    /// leaf-contiguous buffer. Sub-lane datasets skip the copy — their
+    /// leaf scans go per-pair over `points` (see the KD-tree's twin).
+    fn push_leaf(&mut self, rows: &[u32]) -> u32 {
+        let p = self.n_features;
+        let start = self.leaf_points.len() / p.max(1);
+        if p >= LANE_WIDTH {
+            for &r in rows {
+                let base = r as usize * p;
+                self.leaf_points
+                    .extend_from_slice(&self.points[base..base + p]);
+            }
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Leaf {
+            rows: rows.to_vec(),
+            start,
+        });
+        id
+    }
+
+    /// Scans one leaf, invoking `hit` with `(row, sq_dist)` for every row
+    /// admitted by `pass`. Hybrid like the KD-tree's leaf scan: a fully
+    /// admitted bucket takes one batched kernel sweep over its contiguous
+    /// block; a filtered bucket (tombstones, heterogeneous-label queries)
+    /// pays per-pair calls for admitted rows only. Same kernel tier on both
+    /// paths → bit-identical distances.
+    fn scan_leaf(
+        &self,
+        rows: &[u32],
+        start: usize,
+        query: &[f64],
+        pass: impl Fn(u32) -> bool,
+        mut hit: impl FnMut(u32, f64),
+    ) {
+        let p = self.n_features;
+        if p < LANE_WIDTH {
+            // Sub-lane rows have no vector work to batch: one fused loop
+            // of the inline per-pair kernel over `points` (no leaf_points
+            // copy exists at these widths).
+            for &r in rows {
+                if pass(r) {
+                    let base = r as usize * p;
+                    hit(r, sq_euclidean(query, &self.points[base..base + p]));
+                }
+            }
+            return;
+        }
+        // VP leaves never exceed VP_LEAF_SIZE rows, so one stack buffer
+        // covers the whole bucket.
+        let mut admitted = [false; VP_LEAF_SIZE];
+        let mut kept = 0usize;
+        for (i, &r) in rows.iter().enumerate() {
+            admitted[i] = pass(r);
+            kept += usize::from(admitted[i]);
+        }
+        if kept == rows.len() {
+            let mut dists = [0.0f64; VP_LEAF_SIZE];
+            sq_euclidean_one_to_many(
+                query,
+                &self.leaf_points[start * p..(start + rows.len()) * p],
+                &mut dists[..rows.len()],
+            );
+            for (i, &r) in rows.iter().enumerate() {
+                hit(r, dists[i]);
+            }
+        } else if kept > 0 {
+            for (i, &r) in rows.iter().enumerate() {
+                if admitted[i] {
+                    let base = (start + i) * p;
+                    hit(
+                        r,
+                        sq_euclidean_dispatched(query, &self.leaf_points[base..base + p]),
+                    );
+                }
+            }
+        }
     }
 
     fn row(&self, r: u32) -> &[f64] {
@@ -99,25 +215,24 @@ impl VpTree {
     /// Recursively builds a subtree over `rows` (consumed) and returns its
     /// arena index, or `NONE` for an empty slice.
     fn build_rec(&mut self, rows: &mut [u32]) -> u32 {
-        let Some((&vantage, rest)) = rows.split_first() else {
+        if rows.is_empty() {
             return NONE;
-        };
-        if rest.is_empty() {
-            let id = self.nodes.len() as u32;
-            self.nodes.push(Node {
-                vantage,
-                mu: 0.0,
-                inside: NONE,
-                outside: NONE,
-            });
-            return id;
         }
+        if rows.len() <= VP_LEAF_SIZE {
+            return self.push_leaf(rows);
+        }
+        let (&vantage, rest) = rows.split_first().expect("non-empty partition");
         // Partition the remaining rows by distance-to-vantage around the
         // median: the inside half gets at least one row, and mu is the
         // largest inside distance so "≤ mu" matches the partition exactly.
         let mut sorted: Vec<(f64, u32)> = rest
             .iter()
-            .map(|&r| (euclidean(self.row(vantage), self.row(r)), r))
+            .map(|&r| {
+                (
+                    sq_euclidean_dispatched(self.row(vantage), self.row(r)).sqrt(),
+                    r,
+                )
+            })
             .collect();
         sorted.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)
@@ -129,7 +244,7 @@ impl VpTree {
         let mut inside_rows: Vec<u32> = sorted[..split].iter().map(|&(_, r)| r).collect();
         let mut outside_rows: Vec<u32> = sorted[split..].iter().map(|&(_, r)| r).collect();
         let id = self.nodes.len() as u32;
-        self.nodes.push(Node {
+        self.nodes.push(Node::Ball {
             vantage,
             mu,
             inside: NONE,
@@ -137,8 +252,15 @@ impl VpTree {
         });
         let inside = self.build_rec(&mut inside_rows);
         let outside = self.build_rec(&mut outside_rows);
-        self.nodes[id as usize].inside = inside;
-        self.nodes[id as usize].outside = outside;
+        if let Node::Ball {
+            inside: i,
+            outside: o,
+            ..
+        } = &mut self.nodes[id as usize]
+        {
+            *i = inside;
+            *o = outside;
+        }
         id
     }
 
@@ -183,21 +305,38 @@ impl VpTree {
         if node == NONE {
             return;
         }
-        let n = &self.nodes[node as usize];
-        let d_sq = sq_euclidean(query, self.row(n.vantage));
-        if self.tombstones.is_alive(n.vantage as usize)
-            && skip != Some(n.vantage as usize)
-            && keep(n.vantage)
+        let (vantage, mu, inside, outside) = match &self.nodes[node as usize] {
+            Node::Leaf { rows, start } => {
+                self.scan_leaf(
+                    rows,
+                    *start,
+                    query,
+                    |r| self.tombstones.is_alive(r as usize) && skip != Some(r as usize) && keep(r),
+                    |r, d| best.insert(d, r as usize),
+                );
+                return;
+            }
+            Node::Ball {
+                vantage,
+                mu,
+                inside,
+                outside,
+            } => (*vantage, *mu, *inside, *outside),
+        };
+        let d_sq = sq_euclidean_dispatched(query, self.row(vantage));
+        if self.tombstones.is_alive(vantage as usize)
+            && skip != Some(vantage as usize)
+            && keep(vantage)
         {
-            best.insert(d_sq, n.vantage as usize);
+            best.insert(d_sq, vantage as usize);
         }
         let d = d_sq.sqrt();
         // Visit the likelier side first, prune the other with the
         // triangle-inequality bound.
-        let (first, second, second_bound) = if d <= n.mu {
-            (n.inside, n.outside, n.mu - d)
+        let (first, second, second_bound) = if d <= mu {
+            (inside, outside, mu - d)
         } else {
-            (n.outside, n.inside, d - n.mu)
+            (outside, inside, d - mu)
         };
         self.search_filtered(first, query, skip, keep, best);
         let b = second_bound.max(0.0) * PRUNE_SLACK;
@@ -220,27 +359,51 @@ impl VpTree {
         if node == NONE {
             return;
         }
-        let n = &self.nodes[node as usize];
-        let d_sq = sq_euclidean(query, self.row(n.vantage));
-        if self.tombstones.is_alive(n.vantage as usize)
-            && skip != Some(n.vantage as usize)
+        let (vantage, mu, inside, outside) = match &self.nodes[node as usize] {
+            Node::Leaf { rows, start } => {
+                self.scan_leaf(
+                    rows,
+                    *start,
+                    query,
+                    |r| self.tombstones.is_alive(r as usize) && skip != Some(r as usize),
+                    |r, d| {
+                        if bound.admits(d, sq_bound) {
+                            out.push(SqNeighbor {
+                                row: r as usize,
+                                sq_dist: d,
+                            });
+                        }
+                    },
+                );
+                return;
+            }
+            Node::Ball {
+                vantage,
+                mu,
+                inside,
+                outside,
+            } => (*vantage, *mu, *inside, *outside),
+        };
+        let d_sq = sq_euclidean_dispatched(query, self.row(vantage));
+        if self.tombstones.is_alive(vantage as usize)
+            && skip != Some(vantage as usize)
             && bound.admits(d_sq, sq_bound)
         {
             out.push(SqNeighbor {
-                row: n.vantage as usize,
+                row: vantage as usize,
                 sq_dist: d_sq,
             });
         }
         let d = d_sq.sqrt();
         // Inside subtree: distances to vantage ≤ mu, so the minimum
         // possible distance to the query is d − mu; outside: mu − d.
-        let inside_min = ((d - n.mu).max(0.0)) * PRUNE_SLACK;
+        let inside_min = ((d - mu).max(0.0)) * PRUNE_SLACK;
         if inside_min <= radius {
-            self.range_rec(n.inside, query, sq_bound, radius, bound, skip, out);
+            self.range_rec(inside, query, sq_bound, radius, bound, skip, out);
         }
-        let outside_min = ((n.mu - d).max(0.0)) * PRUNE_SLACK;
+        let outside_min = ((mu - d).max(0.0)) * PRUNE_SLACK;
         if outside_min <= radius {
-            self.range_rec(n.outside, query, sq_bound, radius, bound, skip, out);
+            self.range_rec(outside, query, sq_bound, radius, bound, skip, out);
         }
     }
 }

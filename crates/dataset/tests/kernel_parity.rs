@@ -1,0 +1,211 @@
+//! Kernel-parity property tests (ISSUE 3 satellite).
+//!
+//! The workspace's cross-backend bit-identity guarantees rest on two facts:
+//!
+//! 1. every distance-kernel tier (AVX2, SSE2, scalar fallback) computes the
+//!    **same** 4-lane accumulation tree, so tier results are bit-identical
+//!    on every host and under `GB_SIMD=scalar`;
+//! 2. the contract is **width-keyed**: rows narrower than `LANE_WIDTH` are
+//!    summed in sequential order by every path ([`sq_euclidean`],
+//!    [`sq_euclidean_dispatched`], and the batched kernel all agree), and
+//!    rows at or above it use the lane tree everywhere — so for any fixed
+//!    row width, every scan path produces the same bits.
+//!
+//! These tests drive both claims through odd lengths, remainder tails,
+//! subnormals, and ±0.0, and bound the lane tree's divergence from the
+//! sequential oracle by a scaled-ULP tolerance.
+
+use gb_dataset::distance::{
+    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_naive, sq_euclidean_one_to_many,
+    sq_euclidean_one_to_many_with, sq_euclidean_scalar, sq_euclidean_with, Kernel, LANE_WIDTH,
+};
+use proptest::prelude::*;
+
+/// Interesting coordinates: normals across magnitudes, subnormals, and
+/// signed zeros (NaN/inf excluded — `Dataset` constructors reject them).
+fn coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1e3f64..1e3f64,
+        2 => prop_oneof![
+            Just(0.0f64),
+            Just(-0.0f64),
+            Just(f64::MIN_POSITIVE),
+            Just(-f64::MIN_POSITIVE),
+            Just(f64::MIN_POSITIVE / 8.0),   // subnormal
+            Just(-f64::MIN_POSITIVE / 16.0), // subnormal
+            Just(1e-200f64),
+            Just(1e200f64),
+        ],
+    ]
+}
+
+/// Equal-length vector pairs covering every `len % 4` tail class.
+fn vec_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..70).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(coord(), n),
+            proptest::collection::vec(coord(), n),
+        )
+    })
+}
+
+proptest! {
+    /// Every host-available tier agrees with the scalar fallback
+    /// bit-for-bit — the SIMD paths can never drift from the path CI
+    /// forces with `GB_SIMD=scalar`.
+    #[test]
+    fn all_tiers_bit_identical((a, b) in vec_pair()) {
+        let want = sq_euclidean_scalar(&a, &b);
+        for tier in Kernel::available() {
+            let got = sq_euclidean_with(tier, &a, &b);
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "tier {} diverged: {} vs {}",
+                tier.name(),
+                got,
+                want
+            );
+        }
+        // Width-keyed contract: the inline per-pair kernel is sequential
+        // order; the dispatched per-pair kernel equals it below LANE_WIDTH
+        // and the (tier-identical) lane tree at or above it. At n <= 2 the
+        // two orders coincide, so everything agrees there.
+        let seq = sq_euclidean_naive(&a, &b);
+        prop_assert_eq!(sq_euclidean(&a, &b).to_bits(), seq.to_bits());
+        let dispatched = sq_euclidean_dispatched(&a, &b);
+        if a.len() < LANE_WIDTH {
+            prop_assert_eq!(dispatched.to_bits(), seq.to_bits());
+        } else {
+            prop_assert_eq!(dispatched.to_bits(), want.to_bits());
+        }
+        if a.len() <= 2 {
+            prop_assert_eq!(seq.to_bits(), want.to_bits());
+        }
+    }
+
+    /// The lane-ordered kernels agree with the naive sequential oracle
+    /// within a scaled-ULP reassociation bound (all summands are
+    /// non-negative, so the error of either summation order is at most
+    /// ~n·ε relative to the exact sum).
+    #[test]
+    fn lane_tree_close_to_naive((a, b) in vec_pair()) {
+        let naive = sq_euclidean_naive(&a, &b);
+        let lanes = sq_euclidean_scalar(&a, &b);
+        if naive.is_infinite() || lanes.is_infinite() {
+            // A squared term overflowed; every summation order sees it.
+            prop_assert_eq!(lanes, naive);
+            return;
+        }
+        let n = a.len() as f64;
+        let tol = f64::EPSILON * naive * (n + 4.0) + f64::MIN_POSITIVE;
+        prop_assert!(
+            (lanes - naive).abs() <= tol,
+            "lanes {} vs naive {} (n = {})",
+            lanes,
+            naive,
+            a.len()
+        );
+        prop_assert!(lanes >= 0.0, "squared distance must be non-negative");
+    }
+
+    /// The batched one-to-many kernel matches per-pair calls bit-for-bit
+    /// on every tier, for arbitrary row counts and widths (amortized
+    /// dispatch must not change results).
+    #[test]
+    fn one_to_many_matches_per_pair(
+        p in 0usize..20,
+        rows in 0usize..12,
+        seed_a in proptest::collection::vec(coord(), 0..20),
+        seed_b in proptest::collection::vec(coord(), 0..240),
+    ) {
+        let query: Vec<f64> = (0..p).map(|i| *seed_a.get(i).unwrap_or(&1.5)).collect();
+        let block: Vec<f64> = (0..p * rows)
+            .map(|i| *seed_b.get(i % seed_b.len().max(1)).unwrap_or(&-0.5))
+            .collect();
+        let mut out = vec![f64::NAN; rows];
+        for tier in Kernel::available() {
+            sq_euclidean_one_to_many_with(tier, &query, &block, &mut out);
+            for (r, &d) in out.iter().enumerate() {
+                let row = &block[r * p..(r + 1) * p];
+                // Width-keyed: sub-lane batched rows are sequential order
+                // (all tiers identically), wider rows are the tier's lane
+                // tree.
+                let want = if p < LANE_WIDTH {
+                    sq_euclidean_naive(&query, row)
+                } else {
+                    sq_euclidean_with(tier, &query, row)
+                };
+                prop_assert_eq!(
+                    d.to_bits(),
+                    want.to_bits(),
+                    "tier {} row {}",
+                    tier.name(),
+                    r
+                );
+            }
+        }
+        // The dispatched batched entry agrees with the dispatched per-pair
+        // kernel for every width — the invariant the hybrid scans rely on.
+        sq_euclidean_one_to_many(&query, &block, &mut out);
+        for (r, &d) in out.iter().enumerate() {
+            let want = sq_euclidean_dispatched(&query, &block[r * p..(r + 1) * p]);
+            prop_assert_eq!(d.to_bits(), want.to_bits());
+        }
+    }
+}
+
+/// Directed tail cases: every `len % 4` class with values whose squares
+/// differ across summation orders (catches a tier that folds its remainder
+/// into the wrong lane).
+#[test]
+fn remainder_tails_bit_identical() {
+    for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 11, 13, 63, 64, 65] {
+        let a: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64) * 1e-3).collect();
+        let b: Vec<f64> = (0..n).map(|i| 3.0_f64.powi(i as i32 % 11 - 5)).collect();
+        let want = sq_euclidean_scalar(&a, &b);
+        for tier in Kernel::available() {
+            assert_eq!(
+                sq_euclidean_with(tier, &a, &b).to_bits(),
+                want.to_bits(),
+                "tier {} at n={n}",
+                tier.name()
+            );
+        }
+    }
+}
+
+/// Signed zeros and subnormal differences survive every tier unchanged.
+#[test]
+fn signed_zero_and_subnormal_tails() {
+    let a = [0.0, -0.0, f64::MIN_POSITIVE, -f64::MIN_POSITIVE / 4.0, 0.0];
+    let b = [-0.0, 0.0, f64::MIN_POSITIVE / 2.0, 0.0, 1e-300];
+    let want = sq_euclidean_scalar(&a, &b);
+    for tier in Kernel::available() {
+        assert_eq!(
+            sq_euclidean_with(tier, &a, &b).to_bits(),
+            want.to_bits(),
+            "tier {}",
+            tier.name()
+        );
+    }
+}
+
+/// The batched boundary enforces exact strides — no silent truncation
+/// (ISSUE 3 satellite fix).
+#[test]
+#[should_panic(expected = "row-major block")]
+fn batched_boundary_rejects_short_block() {
+    let mut out = vec![0.0; 3];
+    // 3 rows of width 4 need 12 values; pass 11.
+    sq_euclidean_one_to_many(&[0.0; 4], &[1.0; 11], &mut out);
+}
+
+/// Oversized blocks are rejected too (the old pairwise kernel silently
+/// truncated to the shorter side; the batched API must not).
+#[test]
+#[should_panic(expected = "row-major block")]
+fn batched_boundary_rejects_long_block() {
+    let mut out = vec![0.0; 2];
+    sq_euclidean_one_to_many(&[0.0; 4], &[1.0; 9], &mut out);
+}

@@ -83,7 +83,8 @@ impl Sampler for Adasyn {
             let class = class as u32;
             use rayon::prelude::*;
             // Difficulty r_i: heterogeneous fraction of the k-NN in D.
-            // Independent per donor — scanned in parallel, donor order kept.
+            // Independent per donor — scanned in parallel (each scan a
+            // blocked SIMD-kernel sweep), donor order kept.
             let weights: Vec<f64> = donors
                 .par_iter()
                 .map(|&d| {

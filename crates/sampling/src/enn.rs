@@ -46,7 +46,9 @@ pub struct EditedNn {
 ///
 /// Every row's neighbourhood vote is independent, so the k-NN scans run in
 /// parallel; the removal list is assembled in row order, identical to the
-/// sequential loop.
+/// sequential loop. Each scan streams the row-major buffer through the
+/// batched SIMD distance kernel (`k_nearest` → `sq_euclidean_one_to_many`)
+/// on wide data; results are deterministic for any kernel tier.
 #[must_use]
 pub fn enn_removals(data: &Dataset, k: usize, edit_all: bool) -> Vec<usize> {
     use rayon::prelude::*;

@@ -52,7 +52,9 @@ pub(crate) fn oversample_targets(data: &Dataset) -> Vec<usize> {
 /// the naive loop would draw them — then the per-sample k-NN searches and
 /// interpolations execute in parallel and are appended in draw order. The
 /// output is therefore identical to the sequential implementation for any
-/// thread count.
+/// thread count. Each donor search is a blocked scan through the batched
+/// SIMD distance kernel (`k_nearest_filtered` → `sq_euclidean_one_to_many`)
+/// on wide data; results are deterministic for any kernel tier.
 pub(crate) fn synthesize_for_class(
     data: &Dataset,
     donors: &[usize],

@@ -25,8 +25,10 @@ pub struct TomekLinks {
 
 /// Finds all Tomek links as index pairs `(a, b)` with `a < b`.
 ///
-/// The all-rows nearest-neighbour pass (the O(n²) part) runs in parallel;
-/// the mutual-pair sweep that follows is linear and stays sequential.
+/// The all-rows nearest-neighbour pass (the O(n²) part) runs in parallel,
+/// each row's scan streaming the row-major buffer through the batched SIMD
+/// distance kernel; the mutual-pair sweep that follows is linear and stays
+/// sequential.
 #[must_use]
 pub fn find_tomek_links(data: &Dataset) -> Vec<(usize, usize)> {
     let n = data.n_samples();

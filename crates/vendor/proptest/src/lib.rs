@@ -2,9 +2,10 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
-//! strategies, [`Just`], [`collection::vec`], the [`proptest!`] macro with
-//! an optional `#![proptest_config(...)]` attribute, and the
-//! `prop_assert*`/`prop_assume` macros.
+//! strategies, [`Just`], [`collection::vec`], the (optionally weighted)
+//! [`prop_oneof!`] union, the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` attribute, and the `prop_assert*`/
+//! `prop_assume` macros.
 //!
 //! Differences from real proptest: cases are generated from a deterministic
 //! per-test RNG (seeded from the test name), there is **no shrinking** — a
@@ -161,6 +162,67 @@ tuple_strategies! {
     (A 0, B 1, C 2, D 3, E 4, F 5);
 }
 
+/// A boxed value generator, as stored by [`OneOfStrategy`].
+pub type BoxedGen<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Weighted union of same-valued strategies; built by [`prop_oneof!`].
+pub struct OneOfStrategy<T> {
+    choices: Vec<(u32, BoxedGen<T>)>,
+}
+
+impl<T> OneOfStrategy<T> {
+    /// Assembles a union from `(weight, generator)` pairs.
+    ///
+    /// # Panics
+    /// Panics when `choices` is empty or every weight is zero.
+    #[must_use]
+    pub fn new(choices: Vec<(u32, BoxedGen<T>)>) -> Self {
+        assert!(
+            choices.iter().map(|&(w, _)| u64::from(w)).sum::<u64>() > 0,
+            "prop_oneof! needs at least one positively-weighted choice"
+        );
+        Self { choices }
+    }
+}
+
+impl<T> Strategy for OneOfStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.choices.iter().map(|&(w, _)| u64::from(w)).sum();
+        let mut pick = rand::Rng::gen_range(rng, 0..total);
+        for (w, gen) in &self.choices {
+            let w = u64::from(*w);
+            if pick < w {
+                return gen(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum checked in new()")
+    }
+}
+
+/// Boxes a strategy's generator for [`OneOfStrategy`] (macro plumbing).
+pub fn boxed_gen<S: Strategy + 'static>(s: S) -> BoxedGen<S::Value> {
+    Box::new(move |rng| s.generate(rng))
+}
+
+/// Picks one of several same-valued strategies, optionally weighted:
+/// `prop_oneof![a, b]` or `prop_oneof![9 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOfStrategy::new(vec![
+            $(($weight as u32, $crate::boxed_gen($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOfStrategy::new(vec![
+            $((1u32, $crate::boxed_gen($strat))),+
+        ])
+    };
+}
+
 /// Collection strategies.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -230,8 +292,8 @@ pub mod collection {
 /// Everything a property test usually imports.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 

@@ -1,0 +1,79 @@
+//! Single-shot granulation timing probe for controlled A/B runs on noisy
+//! hosts: one timed `rd_gbg` per invocation, machine-readable output.
+//!
+//! ```text
+//! cargo run --release --example granulation_probe -- kdtree 50000 noise10 3
+//! ```
+
+use gb_dataset::index::GranulationBackend;
+use gb_dataset::noise::inject_class_noise;
+use gb_dataset::synth::banana::BananaSpec;
+use gbabs::{rd_gbg, RdGbgConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("pairwise") {
+        return pairwise_probe();
+    }
+    let backend = args
+        .get(1)
+        .and_then(|s| GranulationBackend::from_str_opt(s))
+        .unwrap_or(GranulationBackend::KdTree);
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let noisy = args.get(3).map(String::as_str) != Some("clean");
+    let iters: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let clean = BananaSpec {
+        n_samples: n,
+        ..BananaSpec::default()
+    }
+    .generate(42);
+    let data = if noisy {
+        inject_class_noise(&clean, 0.10, 1).0
+    } else {
+        clean
+    };
+    let cfg = RdGbgConfig {
+        seed: 7,
+        ..RdGbgConfig::default()
+    }
+    .with_backend(backend);
+    // warm-up
+    let model = rd_gbg(&data, &cfg);
+    let mut times = Vec::new();
+    for _ in 0..iters {
+        let t = Instant::now();
+        let m = rd_gbg(&data, &cfg);
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(m.balls.len(), model.balls.len());
+    }
+    let ms: Vec<String> = times.iter().map(|t| format!("{t:.1}")).collect();
+    println!(
+        "{} n={n} {}: [{}] ms, {} balls",
+        backend,
+        if noisy { "noise10" } else { "clean" },
+        ms.join(", "),
+        model.balls.len()
+    );
+}
+
+/// Raw per-pair kernel probe: `granulation_probe pairwise <n> <p> <reps>`
+/// (bypasses rd_gbg entirely; for quick dispatched-kernel spot checks).
+fn pairwise_probe() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let p: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let reps: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let feats: Vec<f64> = (0..n * p).map(|i| (i as f64 * 0.37).sin()).collect();
+    let q: Vec<f64> = (0..p).map(|i| i as f64 * 0.1).collect();
+    let t = std::time::Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..reps {
+        for r in 0..n {
+            acc += gb_dataset::distance::sq_euclidean(&feats[r * p..(r + 1) * p], &q);
+        }
+    }
+    let ns = t.elapsed().as_nanos() as f64 / (reps * n) as f64;
+    println!("pairwise p={p}: {ns:.2} ns/row (acc {acc:.3})");
+}
