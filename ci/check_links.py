@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repo's markdown documentation.
+
+Scans README.md, the other root-level *.md pages, and docs/*.md for
+markdown links, and fails if any relative target does not exist.
+Fragment targets (#anchors) are checked against a GitHub-style slug of
+the destination file's headings. External links (http/https/mailto)
+are not fetched -- CI must not depend on the network.
+
+Usage: python3 ci/check_links.py [repo_root]
+"""
+
+import re
+import sys
+import unicodedata
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: drop punctuation/symbols, spaces to hyphens."""
+    text = heading.strip()
+    # Inline code/emphasis markers do not contribute to the slug.
+    text = text.replace("`", "").replace("*", "")
+    out = []
+    for ch in text.lower():
+        if ch.isalnum() or ch in "-_":
+            out.append(ch)
+        elif ch.isspace():
+            out.append("-")
+        else:
+            cat = unicodedata.category(ch)
+            # Letters/digits in any script survive; punctuation/symbols drop.
+            if cat.startswith(("L", "N")):
+                out.append(ch)
+    return "".join(out)
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors, seen = set(), {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    pages = sorted(root.glob("*.md")) + sorted((root / "docs").glob("*.md"))
+    broken = []
+    checked = 0
+    for page in pages:
+        in_fence = False
+        for lineno, line in enumerate(page.read_text(encoding="utf-8").splitlines(), 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                checked += 1
+                where = f"{page.relative_to(root)}:{lineno}"
+                path_part, _, fragment = target.partition("#")
+                dest = page if not path_part else (page.parent / path_part).resolve()
+                if not dest.exists():
+                    broken.append(f"{where}: missing target {target}")
+                    continue
+                if fragment and dest.suffix == ".md":
+                    if fragment not in anchors_of(dest):
+                        broken.append(f"{where}: no anchor #{fragment} in {path_part or dest.name}")
+    for b in broken:
+        print(f"BROKEN  {b}")
+    print(f"checked {checked} relative link(s) across {len(pages)} page(s); {len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

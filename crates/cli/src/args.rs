@@ -101,6 +101,33 @@ pub struct Cli {
     /// Micro-batch concurrent predictions (`serve` only; `--no-batch`
     /// disables).
     pub micro_batch: bool,
+    /// Model-store directory: persist accepted models and repopulate the
+    /// registry after a restart (`serve` only).
+    pub model_dir: Option<PathBuf>,
+    /// Resident-model memory budget in bytes; least-recently-used tenants
+    /// are evicted to disk when exceeded (`serve` only; requires
+    /// `--model-dir`).
+    pub model_mem_budget: Option<u64>,
+}
+
+/// Parses a byte count with an optional `K`/`M`/`G` (or `KB`/`MB`/`GB`,
+/// case-insensitive) suffix: `1048576`, `64M`, `2G`, …
+#[must_use]
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let upper = s.to_ascii_uppercase();
+    let (digits, multiplier) = if let Some(d) = upper.strip_suffix("KB").or(upper.strip_suffix('K'))
+    {
+        (d, 1u64 << 10)
+    } else if let Some(d) = upper.strip_suffix("MB").or(upper.strip_suffix('M')) {
+        (d, 1u64 << 20)
+    } else if let Some(d) = upper.strip_suffix("GB").or(upper.strip_suffix('G')) {
+        (d, 1u64 << 30)
+    } else {
+        (upper.as_str(), 1)
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(multiplier).filter(|&b| b > 0)
 }
 
 /// Subcommands.
@@ -137,6 +164,9 @@ pub enum ParseError {
     BadRatio,
     /// `--rho` below 2 (the density rules need ρ ≥ 2).
     BadRho,
+    /// `--model-mem-budget` without `--model-dir` (evicted tenants need a
+    /// store to reload from).
+    BudgetWithoutDir,
 }
 
 impl fmt::Display for ParseError {
@@ -170,6 +200,13 @@ impl fmt::Display for ParseError {
             ParseError::BadRho => {
                 write!(f, "--rho must be at least 2 (the density rules h == 1, 1 < h < rho, h == rho need it)")
             }
+            ParseError::BudgetWithoutDir => {
+                write!(
+                    f,
+                    "--model-mem-budget requires --model-dir (evicted models \
+                     must have a store file to reload from)"
+                )
+            }
         }
     }
 }
@@ -183,6 +220,7 @@ usage:
   gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
   gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
                 [--k K] [--workers W] [--no-batch]
+                [--model-dir DIR] [--model-mem-budget BYTES]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
          smote, borderline-smote, adasyn, tomek, cnn, enn,
@@ -201,6 +239,11 @@ options:
   --k K               serve: GB-kNN vote size (default 1)
   --workers W         serve: worker threads (default 8)
   --no-batch          serve: disable predict micro-batching
+  --model-dir DIR     serve: persist models here and reload them at boot
+                      (enables POST-reload survival across restarts)
+  --model-mem-budget BYTES
+                      serve: resident-model memory budget (suffixes K/M/G);
+                      LRU tenants are evicted to the model dir when exceeded
 ";
 
 /// Parses `args` (without the program name).
@@ -229,6 +272,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         k: 1,
         workers: 8,
         micro_batch: true,
+        model_dir: None,
+        model_mem_budget: None,
     };
     let mut have_input = false;
     while let Some(arg) = it.next() {
@@ -283,6 +328,12 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 }
             }
             "--no-batch" => cli.micro_batch = false,
+            "--model-dir" => cli.model_dir = Some(PathBuf::from(value(arg)?)),
+            "--model-mem-budget" => {
+                cli.model_mem_budget = Some(
+                    parse_bytes(&value(arg)?).ok_or_else(|| ParseError::BadValue(arg.clone()))?,
+                );
+            }
             flag if flag.starts_with('-') => return Err(ParseError::UnknownFlag(flag.to_string())),
             path => {
                 if have_input {
@@ -304,6 +355,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     }
     if cli.rho < 2 {
         return Err(ParseError::BadRho);
+    }
+    if cli.model_mem_budget.is_some() && cli.model_dir.is_none() {
+        return Err(ParseError::BudgetWithoutDir);
     }
     Ok(cli)
 }
@@ -444,6 +498,42 @@ mod tests {
             parse(&argv("serve data.csv --workers 0")),
             Err(ParseError::BadValue("--workers".into()))
         );
+    }
+
+    #[test]
+    fn parses_model_store_flags() {
+        let cli = parse(&argv(
+            "serve data.csv --model-dir /var/lib/gbabs --model-mem-budget 512M",
+        ))
+        .unwrap();
+        assert_eq!(cli.model_dir, Some(PathBuf::from("/var/lib/gbabs")));
+        assert_eq!(cli.model_mem_budget, Some(512 << 20));
+        let defaults = parse(&argv("serve data.csv")).unwrap();
+        assert_eq!(defaults.model_dir, None);
+        assert_eq!(defaults.model_mem_budget, None);
+        assert_eq!(
+            parse(&argv("serve data.csv --model-mem-budget 1G")),
+            Err(ParseError::BudgetWithoutDir),
+            "a budget without a store has nowhere to evict to"
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve data.csv --model-dir d --model-mem-budget nope"
+            )),
+            Err(ParseError::BadValue("--model-mem-budget".into()))
+        );
+    }
+
+    #[test]
+    fn parse_bytes_accepts_suffixes() {
+        assert_eq!(parse_bytes("1048576"), Some(1 << 20));
+        assert_eq!(parse_bytes("64k"), Some(64 << 10));
+        assert_eq!(parse_bytes("64KB"), Some(64 << 10));
+        assert_eq!(parse_bytes("512M"), Some(512 << 20));
+        assert_eq!(parse_bytes("2gb"), Some(2 << 30));
+        assert_eq!(parse_bytes("0"), None, "a zero budget is a typo");
+        assert_eq!(parse_bytes("-5M"), None);
+        assert_eq!(parse_bytes("lots"), None);
     }
 
     #[test]

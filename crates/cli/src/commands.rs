@@ -162,13 +162,17 @@ fn inspect(cli: &Cli, data: &Dataset) -> String {
 }
 
 /// `gbabs serve`: granulate the input once, register it as model
-/// `default`, and serve predictions until the process is killed.
+/// `default`, and serve predictions until the process is killed. With
+/// `--model-dir` the registry is disk-backed: models persisted by earlier
+/// runs come back (cold) after a restart, `POST /models/{name}` uploads
+/// survive, and `--model-mem-budget` bounds resident memory via LRU
+/// eviction.
 ///
 /// # Errors
-/// Bind failures and degenerate inputs, stringified.
+/// Bind failures, store failures, and degenerate inputs, stringified.
 fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
     use gb_serve::registry::LoadOptions;
-    use gb_serve::{ModelRegistry, ServeConfig, Server};
+    use gb_serve::{ModelRegistry, ModelStore, ServeConfig, Server};
     use std::sync::Arc;
 
     let cfg = RdGbgConfig {
@@ -178,18 +182,39 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
         ..RdGbgConfig::default()
     };
     let model = gbabs::rd_gbg(data, &cfg);
-    let registry = Arc::new(ModelRegistry::new());
+    let registry = match &cli.model_dir {
+        Some(dir) => {
+            let store =
+                ModelStore::open(dir).map_err(|e| format!("--model-dir {}: {e}", dir.display()))?;
+            let (registry, scan) = ModelRegistry::with_store(store, cli.model_mem_budget)
+                .map_err(|e| format!("--model-dir {}: scan failed: {e}", dir.display()))?;
+            println!(
+                "model store {}: {} persisted model(s) ready for lazy reload{}",
+                dir.display(),
+                scan.found.len(),
+                match cli.model_mem_budget {
+                    Some(b) => format!(", resident budget {b} bytes"),
+                    None => String::new(),
+                },
+            );
+            for q in &scan.quarantined {
+                eprintln!("warning: quarantined corrupt store file {}", q.display());
+            }
+            Arc::new(registry)
+        }
+        None => Arc::new(ModelRegistry::new()),
+    };
+    let options = LoadOptions {
+        k: cli.k,
+        n_classes: Some(data.n_classes()),
+        backend: cli.backend,
+        ..LoadOptions::default()
+    };
+    // `publish` persists "default" when a store is attached (so a restart
+    // with the same --model-dir can serve it before re-granulating
+    // finishes); without a store it is a plain in-memory load.
     let served = registry
-        .load(
-            "default",
-            &model,
-            &LoadOptions {
-                k: cli.k,
-                n_classes: Some(data.n_classes()),
-                backend: cli.backend,
-                ..LoadOptions::default()
-            },
-        )
+        .publish("default", &model, &options)
         .map_err(|e| format!("{}: {e}", cli.input.display()))?;
     let server = Server::bind(
         ServeConfig {
@@ -211,7 +236,7 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
         cli.backend,
     );
     println!(
-        "endpoints: POST /predict | POST /sample | POST /models/{{name}} | \
+        "endpoints: POST /predict | POST /sample | POST/DELETE /models/{{name}} | \
          GET /model /models /healthz /metrics"
     );
     let handle = server.start().map_err(|e| e.to_string())?;

@@ -82,7 +82,8 @@ pub fn cover_stats(data: &Dataset, balls: &[GranularBall]) -> CoverStats {
 /// must return 0.
 ///
 /// Runs on the same max-radius KD-tree that answers RD-GBG's Eq.-4
-/// conflict-radius query ([`crate::conflict`]): balls are inserted one by
+/// conflict-radius query (the private `conflict` module): balls are
+/// inserted one by
 /// one and each counts its overlaps against the balls already indexed, so
 /// the scan is O(m·log m) in practice instead of the O(m²) pairwise loop —
 /// with bit-identical counts (the leaf predicate is exactly

@@ -6,7 +6,7 @@
 //! cache-friendly on the row-major buffer, and fast enough for the paper's
 //! dataset sizes (≤ 58 000 × 256).
 //!
-//! Rows of a lane width or more scan in blocks of [`SCAN_BLOCK`] through
+//! Rows of a lane width or more scan in blocks of `SCAN_BLOCK` (128) through
 //! the batched [`sq_euclidean_one_to_many`] kernel: one tier dispatch per
 //! block and the row-major slab streams linearly through cache; filtered
 //! blocks fall back to per-pair [`sq_euclidean_dispatched`] calls for kept

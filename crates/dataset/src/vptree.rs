@@ -20,7 +20,7 @@
 //! (1 − 1e−12) so `sqrt` rounding can only cause an extra visit, never a
 //! missed exact neighbour.
 //!
-//! Partitions of ≤ [`VP_LEAF_SIZE`] rows stop splitting and become bucket
+//! Partitions of ≤ `VP_LEAF_SIZE` (16) rows stop splitting and become bucket
 //! leaves, shrinking the arena ~16×. For rows of a lane width or more the
 //! leaves keep their coordinates in a **leaf-contiguous** buffer so a
 //! fully-admitted bucket scan is one batched [`sq_euclidean_one_to_many`]
@@ -53,7 +53,7 @@ enum Node {
         outside: u32,
     },
     /// A bucket of rows scanned in one batched-kernel call; partitions of
-    /// at most [`VP_LEAF_SIZE`] rows stop splitting.
+    /// at most `VP_LEAF_SIZE` (16) rows stop splitting.
     Leaf {
         /// Row indices stored at this leaf.
         rows: Vec<u32>,

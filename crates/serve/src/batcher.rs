@@ -340,6 +340,7 @@ mod tests {
             n_classes: 1,
             predictor: GbKnn::from_model(&poisoned, 1, 2),
             backend: gb_dataset::index::GranulationBackend::Auto,
+            resident_bytes: 0,
             stats: ModelStats {
                 n_balls: 2,
                 n_singletons: 0,

@@ -9,8 +9,22 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:8080 [--threads 4] [--duration-s 5]
-//!         [--batch 1] [--model default] [--lo 0.0] [--hi 1.0] [--seed 42]
+//!         [--batch 1] [--model default] [--models N]
+//!         [--lo 0.0] [--hi 1.0] [--seed 42]
 //! ```
+//!
+//! # Multi-tenant mode (`--models N`)
+//!
+//! With `--models N` (N > 1) each thread round-robins its requests over
+//! the tenant names `{model}-0 … {model}-{N-1}` (offset by thread id so
+//! concurrent threads spread over different tenants). Pointed at a server
+//! whose `--model-mem-budget` holds fewer than N tenants resident, every
+//! rotation forces an LRU eviction plus a cold reload from the model
+//! store, so the latency percentiles measure the **cold-start regime**;
+//! with a budget that fits all N they measure the warm multi-tenant
+//! baseline (see `BENCH_SERVE.json` entry 2 for the recorded pair). All
+//! N tenants must already be registered and share one dimensionality
+//! (dims are probed from `{model}-0`).
 
 use gb_serve::HttpClient;
 use std::fmt::Write as _;
@@ -23,9 +37,32 @@ struct Args {
     duration_s: f64,
     batch: usize,
     model: String,
+    /// Tenant count for multi-tenant round-robin mode (1 = single model).
+    models: usize,
     lo: f64,
     hi: f64,
     seed: u64,
+}
+
+impl Args {
+    /// The tenant name for a thread's `round`-th request.
+    fn model_name(&self, thread_id: usize, round: u64) -> String {
+        if self.models <= 1 {
+            self.model.clone()
+        } else {
+            let idx = (thread_id as u64 + round) % self.models as u64;
+            format!("{}-{idx}", self.model)
+        }
+    }
+
+    /// The tenant probed for dimensionality.
+    fn probe_name(&self) -> String {
+        if self.models <= 1 {
+            self.model.clone()
+        } else {
+            format!("{}-0", self.model)
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         duration_s: 5.0,
         batch: 1,
         model: "default".into(),
+        models: 1,
         lo: 0.0,
         hi: 1.0,
         seed: 42,
@@ -55,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--batch" => args.batch = value(arg)?.parse().map_err(|_| "bad --batch")?,
             "--model" => args.model = value(arg)?,
+            "--models" => args.models = value(arg)?.parse().map_err(|_| "bad --models")?,
             "--lo" => args.lo = value(arg)?.parse().map_err(|_| "bad --lo")?,
             "--hi" => args.hi = value(arg)?.parse().map_err(|_| "bad --hi")?,
             "--seed" => args.seed = value(arg)?.parse().map_err(|_| "bad --seed")?,
@@ -64,8 +103,8 @@ fn parse_args() -> Result<Args, String> {
     if args.addr.is_empty() {
         return Err("--addr HOST:PORT is required".into());
     }
-    if args.threads == 0 || args.batch == 0 {
-        return Err("--threads and --batch must be positive".into());
+    if args.threads == 0 || args.batch == 0 || args.models == 0 {
+        return Err("--threads, --batch and --models must be positive".into());
     }
     Ok(args)
 }
@@ -84,9 +123,9 @@ fn unit_f64(state: &mut u64) -> f64 {
 }
 
 /// Builds one `/predict` body with `batch` rows of `dims` coordinates.
-fn predict_body(args: &Args, dims: usize, state: &mut u64) -> String {
+fn predict_body(args: &Args, model: &str, dims: usize, state: &mut u64) -> String {
     let mut body = String::with_capacity(batch_capacity(args.batch, dims));
-    let _ = write!(body, "{{\"model\":\"{}\",\"rows\":[", args.model);
+    let _ = write!(body, "{{\"model\":\"{model}\",\"rows\":[");
     for r in 0..args.batch {
         if r > 0 {
             body.push(',');
@@ -147,8 +186,11 @@ fn client_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) ->
         .seed
         .wrapping_mul(0x100_0000_01b3)
         .wrapping_add(thread_id as u64);
+    let mut round = 0u64;
     while !stop.load(Ordering::Relaxed) {
-        let body = predict_body(args, dims, &mut state);
+        let model = args.model_name(thread_id, round);
+        round += 1;
+        let body = predict_body(args, &model, dims, &mut state);
         let t0 = Instant::now();
         match client.request("POST", "/predict", Some(&body)) {
             Ok((200, _)) => {
@@ -187,7 +229,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let dims = match model_dims(&args.addr, &args.model) {
+    let dims = match model_dims(&args.addr, &args.probe_name()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -227,6 +269,7 @@ fn main() {
     let report = serde::Value::Obj(vec![
         ("addr".into(), serde::Value::Str(args.addr.clone())),
         ("model".into(), serde::Value::Str(args.model.clone())),
+        ("models".into(), serde::Value::Num(args.models as f64)),
         ("threads".into(), serde::Value::Num(args.threads as f64)),
         ("batch".into(), serde::Value::Num(args.batch as f64)),
         ("duration_s".into(), serde::Value::Num(elapsed)),

@@ -14,6 +14,13 @@ use std::net::TcpStream;
 /// Maximum accepted header block size (request line + headers).
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 
+/// Upper bound on how much of an over-limit body is drained before the
+/// `413` is written (see `read_request`): enough that any client within an
+/// order of magnitude of the limit reliably receives the JSON error body,
+/// without letting a hostile `Content-Length` stream gigabytes through a
+/// rejected request.
+pub const MAX_DRAIN_BYTES: usize = 8 << 20;
+
 /// A parsed HTTP request.
 #[derive(Debug)]
 pub struct Request {
@@ -185,6 +192,20 @@ pub fn read_request(
         }
     }
     if content_length > max_body_bytes {
+        // Drain (bounded) what the peer is still writing before erroring.
+        // Without this the server's error response races the client's
+        // in-flight body: closing with unread data pending sends RST,
+        // which can discard the buffered response, and the client sees a
+        // reset instead of the 413 JSON error body.
+        let mut remaining = content_length.min(MAX_DRAIN_BYTES);
+        let mut sink = [0u8; 8192];
+        while remaining > 0 {
+            let want = remaining.min(sink.len());
+            match reader.read(&mut sink[..want]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining -= n,
+            }
+        }
         return Err(HttpError::TooLarge(format!(
             "body of {content_length} bytes exceeds limit {max_body_bytes}"
         )));

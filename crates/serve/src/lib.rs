@@ -12,10 +12,11 @@
 //! | `/predict` | POST | classify one `row` or a batch of `rows` |
 //! | `/sample` | POST | GBABS borderline-sample an uploaded CSV |
 //! | `/model` | GET | cover stats of a named model (`?name=`) |
-//! | `/models` | GET | list registered models |
-//! | `/models/{name}` | POST | **hot-reload** a model from RdGbgModel JSON |
+//! | `/models` | GET | list tenants with residency state, bytes, cache counters |
+//! | `/models/{name}` | POST | **hot-reload** a model from RdGbgModel JSON (persisted when a store is attached) |
+//! | `/models/{name}` | DELETE | remove a tenant from memory, catalog, and disk |
 //! | `/healthz` | GET | liveness + model count |
-//! | `/metrics` | GET | request counters + latency histogram |
+//! | `/metrics` | GET | request counters, latency histogram, registry cache stats |
 //!
 //! ## Micro-batching
 //!
@@ -39,6 +40,19 @@
 //! already resolved the old `Arc` finish against the old model; new
 //! requests see the new one; nothing blocks on the reload.
 //!
+//! ## Persistence and the memory budget
+//!
+//! With a [`store::ModelStore`] attached (`gbabs serve --model-dir`),
+//! every accepted model is also written to disk — atomic
+//! write-then-rename with an fsync'd, checksummed file per tenant — and a
+//! restart repopulates the catalog lazily: tenants come back **cold**
+//! (known, not loaded) and the first request against one transparently
+//! rebuilds the predictor from disk. An optional byte budget
+//! (`--model-mem-budget`) bounds resident memory: least-recently-used
+//! persisted tenants are evicted back to cold state, and cold reloads are
+//! single-flight (concurrent requests coalesce onto one disk load). See
+//! [`store`] and [`registry`] for the contracts.
+//!
 //! ## Load shedding
 //!
 //! Two bounded admission gates return `503` instead of queuing
@@ -55,7 +69,9 @@ pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod store;
 
 pub use client::HttpClient;
-pub use registry::{LoadOptions, ModelRegistry, ModelStats, ServingModel};
+pub use registry::{LoadOptions, ModelRegistry, ModelStats, PublishError, ServingModel};
 pub use server::{ServeConfig, Server, ServerHandle};
+pub use store::{ModelStore, ScanReport};

@@ -24,6 +24,8 @@ pub struct Metrics {
     pub health_requests: AtomicU64,
     /// Model hot-reloads performed.
     pub reloads: AtomicU64,
+    /// Tenants deleted via `DELETE /models/{name}`.
+    pub deletes: AtomicU64,
     /// 4xx responses (bad JSON, unknown model, bad shapes).
     pub client_errors: AtomicU64,
     /// 5xx responses other than shed 503s (contained predict failures).

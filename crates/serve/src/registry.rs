@@ -1,4 +1,5 @@
-//! Named serving models with atomic hot-reload.
+//! Named serving models: atomic hot-reload, byte-budgeted LRU residency,
+//! and lazy reload from the disk-backed [`crate::store::ModelStore`].
 //!
 //! A [`ServingModel`] bundles everything the request path needs — the
 //! GB-kNN predictor (built **once** per load from the ball cover), the
@@ -8,13 +9,46 @@
 //! so a reload is one pointer swap: in-flight requests keep predicting
 //! against the model they resolved, new requests see the new one, and the
 //! old model is freed when its last in-flight request finishes.
+//!
+//! # Residency and the memory budget
+//!
+//! With a [`ModelStore`] attached ([`ModelRegistry::with_store`]), every
+//! tenant is in one of two states:
+//!
+//! * **resident** — predictor in memory, served directly;
+//! * **cold** — persisted on disk only (either never loaded since boot, or
+//!   evicted); the catalog knows it exists, a request against it triggers
+//!   a transparent reload.
+//!
+//! Each resident model's footprint (ball cover + GB-kNN structures,
+//! estimated by [`ServingModel::resident_bytes`]) is accounted against an
+//! optional byte budget. Loading a model that would exceed the budget
+//! evicts the least-recently-used *persisted* resident tenants back to
+//! cold until the new total fits (the most recently touched model is never
+//! evicted, so the budget is exceeded rather than thrash when a single
+//! model is larger than the whole budget). Models loaded without a backing
+//! store file are never evicted — there would be nothing to reload them
+//! from.
+//!
+//! # Cold reloads are single-flight
+//!
+//! [`ModelRegistry::acquire`] is the request-path lookup: a resident hit
+//! bumps recency and returns; a cold hit rebuilds the predictor from disk.
+//! Concurrent requests against the same cold tenant trigger **one** disk
+//! load — the first caller loads while the rest park on a condvar and are
+//! handed the freshly resident `Arc` when it lands. Reload count and
+//! latency are exported through [`RegistryStats`] (surfaced in
+//! `GET /metrics`).
 
+use crate::metrics::LatencyHistogram;
+use crate::store::{ModelStore, ScanReport};
 use gb_dataset::index::GranulationBackend;
-use gbabs::{DistanceRule, GbKnn, RdGbgModel};
-use parking_lot::Mutex;
+use gbabs::{DistanceRule, GbKnn, GranularBall, RdGbgModel};
+use serde::Value;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Summary statistics of a loaded ball cover (served by `GET /model`).
 #[derive(Debug, Clone)]
@@ -63,11 +97,29 @@ impl ModelStats {
     }
 }
 
+/// Estimated resident footprint of a loaded model: the ball cover held by
+/// the predictor (centers, member lists, per-ball struct overhead — GB-kNN
+/// keeps its own copy of the balls) plus the flattened center matrix the
+/// batched distance kernel scans.
+fn estimate_resident_bytes(model: &RdGbgModel) -> u64 {
+    use std::mem::size_of;
+    let n_features = model.balls.first().map_or(0, |b| b.center.len());
+    let mut cover = 0u64;
+    for b in &model.balls {
+        cover += (b.center.len() * size_of::<f64>()) as u64
+            + (b.members.len() * size_of::<usize>()) as u64
+            + size_of::<GranularBall>() as u64;
+    }
+    cover
+        + (model.balls.len() * n_features * size_of::<f64>()) as u64
+        + (model.noise.len() * size_of::<usize>()) as u64
+}
+
 /// A model as served: predictor + metadata, immutable once loaded.
 pub struct ServingModel {
     /// Registry name.
     pub name: String,
-    /// Monotonic load version (registry-wide counter).
+    /// Monotonic load version (registry-wide counter; restarts reset it).
     pub version: u64,
     /// Feature dimensionality queries must match.
     pub n_features: usize,
@@ -80,6 +132,9 @@ pub struct ServingModel {
     pub backend: GranulationBackend,
     /// Cover statistics for `/model`.
     pub stats: ModelStats,
+    /// Estimated in-memory footprint, accounted against the registry's
+    /// byte budget.
+    pub resident_bytes: u64,
 }
 
 /// Parameters for loading a model into the registry.
@@ -106,34 +161,162 @@ impl Default for LoadOptions {
     }
 }
 
-/// Named models with atomic hot-reload.
+/// Why a publish failed: a rejected payload is the client's fault (HTTP
+/// 400), a store failure is the server's (HTTP 500).
+#[derive(Debug)]
+pub enum PublishError {
+    /// The model payload failed validation; nothing was persisted or
+    /// swapped.
+    Rejected(String),
+    /// Persisting to the store failed; nothing was swapped (memory and
+    /// disk stay consistent).
+    Store(String),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Rejected(m) => write!(f, "{m}"),
+            PublishError::Store(m) => write!(f, "model store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// A predictor built and sized outside the registry lock, awaiting its
+/// version + swap.
+struct Built {
+    predictor: GbKnn,
+    n_classes: usize,
+    stats: ModelStats,
+    resident_bytes: u64,
+}
+
+/// One resident tenant.
+struct Resident {
+    model: Arc<ServingModel>,
+    /// Logical-clock timestamp of the last lookup (LRU order).
+    last_used: u64,
+    /// True when the store holds a file this model can be reloaded from —
+    /// the precondition for eviction.
+    persisted: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    resident: HashMap<String, Resident>,
+    /// Tenants known to the store but not in memory: name → file bytes.
+    cold: HashMap<String, u64>,
+    /// Tenants currently being reloaded from disk (single-flight guard).
+    loading: std::collections::HashSet<String>,
+    /// Logical clock for LRU ordering.
+    clock: u64,
+    /// Sum of `resident_bytes` over resident tenants.
+    resident_bytes: u64,
+}
+
+/// Cache counters exported through `GET /metrics`.
+#[derive(Default)]
+pub struct RegistryStats {
+    /// `acquire` calls answered by a resident model.
+    pub hits: AtomicU64,
+    /// Cold tenants rebuilt from disk (each counts one actual disk load —
+    /// concurrent requests coalesced by the single-flight guard count 1).
+    pub cold_reloads: AtomicU64,
+    /// Resident tenants evicted to cold state by the byte budget.
+    pub evictions: AtomicU64,
+    /// End-to-end cold-reload latency (disk read + checksum + predictor
+    /// rebuild), log2 µs buckets.
+    pub reload_latency: LatencyHistogram,
+}
+
+/// Point-in-time residency numbers for `GET /metrics` / `GET /models`.
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// Resident tenant count.
+    pub resident: usize,
+    /// Cold (disk-only) tenant count.
+    pub cold: usize,
+    /// Sum of resident footprints.
+    pub resident_bytes: u64,
+    /// Configured byte budget (`None` = unbounded).
+    pub budget_bytes: Option<u64>,
+}
+
+/// One row of `GET /models`.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    /// Tenant name.
+    pub name: String,
+    /// True when the predictor is in memory.
+    pub resident: bool,
+    /// Resident footprint estimate, or file size on disk for cold tenants.
+    pub bytes: u64,
+    /// Load version (resident tenants only).
+    pub version: Option<u64>,
+}
+
+/// Named models with atomic hot-reload, optional persistence, and an
+/// optional LRU byte budget. See the module docs for the state machine.
 #[derive(Default)]
 pub struct ModelRegistry {
-    models: Mutex<HashMap<String, Arc<ServingModel>>>,
+    inner: Mutex<Inner>,
+    /// Signalled when a single-flight cold reload finishes (either way).
+    loaded: Condvar,
     versions: AtomicU64,
+    store: Option<ModelStore>,
+    budget_bytes: Option<u64>,
+    /// Serializes persist-then-swap sequences (publish, remove) so the
+    /// store file and the registry entry can never disagree about which
+    /// version won a race.
+    publish_lock: Mutex<()>,
+    /// Cache counters (hits / cold reloads / evictions / reload latency).
+    pub stats: RegistryStats,
 }
 
 impl ModelRegistry {
-    /// An empty registry.
+    /// An empty, memory-only registry (no persistence, no budget).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Builds a [`ServingModel`] from a granulation and swaps it in under
-    /// `name`, replacing any previous version. Returns the loaded handle.
+    /// A registry backed by `store`: scans the directory (quarantining
+    /// corrupt files), registers every valid tenant as **cold**, and
+    /// enforces `budget_bytes` (when set) over resident footprints.
     ///
     /// # Errors
-    /// Rejects empty covers, `k == 0`, and geometrically invalid balls
-    /// (non-finite centers/radii, negative radii, ragged center widths) —
-    /// hot-reload payloads are untrusted, and a non-finite ball would
-    /// poison every later distance comparison in the predict path.
-    pub fn load(
-        &self,
-        name: &str,
-        model: &RdGbgModel,
-        options: &LoadOptions,
-    ) -> Result<Arc<ServingModel>, String> {
+    /// Propagates directory-listing failures; per-file corruption is a
+    /// quarantine in the returned [`ScanReport`], not an error.
+    pub fn with_store(
+        store: ModelStore,
+        budget_bytes: Option<u64>,
+    ) -> std::io::Result<(Self, ScanReport)> {
+        let report = store.scan()?;
+        let mut inner = Inner::default();
+        for meta in &report.found {
+            inner.cold.insert(meta.name.clone(), meta.file_bytes);
+        }
+        Ok((
+            Self {
+                inner: Mutex::new(inner),
+                store: Some(store),
+                budget_bytes,
+                ..Self::default()
+            },
+            report,
+        ))
+    }
+
+    /// The attached store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&ModelStore> {
+        self.store.as_ref()
+    }
+
+    /// Rejects covers the predict path could not serve safely.
+    fn validate(model: &RdGbgModel, options: &LoadOptions) -> Result<usize, String> {
         if model.balls.is_empty() {
             return Err("model has no balls".into());
         }
@@ -158,6 +341,13 @@ impl ModelRegistry {
                 return Err(format!("ball {i} has an invalid radius {}", b.radius));
             }
         }
+        Ok(n_features)
+    }
+
+    /// Builds the predictor + stats outside any lock. Returns everything
+    /// needed to finish the swap except the version.
+    fn build(model: &RdGbgModel, options: &LoadOptions) -> Result<Built, String> {
+        Self::validate(model, options)?;
         let derived = model
             .balls
             .iter()
@@ -167,11 +357,33 @@ impl ModelRegistry {
         let n_classes = options.n_classes.unwrap_or(derived).max(derived);
         let mut predictor = GbKnn::from_model(model, n_classes, options.k);
         predictor.set_rule(options.rule);
-        let stats = ModelStats::from_model(model);
+        Ok(Built {
+            predictor,
+            n_classes,
+            stats: ModelStats::from_model(model),
+            resident_bytes: estimate_resident_bytes(model),
+        })
+    }
+
+    /// Allocates the version, swaps the model in, and enforces the budget.
+    /// `persisted` marks the entry evictable (a store file backs it).
+    fn swap_in(
+        &self,
+        name: &str,
+        built: Built,
+        backend: GranulationBackend,
+        persisted: bool,
+    ) -> Arc<ServingModel> {
+        let Built {
+            predictor,
+            n_classes,
+            stats,
+            resident_bytes,
+        } = built;
+        let mut inner = self.inner.lock().expect("registry lock");
         // Version allocation and the swap happen under one lock so
         // concurrent reloads of the same name commit in version order (the
         // model left serving is always the highest version acknowledged).
-        let mut models = self.models.lock();
         let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
         let serving = Arc::new(ServingModel {
             name: name.to_string(),
@@ -179,14 +391,121 @@ impl ModelRegistry {
             n_features: predictor.n_features(),
             n_classes,
             predictor,
-            backend: options.backend,
+            backend,
             stats,
+            resident_bytes,
         });
-        models.insert(name.to_string(), Arc::clone(&serving));
-        Ok(serving)
+        inner.clock += 1;
+        let last_used = inner.clock;
+        if let Some(old) = inner.resident.insert(
+            name.to_string(),
+            Resident {
+                model: Arc::clone(&serving),
+                last_used,
+                persisted,
+            },
+        ) {
+            inner.resident_bytes -= old.model.resident_bytes;
+        }
+        inner.resident_bytes += resident_bytes;
+        inner.cold.remove(name);
+        self.evict_over_budget(&mut inner, name);
+        serving
     }
 
-    /// Parses an [`RdGbgModel`] from JSON and loads it (hot-reload path).
+    /// Evicts least-recently-used *persisted* residents (never `keep`)
+    /// until the resident total fits the budget or nothing evictable is
+    /// left.
+    fn evict_over_budget(&self, inner: &mut Inner, keep: &str) {
+        let Some(budget) = self.budget_bytes else {
+            return;
+        };
+        while inner.resident_bytes > budget {
+            let victim = inner
+                .resident
+                .iter()
+                .filter(|(n, r)| r.persisted && n.as_str() != keep)
+                .min_by_key(|(_, r)| r.last_used)
+                .map(|(n, _)| n.clone());
+            let Some(victim) = victim else { break };
+            let entry = inner.resident.remove(&victim).expect("victim is resident");
+            inner.resident_bytes -= entry.model.resident_bytes;
+            let file_bytes = self
+                .store
+                .as_ref()
+                .and_then(|s| s.file_bytes(&victim))
+                .unwrap_or(0);
+            inner.cold.insert(victim, file_bytes);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Builds a [`ServingModel`] from a granulation and swaps it in under
+    /// `name`, replacing any previous version — **memory only** (the store
+    /// is not written; use [`ModelRegistry::publish`] for the persistent
+    /// path). Returns the loaded handle.
+    ///
+    /// # Errors
+    /// Rejects empty covers, `k == 0`, and geometrically invalid balls
+    /// (non-finite centers/radii, negative radii, ragged center widths) —
+    /// hot-reload payloads are untrusted, and a non-finite ball would
+    /// poison every later distance comparison in the predict path.
+    pub fn load(
+        &self,
+        name: &str,
+        model: &RdGbgModel,
+        options: &LoadOptions,
+    ) -> Result<Arc<ServingModel>, String> {
+        let built = Self::build(model, options)?;
+        Ok(self.swap_in(name, built, options.backend, false))
+    }
+
+    /// Like [`ModelRegistry::load`], but when a store is attached the
+    /// model is persisted **before** the swap (atomic write-then-rename),
+    /// so an accepted `POST /models/{name}` survives a restart. With no
+    /// store this is exactly `load`.
+    ///
+    /// # Errors
+    /// [`PublishError::Rejected`] on validation failures (nothing
+    /// persisted, nothing swapped); [`PublishError::Store`] on store I/O
+    /// failures (nothing swapped — memory and disk stay consistent).
+    pub fn publish(
+        &self,
+        name: &str,
+        model: &RdGbgModel,
+        options: &LoadOptions,
+    ) -> Result<Arc<ServingModel>, PublishError> {
+        if self.store.is_some() && !ModelStore::valid_name(name) {
+            return Err(PublishError::Rejected(format!(
+                "invalid model name '{name}': use 1-128 chars of \
+                 [A-Za-z0-9._-], not starting with '.'"
+            )));
+        }
+        let built = Self::build(model, options).map_err(PublishError::Rejected)?;
+        let _publishing = self.publish_lock.lock().expect("publish lock");
+        let persisted = match &self.store {
+            Some(store) => {
+                store
+                    .save(name, model, options, built.n_classes)
+                    .map_err(PublishError::Store)?;
+                true
+            }
+            None => false,
+        };
+        // A cold reload that started *before* the save above read the old
+        // file; let it settle before swapping so the accepted model cannot
+        // be clobbered by the stale rebuild. (Reloads starting after the
+        // save read the new file, so they can never roll us back.)
+        {
+            let mut inner = self.inner.lock().expect("registry lock");
+            while inner.loading.contains(name) {
+                inner = self.loaded.wait(inner).expect("registry condvar");
+            }
+        }
+        Ok(self.swap_in(name, built, options.backend, persisted))
+    }
+
+    /// Parses an [`RdGbgModel`] from JSON and loads it (memory only).
     ///
     /// # Errors
     /// Malformed JSON, empty covers, or bad options.
@@ -201,41 +520,231 @@ impl ModelRegistry {
         self.load(name, &model, options)
     }
 
-    /// Loads from an already-parsed JSON value (the server's reload path,
-    /// which has the request body as a [`serde::Value`] in hand).
+    /// Publishes from an already-parsed JSON value (the server's reload
+    /// path, which has the request body as a [`serde::Value`] in hand).
     ///
     /// # Errors
-    /// Shape mismatches, empty covers, or bad options.
-    pub fn load_value(
+    /// Shape mismatches, empty covers, bad options
+    /// ([`PublishError::Rejected`]), or store I/O ([`PublishError::Store`]).
+    pub fn publish_value(
         &self,
         name: &str,
-        value: &serde::Value,
+        value: &Value,
         options: &LoadOptions,
-    ) -> Result<Arc<ServingModel>, String> {
+    ) -> Result<Arc<ServingModel>, PublishError> {
         let model = <RdGbgModel as serde::Deserialize>::from_value(value)
-            .map_err(|e| format!("bad model: {e}"))?;
-        self.load(name, &model, options)
+            .map_err(|e| PublishError::Rejected(format!("bad model: {e}")))?;
+        self.publish(name, &model, options)
     }
 
-    /// Resolves a model by name (cloning the `Arc`: the caller keeps this
-    /// exact version for the whole request even across a reload).
+    /// Resolves a **resident** model by name, bumping its recency (the
+    /// caller keeps this exact version for the whole request even across a
+    /// reload). Cold tenants return `None` — the request path uses
+    /// [`ModelRegistry::acquire`], which reloads them.
     #[must_use]
     pub fn get(&self, name: &str) -> Option<Arc<ServingModel>> {
-        self.models.lock().get(name).cloned()
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let now = inner.clock;
+        inner.resident.get_mut(name).map(|r| {
+            r.last_used = now;
+            Arc::clone(&r.model)
+        })
     }
 
-    /// Sorted model names currently registered.
+    /// Request-path lookup: a resident hit returns immediately; a cold
+    /// tenant is transparently rebuilt from the store (single-flight —
+    /// concurrent callers coalesce onto one disk load); an unknown name is
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    /// Disk or checksum failures during a cold reload (the tenant stays
+    /// cold; a later call retries).
+    pub fn acquire(&self, name: &str) -> Result<Option<Arc<ServingModel>>, String> {
+        {
+            let mut inner = self.inner.lock().expect("registry lock");
+            loop {
+                inner.clock += 1;
+                let now = inner.clock;
+                if let Some(r) = inner.resident.get_mut(name) {
+                    r.last_used = now;
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(Arc::clone(&r.model)));
+                }
+                if !inner.cold.contains_key(name) {
+                    return Ok(None);
+                }
+                if !inner.loading.contains(name) {
+                    inner.loading.insert(name.to_string());
+                    break; // this caller performs the load
+                }
+                inner = self.loaded.wait(inner).expect("registry condvar");
+            }
+        }
+        // Loader path: disk I/O and predictor build happen without the
+        // lock; a panic is contained so waiters are never stranded.
+        let store = self.store.as_ref().expect("cold entries imply a store");
+        let start = Instant::now();
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let envelope = store.load(name)?;
+            Self::build(&envelope.model, &envelope.options)
+                .map(|built| (built, envelope.options.backend))
+        }))
+        .unwrap_or_else(|_| Err("panicked rebuilding persisted model".into()));
+        let result = match built {
+            Ok((built, backend)) => {
+                self.stats.cold_reloads.fetch_add(1, Ordering::Relaxed);
+                self.stats.reload_latency.observe(start.elapsed());
+                Ok(Some(self.finish_cold_reload(name, built, backend)))
+            }
+            Err(e) => Err(format!("reload '{name}' from store: {e}")),
+        };
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.loading.remove(name);
+        drop(inner);
+        self.loaded.notify_all();
+        result
+    }
+
+    /// Lands a finished cold reload, racing publishes and deletes safely.
+    /// Unlike `swap_in`, registration is conditional: a tenant that was
+    /// **published** while this loader was reading the (then-current) file
+    /// keeps the newer published version — the stale rebuild is dropped in
+    /// favour of the resident model — and a tenant that was **removed**
+    /// meanwhile is served to this in-flight request only, without being
+    /// re-registered (matching the hot-reload contract: requests finish on
+    /// the model they resolved).
+    fn finish_cold_reload(
+        &self,
+        name: &str,
+        built: Built,
+        backend: GranulationBackend,
+    ) -> Arc<ServingModel> {
+        let Built {
+            predictor,
+            n_classes,
+            stats,
+            resident_bytes,
+        } = built;
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(r) = inner.resident.get_mut(name) {
+            // A publish swapped a newer version in while we were loading:
+            // the acknowledged publish wins.
+            r.last_used = now;
+            return Arc::clone(&r.model);
+        }
+        let version = self.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        let serving = Arc::new(ServingModel {
+            name: name.to_string(),
+            version,
+            n_features: predictor.n_features(),
+            n_classes,
+            predictor,
+            backend,
+            stats,
+            resident_bytes,
+        });
+        if inner.cold.remove(name).is_some() {
+            inner.resident.insert(
+                name.to_string(),
+                Resident {
+                    model: Arc::clone(&serving),
+                    last_used: now,
+                    persisted: true,
+                },
+            );
+            inner.resident_bytes += resident_bytes;
+            self.evict_over_budget(&mut inner, name);
+        }
+        // else: a concurrent remove deleted the tenant — stay unregistered.
+        serving
+    }
+
+    /// Removes a tenant everywhere: resident state, cold catalog, and the
+    /// store file (when a store is attached). Returns whether anything
+    /// existed. In-flight requests holding the `Arc` finish unaffected.
+    ///
+    /// # Errors
+    /// Store deletion failures (the registry entry is already gone).
+    pub fn remove(&self, name: &str) -> Result<bool, String> {
+        let _publishing = self.publish_lock.lock().expect("publish lock");
+        let existed = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            let was_resident = inner.resident.remove(name);
+            if let Some(r) = &was_resident {
+                inner.resident_bytes -= r.model.resident_bytes;
+            }
+            let was_cold = inner.cold.remove(name).is_some();
+            was_resident.is_some() || was_cold
+        };
+        // A name the store would reject can't have a file; skipping the
+        // delete keeps client-invalid names ("..", ".hidden") a clean
+        // not-found instead of a store error (surfaced as a 500).
+        let on_disk = match &self.store {
+            Some(store) if ModelStore::valid_name(name) => store.delete(name)?,
+            _ => false,
+        };
+        Ok(existed || on_disk)
+    }
+
+    /// Sorted model names currently registered (resident + cold).
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.models.lock().keys().cloned().collect();
+        let inner = self.inner.lock().expect("registry lock");
+        let mut names: Vec<String> = inner
+            .resident
+            .keys()
+            .chain(inner.cold.keys())
+            .cloned()
+            .collect();
         names.sort();
+        names.dedup();
         names
     }
 
-    /// Number of registered models.
+    /// Per-tenant rows for `GET /models`, sorted by name.
+    #[must_use]
+    pub fn entries(&self) -> Vec<ModelEntry> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut entries: Vec<ModelEntry> = inner
+            .resident
+            .iter()
+            .map(|(name, r)| ModelEntry {
+                name: name.clone(),
+                resident: true,
+                bytes: r.model.resident_bytes,
+                version: Some(r.model.version),
+            })
+            .chain(inner.cold.iter().map(|(name, &bytes)| ModelEntry {
+                name: name.clone(),
+                resident: false,
+                bytes,
+                version: None,
+            }))
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Residency totals for `GET /metrics`.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let inner = self.inner.lock().expect("registry lock");
+        RegistrySnapshot {
+            resident: inner.resident.len(),
+            cold: inner.cold.len(),
+            resident_bytes: inner.resident_bytes,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+
+    /// Number of registered models (resident + cold).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.models.lock().len()
+        let inner = self.inner.lock().expect("registry lock");
+        inner.resident.len() + inner.cold.len()
     }
 
     /// True when no model is registered.
@@ -250,6 +759,15 @@ mod tests {
     use super::*;
     use gb_dataset::catalog::DatasetId;
     use gbabs::{rd_gbg, RdGbgConfig};
+    use std::path::PathBuf;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gb_registry_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
 
     #[test]
     fn load_get_and_hot_swap_bump_version() {
@@ -262,6 +780,7 @@ mod tests {
         assert_eq!(v1.version, 1);
         assert_eq!(v1.n_classes, data.n_classes());
         assert_eq!(v1.n_features, data.n_features());
+        assert!(v1.resident_bytes > 0);
         let held = reg.get("default").unwrap();
         let v2 = reg
             .load("default", &model, &LoadOptions::default())
@@ -296,6 +815,7 @@ mod tests {
             .load_json("m", "{not json", &LoadOptions::default())
             .is_err());
         assert!(reg.get("missing").is_none());
+        assert!(reg.acquire("missing").unwrap().is_none());
         assert!(reg.is_empty());
     }
 
@@ -349,5 +869,164 @@ mod tests {
         // Versions are allocated under the swap lock, so the surviving
         // model carries the last version handed out.
         assert_eq!(reg.get("m").unwrap().version, 8);
+    }
+
+    #[test]
+    fn publish_persists_and_restart_reloads_identically() {
+        let dir = tempdir("restart");
+        let data = DatasetId::S5.generate(0.05, 4);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let offline = GbKnn::from_model(&model, data.n_classes(), 1);
+        let expected = offline.predict(&data);
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            let (reg, report) = ModelRegistry::with_store(store, None).unwrap();
+            assert!(report.found.is_empty());
+            reg.publish("tenant", &model, &LoadOptions::default())
+                .unwrap();
+        }
+        // "Restart": a fresh registry over the same directory.
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, report) = ModelRegistry::with_store(store, None).unwrap();
+        assert_eq!(report.found.len(), 1);
+        assert!(reg.get("tenant").is_none(), "not resident before first use");
+        assert_eq!(reg.len(), 1, "but in the catalog");
+        let served = reg.acquire("tenant").unwrap().expect("cold reload");
+        assert_eq!(
+            served.predictor.predict(&data),
+            expected,
+            "reloaded predictor must be bit-identical"
+        );
+        assert_eq!(reg.stats.cold_reloads.load(Ordering::Relaxed), 1);
+        assert_eq!(reg.stats.reload_latency.count(), 1);
+        // Second acquire is a plain hit.
+        assert!(reg.acquire("tenant").unwrap().is_some());
+        assert_eq!(reg.stats.hits.load(Ordering::Relaxed), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_evicts_lru_and_acquire_reloads() {
+        let dir = tempdir("evict");
+        let data = DatasetId::S5.generate(0.05, 5);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let one = estimate_resident_bytes(&model);
+        let store = ModelStore::open(&dir).unwrap();
+        // Budget fits one model (plus slack), not two.
+        let (reg, _) = ModelRegistry::with_store(store, Some(one + one / 2)).unwrap();
+        reg.publish("a", &model, &LoadOptions::default()).unwrap();
+        reg.publish("b", &model, &LoadOptions::default()).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.resident, 1, "loading b must evict a: {snap:?}");
+        assert_eq!(snap.cold, 1);
+        assert_eq!(reg.stats.evictions.load(Ordering::Relaxed), 1);
+        assert!(reg.get("a").is_none(), "a is cold");
+        assert!(reg.get("b").is_some(), "b is resident");
+        // Touch a: transparent reload, which in turn evicts b.
+        let a = reg.acquire("a").unwrap().expect("cold reload of a");
+        assert_eq!(a.name, "a");
+        assert!(reg.get("b").is_none(), "b evicted by a's reload");
+        assert_eq!(reg.stats.evictions.load(Ordering::Relaxed), 2);
+        assert_eq!(reg.stats.cold_reloads.load(Ordering::Relaxed), 1);
+        // Entries report the split.
+        let entries = reg.entries();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().any(|e| e.name == "a" && e.resident));
+        assert!(entries
+            .iter()
+            .any(|e| e.name == "b" && !e.resident && e.bytes > 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unpersisted_models_are_never_evicted() {
+        let dir = tempdir("unpersisted");
+        let data = DatasetId::S5.generate(0.05, 6);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, Some(1)).unwrap();
+        // `load` (memory-only) under an absurdly small budget: nothing to
+        // reload it from, so it must stay resident.
+        reg.load("pinned", &model, &LoadOptions::default()).unwrap();
+        assert!(reg.get("pinned").is_some());
+        // The most recently swapped-in model is never evicted by its own
+        // load, so "victim" survives its own publish...
+        reg.publish("victim", &model, &LoadOptions::default())
+            .unwrap();
+        assert!(reg.get("victim").is_some());
+        // ...but the next publish evicts it (LRU persisted candidate),
+        // while the memory-only model is skipped even though it is older.
+        reg.publish("other", &model, &LoadOptions::default())
+            .unwrap();
+        assert!(reg.get("pinned").is_some(), "memory-only model survives");
+        assert!(reg.get("victim").is_none(), "persisted LRU model goes cold");
+        assert!(reg.get("other").is_some(), "the newcomer is kept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_cold_acquires_coalesce_to_one_disk_load() {
+        let dir = tempdir("singleflight");
+        let data = DatasetId::S5.generate(0.05, 7);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+            reg.publish("t", &model, &LoadOptions::default()).unwrap();
+        }
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        let expected = GbKnn::from_model(&model, data.n_classes(), 1).predict(&data);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let m = reg.acquire("t").unwrap().expect("reload");
+                    assert_eq!(m.predictor.predict(&data), expected);
+                });
+            }
+        });
+        assert_eq!(
+            reg.stats.cold_reloads.load(Ordering::Relaxed),
+            1,
+            "single-flight: 8 concurrent acquires, one disk load"
+        );
+        assert_eq!(reg.stats.hits.load(Ordering::Relaxed), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_of_store_invalid_names_is_not_found_not_an_error() {
+        let dir = tempdir("badnames");
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        for bad in ["..", ".hidden", "a b"] {
+            assert_eq!(
+                reg.remove(bad),
+                Ok(false),
+                "'{bad}' can never exist in the store, so removing it is a \
+                 clean not-found (HTTP 404), not a store error (500)"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_everywhere() {
+        let dir = tempdir("remove");
+        let data = DatasetId::S5.generate(0.05, 8);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        reg.publish("x", &model, &LoadOptions::default()).unwrap();
+        assert!(reg.remove("x").unwrap());
+        assert!(reg.is_empty());
+        assert!(reg.acquire("x").unwrap().is_none());
+        assert!(!reg.remove("x").unwrap(), "second remove reports nothing");
+        // The file is gone: a fresh scan finds nothing.
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg2, report) = ModelRegistry::with_store(store, None).unwrap();
+        assert!(report.found.is_empty());
+        assert!(reg2.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,7 +12,7 @@
 use crate::batcher::{Batcher, SubmitError};
 use crate::http::{read_request, HttpError, Response};
 use crate::metrics::Metrics;
-use crate::registry::{LoadOptions, ModelRegistry, ServingModel};
+use crate::registry::{LoadOptions, ModelRegistry, PublishError, ServingModel};
 use gb_dataset::index::GranulationBackend;
 use gbabs::{DistanceRule, Sampler};
 use serde::Value;
@@ -324,24 +324,92 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
             )
         }
         ("GET", "/metrics") => metrics_endpoint(ctx),
-        ("GET", "/models") => {
-            ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
-            let names = ctx
-                .registry
-                .names()
-                .into_iter()
-                .map(Value::Str)
-                .collect::<Vec<_>>();
-            Response::json(200, render(&obj(vec![("models", Value::Arr(names))])))
-        }
+        ("GET", "/models") => models_endpoint(ctx),
         ("GET", "/model") => model_endpoint(req, ctx),
         ("POST", "/predict") => predict_endpoint(req, ctx),
         ("POST", "/sample") => sample_endpoint(req, ctx),
         ("POST", path) if path.starts_with("/models/") => reload_endpoint(req, ctx),
+        ("DELETE", path) if path.starts_with("/models/") => delete_endpoint(req, ctx),
         (_, "/healthz" | "/metrics" | "/models" | "/model" | "/predict" | "/sample") => {
             err_response(ctx, 405, format!("method {} not allowed here", req.method))
         }
+        (_, path) if path.starts_with("/models/") => {
+            err_response(ctx, 405, format!("method {} not allowed here", req.method))
+        }
         _ => err_response(ctx, 404, format!("no route for {}", req.path)),
+    }
+}
+
+/// `GET /models`: every tenant with its residency state, plus the cache
+/// totals and counters an operator needs to size `--model-mem-budget`.
+fn models_endpoint(ctx: &ServerCtx) -> Response {
+    ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
+    let registry = &ctx.registry;
+    let snap = registry.snapshot();
+    let stats = &registry.stats;
+    let models = registry
+        .entries()
+        .into_iter()
+        .map(|e| {
+            obj(vec![
+                ("name", Value::Str(e.name)),
+                (
+                    "state",
+                    Value::Str(if e.resident { "resident" } else { "cold" }.into()),
+                ),
+                ("bytes", Value::Num(e.bytes as f64)),
+                (
+                    "version",
+                    e.version.map_or(Value::Null, |v| Value::Num(v as f64)),
+                ),
+            ])
+        })
+        .collect::<Vec<_>>();
+    Response::json(
+        200,
+        render(&obj(vec![
+            ("models", Value::Arr(models)),
+            ("resident", Value::Num(snap.resident as f64)),
+            ("cold", Value::Num(snap.cold as f64)),
+            ("resident_bytes", Value::Num(snap.resident_bytes as f64)),
+            (
+                "budget_bytes",
+                snap.budget_bytes
+                    .map_or(Value::Null, |b| Value::Num(b as f64)),
+            ),
+            (
+                "hits",
+                Value::Num(stats.hits.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "cold_reloads",
+                Value::Num(stats.cold_reloads.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "evictions",
+                Value::Num(stats.evictions.load(Ordering::Relaxed) as f64),
+            ),
+        ])),
+    )
+}
+
+/// `DELETE /models/{name}`: drops the tenant from memory, the catalog, and
+/// the store file. In-flight requests holding the model finish unaffected.
+fn delete_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    let name = req.path.trim_start_matches("/models/");
+    if name.is_empty() || name.contains('/') {
+        return err_response(ctx, 400, "model name must be a single path segment");
+    }
+    match ctx.registry.remove(name) {
+        Ok(true) => {
+            ctx.metrics.deletes.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                200,
+                render(&obj(vec![("deleted", Value::Str(name.to_string()))])),
+            )
+        }
+        Ok(false) => err_response(ctx, 404, format!("no model named '{name}'")),
+        Err(e) => err_response(ctx, 500, e),
     }
 }
 
@@ -376,6 +444,10 @@ fn metrics_endpoint(ctx: &ServerCtx) -> Response {
                     "reload",
                     Value::Num(m.reloads.load(Ordering::Relaxed) as f64),
                 ),
+                (
+                    "delete",
+                    Value::Num(m.deletes.load(Ordering::Relaxed) as f64),
+                ),
             ]),
         ),
         (
@@ -406,6 +478,30 @@ fn metrics_endpoint(ctx: &ServerCtx) -> Response {
                 ("shed", Value::Num(b.shed.load(Ordering::Relaxed) as f64)),
             ]),
         ),
+        ("registry", {
+            let snap = ctx.registry.snapshot();
+            let r = &ctx.registry.stats;
+            obj(vec![
+                ("resident_models", Value::Num(snap.resident as f64)),
+                ("cold_models", Value::Num(snap.cold as f64)),
+                ("resident_bytes", Value::Num(snap.resident_bytes as f64)),
+                (
+                    "budget_bytes",
+                    snap.budget_bytes
+                        .map_or(Value::Null, |b| Value::Num(b as f64)),
+                ),
+                ("hits", Value::Num(r.hits.load(Ordering::Relaxed) as f64)),
+                (
+                    "cold_reloads",
+                    Value::Num(r.cold_reloads.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "evictions",
+                    Value::Num(r.evictions.load(Ordering::Relaxed) as f64),
+                ),
+                ("reload_latency_us", r.reload_latency.to_value()),
+            ])
+        }),
         ("predict_latency_us", m.predict_latency.to_value()),
     ]);
     Response::json(200, render(&body))
@@ -433,9 +529,10 @@ fn model_stats_value(model: &ServingModel) -> Value {
 fn model_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
     let name = req.query_param("name").unwrap_or("default");
-    match ctx.registry.get(name) {
-        Some(model) => Response::json(200, render(&model_stats_value(&model))),
-        None => err_response(ctx, 404, format!("no model named '{name}'")),
+    match ctx.registry.acquire(name) {
+        Ok(Some(model)) => Response::json(200, render(&model_stats_value(&model))),
+        Ok(None) => err_response(ctx, 404, format!("no model named '{name}'")),
+        Err(e) => err_response(ctx, 500, e),
     }
 }
 
@@ -491,8 +588,12 @@ fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         None => "default",
         Some(_) => return err_response(ctx, 400, "'model' must be a string"),
     };
-    let Some(model) = ctx.registry.get(name) else {
-        return err_response(ctx, 404, format!("no model named '{name}'"));
+    // `acquire` transparently rebuilds a cold (evicted or
+    // persisted-but-not-yet-loaded) tenant from the model store.
+    let model = match ctx.registry.acquire(name) {
+        Ok(Some(model)) => model,
+        Ok(None) => return err_response(ctx, 404, format!("no model named '{name}'")),
+        Err(e) => return err_response(ctx, 500, e),
     };
     let rows = match extract_rows(&body, model.n_features) {
         Ok(r) => r,
@@ -622,11 +723,14 @@ fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         rule,
         ..LoadOptions::default()
     };
-    match ctx.registry.load_value(name, model_value, &options) {
+    // `publish_value` persists to the model store (when one is attached)
+    // before the swap, so an accepted reload survives a restart.
+    match ctx.registry.publish_value(name, model_value, &options) {
         Ok(model) => {
             ctx.metrics.reloads.fetch_add(1, Ordering::Relaxed);
             Response::json(200, render(&model_stats_value(&model)))
         }
-        Err(e) => err_response(ctx, 400, e),
+        Err(PublishError::Rejected(e)) => err_response(ctx, 400, e),
+        Err(e @ PublishError::Store(_)) => err_response(ctx, 500, e.to_string()),
     }
 }

@@ -1,0 +1,565 @@
+//! Disk-backed model store: crash-safe persistence for registry tenants.
+//!
+//! The [`crate::registry::ModelRegistry`] alone is memory-only — a restart
+//! loses every model that was hot-reloaded over HTTP. A [`ModelStore`]
+//! closes that gap: every accepted model is written to one file per tenant
+//! under a `--model-dir`, and a fresh boot scans the directory so the
+//! registry repopulates **lazily** (the catalog is known immediately,
+//! predictors are rebuilt on first use — see
+//! [`ModelRegistry::acquire`](crate::registry::ModelRegistry::acquire)).
+//!
+//! # On-disk format
+//!
+//! One file per tenant, `<name>.json`, with a one-line header ahead of the
+//! JSON payload:
+//!
+//! ```text
+//! GBSTORE1 fnv1a64=<16 hex digits> len=<payload bytes>\n
+//! {"format":1,"name":"...","k":1,"rule":"surface","n_classes":2,
+//!  "backend":"auto","model":{ ...RdGbgModel... }}
+//! ```
+//!
+//! The header names the format version, the FNV-1a/64 checksum of the
+//! payload bytes, and the exact payload length, so truncation and bit rot
+//! are both detected before a single payload byte is trusted. The envelope
+//! persists everything a reload needs to rebuild a **bit-identical**
+//! predictor: the ball cover plus the [`LoadOptions`] it was accepted with
+//! (`k`, distance rule, class count, backend label).
+//!
+//! # Crash safety
+//!
+//! [`ModelStore::save`] never writes a tenant file in place: the bytes go
+//! to a hidden temp file in the same directory, the temp file is fsync'd,
+//! renamed over the final name (atomic on POSIX), and the directory is
+//! fsync'd so the rename itself survives a power cut. Readers therefore
+//! see either the old complete file or the new complete file, never a
+//! torn mix.
+//!
+//! # Quarantine
+//!
+//! [`ModelStore::scan`] (run once at boot) verifies every `<name>.json`
+//! header + checksum + envelope shape. A file that fails is renamed to
+//! `<name>.json.quarantine` — out of the catalog, but preserved for the
+//! operator to inspect — and the boot continues; one corrupt tenant never
+//! takes the server down or hides the healthy ones.
+
+use crate::registry::LoadOptions;
+use gb_dataset::index::GranulationBackend;
+use gbabs::{DistanceRule, RdGbgModel};
+use serde::{Serialize, Value};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Magic tag opening every store file header (format version 1).
+const MAGIC: &str = "GBSTORE1";
+/// Envelope `format` field value written by this version.
+const FORMAT: f64 = 1.0;
+/// Suffix appended to corrupt files at boot.
+const QUARANTINE_SUFFIX: &str = ".quarantine";
+
+/// FNV-1a 64-bit checksum (dependency-free, stable across platforms).
+#[must_use]
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A model as read back from disk: the cover plus the load options it was
+/// accepted with, sufficient to rebuild a bit-identical predictor.
+#[derive(Debug)]
+pub struct StoredEnvelope {
+    /// Tenant name (always equals the file stem).
+    pub name: String,
+    /// The persisted ball cover.
+    pub model: RdGbgModel,
+    /// Load options to rebuild the predictor exactly as accepted.
+    pub options: LoadOptions,
+}
+
+/// Catalog entry produced by [`ModelStore::scan`].
+#[derive(Debug, Clone)]
+pub struct StoredMeta {
+    /// Tenant name.
+    pub name: String,
+    /// Size of the tenant file on disk.
+    pub file_bytes: u64,
+}
+
+/// Outcome of a boot-time directory scan.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Tenants with a valid store file, ready for lazy reload.
+    pub found: Vec<StoredMeta>,
+    /// Files that failed validation and were renamed aside.
+    pub quarantined: Vec<PathBuf>,
+}
+
+/// A directory of persisted tenant models. See the module docs for the
+/// format and durability guarantees.
+pub struct ModelStore {
+    dir: PathBuf,
+}
+
+impl ModelStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures, and rejects a path that
+    /// exists but is not a directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        if !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotADirectory,
+                format!("{} is not a directory", dir.display()),
+            ));
+        }
+        Ok(Self { dir })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// True when `name` is usable as a tenant file stem: non-empty, at
+    /// most 128 bytes, `[A-Za-z0-9._-]` only, and not starting with `.`
+    /// (hidden files are reserved for temp files).
+    #[must_use]
+    pub fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.len() <= 128
+            && !name.starts_with('.')
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+    }
+
+    fn path_for(&self, name: &str) -> Result<PathBuf, String> {
+        if !Self::valid_name(name) {
+            return Err(format!(
+                "invalid model name '{name}': use 1-128 chars of [A-Za-z0-9._-], \
+                 not starting with '.'"
+            ));
+        }
+        Ok(self.dir.join(format!("{name}.json")))
+    }
+
+    /// Persists `model` + `options` under `name`, atomically replacing any
+    /// previous version of the file (write temp → fsync → rename → fsync
+    /// directory).
+    ///
+    /// # Errors
+    /// Invalid names and any I/O failure, stringified for the HTTP layer.
+    pub fn save(
+        &self,
+        name: &str,
+        model: &RdGbgModel,
+        options: &LoadOptions,
+        n_classes: usize,
+    ) -> Result<(), String> {
+        let path = self.path_for(name)?;
+        let payload = render_envelope(name, model, options, n_classes);
+        let header = format!(
+            "{MAGIC} fnv1a64={:016x} len={}\n",
+            fnv1a64(payload.as_bytes()),
+            payload.len()
+        );
+        let tmp = self.dir.join(format!(".{name}.json.tmp"));
+        let io = |what: &str, e: std::io::Error| format!("{what} {}: {e}", tmp.display());
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io("create", e))?;
+            f.write_all(header.as_bytes())
+                .and_then(|()| f.write_all(payload.as_bytes()))
+                .map_err(|e| io("write", e))?;
+            f.sync_all().map_err(|e| io("fsync", e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            format!("rename into {}: {e}", path.display())
+        })?;
+        // fsync the directory so the rename itself is durable.
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Reads, checksums, and parses the tenant file for `name`.
+    ///
+    /// # Errors
+    /// Missing files, checksum/format mismatches, and envelope-shape
+    /// failures, each with a message naming the file.
+    pub fn load(&self, name: &str) -> Result<StoredEnvelope, String> {
+        let path = self.path_for(name)?;
+        let bytes = fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let payload = verify(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+        parse_envelope(name, payload).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Current on-disk size of the tenant file, if present (used to label
+    /// cold catalog entries).
+    #[must_use]
+    pub fn file_bytes(&self, name: &str) -> Option<u64> {
+        let path = self.path_for(name).ok()?;
+        fs::metadata(path).map(|m| m.len()).ok()
+    }
+
+    /// Deletes the tenant file for `name`. Returns `false` when there was
+    /// nothing to delete.
+    ///
+    /// # Errors
+    /// Invalid names and I/O failures other than not-found.
+    pub fn delete(&self, name: &str) -> Result<bool, String> {
+        let path = self.path_for(name)?;
+        match fs::remove_file(&path) {
+            Ok(()) => {
+                if let Ok(d) = fs::File::open(&self.dir) {
+                    let _ = d.sync_all();
+                }
+                Ok(true)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(format!("delete {}: {e}", path.display())),
+        }
+    }
+
+    /// Validates every `<name>.json` in the directory: well-formed files
+    /// become catalog entries, corrupt ones are renamed aside with a
+    /// `.quarantine` suffix (never deleted) and reported.
+    ///
+    /// # Errors
+    /// Propagates directory-listing failures only — per-file failures are
+    /// quarantines, not errors.
+    pub fn scan(&self) -> std::io::Result<ScanReport> {
+        let mut report = ScanReport::default();
+        let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .collect();
+        paths.sort();
+        for path in paths {
+            let Some(file_name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = file_name.strip_suffix(".json") else {
+                continue; // temp files, quarantined files, foreign files
+            };
+            if !Self::valid_name(stem) {
+                continue; // hidden temp files (leading '.')
+            }
+            let ok = fs::read(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|bytes| {
+                    let payload = verify(&bytes)?;
+                    check_envelope_shape(stem, payload)
+                });
+            match ok {
+                Ok(()) => {
+                    let file_bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                    report.found.push(StoredMeta {
+                        name: stem.to_string(),
+                        file_bytes,
+                    });
+                }
+                Err(_) => {
+                    let aside = path.with_file_name(format!("{file_name}{QUARANTINE_SUFFIX}"));
+                    // Best effort: even if the rename fails the file is
+                    // still excluded from the catalog.
+                    let _ = fs::rename(&path, &aside);
+                    report.quarantined.push(aside);
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Splits a raw file into header + payload and verifies magic, declared
+/// length, and checksum. Returns the payload text.
+fn verify(bytes: &[u8]) -> Result<&str, String> {
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| "missing header line".to_string())?;
+    let header =
+        std::str::from_utf8(&bytes[..newline]).map_err(|_| "non-UTF-8 header".to_string())?;
+    let payload = &bytes[newline + 1..];
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some(MAGIC) {
+        return Err(format!("bad magic in header '{header}'"));
+    }
+    let mut checksum = None;
+    let mut len = None;
+    for part in parts {
+        if let Some(hex) = part.strip_prefix("fnv1a64=") {
+            checksum = u64::from_str_radix(hex, 16).ok();
+        } else if let Some(n) = part.strip_prefix("len=") {
+            len = n.parse::<usize>().ok();
+        }
+    }
+    let (Some(checksum), Some(len)) = (checksum, len) else {
+        return Err(format!("incomplete header '{header}'"));
+    };
+    if payload.len() != len {
+        return Err(format!(
+            "payload is {} bytes but header declares {len} (truncated?)",
+            payload.len()
+        ));
+    }
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(format!(
+            "checksum mismatch: header fnv1a64={checksum:016x}, payload {actual:016x}"
+        ));
+    }
+    std::str::from_utf8(payload).map_err(|_| "non-UTF-8 payload".to_string())
+}
+
+fn rule_name(rule: DistanceRule) -> &'static str {
+    match rule {
+        DistanceRule::Surface => "surface",
+        DistanceRule::Center => "center",
+    }
+}
+
+/// Renders the JSON payload (no header) for one tenant.
+fn render_envelope(
+    name: &str,
+    model: &RdGbgModel,
+    options: &LoadOptions,
+    n_classes: usize,
+) -> String {
+    let envelope = Value::Obj(vec![
+        ("format".into(), Value::Num(FORMAT)),
+        ("name".into(), Value::Str(name.to_string())),
+        ("k".into(), Value::Num(options.k as f64)),
+        ("rule".into(), Value::Str(rule_name(options.rule).into())),
+        ("n_classes".into(), Value::Num(n_classes as f64)),
+        ("backend".into(), Value::Str(options.backend.to_string())),
+        ("model".into(), model.to_value()),
+    ]);
+    serde_json::to_string(&envelope).unwrap_or_else(|_| "{}".into())
+}
+
+/// Envelope fields shared by full parse and boot-time shape check.
+fn envelope_fields(
+    expected_name: &str,
+    payload: &str,
+) -> Result<(Value, usize, DistanceRule, usize, GranulationBackend), String> {
+    let v: Value = serde_json::from_str(payload).map_err(|e| format!("bad envelope JSON: {e}"))?;
+    match v.get("format") {
+        Some(Value::Num(f)) if *f == FORMAT => {}
+        other => return Err(format!("unsupported store format {other:?}")),
+    }
+    match v.get("name") {
+        Some(Value::Str(n)) if n == expected_name => {}
+        other => {
+            return Err(format!(
+                "envelope names {other:?} but the file stem is '{expected_name}'"
+            ))
+        }
+    }
+    let k = match v.get("k") {
+        Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
+        other => return Err(format!("bad 'k' {other:?}")),
+    };
+    let rule = match v.get("rule") {
+        Some(Value::Str(s)) if s == "surface" => DistanceRule::Surface,
+        Some(Value::Str(s)) if s == "center" => DistanceRule::Center,
+        other => return Err(format!("bad 'rule' {other:?}")),
+    };
+    let n_classes = match v.get("n_classes") {
+        Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
+        other => return Err(format!("bad 'n_classes' {other:?}")),
+    };
+    let backend = match v.get("backend") {
+        Some(Value::Str(s)) => {
+            GranulationBackend::from_str_opt(s).ok_or_else(|| format!("unknown backend '{s}'"))?
+        }
+        other => return Err(format!("bad 'backend' {other:?}")),
+    };
+    if !matches!(v.get("model"), Some(Value::Obj(_))) {
+        return Err("missing 'model' object".into());
+    }
+    Ok((v, k, rule, n_classes, backend))
+}
+
+/// Full parse: envelope fields + the ball cover itself.
+fn parse_envelope(expected_name: &str, payload: &str) -> Result<StoredEnvelope, String> {
+    let (v, k, rule, n_classes, backend) = envelope_fields(expected_name, payload)?;
+    let model_value = v.get("model").expect("checked by envelope_fields");
+    let model = <RdGbgModel as serde::Deserialize>::from_value(model_value)
+        .map_err(|e| format!("bad persisted model: {e}"))?;
+    Ok(StoredEnvelope {
+        name: expected_name.to_string(),
+        model,
+        options: LoadOptions {
+            k,
+            rule,
+            n_classes: Some(n_classes),
+            backend,
+        },
+    })
+}
+
+/// Boot-time validation: header already checked; verify the envelope shape
+/// without paying for a full cover deserialization per tenant.
+fn check_envelope_shape(expected_name: &str, payload: &str) -> Result<(), String> {
+    envelope_fields(expected_name, payload).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+    use gbabs::{rd_gbg, RdGbgConfig};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gb_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fixture_model() -> RdGbgModel {
+        let data = DatasetId::S5.generate(0.05, 1);
+        rd_gbg(&data, &RdGbgConfig::default())
+    }
+
+    #[test]
+    fn roundtrip_preserves_model_and_options() {
+        let dir = tempdir("roundtrip");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        let options = LoadOptions {
+            k: 3,
+            rule: DistanceRule::Center,
+            n_classes: Some(2),
+            backend: GranulationBackend::KdTree,
+        };
+        store.save("alpha", &model, &options, 2).unwrap();
+        let back = store.load("alpha").unwrap();
+        assert_eq!(back.name, "alpha");
+        assert_eq!(back.options.k, 3);
+        assert_eq!(back.options.rule, DistanceRule::Center);
+        assert_eq!(back.options.n_classes, Some(2));
+        assert_eq!(back.options.backend, GranulationBackend::KdTree);
+        assert_eq!(back.model.balls.len(), model.balls.len());
+        assert_eq!(back.model.iterations, model.iterations);
+        for (a, b) in back.model.balls.iter().zip(&model.balls) {
+            assert_eq!(a.center, b.center, "centers must roundtrip bit-exactly");
+            assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+            assert_eq!(a.label, b.label);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_overwrites_atomically_and_scan_lists_latest() {
+        let dir = tempdir("overwrite");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        store.save("m", &model, &LoadOptions::default(), 2).unwrap();
+        let options = LoadOptions {
+            k: 5,
+            ..LoadOptions::default()
+        };
+        store.save("m", &model, &options, 2).unwrap();
+        assert_eq!(store.load("m").unwrap().options.k, 5, "latest wins");
+        let report = store.scan().unwrap();
+        assert_eq!(report.found.len(), 1);
+        assert_eq!(report.found[0].name, "m");
+        assert!(report.quarantined.is_empty());
+        // No temp litter left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_bit_is_detected_and_quarantined() {
+        let dir = tempdir("bitrot");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        store
+            .save("rotten", &model, &LoadOptions::default(), 2)
+            .unwrap();
+        let path = dir.join("rotten.json");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = store.load("rotten").unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+        let report = store.scan().unwrap();
+        assert!(report.found.is_empty(), "{:?}", report.found);
+        assert_eq!(report.quarantined.len(), 1);
+        assert!(!path.exists(), "corrupt file must be renamed aside");
+        assert!(
+            report.quarantined[0].exists(),
+            "but preserved for inspection"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_garbage_and_name_mismatch_fail_validation() {
+        let dir = tempdir("garbage");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        store
+            .save("good", &model, &LoadOptions::default(), 2)
+            .unwrap();
+        // Truncated file.
+        let good = fs::read(dir.join("good.json")).unwrap();
+        fs::write(dir.join("cut.json"), &good[..good.len() / 2]).unwrap();
+        // Not a store file at all.
+        fs::write(dir.join("junk.json"), b"{\"not\":\"a store file\"}").unwrap();
+        // Valid store file whose envelope names a different tenant.
+        fs::copy(dir.join("good.json"), dir.join("imposter.json")).unwrap();
+        let report = store.scan().unwrap();
+        let names: Vec<&str> = report.found.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["good"], "{report:?}");
+        assert_eq!(report.quarantined.len(), 3, "{report:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_removes_the_file() {
+        let dir = tempdir("delete");
+        let store = ModelStore::open(&dir).unwrap();
+        store
+            .save("gone", &fixture_model(), &LoadOptions::default(), 2)
+            .unwrap();
+        assert!(store.delete("gone").unwrap());
+        assert!(!store.delete("gone").unwrap(), "second delete is a no-op");
+        assert!(store.load("gone").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hostile_names_rejected() {
+        let dir = tempdir("names");
+        let store = ModelStore::open(&dir).unwrap();
+        for bad in ["", "../etc/passwd", "a/b", ".hidden", "a b", "x\0y"] {
+            assert!(
+                store.load(bad).is_err(),
+                "'{bad}' must be rejected before touching the filesystem"
+            );
+        }
+        assert!(ModelStore::valid_name("ok-name_2.v1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -217,6 +217,44 @@ fn malformed_and_mismatched_requests_get_4xx() {
 }
 
 #[test]
+fn oversized_bodies_get_a_json_413_not_a_reset() {
+    // 2 KiB body cap; /sample and /models uploads well past it. The
+    // server must drain the in-flight body before erroring, so the client
+    // reliably reads a JSON error object instead of hitting a connection
+    // reset while still writing.
+    let (handle, _, _) = boot(ServeConfig {
+        max_body_bytes: 2048,
+        ..ServeConfig::default()
+    });
+    let huge_csv = format!(
+        "{{\"csv\":\"f0,label\\n{}\"}}",
+        "1.0,0\\n2.0,1\\n".repeat(4000)
+    );
+    let mut c = client(&handle);
+    let (status, body) = c.request("POST", "/sample", Some(&huge_csv)).unwrap();
+    assert_eq!(status, 413, "{body}");
+    let v: Value = serde_json::from_str(&body).expect("413 body must be JSON");
+    assert!(
+        matches!(v.get("error"), Some(Value::Str(m)) if m.contains("exceeds limit")),
+        "{body}"
+    );
+
+    // Same contract on the model-upload path (fresh connection — a 4xx
+    // protocol error closes the previous one).
+    let huge_model = format!("{{\"model\":{{\"balls\":[{}]}}}}", "0,".repeat(4000));
+    let mut c = client(&handle);
+    let (status, body) = c.request("POST", "/models/big", Some(&huge_model)).unwrap();
+    assert_eq!(status, 413, "{body}");
+    assert!(body.contains("\"error\""), "{body}");
+
+    // The server is still healthy afterwards.
+    let mut c = client(&handle);
+    let (status, _) = c.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    handle.stop();
+}
+
+#[test]
 fn over_capacity_connection_is_shed_with_503() {
     let (handle, data, _) = boot(ServeConfig {
         workers: 1,
