@@ -26,6 +26,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gb_dataset::index::GranulationBackend;
 use gb_dataset::noise::inject_class_noise;
 use gb_dataset::synth::banana::BananaSpec;
+use gb_sampling::gbg_kdiv::{k_division_gbg, KDivConfig};
+use gb_sampling::gbg_pp::{gbg_pp, GbgPpConfig};
 use gbabs::{rd_gbg, RdGbgConfig};
 use std::hint::black_box;
 
@@ -72,5 +74,50 @@ fn bench_granulation_backends(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_granulation_backends);
+/// The granulation-lineage baselines on the shared query layer (ISSUE-5
+/// tentpole): GBG++ across every backend — its attention peel is the
+/// distance-ordered index query, so the backend changes the asymptotics —
+/// plus k-division (whose batched Lloyd assignment is backend-invariant)
+/// as the lineage's fast reference. Same regime as the RD-GBG bench:
+/// 2-d banana + 10% class noise, n ∈ {10k, 50k}. The committed ratio gate
+/// (`ci/bench-thresholds.json`) requires the indexed GBG++ to stay ≥ 2×
+/// faster than the brute backend at n = 50k.
+fn bench_lineage_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lineage_gbgpp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [10_000usize, 50_000] {
+        let data = inject_class_noise(&banana(n), 0.10, 1).0;
+        let label = format!("n{n}");
+        for backend in GranulationBackend::CONCRETE {
+            let cfg = GbgPpConfig {
+                backend,
+                ..GbgPpConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(backend.name(), &label), &data, |b, d| {
+                b.iter(|| black_box(gbg_pp(d, &cfg)));
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("lineage_kdiv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [10_000usize, 50_000] {
+        let data = inject_class_noise(&banana(n), 0.10, 1).0;
+        let cfg = KDivConfig {
+            seed: 7,
+            ..KDivConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("auto", format!("n{n}")), &data, |b, d| {
+            b.iter(|| black_box(k_division_gbg(d, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_granulation_backends, bench_lineage_baselines);
 criterion_main!(benches);

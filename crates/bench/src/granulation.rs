@@ -62,8 +62,12 @@ impl Generator {
         }
     }
 
-    /// Generates a ball cover of `data`. `backend` selects RD-GBG's
-    /// neighbour index (output-invariant); the other generators ignore it.
+    /// Generates a ball cover of `data`. `backend` selects the neighbour
+    /// index of every generator in the lineage (output-invariant across
+    /// backends, property-tested): it changes the asymptotics of RD-GBG's
+    /// diffusion queries and GBG++'s attention peel; the k-division/2-means
+    /// Lloyd steps run the dense batched assignment query, identical on
+    /// every backend.
     #[must_use]
     pub fn generate(
         self,
@@ -87,6 +91,7 @@ impl Generator {
                 data,
                 &KDivConfig {
                     seed,
+                    backend,
                     ..KDivConfig::default()
                 },
             ),
@@ -94,10 +99,17 @@ impl Generator {
                 data,
                 &KMeansGbgConfig {
                     seed,
+                    backend,
                     ..KMeansGbgConfig::default()
                 },
             ),
-            Generator::GbgPp => gbg_pp(data, &GbgPpConfig::default()),
+            Generator::GbgPp => gbg_pp(
+                data,
+                &GbgPpConfig {
+                    backend,
+                    ..GbgPpConfig::default()
+                },
+            ),
         }
     }
 }

@@ -89,8 +89,10 @@ pub struct Cli {
     pub ratio: Option<f64>,
     /// Seed for all randomness.
     pub seed: u64,
-    /// Neighbour-index backend for the RD-GBG granulation. All backends
-    /// produce identical output; this only selects the query asymptotics.
+    /// Neighbour-index backend for every granulation the command runs
+    /// (RD-GBG for gbabs/inspect/serve, the k-division GBG stage of
+    /// ggbs/igbs). All backends produce identical output; this only
+    /// selects the query asymptotics.
     pub backend: GranulationBackend,
     /// Listen address (`serve` only).
     pub addr: String,
@@ -101,6 +103,10 @@ pub struct Cli {
     /// Micro-batch concurrent predictions (`serve` only; `--no-batch`
     /// disables).
     pub micro_batch: bool,
+    /// Micro-batcher linger window in microseconds (`serve` only): how
+    /// long the batcher waits after the first pending request for more
+    /// arrivals to coalesce. 0 flushes immediately.
+    pub batch_wait_us: u64,
     /// Model-store directory: persist accepted models and repopulate the
     /// registry after a restart (`serve` only).
     pub model_dir: Option<PathBuf>,
@@ -219,7 +225,7 @@ usage:
   gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S] [--backend B]
   gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
   gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
-                [--k K] [--workers W] [--no-batch]
+                [--k K] [--workers W] [--no-batch] [--batch-wait MICROS]
                 [--model-dir DIR] [--model-mem-budget BYTES]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
@@ -239,6 +245,8 @@ options:
   --k K               serve: GB-kNN vote size (default 1)
   --workers W         serve: worker threads (default 8)
   --no-batch          serve: disable predict micro-batching
+  --batch-wait MICROS serve: micro-batcher linger window in microseconds
+                      (default 300; 0 flushes immediately)
   --model-dir DIR     serve: persist models here and reload them at boot
                       (enables POST-reload survival across restarts)
   --model-mem-budget BYTES
@@ -272,6 +280,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         k: 1,
         workers: 8,
         micro_batch: true,
+        batch_wait_us: 300,
         model_dir: None,
         model_mem_budget: None,
     };
@@ -328,6 +337,11 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 }
             }
             "--no-batch" => cli.micro_batch = false,
+            "--batch-wait" => {
+                cli.batch_wait_us = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+            }
             "--model-dir" => cli.model_dir = Some(PathBuf::from(value(arg)?)),
             "--model-mem-budget" => {
                 cli.model_mem_budget = Some(
@@ -478,6 +492,23 @@ mod tests {
         assert_eq!(defaults.k, 1);
         assert_eq!(defaults.workers, 8);
         assert!(defaults.micro_batch);
+        assert_eq!(defaults.batch_wait_us, 300);
+    }
+
+    #[test]
+    fn parses_batch_wait_window() {
+        let cli = parse(&argv("serve data.csv --batch-wait 1500")).unwrap();
+        assert_eq!(cli.batch_wait_us, 1500);
+        let zero = parse(&argv("serve data.csv --batch-wait 0")).unwrap();
+        assert_eq!(zero.batch_wait_us, 0, "0 = flush immediately");
+        assert_eq!(
+            parse(&argv("serve data.csv --batch-wait soon")),
+            Err(ParseError::BadValue("--batch-wait".into()))
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --batch-wait")),
+            Err(ParseError::BadValue("--batch-wait".into()))
+        );
     }
 
     #[test]

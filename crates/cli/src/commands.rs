@@ -11,8 +11,9 @@ use gbabs::{gbabs, GbabsSampler, RdGbgConfig, Sampler};
 use std::fmt::Write as _;
 
 /// Builds the requested sampler. `ratio` must be validated by the parser
-/// for the ratio-based methods; `backend` selects the RD-GBG neighbour
-/// index (GBABS only — baselines are index-free or brute by design).
+/// for the ratio-based methods; `backend` selects the neighbour index of
+/// every granulation-based method (GBABS, GGBS, IGBS) — output-invariant,
+/// speed only — and is ignored by the index-free samplers.
 #[must_use]
 pub fn build_sampler(
     method: Method,
@@ -25,8 +26,18 @@ pub fn build_sampler(
             density_tolerance: rho,
             backend,
         }),
-        Method::Ggbs => Box::new(Ggbs::default()),
-        Method::Igbs => Box::new(Igbs::default()),
+        Method::Ggbs => Box::new(Ggbs {
+            config: gb_sampling::ggbs::GgbsConfig {
+                backend,
+                ..Default::default()
+            },
+        }),
+        Method::Igbs => Box::new(Igbs {
+            config: gb_sampling::igbs::IgbsConfig {
+                backend,
+                ..Default::default()
+            },
+        }),
         Method::Srs => Box::new(Srs::new(ratio.expect("parser enforces ratio"))),
         Method::Stratified => Box::new(Stratified::new(ratio.expect("parser enforces ratio"))),
         Method::Systematic => Box::new(Systematic::new(ratio.expect("parser enforces ratio"))),
@@ -221,6 +232,7 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
             addr: cli.addr.clone(),
             workers: cli.workers,
             micro_batch: cli.micro_batch,
+            batch_wait: std::time::Duration::from_micros(cli.batch_wait_us),
             ..ServeConfig::default()
         },
         registry,

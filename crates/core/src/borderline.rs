@@ -3,18 +3,29 @@
 //!
 //! Plain center-to-center distances cannot locate class boundaries (the
 //! paper's Fig. 4 counter-example), so GBABS scans every feature dimension
-//! instead: ball centers are sorted along the dimension, and every *adjacent*
-//! pair of centers with different labels marks both balls as borderline.
-//! For each such heterogeneous adjacency the facing extreme samples — the
-//! member of the left ball with the largest coordinate and the member of the
-//! right ball with the smallest coordinate in that dimension — are the
-//! approximate borderline samples. The union over all dimensions (without
-//! duplicates) is the sampled set `S ⊆ D`.
+//! instead: ball centers are ordered along the dimension, and every
+//! *adjacent* pair of centers with different labels marks both balls as
+//! borderline. For each such heterogeneous adjacency the facing extreme
+//! samples — the member of the left ball with the largest coordinate and
+//! the member of the right ball with the smallest coordinate in that
+//! dimension — are the approximate borderline samples. The union over all
+//! dimensions (without duplicates) is the sampled set `S ⊆ D`.
+//!
+//! The per-dimension adjacency relation is answered by the shared
+//! `BallConflictIndex` (the private `conflict` module — the same
+//! structure that backs RD-GBG's Eq.-4 conflict radius and the overlap
+//! diagnostics) via its heterogeneous-adjacency query (ascending
+//! `(center[dim], ball id)` order, one flat center arena for all `p`
+//! walks). Only the
+//! facing-extreme-member selection touches the dataset. A cover whose
+//! balls all share one label short-circuits: no heterogeneous adjacency
+//! can exist on any dimension.
 //!
 //! Total cost is `O(t·q·N + p·m·log m)` with `m` balls — the linearity the
 //! paper claims in §IV-C.
 
 use crate::ball::GranularBall;
+use crate::conflict::BallConflictIndex;
 use crate::rdgbg::{rd_gbg, RdGbgConfig, RdGbgModel};
 use gb_dataset::Dataset;
 
@@ -53,29 +64,25 @@ pub fn borderline_from_model(data: &Dataset, model: &RdGbgModel) -> (Vec<usize>,
     let mut is_borderline = vec![false; m];
     let mut sampled = vec![false; data.n_samples()];
 
-    let mut order: Vec<usize> = (0..m).collect();
-    for dim in 0..p {
-        order.sort_by(|&a, &b| {
-            model.balls[a].center[dim]
-                .partial_cmp(&model.balls[b].center[dim])
-                .expect("finite centers")
-                .then_with(|| a.cmp(&b))
-        });
-        for w in order.windows(2) {
-            let (left, right) = (w[0], w[1]);
-            let (bl, br) = (&model.balls[left], &model.balls[right]);
-            if bl.label == br.label {
-                continue;
-            }
-            is_borderline[left] = true;
-            is_borderline[right] = true;
-            // Facing extreme samples along this dimension.
-            if let Some(row) = bl.extreme_member(data, dim, true) {
-                sampled[row] = true;
-            }
-            if let Some(row) = br.extreme_member(data, dim, false) {
-                sampled[row] = true;
-            }
+    let labels: Vec<u32> = model.balls.iter().map(|b| b.label).collect();
+    // Single-label covers (single-class data) have no heterogeneous
+    // adjacency on any dimension — skip the p ordered walks entirely.
+    let heterogeneous = labels.windows(2).any(|w| w[0] != w[1]);
+    if heterogeneous {
+        let index = BallConflictIndex::from_cover(model.balls.iter(), p);
+        let mut order = Vec::with_capacity(m);
+        for dim in 0..p {
+            index.for_each_heterogeneous_adjacent(dim, &labels, &mut order, |left, right| {
+                is_borderline[left] = true;
+                is_borderline[right] = true;
+                // Facing extreme samples along this dimension.
+                if let Some(row) = model.balls[left].extreme_member(data, dim, true) {
+                    sampled[row] = true;
+                }
+                if let Some(row) = model.balls[right].extreme_member(data, dim, false) {
+                    sampled[row] = true;
+                }
+            });
         }
     }
 

@@ -189,6 +189,134 @@ impl KBest {
     }
 }
 
+/// Lazily yields alive rows in ascending `(sq_dist, row)` order from a
+/// pivot — the default [`NeighborIndex::distance_ordered`] implementation.
+///
+/// Works by geometric re-querying: fetch the `k` nearest, emit them, then
+/// re-query with `2k` once exhausted. Because every backend's
+/// `k_nearest_sq` is exact under the shared tie-break, each larger result
+/// extends the previous one, so the emitted sequence is exactly the fully
+/// sorted alive set — but a consumer that stops after a short prefix (the
+/// GBG++ hard-attention peel) pays `O(prefix · query)` instead of a full
+/// `O(n log n)` sort. The index must not be mutated during iteration
+/// (enforced by the borrow).
+struct DistanceOrdered<'a, I: NeighborIndex + ?Sized> {
+    index: &'a I,
+    query: &'a [f64],
+    batch: Vec<SqNeighbor>,
+    /// Entries of `batch` already handed out.
+    emitted: usize,
+    /// `k` of the last `k_nearest_sq` call (0 = none yet).
+    k: usize,
+    /// Set once a query returned fewer than `k` hits — the alive set is
+    /// exhausted and no larger re-query can add entries.
+    done: bool,
+}
+
+impl<'a, I: NeighborIndex + ?Sized> DistanceOrdered<'a, I> {
+    const INITIAL_K: usize = 32;
+
+    fn new(index: &'a I, query: &'a [f64]) -> Self {
+        Self {
+            index,
+            query,
+            batch: Vec::new(),
+            emitted: 0,
+            k: 0,
+            done: false,
+        }
+    }
+}
+
+impl<I: NeighborIndex + ?Sized> Iterator for DistanceOrdered<'_, I> {
+    type Item = SqNeighbor;
+
+    fn next(&mut self) -> Option<SqNeighbor> {
+        if self.emitted == self.batch.len() {
+            if self.done {
+                return None;
+            }
+            self.k = if self.k == 0 {
+                Self::INITIAL_K
+            } else {
+                self.k * 2
+            };
+            self.batch = self.index.k_nearest_sq(self.query, self.k, None);
+            self.done = self.batch.len() < self.k;
+            if self.emitted == self.batch.len() {
+                return None;
+            }
+        }
+        let hit = self.batch[self.emitted];
+        self.emitted += 1;
+        Some(hit)
+    }
+}
+
+/// Rows per batched-kernel call in [`assign_to_nearest`].
+const ASSIGN_BLOCK: usize = 128;
+
+/// Bulk assign-to-nearest-centroid — the Lloyd-step query shape of the
+/// k-division / 2-means granulation lineage, routed through the batched
+/// SIMD kernel. For every row of the row-major `points` block (each
+/// `n_features` wide), writes the index of its nearest centroid in the
+/// row-major `centroids` block into `out`; ties break toward the **smaller
+/// centroid index**, so callers that gather centroids in ascending row
+/// order inherit the workspace's smaller-row tie-break.
+///
+/// Determinism: distances come from [`sq_euclidean_one_to_many`], which is
+/// bit-identical to the per-pair kernels per the width-keyed contract (and
+/// `(a-b)²` is bitwise symmetric), so replacing a hand-rolled per-pair
+/// argmin loop with this call cannot change an assignment.
+///
+/// # Panics
+/// Panics unless `points.len()` and `centroids.len()` are multiples of
+/// `n_features` (`n_features > 0`) and `out` holds one slot per point row.
+pub fn assign_to_nearest(points: &[f64], centroids: &[f64], n_features: usize, out: &mut [u32]) {
+    assert!(n_features > 0, "assign_to_nearest needs n_features > 0");
+    assert_eq!(
+        points.len(),
+        n_features * out.len(),
+        "points must be exactly out.len() rows of n_features"
+    );
+    assert_eq!(
+        centroids.len() % n_features,
+        0,
+        "ragged centroid block (len {} vs {n_features} features)",
+        centroids.len()
+    );
+    let n_centroids = centroids.len() / n_features;
+    assert!(n_centroids > 0, "assign_to_nearest needs >= 1 centroid");
+    assert!(
+        n_centroids <= u32::MAX as usize,
+        "centroid index must fit u32"
+    );
+    let mut dists = [0.0f64; ASSIGN_BLOCK];
+    let mut best = [f64::INFINITY; ASSIGN_BLOCK];
+    let mut lo = 0usize;
+    while lo < out.len() {
+        let hi = (lo + ASSIGN_BLOCK).min(out.len());
+        let rows = hi - lo;
+        let block = &points[lo * n_features..hi * n_features];
+        best[..rows].fill(f64::INFINITY);
+        // Parity with the per-pair loops: centroid 0 wins when no distance
+        // compares below +inf (all-NaN rows included).
+        out[lo..hi].fill(0);
+        for (ci, centroid) in centroids.chunks_exact(n_features).enumerate() {
+            sq_euclidean_one_to_many(centroid, block, &mut dists[..rows]);
+            for r in 0..rows {
+                // Strict `<` keeps the earliest centroid on ties, exactly
+                // like the per-pair loops this replaces.
+                if dists[r] < best[r] {
+                    best[r] = dists[r];
+                    out[lo + r] = ci as u32;
+                }
+            }
+        }
+        lo = hi;
+    }
+}
+
 /// A nearest-neighbour index over the rows of a dataset snapshot, with
 /// tombstone deletion. See the module docs for the exactness contract.
 pub trait NeighborIndex: Send + Sync {
@@ -230,6 +358,47 @@ pub trait NeighborIndex: Send + Sync {
         bound: RangeBound,
         skip: Option<usize>,
     ) -> Vec<SqNeighbor>;
+
+    /// Distance-ordered iteration from a pivot: lazily yields every alive
+    /// row in ascending `(sq_dist, row)` order — the "attention" query of
+    /// the GBG++ hard-attention peel, which consumes only the homogeneous
+    /// prefix. The default implementation re-queries
+    /// [`NeighborIndex::k_nearest_sq`] with geometrically growing `k`, so a
+    /// consumer
+    /// that stops after `m` rows pays `O(m)` queries of exact results
+    /// rather than a full sort. Every backend currently uses this default
+    /// (a sort-the-alive-set brute override measured slower on the GBG++
+    /// peel — short prefixes dominate); the hook exists so a backend with
+    /// a genuinely cheaper total order can take it.
+    ///
+    /// The borrow prevents mutation while the iterator lives; drop it
+    /// before tombstoning the consumed rows.
+    fn distance_ordered<'a>(
+        &'a self,
+        query: &'a [f64],
+    ) -> Box<dyn Iterator<Item = SqNeighbor> + 'a> {
+        Box::new(DistanceOrdered::new(self, query))
+    }
+
+    /// Bulk assign-to-nearest-centroid over caller-supplied row-major
+    /// blocks — the Lloyd-step query of the k-division / 2-means lineage.
+    /// The default implementation is the dense batched-kernel sweep
+    /// [`assign_to_nearest`] (backend-independent by construction: every
+    /// backend runs the identical SIMD path, so outputs cannot differ);
+    /// it lives on the trait so a future centroid-indexed backend can
+    /// override it for large centroid sets without touching callers.
+    ///
+    /// # Panics
+    /// Same block-shape contract as [`assign_to_nearest`].
+    fn assign_to_centroids(
+        &self,
+        points: &[f64],
+        centroids: &[f64],
+        n_features: usize,
+        out: &mut [u32],
+    ) {
+        assign_to_nearest(points, centroids, n_features, out);
+    }
 }
 
 /// Shared tombstone state for the tree indexes: the alive bitmap plus the
@@ -871,6 +1040,102 @@ mod tests {
             assert!(ix.k_nearest_sq(data.row(0), 0, None).is_empty());
             assert_eq!(ix.k_nearest_sq(data.row(0), 99, Some(0)).len(), 9);
         }
+    }
+
+    #[test]
+    fn distance_ordered_yields_full_sorted_sequence_on_every_backend() {
+        for (n, p) in [(1usize, 2usize), (40, 2), (130, 5), (90, 40)] {
+            let data = random_data(n, p, 3, 7 + n as u64);
+            let mut alive = vec![true; n];
+            let mut idx = backends(&data);
+            let mut rng = rng_from_seed(3);
+            for _ in 0..n / 4 {
+                let r = rng.gen_range(0..n);
+                if alive[r] && alive.iter().filter(|&&a| a).count() > 2 {
+                    alive[r] = false;
+                    for (_, ix) in idx.iter_mut() {
+                        ix.delete(r);
+                    }
+                }
+            }
+            let q = data.row(rng.gen_range(0..n)).to_vec();
+            let n_alive = alive.iter().filter(|&&a| a).count();
+            let want = ref_k_nearest(&data, &alive, &q, n_alive, None);
+            let mut sequences: Vec<Vec<SqNeighbor>> = Vec::new();
+            for (name, ix) in idx.iter() {
+                let got: Vec<SqNeighbor> = ix.distance_ordered(&q).collect();
+                assert_eq!(got.len(), want.len(), "{name} n={n} p={p}");
+                for (g, w) in got.iter().zip(want.iter()) {
+                    assert_eq!(g.row, w.row, "{name} n={n} p={p}");
+                }
+                // A short prefix (the peel consumer's pattern) agrees too.
+                let prefix: Vec<usize> = ix.distance_ordered(&q).take(5).map(|h| h.row).collect();
+                let want_prefix: Vec<usize> = want.iter().take(5).map(|h| h.row).collect();
+                assert_eq!(prefix, want_prefix, "{name} prefix");
+                sequences.push(got);
+            }
+            // Distances are bit-identical across backends (the width-keyed
+            // kernel contract), though not necessarily vs the sequential
+            // reference kernel at p >= LANE_WIDTH.
+            for pair in sequences.windows(2) {
+                for (a, b) in pair[0].iter().zip(pair[1].iter()) {
+                    assert_eq!(a.sq_dist.to_bits(), b.sq_dist.to_bits(), "n={n} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_ordered_is_usable_through_dyn() {
+        let data = random_data(50, 3, 2, 11);
+        let ix: Box<dyn NeighborIndex> = GranulationBackend::KdTree.build(&data);
+        let rows: Vec<usize> = ix.distance_ordered(data.row(0)).map(|h| h.row).collect();
+        assert_eq!(rows.len(), 50);
+        assert_eq!(rows[0], 0, "self is nearest to itself");
+    }
+
+    #[test]
+    fn assign_to_nearest_matches_per_pair_argmin() {
+        for p in [1usize, 2, 3, 7, 16] {
+            let data = random_data(300, p, 2, 100 + p as u64);
+            let cents = random_data(6, p, 2, 200 + p as u64);
+            let mut out = vec![u32::MAX; 300];
+            assign_to_nearest(data.features(), cents.features(), p, &mut out);
+            for (r, &got) in out.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for c in 0..6 {
+                    let d = sq_euclidean(data.row(r), cents.row(c));
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                assert_eq!(got as usize, best, "p={p} row {r}");
+            }
+            // Trait-default routing is the same function.
+            let ix = GranulationBackend::VpTree.build(&data);
+            let mut via_trait = vec![u32::MAX; 300];
+            ix.assign_to_centroids(data.features(), cents.features(), p, &mut via_trait);
+            assert_eq!(out, via_trait, "p={p}");
+        }
+    }
+
+    #[test]
+    fn assign_to_nearest_ties_break_toward_smaller_centroid() {
+        // Two identical centroids: every point must pick centroid 0.
+        let points = [0.0, 0.0, 3.0, 4.0, -1.0, 2.5];
+        let cents = [1.0, 1.0, 1.0, 1.0];
+        let mut out = [9u32; 3];
+        assign_to_nearest(&points, &cents, 2, &mut out);
+        assert_eq!(out, [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "points must be exactly")]
+    fn assign_to_nearest_rejects_ragged_points() {
+        let mut out = [0u32; 2];
+        assign_to_nearest(&[0.0; 5], &[0.0; 2], 2, &mut out);
     }
 
     #[test]

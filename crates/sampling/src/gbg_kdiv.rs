@@ -11,6 +11,7 @@
 //! (and our ablation benches measure).
 
 use gb_dataset::distance::euclidean;
+use gb_dataset::index::{assign_to_nearest, GranulationBackend};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
 use gbabs::GranularBall;
@@ -26,6 +27,13 @@ pub struct KDivConfig {
     pub lloyd_iters: usize,
     /// Seed (used only to jitter degenerate splits).
     pub seed: u64,
+    /// Granulation backend, threaded for lineage-wide sweeps. The
+    /// k-division substrate has no adjacency queries — its Lloyd step is
+    /// the dense [`assign_to_nearest`] batched-kernel query, which every
+    /// backend executes identically — so this is **output- and
+    /// cost-invariant** here; it exists so one `--backend` knob reaches the
+    /// whole lineage (GBG++ and RD-GBG are where it changes asymptotics).
+    pub backend: GranulationBackend,
 }
 
 impl Default for KDivConfig {
@@ -34,7 +42,34 @@ impl Default for KDivConfig {
             purity_threshold: 1.0,
             lloyd_iters: 3,
             seed: 0,
+            backend: GranulationBackend::Auto,
         }
+    }
+}
+
+/// Scratch for the batched Lloyd steps: the gathered row coordinates of the
+/// ball being split (row-major), reused across iterations.
+pub(crate) struct LloydScratch {
+    pub(crate) points: Vec<f64>,
+    pub(crate) assign: Vec<u32>,
+}
+
+impl LloydScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            points: Vec::new(),
+            assign: Vec::new(),
+        }
+    }
+
+    /// Gathers `rows` of `data` into the contiguous points block.
+    pub(crate) fn gather(&mut self, data: &Dataset, rows: &[usize]) {
+        self.points.clear();
+        for &r in rows {
+            self.points.extend_from_slice(data.row(r));
+        }
+        self.assign.clear();
+        self.assign.resize(rows.len(), 0);
     }
 }
 
@@ -80,13 +115,16 @@ fn make_ball(data: &Dataset, rows: Vec<usize>) -> GranularBall {
 
 /// Splits `rows` by k-division: one *random member per class present* as
 /// the initial center (the init used by Xia et al.'s k-division), then
-/// `lloyd_iters` rounds of nearest-centroid reassignment. Returns the
+/// `lloyd_iters` rounds of nearest-centroid reassignment through the
+/// batched [`assign_to_nearest`] query (ties toward the smaller centroid
+/// index, exactly like the per-pair loop it replaced). Returns the
 /// non-empty children (possibly fewer than k).
 fn k_division(
     data: &Dataset,
     rows: &[usize],
     lloyd_iters: usize,
     rng: &mut impl Rng,
+    scratch: &mut LloydScratch,
 ) -> Vec<Vec<usize>> {
     let p = data.n_features();
     // classes present
@@ -97,8 +135,9 @@ fn k_division(
     if k < 2 {
         return vec![rows.to_vec()];
     }
-    // initial centers: one random sample of each class
-    let mut centroids = vec![vec![0.0f64; p]; k];
+    // initial centers: one random sample of each class, flattened row-major
+    // for the batched assignment kernel
+    let mut centroids = vec![0.0f64; k * p];
     let mut counts = vec![0usize; k];
     for (ci, &class) in present.iter().enumerate() {
         let members: Vec<usize> = rows
@@ -107,46 +146,32 @@ fn k_division(
             .filter(|&r| data.label(r) == class)
             .collect();
         let pick = members[rng.gen_range(0..members.len())];
-        centroids[ci].copy_from_slice(data.row(pick));
+        centroids[ci * p..(ci + 1) * p].copy_from_slice(data.row(pick));
     }
     // If two initial centers coincide exactly, jitter one of them.
     for ci in 1..k {
-        if centroids[ci] == centroids[0] {
+        if centroids[ci * p..(ci + 1) * p] == centroids[..p] {
             let j = rng.gen_range(0..p);
-            centroids[ci][j] += 1e-6 * (ci as f64);
+            centroids[ci * p + j] += 1e-6 * (ci as f64);
         }
     }
-    let mut assign = vec![0usize; rows.len()];
+    scratch.gather(data, rows);
     for _ in 0..lloyd_iters.max(1) {
-        // assignment step
-        for (pos, &r) in rows.iter().enumerate() {
-            let row = data.row(r);
-            let mut best = 0;
-            let mut best_d = f64::INFINITY;
-            for (ci, c) in centroids.iter().enumerate() {
-                let d = gb_dataset::distance::sq_euclidean(row, c);
-                if d < best_d {
-                    best_d = d;
-                    best = ci;
-                }
-            }
-            assign[pos] = best;
-        }
+        // assignment step: one batched sweep over the gathered block
+        assign_to_nearest(&scratch.points, &centroids, p, &mut scratch.assign);
         // update step
-        for c in centroids.iter_mut() {
-            c.iter_mut().for_each(|v| *v = 0.0);
-        }
+        centroids.fill(0.0);
         counts.iter_mut().for_each(|c| *c = 0);
         for (pos, &r) in rows.iter().enumerate() {
-            let ci = assign[pos];
+            let ci = scratch.assign[pos] as usize;
             counts[ci] += 1;
-            for (j, &v) in data.row(r).iter().enumerate() {
-                centroids[ci][j] += v;
+            for (s, &v) in centroids[ci * p..(ci + 1) * p].iter_mut().zip(data.row(r)) {
+                *s += v;
             }
         }
-        for (c, &n) in centroids.iter_mut().zip(counts.iter()) {
+        for (ci, &n) in counts.iter().enumerate() {
             if n > 0 {
-                for v in c.iter_mut() {
+                for v in &mut centroids[ci * p..(ci + 1) * p] {
                     *v /= n as f64;
                 }
             }
@@ -154,7 +179,7 @@ fn k_division(
     }
     let mut children = vec![Vec::new(); k];
     for (pos, &r) in rows.iter().enumerate() {
-        children[assign[pos]].push(r);
+        children[scratch.assign[pos] as usize].push(r);
     }
     children.retain(|c| !c.is_empty());
     children
@@ -168,12 +193,19 @@ pub fn k_division_gbg(data: &Dataset, config: &KDivConfig) -> Vec<GranularBall> 
     assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
     let two_p = 2 * data.n_features();
     let mut rng = rng_from_seed(config.seed);
+    let mut scratch = LloydScratch::new();
     let mut queue: Vec<Vec<usize>> = vec![(0..data.n_samples()).collect()];
     let mut done: Vec<GranularBall> = Vec::new();
     while let Some(rows) = queue.pop() {
         let ball = make_ball(data, rows);
         if ball.purity < config.purity_threshold && ball.len() > two_p {
-            let children = k_division(data, &ball.members, config.lloyd_iters, &mut rng);
+            let children = k_division(
+                data,
+                &ball.members,
+                config.lloyd_iters,
+                &mut rng,
+                &mut scratch,
+            );
             if children.len() < 2 {
                 done.push(ball); // degenerate split: keep as-is
             } else {

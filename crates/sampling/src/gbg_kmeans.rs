@@ -12,7 +12,8 @@
 //! their radius — the deficiencies RD-GBG removes, quantified by the
 //! `granulation` ablation.
 
-use gb_dataset::distance::sq_euclidean;
+use crate::gbg_kdiv::LloydScratch;
+use gb_dataset::index::{assign_to_nearest, GranulationBackend};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
 use gbabs::GranularBall;
@@ -32,6 +33,11 @@ pub struct KMeansGbgConfig {
     pub lloyd_iters: usize,
     /// Seed for the random initial centers.
     pub seed: u64,
+    /// Granulation backend, threaded for lineage-wide sweeps. Like
+    /// k-division (see [`crate::gbg_kdiv::KDivConfig::backend`]), the
+    /// 2-means split is the dense batched assignment query, identical on
+    /// every backend — the field is output- and cost-invariant here.
+    pub backend: GranulationBackend,
 }
 
 impl Default for KMeansGbgConfig {
@@ -41,6 +47,7 @@ impl Default for KMeansGbgConfig {
             min_split_size: 2,
             lloyd_iters: 3,
             seed: 0,
+            backend: GranulationBackend::Auto,
         }
     }
 }
@@ -86,14 +93,17 @@ fn make_ball(data: &Dataset, rows: Vec<usize>) -> GranularBall {
     }
 }
 
-/// One 2-means split of `rows`. Returns `None` when the rows cannot be
-/// separated (all coordinates identical), which ends recursion for that
+/// One 2-means split of `rows`, each assignment step a batched
+/// [`assign_to_nearest`] sweep (ties toward side 0, exactly like the
+/// `d1 < d0` comparison it replaced). Returns `None` when the rows cannot
+/// be separated (all coordinates identical), which ends recursion for that
 /// ball.
 fn two_means(
     data: &Dataset,
     rows: &[usize],
     lloyd_iters: usize,
     rng: &mut impl Rng,
+    scratch: &mut LloydScratch,
 ) -> Option<(Vec<usize>, Vec<usize>)> {
     debug_assert!(rows.len() >= 2);
     let p = data.n_features();
@@ -105,32 +115,34 @@ fn two_means(
         .iter()
         .copied()
         .find(|&r| data.row(r) != data.row(a))?;
-    let init = [data.row(a).to_vec(), data.row(b).to_vec()];
+    let mut init = Vec::with_capacity(2 * p);
+    init.extend_from_slice(data.row(a));
+    init.extend_from_slice(data.row(b));
     let mut centroids = init.clone();
-    let mut assign = vec![0usize; rows.len()];
+    scratch.gather(data, rows);
     for _ in 0..lloyd_iters.max(1) {
-        for (pos, &r) in rows.iter().enumerate() {
-            let d0 = sq_euclidean(data.row(r), &centroids[0]);
-            let d1 = sq_euclidean(data.row(r), &centroids[1]);
-            assign[pos] = usize::from(d1 < d0);
-        }
-        let mut sums = [vec![0.0f64; p], vec![0.0f64; p]];
+        assign_to_nearest(&scratch.points, &centroids, p, &mut scratch.assign);
+        let mut sums = vec![0.0f64; 2 * p];
         let mut counts = [0usize; 2];
         for (pos, &r) in rows.iter().enumerate() {
-            counts[assign[pos]] += 1;
-            for (j, &v) in data.row(r).iter().enumerate() {
-                sums[assign[pos]][j] += v;
+            let side = scratch.assign[pos] as usize;
+            counts[side] += 1;
+            for (s, &v) in sums[side * p..(side + 1) * p].iter_mut().zip(data.row(r)) {
+                *s += v;
             }
         }
         for side in 0..2 {
             if counts[side] > 0 {
-                for (j, s) in sums[side].iter().enumerate() {
-                    centroids[side][j] = s / counts[side] as f64;
+                for (c, s) in centroids[side * p..(side + 1) * p]
+                    .iter_mut()
+                    .zip(&sums[side * p..(side + 1) * p])
+                {
+                    *c = s / counts[side] as f64;
                 }
             }
         }
     }
-    let partition = |assign: &[usize]| {
+    let partition = |assign: &[u32]| {
         let (mut left, mut right) = (Vec::new(), Vec::new());
         for (pos, &r) in rows.iter().enumerate() {
             if assign[pos] == 0 {
@@ -141,19 +153,15 @@ fn two_means(
         }
         (left, right)
     };
-    let (left, right) = partition(&assign);
+    let (left, right) = partition(&scratch.assign);
     if !left.is_empty() && !right.is_empty() {
         return Some((left, right));
     }
     // Lloyd collapsed one side. Fall back to assignment by the two distinct
     // init samples: `a` and `b` each bind to their own side, so both sides
     // are guaranteed non-empty and recursion always makes progress.
-    for (pos, &r) in rows.iter().enumerate() {
-        let d0 = sq_euclidean(data.row(r), &init[0]);
-        let d1 = sq_euclidean(data.row(r), &init[1]);
-        assign[pos] = usize::from(d1 < d0);
-    }
-    Some(partition(&assign))
+    assign_to_nearest(&scratch.points, &init, p, &mut scratch.assign);
+    Some(partition(&scratch.assign))
 }
 
 /// Runs the original 2-means GBG over `data`.
@@ -161,6 +169,7 @@ fn two_means(
 pub fn kmeans_gbg(data: &Dataset, config: &KMeansGbgConfig) -> Vec<GranularBall> {
     assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
     let mut rng = rng_from_seed(config.seed);
+    let mut scratch = LloydScratch::new();
     let mut queue: Vec<Vec<usize>> = vec![(0..data.n_samples()).collect()];
     let mut done: Vec<GranularBall> = Vec::new();
     while let Some(rows) = queue.pop() {
@@ -168,7 +177,13 @@ pub fn kmeans_gbg(data: &Dataset, config: &KMeansGbgConfig) -> Vec<GranularBall>
         let splittable =
             ball.purity < config.purity_threshold && ball.len() >= config.min_split_size.max(2);
         if splittable {
-            match two_means(data, &ball.members, config.lloyd_iters, &mut rng) {
+            match two_means(
+                data,
+                &ball.members,
+                config.lloyd_iters,
+                &mut rng,
+                &mut scratch,
+            ) {
                 Some((left, right)) => {
                     queue.push(left);
                     queue.push(right);

@@ -23,8 +23,31 @@
 //! may still overlap earlier-generated balls (no conflict radius, Eq. 4) —
 //! the precise gap the GBABS paper's restricted diffusion closes, measured
 //! by the `granulation` ablation experiment.
+//!
+//! # Indexed hot path
+//!
+//! The attention step is the
+//! [`NeighborIndex::distance_ordered`](gb_dataset::index::NeighborIndex::distance_ordered)
+//! query:
+//! peeled rows leave the undivided set by tombstone deletion, and each
+//! iteration consumes only the homogeneous *prefix* of the lazily ordered
+//! stream instead of sorting all of `U` — `O(prefix · log n)` per peel on a
+//! tree backend against the old `O(|U| log |U|)` full sort. The majority
+//! centroid is maintained incrementally (per-class counts + coordinate
+//! sums, decremented as rows are peeled, in peel order), so no per-peel
+//! `O(|U|)` sweep remains. Every backend runs the identical query contract
+//! (`(sq_dist, row)` ascending, ties toward the smaller row), so the
+//! produced cover is **bit-identical across backends** (property-tested in
+//! `tests/lineage_backends.rs`).
+//!
+//! The determinism contract is cross-backend identity, *not* bitwise
+//! equality with the pre-query-layer implementation: attention distances
+//! now come from the width-keyed kernel (lane tree at p ≥ 4 instead of
+//! the sequential sum), and later-iteration centroids from incremental
+//! subtraction instead of a fresh re-sum — near-tie orderings and stored
+//! geometry can differ from old recorded covers in the last bits.
 
-use gb_dataset::distance::euclidean;
+use gb_dataset::index::{GranulationBackend, SqNeighbor};
 use gb_dataset::Dataset;
 use gbabs::GranularBall;
 
@@ -35,42 +58,92 @@ pub struct GbgPpConfig {
     /// shorter prefixes are emitted as radius-0 singletons. GBG++ uses 1
     /// (every prefix forms a ball); raising this mimics its outlier filter.
     pub min_ball_size: usize,
+    /// Neighbour-index backend for the attention queries. Every backend
+    /// yields a bit-identical cover; this only selects the asymptotics.
+    pub backend: GranulationBackend,
 }
 
 impl Default for GbgPpConfig {
     fn default() -> Self {
-        Self { min_ball_size: 1 }
+        Self {
+            min_ball_size: 1,
+            backend: GranulationBackend::Auto,
+        }
     }
 }
 
-/// Majority class among `rows` (ties toward the smaller label), together
-/// with that class's centroid.
-fn majority_centroid(data: &Dataset, rows: &[usize]) -> (u32, Vec<f64>) {
-    let mut counts = vec![0usize; data.n_classes()];
-    for &r in rows {
-        counts[data.label(r) as usize] += 1;
-    }
-    let label = counts
-        .iter()
-        .enumerate()
-        .max_by(|(ia, ca), (ib, cb)| ca.cmp(cb).then_with(|| ib.cmp(ia)))
-        .map(|(i, _)| i as u32)
-        .expect("non-empty rows");
-    let p = data.n_features();
-    let mut center = vec![0.0f64; p];
-    let mut n = 0usize;
-    for &r in rows {
-        if data.label(r) == label {
-            n += 1;
-            for (j, &v) in data.row(r).iter().enumerate() {
-                center[j] += v;
+/// Incrementally maintained per-class membership stats of the undivided
+/// set: counts and coordinate sums, enough to answer "majority class and
+/// its centroid" in `O(q·p)` instead of an `O(|U|·p)` sweep per peel.
+struct ClassStats {
+    counts: Vec<usize>,
+    /// Row-major `q × p` coordinate sums.
+    sums: Vec<f64>,
+    n_features: usize,
+}
+
+impl ClassStats {
+    fn build(data: &Dataset) -> Self {
+        let p = data.n_features();
+        let mut stats = Self {
+            counts: vec![0; data.n_classes()],
+            sums: vec![0.0; data.n_classes() * p],
+            n_features: p,
+        };
+        // Ascending row order: the first iteration's centroid sums match
+        // the naive per-iteration sweep bit-for-bit.
+        for r in 0..data.n_samples() {
+            let label = data.label(r) as usize;
+            stats.counts[label] += 1;
+            for (s, &v) in stats.sums[label * p..(label + 1) * p]
+                .iter_mut()
+                .zip(data.row(r))
+            {
+                *s += v;
             }
         }
+        stats
     }
-    for c in center.iter_mut() {
-        *c /= n as f64;
+
+    fn remove(&mut self, data: &Dataset, row: usize) {
+        let p = self.n_features;
+        let label = data.label(row) as usize;
+        self.counts[label] -= 1;
+        for (s, &v) in self.sums[label * p..(label + 1) * p]
+            .iter_mut()
+            .zip(data.row(row))
+        {
+            *s -= v;
+        }
     }
-    (label, center)
+
+    /// Majority class (ties toward the smaller label) and its centroid.
+    fn majority_centroid(&self) -> (u32, Vec<f64>) {
+        let mut label = 0usize;
+        for (c, &count) in self.counts.iter().enumerate() {
+            if count > self.counts[label] {
+                label = c;
+            }
+        }
+        let p = self.n_features;
+        let n = self.counts[label] as f64;
+        let center = self.sums[label * p..(label + 1) * p]
+            .iter()
+            .map(|&s| s / n)
+            .collect();
+        (label as u32, center)
+    }
+}
+
+fn singleton(data: &Dataset, row: usize, label: u32) -> GranularBall {
+    GranularBall {
+        center: data.row(row).to_vec(),
+        radius: 0.0,
+        label,
+        members: vec![row],
+        center_row: Some(row),
+        purity: 1.0,
+    }
 }
 
 /// Runs GBG++ over `data`, returning pure balls that jointly cover every
@@ -78,61 +151,60 @@ fn majority_centroid(data: &Dataset, rows: &[usize]) -> (u32, Vec<f64>) {
 #[must_use]
 pub fn gbg_pp(data: &Dataset, config: &GbgPpConfig) -> Vec<GranularBall> {
     assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
-    let mut undivided: Vec<usize> = (0..data.n_samples()).collect();
+    let mut index = config.backend.build(data);
+    let mut stats = ClassStats::build(data);
+    let mut remaining = data.n_samples();
     let mut balls: Vec<GranularBall> = Vec::new();
-    while !undivided.is_empty() {
-        let (label, center) = majority_centroid(data, &undivided);
-        // Attention: order the undivided samples by distance to the center.
-        let mut by_dist: Vec<(f64, usize)> = undivided
-            .iter()
-            .map(|&r| (euclidean(data.row(r), &center), r))
-            .collect();
-        by_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
-        // Hard attention: the homogeneous prefix.
-        let prefix_len = by_dist
-            .iter()
-            .take_while(|&&(_, r)| data.label(r) == label)
-            .count();
-        if prefix_len == 0 {
+    let mut prefix: Vec<SqNeighbor> = Vec::new();
+    while remaining > 0 {
+        let (label, center) = stats.majority_centroid();
+        // Attention: walk the undivided samples by distance to the center,
+        // consuming only up to the first heterogeneous sample ("hard
+        // attention").
+        prefix.clear();
+        let mut iter = index.distance_ordered(&center);
+        let first = iter.next().expect("alive rows remain");
+        if data.label(first.row) != label {
             // Nearest sample is heterogeneous: peel it off as a singleton
             // (outlier handling; guarantees termination).
-            let (_, row) = by_dist[0];
-            balls.push(GranularBall {
-                center: data.row(row).to_vec(),
-                radius: 0.0,
-                label: data.label(row),
-                members: vec![row],
-                center_row: Some(row),
-                purity: 1.0,
-            });
-            undivided.retain(|&r| r != row);
+            drop(iter);
+            balls.push(singleton(data, first.row, data.label(first.row)));
+            stats.remove(data, first.row);
+            index.delete(first.row);
+            remaining -= 1;
             continue;
         }
-        let members: Vec<usize> = by_dist[..prefix_len].iter().map(|&(_, r)| r).collect();
-        if members.len() < config.min_ball_size {
+        prefix.push(first);
+        for hit in iter {
+            if data.label(hit.row) != label {
+                break;
+            }
+            prefix.push(hit);
+        }
+        if prefix.len() < config.min_ball_size {
             // Too small for a proper ball: emit singletons.
-            for &row in &members {
-                balls.push(GranularBall {
-                    center: data.row(row).to_vec(),
-                    radius: 0.0,
-                    label,
-                    members: vec![row],
-                    center_row: Some(row),
-                    purity: 1.0,
-                });
+            for hit in &prefix {
+                balls.push(singleton(data, hit.row, label));
             }
         } else {
-            let radius = by_dist[prefix_len - 1].0;
+            // The prefix is emitted in ascending (sq_dist, row) order, so
+            // its last element is the farthest member — one sqrt finalizes
+            // the radius.
+            let radius = prefix.last().expect("non-empty prefix").sq_dist.sqrt();
             balls.push(GranularBall {
                 center,
                 radius,
                 label,
-                members,
+                members: prefix.iter().map(|h| h.row).collect(),
                 center_row: None,
                 purity: 1.0,
             });
         }
-        undivided = by_dist[prefix_len..].iter().map(|&(_, r)| r).collect();
+        for hit in &prefix {
+            stats.remove(data, hit.row);
+            index.delete(hit.row);
+        }
+        remaining -= prefix.len();
     }
     balls
 }
@@ -215,7 +287,10 @@ mod tests {
         let feats: Vec<f64> = (0..20).map(f64::from).collect();
         let labels: Vec<u32> = (0..20).map(|i| u32::from(i >= 18)).collect();
         let data = Dataset::from_parts(feats, labels, 1, 2);
-        let cfg = GbgPpConfig { min_ball_size: 3 };
+        let cfg = GbgPpConfig {
+            min_ball_size: 3,
+            ..GbgPpConfig::default()
+        };
         let balls = gbg_pp(&data, &cfg);
         // the 2-member minority prefix must appear as radius-0 singletons
         let minority: Vec<_> = balls.iter().filter(|b| b.label == 1).collect();

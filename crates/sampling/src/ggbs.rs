@@ -7,7 +7,7 @@
 //! of the two axis-intersection points `c ± r·e_d` (up to `2·p` samples).
 
 use crate::gbg_kdiv::{is_large, k_division_gbg, KDivConfig};
-use gb_dataset::distance::sq_euclidean;
+use gb_dataset::index::{assign_to_nearest, GranulationBackend};
 use gb_dataset::Dataset;
 use gbabs::{GranularBall, SampleResult, Sampler};
 
@@ -17,12 +17,16 @@ pub struct GgbsConfig {
     /// Purity threshold of the GBG stage (paper default: searched; 1.0 here
     /// unless stated otherwise — GBABS's advantage is not needing it).
     pub purity_threshold: f64,
+    /// Granulation backend threaded into the k-division GBG stage
+    /// (output-invariant; see [`KDivConfig::backend`]).
+    pub backend: GranulationBackend,
 }
 
 impl Default for GgbsConfig {
     fn default() -> Self {
         Self {
             purity_threshold: 1.0,
+            backend: GranulationBackend::Auto,
         }
     }
 }
@@ -34,31 +38,42 @@ pub struct Ggbs {
     pub config: GgbsConfig,
 }
 
-/// Collects the `2·p` axis-extreme homogeneous samples of a large ball.
+/// Collects the `2·p` axis-extreme homogeneous samples of a large ball:
+/// for each of the `2·p` axis-intersection targets `c ± r·e_d`, the
+/// homogeneous member nearest to it. One batched [`assign_to_nearest`]
+/// call answers all targets at once (targets are the points, the gathered
+/// homogeneous members are the centroids); members are gathered in
+/// ascending row order so the query's smaller-centroid tie-break is
+/// exactly the old per-pair scan's smaller-row tie-break.
 pub(crate) fn large_ball_samples(data: &Dataset, ball: &GranularBall, keep: &mut [bool]) {
     let p = data.n_features();
+    let mut members: Vec<usize> = ball
+        .members
+        .iter()
+        .copied()
+        .filter(|&m| data.label(m) == ball.label)
+        .collect();
+    if members.is_empty() {
+        return;
+    }
+    members.sort_unstable();
+    let mut member_coords = Vec::with_capacity(members.len() * p);
+    for &m in &members {
+        member_coords.extend_from_slice(data.row(m));
+    }
+    // The 2·p surface targets: center ± radius along every axis.
+    let mut targets = Vec::with_capacity(2 * p * p);
     for dim in 0..p {
         for sign in [-1.0f64, 1.0] {
-            // intersection of the ball surface with the axis-parallel line
-            // through the center along `dim`
-            let mut target = ball.center.clone();
-            target[dim] += sign * ball.radius;
-            let best = ball
-                .members
-                .iter()
-                .copied()
-                .filter(|&m| data.label(m) == ball.label)
-                .min_by(|&a, &b| {
-                    let da = sq_euclidean(data.row(a), &target);
-                    let db = sq_euclidean(data.row(b), &target);
-                    da.partial_cmp(&db)
-                        .expect("finite distances")
-                        .then_with(|| a.cmp(&b))
-                });
-            if let Some(row) = best {
-                keep[row] = true;
-            }
+            let base = targets.len();
+            targets.extend_from_slice(&ball.center);
+            targets[base + dim] += sign * ball.radius;
         }
+    }
+    let mut nearest = vec![0u32; 2 * p];
+    assign_to_nearest(&targets, &member_coords, p, &mut nearest);
+    for &m in &nearest {
+        keep[members[m as usize]] = true;
     }
 }
 
@@ -93,6 +108,7 @@ impl Sampler for Ggbs {
                 purity_threshold: self.config.purity_threshold,
                 lloyd_iters: 3,
                 seed,
+                backend: self.config.backend,
             },
         );
         let rows = ggbs_rule_over_balls(data, &balls);

@@ -20,8 +20,9 @@
 //!   evicted); the catalog knows it exists, a request against it triggers
 //!   a transparent reload.
 //!
-//! Each resident model's footprint (ball cover + GB-kNN structures,
-//! estimated by [`ServingModel::resident_bytes`]) is accounted against an
+//! Each resident model's footprint ([`ServingModel::resident_bytes`]: the
+//! measured serialized-envelope size for persisted tenants, a
+//! cover-geometry estimate for memory-only models) is accounted against an
 //! optional byte budget. Loading a model that would exceed the budget
 //! evicts the least-recently-used *persisted* resident tenants back to
 //! cold until the new total fits (the most recently touched model is never
@@ -101,6 +102,13 @@ impl ModelStats {
 /// the predictor (centers, member lists, per-ball struct overhead — GB-kNN
 /// keeps its own copy of the balls) plus the flattened center matrix the
 /// batched distance kernel scans.
+///
+/// Used only for **memory-only** models, which never touch the store.
+/// Persisted tenants are accounted by their measured serialized-envelope
+/// size, captured at persist ([`ModelStore::save`]) or cold-reload
+/// ([`ModelStore::load`]) time — one consistent, observable number per
+/// tenant instead of a geometry extrapolation (ROADMAP
+/// "measured-not-estimated footprints").
 fn estimate_resident_bytes(model: &RdGbgModel) -> u64 {
     use std::mem::size_of;
     let n_features = model.balls.first().map_or(0, |b| b.center.len());
@@ -132,8 +140,10 @@ pub struct ServingModel {
     pub backend: GranulationBackend,
     /// Cover statistics for `/model`.
     pub stats: ModelStats,
-    /// Estimated in-memory footprint, accounted against the registry's
-    /// byte budget.
+    /// Footprint accounted against the registry's byte budget: the
+    /// measured serialized-envelope size for persisted tenants (captured
+    /// at persist/load time), or the cover-geometry estimate for
+    /// memory-only models (which never have a file to measure).
     pub resident_bytes: u64,
 }
 
@@ -251,7 +261,9 @@ pub struct ModelEntry {
     pub name: String,
     /// True when the predictor is in memory.
     pub resident: bool,
-    /// Resident footprint estimate, or file size on disk for cold tenants.
+    /// Accounted footprint: the measured envelope size for persisted
+    /// tenants (resident or cold), the cover-geometry estimate for
+    /// memory-only models.
     pub bytes: u64,
     /// Load version (resident tenants only).
     pub version: Option<u64>,
@@ -481,13 +493,16 @@ impl ModelRegistry {
                  [A-Za-z0-9._-], not starting with '.'"
             )));
         }
-        let built = Self::build(model, options).map_err(PublishError::Rejected)?;
+        let mut built = Self::build(model, options).map_err(PublishError::Rejected)?;
         let _publishing = self.publish_lock.lock().expect("publish lock");
         let persisted = match &self.store {
             Some(store) => {
-                store
+                let saved_bytes = store
                     .save(name, model, options, built.n_classes)
                     .map_err(PublishError::Store)?;
+                // Measured-not-estimated: the footprint accounted for a
+                // persisted tenant is its serialized envelope size.
+                built.resident_bytes = saved_bytes;
                 true
             }
             None => false,
@@ -587,8 +602,13 @@ impl ModelRegistry {
         let start = Instant::now();
         let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let envelope = store.load(name)?;
-            Self::build(&envelope.model, &envelope.options)
-                .map(|built| (built, envelope.options.backend))
+            Self::build(&envelope.model, &envelope.options).map(|mut built| {
+                // Measured-not-estimated: account the reloaded tenant by
+                // the envelope size just read, matching what `publish`
+                // recorded when it wrote the file.
+                built.resident_bytes = envelope.file_bytes;
+                (built, envelope.options.backend)
+            })
         }))
         .unwrap_or_else(|_| Err("panicked rebuilding persisted model".into()));
         let result = match built {
@@ -935,6 +955,38 @@ mod tests {
         assert!(entries
             .iter()
             .any(|e| e.name == "b" && !e.resident && e.bytes > 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persisted_footprints_are_measured_envelope_sizes() {
+        let dir = tempdir("measured");
+        let data = DatasetId::S5.generate(0.05, 9);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        let published = reg.publish("t", &model, &LoadOptions::default()).unwrap();
+        let on_disk = reg.store().unwrap().file_bytes("t").expect("file exists");
+        assert_eq!(
+            published.resident_bytes, on_disk,
+            "persisted tenant accounted by its serialized envelope size"
+        );
+        assert_ne!(
+            published.resident_bytes,
+            estimate_resident_bytes(&model),
+            "and not by the cover-geometry estimate"
+        );
+        // A cold reload lands on the same measured number.
+        {
+            let store = ModelStore::open(&dir).unwrap();
+            let (reg2, _) = ModelRegistry::with_store(store, None).unwrap();
+            let reloaded = reg2.acquire("t").unwrap().expect("cold reload");
+            assert_eq!(reloaded.resident_bytes, on_disk);
+            assert_eq!(reg2.snapshot().resident_bytes, on_disk);
+        }
+        // Memory-only models keep the estimate — nothing to measure.
+        let mem = reg.load("mem", &model, &LoadOptions::default()).unwrap();
+        assert_eq!(mem.resident_bytes, estimate_resident_bytes(&model));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

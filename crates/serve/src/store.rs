@@ -79,6 +79,9 @@ pub struct StoredEnvelope {
     pub model: RdGbgModel,
     /// Load options to rebuild the predictor exactly as accepted.
     pub options: LoadOptions,
+    /// Size of the serialized envelope as read (header + payload) — the
+    /// measured footprint the registry accounts against its byte budget.
+    pub file_bytes: u64,
 }
 
 /// Catalog entry produced by [`ModelStore::scan`].
@@ -154,7 +157,9 @@ impl ModelStore {
 
     /// Persists `model` + `options` under `name`, atomically replacing any
     /// previous version of the file (write temp → fsync → rename → fsync
-    /// directory).
+    /// directory). Returns the serialized size in bytes (header +
+    /// payload) — the measured footprint the registry accounts against
+    /// its byte budget.
     ///
     /// # Errors
     /// Invalid names and any I/O failure, stringified for the HTTP layer.
@@ -164,7 +169,7 @@ impl ModelStore {
         model: &RdGbgModel,
         options: &LoadOptions,
         n_classes: usize,
-    ) -> Result<(), String> {
+    ) -> Result<u64, String> {
         let path = self.path_for(name)?;
         let payload = render_envelope(name, model, options, n_classes);
         let header = format!(
@@ -189,7 +194,7 @@ impl ModelStore {
         if let Ok(d) = fs::File::open(&self.dir) {
             let _ = d.sync_all();
         }
-        Ok(())
+        Ok((header.len() + payload.len()) as u64)
     }
 
     /// Reads, checksums, and parses the tenant file for `name`.
@@ -201,7 +206,10 @@ impl ModelStore {
         let path = self.path_for(name)?;
         let bytes = fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
         let payload = verify(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
-        parse_envelope(name, payload).map_err(|e| format!("{}: {e}", path.display()))
+        let mut envelope =
+            parse_envelope(name, payload).map_err(|e| format!("{}: {e}", path.display()))?;
+        envelope.file_bytes = bytes.len() as u64;
+        Ok(envelope)
     }
 
     /// Current on-disk size of the tenant file, if present (used to label
@@ -407,6 +415,8 @@ fn parse_envelope(expected_name: &str, payload: &str) -> Result<StoredEnvelope, 
             n_classes: Some(n_classes),
             backend,
         },
+        // Filled in by `ModelStore::load`, which knows the raw file size.
+        file_bytes: 0,
     })
 }
 
