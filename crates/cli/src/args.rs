@@ -114,6 +114,15 @@ pub struct Cli {
     /// are evicted to disk when exceeded (`serve` only; requires
     /// `--model-dir`).
     pub model_mem_budget: Option<u64>,
+    /// Per-request deadline in milliseconds (`serve` only); 0 disables
+    /// deadline enforcement and restores the legacy single-read-timeout
+    /// behaviour.
+    pub request_timeout_ms: u64,
+    /// Store fault-injection probability in (0, 1] (`serve` only; requires
+    /// `--model-dir`). Chaos-testing knob — never set in production.
+    pub store_fault_rate: Option<f64>,
+    /// Seed for the injected-fault schedule (`serve` only).
+    pub store_fault_seed: u64,
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` (or `KB`/`MB`/`GB`,
@@ -173,6 +182,9 @@ pub enum ParseError {
     /// `--model-mem-budget` without `--model-dir` (evicted tenants need a
     /// store to reload from).
     BudgetWithoutDir,
+    /// `--store-fault-rate` without `--model-dir` (there is no store to
+    /// inject faults into), or a rate outside (0, 1].
+    BadFaultRate,
 }
 
 impl fmt::Display for ParseError {
@@ -213,6 +225,12 @@ impl fmt::Display for ParseError {
                      must have a store file to reload from)"
                 )
             }
+            ParseError::BadFaultRate => {
+                write!(
+                    f,
+                    "--store-fault-rate requires --model-dir and a rate in (0, 1]"
+                )
+            }
         }
     }
 }
@@ -227,6 +245,7 @@ usage:
   gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
                 [--k K] [--workers W] [--no-batch] [--batch-wait MICROS]
                 [--model-dir DIR] [--model-mem-budget BYTES]
+                [--request-timeout-ms MS] [--store-fault-rate P] [--store-fault-seed S]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
          smote, borderline-smote, adasyn, tomek, cnn, enn,
@@ -252,6 +271,15 @@ options:
   --model-mem-budget BYTES
                       serve: resident-model memory budget (suffixes K/M/G);
                       LRU tenants are evicted to the model dir when exceeded
+  --request-timeout-ms MS
+                      serve: per-request deadline (default 10000); slow or
+                      stalled requests are rejected 408/504 when it expires;
+                      0 disables deadline enforcement
+  --store-fault-rate P
+                      serve: inject store faults with probability P in (0,1]
+                      (chaos testing; requires --model-dir)
+  --store-fault-seed S
+                      serve: seed for the injected-fault schedule (default 42)
 ";
 
 /// Parses `args` (without the program name).
@@ -283,6 +311,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         batch_wait_us: 300,
         model_dir: None,
         model_mem_budget: None,
+        request_timeout_ms: 10_000,
+        store_fault_rate: None,
+        store_fault_seed: 42,
     };
     let mut have_input = false;
     while let Some(arg) = it.next() {
@@ -348,6 +379,23 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     parse_bytes(&value(arg)?).ok_or_else(|| ParseError::BadValue(arg.clone()))?,
                 );
             }
+            "--request-timeout-ms" => {
+                cli.request_timeout_ms = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+            }
+            "--store-fault-rate" => {
+                cli.store_fault_rate = Some(
+                    value(arg)?
+                        .parse()
+                        .map_err(|_| ParseError::BadValue(arg.clone()))?,
+                );
+            }
+            "--store-fault-seed" => {
+                cli.store_fault_seed = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+            }
             flag if flag.starts_with('-') => return Err(ParseError::UnknownFlag(flag.to_string())),
             path => {
                 if have_input {
@@ -372,6 +420,11 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     }
     if cli.model_mem_budget.is_some() && cli.model_dir.is_none() {
         return Err(ParseError::BudgetWithoutDir);
+    }
+    if let Some(rate) = cli.store_fault_rate {
+        if cli.model_dir.is_none() || !(rate > 0.0 && rate <= 1.0) {
+            return Err(ParseError::BadFaultRate);
+        }
     }
     Ok(cli)
 }
@@ -552,6 +605,41 @@ mod tests {
                 "serve data.csv --model-dir d --model-mem-budget nope"
             )),
             Err(ParseError::BadValue("--model-mem-budget".into()))
+        );
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let cli = parse(&argv(
+            "serve data.csv --model-dir d --request-timeout-ms 2500 \
+             --store-fault-rate 0.05 --store-fault-seed 7",
+        ))
+        .unwrap();
+        assert_eq!(cli.request_timeout_ms, 2500);
+        assert_eq!(cli.store_fault_rate, Some(0.05));
+        assert_eq!(cli.store_fault_seed, 7);
+        let defaults = parse(&argv("serve data.csv")).unwrap();
+        assert_eq!(defaults.request_timeout_ms, 10_000);
+        assert_eq!(defaults.store_fault_rate, None);
+        assert_eq!(defaults.store_fault_seed, 42);
+        let off = parse(&argv("serve data.csv --request-timeout-ms 0")).unwrap();
+        assert_eq!(off.request_timeout_ms, 0, "0 disables deadlines");
+        assert_eq!(
+            parse(&argv("serve data.csv --store-fault-rate 0.1")),
+            Err(ParseError::BadFaultRate),
+            "fault injection without a store has nothing to corrupt"
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --model-dir d --store-fault-rate 1.5")),
+            Err(ParseError::BadFaultRate)
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --model-dir d --store-fault-rate 0")),
+            Err(ParseError::BadFaultRate)
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --request-timeout-ms soon")),
+            Err(ParseError::BadValue("--request-timeout-ms".into()))
         );
     }
 

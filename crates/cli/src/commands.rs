@@ -227,12 +227,25 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
     let served = registry
         .publish("default", &model, &options)
         .map_err(|e| format!("{}: {e}", cli.input.display()))?;
+    // Armed only after the boot publish above, so the "default" model is
+    // always persisted cleanly before chaos begins.
+    if let Some(rate) = cli.store_fault_rate {
+        let store = registry
+            .store()
+            .ok_or_else(|| "--store-fault-rate requires --model-dir".to_string())?;
+        store.set_fault_policy(Some(gb_serve::FaultPolicy::new(rate, cli.store_fault_seed)));
+        println!(
+            "store fault injection ARMED: rate {rate}, seed {} (chaos testing only)",
+            cli.store_fault_seed
+        );
+    }
     let server = Server::bind(
         ServeConfig {
             addr: cli.addr.clone(),
             workers: cli.workers,
             micro_batch: cli.micro_batch,
             batch_wait: std::time::Duration::from_micros(cli.batch_wait_us),
+            request_timeout: std::time::Duration::from_millis(cli.request_timeout_ms),
             ..ServeConfig::default()
         },
         registry,
@@ -249,7 +262,7 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
     );
     println!(
         "endpoints: POST /predict | POST /sample | POST/DELETE /models/{{name}} | \
-         GET /model /models /healthz /metrics"
+         GET /model /models /healthz /readyz /metrics"
     );
     let handle = server.start().map_err(|e| e.to_string())?;
     handle.wait();

@@ -21,6 +21,7 @@
 //! pending submission for more arrivals, then flushes whatever it has
 //! (never more than `max_batch_rows` rows per flush).
 
+use crate::deadline::Deadline;
 use crate::registry::ServingModel;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -32,7 +33,8 @@ struct Pending {
     model: Arc<ServingModel>,
     rows: Vec<f64>,
     n_rows: usize,
-    reply: mpsc::Sender<Result<Vec<u32>, String>>,
+    deadline: Deadline,
+    reply: mpsc::Sender<Result<Vec<u32>, SubmitError>>,
 }
 
 /// Why a submission was rejected.
@@ -42,6 +44,9 @@ pub enum SubmitError {
     Overloaded,
     /// The batcher has shut down.
     Closed,
+    /// The request's deadline expired while it waited in the queue; the
+    /// work was dropped at dequeue instead of computed (HTTP 504).
+    Expired,
     /// The coalesced predict call panicked (HTTP 500). The batcher thread
     /// survives — the panic is contained per flush.
     Failed(String),
@@ -65,6 +70,8 @@ pub struct BatchStats {
     pub max_requests_per_flush: AtomicU64,
     /// Submissions shed because the queue was full.
     pub shed: AtomicU64,
+    /// Submissions dropped at dequeue because their deadline had expired.
+    pub expired: AtomicU64,
 }
 
 /// The shared micro-batching queue plus its worker thread.
@@ -106,14 +113,18 @@ impl Batcher {
 
     /// Submits `rows` (row-major, `model.n_features` wide) and blocks until
     /// the coalesced predictions for exactly those rows come back.
+    /// `deadline` travels with the queued entry: if it expires before the
+    /// batcher dequeues the work, the rows are dropped uncomputed.
     ///
     /// # Errors
     /// [`SubmitError::Overloaded`] when admission would exceed the queue
-    /// bound; [`SubmitError::Closed`] after shutdown.
+    /// bound; [`SubmitError::Expired`] when the deadline lapsed in the
+    /// queue; [`SubmitError::Closed`] after shutdown.
     pub fn predict(
         &self,
         model: &Arc<ServingModel>,
         rows: Vec<f64>,
+        deadline: Deadline,
     ) -> Result<Vec<u32>, SubmitError> {
         let n_rows = rows.len() / model.n_features.max(1);
         let (tx, rx) = mpsc::channel();
@@ -131,13 +142,14 @@ impl Batcher {
                 model: Arc::clone(model),
                 rows,
                 n_rows,
+                deadline,
                 reply: tx,
             });
             self.arrived.notify_all();
         }
         match rx.recv() {
             Ok(Ok(predictions)) => Ok(predictions),
-            Ok(Err(message)) => Err(SubmitError::Failed(message)),
+            Ok(Err(e)) => Err(e),
             Err(_) => Err(SubmitError::Closed),
         }
     }
@@ -152,7 +164,7 @@ impl Batcher {
 
     fn run(&self) {
         loop {
-            let batch = {
+            let (expired, batch) = {
                 let mut q = self.queue.lock().expect("batcher lock");
                 // Park until work arrives (or shutdown).
                 while q.pending.is_empty() {
@@ -173,6 +185,21 @@ impl Batcher {
                         .expect("batcher wait");
                     q = guard;
                 }
+                // Dequeue-time deadline check: entries whose budget lapsed
+                // while queued are dropped uncomputed — predicting them
+                // would spend batch capacity on answers nobody is waiting
+                // for. The submitter gets `Expired` (HTTP 504).
+                let mut expired = Vec::new();
+                let mut i = 0;
+                while i < q.pending.len() {
+                    if q.pending[i].deadline.expired() {
+                        let p = q.pending.remove(i);
+                        q.queued_rows -= p.n_rows;
+                        expired.push(p);
+                    } else {
+                        i += 1;
+                    }
+                }
                 // Drain FIFO up to the row cap (always at least one request).
                 let mut take = 0usize;
                 let mut rows = 0usize;
@@ -184,8 +211,14 @@ impl Batcher {
                     take += 1;
                 }
                 q.queued_rows -= rows;
-                q.pending.drain(..take).collect::<Vec<Pending>>()
+                (expired, q.pending.drain(..take).collect::<Vec<Pending>>())
             };
+            self.stats
+                .expired
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            for p in expired {
+                let _ = p.reply.send(Err(SubmitError::Expired));
+            }
             self.flush(batch);
         }
     }
@@ -239,10 +272,10 @@ impl Batcher {
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "prediction panicked".into());
                     for p in group {
-                        let _ = p.reply.send(Err(format!(
+                        let _ = p.reply.send(Err(SubmitError::Failed(format!(
                             "prediction failed for '{}': {what}",
                             model.name
-                        )));
+                        ))));
                     }
                 }
             }
@@ -286,7 +319,9 @@ mod tests {
                     for i in lo..hi {
                         rows.extend_from_slice(data.row(i));
                     }
-                    let got = batcher.predict(served, rows).unwrap();
+                    let got = batcher
+                        .predict(served, rows, Deadline::unbounded())
+                        .unwrap();
                     assert_eq!(got, expected[lo..hi].to_vec());
                 });
             }
@@ -304,7 +339,7 @@ mod tests {
             rows.extend_from_slice(data.row(i));
         }
         assert_eq!(
-            batcher.predict(&served, rows),
+            batcher.predict(&served, rows, Deadline::unbounded()),
             Err(SubmitError::Overloaded),
             "3 rows must not fit a 2-row queue bound"
         );
@@ -352,13 +387,15 @@ mod tests {
             },
         });
         let batcher = Batcher::start(64, 1024, Duration::ZERO);
-        match batcher.predict(&bad, vec![0.5]) {
+        match batcher.predict(&bad, vec![0.5], Deadline::unbounded()) {
             Err(SubmitError::Failed(msg)) => assert!(msg.contains("poisoned"), "{msg}"),
             other => panic!("expected Failed, got {other:?}"),
         }
         // The batcher thread survived: a healthy model still predicts.
         let (data, served) = serving_model();
-        let got = batcher.predict(&served, data.row(0).to_vec()).unwrap();
+        let got = batcher
+            .predict(&served, data.row(0).to_vec(), Deadline::unbounded())
+            .unwrap();
         assert_eq!(got.len(), 1);
         batcher.shutdown();
     }
@@ -369,8 +406,31 @@ mod tests {
         let batcher = Batcher::start(16, 1024, Duration::ZERO);
         batcher.shutdown();
         assert_eq!(
-            batcher.predict(&served, data.row(0).to_vec()),
+            batcher.predict(&served, data.row(0).to_vec(), Deadline::unbounded()),
             Err(SubmitError::Closed)
         );
+    }
+
+    #[test]
+    fn expired_submission_dropped_at_dequeue() {
+        let (data, served) = serving_model();
+        let batcher = Batcher::start(4096, 1 << 20, Duration::ZERO);
+        let mut expired = Deadline::after(Duration::from_secs(60));
+        expired.tighten(0);
+        assert_eq!(
+            batcher.predict(&served, data.row(0).to_vec(), expired),
+            Err(SubmitError::Expired)
+        );
+        assert_eq!(batcher.stats.expired.load(Ordering::Relaxed), 1);
+        // A live deadline on the same batcher still predicts.
+        let got = batcher
+            .predict(
+                &served,
+                data.row(0).to_vec(),
+                Deadline::after(Duration::from_secs(60)),
+            )
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        batcher.shutdown();
     }
 }

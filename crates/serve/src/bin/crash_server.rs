@@ -1,0 +1,132 @@
+//! `crash_server` — a minimal store-backed `gb-serve` instance for the
+//! crash-recovery torture tests and the CI chaos-smoke job.
+//!
+//! Boots a [`gb_serve::ModelStore`] at `--dir`, scans it into a registry
+//! (quarantining corrupt files), optionally arms the store's
+//! fault-injection seam, binds the HTTP server, and prints exactly one
+//! machine-readable line to stdout:
+//!
+//! ```text
+//! READY <host:port> models=<n> quarantined=<n>
+//! ```
+//!
+//! then serves until killed. The harness parses that line for the bound
+//! address (the default `--addr 127.0.0.1:0` picks a free port) and then
+//! `kill -9`s the process at an arbitrary moment — the whole point is
+//! that there is no graceful-shutdown path to hide behind.
+//!
+//! ```text
+//! crash_server --dir DIR [--addr 127.0.0.1:0] [--request-timeout-ms 2000]
+//!              [--fault-rate P] [--fault-seed S]
+//! ```
+
+use gb_serve::{ModelRegistry, ModelStore, ServeConfig, Server};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    dir: PathBuf,
+    addr: String,
+    request_timeout_ms: u64,
+    fault_rate: f64,
+    fault_seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: PathBuf::new(),
+        addr: "127.0.0.1:0".into(),
+        request_timeout_ms: 2_000,
+        fault_rate: 0.0,
+        fault_seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match arg.as_str() {
+            "--dir" => args.dir = PathBuf::from(value(arg)?),
+            "--addr" => args.addr = value(arg)?,
+            "--request-timeout-ms" => {
+                args.request_timeout_ms = value(arg)?
+                    .parse()
+                    .map_err(|_| "bad --request-timeout-ms")?;
+            }
+            "--fault-rate" => {
+                args.fault_rate = value(arg)?.parse().map_err(|_| "bad --fault-rate")?;
+            }
+            "--fault-seed" => {
+                args.fault_seed = value(arg)?.parse().map_err(|_| "bad --fault-seed")?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.dir.as_os_str().is_empty() {
+        return Err("--dir DIR is required".into());
+    }
+    if !(0.0..=1.0).contains(&args.fault_rate) {
+        return Err("--fault-rate must be in [0, 1]".into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let store = ModelStore::open(&args.dir)
+        .map_err(|e| format!("open store {}: {e}", args.dir.display()))?;
+    let (registry, scan) = ModelRegistry::with_store(store, None)
+        .map_err(|e| format!("scan {}: {e}", args.dir.display()))?;
+    let registry = Arc::new(registry);
+    #[cfg(feature = "fault-inject")]
+    if args.fault_rate > 0.0 {
+        let store = registry.store().expect("store-backed registry");
+        store.set_fault_policy(Some(gb_serve::FaultPolicy::new(
+            args.fault_rate,
+            args.fault_seed,
+        )));
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    if args.fault_rate > 0.0 {
+        return Err("built without the fault-inject feature".into());
+    }
+    let server = Server::bind(
+        ServeConfig {
+            addr: args.addr.clone(),
+            request_timeout: Duration::from_millis(args.request_timeout_ms),
+            ..ServeConfig::default()
+        },
+        Arc::clone(&registry),
+    )
+    .map_err(|e| format!("bind {}: {e}", args.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.start().map_err(|e| e.to_string())?;
+    // One line the harness can parse; flush so it is visible before the
+    // process is SIGKILLed.
+    println!(
+        "READY {addr} models={} quarantined={}",
+        registry.len(),
+        scan.quarantined.len()
+    );
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    Ok(())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,24 @@
 //! loadgen --addr 127.0.0.1:8080 [--threads 4] [--duration-s 5]
 //!         [--batch 1] [--model default] [--models N]
 //!         [--lo 0.0] [--hi 1.0] [--seed 42]
+//!         [--chaos] [--deadline-ms MS] [--retry-budget-ms 2000]
+//!         [--max-attempts 4]
 //! ```
+//!
+//! # Chaos mode (`--chaos`)
+//!
+//! With `--chaos` each thread drives a [`RetryingClient`] instead of a
+//! bare connection: retryable failures (408/429/503/504, honoring
+//! `Retry-After`/`retry_after_ms` hints) and transport errors are retried
+//! with capped decorrelated-jitter backoff inside a per-request budget
+//! (`--retry-budget-ms`, or `--deadline-ms` when set). Only requests that
+//! exhaust the budget count as errors, so against a server with injected
+//! retryable faults — or one being killed and restarted mid-run — the
+//! expected error count is zero. The report gains `attempts`, `retries`,
+//! `gave_up` and `amplification` (wire attempts per logical request);
+//! ISSUE acceptance wants amplification < 1.2 at a 5% fault rate.
+//! `--deadline-ms` also sends `X-Deadline-Ms` so the server sheds work
+//! the client has already abandoned.
 //!
 //! # Multi-tenant mode (`--models N`)
 //!
@@ -26,7 +43,7 @@
 //! N tenants must already be registered and share one dimensionality
 //! (dims are probed from `{model}-0`).
 
-use gb_serve::HttpClient;
+use gb_serve::{HttpClient, RetryPolicy, RetryingClient};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
@@ -42,6 +59,15 @@ struct Args {
     lo: f64,
     hi: f64,
     seed: u64,
+    /// Retry-on-failure mode for fault/restart testing.
+    chaos: bool,
+    /// Per-request deadline sent as `X-Deadline-Ms` (0 = none).
+    deadline_ms: u64,
+    /// Per-request retry budget in chaos mode.
+    retry_budget_ms: u64,
+    /// Wire attempts per logical request in chaos mode. Raise together
+    /// with `--retry-budget-ms` to ride out a server restart mid-run.
+    max_attempts: u32,
 }
 
 impl Args {
@@ -76,6 +102,10 @@ fn parse_args() -> Result<Args, String> {
         lo: 0.0,
         hi: 1.0,
         seed: 42,
+        chaos: false,
+        deadline_ms: 0,
+        retry_budget_ms: 2_000,
+        max_attempts: RetryPolicy::default().max_attempts,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -97,14 +127,24 @@ fn parse_args() -> Result<Args, String> {
             "--lo" => args.lo = value(arg)?.parse().map_err(|_| "bad --lo")?,
             "--hi" => args.hi = value(arg)?.parse().map_err(|_| "bad --hi")?,
             "--seed" => args.seed = value(arg)?.parse().map_err(|_| "bad --seed")?,
+            "--chaos" => args.chaos = true,
+            "--deadline-ms" => {
+                args.deadline_ms = value(arg)?.parse().map_err(|_| "bad --deadline-ms")?;
+            }
+            "--retry-budget-ms" => {
+                args.retry_budget_ms = value(arg)?.parse().map_err(|_| "bad --retry-budget-ms")?;
+            }
+            "--max-attempts" => {
+                args.max_attempts = value(arg)?.parse().map_err(|_| "bad --max-attempts")?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if args.addr.is_empty() {
         return Err("--addr HOST:PORT is required".into());
     }
-    if args.threads == 0 || args.batch == 0 || args.models == 0 {
-        return Err("--threads, --batch and --models must be positive".into());
+    if args.threads == 0 || args.batch == 0 || args.models == 0 || args.max_attempts == 0 {
+        return Err("--threads, --batch, --models and --max-attempts must be positive".into());
     }
     Ok(args)
 }
@@ -148,13 +188,35 @@ fn batch_capacity(batch: usize, dims: usize) -> usize {
     32 + batch * (dims * 10 + 4)
 }
 
-/// Fetches the model's dimensionality from `GET /model`.
-fn model_dims(addr: &str, model: &str) -> Result<usize, String> {
-    let mut client = HttpClient::connect(addr, Duration::from_secs(5))
-        .map_err(|e| format!("connect {addr}: {e}"))?;
-    let (status, body) = client
-        .request("GET", &format!("/model?name={model}"), None)
-        .map_err(|e| format!("GET /model: {e}"))?;
+/// Fetches the model's dimensionality from `GET /model`. In chaos mode
+/// the probe itself may hit an injected fault, so it goes through the
+/// retrying client.
+fn model_dims(args: &Args, model: &str) -> Result<usize, String> {
+    let addr = &args.addr;
+    let (status, body) = if args.chaos {
+        let mut client = RetryingClient::new(
+            addr,
+            Duration::from_secs(5),
+            RetryPolicy::default(),
+            args.seed,
+        );
+        let resp = client
+            .send(
+                "GET",
+                &format!("/model?name={model}"),
+                None,
+                &[],
+                Duration::from_secs(5),
+            )
+            .map_err(|e| format!("GET /model: {e}"))?;
+        (resp.status, resp.body)
+    } else {
+        let mut client = HttpClient::connect(addr, Duration::from_secs(5))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        client
+            .request("GET", &format!("/model?name={model}"), None)
+            .map_err(|e| format!("GET /model: {e}"))?
+    };
     if status != 200 {
         return Err(format!("GET /model -> {status}: {body}"));
     }
@@ -166,17 +228,23 @@ fn model_dims(addr: &str, model: &str) -> Result<usize, String> {
     }
 }
 
+#[derive(Default)]
 struct ThreadReport {
     latencies_us: Vec<u64>,
     requests: u64,
     errors: u64,
+    /// Wire attempts (chaos mode only; 0 otherwise).
+    attempts: u64,
+    /// Retried attempts (chaos mode only).
+    retries: u64,
+    /// Logical requests that exhausted their retry budget (chaos mode).
+    gave_up: u64,
 }
 
 fn client_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> ThreadReport {
     let mut report = ThreadReport {
         latencies_us: Vec::with_capacity(1 << 16),
-        requests: 0,
-        errors: 0,
+        ..ThreadReport::default()
     };
     let Ok(mut client) = HttpClient::connect(&args.addr, Duration::from_secs(10)) else {
         report.errors += 1;
@@ -213,6 +281,59 @@ fn client_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) ->
     report
 }
 
+/// Chaos-mode closed loop: every request goes through a [`RetryingClient`]
+/// so retryable statuses and transport errors (including a server restart
+/// mid-run) are absorbed by backoff instead of counted as failures.
+fn chaos_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> ThreadReport {
+    let mut report = ThreadReport {
+        latencies_us: Vec::with_capacity(1 << 16),
+        ..ThreadReport::default()
+    };
+    let budget = Duration::from_millis(if args.deadline_ms > 0 {
+        args.deadline_ms
+    } else {
+        args.retry_budget_ms
+    });
+    let mut client = RetryingClient::new(
+        &args.addr,
+        Duration::from_secs(10),
+        RetryPolicy {
+            max_attempts: args.max_attempts,
+            ..RetryPolicy::default()
+        },
+        args.seed.wrapping_add(0x9e37 * thread_id as u64),
+    );
+    let mut state = args
+        .seed
+        .wrapping_mul(0x100_0000_01b3)
+        .wrapping_add(thread_id as u64);
+    let mut round = 0u64;
+    let headers: Vec<(&str, String)> = if args.deadline_ms > 0 {
+        vec![("X-Deadline-Ms", args.deadline_ms.to_string())]
+    } else {
+        Vec::new()
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let model = args.model_name(thread_id, round);
+        round += 1;
+        let body = predict_body(args, &model, dims, &mut state);
+        let t0 = Instant::now();
+        match client.send("POST", "/predict", Some(&body), &headers, budget) {
+            Ok(resp) if resp.status == 200 => {
+                report.requests += 1;
+                report
+                    .latencies_us
+                    .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+            Ok(_) | Err(_) => report.errors += 1,
+        }
+    }
+    report.attempts = client.stats.attempts;
+    report.retries = client.stats.retries;
+    report.gave_up = client.stats.gave_up;
+    report
+}
+
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
@@ -229,7 +350,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let dims = match model_dims(&args.addr, &args.probe_name()) {
+    let dims = match model_dims(&args, &args.probe_name()) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
@@ -243,7 +364,13 @@ fn main() {
             .map(|t| {
                 let args = &args;
                 let stop = &stop;
-                s.spawn(move |_| client_loop(args, dims, t, stop))
+                s.spawn(move |_| {
+                    if args.chaos {
+                        chaos_loop(args, dims, t, stop)
+                    } else {
+                        client_loop(args, dims, t, stop)
+                    }
+                })
             })
             .collect();
         std::thread::sleep(Duration::from_secs_f64(args.duration_s));
@@ -259,14 +386,20 @@ fn main() {
     let mut latencies: Vec<u64> = Vec::new();
     let mut requests = 0u64;
     let mut errors = 0u64;
+    let mut attempts = 0u64;
+    let mut retries = 0u64;
+    let mut gave_up = 0u64;
     for r in reports {
         latencies.extend(r.latencies_us);
         requests += r.requests;
         errors += r.errors;
+        attempts += r.attempts;
+        retries += r.retries;
+        gave_up += r.gave_up;
     }
     latencies.sort_unstable();
     let rows = requests * args.batch as u64;
-    let report = serde::Value::Obj(vec![
+    let mut report = serde::Value::Obj(vec![
         ("addr".into(), serde::Value::Str(args.addr.clone())),
         ("model".into(), serde::Value::Str(args.model.clone())),
         ("models".into(), serde::Value::Num(args.models as f64)),
@@ -306,6 +439,21 @@ fn main() {
             ]),
         ),
     ]);
+    if args.chaos {
+        // Amplification = wire attempts per logical request; the chaos
+        // acceptance gate wants < 1.2 at a 5% injected fault rate.
+        let logical = (requests + errors).max(1);
+        if let serde::Value::Obj(fields) = &mut report {
+            fields.push(("chaos".into(), serde::Value::Bool(true)));
+            fields.push(("attempts".into(), serde::Value::Num(attempts as f64)));
+            fields.push(("retries".into(), serde::Value::Num(retries as f64)));
+            fields.push(("gave_up".into(), serde::Value::Num(gave_up as f64)));
+            fields.push((
+                "amplification".into(),
+                serde::Value::Num(attempts as f64 / logical as f64),
+            ));
+        }
+    }
     println!(
         "{}",
         serde_json::to_string_pretty(&report).expect("render report")

@@ -1,12 +1,31 @@
-//! Minimal blocking HTTP/1.1 client over one keep-alive connection.
+//! Minimal blocking HTTP/1.1 client over one keep-alive connection, plus
+//! a retrying wrapper with capped exponential backoff.
 //!
 //! Used by the load generator and the integration tests; not a general
 //! client — it speaks exactly the dialect of [`crate::server`] (JSON
 //! bodies, `content-length` framing, lower-cased headers).
+//!
+//! [`RetryingClient`] implements the client half of the server's error
+//! taxonomy: transport failures and retryable statuses (408/429/503/504)
+//! are retried with **decorrelated-jitter** backoff (`sleep = min(cap,
+//! uniform(base, 3 × previous))`), floored by any server `Retry-After`
+//! hint, bounded by a per-call budget and a max attempt count. Everything
+//! else is returned as-is — a 400 will never be retried into a 400.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (UTF-8).
+    pub body: String,
+    /// Parsed `Retry-After` header (seconds), when the server sent one.
+    pub retry_after: Option<Duration>,
+}
 
 /// One keep-alive client connection.
 pub struct HttpClient {
@@ -42,9 +61,29 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.send(method, path, body, &[])
+            .map(|r| (r.status, r.body))
+    }
+
+    /// Sends one request with extra headers and returns the parsed
+    /// response including any `Retry-After` hint.
+    ///
+    /// # Errors
+    /// Socket failures, timeouts, or a malformed response.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, String)],
+    ) -> std::io::Result<ClientResponse> {
         let body = body.unwrap_or("");
+        let extra = headers
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}\r\n"))
+            .collect::<String>();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: gb-serve\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: gb-serve\r\ncontent-length: {}\r\n{extra}\r\n",
             body.len()
         );
         self.stream.write_all(head.as_bytes())?;
@@ -65,7 +104,7 @@ impl HttpClient {
         Ok(line.trim_end_matches(['\r', '\n']).to_string())
     }
 
-    fn read_response(&mut self) -> std::io::Result<(u16, String)> {
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
         let status_line = self.read_line()?;
         let status: u16 = status_line
             .split_whitespace()
@@ -78,23 +117,389 @@ impl HttpClient {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut retry_after = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse().map_err(|_| {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                     })?;
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse::<u64>().ok().map(Duration::from_secs);
                 }
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         String::from_utf8(body)
-            .map(|text| (status, text))
+            .map(|body| ClientResponse {
+                status,
+                body,
+                retry_after,
+            })
             .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+}
+
+/// Backoff tunables for [`RetryingClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per logical request (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff sleep (and the lower bound of every jittered sleep).
+    pub base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Counters a retrying client accumulates (loadgen's `--chaos` report
+/// derives retry amplification from these).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RetryStats {
+    /// Wire attempts issued (≥ logical requests).
+    pub attempts: u64,
+    /// Attempts that were retries of an earlier failure.
+    pub retries: u64,
+    /// Logical requests that exhausted attempts or budget while failing.
+    pub gave_up: u64,
+}
+
+/// True for statuses the server taxonomy marks retryable.
+#[must_use]
+pub fn retryable_status(status: u16) -> bool {
+    matches!(status, 408 | 429 | 503 | 504)
+}
+
+/// A reconnecting client that retries transport errors and retryable
+/// statuses with capped exponential backoff and decorrelated jitter.
+pub struct RetryingClient {
+    addr: String,
+    timeout: Duration,
+    policy: RetryPolicy,
+    conn: Option<HttpClient>,
+    rng: u64,
+    prev_sleep: Duration,
+    /// Accumulated attempt/retry counters.
+    pub stats: RetryStats,
+}
+
+/// SplitMix64 step for jitter (deterministic per seed).
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryingClient {
+    /// A client for `addr` with a per-attempt socket `timeout` and a
+    /// deterministic jitter stream from `seed`. No connection is opened
+    /// until the first send.
+    #[must_use]
+    pub fn new(addr: impl Into<String>, timeout: Duration, policy: RetryPolicy, seed: u64) -> Self {
+        let prev_sleep = policy.base;
+        Self {
+            addr: addr.into(),
+            timeout,
+            policy,
+            conn: None,
+            rng: seed,
+            prev_sleep,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Decorrelated jitter: `min(cap, uniform(base, 3 × previous sleep))`.
+    fn next_backoff(&mut self) -> Duration {
+        let base = self.policy.base.max(Duration::from_micros(100));
+        let hi = (self.prev_sleep * 3).max(base);
+        let span = (hi - base).as_nanos() as u64;
+        let jitter = if span == 0 {
+            0
+        } else {
+            next_u64(&mut self.rng) % span
+        };
+        let sleep = (base + Duration::from_nanos(jitter)).min(self.policy.cap);
+        self.prev_sleep = sleep;
+        sleep
+    }
+
+    /// Sends one logical request, retrying transport errors and retryable
+    /// statuses until it succeeds, attempts run out, or `budget` elapses.
+    /// Backoff sleeps are floored by the server's `Retry-After` hint when
+    /// the JSON body carries `retry_after_ms` (preferred, millisecond
+    /// precision) or the header is set.
+    ///
+    /// # Errors
+    /// The last transport error when every attempt failed at the socket
+    /// level. A response with a non-retryable (or still-failing final)
+    /// status is returned as `Ok` — inspect `status`.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, String)],
+        budget: Duration,
+    ) -> std::io::Result<ClientResponse> {
+        let give_up_at = Instant::now() + budget;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.attempts += 1;
+            let result = self.try_once(method, path, body, headers);
+            let hint = match &result {
+                Ok(resp) if !retryable_status(resp.status) => return result,
+                Ok(resp) => retry_hint(resp),
+                // Transport error: `try_once` already dropped the
+                // connection, so the next attempt redials.
+                Err(_) => None,
+            };
+            if attempt >= self.policy.max_attempts {
+                self.stats.gave_up += 1;
+                return result;
+            }
+            let sleep = match hint {
+                Some(h) => self.next_backoff().max(h),
+                None => self.next_backoff(),
+            };
+            if Instant::now() + sleep >= give_up_at {
+                self.stats.gave_up += 1;
+                return result;
+            }
+            std::thread::sleep(sleep);
+            self.stats.retries += 1;
+        }
+    }
+
+    /// One wire attempt, dialing a fresh connection if needed.
+    fn try_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, String)],
+    ) -> std::io::Result<ClientResponse> {
+        if self.conn.is_none() {
+            self.conn = Some(HttpClient::connect(self.addr.as_str(), self.timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("just connected");
+        let result = conn.send(method, path, body, headers);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+}
+
+/// Extracts the server's retry hint: the JSON body's `retry_after_ms`
+/// (millisecond precision) when present, else the `Retry-After` header.
+fn retry_hint(resp: &ClientResponse) -> Option<Duration> {
+    if let Some(ms) = resp
+        .body
+        .split("\"retry_after_ms\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.trim_start()
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse::<u64>()
+                .ok()
+        })
+    {
+        return Some(Duration::from_millis(ms));
+    }
+    resp.retry_after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// A fake server that answers each connection's requests from a
+    /// scripted list of `(status, extra_headers)` responses.
+    fn fake_server(script: Vec<(u16, &'static str)>) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let served = Arc::new(AtomicU32::new(0));
+        std::thread::spawn(move || {
+            'conns: for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { break };
+                loop {
+                    // Read until the blank line ending the request head.
+                    let mut buf = Vec::new();
+                    let mut byte = [0u8; 1];
+                    loop {
+                        match std::io::Read::read(&mut stream, &mut byte) {
+                            Ok(1) => buf.push(byte[0]),
+                            // Client hung up: wait for its reconnect.
+                            _ => continue 'conns,
+                        }
+                        if buf.ends_with(b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                    let i = served.fetch_add(1, Ordering::SeqCst) as usize;
+                    let (status, extra) = script.get(i).copied().unwrap_or((200, ""));
+                    let body = format!("{{\"i\":{i}}}");
+                    let head = format!(
+                        "HTTP/1.1 {status} X\r\ncontent-length: {}\r\n{extra}connection: keep-alive\r\n\r\n",
+                        body.len()
+                    );
+                    if stream.write_all(head.as_bytes()).is_err()
+                        || stream.write_all(body.as_bytes()).is_err()
+                    {
+                        continue 'conns;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn retries_retryable_status_until_success() {
+        let addr = fake_server(vec![(503, ""), (503, ""), (200, "")]);
+        let mut client =
+            RetryingClient::new(addr.to_string(), Duration::from_secs(5), quick_policy(), 7);
+        let resp = client
+            .send("GET", "/x", None, &[], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(client.stats.attempts, 3);
+        assert_eq!(client.stats.retries, 2);
+        assert_eq!(client.stats.gave_up, 0);
+    }
+
+    #[test]
+    fn permanent_status_is_not_retried() {
+        let addr = fake_server(vec![(400, ""), (200, "")]);
+        let mut client =
+            RetryingClient::new(addr.to_string(), Duration::from_secs(5), quick_policy(), 7);
+        let resp = client
+            .send("GET", "/x", None, &[], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 400);
+        assert_eq!(client.stats.attempts, 1);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let addr = fake_server(vec![(503, ""); 16]);
+        let mut client =
+            RetryingClient::new(addr.to_string(), Duration::from_secs(5), quick_policy(), 7);
+        let resp = client
+            .send("GET", "/x", None, &[], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(client.stats.attempts, 4);
+        assert_eq!(client.stats.gave_up, 1);
+    }
+
+    #[test]
+    fn honors_retry_after_header_as_backoff_floor() {
+        let addr = fake_server(vec![(503, "retry-after: 1\r\n"), (200, "")]);
+        let mut client =
+            RetryingClient::new(addr.to_string(), Duration::from_secs(5), quick_policy(), 7);
+        let started = Instant::now();
+        let resp = client
+            .send("GET", "/x", None, &[], Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(
+            started.elapsed() >= Duration::from_millis(900),
+            "must sleep at least the server hint, took {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn budget_bounds_total_retrying() {
+        let addr = fake_server(vec![(503, ""); 64]);
+        let mut client = RetryingClient::new(
+            addr.to_string(),
+            Duration::from_secs(5),
+            RetryPolicy {
+                max_attempts: 1000,
+                base: Duration::from_millis(20),
+                cap: Duration::from_millis(50),
+            },
+            7,
+        );
+        let started = Instant::now();
+        let resp = client
+            .send("GET", "/x", None, &[], Duration::from_millis(120))
+            .unwrap();
+        assert_eq!(resp.status, 503);
+        assert!(started.elapsed() < Duration::from_secs(2));
+        assert_eq!(client.stats.gave_up, 1);
+    }
+
+    #[test]
+    fn reconnects_after_transport_error() {
+        // Server that closes the connection after the first response:
+        // scripted 200s but keep-alive broken by dropping the stream —
+        // emulate by a listener that accepts, closes immediately once,
+        // then serves normally.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            // First connection: accept and slam shut.
+            if let Ok((stream, _)) = listener.accept() {
+                drop(stream);
+            }
+            // Second connection: one proper 200.
+            if let Ok((mut stream, _)) = listener.accept() {
+                let mut byte = [0u8; 1];
+                let mut buf = Vec::new();
+                loop {
+                    match std::io::Read::read(&mut stream, &mut byte) {
+                        Ok(1) => buf.push(byte[0]),
+                        _ => return,
+                    }
+                    if buf.ends_with(b"\r\n\r\n") {
+                        break;
+                    }
+                }
+                let _ = stream.write_all(
+                    b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\nconnection: close\r\n\r\nok",
+                );
+            }
+        });
+        let mut client =
+            RetryingClient::new(addr.to_string(), Duration::from_secs(5), quick_policy(), 7);
+        let resp = client
+            .send("GET", "/x", None, &[], Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(client.stats.retries >= 1);
     }
 }

@@ -7,9 +7,19 @@
 //! transfer encoding is intentionally unsupported — a request carrying
 //! `Transfer-Encoding` is rejected with `411 Length Required` semantics
 //! (as a [`HttpError::UnsupportedEncoding`]) rather than misparsed.
+//!
+//! Every socket read on the request path is bounded by a
+//! [`Deadline`]: the caller arms a short
+//! per-operation socket timeout and the read loops here treat each
+//! `WouldBlock`/`TimedOut` as a poll tick, returning
+//! [`HttpError::Timeout`] the moment the request deadline expires. A
+//! slow-loris client dribbling one byte per second therefore costs a
+//! worker at most the request budget, not forever.
 
+use crate::deadline::Deadline;
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 /// Maximum accepted header block size (request line + headers).
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -35,6 +45,11 @@ pub struct Request {
     /// True when the client asked to close the connection after this
     /// exchange (`Connection: close` or HTTP/1.0 without keep-alive).
     pub close: bool,
+    /// Effective per-request deadline: the server budget passed to
+    /// [`read_request`], tightened by an `X-Deadline-Ms` header if the
+    /// client sent one (a client can only shorten its budget, never
+    /// extend it).
+    pub deadline: Deadline,
 }
 
 impl Request {
@@ -53,8 +68,11 @@ impl Request {
 pub enum HttpError {
     /// The peer closed the connection before a complete request arrived.
     ConnectionClosed,
-    /// Socket-level failure or read timeout.
+    /// Socket-level failure.
     Io(std::io::Error),
+    /// The request deadline expired before the client delivered a complete
+    /// request (slow-loris guard; maps to 408).
+    Timeout,
     /// Malformed request line or header.
     Malformed(String),
     /// Header block or declared body exceeds the configured limit.
@@ -68,6 +86,9 @@ impl std::fmt::Display for HttpError {
         match self {
             HttpError::ConnectionClosed => write!(f, "connection closed"),
             HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Timeout => {
+                write!(f, "deadline expired while reading the request")
+            }
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
             HttpError::UnsupportedEncoding => {
@@ -77,7 +98,34 @@ impl std::fmt::Display for HttpError {
     }
 }
 
-fn read_line(reader: &mut BufReader<&TcpStream>, budget: &mut usize) -> Result<String, HttpError> {
+/// True for the error kinds a timed-out blocking socket read returns.
+fn is_poll_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Classifies one read error against the deadline: keep polling (`Ok`),
+/// report expiry, or propagate. With an **unbounded** deadline a socket
+/// timeout is not a poll tick — it is the caller's configured hard timeout
+/// (legacy behavior), so it propagates as `Io`.
+fn check_poll(e: std::io::Error, deadline: &Deadline) -> Result<(), HttpError> {
+    if !is_poll_timeout(&e) {
+        return Err(HttpError::Io(e));
+    }
+    match deadline.remaining() {
+        None => Err(HttpError::Io(e)),
+        Some(_) if deadline.expired() => Err(HttpError::Timeout),
+        Some(_) => Ok(()),
+    }
+}
+
+fn read_line(
+    reader: &mut BufReader<&TcpStream>,
+    budget: &mut usize,
+    deadline: &Deadline,
+) -> Result<String, HttpError> {
     let mut line = Vec::new();
     loop {
         let mut byte = [0u8; 1];
@@ -101,7 +149,7 @@ fn read_line(reader: &mut BufReader<&TcpStream>, budget: &mut usize) -> Result<S
                 }
                 line.push(byte[0]);
             }
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => check_poll(e, deadline)?,
         }
     }
 }
@@ -135,18 +183,41 @@ fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
+/// Reads exactly `buf.len()` body bytes, treating socket timeouts as
+/// deadline poll ticks (unlike `read_exact`, which would surface the first
+/// tick as a hard error).
+fn read_body(
+    reader: &mut BufReader<&TcpStream>,
+    buf: &mut [u8],
+    deadline: &Deadline,
+) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) => return Err(HttpError::Malformed("truncated body".into())),
+            Ok(n) => filled += n,
+            Err(e) => check_poll(e, deadline)?,
+        }
+    }
+    Ok(())
+}
+
 /// Reads and parses one request from `stream`. `max_body_bytes` bounds the
-/// accepted `Content-Length`.
+/// accepted `Content-Length`; `deadline` bounds how long the peer may take
+/// to deliver the complete request (the caller should arm a short socket
+/// read timeout so the deadline is actually polled).
 ///
 /// # Errors
 /// See [`HttpError`]; `ConnectionClosed` on a cleanly closed idle
-/// keep-alive connection.
+/// keep-alive connection, `Timeout` when `deadline` expires mid-request.
 pub fn read_request(
     reader: &mut BufReader<&TcpStream>,
     max_body_bytes: usize,
+    deadline: Deadline,
 ) -> Result<Request, HttpError> {
+    let mut deadline = deadline;
     let mut budget = MAX_HEADER_BYTES;
-    let request_line = read_line(reader, &mut budget)?;
+    let request_line = read_line(reader, &mut budget, &deadline)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -161,8 +232,9 @@ pub fn read_request(
 
     let mut content_length = 0usize;
     let mut close = http10;
+    let mut deadline_ms: Option<u64> = None;
     loop {
-        let line = read_line(reader, &mut budget)?;
+        let line = read_line(reader, &mut budget, &deadline)?;
         if line.is_empty() {
             break;
         }
@@ -188,8 +260,20 @@ pub fn read_request(
                     close = false;
                 }
             }
+            "x-deadline-ms" => {
+                deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| HttpError::Malformed("bad x-deadline-ms".into()))?,
+                );
+            }
             _ => {}
         }
+    }
+    // The client budget can only tighten the server's; apply it before the
+    // body read so a tight client deadline also bounds body delivery.
+    if let Some(ms) = deadline_ms {
+        deadline.tighten(ms);
     }
     if content_length > max_body_bytes {
         // Drain (bounded) what the peer is still writing before erroring.
@@ -202,8 +286,14 @@ pub fn read_request(
         while remaining > 0 {
             let want = remaining.min(sink.len());
             match reader.read(&mut sink[..want]) {
-                Ok(0) | Err(_) => break,
+                Ok(0) => break,
                 Ok(n) => remaining -= n,
+                // The drain is best-effort: stop on expiry or any failure.
+                Err(e) => {
+                    if check_poll(e, &deadline).is_err() {
+                        break;
+                    }
+                }
             }
         }
         return Err(HttpError::TooLarge(format!(
@@ -211,7 +301,7 @@ pub fn read_request(
         )));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    read_body(reader, &mut body, &deadline)?;
 
     let (path, query_str) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q),
@@ -231,6 +321,7 @@ pub fn read_request(
         query,
         body,
         close,
+        deadline,
     })
 }
 
@@ -241,6 +332,12 @@ pub struct Response {
     pub status: u16,
     /// Body bytes (JSON for every endpoint of this server).
     pub body: Vec<u8>,
+    /// When set, a `Retry-After` header is emitted (rounded **up** to
+    /// whole seconds, minimum 1, per RFC 9110). Shed responses use this so
+    /// clients can distinguish "back off and retry" from permanent
+    /// failure; the JSON body additionally carries the exact
+    /// `retry_after_ms`.
+    pub retry_after: Option<Duration>,
 }
 
 impl Response {
@@ -250,6 +347,7 @@ impl Response {
         Self {
             status,
             body: body.into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -261,8 +359,10 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             503 => "Service Unavailable",
+            504 => "Gateway Timeout",
             _ => "Internal Server Error",
         }
     }
@@ -272,11 +372,16 @@ impl Response {
     /// # Errors
     /// Propagates socket write failures.
     pub fn write_to(&self, stream: &mut impl Write, close: bool) -> std::io::Result<()> {
+        let retry_after = self.retry_after.map_or(String::new(), |d| {
+            let secs = d.as_millis().div_ceil(1000).max(1);
+            format!("retry-after: {secs}\r\n")
+        });
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
             self.status,
             self.reason(),
             self.body.len(),
+            retry_after,
             if close { "close" } else { "keep-alive" },
         );
         stream.write_all(head.as_bytes())?;
@@ -298,7 +403,7 @@ mod tests {
         client.shutdown(std::net::Shutdown::Write).unwrap();
         let (server_side, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(&server_side);
-        read_request(&mut reader, 1024)
+        read_request(&mut reader, 1024, Deadline::unbounded())
     }
 
     #[test]
@@ -341,6 +446,45 @@ mod tests {
     }
 
     #[test]
+    fn x_deadline_ms_tightens_request_deadline() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nX-Deadline-Ms: 0\r\n\r\n").unwrap();
+        assert!(req.deadline.expired());
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nX-Deadline-Ms: 60000\r\n\r\n").unwrap();
+        assert!(!req.deadline.expired());
+        assert!(req.deadline.remaining().unwrap() <= Duration::from_secs(60));
+        let err = roundtrip(b"GET /healthz HTTP/1.1\r\nX-Deadline-Ms: nope\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)));
+    }
+
+    #[test]
+    fn stalled_body_times_out_against_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        // Declare a body, send only half of it, then stall (keep the
+        // socket open so only the deadline can end the read).
+        client
+            .write_all(b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nhal")
+            .unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .unwrap();
+        let mut reader = BufReader::new(&server_side);
+        let started = std::time::Instant::now();
+        let err = read_request(
+            &mut reader,
+            1024,
+            Deadline::after(Duration::from_millis(150)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "{err}");
+        assert!(started.elapsed() >= Duration::from_millis(140));
+        assert!(started.elapsed() < Duration::from_secs(2));
+        drop(client);
+    }
+
+    #[test]
     fn response_serializes_with_length() {
         let mut buf = Vec::new();
         Response::json(200, "{\"ok\":true}".into())
@@ -350,6 +494,22 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("content-length: 11"), "{text}");
         assert!(text.contains("connection: close"), "{text}");
+        assert!(!text.contains("retry-after"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn retry_after_header_rounds_up_to_seconds() {
+        let mut response = Response::json(503, "{}".into());
+        response.retry_after = Some(Duration::from_millis(1));
+        let mut buf = Vec::new();
+        response.write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("retry-after: 1\r\n"), "{text}");
+        response.retry_after = Some(Duration::from_millis(2500));
+        let mut buf = Vec::new();
+        response.write_to(&mut buf, true).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("retry-after: 3\r\n"), "{text}");
     }
 }

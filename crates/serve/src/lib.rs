@@ -16,7 +16,8 @@
 //! | `/models/{name}` | POST | **hot-reload** a model from RdGbgModel JSON (persisted when a store is attached) |
 //! | `/models/{name}` | DELETE | remove a tenant from memory, catalog, and disk |
 //! | `/healthz` | GET | liveness + model count |
-//! | `/metrics` | GET | request counters, latency histogram, registry cache stats |
+//! | `/readyz` | GET | readiness: 200 while serving, 503 once draining; boot-scan verdict |
+//! | `/metrics` | GET | request counters, latency histogram, registry cache stats, per-code error counters |
 //!
 //! ## Micro-batching
 //!
@@ -58,20 +59,42 @@
 //! Two bounded admission gates return `503` instead of queuing
 //! unboundedly: the accept loop sheds whole connections once the worker
 //! hand-off queue reaches `backlog`, and the batcher sheds submissions
-//! once `max_queued_rows` rows are pending.
+//! once `max_queued_rows` rows are pending. Shed responses carry a
+//! `Retry-After` header and `"retryable": true` in the body.
+//!
+//! ## Resilience
+//!
+//! Every request runs under a **deadline** ([`deadline::Deadline`],
+//! default from `ServeConfig::request_timeout`, tightenable per request
+//! with `X-Deadline-Ms`): socket reads and writes, the batcher queue, and
+//! cold reloads all check the same budget, so a slow-loris client gets a
+//! `408` and work that expires queued is dropped with `504` instead of
+//! computed. Non-200 responses follow a structured taxonomy
+//! ([`errors::ServeError`]) with machine-readable codes and a
+//! retryable/permanent classification; [`client::RetryingClient`]
+//! implements the matching client side (capped exponential backoff with
+//! decorrelated jitter, honoring `Retry-After`). The model store carries a
+//! deterministic fault-injection seam ([`store::FaultPolicy`], feature
+//! `fault-inject`) that the crash-recovery torture tests drive.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod batcher;
 pub mod client;
+pub mod deadline;
+pub mod errors;
 pub mod http;
 pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod store;
 
-pub use client::HttpClient;
+pub use client::{ClientResponse, HttpClient, RetryPolicy, RetryingClient};
+pub use deadline::Deadline;
+pub use errors::{ErrorCode, ServeError};
 pub use registry::{LoadOptions, ModelRegistry, ModelStats, PublishError, ServingModel};
 pub use server::{ServeConfig, Server, ServerHandle};
+#[cfg(feature = "fault-inject")]
+pub use store::FaultPolicy;
 pub use store::{ModelStore, ScanReport};

@@ -1,5 +1,6 @@
 //! Request counters and latency histogram for `GET /metrics`.
 
+use crate::errors::ErrorStats;
 use serde::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -32,6 +33,10 @@ pub struct Metrics {
     pub server_errors: AtomicU64,
     /// 503 responses from the admission gates.
     pub shed: AtomicU64,
+    /// Per-[`crate::errors::ErrorCode`] counters (`errors_by_code` in
+    /// `GET /metrics`) — the structured view the aggregate
+    /// `client_errors`/`server_errors`/`shed` counters roll up.
+    pub errors: ErrorStats,
     /// Log2 µs histogram of end-to-end `/predict` handling latency.
     pub predict_latency: LatencyHistogram,
 }

@@ -283,6 +283,9 @@ pub struct ModelRegistry {
     /// store file and the registry entry can never disagree about which
     /// version won a race.
     publish_lock: Mutex<()>,
+    /// Files the boot scan quarantined (surfaced by `GET /readyz` so a
+    /// post-crash restart that sidelined corrupt tenants is observable).
+    boot_quarantined: usize,
     /// Cache counters (hits / cold reloads / evictions / reload latency).
     pub stats: RegistryStats,
 }
@@ -315,6 +318,7 @@ impl ModelRegistry {
                 inner: Mutex::new(inner),
                 store: Some(store),
                 budget_bytes,
+                boot_quarantined: report.quarantined.len(),
                 ..Self::default()
             },
             report,
@@ -325,6 +329,13 @@ impl ModelRegistry {
     #[must_use]
     pub fn store(&self) -> Option<&ModelStore> {
         self.store.as_ref()
+    }
+
+    /// How many files the boot scan quarantined (0 for memory-only
+    /// registries).
+    #[must_use]
+    pub fn boot_quarantined(&self) -> usize {
+        self.boot_quarantined
     }
 
     /// Rejects covers the predict path could not serve safely.

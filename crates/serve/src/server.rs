@@ -10,6 +10,8 @@
 //! [`crate::batcher`]).
 
 use crate::batcher::{Batcher, SubmitError};
+use crate::deadline::Deadline;
+use crate::errors::{ErrorCode, ServeError};
 use crate::http::{read_request, HttpError, Response};
 use crate::metrics::Metrics;
 use crate::registry::{LoadOptions, ModelRegistry, PublishError, ServingModel};
@@ -43,6 +45,13 @@ pub struct ServeConfig {
     pub batch_wait: Duration,
     /// Per-connection idle read timeout (keep-alive reaper).
     pub read_timeout: Duration,
+    /// Per-request time budget, armed when the first byte of a request
+    /// arrives and enforced on socket reads/writes, at batcher dequeue,
+    /// and before cold reloads. A slow client is rejected with 408, work
+    /// that expires queued is dropped with 504. Clients may tighten (never
+    /// extend) the budget per request with an `X-Deadline-Ms` header.
+    /// `Duration::ZERO` disables deadline enforcement.
+    pub request_timeout: Duration,
     /// Max accepted request body size.
     pub max_body_bytes: usize,
 }
@@ -58,6 +67,7 @@ impl Default for ServeConfig {
             max_queued_rows: 1 << 16,
             batch_wait: Duration::from_micros(300),
             read_timeout: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(10),
             max_body_bytes: 64 << 20,
         }
     }
@@ -167,7 +177,7 @@ impl Server {
                         if queued.fetch_add(1, Ordering::SeqCst) >= accept_ctx.config.backlog {
                             queued.fetch_sub(1, Ordering::SeqCst);
                             accept_ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
-                            shed_connection(stream);
+                            shed_connection(stream, &accept_ctx);
                             continue;
                         }
                         if tx.send(stream).is_err() {
@@ -210,18 +220,36 @@ impl ServerHandle {
     }
 }
 
-/// Writes a bare 503 to a connection shed at the door.
-fn shed_connection(mut stream: TcpStream) {
-    let body = obj(vec![(
-        "error",
-        Value::Str("server overloaded; retry later".into()),
-    )]);
-    let _ = Response::json(503, render(&body)).write_to(&mut stream, true);
+/// Writes a 503 with `Retry-After` to a connection shed at the door.
+fn shed_connection(mut stream: TcpStream, ctx: &ServerCtx) {
+    ctx.metrics.errors.record(ErrorCode::Overloaded);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = ServeError::overloaded("server overloaded; retry later")
+        .to_response()
+        .write_to(&mut stream, true);
 }
 
 /// Idle-poll granularity: how quickly a worker parked on a keep-alive
 /// connection notices shutdown.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Socket-timeout slice for reads of an **in-flight** request: each tick
+/// re-checks the request deadline, so a stalling client is bounded by the
+/// budget (408) instead of pinning a worker for the full socket timeout
+/// per byte.
+const READ_SLICE: Duration = Duration::from_millis(50);
+
+/// Arms the socket write timeout from the request's remaining budget (a
+/// small floor keeps error responses deliverable even when the deadline
+/// has already lapsed; unbounded deadlines fall back to `read_timeout` so
+/// a dead peer can never pin a worker on write either).
+fn arm_write_timeout(stream: &TcpStream, deadline: &Deadline, config: &ServeConfig) {
+    let budget = deadline
+        .remaining()
+        .unwrap_or(config.read_timeout)
+        .max(Duration::from_millis(250));
+    let _ = stream.set_write_timeout(Some(budget));
+}
 
 /// One worker serving one (keep-alive) connection to completion.
 fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
@@ -254,10 +282,21 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
                 Err(_) => return,
             }
         }
-        let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
-        match read_request(&mut reader, ctx.config.max_body_bytes) {
+        // First byte of a request has arrived: arm its deadline. With
+        // deadlines enabled, reads use short timeout slices so the budget
+        // is polled; with `request_timeout = 0` the legacy behavior holds
+        // (one hard socket timeout covering the whole read).
+        let deadline = Deadline::after(ctx.config.request_timeout);
+        let slice = if deadline.remaining().is_some() {
+            READ_SLICE
+        } else {
+            ctx.config.read_timeout
+        };
+        let _ = stream.set_read_timeout(Some(slice));
+        match read_request(&mut reader, ctx.config.max_body_bytes, deadline) {
             Ok(req) => {
                 let close = req.close;
+                arm_write_timeout(&stream, &req.deadline, &ctx.config);
                 let response = route(&req, ctx);
                 let mut out = &stream;
                 if response.write_to(&mut out, close).is_err() || close {
@@ -268,14 +307,16 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
             Err(HttpError::ConnectionClosed) => return,
             Err(HttpError::Io(_)) => return, // timeout or reset: reap
             Err(e) => {
-                let status = match e {
-                    HttpError::TooLarge(_) => 413,
-                    _ => 400,
+                let err = match e {
+                    HttpError::Timeout => ServeError::request_timeout(e.to_string()),
+                    HttpError::TooLarge(_) => {
+                        ServeError::new(ErrorCode::PayloadTooLarge, e.to_string())
+                    }
+                    _ => ServeError::bad_request(e.to_string()),
                 };
-                ctx.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-                let body = obj(vec![("error", Value::Str(e.to_string()))]);
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
                 let mut out = &stream;
-                let _ = Response::json(status, render(&body)).write_to(&mut out, true);
+                let _ = err_response(ctx, err).write_to(&mut out, true);
                 return;
             }
         }
@@ -295,7 +336,12 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     )
 }
 
-fn err_response(ctx: &ServerCtx, status: u16, message: impl Into<String>) -> Response {
+/// Counts and renders one classified error (the only path non-200
+/// responses leave the server through, so the legacy aggregate counters
+/// and the per-code counters stay consistent).
+fn err_response(ctx: &ServerCtx, err: ServeError) -> Response {
+    let status = err.code.status();
+    ctx.metrics.errors.record(err.code);
     if status == 503 {
         ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
     } else if status >= 500 {
@@ -303,10 +349,7 @@ fn err_response(ctx: &ServerCtx, status: u16, message: impl Into<String>) -> Res
     } else {
         ctx.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
     }
-    Response::json(
-        status,
-        render(&obj(vec![("error", Value::Str(message.into()))])),
-    )
+    err.to_response()
 }
 
 /// Routes one parsed request.
@@ -323,6 +366,7 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
                 ])),
             )
         }
+        ("GET", "/readyz") => readyz_endpoint(ctx),
         ("GET", "/metrics") => metrics_endpoint(ctx),
         ("GET", "/models") => models_endpoint(ctx),
         ("GET", "/model") => model_endpoint(req, ctx),
@@ -330,14 +374,48 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         ("POST", "/sample") => sample_endpoint(req, ctx),
         ("POST", path) if path.starts_with("/models/") => reload_endpoint(req, ctx),
         ("DELETE", path) if path.starts_with("/models/") => delete_endpoint(req, ctx),
-        (_, "/healthz" | "/metrics" | "/models" | "/model" | "/predict" | "/sample") => {
-            err_response(ctx, 405, format!("method {} not allowed here", req.method))
-        }
-        (_, path) if path.starts_with("/models/") => {
-            err_response(ctx, 405, format!("method {} not allowed here", req.method))
-        }
-        _ => err_response(ctx, 404, format!("no route for {}", req.path)),
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/models" | "/model" | "/predict" | "/sample",
+        ) => err_response(
+            ctx,
+            ServeError::new(
+                ErrorCode::MethodNotAllowed,
+                format!("method {} not allowed here", req.method),
+            ),
+        ),
+        (_, path) if path.starts_with("/models/") => err_response(
+            ctx,
+            ServeError::new(
+                ErrorCode::MethodNotAllowed,
+                format!("method {} not allowed here", req.method),
+            ),
+        ),
+        _ => err_response(
+            ctx,
+            ServeError::not_found(format!("no route for {}", req.path)),
+        ),
     }
+}
+
+/// `GET /readyz`: readiness (vs `/healthz` liveness). Reports 200 only
+/// while the server is accepting and routing work; flips to 503 the moment
+/// shutdown begins so a router can drain this backend. The body carries
+/// the boot-scan verdict (`boot_quarantined`) so an operator can tell a
+/// clean boot from one that sidelined corrupt tenants.
+fn readyz_endpoint(ctx: &ServerCtx) -> Response {
+    ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
+    let draining = ctx.stop.load(Ordering::SeqCst);
+    let body = obj(vec![
+        ("ready", Value::Bool(!draining)),
+        ("draining", Value::Bool(draining)),
+        ("models", Value::Num(ctx.registry.len() as f64)),
+        (
+            "boot_quarantined",
+            Value::Num(ctx.registry.boot_quarantined() as f64),
+        ),
+    ]);
+    Response::json(if draining { 503 } else { 200 }, render(&body))
 }
 
 /// `GET /models`: every tenant with its residency state, plus the cache
@@ -398,7 +476,10 @@ fn models_endpoint(ctx: &ServerCtx) -> Response {
 fn delete_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     let name = req.path.trim_start_matches("/models/");
     if name.is_empty() || name.contains('/') {
-        return err_response(ctx, 400, "model name must be a single path segment");
+        return err_response(
+            ctx,
+            ServeError::bad_request("model name must be a single path segment"),
+        );
     }
     match ctx.registry.remove(name) {
         Ok(true) => {
@@ -408,8 +489,11 @@ fn delete_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
                 render(&obj(vec![("deleted", Value::Str(name.to_string()))])),
             )
         }
-        Ok(false) => err_response(ctx, 404, format!("no model named '{name}'")),
-        Err(e) => err_response(ctx, 500, e),
+        Ok(false) => err_response(
+            ctx,
+            ServeError::not_found(format!("no model named '{name}'")),
+        ),
+        Err(e) => err_response(ctx, ServeError::store_io(e)),
     }
 }
 
@@ -463,6 +547,7 @@ fn metrics_endpoint(ctx: &ServerCtx) -> Response {
             Value::Num(m.server_errors.load(Ordering::Relaxed) as f64),
         ),
         ("shed", Value::Num(m.shed.load(Ordering::Relaxed) as f64)),
+        ("errors_by_code", m.errors.to_value()),
         (
             "batcher",
             obj(vec![
@@ -476,6 +561,10 @@ fn metrics_endpoint(ctx: &ServerCtx) -> Response {
                     Value::Num(b.max_requests_per_flush.load(Ordering::Relaxed) as f64),
                 ),
                 ("shed", Value::Num(b.shed.load(Ordering::Relaxed) as f64)),
+                (
+                    "expired",
+                    Value::Num(b.expired.load(Ordering::Relaxed) as f64),
+                ),
             ]),
         ),
         ("registry", {
@@ -529,10 +618,19 @@ fn model_stats_value(model: &ServingModel) -> Value {
 fn model_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
     let name = req.query_param("name").unwrap_or("default");
+    if req.deadline.expired() {
+        return err_response(
+            ctx,
+            ServeError::deadline_exceeded("deadline expired before model lookup"),
+        );
+    }
     match ctx.registry.acquire(name) {
         Ok(Some(model)) => Response::json(200, render(&model_stats_value(&model))),
-        Ok(None) => err_response(ctx, 404, format!("no model named '{name}'")),
-        Err(e) => err_response(ctx, 500, e),
+        Ok(None) => err_response(
+            ctx,
+            ServeError::not_found(format!("no model named '{name}'")),
+        ),
+        Err(e) => err_response(ctx, ServeError::store_io(e)),
     }
 }
 
@@ -581,23 +679,37 @@ fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     let start = Instant::now();
     let body = match parse_body(req) {
         Ok(v) => v,
-        Err(e) => return err_response(ctx, 400, e),
+        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
     };
     let name = match body.get("model") {
         Some(Value::Str(s)) => s.as_str(),
         None => "default",
-        Some(_) => return err_response(ctx, 400, "'model' must be a string"),
+        Some(_) => return err_response(ctx, ServeError::bad_request("'model' must be a string")),
     };
+    // Deadline gate before the expensive part: a request whose budget
+    // lapsed during read must not trigger a cold reload it can no longer
+    // use the result of.
+    if req.deadline.expired() {
+        return err_response(
+            ctx,
+            ServeError::deadline_exceeded("deadline expired before model acquisition"),
+        );
+    }
     // `acquire` transparently rebuilds a cold (evicted or
     // persisted-but-not-yet-loaded) tenant from the model store.
     let model = match ctx.registry.acquire(name) {
         Ok(Some(model)) => model,
-        Ok(None) => return err_response(ctx, 404, format!("no model named '{name}'")),
-        Err(e) => return err_response(ctx, 500, e),
+        Ok(None) => {
+            return err_response(
+                ctx,
+                ServeError::not_found(format!("no model named '{name}'")),
+            )
+        }
+        Err(e) => return err_response(ctx, ServeError::store_io(e)),
     };
     let rows = match extract_rows(&body, model.n_features) {
         Ok(r) => r,
-        Err(e) => return err_response(ctx, 400, e),
+        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
     };
     let n_rows = rows.len() / model.n_features;
     // Micro-batch small requests; a request at or above the flush cap is
@@ -608,13 +720,31 @@ fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         .as_ref()
         .filter(|_| n_rows < ctx.config.max_batch_rows);
     let predictions = match coalesce {
-        Some(batcher) => match batcher.predict(&model, rows) {
+        Some(batcher) => match batcher.predict(&model, rows, req.deadline) {
             Ok(p) => p,
             Err(SubmitError::Overloaded) => {
-                return err_response(ctx, 503, "prediction queue full; retry later")
+                return err_response(
+                    ctx,
+                    ServeError::overloaded("prediction queue full; retry later"),
+                )
             }
-            Err(SubmitError::Closed) => return err_response(ctx, 503, "server shutting down"),
-            Err(SubmitError::Failed(message)) => return err_response(ctx, 500, message),
+            Err(SubmitError::Closed) => {
+                return err_response(
+                    ctx,
+                    ServeError::new(ErrorCode::ShuttingDown, "server shutting down"),
+                )
+            }
+            Err(SubmitError::Expired) => {
+                return err_response(
+                    ctx,
+                    ServeError::deadline_exceeded(
+                        "deadline expired in the prediction queue; dropped at dequeue",
+                    ),
+                )
+            }
+            Err(SubmitError::Failed(message)) => {
+                return err_response(ctx, ServeError::internal(message))
+            }
         },
         None => model.predictor.predict_batch(&rows, model.n_features),
     };
@@ -640,33 +770,37 @@ fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
 fn sample_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     let body = match parse_body(req) {
         Ok(v) => v,
-        Err(e) => return err_response(ctx, 400, e),
+        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
     };
     let Some(Value::Str(csv)) = body.get("csv") else {
-        return err_response(ctx, 400, "missing 'csv' (string: headered CSV, label last)");
+        return err_response(
+            ctx,
+            ServeError::bad_request("missing 'csv' (string: headered CSV, label last)"),
+        );
     };
     let rho = match body.get("rho") {
         Some(Value::Num(n)) => *n as usize,
         None => 5,
-        Some(_) => return err_response(ctx, 400, "'rho' must be a number"),
+        Some(_) => return err_response(ctx, ServeError::bad_request("'rho' must be a number")),
     };
     if rho < 2 {
-        return err_response(ctx, 400, "'rho' must be at least 2");
+        return err_response(ctx, ServeError::bad_request("'rho' must be at least 2"));
     }
     let seed = match body.get("seed") {
         Some(Value::Num(n)) => *n as u64,
         None => 42,
-        Some(_) => return err_response(ctx, 400, "'seed' must be a number"),
+        Some(_) => return err_response(ctx, ServeError::bad_request("'seed' must be a number")),
     };
     let data = match gb_dataset::io::read_csv_str(csv, &gb_dataset::io::CsvOptions::default()) {
         Ok(d) => d,
-        Err(e) => return err_response(ctx, 400, format!("bad CSV: {e}")),
+        Err(e) => return err_response(ctx, ServeError::bad_request(format!("bad CSV: {e}"))),
     };
     if data.n_classes() < 2 {
         return err_response(
             ctx,
-            400,
-            "dataset has a single class; borderline sampling needs at least 2",
+            ServeError::bad_request(
+                "dataset has a single class; borderline sampling needs at least 2",
+            ),
         );
     }
     let sampler = gbabs::GbabsSampler {
@@ -698,25 +832,41 @@ fn sample_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
 fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     let name = req.path.trim_start_matches("/models/");
     if name.is_empty() || name.contains('/') {
-        return err_response(ctx, 400, "model name must be a single path segment");
+        return err_response(
+            ctx,
+            ServeError::bad_request("model name must be a single path segment"),
+        );
     }
     let body = match parse_body(req) {
         Ok(v) => v,
-        Err(e) => return err_response(ctx, 400, e),
+        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
     };
     let Some(model_value) = body.get("model") else {
-        return err_response(ctx, 400, "missing 'model' (RdGbgModel JSON object)");
+        return err_response(
+            ctx,
+            ServeError::bad_request("missing 'model' (RdGbgModel JSON object)"),
+        );
     };
     let k = match body.get("k") {
         Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
         None => 1,
-        Some(_) => return err_response(ctx, 400, "'k' must be a positive number"),
+        Some(_) => {
+            return err_response(
+                ctx,
+                ServeError::bad_request("'k' must be a positive number"),
+            )
+        }
     };
     let rule = match body.get("rule") {
         Some(Value::Str(s)) if s.eq_ignore_ascii_case("surface") => DistanceRule::Surface,
         Some(Value::Str(s)) if s.eq_ignore_ascii_case("center") => DistanceRule::Center,
         None => DistanceRule::Surface,
-        Some(_) => return err_response(ctx, 400, "'rule' must be 'surface' or 'center'"),
+        Some(_) => {
+            return err_response(
+                ctx,
+                ServeError::bad_request("'rule' must be 'surface' or 'center'"),
+            )
+        }
     };
     let options = LoadOptions {
         k,
@@ -730,7 +880,7 @@ fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
             ctx.metrics.reloads.fetch_add(1, Ordering::Relaxed);
             Response::json(200, render(&model_stats_value(&model)))
         }
-        Err(PublishError::Rejected(e)) => err_response(ctx, 400, e),
-        Err(e @ PublishError::Store(_)) => err_response(ctx, 500, e.to_string()),
+        Err(PublishError::Rejected(e)) => err_response(ctx, ServeError::bad_request(e)),
+        Err(e @ PublishError::Store(_)) => err_response(ctx, ServeError::store_io(e.to_string())),
     }
 }

@@ -42,6 +42,15 @@
 //! `<name>.json.quarantine` — out of the catalog, but preserved for the
 //! operator to inspect — and the boot continues; one corrupt tenant never
 //! takes the server down or hides the healthy ones.
+//!
+//! # Fault injection (feature `fault-inject`, on by default)
+//!
+//! The crash-safety story above is **tested**, not assumed: behind the
+//! `fault-inject` feature the store carries a runtime [`FaultPolicy`]
+//! seam that deterministically injects torn writes, failed fsyncs,
+//! interrupted renames, short reads, and latency into `save`/`load`. The
+//! torture tests and the CLI's `--store-fault-rate` flag drive it; build
+//! with `--no-default-features` for a binary with no injection code.
 
 use crate::registry::LoadOptions;
 use gb_dataset::index::GranulationBackend;
@@ -106,6 +115,61 @@ pub struct ScanReport {
 /// format and durability guarantees.
 pub struct ModelStore {
     dir: PathBuf,
+    /// Fault-injection seam (interior mutability so tests and the CLI can
+    /// arm it through the shared `&ModelStore` the registry hands out).
+    #[cfg(feature = "fault-inject")]
+    faults: std::sync::Mutex<FaultSeam>,
+}
+
+/// Deterministic fault-injection policy for store I/O — the test seam the
+/// crash-recovery torture suite and `--store-fault-rate` drive. Each store
+/// operation draws from a seeded generator; with probability `rate` one
+/// fault fires: on `save` a torn write (truncated bytes land on the
+/// **final** path, simulating a filesystem that broke rename atomicity), a
+/// failed fsync, an interrupted rename (temp file left behind), or
+/// injected latency; on `load` a short read or injected latency. Every
+/// failure mode must surface as a clean retryable error or a quarantine —
+/// never a silently wrong model.
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// Probability in `[0, 1]` that one store operation draws a fault.
+    pub rate: f64,
+    /// Seed for the deterministic fault schedule.
+    pub seed: u64,
+    /// Delay applied by latency faults.
+    pub latency: std::time::Duration,
+}
+
+#[cfg(feature = "fault-inject")]
+impl FaultPolicy {
+    /// A policy with the given rate and seed and a 1 ms latency fault.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64) -> Self {
+        Self {
+            rate,
+            seed,
+            latency: std::time::Duration::from_millis(1),
+        }
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+#[derive(Debug, Default)]
+struct FaultSeam {
+    policy: Option<FaultPolicy>,
+    rng: u64,
+    injected: u64,
+}
+
+/// SplitMix64 step (deterministic, dependency-free).
+#[cfg(feature = "fault-inject")]
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl ModelStore {
@@ -123,7 +187,115 @@ impl ModelStore {
                 format!("{} is not a directory", dir.display()),
             ));
         }
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            #[cfg(feature = "fault-inject")]
+            faults: std::sync::Mutex::new(FaultSeam::default()),
+        })
+    }
+
+    /// Arms (or with `None`, disarms) the fault-injection seam. The
+    /// injected-fault counter survives re-arming.
+    #[cfg(feature = "fault-inject")]
+    pub fn set_fault_policy(&self, policy: Option<FaultPolicy>) {
+        let mut seam = self.faults.lock().expect("fault seam");
+        if let Some(p) = &policy {
+            seam.rng = p.seed;
+        }
+        seam.policy = policy;
+    }
+
+    /// Total faults injected since the store was opened.
+    #[cfg(feature = "fault-inject")]
+    #[must_use]
+    pub fn injected_faults(&self) -> u64 {
+        self.faults.lock().expect("fault seam").injected
+    }
+
+    /// One Bernoulli draw against the armed policy; on a hit, returns a
+    /// deterministic 64-bit value selecting the fault kind plus the
+    /// configured latency.
+    #[cfg(feature = "fault-inject")]
+    fn draw_fault(&self) -> Option<(u64, std::time::Duration)> {
+        let mut seam = self.faults.lock().expect("fault seam");
+        let policy = seam.policy.clone()?;
+        let unit = (next_u64(&mut seam.rng) >> 11) as f64 / (1u64 << 53) as f64;
+        if unit < policy.rate {
+            seam.injected += 1;
+            Some((next_u64(&mut seam.rng), policy.latency))
+        } else {
+            None
+        }
+    }
+
+    /// Executes one drawn save-path fault. `Some(Err(..))` aborts the save
+    /// (torn write / failed fsync / interrupted rename); `None` means the
+    /// fault was pure latency and the real write should proceed.
+    #[cfg(feature = "fault-inject")]
+    fn inject_save_fault(
+        &self,
+        draw: u64,
+        latency: std::time::Duration,
+        path: &Path,
+        header: &str,
+        payload: &str,
+    ) -> Option<Result<u64, String>> {
+        match draw % 4 {
+            0 => {
+                // Torn write: a prefix of the new bytes lands on the FINAL
+                // path, clobbering the previous version — the worst case a
+                // lying filesystem can produce. Recovery must quarantine
+                // this file, never parse it.
+                let mut full = Vec::with_capacity(header.len() + payload.len());
+                full.extend_from_slice(header.as_bytes());
+                full.extend_from_slice(payload.as_bytes());
+                let cut = 1 + (draw >> 2) as usize % (full.len().max(2) - 1);
+                let _ = fs::write(path, &full[..cut]);
+                Some(Err(format!(
+                    "injected fault: torn write ({} of {} bytes) to {}",
+                    cut,
+                    full.len(),
+                    path.display()
+                )))
+            }
+            1 => Some(Err(format!(
+                "injected fault: fsync failed for {}",
+                path.display()
+            ))),
+            2 => {
+                // Interrupted rename: the temp file is fully written and
+                // durable but never renamed — the previous version must
+                // keep serving and the temp file must stay invisible.
+                let tmp = path.with_file_name(format!(
+                    ".{}.tmp",
+                    path.file_name().and_then(|n| n.to_str()).unwrap_or("t")
+                ));
+                let _ = fs::write(&tmp, format!("{header}{payload}"));
+                Some(Err(format!(
+                    "injected fault: rename interrupted for {}",
+                    path.display()
+                )))
+            }
+            _ => {
+                std::thread::sleep(latency);
+                None
+            }
+        }
+    }
+
+    /// Applies a drawn load-path fault: either truncates the bytes (short
+    /// read — verification must catch it) or sleeps.
+    #[cfg(feature = "fault-inject")]
+    fn inject_load_fault(&self, mut bytes: Vec<u8>) -> Vec<u8> {
+        if let Some((draw, latency)) = self.draw_fault() {
+            if draw % 2 == 0 {
+                let cut = (draw >> 1) as usize % bytes.len().max(1);
+                bytes.truncate(cut);
+            } else {
+                std::thread::sleep(latency);
+            }
+        }
+        bytes
     }
 
     /// The store directory.
@@ -177,6 +349,12 @@ impl ModelStore {
             fnv1a64(payload.as_bytes()),
             payload.len()
         );
+        #[cfg(feature = "fault-inject")]
+        if let Some((draw, latency)) = self.draw_fault() {
+            if let Some(result) = self.inject_save_fault(draw, latency, &path, &header, &payload) {
+                return result;
+            }
+        }
         let tmp = self.dir.join(format!(".{name}.json.tmp"));
         let io = |what: &str, e: std::io::Error| format!("{what} {}: {e}", tmp.display());
         {
@@ -205,6 +383,8 @@ impl ModelStore {
     pub fn load(&self, name: &str) -> Result<StoredEnvelope, String> {
         let path = self.path_for(name)?;
         let bytes = fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        #[cfg(feature = "fault-inject")]
+        let bytes = self.inject_load_fault(bytes);
         let payload = verify(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
         let mut envelope =
             parse_envelope(name, payload).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -556,6 +736,109 @@ mod tests {
         assert!(store.delete("gone").unwrap());
         assert!(!store.delete("gone").unwrap(), "second delete is a no-op");
         assert!(store.load("gone").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Every injected save fault must surface as a clean error whose
+    /// aftermath is recoverable: either the old version still loads, or
+    /// the file is corrupt and a scan quarantines it — never a silently
+    /// wrong model. Sweeping seeds exercises all fault kinds.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_save_faults_never_leave_a_silently_wrong_store() {
+        let dir = tempdir("faults_save");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        let options = LoadOptions::default();
+        let mut kinds_seen = std::collections::BTreeSet::new();
+        for seed in 0..32u64 {
+            // Fresh valid baseline, written with the seam disarmed.
+            store.set_fault_policy(None);
+            store.save("victim", &model, &options, 2).unwrap();
+            let baseline = store.load("victim").unwrap().model.balls.len();
+            // Rate 1.0: the very next save draws a fault deterministically.
+            store.set_fault_policy(Some(FaultPolicy::new(1.0, seed)));
+            let outcome = store.save("victim", &model, &options, 2);
+            store.set_fault_policy(None);
+            match outcome {
+                Ok(_) => kinds_seen.insert("latency"),
+                Err(e) => {
+                    assert!(e.contains("injected fault:"), "{e}");
+                    let kind = if e.contains("torn write") {
+                        "torn"
+                    } else if e.contains("fsync failed") {
+                        "fsync"
+                    } else if e.contains("rename interrupted") {
+                        "rename"
+                    } else {
+                        panic!("unknown injected fault message: {e}")
+                    };
+                    match store.load("victim") {
+                        // Old (or equivalently re-written) version intact.
+                        Ok(env) => assert_eq!(env.model.balls.len(), baseline),
+                        // Torn bytes on the final path: a clean parse error
+                        // and the boot scan must quarantine, not serve, it.
+                        Err(load_err) => {
+                            assert!(!load_err.contains("injected"), "{load_err}");
+                            let report = store.scan().unwrap();
+                            assert!(
+                                report.quarantined.iter().any(|p| p
+                                    .to_string_lossy()
+                                    .contains("victim.json.quarantine")),
+                                "{report:?}"
+                            );
+                            // Clear quarantine litter for the next round.
+                            for q in &report.quarantined {
+                                let _ = fs::remove_file(q);
+                            }
+                        }
+                    }
+                    kinds_seen.insert(kind)
+                }
+            };
+        }
+        assert!(
+            kinds_seen.len() >= 3,
+            "seed sweep should hit several distinct fault kinds, saw {kinds_seen:?}"
+        );
+        assert!(store.injected_faults() >= 32);
+        // Disarmed store is fully operational again.
+        store.save("victim", &model, &options, 2).unwrap();
+        assert!(store.load("victim").is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Injected short reads must be caught by header/checksum verification
+    /// as clean errors; the on-disk file stays valid throughout.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn injected_short_reads_fail_verification_cleanly() {
+        let dir = tempdir("faults_load");
+        let store = ModelStore::open(&dir).unwrap();
+        store
+            .save("fragile", &fixture_model(), &LoadOptions::default(), 2)
+            .unwrap();
+        let mut failures = 0;
+        for seed in 0..24u64 {
+            store.set_fault_policy(Some(FaultPolicy::new(1.0, seed)));
+            match store.load("fragile") {
+                Ok(env) => assert_eq!(env.name, "fragile"), // latency fault
+                Err(e) => {
+                    failures += 1;
+                    assert!(
+                        e.contains("truncated?")
+                            || e.contains("missing header")
+                            || e.contains("checksum mismatch")
+                            || e.contains("incomplete header")
+                            || e.contains("bad magic"),
+                        "short read must fail verification, got: {e}"
+                    );
+                }
+            }
+        }
+        assert!(failures > 0, "seed sweep never produced a short read");
+        store.set_fault_policy(None);
+        assert!(store.load("fragile").is_ok(), "disk file was never harmed");
         let _ = fs::remove_dir_all(&dir);
     }
 

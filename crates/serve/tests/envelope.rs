@@ -1,0 +1,140 @@
+//! GBSTORE1 corruption property tests: the on-disk envelope must turn
+//! **every** truncation and random bit flip into a clean load error (and a
+//! boot-scan quarantine) — never a panic, and never a silently wrong
+//! model. Truncation is exhaustive over byte offsets; bit flips are a
+//! seeded random sweep.
+
+use gb_serve::registry::LoadOptions;
+use gb_serve::ModelStore;
+use gbabs::{GranularBall, RdGbgModel};
+use std::fs;
+use std::path::PathBuf;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gb_envelope_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small hand-built cover so exhaustive truncation stays fast.
+fn tiny_model() -> RdGbgModel {
+    let ball = |center: Vec<f64>, radius: f64, label: u32| GranularBall {
+        center,
+        radius,
+        label,
+        members: vec![0, 1],
+        center_row: Some(0),
+        purity: 1.0,
+    };
+    RdGbgModel {
+        balls: vec![
+            ball(vec![0.25, 0.75], 0.125, 0),
+            ball(vec![0.625, 0.125], 0.0625, 1),
+            ball(vec![0.875, 0.875], 0.03125, 0),
+        ],
+        noise: vec![7],
+        orphan_count: 1,
+        iterations: 4,
+    }
+}
+
+/// SplitMix64 for the seeded flip sweep.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_a_clean_error() {
+    let dir = tempdir("truncate");
+    let store = ModelStore::open(&dir).unwrap();
+    store
+        .save("t", &tiny_model(), &LoadOptions::default(), 2)
+        .unwrap();
+    let path = dir.join("t.json");
+    let pristine = fs::read(&path).unwrap();
+    assert!(pristine.len() > 64, "fixture too small to be interesting");
+
+    for cut in 0..pristine.len() {
+        fs::write(&path, &pristine[..cut]).unwrap();
+        let err = store
+            .load("t")
+            .expect_err(&format!("truncation to {cut} bytes must not load"));
+        assert!(
+            !err.is_empty() && err.contains("t.json"),
+            "error must name the file: {err}"
+        );
+    }
+
+    // Spot-check the boot scan at a few representative offsets: the
+    // truncated file must be quarantined, not cataloged.
+    for cut in [0, 1, 8, pristine.len() / 2, pristine.len() - 1] {
+        fs::write(&path, &pristine[..cut]).unwrap();
+        let report = store.scan().unwrap();
+        assert!(report.found.is_empty(), "cut={cut}: {:?}", report.found);
+        assert_eq!(report.quarantined.len(), 1, "cut={cut}");
+        // Un-quarantine for the next round.
+        let _ = fs::remove_file(&report.quarantined[0]);
+    }
+
+    fs::write(&path, &pristine).unwrap();
+    assert!(store.load("t").is_ok(), "pristine bytes must still load");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn random_single_bit_flips_never_yield_a_silently_wrong_model() {
+    let dir = tempdir("bitflip");
+    let store = ModelStore::open(&dir).unwrap();
+    let model = tiny_model();
+    store.save("b", &model, &LoadOptions::default(), 2).unwrap();
+    let path = dir.join("b.json");
+    let pristine = fs::read(&path).unwrap();
+    let header_end = pristine.iter().position(|&b| b == b'\n').unwrap();
+
+    let mut rng = 0x1ce_b00da_u64;
+    let mut detected = 0u32;
+    for trial in 0..300 {
+        let pos = (next_u64(&mut rng) as usize) % pristine.len();
+        let bit = 1u8 << (next_u64(&mut rng) % 8);
+        let mut corrupt = pristine.clone();
+        corrupt[pos] ^= bit;
+        fs::write(&path, &corrupt).unwrap();
+        match store.load("b") {
+            Err(e) => {
+                detected += 1;
+                assert!(!e.is_empty(), "trial {trial}: empty error");
+            }
+            // The only legal silent survival: a flip in the header that
+            // leaves its parsed meaning intact (e.g. hex-digit case in the
+            // checksum field). The payload is checksummed, so a payload
+            // flip may never parse; and whatever loads must be exactly
+            // the model we saved.
+            Ok(env) => {
+                assert!(
+                    pos <= header_end,
+                    "trial {trial}: payload flip at byte {pos} (bit {bit:#x}) loaded anyway"
+                );
+                assert_eq!(env.model.balls.len(), model.balls.len());
+                for (a, b) in env.model.balls.iter().zip(&model.balls) {
+                    assert_eq!(a.center, b.center, "trial {trial}");
+                    assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+                    assert_eq!(a.label, b.label);
+                }
+                assert_eq!(env.model.iterations, model.iterations);
+            }
+        }
+    }
+    assert!(
+        detected > 250,
+        "almost every flip should be caught, only {detected}/300 were"
+    );
+
+    fs::write(&path, &pristine).unwrap();
+    assert!(store.load("b").is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,349 @@
+//! Crash-recovery torture: a real `crash_server` process is SIGKILLed
+//! mid-publish under predict traffic, restarted on the same `--model-dir`,
+//! and every tenant must come back either **bit-identical** to a cover the
+//! client actually attempted (acked ≤ recovered ≤ attempted, predictions
+//! matching the offline GB-kNN) or **quarantined** — never silently
+//! wrong. Each schedule is a deterministic seed controlling the kill
+//! delay and (for every third seed) an injected store-fault rate, so a
+//! failure reproduces by seed.
+//!
+//! The published covers are synthetic: `cover(c)` embeds the publish
+//! counter `c` in the model's `iterations` field, which survives the
+//! store roundtrip and is surfaced by `GET /model` — a fingerprint that
+//! tells us exactly which publish the recovered file corresponds to.
+
+use gb_serve::{HttpClient, ModelStore};
+use gbabs::{GbKnn, GranularBall, RdGbgModel};
+use serde::Serialize as _;
+use serde::Value;
+use std::fmt::Write as _;
+use std::io::BufRead as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+const TENANTS: [&str; 2] = ["alpha", "beta"];
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gb_torture_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic 2-D cover fingerprinted by the publish counter: the
+/// counter IS the `iterations` field, and ball geometry varies with it so
+/// two different counters never produce byte-identical files.
+fn cover(c: usize) -> RdGbgModel {
+    let n_balls = 3 + c % 3;
+    let balls = (0..n_balls)
+        .map(|i| GranularBall {
+            center: vec![
+                (i + 1) as f64 / (n_balls + 1) as f64,
+                (c % 7 + 1) as f64 / 8.0,
+            ],
+            radius: 0.01 * (c + 1) as f64 + 0.001 * i as f64,
+            label: ((c + i) % 2) as u32,
+            members: vec![i],
+            center_row: Some(i),
+            purity: 1.0,
+        })
+        .collect();
+    RdGbgModel {
+        balls,
+        noise: vec![],
+        orphan_count: 1,
+        iterations: c,
+    }
+}
+
+fn publish_body(model: &RdGbgModel) -> String {
+    let v = Value::Obj(vec![
+        ("model".into(), model.to_value()),
+        ("k".into(), Value::Num(1.0)),
+    ]);
+    serde_json::to_string(&v).unwrap()
+}
+
+/// Fixed probe rows every prediction check uses.
+fn probe_rows() -> Vec<Vec<f64>> {
+    (0..8)
+        .map(|i| vec![0.1 + 0.1 * i as f64, 0.9 - 0.1 * i as f64])
+        .collect()
+}
+
+fn predict_body(model: &str, rows: &[Vec<f64>]) -> String {
+    let mut body = format!("{{\"model\":\"{model}\",\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for (d, v) in row.iter().enumerate() {
+            if d > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{v}");
+        }
+        body.push(']');
+    }
+    body.push_str("]}");
+    body
+}
+
+struct Booted {
+    child: Child,
+    addr: String,
+    quarantined: usize,
+}
+
+/// Spawns `crash_server` on `dir` and parses its READY line.
+fn spawn_server(dir: &Path, fault_rate: f64, fault_seed: u64) -> Booted {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_crash_server"));
+    cmd.arg("--dir")
+        .arg(dir)
+        .arg("--request-timeout-ms")
+        .arg("2000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if fault_rate > 0.0 {
+        cmd.arg("--fault-rate")
+            .arg(fault_rate.to_string())
+            .arg("--fault-seed")
+            .arg(fault_seed.to_string());
+    }
+    let mut child = cmd.spawn().expect("spawn crash_server");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read READY line");
+    // "READY <addr> models=<n> quarantined=<q>"
+    let mut parts = line.split_whitespace();
+    assert_eq!(parts.next(), Some("READY"), "unexpected boot line: {line}");
+    let addr = parts.next().expect("addr in READY line").to_string();
+    let quarantined = parts
+        .find_map(|p| p.strip_prefix("quarantined="))
+        .and_then(|n| n.parse().ok())
+        .expect("quarantined= in READY line");
+    Booted {
+        child,
+        addr,
+        quarantined,
+    }
+}
+
+fn connect(addr: &str) -> std::io::Result<HttpClient> {
+    HttpClient::connect(addr, Duration::from_secs(2))
+}
+
+/// Per-tenant publish bookkeeping the invariant is checked against.
+#[derive(Default, Debug)]
+struct Counters {
+    /// Highest counter whose publish got a 200 back.
+    acked: usize,
+    /// Highest counter a publish was attempted with.
+    attempted: usize,
+}
+
+/// Publishes ever-increasing covers for every tenant until `stop`,
+/// reconnecting across the kill. Returns the per-tenant counters.
+fn publisher(addr: &str, stop: &AtomicBool) -> Vec<Counters> {
+    let mut counters: Vec<Counters> = TENANTS.iter().map(|_| Counters::default()).collect();
+    let mut client = connect(addr).ok();
+    let mut c = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        for (t, name) in TENANTS.iter().enumerate() {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            c += 1;
+            let Some(cl) = client.as_mut() else {
+                client = connect(addr).ok();
+                continue;
+            };
+            counters[t].attempted = c;
+            match cl.request(
+                "POST",
+                &format!("/models/{name}"),
+                Some(&publish_body(&cover(c))),
+            ) {
+                Ok((200, _)) => counters[t].acked = c,
+                Ok(_) => {}
+                Err(_) => client = None, // server gone; redial next round
+            }
+        }
+    }
+    counters
+}
+
+/// Background predict traffic; all outcomes tolerated, the point is that
+/// the kill lands while the server is actually working.
+fn predictor(addr: &str, stop: &AtomicBool) {
+    let rows = probe_rows();
+    let mut client = connect(addr).ok();
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let name = TENANTS[i % TENANTS.len()];
+        i += 1;
+        let Some(cl) = client.as_mut() else {
+            client = connect(addr).ok();
+            continue;
+        };
+        if cl
+            .request("POST", "/predict", Some(&predict_body(name, &rows)))
+            .is_err()
+        {
+            client = None;
+        }
+    }
+}
+
+fn json_num(body: &str, field: &str) -> Option<f64> {
+    let v: Value = serde_json::from_str(body).ok()?;
+    match v.get(field) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn predictions_of(body: &str) -> Vec<u32> {
+    let v: Value = serde_json::from_str(body).expect("response JSON");
+    let Some(Value::Arr(preds)) = v.get("predictions") else {
+        panic!("no predictions in {body}");
+    };
+    preds
+        .iter()
+        .map(|p| match p {
+            Value::Num(n) => *n as u32,
+            other => panic!("non-numeric prediction {other:?}"),
+        })
+        .collect()
+}
+
+/// One seeded schedule: publish under traffic, SIGKILL at a seeded
+/// moment, restart, and verify the recovery invariant for every tenant.
+fn run_schedule(seed: u64) {
+    let dir = tempdir(&format!("s{seed}"));
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xdead_beef;
+    // Every third schedule also runs with store faults injected, so the
+    // kill races against torn writes and interrupted renames too.
+    let fault_rate = if seed % 3 == 2 { 0.4 } else { 0.0 };
+    let kill_after = Duration::from_millis(20 + next_u64(&mut rng) % 131);
+
+    let mut booted = spawn_server(&dir, fault_rate, seed);
+    assert_eq!(booted.quarantined, 0, "fresh dir must boot clean");
+    let stop = AtomicBool::new(false);
+    let counters = std::thread::scope(|s| {
+        let addr = booted.addr.clone();
+        let pub_handle = {
+            let stop = &stop;
+            let addr = addr.clone();
+            s.spawn(move || publisher(&addr, stop))
+        };
+        {
+            let stop = &stop;
+            s.spawn(move || predictor(&addr, stop));
+        }
+        std::thread::sleep(kill_after);
+        booted.child.kill().expect("SIGKILL crash_server");
+        let _ = booted.child.wait();
+        stop.store(true, Ordering::Relaxed);
+        pub_handle.join().expect("publisher thread")
+    });
+
+    // Restart on the same directory, injection off: recovery itself must
+    // be deterministic and fault-free to verify.
+    let mut recovered = spawn_server(&dir, 0.0, 0);
+    let store = ModelStore::open(&dir).expect("scratch store handle");
+    let rows = probe_rows();
+    let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+    let mut client = connect(&recovered.addr).expect("connect recovered server");
+
+    for (t, name) in TENANTS.iter().enumerate() {
+        let Counters { acked, attempted } = counters[t];
+        match store.load(name) {
+            Ok(env) => {
+                let c_rec = env.model.iterations;
+                assert!(
+                    acked <= c_rec && c_rec <= attempted,
+                    "seed {seed} {name}: recovered counter {c_rec} outside \
+                     acked {acked}..=attempted {attempted}"
+                );
+                // Bit-identical to the cover the client published.
+                let expect = cover(c_rec);
+                assert_eq!(env.model.balls.len(), expect.balls.len(), "seed {seed}");
+                for (a, b) in env.model.balls.iter().zip(&expect.balls) {
+                    assert_eq!(a.center, b.center, "seed {seed} {name}");
+                    assert_eq!(a.radius.to_bits(), b.radius.to_bits());
+                    assert_eq!(a.label, b.label);
+                }
+                assert_eq!(env.options.k, 1, "seed {seed} {name}");
+                assert_eq!(env.options.rule, gbabs::DistanceRule::Surface);
+                assert_eq!(env.options.n_classes, Some(2), "seed {seed} {name}");
+                // Served model agrees: fingerprint and predictions.
+                let (status, body) = client
+                    .request("GET", &format!("/model?name={name}"), None)
+                    .expect("GET /model");
+                assert_eq!(status, 200, "seed {seed} {name}: {body}");
+                assert_eq!(
+                    json_num(&body, "iterations"),
+                    Some(c_rec as f64),
+                    "seed {seed} {name}: {body}"
+                );
+                let offline = GbKnn::from_model(&expect, 2, 1);
+                let expected = offline.predict_batch(&flat, 2);
+                let (status, body) = client
+                    .request("POST", "/predict", Some(&predict_body(name, &rows)))
+                    .expect("POST /predict");
+                assert_eq!(status, 200, "seed {seed} {name}: {body}");
+                assert_eq!(
+                    predictions_of(&body),
+                    expected,
+                    "seed {seed} {name}: served predictions diverge from offline"
+                );
+            }
+            Err(_) => {
+                // Missing or corrupt: only legal if nothing was ever acked
+                // or the boot scan quarantined the file — and the server
+                // must then 404, not serve garbage.
+                assert!(
+                    acked == 0 || recovered.quarantined > 0,
+                    "seed {seed} {name}: acked {acked} publishes but the file \
+                     is gone without a quarantine"
+                );
+                let (status, _) = client
+                    .request("GET", &format!("/model?name={name}"), None)
+                    .expect("GET /model");
+                assert_eq!(status, 404, "seed {seed} {name}");
+            }
+        }
+    }
+
+    recovered.child.kill().expect("stop recovered server");
+    let _ = recovered.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_recovery_schedules_0_to_9() {
+    for seed in 0..10 {
+        run_schedule(seed);
+    }
+}
+
+#[test]
+fn crash_recovery_schedules_10_to_19() {
+    for seed in 10..20 {
+        run_schedule(seed);
+    }
+}
