@@ -6,6 +6,11 @@
 # ZERO errors with amplification < 1.2 — and keep that contract while the
 # server is SIGKILLed and restarted mid-run.
 #
+# The server also runs with --access-log: after the chaos phases, every
+# line of the log must parse as JSON with the required fields, the ids of
+# loadgen's slowest-request report must appear in it, and the Prometheus
+# exposition must pass ci/check_prometheus.py.
+#
 # usage: chaos_smoke.sh path/to/release/bin/dir
 set -euo pipefail
 
@@ -13,11 +18,12 @@ BIN=${1:?usage: chaos_smoke.sh BIN_DIR}
 ADDR=127.0.0.1:8788
 DIR=$(mktemp -d /tmp/chaos-models.XXXXXX)
 CSV=$(mktemp /tmp/chaos-smoke.XXXXXX.csv)
+ACCESS_LOG=$(mktemp /tmp/chaos-access.XXXXXX.jsonl)
 SERVER=
 
 cleanup() {
   [ -n "$SERVER" ] && kill -9 "$SERVER" 2>/dev/null || true
-  rm -rf "$DIR" "$CSV"
+  rm -rf "$DIR" "$CSV" "$ACCESS_LOG"
 }
 trap cleanup EXIT
 
@@ -33,7 +39,8 @@ boot() {
   "$BIN/gbabs" serve "$CSV" --addr "$ADDR" \
     --model-dir "$DIR" --model-mem-budget 1 \
     --request-timeout-ms 2000 \
-    --store-fault-rate 0.05 --store-fault-seed 7 &
+    --store-fault-rate 0.05 --store-fault-seed 7 \
+    --access-log "$ACCESS_LOG" &
   SERVER=$!
   for _ in $(seq 1 100); do
     curl -sf "http://$ADDR/readyz" > /dev/null && break
@@ -99,4 +106,55 @@ boot
 wait "$LOADGEN"
 check /tmp/chaos2.json
 
-curl -sf "http://$ADDR/metrics" | python3 -m json.tool | head -40
+# sed reads all of its input (head would SIGPIPE json.tool under pipefail)
+curl -sf "http://$ADDR/metrics" -o /tmp/chaos-metrics.json
+python3 -m json.tool /tmp/chaos-metrics.json | sed -n '1,40p'
+
+echo "phase 3: access-log integrity + id correlation + prometheus lint"
+# Settle and flush: the writer thread drains asynchronously, and the
+# phase-1 half of the log died with the SIGKILLed first server (the
+# restarted one reopened the file in append mode), so only require the
+# *current* server's lines to be complete — every line must still parse.
+sleep 1
+python3 - "$ACCESS_LOG" /tmp/chaos2.json <<'EOF'
+import json, sys
+ids, lines = set(), 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        if not line.strip():
+            continue
+        lines += 1
+        r = json.loads(line)  # any torn/interleaved line throws here
+        for field in ("ts_ms", "id", "endpoint", "status", "rows",
+                      "total_us", "stages"):
+            assert field in r, (field, r)
+        for stage in ("queue_wait_us", "batch_assemble_us", "predict_us",
+                      "store_io_us", "serialize_us"):
+            assert stage in r["stages"], (stage, r)
+        ids.add(r["id"])
+assert lines > 0, "access log is empty"
+report = json.load(open(sys.argv[2]))
+slow = [s["id"] for s in report.get("slowest", [])]
+assert slow, "loadgen report has no slowest ids"
+found = [i for i in slow if i in ids]
+# The SIGKILL can eat a handful of in-flight lines; most must correlate.
+assert len(found) >= len(slow) // 2, (found, slow)
+print(f"  OK: {lines} JSON lines, {len(ids)} unique ids, "
+      f"{len(found)}/{len(slow)} loadgen slowest ids found in log")
+EOF
+
+curl -sf "http://$ADDR/metrics?format=prometheus" > /tmp/chaos-prom.txt
+python3 ci/check_prometheus.py /tmp/chaos-prom.txt
+
+# The slowest logged request must also be findable in /debug/requests.
+curl -sf "http://$ADDR/debug/requests" -o /tmp/chaos-debug.json
+python3 - /tmp/chaos-debug.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["capacity"] > 0 and r["slowest"], r
+top = r["slowest"][0]
+assert top["total_us"] > 0 and "stages" in top, top
+print(f"  OK: /debug/requests holds {len(r['slowest'])} slowest "
+      f"(top {top['total_us']} us on {top['endpoint']}), "
+      f"{len(r['errored'])} errored")
+EOF

@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition lint (PR 7 satellite).
+
+Validates the output of ``GET /metrics?format=prometheus`` against the
+text exposition format v0.0.4:
+
+* every line is a comment (``# HELP``/``# TYPE``), blank, or a sample
+  ``name{labels} value``;
+* metric and label names match the Prometheus grammar; label values are
+  double-quoted with ``\\``, ``"`` and newline escaped;
+* each family has at most one ``# TYPE``, declared before its samples,
+  with a known type;
+* no duplicate (metric name, sorted label set) series anywhere;
+* sample values parse as float (or ``+Inf``/``-Inf``/``NaN``);
+* histogram ``_bucket`` series are cumulative non-decreasing in ``le``
+  order and end with an ``+Inf`` bucket equal to ``_count``.
+
+usage: check_prometheus.py FILE   (or - / no arg for stdin)
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+errors = []
+
+
+def err(lineno, msg):
+    errors.append(f"line {lineno}: {msg}")
+
+
+def parse_labels(raw, lineno):
+    """Parses `k="v",k2="v2"` into a dict, validating escapes."""
+    labels = {}
+    i = 0
+    while i < len(raw):
+        m = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[i:])
+        if not m:
+            err(lineno, f"bad label syntax at ...{raw[i:]!r}")
+            return labels
+        name = m.group(1)
+        i += m.end()
+        value = []
+        while i < len(raw):
+            c = raw[i]
+            if c == "\\":
+                if i + 1 >= len(raw) or raw[i + 1] not in ('\\', '"', "n"):
+                    err(lineno, f"bad escape in label value of {name}")
+                    return labels
+                value.append(raw[i : i + 2])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            elif c == "\n":
+                err(lineno, f"unescaped newline in label value of {name}")
+                return labels
+            else:
+                value.append(c)
+                i += 1
+        else:
+            err(lineno, f"unterminated label value for {name}")
+            return labels
+        if name in labels:
+            err(lineno, f"repeated label {name}")
+        labels[name] = "".join(value)
+        if i < len(raw):
+            if raw[i] != ",":
+                err(lineno, f"expected ',' between labels, got {raw[i]!r}")
+                return labels
+            i += 1
+    return labels
+
+
+def parse_value(text, lineno):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}[text]
+    try:
+        return float(text)
+    except ValueError:
+        err(lineno, f"unparseable sample value {text!r}")
+        return None
+
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 and sys.argv[1] != "-" else None
+    text = open(path).read() if path else sys.stdin.read()
+
+    typed = {}          # family -> declared type
+    helped = set()      # families with # HELP
+    seen_series = set() # (name, sorted labels) -> duplicate detection
+    samples = 0
+    # histogram bookkeeping: family -> base-labelset -> [(le, value)]
+    buckets = {}
+    counts = {}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP ") :].split(None, 1)
+            if not parts or not METRIC_NAME.match(parts[0]):
+                err(lineno, f"bad HELP line: {line!r}")
+                continue
+            if parts[0] in helped:
+                err(lineno, f"duplicate HELP for {parts[0]}")
+            helped.add(parts[0])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE ") :].split()
+            if len(parts) != 2 or not METRIC_NAME.match(parts[0]):
+                err(lineno, f"bad TYPE line: {line!r}")
+                continue
+            name, kind = parts
+            if kind not in VALID_TYPES:
+                err(lineno, f"unknown type {kind!r} for {name}")
+            if name in typed:
+                err(lineno, f"duplicate TYPE for {name}")
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment: allowed
+
+        # Sample line: name[{labels}] value [timestamp]
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})?\s+(\S+)(\s+-?\d+)?$", line)
+        if not m:
+            err(lineno, f"unparseable sample line: {line!r}")
+            continue
+        name, _, rawlabels, rawvalue = m.group(1), m.group(2), m.group(3), m.group(4)
+        labels = parse_labels(rawlabels, lineno) if rawlabels else {}
+        for k in labels:
+            if not LABEL_NAME.match(k):
+                err(lineno, f"bad label name {k!r}")
+        value = parse_value(rawvalue, lineno)
+        samples += 1
+
+        family = family_of(name)
+        if family not in typed and name not in typed:
+            err(lineno, f"sample {name} has no preceding # TYPE")
+        series_key = (name, tuple(sorted(labels.items())))
+        if series_key in seen_series:
+            err(lineno, f"duplicate series {name}{dict(labels)}")
+        seen_series.add(series_key)
+
+        if typed.get(family) == "histogram" and value is not None:
+            base = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    err(lineno, f"histogram bucket without le: {line!r}")
+                else:
+                    le = parse_value(labels["le"], lineno)
+                    buckets.setdefault(family, {}).setdefault(base, []).append(
+                        (le, value, lineno)
+                    )
+            elif name.endswith("_count"):
+                counts.setdefault(family, {})[base] = (value, lineno)
+
+    # Cumulative-bucket invariants.
+    for family, per_series in buckets.items():
+        for base, entries in per_series.items():
+            entries.sort(key=lambda e: e[0])
+            prev = -math.inf
+            for le, value, lineno in entries:
+                if value < prev:
+                    err(lineno, f"{family} bucket le={le} decreases ({value} < {prev})")
+                prev = value
+            if not entries or not math.isinf(entries[-1][0]):
+                err(0, f"{family}{dict(base)} has no +Inf bucket")
+            elif family in counts and base in counts[family]:
+                total, lineno = counts[family][base]
+                if entries[-1][1] != total:
+                    err(lineno, f"{family} +Inf bucket {entries[-1][1]} != _count {total}")
+
+    if samples == 0:
+        err(0, "no samples found — empty exposition")
+    if errors:
+        print(f"FAIL: {len(errors)} problem(s) in prometheus exposition:")
+        for e in errors:
+            print(f"  {e}")
+        sys.exit(1)
+    print(
+        f"OK: {samples} samples, {len(seen_series)} series, "
+        f"{len(typed)} typed families, no duplicates"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -123,6 +123,12 @@ pub struct Cli {
     pub store_fault_rate: Option<f64>,
     /// Seed for the injected-fault schedule (`serve` only).
     pub store_fault_seed: u64,
+    /// Structured JSONL access-log target (`serve` only): a file path, or
+    /// `stderr`/`-` for standard error. `None` disables access logging.
+    pub access_log: Option<String>,
+    /// Emit per-iteration granulation progress events to stderr
+    /// (`sample` only; GBABS method).
+    pub progress: bool,
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` (or `KB`/`MB`/`GB`,
@@ -241,11 +247,13 @@ impl std::error::Error for ParseError {}
 pub const USAGE: &str = "\
 usage:
   gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S] [--backend B]
+                [--progress]
   gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
   gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
                 [--k K] [--workers W] [--no-batch] [--batch-wait MICROS]
                 [--model-dir DIR] [--model-mem-budget BYTES]
                 [--request-timeout-ms MS] [--store-fault-rate P] [--store-fault-seed S]
+                [--access-log PATH|stderr]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
          smote, borderline-smote, adasyn, tomek, cnn, enn,
@@ -280,6 +288,11 @@ options:
                       (chaos testing; requires --model-dir)
   --store-fault-seed S
                       serve: seed for the injected-fault schedule (default 42)
+  --access-log TARGET serve: write one JSON line per request (with id,
+                      tenant, status, per-stage timings) to TARGET — a
+                      file path, or stderr/- for standard error
+  --progress          sample: print per-iteration granulation progress to
+                      stderr (gbabs method only)
 ";
 
 /// Parses `args` (without the program name).
@@ -314,6 +327,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         request_timeout_ms: 10_000,
         store_fault_rate: None,
         store_fault_seed: 42,
+        access_log: None,
+        progress: false,
     };
     let mut have_input = false;
     while let Some(arg) = it.next() {
@@ -396,6 +411,8 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     .parse()
                     .map_err(|_| ParseError::BadValue(arg.clone()))?;
             }
+            "--access-log" => cli.access_log = Some(value(arg)?),
+            "--progress" => cli.progress = true,
             flag if flag.starts_with('-') => return Err(ParseError::UnknownFlag(flag.to_string())),
             path => {
                 if have_input {
@@ -641,6 +658,23 @@ mod tests {
             parse(&argv("serve data.csv --request-timeout-ms soon")),
             Err(ParseError::BadValue("--request-timeout-ms".into()))
         );
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cli = parse(&argv("serve data.csv --access-log /tmp/access.jsonl")).unwrap();
+        assert_eq!(cli.access_log, Some("/tmp/access.jsonl".into()));
+        let stderr = parse(&argv("serve data.csv --access-log stderr")).unwrap();
+        assert_eq!(stderr.access_log, Some("stderr".into()));
+        let defaults = parse(&argv("serve data.csv")).unwrap();
+        assert_eq!(defaults.access_log, None);
+        assert!(!defaults.progress);
+        assert_eq!(
+            parse(&argv("serve data.csv --access-log")),
+            Err(ParseError::BadValue("--access-log".into()))
+        );
+        let progress = parse(&argv("sample in.csv -o out.csv --progress")).unwrap();
+        assert!(progress.progress);
     }
 
     #[test]

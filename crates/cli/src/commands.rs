@@ -80,7 +80,32 @@ fn sample(cli: &Cli, data: &Dataset) -> Result<String, String> {
         ));
     }
     let sampler = build_sampler(cli.method, cli.rho, cli.ratio, cli.backend);
-    let out = sampler.sample(data, cli.seed);
+    let out = if cli.progress && cli.method == Method::Gbabs {
+        // Instrumented path: same algorithm, with per-iteration progress
+        // events printed to stderr. The sink only observes — the sampled
+        // output is bit-identical to the uninstrumented run.
+        let cfg = RdGbgConfig {
+            density_tolerance: cli.rho,
+            seed: cli.seed,
+            backend: cli.backend,
+            ..RdGbgConfig::default()
+        };
+        let mut sink = |e: &gbabs::ProgressEvent| eprintln!("{e}");
+        let res = gbabs::gbabs_with_progress(data, &cfg, Some(&mut sink));
+        gbabs::SampleResult {
+            dataset: res.sampled_dataset(data),
+            kept_rows: Some(res.sampled_rows),
+        }
+    } else {
+        if cli.progress {
+            eprintln!(
+                "note: --progress is instrumented for the gbabs method only; \
+                 running {} without progress events",
+                sampler.name()
+            );
+        }
+        sampler.sample(data, cli.seed)
+    };
     if out.dataset.n_samples() == 0 {
         return Err(format!(
             "{} produced an empty sample; nothing written",
@@ -246,6 +271,7 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
             micro_batch: cli.micro_batch,
             batch_wait: std::time::Duration::from_micros(cli.batch_wait_us),
             request_timeout: std::time::Duration::from_millis(cli.request_timeout_ms),
+            access_log: cli.access_log.clone(),
             ..ServeConfig::default()
         },
         registry,
@@ -262,8 +288,11 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
     );
     println!(
         "endpoints: POST /predict | POST /sample | POST/DELETE /models/{{name}} | \
-         GET /model /models /healthz /readyz /metrics"
+         GET /model /models /healthz /readyz /metrics /debug/requests"
     );
+    if let Some(target) = &cli.access_log {
+        println!("access log: one JSON line per request -> {target}");
+    }
     let handle = server.start().map_err(|e| e.to_string())?;
     handle.wait();
     Ok(String::new())

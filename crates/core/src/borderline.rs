@@ -26,8 +26,10 @@
 
 use crate::ball::GranularBall;
 use crate::conflict::BallConflictIndex;
-use crate::rdgbg::{rd_gbg, RdGbgConfig, RdGbgModel};
+use crate::rdgbg::{rd_gbg_with_progress, ProgressSink, RdGbgConfig, RdGbgModel};
 use gb_dataset::Dataset;
+use gb_obs::ProgressEvent;
+use std::time::Instant;
 
 /// Result of a GBABS run.
 #[derive(Debug, Clone)]
@@ -95,8 +97,46 @@ pub fn borderline_from_model(data: &Dataset, model: &RdGbgModel) -> (Vec<usize>,
 /// detection and sampling.
 #[must_use]
 pub fn gbabs(data: &Dataset, config: &RdGbgConfig) -> GbabsResult {
-    let model = rd_gbg(data, config);
+    gbabs_with_progress(data, config, None)
+}
+
+/// [`gbabs`] with an optional progress sink: the sink receives one
+/// [`ProgressEvent::Granulate`] per RD-GBG iteration and a final
+/// [`ProgressEvent::Borderline`] summary after sampling. The sink only
+/// observes — output is bit-identical with and without it.
+#[must_use]
+pub fn gbabs_with_progress(
+    data: &Dataset,
+    config: &RdGbgConfig,
+    mut progress: Option<ProgressSink<'_>>,
+) -> GbabsResult {
+    let started = Instant::now();
+    // Reborrow through a forwarding closure: `&mut dyn FnMut` is invariant
+    // in its pointee, so the sink cannot be lent to rd_gbg and reused
+    // afterwards directly.
+    let wants_progress = progress.is_some();
+    let model = {
+        let mut forward = |e: &ProgressEvent| {
+            if let Some(sink) = progress.as_mut() {
+                sink(e);
+            }
+        };
+        let sink: Option<ProgressSink<'_>> = if wants_progress {
+            Some(&mut forward)
+        } else {
+            None
+        };
+        rd_gbg_with_progress(data, config, sink)
+    };
     let (sampled_rows, borderline_balls) = borderline_from_model(data, &model);
+    if let Some(sink) = progress.as_mut() {
+        sink(&ProgressEvent::Borderline {
+            balls: model.balls.len(),
+            borderline: borderline_balls.len(),
+            sampled: sampled_rows.len(),
+            elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        });
+    }
     GbabsResult {
         sampled_rows,
         borderline_balls,

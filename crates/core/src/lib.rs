@@ -71,7 +71,12 @@ pub mod rdgbg;
 pub mod sampler;
 
 pub use ball::GranularBall;
-pub use borderline::{borderline_from_model, borderline_over_balls, gbabs, GbabsResult};
+pub use borderline::{
+    borderline_from_model, borderline_over_balls, gbabs, gbabs_with_progress, GbabsResult,
+};
+// Re-exported so downstream crates (CLI, serve) can consume progress events
+// without depending on gb-obs directly.
+pub use gb_obs::{ProgressEvent, ProgressPhase};
 pub use gbknn::{DistanceRule, GbKnn, GbKnnConfig};
-pub use rdgbg::{rd_gbg, RdGbgConfig, RdGbgModel};
+pub use rdgbg::{rd_gbg, rd_gbg_with_progress, ProgressSink, RdGbgConfig, RdGbgModel};
 pub use sampler::{GbabsSampler, NoSampling, SampleResult, Sampler};

@@ -36,7 +36,12 @@ use crate::conflict::BallConflictIndex;
 use gb_dataset::index::{GranulationBackend, NeighborIndex, RangeBound};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
+use gb_obs::ProgressEvent;
 use rand::Rng;
+use std::time::Instant;
+
+/// Optional per-iteration progress sink (see [`rd_gbg_with_progress`]).
+pub type ProgressSink<'a> = &'a mut dyn FnMut(&ProgressEvent);
 
 /// Configuration for RD-GBG.
 #[derive(Debug, Clone, Copy)]
@@ -257,6 +262,26 @@ impl ClassPool {
 /// `h == ρ` need ρ ≥ 2 to be distinguishable) or the dataset is empty.
 #[must_use]
 pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
+    rd_gbg_with_progress(data, config, None)
+}
+
+/// [`rd_gbg`] with an optional per-iteration progress sink.
+///
+/// After every global iteration the sink receives a
+/// [`ProgressEvent::Granulate`] with cumulative counts (balls created,
+/// conflict-bounded balls, noise, rows still undivided) and elapsed µs.
+/// The sink only *observes*: RNG draws, ball construction, and the
+/// produced model are bit-identical with and without it.
+///
+/// # Panics
+/// Same contract as [`rd_gbg`].
+#[must_use]
+pub fn rd_gbg_with_progress(
+    data: &Dataset,
+    config: &RdGbgConfig,
+    mut progress: Option<ProgressSink<'_>>,
+) -> RdGbgModel {
+    let started = Instant::now();
     assert!(
         config.density_tolerance >= 2,
         "density tolerance must be at least 2"
@@ -273,6 +298,7 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
     let mut noise: Vec<usize> = Vec::new();
     let mut rng = rng_from_seed(config.seed);
     let mut iterations = 0usize;
+    let mut conflict_bounded = 0usize;
 
     // T = U − L, one rank-select pool per class (rows only ever leave).
     let mut pools: Vec<ClassPool> = (0..data.n_classes())
@@ -391,6 +417,9 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
                 if config.restrict_overlap {
                     conflicts.push(c, r);
                 }
+                if bound_kind == RangeBound::Inclusive {
+                    conflict_bounded += 1;
+                }
                 balls.push(GranularBall {
                     center: c.to_vec(),
                     radius: r,
@@ -405,6 +434,18 @@ pub fn rd_gbg(data: &Dataset, config: &RdGbgConfig) -> RdGbgModel {
                 low_density[center_row] = true;
                 pools[label as usize].remove(center_row);
             }
+        }
+
+        if let Some(sink) = progress.as_mut() {
+            let remaining: usize = pools.iter().map(|p| p.count).sum();
+            sink(&ProgressEvent::Granulate {
+                iteration: u32::try_from(iterations).unwrap_or(u32::MAX),
+                balls: balls.len(),
+                conflicts: conflict_bounded,
+                noise: noise.len(),
+                remaining,
+                elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+            });
         }
     }
 

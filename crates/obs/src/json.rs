@@ -1,0 +1,155 @@
+//! Minimal JSON object builder with correct string escaping.
+//!
+//! gb-obs renders complete JSONL lines itself (it cannot depend on the
+//! vendored serde — see the crate docs), so this module provides the one
+//! thing that is easy to get wrong by hand: escaping. Output is a single
+//! flat or nested object with insertion-ordered fields.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes) into
+/// `out`: quotes, backslashes, and control characters per RFC 8259.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders an f64 the way JSON expects: no `NaN`/`inf` (both become
+/// `null`), integers without a trailing `.0`.
+pub fn render_num(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// An in-progress JSON object. Fields render in insertion order.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    out: String,
+}
+
+impl JsonObj {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.out.is_empty() {
+            self.out.push(',');
+        }
+        self.out.push('"');
+        escape_into(key, &mut self.out);
+        self.out.push_str("\":");
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('"');
+        escape_into(value, &mut self.out);
+        self.out.push('"');
+        self
+    }
+
+    /// Adds a string field, or `null` when `value` is `None`.
+    pub fn opt_str(&mut self, key: &str, value: Option<&str>) -> &mut Self {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Adds an unsigned integer field, or `null` when `value` is `None`.
+    pub fn opt_u64(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        match value {
+            Some(v) => self.num_u64(key, v),
+            None => self.null(key),
+        }
+    }
+
+    /// Adds a float field (`null` for non-finite values).
+    pub fn num_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        render_num(value, &mut self.out);
+        self
+    }
+
+    /// Adds an explicit `null` field.
+    pub fn null(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str("null");
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (e.g. a nested object built
+    /// by another `JsonObj`). The caller guarantees `raw` is valid JSON.
+    pub fn raw(&mut self, key: &str, raw: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(raw);
+        self
+    }
+
+    /// Finishes the object: `{...}`.
+    #[must_use]
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_orders_fields() {
+        let mut o = JsonObj::new();
+        o.str("id", "a\"b\\c\nd")
+            .num_u64("n", 7)
+            .num_f64("f", 1.5)
+            .num_f64("i", 3.0)
+            .null("none")
+            .raw("nested", "{\"x\":1}");
+        assert_eq!(
+            o.finish(),
+            "{\"id\":\"a\\\"b\\\\c\\nd\",\"n\":7,\"f\":1.5,\"i\":3,\"none\":null,\"nested\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut o = JsonObj::new();
+        o.num_f64("nan", f64::NAN).num_f64("inf", f64::INFINITY);
+        assert_eq!(o.finish(), "{\"nan\":null,\"inf\":null}");
+    }
+
+    #[test]
+    fn control_chars_unicode_escaped() {
+        let mut out = String::new();
+        escape_into("a\u{01}b", &mut out);
+        assert_eq!(out, "a\\u0001b");
+    }
+}

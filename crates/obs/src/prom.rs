@@ -1,0 +1,163 @@
+//! Prometheus text-exposition (v0.0.4) builder.
+//!
+//! [`PromText`] renders `# HELP` / `# TYPE` headers once per metric family
+//! and guards against duplicate `(name, labelset)` series — the two
+//! mistakes the CI exposition lint (`ci/check_prometheus.py`) rejects.
+//! Label values are escaped per the exposition grammar (`\\`, `\"`,
+//! `\n`).
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// An in-progress Prometheus text payload.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+    declared: HashSet<String>,
+    series: HashSet<String>,
+    dropped_duplicates: u64,
+}
+
+fn escape_label(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn render_value(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+impl PromText {
+    /// An empty payload.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a metric family: emits `# HELP` and `# TYPE` once.
+    /// `mtype` is one of `counter`, `gauge`, `histogram`, `summary`,
+    /// `untyped`. Re-declaring a family is a no-op.
+    pub fn metric(&mut self, name: &str, mtype: &str, help: &str) -> &mut Self {
+        if self.declared.insert(name.to_string()) {
+            let _ = writeln!(self.out, "# HELP {name} {}", help.replace('\n', " "));
+            let _ = writeln!(self.out, "# TYPE {name} {mtype}");
+        }
+        self
+    }
+
+    /// Emits one sample line `name{labels} value`. `labels` are
+    /// `(key, value)` pairs rendered in the given order; values are
+    /// escaped. `sample_name` may extend a declared family (e.g.
+    /// `x_bucket` under family `x`). A duplicate `(name, labelset)`
+    /// series is dropped (and counted) instead of emitted — duplicates
+    /// are an exposition-format violation.
+    pub fn sample(&mut self, sample_name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        // Series identity uses the *sorted* labelset: {a="1",b="2"} and
+        // {b="2",a="1"} are the same series to Prometheus.
+        let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+        sorted.sort_by_key(|(k, _)| *k);
+        let mut key = String::from(sample_name);
+        for (k, v) in &sorted {
+            let _ = write!(key, "\u{1}{k}\u{2}{v}");
+        }
+        if !self.series.insert(key) {
+            debug_assert!(false, "duplicate series: {sample_name} {labels:?}");
+            self.dropped_duplicates += 1;
+            return self;
+        }
+        self.out.push_str(sample_name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                escape_label(v, &mut self.out);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        render_value(value, &mut self.out);
+        self.out.push('\n');
+        self
+    }
+
+    /// Number of duplicate series dropped (0 in a correct exporter).
+    #[must_use]
+    pub fn dropped_duplicates(&self) -> u64 {
+        self.dropped_duplicates
+    }
+
+    /// The finished payload.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_help_type_and_samples() {
+        let mut p = PromText::new();
+        p.metric("gb_requests_total", "counter", "Total requests")
+            .sample("gb_requests_total", &[("endpoint", "/predict")], 7.0)
+            .sample("gb_requests_total", &[("endpoint", "/sample")], 2.0);
+        let text = p.finish();
+        assert!(text.contains("# HELP gb_requests_total Total requests\n"));
+        assert!(text.contains("# TYPE gb_requests_total counter\n"));
+        assert!(text.contains("gb_requests_total{endpoint=\"/predict\"} 7\n"));
+        assert!(text.contains("gb_requests_total{endpoint=\"/sample\"} 2\n"));
+    }
+
+    #[test]
+    fn escapes_label_values_and_infinity() {
+        let mut p = PromText::new();
+        p.metric("h", "histogram", "hist").sample(
+            "h_bucket",
+            &[("le", "+Inf"), ("q", "a\"b\\c")],
+            f64::INFINITY,
+        );
+        let text = p.finish();
+        assert!(text.contains("h_bucket{le=\"+Inf\",q=\"a\\\"b\\\\c\"} +Inf\n"));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn duplicate_series_dropped() {
+        let mut p = PromText::new();
+        p.metric("m", "gauge", "g")
+            .sample("m", &[("a", "1"), ("b", "2")], 1.0)
+            .sample("m", &[("b", "2"), ("a", "1")], 2.0);
+        assert_eq!(p.dropped_duplicates(), 1);
+        let text = p.finish();
+        assert_eq!(text.matches("m{").count(), 1);
+    }
+
+    #[test]
+    fn redeclaring_family_is_noop() {
+        let mut p = PromText::new();
+        p.metric("m", "gauge", "g").metric("m", "gauge", "g");
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE m gauge").count(), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Bounded debug ring: the N slowest and the N most recent errored
+//! requests, powering `GET /debug/requests`.
+//!
+//! "Slowest" is a min-heap keyed on `(total_us, seq)` so eviction drops
+//! the fastest of the retained set — the ring provably keeps the true
+//! top-N by latency regardless of insertion order. "Errored" is a plain
+//! newest-first deque of requests with status ≥ 400.
+
+use crate::span::RequestRecord;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Mutex;
+
+#[derive(Debug)]
+struct SlowEntry {
+    key: (u64, u64),
+    rec: RequestRecord,
+}
+
+impl PartialEq for SlowEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for SlowEntry {}
+impl PartialOrd for SlowEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SlowEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slowest: BinaryHeap<Reverse<SlowEntry>>,
+    errored: VecDeque<RequestRecord>,
+    seq: u64,
+}
+
+/// Bounded ring of notable requests. One mutex around two small
+/// collections — inserts are O(log N) with N the configured capacity
+/// (64 by default), far off the request hot path's critical section.
+#[derive(Debug)]
+pub struct DebugRing {
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl DebugRing {
+    /// A ring retaining up to `cap` slowest and `cap` errored requests.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records a finished request.
+    pub fn insert(&self, rec: &RequestRecord) {
+        let mut g = self.inner.lock().expect("debug ring poisoned");
+        g.seq += 1;
+        let seq = g.seq;
+        g.slowest.push(Reverse(SlowEntry {
+            key: (rec.total_us, seq),
+            rec: rec.clone(),
+        }));
+        if g.slowest.len() > self.cap {
+            g.slowest.pop(); // drops the fastest retained entry
+        }
+        if rec.status >= 400 {
+            g.errored.push_front(rec.clone());
+            g.errored.truncate(self.cap);
+        }
+    }
+
+    /// Snapshot: `(slowest, errored)` — slowest sorted descending by
+    /// latency, errored newest-first.
+    #[must_use]
+    pub fn snapshot(&self) -> (Vec<RequestRecord>, Vec<RequestRecord>) {
+        let g = self.inner.lock().expect("debug ring poisoned");
+        let mut slow: Vec<&SlowEntry> = g.slowest.iter().map(|r| &r.0).collect();
+        slow.sort_by_key(|e| std::cmp::Reverse(e.key));
+        (
+            slow.into_iter().map(|e| e.rec.clone()).collect(),
+            g.errored.iter().cloned().collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::N_STAGES;
+
+    fn rec(id: &str, total_us: u64, status: u16) -> RequestRecord {
+        RequestRecord {
+            ts_unix_ms: 0,
+            id: id.into(),
+            tenant: None,
+            endpoint: "/predict".into(),
+            status,
+            code: None,
+            rows: 1,
+            total_us,
+            stage_us: [0; N_STAGES],
+            deadline_remaining_ms: None,
+        }
+    }
+
+    #[test]
+    fn keeps_true_top_n_slowest() {
+        let ring = DebugRing::new(4);
+        // Insert 100 records with latencies 0..100 in shuffled-ish order.
+        for i in 0..100u64 {
+            let lat = (i * 37) % 100;
+            ring.insert(&rec(&format!("r-{lat}"), lat, 200));
+        }
+        let (slow, err) = ring.snapshot();
+        assert!(err.is_empty());
+        let got: Vec<u64> = slow.iter().map(|r| r.total_us).collect();
+        assert_eq!(got, vec![99, 98, 97, 96]);
+    }
+
+    #[test]
+    fn errored_is_newest_first_and_bounded() {
+        let ring = DebugRing::new(3);
+        for i in 0..5u64 {
+            ring.insert(&rec(&format!("e-{i}"), i, 500));
+        }
+        let (_, err) = ring.snapshot();
+        let ids: Vec<&str> = err.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["e-4", "e-3", "e-2"]);
+    }
+
+    #[test]
+    fn concurrent_insert_keeps_top_n() {
+        use std::sync::Arc;
+        let ring = Arc::new(DebugRing::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = Arc::clone(&ring);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let lat = t * 250 + i;
+                    ring.insert(&rec(&format!("c-{lat}"), lat, 200));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (slow, _) = ring.snapshot();
+        let got: Vec<u64> = slow.iter().map(|r| r.total_us).collect();
+        assert_eq!(got, (992..1000).rev().collect::<Vec<u64>>());
+    }
+}

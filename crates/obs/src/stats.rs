@@ -1,0 +1,53 @@
+//! Shared percentile helpers.
+//!
+//! One definition used by both the server (histogram interpolation lives
+//! in `gb-serve`) and loadgen's exact-sample report, so the two sides of a
+//! benchmark table agree on what "p99" means.
+
+/// Percentile of a **sorted ascending** µs sample set, by linear
+/// interpolation between closest order statistics (the "linear" /
+/// R-7 method). `q` in `[0, 1]`. Returns 0 for an empty slice.
+#[must_use]
+pub fn percentile_sorted_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0] as f64;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] as f64 + (sorted[hi] as f64 - sorted[lo] as f64) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(percentile_sorted_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_sorted_us(&[42], 0.99), 42.0);
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let v: Vec<u64> = (0..=100).collect(); // 0..100 inclusive
+        assert_eq!(percentile_sorted_us(&v, 0.0), 0.0);
+        assert_eq!(percentile_sorted_us(&v, 0.5), 50.0);
+        assert_eq!(percentile_sorted_us(&v, 0.9), 90.0);
+        assert_eq!(percentile_sorted_us(&v, 1.0), 100.0);
+        let pair = [10u64, 20];
+        assert_eq!(percentile_sorted_us(&pair, 0.5), 15.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range_q() {
+        let v = [1u64, 2, 3];
+        assert_eq!(percentile_sorted_us(&v, -1.0), 1.0);
+        assert_eq!(percentile_sorted_us(&v, 2.0), 3.0);
+    }
+}

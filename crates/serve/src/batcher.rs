@@ -26,7 +26,7 @@ use crate::registry::ServingModel;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One submitted prediction request.
 struct Pending {
@@ -34,7 +34,23 @@ struct Pending {
     rows: Vec<f64>,
     n_rows: usize,
     deadline: Deadline,
-    reply: mpsc::Sender<Result<Vec<u32>, SubmitError>>,
+    submitted: Instant,
+    reply: mpsc::Sender<Result<BatchOutcome, SubmitError>>,
+}
+
+/// A successful batched prediction plus the stage timings observability
+/// needs: how long the submission waited in the queue, its share of the
+/// flush's row-coalescing time, and its share of the predict call.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Predicted labels for exactly the submitted rows, in row order.
+    pub predictions: Vec<u32>,
+    /// µs between submission and the flush picking the entry up.
+    pub queue_wait_us: u64,
+    /// µs the flush spent concatenating this entry's group's feature rows.
+    pub batch_assemble_us: u64,
+    /// µs inside `predict_batch` for this entry's group.
+    pub predict_us: u64,
 }
 
 /// Why a submission was rejected.
@@ -72,6 +88,10 @@ pub struct BatchStats {
     pub shed: AtomicU64,
     /// Submissions dropped at dequeue because their deadline had expired.
     pub expired: AtomicU64,
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 /// The shared micro-batching queue plus its worker thread.
@@ -125,7 +145,7 @@ impl Batcher {
         model: &Arc<ServingModel>,
         rows: Vec<f64>,
         deadline: Deadline,
-    ) -> Result<Vec<u32>, SubmitError> {
+    ) -> Result<BatchOutcome, SubmitError> {
         let n_rows = rows.len() / model.n_features.max(1);
         let (tx, rx) = mpsc::channel();
         {
@@ -143,12 +163,13 @@ impl Batcher {
                 rows,
                 n_rows,
                 deadline,
+                submitted: Instant::now(),
                 reply: tx,
             });
             self.arrived.notify_all();
         }
         match rx.recv() {
-            Ok(Ok(predictions)) => Ok(predictions),
+            Ok(Ok(outcome)) => Ok(outcome),
             Ok(Err(e)) => Err(e),
             Err(_) => Err(SubmitError::Closed),
         }
@@ -240,29 +261,43 @@ impl Batcher {
                 None => groups.push((Arc::clone(&p.model), vec![p])),
             }
         }
+        let dequeued = Instant::now();
         for (model, group) in groups {
             let total_rows: usize = group.iter().map(|p| p.n_rows).sum();
             self.stats
                 .rows
                 .fetch_add(total_rows as u64, Ordering::Relaxed);
+            let assemble_start = Instant::now();
             let mut features = Vec::with_capacity(total_rows * model.n_features);
             for p in &group {
                 features.extend_from_slice(&p.rows);
             }
+            let assemble_us = elapsed_us(assemble_start);
             // Contain a panicking predict (e.g. a model whose geometry
             // slipped past validation): the batch fails with a message, the
             // batcher thread lives on, and later flushes are unaffected.
+            let predict_start = Instant::now();
             let predictions = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 model.predictor.predict_batch(&features, model.n_features)
             }));
+            let predict_us = elapsed_us(predict_start);
             match predictions {
                 Ok(predictions) => {
                     let mut offset = 0;
                     for p in group {
                         let slice = predictions[offset..offset + p.n_rows].to_vec();
                         offset += p.n_rows;
+                        let queue_wait_us = u64::try_from(
+                            dequeued.saturating_duration_since(p.submitted).as_micros(),
+                        )
+                        .unwrap_or(u64::MAX);
                         // A dropped receiver (client gone) is not an error.
-                        let _ = p.reply.send(Ok(slice));
+                        let _ = p.reply.send(Ok(BatchOutcome {
+                            predictions: slice,
+                            queue_wait_us,
+                            batch_assemble_us: assemble_us,
+                            predict_us,
+                        }));
                     }
                 }
                 Err(panic) => {
@@ -322,7 +357,7 @@ mod tests {
                     let got = batcher
                         .predict(served, rows, Deadline::unbounded())
                         .unwrap();
-                    assert_eq!(got, expected[lo..hi].to_vec());
+                    assert_eq!(got.predictions, expected[lo..hi].to_vec());
                 });
             }
         });
@@ -396,7 +431,7 @@ mod tests {
         let got = batcher
             .predict(&served, data.row(0).to_vec(), Deadline::unbounded())
             .unwrap();
-        assert_eq!(got.len(), 1);
+        assert_eq!(got.predictions.len(), 1);
         batcher.shutdown();
     }
 
@@ -430,7 +465,7 @@ mod tests {
                 Deadline::after(Duration::from_secs(60)),
             )
             .unwrap();
-        assert_eq!(got.len(), 1);
+        assert_eq!(got.predictions.len(), 1);
         batcher.shutdown();
     }
 }

@@ -7,6 +7,12 @@
 //! `--lo..--hi` cube) so runs are reproducible; the report is one JSON
 //! object on stdout with throughput and latency percentiles.
 //!
+//! Every request is stamped with a deterministic `X-Request-Id`
+//! (`lg-{seed:x}-{thread}-{round:x}`), and the report lists the ids of
+//! the slowest requests observed, so outliers in the report can be joined
+//! against the server's access log and `GET /debug/requests` for a
+//! per-stage breakdown.
+//!
 //! ```text
 //! loadgen --addr 127.0.0.1:8080 [--threads 4] [--duration-s 5]
 //!         [--batch 1] [--model default] [--models N]
@@ -43,10 +49,24 @@
 //! N tenants must already be registered and share one dimensionality
 //! (dims are probed from `{model}-0`).
 
+use gb_obs::percentile_sorted_us;
 use gb_serve::{HttpClient, RetryPolicy, RetryingClient};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// How many slowest requests each thread remembers (and the report
+/// surfaces after the cross-thread merge). The ids let an operator join
+/// the report's outliers against the server's access log and
+/// `GET /debug/requests`.
+const SLOWEST_KEEP: usize = 8;
+
+/// The deterministic `X-Request-Id` loadgen stamps on request `round` of
+/// thread `thread_id`: `lg-{seed:x}-{thread}-{round:x}`. Reproducible, so
+/// a rerun with the same seed produces the same ids.
+fn request_id(seed: u64, thread_id: usize, round: u64) -> String {
+    format!("lg-{seed:x}-{thread_id}-{round:x}")
+}
 
 struct Args {
     addr: String,
@@ -231,6 +251,9 @@ fn model_dims(args: &Args, model: &str) -> Result<usize, String> {
 #[derive(Default)]
 struct ThreadReport {
     latencies_us: Vec<u64>,
+    /// The thread's [`SLOWEST_KEEP`] slowest requests as
+    /// `(latency_us, request_id)`, unordered until the final merge.
+    slowest: Vec<(u64, String)>,
     requests: u64,
     errors: u64,
     /// Wire attempts (chaos mode only; 0 otherwise).
@@ -239,6 +262,20 @@ struct ThreadReport {
     retries: u64,
     /// Logical requests that exhausted their retry budget (chaos mode).
     gave_up: u64,
+}
+
+impl ThreadReport {
+    /// Records one successful request, keeping the slowest-N set bounded.
+    fn record(&mut self, latency_us: u64, id: String) {
+        self.requests += 1;
+        self.latencies_us.push(latency_us);
+        self.slowest.push((latency_us, id));
+        if self.slowest.len() > SLOWEST_KEEP * 2 {
+            self.slowest
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+            self.slowest.truncate(SLOWEST_KEEP);
+        }
+    }
 }
 
 fn client_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> ThreadReport {
@@ -257,17 +294,17 @@ fn client_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) ->
     let mut round = 0u64;
     while !stop.load(Ordering::Relaxed) {
         let model = args.model_name(thread_id, round);
+        let id = request_id(args.seed, thread_id, round);
         round += 1;
         let body = predict_body(args, &model, dims, &mut state);
+        let headers = [("X-Request-Id", id.clone())];
         let t0 = Instant::now();
-        match client.request("POST", "/predict", Some(&body)) {
-            Ok((200, _)) => {
-                report.requests += 1;
-                report
-                    .latencies_us
-                    .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        match client.send("POST", "/predict", Some(&body), &headers) {
+            Ok(resp) if resp.status == 200 => {
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                report.record(us, id);
             }
-            Ok((_, _)) => report.errors += 1,
+            Ok(_) => report.errors += 1,
             Err(_) => {
                 report.errors += 1;
                 // Reconnect once; the server may have reaped an idle socket.
@@ -308,22 +345,20 @@ fn chaos_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> 
         .wrapping_mul(0x100_0000_01b3)
         .wrapping_add(thread_id as u64);
     let mut round = 0u64;
-    let headers: Vec<(&str, String)> = if args.deadline_ms > 0 {
-        vec![("X-Deadline-Ms", args.deadline_ms.to_string())]
-    } else {
-        Vec::new()
-    };
     while !stop.load(Ordering::Relaxed) {
         let model = args.model_name(thread_id, round);
+        let id = request_id(args.seed, thread_id, round);
         round += 1;
         let body = predict_body(args, &model, dims, &mut state);
+        let mut headers: Vec<(&str, String)> = vec![("X-Request-Id", id.clone())];
+        if args.deadline_ms > 0 {
+            headers.push(("X-Deadline-Ms", args.deadline_ms.to_string()));
+        }
         let t0 = Instant::now();
         match client.send("POST", "/predict", Some(&body), &headers, budget) {
             Ok(resp) if resp.status == 200 => {
-                report.requests += 1;
-                report
-                    .latencies_us
-                    .push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                report.record(us, id);
             }
             Ok(_) | Err(_) => report.errors += 1,
         }
@@ -334,12 +369,11 @@ fn chaos_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> 
     report
 }
 
+/// Percentile over exact sorted samples, reported in milliseconds. The
+/// interpolation lives in `gb-obs` so server-side estimates and loadgen
+/// reports share one definition.
 fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+    percentile_sorted_us(sorted_us, p) / 1000.0
 }
 
 fn main() {
@@ -384,6 +418,7 @@ fn main() {
     let elapsed = started.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = Vec::new();
+    let mut slowest: Vec<(u64, String)> = Vec::new();
     let mut requests = 0u64;
     let mut errors = 0u64;
     let mut attempts = 0u64;
@@ -391,6 +426,7 @@ fn main() {
     let mut gave_up = 0u64;
     for r in reports {
         latencies.extend(r.latencies_us);
+        slowest.extend(r.slowest);
         requests += r.requests;
         errors += r.errors;
         attempts += r.attempts;
@@ -398,6 +434,8 @@ fn main() {
         gave_up += r.gave_up;
     }
     latencies.sort_unstable();
+    slowest.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+    slowest.truncate(SLOWEST_KEEP);
     let rows = requests * args.batch as u64;
     let mut report = serde::Value::Obj(vec![
         ("addr".into(), serde::Value::Str(args.addr.clone())),
@@ -437,6 +475,20 @@ fn main() {
                     serde::Value::Num(latencies.last().map_or(0.0, |&v| v as f64 / 1000.0)),
                 ),
             ]),
+        ),
+        (
+            "slowest".into(),
+            serde::Value::Arr(
+                slowest
+                    .iter()
+                    .map(|(us, id)| {
+                        serde::Value::Obj(vec![
+                            ("id".into(), serde::Value::Str(id.clone())),
+                            ("ms".into(), serde::Value::Num(*us as f64 / 1000.0)),
+                        ])
+                    })
+                    .collect(),
+            ),
         ),
     ]);
     if args.chaos {

@@ -25,6 +25,11 @@ pub struct ClientResponse {
     pub body: String,
     /// Parsed `Retry-After` header (seconds), when the server sent one.
     pub retry_after: Option<Duration>,
+    /// `X-Request-Id` response header: the id the server logged this
+    /// request under (echoed when the client sent one, generated
+    /// otherwise) — the join key into the access log and
+    /// `/debug/requests`.
+    pub request_id: Option<String>,
 }
 
 /// One keep-alive client connection.
@@ -118,6 +123,7 @@ impl HttpClient {
             })?;
         let mut content_length = 0usize;
         let mut retry_after = None;
+        let mut request_id = None;
         loop {
             let line = self.read_line()?;
             if line.is_empty() {
@@ -131,6 +137,11 @@ impl HttpClient {
                     })?;
                 } else if name.eq_ignore_ascii_case("retry-after") {
                     retry_after = value.trim().parse::<u64>().ok().map(Duration::from_secs);
+                } else if name.eq_ignore_ascii_case("x-request-id") {
+                    let id = value.trim();
+                    if !id.is_empty() {
+                        request_id = Some(id.to_string());
+                    }
                 }
             }
         }
@@ -141,6 +152,7 @@ impl HttpClient {
                 status,
                 body,
                 retry_after,
+                request_id,
             })
             .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
     }

@@ -195,11 +195,26 @@ impl ServeError {
     /// `Retry-After` header on shed-class errors.
     #[must_use]
     pub fn to_response(&self) -> Response {
+        self.render(None)
+    }
+
+    /// [`ServeError::to_response`] with the request id stamped into both
+    /// the JSON body (`request_id` field) and the `X-Request-Id` response
+    /// header, so a failed call is correlatable with the access log.
+    #[must_use]
+    pub fn to_response_with_id(&self, request_id: &str) -> Response {
+        self.render(Some(request_id))
+    }
+
+    fn render(&self, request_id: Option<&str>) -> Response {
         let mut fields = vec![
             ("error".to_string(), Value::Str(self.message.clone())),
             ("code".to_string(), Value::Str(self.code.as_str().into())),
             ("retryable".to_string(), Value::Bool(self.code.retryable())),
         ];
+        if let Some(id) = request_id {
+            fields.push(("request_id".to_string(), Value::Str(id.to_string())));
+        }
         if let Some(d) = self.retry_after {
             fields.push((
                 "retry_after_ms".to_string(),
@@ -209,6 +224,9 @@ impl ServeError {
         let body = serde_json::to_string(&Value::Obj(fields)).unwrap_or_else(|_| "{}".into());
         let mut response = Response::json(self.code.status(), body);
         response.retry_after = self.retry_after;
+        if let Some(id) = request_id {
+            response.request_id = Some(id.to_string());
+        }
         response
     }
 }

@@ -50,6 +50,31 @@ pub struct Request {
     /// client sent one (a client can only shorten its budget, never
     /// extend it).
     pub deadline: Deadline,
+    /// Client-supplied `X-Request-Id`, sanitized (printable ASCII, at most
+    /// [`MAX_REQUEST_ID_LEN`] chars). The server echoes it on the response
+    /// and threads it through the access log; absent, one is generated.
+    pub request_id: Option<String>,
+}
+
+/// Longest accepted client-supplied request id; longer values truncate.
+pub const MAX_REQUEST_ID_LEN: usize = 120;
+
+/// Sanitizes a client-supplied request id: printable ASCII only (anything
+/// else is dropped — ids land in log lines and response headers verbatim),
+/// truncated to [`MAX_REQUEST_ID_LEN`]. Returns `None` for an effectively
+/// empty id.
+#[must_use]
+pub fn sanitize_request_id(raw: &str) -> Option<String> {
+    let id: String = raw
+        .chars()
+        .filter(|c| c.is_ascii_graphic())
+        .take(MAX_REQUEST_ID_LEN)
+        .collect();
+    if id.is_empty() {
+        None
+    } else {
+        Some(id)
+    }
 }
 
 impl Request {
@@ -233,6 +258,7 @@ pub fn read_request(
     let mut content_length = 0usize;
     let mut close = http10;
     let mut deadline_ms: Option<u64> = None;
+    let mut request_id: Option<String> = None;
     loop {
         let line = read_line(reader, &mut budget, &deadline)?;
         if line.is_empty() {
@@ -267,6 +293,7 @@ pub fn read_request(
                         .map_err(|_| HttpError::Malformed("bad x-deadline-ms".into()))?,
                 );
             }
+            "x-request-id" => request_id = sanitize_request_id(value),
             _ => {}
         }
     }
@@ -322,7 +349,44 @@ pub fn read_request(
         body,
         close,
         deadline,
+        request_id,
     })
+}
+
+/// Best-effort peek at a request's head — request line plus headers —
+/// returning `(path, request_id)`. Used on the **shed** path: a connection
+/// rejected at the accept gate still deserves an `X-Request-Id` echo and
+/// an access-log line, but must not cost a worker a full parse. Any
+/// protocol error or deadline expiry simply yields `(None, None)`.
+#[must_use]
+pub fn peek_head(
+    reader: &mut BufReader<&TcpStream>,
+    deadline: &Deadline,
+) -> (Option<String>, Option<String>) {
+    let mut budget = MAX_HEADER_BYTES;
+    let Ok(request_line) = read_line(reader, &mut budget, deadline) else {
+        return (None, None);
+    };
+    let path = request_line
+        .split_whitespace()
+        .nth(1)
+        .map(|t| t.split_once('?').map_or(t, |(p, _)| p).to_string());
+    let mut request_id = None;
+    loop {
+        match read_line(reader, &mut budget, deadline) {
+            Ok(line) if line.is_empty() => break,
+            Ok(line) => {
+                if let Some((name, value)) = line.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("x-request-id") {
+                        request_id = sanitize_request_id(value.trim());
+                        break; // got what we came for
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    (path, request_id)
 }
 
 /// An HTTP response ready to serialize.
@@ -338,6 +402,12 @@ pub struct Response {
     /// failure; the JSON body additionally carries the exact
     /// `retry_after_ms`.
     pub retry_after: Option<Duration>,
+    /// Request id echoed back as an `X-Request-Id` header (on success,
+    /// error, and shed responses alike).
+    pub request_id: Option<String>,
+    /// `Content-Type` of the body. Defaults to `application/json`; the
+    /// Prometheus exposition endpoint overrides it.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -348,7 +418,28 @@ impl Response {
             status,
             body: body.into_bytes(),
             retry_after: None,
+            request_id: None,
+            content_type: "application/json",
         }
+    }
+
+    /// A plain-text response (Prometheus exposition format).
+    #[must_use]
+    pub fn text(status: u16, body: String, content_type: &'static str) -> Self {
+        Self {
+            status,
+            body: body.into_bytes(),
+            retry_after: None,
+            request_id: None,
+            content_type,
+        }
+    }
+
+    /// Sets the echoed request id (builder style).
+    #[must_use]
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Self {
+        self.request_id = Some(id.into());
+        self
     }
 
     /// Canonical reason phrase for the status codes this server emits.
@@ -376,12 +467,18 @@ impl Response {
             let secs = d.as_millis().div_ceil(1000).max(1);
             format!("retry-after: {secs}\r\n")
         });
+        let request_id = self
+            .request_id
+            .as_deref()
+            .map_or(String::new(), |id| format!("x-request-id: {id}\r\n"));
         let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}{}connection: {}\r\n\r\n",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             retry_after,
+            request_id,
             if close { "close" } else { "keep-alive" },
         );
         stream.write_all(head.as_bytes())?;
@@ -496,6 +593,56 @@ mod tests {
         assert!(text.contains("connection: close"), "{text}");
         assert!(!text.contains("retry-after"), "{text}");
         assert!(text.ends_with("{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn request_id_parsed_and_sanitized() {
+        let req = roundtrip(b"GET /healthz HTTP/1.1\r\nX-Request-Id: abc-123\r\n\r\n").unwrap();
+        assert_eq!(req.request_id.as_deref(), Some("abc-123"));
+        // Control characters and spaces are stripped; empty ids drop out.
+        assert_eq!(sanitize_request_id("a b\tc"), Some("abc".into()));
+        assert_eq!(sanitize_request_id("\u{1}\u{2}"), None);
+        let long = "x".repeat(500);
+        assert_eq!(
+            sanitize_request_id(&long).unwrap().len(),
+            MAX_REQUEST_ID_LEN
+        );
+    }
+
+    #[test]
+    fn response_echoes_request_id_and_content_type() {
+        let mut buf = Vec::new();
+        Response::json(200, "{}".into())
+            .with_request_id("r-42")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("x-request-id: r-42\r\n"), "{text}");
+        let mut buf = Vec::new();
+        Response::text(200, "m 1\n".into(), "text/plain; version=0.0.4")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.contains("content-type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn peek_head_extracts_path_and_id() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"POST /predict?model=m HTTP/1.1\r\nX-Request-Id: peek-1\r\n\r\n")
+            .unwrap();
+        client.shutdown(std::net::Shutdown::Write).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(&server_side);
+        let (path, id) = peek_head(&mut reader, &Deadline::unbounded());
+        assert_eq!(path.as_deref(), Some("/predict"));
+        assert_eq!(id.as_deref(), Some("peek-1"));
     }
 
     #[test]

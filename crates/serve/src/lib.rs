@@ -15,9 +15,25 @@
 //! | `/models` | GET | list tenants with residency state, bytes, cache counters |
 //! | `/models/{name}` | POST | **hot-reload** a model from RdGbgModel JSON (persisted when a store is attached) |
 //! | `/models/{name}` | DELETE | remove a tenant from memory, catalog, and disk |
-//! | `/healthz` | GET | liveness + model count |
-//! | `/readyz` | GET | readiness: 200 while serving, 503 once draining; boot-scan verdict |
-//! | `/metrics` | GET | request counters, latency histogram, registry cache stats, per-code error counters |
+//! | `/healthz` | GET | liveness + model count + build info (version, kernel, uptime) |
+//! | `/readyz` | GET | readiness: 200 while serving, 503 once draining; boot-scan verdict; build info |
+//! | `/metrics` | GET | counters, latency histograms (p50/p90/p99), registry cache stats, per-code and **per-tenant** breakdowns; `?format=prometheus` for text exposition |
+//! | `/debug/requests` | GET | bounded ring of the N slowest and most recent errored requests, with per-stage timings |
+//!
+//! ## Observability
+//!
+//! Every request carries a **request id** (client-supplied `X-Request-Id`
+//! or server-generated), echoed on every response — including errors and
+//! shed 503s — and stamped into JSON bodies. Handlers record typed stage
+//! spans (`queue_wait`, `batch_assemble`, `predict`, `store_io`,
+//! `serialize`) on a per-request [`gb_obs::RequestCtx`]; when the server
+//! runs with an access log ([`server::ServeConfig::access_log`]), each
+//! completed request is rendered as one JSON line and handed to a
+//! dedicated writer thread, so the hot path never blocks on file I/O and
+//! concurrent lines cannot interleave. The same records feed the
+//! [`gb_obs::DebugRing`] behind `GET /debug/requests`. See
+//! `docs/SERVING.md` for the access-log schema and Prometheus scrape
+//! config.
 //!
 //! ## Micro-batching
 //!
@@ -90,11 +106,13 @@ pub mod registry;
 pub mod server;
 pub mod store;
 
+pub use batcher::BatchOutcome;
 pub use client::{ClientResponse, HttpClient, RetryPolicy, RetryingClient};
 pub use deadline::Deadline;
 pub use errors::{ErrorCode, ServeError};
+pub use metrics::{LatencyHistogram, TenantRegistry, TenantStats};
 pub use registry::{LoadOptions, ModelRegistry, ModelStats, PublishError, ServingModel};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, Server, ServerHandle, SERVER_VERSION};
 #[cfg(feature = "fault-inject")]
 pub use store::FaultPolicy;
 pub use store::{ModelStore, ScanReport};

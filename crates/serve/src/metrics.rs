@@ -1,8 +1,11 @@
-//! Request counters and latency histogram for `GET /metrics`.
+//! Request counters, latency histograms, and per-tenant statistics for
+//! `GET /metrics` (JSON and Prometheus exposition).
 
-use crate::errors::ErrorStats;
+use crate::errors::{ErrorCode, ErrorStats};
 use serde::Value;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 /// Number of log2 latency buckets (µs): bucket `i` holds latencies in
@@ -65,8 +68,58 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observed latencies in µs.
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.total_us.load(Ordering::Relaxed)
+    }
+
+    /// Count in bucket `i` (`[2^i, 2^(i+1))` µs).
+    ///
+    /// # Panics
+    /// Panics if `i >= LATENCY_BUCKETS`.
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Server-side percentile estimate (q in `[0,1]`) by upper-bound
+    /// interpolation inside the target log2 bucket: the rank-selected
+    /// bucket `[lo, hi)` is assumed uniform, so the estimate is
+    /// `lo + (rank_within / bucket_count) · (hi − lo)`. Returns 0 with no
+    /// observations. The estimate is deliberately an **upper bound**-style
+    /// interpolation — it can overshoot the true percentile by at most one
+    /// bucket width, never undershoot below the bucket's lower edge.
+    #[must_use]
+    pub fn percentile_us(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based target rank, ceil so p100 is the max-latency bucket.
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for i in 0..LATENCY_BUCKETS {
+            let n = self.buckets[i].load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= target {
+                let lo = if i == 0 { 0u64 } else { 1u64 << i };
+                let hi = 1u64 << (i + 1);
+                let within = (target - cumulative) as f64;
+                return lo as f64 + (hi - lo) as f64 * (within / n as f64);
+            }
+            cumulative += n;
+        }
+        // Racing writers can leave `count` ahead of the bucket sums for a
+        // moment; answer with the top of the last non-empty bucket.
+        (1u64 << LATENCY_BUCKETS) as f64
+    }
+
     /// JSON rendering: bucket upper bounds (µs) with counts, plus
-    /// count/mean.
+    /// count/mean and interpolated p50/p90/p99.
     #[must_use]
     pub fn to_value(&self) -> Value {
         let count = self.count();
@@ -90,8 +143,113 @@ impl LatencyHistogram {
         Value::Obj(vec![
             ("count".into(), Value::Num(count as f64)),
             ("mean_us".into(), Value::Num(mean_us)),
+            ("p50_us".into(), Value::Num(self.percentile_us(0.50))),
+            ("p90_us".into(), Value::Num(self.percentile_us(0.90))),
+            ("p99_us".into(), Value::Num(self.percentile_us(0.99))),
             ("buckets".into(), Value::Arr(buckets)),
         ])
+    }
+}
+
+/// Per-tenant counters and predict-latency histogram. Entries are created
+/// only for tenants that actually resolve a model, so junk model names in
+/// bad requests cannot inflate cardinality.
+#[derive(Default)]
+pub struct TenantStats {
+    /// Requests that touched this tenant's model.
+    pub requests: AtomicU64,
+    /// Rows predicted for this tenant.
+    pub rows: AtomicU64,
+    /// Hot reloads of this tenant's model.
+    pub reloads: AtomicU64,
+    /// Errors attributed to this tenant, by [`ErrorCode`].
+    pub errors: ErrorStats,
+    /// Predict-path latency for this tenant.
+    pub predict_latency: LatencyHistogram,
+}
+
+impl TenantStats {
+    /// JSON rendering for the `tenants` object in `GET /metrics`.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "requests".into(),
+                Value::Num(self.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rows".into(),
+                Value::Num(self.rows.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "reloads".into(),
+                Value::Num(self.reloads.load(Ordering::Relaxed) as f64),
+            ),
+            ("errors_by_code".into(), self.errors.to_value()),
+            ("predict_latency_us".into(), self.predict_latency.to_value()),
+        ])
+    }
+}
+
+/// Registry of per-tenant statistics, keyed by model name. Reads (the hot
+/// path, after first touch) take the read lock; the write lock is taken
+/// only on first sight of a tenant.
+#[derive(Default)]
+pub struct TenantRegistry {
+    tenants: RwLock<BTreeMap<String, Arc<TenantStats>>>,
+}
+
+impl TenantRegistry {
+    /// Stats handle for `tenant`, creating the entry on first touch.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn touch(&self, tenant: &str) -> Arc<TenantStats> {
+        if let Some(t) = self.tenants.read().expect("tenant registry").get(tenant) {
+            return Arc::clone(t);
+        }
+        let mut g = self.tenants.write().expect("tenant registry");
+        Arc::clone(g.entry(tenant.to_string()).or_default())
+    }
+
+    /// Stats handle for `tenant` only if it already exists (error paths
+    /// must not mint tenants).
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn get(&self, tenant: &str) -> Option<Arc<TenantStats>> {
+        self.tenants
+            .read()
+            .expect("tenant registry")
+            .get(tenant)
+            .map(Arc::clone)
+    }
+
+    /// Snapshot of all tenants, name-ordered.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, Arc<TenantStats>)> {
+        self.tenants
+            .read()
+            .expect("tenant registry")
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Per-code error totals for one tenant as `(code, count)` pairs with
+    /// zero rows skipped — the label sets emitted to Prometheus.
+    #[must_use]
+    pub fn nonzero_errors(stats: &TenantStats) -> Vec<(ErrorCode, u64)> {
+        ErrorCode::ALL
+            .iter()
+            .map(|&c| (c, stats.errors.get(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
     }
 }
 

@@ -12,17 +12,22 @@
 use crate::batcher::{Batcher, SubmitError};
 use crate::deadline::Deadline;
 use crate::errors::{ErrorCode, ServeError};
-use crate::http::{read_request, HttpError, Response};
-use crate::metrics::Metrics;
+use crate::http::{peek_head, read_request, HttpError, Response};
+use crate::metrics::{LatencyHistogram, Metrics, TenantRegistry, LATENCY_BUCKETS};
 use crate::registry::{LoadOptions, ModelRegistry, PublishError, ServingModel};
 use gb_dataset::index::GranulationBackend;
-use gbabs::{DistanceRule, Sampler};
+use gb_obs::{gen_request_id, AccessLog, DebugRing, PromText, RequestCtx as ObsCtx, Stage};
+use gbabs::{DistanceRule, ProgressEvent};
 use serde::Value;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Server build version, reported by `/healthz`, `/readyz`, and
+/// `/metrics` so fleet tooling can detect version and kernel-tier drift.
+pub const SERVER_VERSION: &str = env!("CARGO_PKG_VERSION");
 
 /// Tunables for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -54,6 +59,14 @@ pub struct ServeConfig {
     pub request_timeout: Duration,
     /// Max accepted request body size.
     pub max_body_bytes: usize,
+    /// JSONL access-log target: a file path, `"stderr"`/`"-"` for standard
+    /// error, or `None` (default) to disable access logging. One line per
+    /// finished request (id, tenant, endpoint, status, error code, rows,
+    /// per-stage µs, deadline remaining).
+    pub access_log: Option<String>,
+    /// Capacity of the `/debug/requests` ring: how many slowest and how
+    /// many most-recent errored requests are retained in memory.
+    pub debug_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +82,8 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(10),
             request_timeout: Duration::from_secs(10),
             max_body_bytes: 64 << 20,
+            access_log: None,
+            debug_ring: 64,
         }
     }
 }
@@ -80,6 +95,16 @@ struct ServerCtx {
     /// calls the predictor inline.
     batcher: Option<Arc<Batcher>>,
     metrics: Metrics,
+    /// Per-tenant counters/histograms (entries minted only on model
+    /// resolution, never by junk names).
+    tenants: TenantRegistry,
+    /// JSONL access log, when `--access-log` is configured.
+    access_log: Option<AccessLog>,
+    /// Slowest/errored request ring behind `GET /debug/requests`.
+    ring: DebugRing,
+    /// Active bounded-peek shed threads (caps the thread cost of echoing
+    /// request ids on shed 503s under a connection flood).
+    shed_peeks: AtomicUsize,
     config: ServeConfig,
     started: Instant,
     stop: AtomicBool,
@@ -113,10 +138,19 @@ impl Server {
                 config.batch_wait,
             )
         });
+        let access_log = match &config.access_log {
+            Some(target) => Some(AccessLog::open(target)?),
+            None => None,
+        };
+        let ring = DebugRing::new(config.debug_ring.max(1));
         let ctx = Arc::new(ServerCtx {
             registry,
             batcher,
             metrics: Metrics::default(),
+            tenants: TenantRegistry::default(),
+            access_log,
+            ring,
+            shed_peeks: AtomicUsize::new(0),
             config,
             started: Instant::now(),
             stop: AtomicBool::new(false),
@@ -217,16 +251,95 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        // Drain buffered access-log lines before the process (possibly)
+        // exits: every request served before stop() returns is on disk.
+        if let Some(log) = &self.ctx.access_log {
+            log.flush();
+        }
     }
 }
 
-/// Writes a 503 with `Retry-After` to a connection shed at the door.
-fn shed_connection(mut stream: TcpStream, ctx: &ServerCtx) {
+/// How many concurrent shed connections may hold a bounded-peek thread;
+/// beyond this the 503 is written blind (no id echo) so a connection flood
+/// cannot become a thread flood.
+const MAX_SHED_PEEKS: usize = 32;
+
+/// Budget for peeking a shed connection's request head (id echo).
+const SHED_PEEK_BUDGET: Duration = Duration::from_millis(150);
+
+/// Sheds a connection at the accept gate with a 503. When thread budget
+/// allows, a short-lived detached thread peeks the request head first so
+/// the 503 still echoes the client's `X-Request-Id` and the shed lands in
+/// the access log with its real path; under a flood the response is
+/// written blind from the accept thread (never blocking accept on a read).
+fn shed_connection(stream: TcpStream, ctx: &Arc<ServerCtx>) {
     ctx.metrics.errors.record(ErrorCode::Overloaded);
+    if ctx.shed_peeks.fetch_add(1, Ordering::SeqCst) < MAX_SHED_PEEKS {
+        let ctx2 = Arc::clone(ctx);
+        let spawned = std::thread::Builder::new()
+            .name("gb-serve-shed".into())
+            .spawn(move || {
+                shed_with_peek(stream, &ctx2);
+                ctx2.shed_peeks.fetch_sub(1, Ordering::SeqCst);
+            });
+        match spawned {
+            Ok(_) => return,
+            Err(_) => {
+                // Spawn failed: the moved stream is gone with the closure.
+                ctx.shed_peeks.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+    ctx.shed_peeks.fetch_sub(1, Ordering::SeqCst);
+    let mut stream = stream;
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = ServeError::overloaded("server overloaded; retry later")
         .to_response()
         .write_to(&mut stream, true);
+    finish_request(ctx, shed_obs(None, None), 503, &Deadline::unbounded());
+}
+
+fn shed_obs(id: Option<String>, path: Option<String>) -> ObsCtx {
+    let mut obs = ObsCtx::new(
+        id.unwrap_or_else(gen_request_id),
+        path.unwrap_or_else(|| "(shed)".into()),
+    );
+    obs.code = Some(ErrorCode::Overloaded.as_str());
+    obs
+}
+
+/// Shed path with head peek: bounded read of the request line + headers to
+/// recover the path and client request id, then the 503.
+fn shed_with_peek(stream: TcpStream, ctx: &ServerCtx) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Deadline::after(SHED_PEEK_BUDGET);
+    let (path, id) = {
+        let mut reader = BufReader::new(&stream);
+        peek_head(&mut reader, &deadline)
+    };
+    let mut obs = shed_obs(id, path);
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let t0 = Instant::now();
+    let _ = ServeError::overloaded("server overloaded; retry later")
+        .to_response_with_id(&obs.id)
+        .write_to(&mut stream, true);
+    obs.record(Stage::Serialize, t0.elapsed());
+    finish_request(ctx, obs, 503, &Deadline::unbounded());
+}
+
+/// Collapses a finished request into its record, feeding the debug ring
+/// and (when configured) the access log.
+fn finish_request(ctx: &ServerCtx, obs: ObsCtx, status: u16, deadline: &Deadline) {
+    let remaining_ms = deadline
+        .remaining()
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX));
+    let rec = obs.finish(status, remaining_ms);
+    ctx.ring.insert(&rec);
+    if let Some(log) = &ctx.access_log {
+        log.log(rec.to_json());
+    }
 }
 
 /// Idle-poll granularity: how quickly a worker parked on a keep-alive
@@ -297,9 +410,20 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
             Ok(req) => {
                 let close = req.close;
                 arm_write_timeout(&stream, &req.deadline, &ctx.config);
-                let response = route(&req, ctx);
+                let mut obs = ObsCtx::new(
+                    req.request_id.clone().unwrap_or_else(gen_request_id),
+                    req.path.clone(),
+                );
+                let mut response = route(&req, ctx, &mut obs);
+                // Every response — success, error, or shed — echoes the id.
+                response.request_id = Some(obs.id.clone());
+                let status = response.status;
                 let mut out = &stream;
-                if response.write_to(&mut out, close).is_err() || close {
+                let t0 = Instant::now();
+                let write_result = response.write_to(&mut out, close);
+                obs.record(Stage::Serialize, t0.elapsed());
+                finish_request(ctx, obs, status, &req.deadline);
+                if write_result.is_err() || close {
                     return;
                 }
                 idle_deadline = Instant::now() + ctx.config.read_timeout;
@@ -314,9 +438,17 @@ fn handle_connection(stream: TcpStream, ctx: &ServerCtx) {
                     }
                     _ => ServeError::bad_request(e.to_string()),
                 };
+                // The request never parsed, so no client id is available;
+                // the failure still gets a record under a generated id.
+                let mut obs = ObsCtx::new(gen_request_id(), "(read)");
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let response = err_response(ctx, &mut obs, err);
+                let status = response.status;
                 let mut out = &stream;
-                let _ = err_response(ctx, err).write_to(&mut out, true);
+                let t0 = Instant::now();
+                let _ = response.write_to(&mut out, true);
+                obs.record(Stage::Serialize, t0.elapsed());
+                finish_request(ctx, obs, status, &Deadline::unbounded());
                 return;
             }
         }
@@ -337,11 +469,20 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
 }
 
 /// Counts and renders one classified error (the only path non-200
-/// responses leave the server through, so the legacy aggregate counters
-/// and the per-code counters stay consistent).
-fn err_response(ctx: &ServerCtx, err: ServeError) -> Response {
+/// responses leave the server through, so the legacy aggregate counters,
+/// the per-code counters, and the per-tenant counters stay consistent).
+/// The error body and response header both carry the request id.
+fn err_response(ctx: &ServerCtx, obs: &mut ObsCtx, err: ServeError) -> Response {
     let status = err.code.status();
     ctx.metrics.errors.record(err.code);
+    obs.code = Some(err.code.as_str());
+    // Attribute to the tenant only when one was already resolved — error
+    // paths never mint tenant entries.
+    if let Some(tenant) = obs.tenant.as_deref() {
+        if let Some(stats) = ctx.tenants.get(tenant) {
+            stats.errors.record(err.code);
+        }
+    }
     if status == 503 {
         ctx.metrics.shed.fetch_add(1, Ordering::Relaxed);
     } else if status >= 500 {
@@ -349,36 +490,50 @@ fn err_response(ctx: &ServerCtx, err: ServeError) -> Response {
     } else {
         ctx.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
     }
-    err.to_response()
+    err.to_response_with_id(&obs.id)
 }
 
-/// Routes one parsed request.
-fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+/// Build-info fields shared by `/healthz`, `/readyz`, and `/metrics`.
+fn build_info_fields() -> Vec<(&'static str, Value)> {
+    vec![
+        ("version", Value::Str(SERVER_VERSION.into())),
+        (
+            "kernel",
+            Value::Str(gb_dataset::active_kernel().name().into()),
+        ),
+    ]
+}
+
+/// Routes one parsed request. `obs` is the request's observability
+/// context: endpoints record stage spans and tenant attribution into it.
+fn route(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
             ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
-            Response::json(
-                200,
-                render(&obj(vec![
-                    ("status", Value::Str("ok".into())),
-                    ("models", Value::Num(ctx.registry.len() as f64)),
-                    ("uptime_s", Value::Num(ctx.started.elapsed().as_secs_f64())),
-                ])),
-            )
+            let mut fields = vec![
+                ("status", Value::Str("ok".into())),
+                ("models", Value::Num(ctx.registry.len() as f64)),
+                ("uptime_s", Value::Num(ctx.started.elapsed().as_secs_f64())),
+            ];
+            fields.extend(build_info_fields());
+            Response::json(200, render(&obj(fields)))
         }
         ("GET", "/readyz") => readyz_endpoint(ctx),
-        ("GET", "/metrics") => metrics_endpoint(ctx),
+        ("GET", "/metrics") => metrics_endpoint(req, ctx),
+        ("GET", "/debug/requests") => debug_requests_endpoint(ctx),
         ("GET", "/models") => models_endpoint(ctx),
-        ("GET", "/model") => model_endpoint(req, ctx),
-        ("POST", "/predict") => predict_endpoint(req, ctx),
-        ("POST", "/sample") => sample_endpoint(req, ctx),
-        ("POST", path) if path.starts_with("/models/") => reload_endpoint(req, ctx),
-        ("DELETE", path) if path.starts_with("/models/") => delete_endpoint(req, ctx),
+        ("GET", "/model") => model_endpoint(req, ctx, obs),
+        ("POST", "/predict") => predict_endpoint(req, ctx, obs),
+        ("POST", "/sample") => sample_endpoint(req, ctx, obs),
+        ("POST", path) if path.starts_with("/models/") => reload_endpoint(req, ctx, obs),
+        ("DELETE", path) if path.starts_with("/models/") => delete_endpoint(req, ctx, obs),
         (
             _,
-            "/healthz" | "/readyz" | "/metrics" | "/models" | "/model" | "/predict" | "/sample",
+            "/healthz" | "/readyz" | "/metrics" | "/debug/requests" | "/models" | "/model"
+            | "/predict" | "/sample",
         ) => err_response(
             ctx,
+            obs,
             ServeError::new(
                 ErrorCode::MethodNotAllowed,
                 format!("method {} not allowed here", req.method),
@@ -386,6 +541,7 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         ),
         (_, path) if path.starts_with("/models/") => err_response(
             ctx,
+            obs,
             ServeError::new(
                 ErrorCode::MethodNotAllowed,
                 format!("method {} not allowed here", req.method),
@@ -393,9 +549,28 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         ),
         _ => err_response(
             ctx,
+            obs,
             ServeError::not_found(format!("no route for {}", req.path)),
         ),
     }
+}
+
+/// `GET /debug/requests`: the bounded in-memory ring of the N slowest and
+/// N most recent errored requests, each with its full stage breakdown —
+/// the "why was *this* request slow" endpoint.
+fn debug_requests_endpoint(ctx: &ServerCtx) -> Response {
+    let (slowest, errored) = ctx.ring.snapshot();
+    let join = |records: &[gb_obs::RequestRecord]| {
+        let items: Vec<String> = records.iter().map(gb_obs::RequestRecord::to_json).collect();
+        format!("[{}]", items.join(","))
+    };
+    let body = format!(
+        "{{\"capacity\":{},\"slowest\":{},\"errored\":{}}}",
+        ctx.ring.capacity(),
+        join(&slowest),
+        join(&errored)
+    );
+    Response::json(200, body)
 }
 
 /// `GET /readyz`: readiness (vs `/healthz` liveness). Reports 200 only
@@ -406,7 +581,7 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
 fn readyz_endpoint(ctx: &ServerCtx) -> Response {
     ctx.metrics.health_requests.fetch_add(1, Ordering::Relaxed);
     let draining = ctx.stop.load(Ordering::SeqCst);
-    let body = obj(vec![
+    let mut fields = vec![
         ("ready", Value::Bool(!draining)),
         ("draining", Value::Bool(draining)),
         ("models", Value::Num(ctx.registry.len() as f64)),
@@ -414,7 +589,10 @@ fn readyz_endpoint(ctx: &ServerCtx) -> Response {
             "boot_quarantined",
             Value::Num(ctx.registry.boot_quarantined() as f64),
         ),
-    ]);
+        ("uptime_s", Value::Num(ctx.started.elapsed().as_secs_f64())),
+    ];
+    fields.extend(build_info_fields());
+    let body = obj(fields);
     Response::json(if draining { 503 } else { 200 }, render(&body))
 }
 
@@ -473,17 +651,19 @@ fn models_endpoint(ctx: &ServerCtx) -> Response {
 
 /// `DELETE /models/{name}`: drops the tenant from memory, the catalog, and
 /// the store file. In-flight requests holding the model finish unaffected.
-fn delete_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+fn delete_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
     let name = req.path.trim_start_matches("/models/");
     if name.is_empty() || name.contains('/') {
         return err_response(
             ctx,
+            obs,
             ServeError::bad_request("model name must be a single path segment"),
         );
     }
-    match ctx.registry.remove(name) {
+    match obs.time(Stage::StoreIo, || ctx.registry.remove(name)) {
         Ok(true) => {
             ctx.metrics.deletes.fetch_add(1, Ordering::Relaxed);
+            obs.tenant = Some(name.to_string());
             Response::json(
                 200,
                 render(&obj(vec![("deleted", Value::Str(name.to_string()))])),
@@ -491,20 +671,32 @@ fn delete_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         }
         Ok(false) => err_response(
             ctx,
+            obs,
             ServeError::not_found(format!("no model named '{name}'")),
         ),
-        Err(e) => err_response(ctx, ServeError::store_io(e)),
+        Err(e) => err_response(ctx, obs, ServeError::store_io(e)),
     }
 }
 
-fn metrics_endpoint(ctx: &ServerCtx) -> Response {
+fn metrics_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+    if req.query_param("format") == Some("prometheus") {
+        return Response::text(200, prometheus_metrics(ctx), "text/plain; version=0.0.4");
+    }
     let m = &ctx.metrics;
     let zero_stats = crate::batcher::BatchStats::default();
     let b = ctx
         .batcher
         .as_ref()
         .map_or(&zero_stats, |batcher| &batcher.stats);
+    let tenants = obj(ctx
+        .tenants
+        .snapshot()
+        .iter()
+        .map(|(name, stats)| (name.as_str(), stats.to_value()))
+        .collect::<Vec<_>>());
     let body = obj(vec![
+        ("uptime_s", Value::Num(ctx.started.elapsed().as_secs_f64())),
+        ("build", obj(build_info_fields())),
         (
             "requests",
             obj(vec![
@@ -592,8 +784,306 @@ fn metrics_endpoint(ctx: &ServerCtx) -> Response {
             ])
         }),
         ("predict_latency_us", m.predict_latency.to_value()),
+        ("tenants", tenants),
     ]);
     Response::json(200, render(&body))
+}
+
+/// Emits one latency histogram family in Prometheus exposition format:
+/// cumulative `_bucket` series over the log2 µs buckets plus `+Inf`,
+/// `_sum`, and `_count`.
+fn prom_histogram(
+    p: &mut PromText,
+    name: &str,
+    help: &str,
+    labels: &[(&str, &str)],
+    h: &LatencyHistogram,
+) {
+    p.metric(name, "histogram", help);
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for i in 0..LATENCY_BUCKETS {
+        cumulative += h.bucket(i);
+        let le = (1u64 << (i + 1)).to_string();
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        ls.push(("le", le.as_str()));
+        p.sample(&bucket_name, &ls, cumulative as f64);
+    }
+    let mut ls: Vec<(&str, &str)> = labels.to_vec();
+    ls.push(("le", "+Inf"));
+    p.sample(&bucket_name, &ls, h.count() as f64);
+    p.sample(&format!("{name}_sum"), labels, h.total_us() as f64);
+    p.sample(&format!("{name}_count"), labels, h.count() as f64);
+}
+
+/// Renders the whole metrics registry — global counters, batcher and
+/// registry stats, latency histograms, and per-tenant series — in
+/// Prometheus text exposition format (`GET /metrics?format=prometheus`).
+#[allow(clippy::too_many_lines)]
+fn prometheus_metrics(ctx: &ServerCtx) -> String {
+    let m = &ctx.metrics;
+    let mut p = PromText::new();
+
+    p.metric(
+        "gb_build_info",
+        "gauge",
+        "Build version and active SIMD kernel (value is always 1)",
+    );
+    p.sample(
+        "gb_build_info",
+        &[
+            ("version", SERVER_VERSION),
+            ("kernel", gb_dataset::active_kernel().name()),
+        ],
+        1.0,
+    );
+    p.metric("gb_uptime_seconds", "gauge", "Seconds since server start");
+    p.sample(
+        "gb_uptime_seconds",
+        &[],
+        ctx.started.elapsed().as_secs_f64(),
+    );
+
+    p.metric(
+        "gb_requests_total",
+        "counter",
+        "Completed requests by endpoint",
+    );
+    for (endpoint, counter) in [
+        ("predict", &m.predict_requests),
+        ("sample", &m.sample_requests),
+        ("model", &m.model_requests),
+        ("healthz", &m.health_requests),
+        ("reload", &m.reloads),
+        ("delete", &m.deletes),
+    ] {
+        p.sample(
+            "gb_requests_total",
+            &[("endpoint", endpoint)],
+            counter.load(Ordering::Relaxed) as f64,
+        );
+    }
+    p.metric("gb_predict_rows_total", "counter", "Rows predicted");
+    p.sample(
+        "gb_predict_rows_total",
+        &[],
+        m.predict_rows.load(Ordering::Relaxed) as f64,
+    );
+    p.metric("gb_errors_total", "counter", "Errors by taxonomy code");
+    for code in ErrorCode::ALL {
+        p.sample(
+            "gb_errors_total",
+            &[("code", code.as_str())],
+            m.errors.get(code) as f64,
+        );
+    }
+    p.metric(
+        "gb_shed_total",
+        "counter",
+        "503 responses from the admission gates",
+    );
+    p.sample("gb_shed_total", &[], m.shed.load(Ordering::Relaxed) as f64);
+    p.metric("gb_client_errors_total", "counter", "4xx responses");
+    p.sample(
+        "gb_client_errors_total",
+        &[],
+        m.client_errors.load(Ordering::Relaxed) as f64,
+    );
+    p.metric(
+        "gb_server_errors_total",
+        "counter",
+        "Non-shed 5xx responses",
+    );
+    p.sample(
+        "gb_server_errors_total",
+        &[],
+        m.server_errors.load(Ordering::Relaxed) as f64,
+    );
+
+    if let Some(batcher) = &ctx.batcher {
+        let b = &batcher.stats;
+        p.metric(
+            "gb_batcher_flushes_total",
+            "counter",
+            "Coalesced predict calls",
+        );
+        p.sample(
+            "gb_batcher_flushes_total",
+            &[],
+            b.flushes.load(Ordering::Relaxed) as f64,
+        );
+        p.metric(
+            "gb_batcher_rows_total",
+            "counter",
+            "Rows predicted through the batcher",
+        );
+        p.sample(
+            "gb_batcher_rows_total",
+            &[],
+            b.rows.load(Ordering::Relaxed) as f64,
+        );
+        p.metric(
+            "gb_batcher_shed_total",
+            "counter",
+            "Submissions shed at the row-queue gate",
+        );
+        p.sample(
+            "gb_batcher_shed_total",
+            &[],
+            b.shed.load(Ordering::Relaxed) as f64,
+        );
+        p.metric(
+            "gb_batcher_expired_total",
+            "counter",
+            "Submissions dropped at dequeue after deadline expiry",
+        );
+        p.sample(
+            "gb_batcher_expired_total",
+            &[],
+            b.expired.load(Ordering::Relaxed) as f64,
+        );
+        p.metric(
+            "gb_batcher_max_requests_per_flush",
+            "gauge",
+            "Largest number of requests coalesced into one flush",
+        );
+        p.sample(
+            "gb_batcher_max_requests_per_flush",
+            &[],
+            b.max_requests_per_flush.load(Ordering::Relaxed) as f64,
+        );
+    }
+
+    let snap = ctx.registry.snapshot();
+    let r = &ctx.registry.stats;
+    p.metric(
+        "gb_registry_resident_models",
+        "gauge",
+        "Models resident in memory",
+    );
+    p.sample("gb_registry_resident_models", &[], snap.resident as f64);
+    p.metric(
+        "gb_registry_resident_bytes",
+        "gauge",
+        "Bytes of resident models",
+    );
+    p.sample(
+        "gb_registry_resident_bytes",
+        &[],
+        snap.resident_bytes as f64,
+    );
+    p.metric(
+        "gb_registry_hits_total",
+        "counter",
+        "Warm registry acquisitions",
+    );
+    p.sample(
+        "gb_registry_hits_total",
+        &[],
+        r.hits.load(Ordering::Relaxed) as f64,
+    );
+    p.metric(
+        "gb_registry_cold_reloads_total",
+        "counter",
+        "Cold reloads from the model store",
+    );
+    p.sample(
+        "gb_registry_cold_reloads_total",
+        &[],
+        r.cold_reloads.load(Ordering::Relaxed) as f64,
+    );
+    p.metric("gb_registry_evictions_total", "counter", "LRU evictions");
+    p.sample(
+        "gb_registry_evictions_total",
+        &[],
+        r.evictions.load(Ordering::Relaxed) as f64,
+    );
+
+    prom_histogram(
+        &mut p,
+        "gb_predict_latency_us",
+        "End-to-end /predict handling latency (µs)",
+        &[],
+        &m.predict_latency,
+    );
+    prom_histogram(
+        &mut p,
+        "gb_reload_latency_us",
+        "Cold-reload latency (µs)",
+        &[],
+        &r.reload_latency,
+    );
+
+    let tenants = ctx.tenants.snapshot();
+    if !tenants.is_empty() {
+        p.metric("gb_tenant_requests_total", "counter", "Requests by tenant");
+        p.metric(
+            "gb_tenant_rows_total",
+            "counter",
+            "Predicted rows by tenant",
+        );
+        p.metric(
+            "gb_tenant_reloads_total",
+            "counter",
+            "Hot reloads by tenant",
+        );
+        p.metric(
+            "gb_tenant_errors_total",
+            "counter",
+            "Errors by tenant and code",
+        );
+        p.metric(
+            "gb_tenant_predict_latency_us",
+            "summary",
+            "Per-tenant predict latency quantiles (µs, histogram-interpolated)",
+        );
+        for (name, stats) in &tenants {
+            let tenant = name.as_str();
+            p.sample(
+                "gb_tenant_requests_total",
+                &[("tenant", tenant)],
+                stats.requests.load(Ordering::Relaxed) as f64,
+            );
+            p.sample(
+                "gb_tenant_rows_total",
+                &[("tenant", tenant)],
+                stats.rows.load(Ordering::Relaxed) as f64,
+            );
+            p.sample(
+                "gb_tenant_reloads_total",
+                &[("tenant", tenant)],
+                stats.reloads.load(Ordering::Relaxed) as f64,
+            );
+            // Zero-count codes are skipped: tenant × code is the one label
+            // product here that can sprawl.
+            for (code, count) in TenantRegistry::nonzero_errors(stats) {
+                p.sample(
+                    "gb_tenant_errors_total",
+                    &[("tenant", tenant), ("code", code.as_str())],
+                    count as f64,
+                );
+            }
+            let h = &stats.predict_latency;
+            for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                p.sample(
+                    "gb_tenant_predict_latency_us",
+                    &[("tenant", tenant), ("quantile", label)],
+                    h.percentile_us(q),
+                );
+            }
+            p.sample(
+                "gb_tenant_predict_latency_us_sum",
+                &[("tenant", tenant)],
+                h.total_us() as f64,
+            );
+            p.sample(
+                "gb_tenant_predict_latency_us_count",
+                &[("tenant", tenant)],
+                h.count() as f64,
+            );
+        }
+    }
+    p.finish()
 }
 
 fn model_stats_value(model: &ServingModel) -> Value {
@@ -615,22 +1105,27 @@ fn model_stats_value(model: &ServingModel) -> Value {
     ])
 }
 
-fn model_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+fn model_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
     ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
     let name = req.query_param("name").unwrap_or("default");
     if req.deadline.expired() {
         return err_response(
             ctx,
+            obs,
             ServeError::deadline_exceeded("deadline expired before model lookup"),
         );
     }
-    match ctx.registry.acquire(name) {
-        Ok(Some(model)) => Response::json(200, render(&model_stats_value(&model))),
+    match obs.time(Stage::StoreIo, || ctx.registry.acquire(name)) {
+        Ok(Some(model)) => {
+            obs.tenant = Some(model.name.clone());
+            Response::json(200, render(&model_stats_value(&model)))
+        }
         Ok(None) => err_response(
             ctx,
+            obs,
             ServeError::not_found(format!("no model named '{name}'")),
         ),
-        Err(e) => err_response(ctx, ServeError::store_io(e)),
+        Err(e) => err_response(ctx, obs, ServeError::store_io(e)),
     }
 }
 
@@ -675,16 +1170,22 @@ fn extract_rows(body: &Value, n_features: usize) -> Result<Vec<f64>, String> {
     Ok(flat)
 }
 
-fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
     let start = Instant::now();
     let body = match parse_body(req) {
         Ok(v) => v,
-        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
     };
     let name = match body.get("model") {
         Some(Value::Str(s)) => s.as_str(),
         None => "default",
-        Some(_) => return err_response(ctx, ServeError::bad_request("'model' must be a string")),
+        Some(_) => {
+            return err_response(
+                ctx,
+                obs,
+                ServeError::bad_request("'model' must be a string"),
+            )
+        }
     };
     // Deadline gate before the expensive part: a request whose budget
     // lapsed during read must not trigger a cold reload it can no longer
@@ -692,26 +1193,33 @@ fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
     if req.deadline.expired() {
         return err_response(
             ctx,
+            obs,
             ServeError::deadline_exceeded("deadline expired before model acquisition"),
         );
     }
     // `acquire` transparently rebuilds a cold (evicted or
-    // persisted-but-not-yet-loaded) tenant from the model store.
-    let model = match ctx.registry.acquire(name) {
+    // persisted-but-not-yet-loaded) tenant from the model store — the
+    // `store_io` span (warm hits cost ~ns, cold reloads dominate tails).
+    let model = match obs.time(Stage::StoreIo, || ctx.registry.acquire(name)) {
         Ok(Some(model)) => model,
         Ok(None) => {
             return err_response(
                 ctx,
+                obs,
                 ServeError::not_found(format!("no model named '{name}'")),
             )
         }
-        Err(e) => return err_response(ctx, ServeError::store_io(e)),
+        Err(e) => return err_response(ctx, obs, ServeError::store_io(e)),
     };
+    // Tenant resolved: from here on, counters attribute to it.
+    obs.tenant = Some(model.name.clone());
+    let tenant = ctx.tenants.touch(&model.name);
     let rows = match extract_rows(&body, model.n_features) {
         Ok(r) => r,
-        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
     };
     let n_rows = rows.len() / model.n_features;
+    obs.rows = n_rows as u64;
     // Micro-batch small requests; a request at or above the flush cap is
     // already its own batch, so it runs inline instead of bouncing off the
     // queued-rows gate with a 503 that no retry could ever satisfy.
@@ -721,129 +1229,238 @@ fn predict_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         .filter(|_| n_rows < ctx.config.max_batch_rows);
     let predictions = match coalesce {
         Some(batcher) => match batcher.predict(&model, rows, req.deadline) {
-            Ok(p) => p,
+            Ok(outcome) => {
+                obs.record_us(Stage::QueueWait, outcome.queue_wait_us);
+                obs.record_us(Stage::BatchAssemble, outcome.batch_assemble_us);
+                obs.record_us(Stage::Predict, outcome.predict_us);
+                outcome.predictions
+            }
             Err(SubmitError::Overloaded) => {
                 return err_response(
                     ctx,
+                    obs,
                     ServeError::overloaded("prediction queue full; retry later"),
                 )
             }
             Err(SubmitError::Closed) => {
                 return err_response(
                     ctx,
+                    obs,
                     ServeError::new(ErrorCode::ShuttingDown, "server shutting down"),
                 )
             }
             Err(SubmitError::Expired) => {
                 return err_response(
                     ctx,
+                    obs,
                     ServeError::deadline_exceeded(
                         "deadline expired in the prediction queue; dropped at dequeue",
                     ),
                 )
             }
             Err(SubmitError::Failed(message)) => {
-                return err_response(ctx, ServeError::internal(message))
+                return err_response(ctx, obs, ServeError::internal(message))
             }
         },
-        None => model.predictor.predict_batch(&rows, model.n_features),
+        None => obs.time(Stage::Predict, || {
+            model.predictor.predict_batch(&rows, model.n_features)
+        }),
     };
     ctx.metrics.predict_requests.fetch_add(1, Ordering::Relaxed);
     ctx.metrics
         .predict_rows
         .fetch_add(n_rows as u64, Ordering::Relaxed);
-    ctx.metrics.predict_latency.observe(start.elapsed());
-    let preds = predictions
-        .into_iter()
-        .map(|p| Value::Num(f64::from(p)))
-        .collect::<Vec<_>>();
-    Response::json(
-        200,
-        render(&obj(vec![
-            ("model", Value::Str(model.name.clone())),
-            ("version", Value::Num(model.version as f64)),
-            ("predictions", Value::Arr(preds)),
-        ])),
-    )
+    let elapsed = start.elapsed();
+    ctx.metrics.predict_latency.observe(elapsed);
+    tenant.requests.fetch_add(1, Ordering::Relaxed);
+    tenant.rows.fetch_add(n_rows as u64, Ordering::Relaxed);
+    tenant.predict_latency.observe(elapsed);
+    let request_id = obs.id.clone();
+    obs.time(Stage::Serialize, || {
+        let preds = predictions
+            .into_iter()
+            .map(|p| Value::Num(f64::from(p)))
+            .collect::<Vec<_>>();
+        Response::json(
+            200,
+            render(&obj(vec![
+                ("model", Value::Str(model.name.clone())),
+                ("version", Value::Num(model.version as f64)),
+                ("request_id", Value::Str(request_id)),
+                ("predictions", Value::Arr(preds)),
+            ])),
+        )
+    })
 }
 
-fn sample_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+/// Cap on the `progress` array in `/sample` responses: past this many
+/// iterations the event list is stride-downsampled (keeping the final
+/// event) so huge datasets cannot bloat the response body.
+const MAX_PROGRESS_EVENTS: usize = 64;
+
+/// Stride-downsamples `events` to at most [`MAX_PROGRESS_EVENTS`],
+/// always retaining the last event (the terminal Borderline summary).
+fn downsample_progress(events: &[ProgressEvent]) -> Vec<&ProgressEvent> {
+    if events.len() <= MAX_PROGRESS_EVENTS {
+        return events.iter().collect();
+    }
+    let stride = events.len().div_ceil(MAX_PROGRESS_EVENTS);
+    let mut kept: Vec<&ProgressEvent> = events.iter().step_by(stride).collect();
+    if let Some(last) = events.last() {
+        if !std::ptr::eq(*kept.last().expect("non-empty"), last) {
+            kept.push(last);
+        }
+    }
+    kept
+}
+
+fn sample_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
     let body = match parse_body(req) {
         Ok(v) => v,
-        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
     };
     let Some(Value::Str(csv)) = body.get("csv") else {
         return err_response(
             ctx,
+            obs,
             ServeError::bad_request("missing 'csv' (string: headered CSV, label last)"),
         );
     };
     let rho = match body.get("rho") {
         Some(Value::Num(n)) => *n as usize,
         None => 5,
-        Some(_) => return err_response(ctx, ServeError::bad_request("'rho' must be a number")),
+        Some(_) => {
+            return err_response(ctx, obs, ServeError::bad_request("'rho' must be a number"))
+        }
     };
     if rho < 2 {
-        return err_response(ctx, ServeError::bad_request("'rho' must be at least 2"));
+        return err_response(
+            ctx,
+            obs,
+            ServeError::bad_request("'rho' must be at least 2"),
+        );
     }
     let seed = match body.get("seed") {
         Some(Value::Num(n)) => *n as u64,
         None => 42,
-        Some(_) => return err_response(ctx, ServeError::bad_request("'seed' must be a number")),
+        Some(_) => {
+            return err_response(ctx, obs, ServeError::bad_request("'seed' must be a number"))
+        }
     };
     let data = match gb_dataset::io::read_csv_str(csv, &gb_dataset::io::CsvOptions::default()) {
         Ok(d) => d,
-        Err(e) => return err_response(ctx, ServeError::bad_request(format!("bad CSV: {e}"))),
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(format!("bad CSV: {e}"))),
     };
     if data.n_classes() < 2 {
         return err_response(
             ctx,
+            obs,
             ServeError::bad_request(
                 "dataset has a single class; borderline sampling needs at least 2",
             ),
         );
     }
-    let sampler = gbabs::GbabsSampler {
+    obs.rows = data.n_samples() as u64;
+    // The granulation loop emits one event per RD-GBG iteration plus a
+    // terminal Borderline summary; the sink only observes, so the sampled
+    // output is bit-identical with or without it.
+    let mut events: Vec<ProgressEvent> = Vec::new();
+    let mut sink = |e: &ProgressEvent| events.push(e.clone());
+    let config = gbabs::RdGbgConfig {
         density_tolerance: rho,
+        seed,
         backend: GranulationBackend::Auto,
+        ..Default::default()
     };
-    let out = sampler.sample(&data, seed);
+    let out = obs.time(Stage::Predict, || {
+        gbabs::gbabs_with_progress(&data, &config, Some(&mut sink))
+    });
     ctx.metrics.sample_requests.fetch_add(1, Ordering::Relaxed);
-    let kept = out
-        .kept_rows
-        .unwrap_or_default()
-        .into_iter()
-        .map(|r| Value::Num(r as f64))
-        .collect::<Vec<_>>();
-    Response::json(
-        200,
-        render(&obj(vec![
-            ("n_in", Value::Num(data.n_samples() as f64)),
-            ("n_out", Value::Num(out.dataset.n_samples() as f64)),
-            (
-                "ratio",
-                Value::Num(out.dataset.n_samples() as f64 / data.n_samples().max(1) as f64),
-            ),
-            ("kept_rows", Value::Arr(kept)),
-        ])),
-    )
+    let request_id = obs.id.clone();
+    obs.time(Stage::Serialize, || {
+        let n_out = out.sampled_rows.len();
+        let kept = out
+            .sampled_rows
+            .iter()
+            .map(|&r| Value::Num(r as f64))
+            .collect::<Vec<_>>();
+        let progress = downsample_progress(&events)
+            .into_iter()
+            .map(progress_event_value)
+            .collect::<Vec<_>>();
+        Response::json(
+            200,
+            render(&obj(vec![
+                ("n_in", Value::Num(data.n_samples() as f64)),
+                ("n_out", Value::Num(n_out as f64)),
+                (
+                    "ratio",
+                    Value::Num(n_out as f64 / data.n_samples().max(1) as f64),
+                ),
+                ("request_id", Value::Str(request_id)),
+                (
+                    "iterations",
+                    Value::Num(events.len().saturating_sub(1) as f64),
+                ),
+                ("kept_rows", Value::Arr(kept)),
+                ("progress", Value::Arr(progress)),
+            ])),
+        )
+    })
 }
 
-fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
+/// Renders one [`ProgressEvent`] as a serde [`Value`] for `/sample`
+/// responses (field-compatible with [`ProgressEvent::to_json`]).
+fn progress_event_value(event: &ProgressEvent) -> Value {
+    match *event {
+        ProgressEvent::Granulate {
+            iteration,
+            balls,
+            conflicts,
+            noise,
+            remaining,
+            elapsed_us,
+        } => obj(vec![
+            ("phase", Value::Str("granulate".into())),
+            ("iteration", Value::Num(f64::from(iteration))),
+            ("balls", Value::Num(balls as f64)),
+            ("conflicts", Value::Num(conflicts as f64)),
+            ("noise", Value::Num(noise as f64)),
+            ("remaining", Value::Num(remaining as f64)),
+            ("elapsed_us", Value::Num(elapsed_us as f64)),
+        ]),
+        ProgressEvent::Borderline {
+            balls,
+            borderline,
+            sampled,
+            elapsed_us,
+        } => obj(vec![
+            ("phase", Value::Str("borderline".into())),
+            ("balls", Value::Num(balls as f64)),
+            ("borderline", Value::Num(borderline as f64)),
+            ("sampled", Value::Num(sampled as f64)),
+            ("elapsed_us", Value::Num(elapsed_us as f64)),
+        ]),
+    }
+}
+
+fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
     let name = req.path.trim_start_matches("/models/");
     if name.is_empty() || name.contains('/') {
         return err_response(
             ctx,
+            obs,
             ServeError::bad_request("model name must be a single path segment"),
         );
     }
     let body = match parse_body(req) {
         Ok(v) => v,
-        Err(e) => return err_response(ctx, ServeError::bad_request(e)),
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
     };
     let Some(model_value) = body.get("model") else {
         return err_response(
             ctx,
+            obs,
             ServeError::bad_request("missing 'model' (RdGbgModel JSON object)"),
         );
     };
@@ -853,6 +1470,7 @@ fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         Some(_) => {
             return err_response(
                 ctx,
+                obs,
                 ServeError::bad_request("'k' must be a positive number"),
             )
         }
@@ -864,6 +1482,7 @@ fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         Some(_) => {
             return err_response(
                 ctx,
+                obs,
                 ServeError::bad_request("'rule' must be 'surface' or 'center'"),
             )
         }
@@ -874,13 +1493,23 @@ fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
         ..LoadOptions::default()
     };
     // `publish_value` persists to the model store (when one is attached)
-    // before the swap, so an accepted reload survives a restart.
-    match ctx.registry.publish_value(name, model_value, &options) {
+    // before the swap, so an accepted reload survives a restart — the
+    // store write is the `store_io` span.
+    match obs.time(Stage::StoreIo, || {
+        ctx.registry.publish_value(name, model_value, &options)
+    }) {
         Ok(model) => {
             ctx.metrics.reloads.fetch_add(1, Ordering::Relaxed);
+            obs.tenant = Some(model.name.clone());
+            ctx.tenants
+                .touch(&model.name)
+                .reloads
+                .fetch_add(1, Ordering::Relaxed);
             Response::json(200, render(&model_stats_value(&model)))
         }
-        Err(PublishError::Rejected(e)) => err_response(ctx, ServeError::bad_request(e)),
-        Err(e @ PublishError::Store(_)) => err_response(ctx, ServeError::store_io(e.to_string())),
+        Err(PublishError::Rejected(e)) => err_response(ctx, obs, ServeError::bad_request(e)),
+        Err(e @ PublishError::Store(_)) => {
+            err_response(ctx, obs, ServeError::store_io(e.to_string()))
+        }
     }
 }
