@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Cluster smoke: a 2-shard gb-serve cluster behind a gbabs router, each
+# shard shared-nothing with its own --model-dir and access log. Phase 1
+# drives steady-state traffic through the router and then proves the
+# routing contract from the logs: zero loadgen errors, and every
+# /predict request id in the ROUTER's access log appears in EXACTLY ONE
+# backend's access log (tenants route deterministically; nothing is
+# double-served). Phase 2 SIGKILLs one backend mid-run: the retrying
+# loadgen client must still see zero errors — the router marks the shard
+# down on the first failed hop and fails over along the ring, and the
+# replicated publishes mean the survivor owns every tenant's model.
+#
+# usage: cluster_smoke.sh path/to/release/bin/dir
+set -euo pipefail
+
+BIN=${1:?usage: cluster_smoke.sh BIN_DIR}
+ADDR_A=127.0.0.1:8791
+ADDR_B=127.0.0.1:8792
+ADDR_R=127.0.0.1:8793
+DIR_A=$(mktemp -d /tmp/cluster-shard-a.XXXXXX)
+DIR_B=$(mktemp -d /tmp/cluster-shard-b.XXXXXX)
+CSV=$(mktemp /tmp/cluster-smoke.XXXXXX.csv)
+LOG_A=$(mktemp /tmp/cluster-access-a.XXXXXX.jsonl)
+LOG_B=$(mktemp /tmp/cluster-access-b.XXXXXX.jsonl)
+LOG_R=$(mktemp /tmp/cluster-access-r.XXXXXX.jsonl)
+BACKEND_A=
+BACKEND_B=
+ROUTER=
+
+cleanup() {
+  for pid in "$BACKEND_A" "$BACKEND_B" "$ROUTER"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$DIR_A" "$DIR_B" "$CSV" "$LOG_A" "$LOG_B" "$LOG_R"
+}
+trap cleanup EXIT
+
+awk 'BEGIN {
+  print "f0,f1,label"; srand(7);
+  for (i = 0; i < 2000; i++) {
+    c = i % 2;
+    printf "%.4f,%.4f,%d\n", c * 3 + rand() * 2, c * 3 + rand() * 2, c;
+  }
+}' > "$CSV"
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    curl -sf "http://$1/readyz" > /dev/null && return 0
+    sleep 0.2
+  done
+  echo "FAIL: $1 never became ready" >&2
+  return 1
+}
+
+boot_backend() { # addr model_dir access_log -> pid on stdout
+  "$BIN/gbabs" serve "$CSV" --addr "$1" \
+    --model-dir "$2" --request-timeout-ms 2000 \
+    --access-log "$3" >&2 &
+  echo $!
+}
+
+BACKEND_A=$(boot_backend "$ADDR_A" "$DIR_A" "$LOG_A")
+BACKEND_B=$(boot_backend "$ADDR_B" "$DIR_B" "$LOG_B")
+wait_ready "$ADDR_A"
+wait_ready "$ADDR_B"
+
+"$BIN/gbabs" router --backend "$ADDR_A" --backend "$ADDR_B" \
+  --addr "$ADDR_R" --health-interval-ms 100 \
+  --request-timeout-ms 2000 --access-log "$LOG_R" &
+ROUTER=$!
+wait_ready "$ADDR_R"
+curl -sf "http://$ADDR_R/cluster"; echo
+
+# Four tiny 2-feature tenants, published THROUGH the router: each must
+# replicate to both shards (replicas == 2) so failover never 404s.
+for t in default-0 default-1 default-2 default-3; do
+  curl -sf --retry 5 -X "POST" "http://$ADDR_R/models/$t" -d '{
+    "k": 1,
+    "model": {
+      "balls": [
+        {"center": [1.0, 1.0], "radius": 0.8, "label": 0,
+         "members": [0], "center_row": 0, "purity": 1.0},
+        {"center": [4.0, 4.0], "radius": 0.8, "label": 1,
+         "members": [1], "center_row": 1, "purity": 1.0}
+      ],
+      "noise": [], "orphan_count": 0, "iterations": 1
+    }
+  }' | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r.get("replicas") == 2, r
+print("  published %s -> %d replicas" % (r["published"], r["replicas"]))
+'
+done
+
+check() { # report.json min_healthy
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r['requests'] > 0 and r['errors'] == 0, r
+assert r['gave_up'] == 0, r
+cluster = r.get('cluster')
+assert cluster and 'backends' in cluster, r
+healthy = sum(1 for b in cluster['backends'] if b['healthy'])
+assert healthy >= int(sys.argv[2]), cluster
+print(f"  OK: {r['requests']} requests, {r['retries']} retries, "
+      f"{healthy}/{len(cluster['backends'])} backends healthy")
+EOF
+}
+
+echo "phase 1: steady-state traffic through the router, 4 tenants over 2 shards"
+"$BIN/loadgen" --addr "$ADDR_R" --cluster --models 4 \
+  --threads 2 --duration-s 2 --batch 4 --lo 0 --hi 5 > /tmp/cluster1.json
+check /tmp/cluster1.json 2
+
+# Flush settle, then the routing-integrity check: every /predict id the
+# router logged must appear in exactly one backend access log.
+sleep 1.5
+python3 - "$LOG_R" "$LOG_A" "$LOG_B" <<'EOF'
+import json, sys
+
+def ids_of(path, endpoint=None):
+    out = set()
+    with open(path) as f:
+        for line in f:
+            if not line.strip():
+                continue
+            r = json.loads(line)  # any torn line throws here
+            if endpoint is None or r["endpoint"] == endpoint:
+                out.add(r["id"])
+    return out
+
+routed = ids_of(sys.argv[1], "/predict")
+shard_a = ids_of(sys.argv[2])
+shard_b = ids_of(sys.argv[3])
+assert routed, "router access log has no /predict entries"
+orphans = [i for i in routed if i not in shard_a and i not in shard_b]
+doubles = [i for i in routed if i in shard_a and i in shard_b]
+assert not orphans, f"{len(orphans)} routed ids in no backend log: {orphans[:5]}"
+assert not doubles, f"{len(doubles)} routed ids in BOTH backend logs: {doubles[:5]}"
+print(f"  OK: {len(routed)} routed /predict ids, each in exactly one "
+      f"backend log ({len(routed & shard_a)} on A, {len(routed & shard_b)} on B)")
+EOF
+
+# Router metrics must pass the same Prometheus lint as the backends.
+curl -sf "http://$ADDR_R/metrics?format=prometheus" > /tmp/cluster-prom.txt
+python3 ci/check_prometheus.py /tmp/cluster-prom.txt
+grep -q "gb_router_backend_healthy" /tmp/cluster-prom.txt
+
+echo "phase 2: SIGKILL shard A mid-run; failover must be invisible"
+"$BIN/loadgen" --addr "$ADDR_R" --cluster --models 4 \
+  --threads 2 --duration-s 6 --batch 4 --lo 0 --hi 5 \
+  --retry-budget-ms 10000 --max-attempts 60 > /tmp/cluster2.json &
+LOADGEN=$!
+sleep 2
+kill -9 "$BACKEND_A"
+BACKEND_A=
+wait "$LOADGEN"
+check /tmp/cluster2.json 1
+
+# Post-kill, every tenant must still answer through the survivor.
+for t in default-0 default-1 default-2 default-3; do
+  curl -sf -X "POST" "http://$ADDR_R/predict" \
+    -d "{\"model\":\"$t\",\"row\":[1.0,1.0]}" > /dev/null
+done
+curl -sf "http://$ADDR_R/cluster" | python3 -c '
+import json, sys
+c = json.load(sys.stdin)
+healthy = [b["addr"] for b in c["backends"] if b["healthy"]]
+down = [b["addr"] for b in c["backends"] if not b["healthy"]]
+assert len(healthy) == 1 and len(down) == 1, c
+print(f"  OK: survivor {healthy[0]} serving, {down[0]} marked down")
+'
+echo "cluster smoke passed"

@@ -129,6 +129,15 @@ pub struct Cli {
     /// Emit per-iteration granulation progress events to stderr
     /// (`sample` only; GBABS method).
     pub progress: bool,
+    /// Backend gb-serve addresses the router shards tenants over
+    /// (`router` only; `--backend`, repeatable, or `--backends` comma
+    /// list).
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring (`router`
+    /// only).
+    pub vnodes: usize,
+    /// Backend `/readyz` poll interval in milliseconds (`router` only).
+    pub health_interval_ms: u64,
 }
 
 /// Parses a byte count with an optional `K`/`M`/`G` (or `KB`/`MB`/`GB`,
@@ -160,6 +169,9 @@ pub enum Command {
     Inspect,
     /// Granulate a CSV and serve predictions over HTTP.
     Serve,
+    /// Front a cluster of gb-serve backends with a consistent-hash
+    /// sharding router (no input CSV — the backends own the models).
+    Router,
 }
 
 /// Parse failures, rendered to the user with usage text.
@@ -191,13 +203,15 @@ pub enum ParseError {
     /// `--store-fault-rate` without `--model-dir` (there is no store to
     /// inject faults into), or a rate outside (0, 1].
     BadFaultRate,
+    /// `router` without any `--backend`/`--backends`.
+    MissingBackends,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::MissingCommand => {
-                write!(f, "missing subcommand (sample | inspect | serve)")
+                write!(f, "missing subcommand (sample | inspect | serve | router)")
             }
             ParseError::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
             ParseError::MissingInput => write!(f, "missing input CSV path"),
@@ -237,6 +251,12 @@ impl fmt::Display for ParseError {
                     "--store-fault-rate requires --model-dir and a rate in (0, 1]"
                 )
             }
+            ParseError::MissingBackends => {
+                write!(
+                    f,
+                    "router requires at least one --backend HOST:PORT (or --backends a,b,c)"
+                )
+            }
         }
     }
 }
@@ -254,6 +274,9 @@ usage:
                 [--model-dir DIR] [--model-mem-budget BYTES]
                 [--request-timeout-ms MS] [--store-fault-rate P] [--store-fault-seed S]
                 [--access-log PATH|stderr]
+  gbabs router  --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
+                [--vnodes N] [--health-interval-ms MS] [--workers W]
+                [--request-timeout-ms MS] [--access-log PATH|stderr]
 
 methods: gbabs (default), ggbs, igbs, srs, stratified, systematic,
          smote, borderline-smote, adasyn, tomek, cnn, enn,
@@ -293,6 +316,13 @@ options:
                       file path, or stderr/- for standard error
   --progress          sample: print per-iteration granulation progress to
                       stderr (gbabs method only)
+  --backend HOST:PORT router: add one gb-serve backend to the consistent-hash
+                      ring (repeatable); --backends A,B,C adds several
+  --vnodes N          router: virtual nodes per backend on the ring
+                      (default 64; more = better balance)
+  --health-interval-ms MS
+                      router: how often each backend's /readyz is polled
+                      (default 500)
 ";
 
 /// Parses `args` (without the program name).
@@ -306,6 +336,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         Some("sample") => Command::Sample,
         Some("inspect") => Command::Inspect,
         Some("serve") => Command::Serve,
+        Some("router") => Command::Router,
         Some(other) => return Err(ParseError::UnknownCommand(other.to_string())),
     };
     let mut cli = Cli {
@@ -329,6 +360,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         store_fault_seed: 42,
         access_log: None,
         progress: false,
+        backends: Vec::new(),
+        vnodes: 64,
+        health_interval_ms: 500,
     };
     let mut have_input = false;
     while let Some(arg) = it.next() {
@@ -360,10 +394,48 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     .parse()
                     .map_err(|_| ParseError::BadValue(arg.clone()))?;
             }
+            // For `router` the flag names a gb-serve shard address; for
+            // every other command it selects the granulation index.
+            "--backend" if command == Command::Router => {
+                let v = value(arg)?;
+                if v.is_empty() {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
+                cli.backends.push(v);
+            }
             "--backend" => {
                 let v = value(arg)?;
                 cli.backend =
                     GranulationBackend::from_str_opt(&v).ok_or(ParseError::UnknownBackend(v))?;
+            }
+            "--backends" => {
+                let v = value(arg)?;
+                let addrs: Vec<String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
+                cli.backends.extend(addrs);
+            }
+            "--vnodes" => {
+                cli.vnodes = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+                if cli.vnodes == 0 {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
+            }
+            "--health-interval-ms" => {
+                cli.health_interval_ms = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+                if cli.health_interval_ms == 0 {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
             }
             "--addr" => cli.addr = value(arg)?,
             "--k" => {
@@ -423,7 +495,18 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
             }
         }
     }
-    if !have_input {
+    if command == Command::Router {
+        // The router never reads a CSV: its backends own the models. A
+        // stray positional is a mistake, and so is an empty ring.
+        if have_input {
+            return Err(ParseError::UnknownFlag(
+                cli.input.to_string_lossy().into_owned(),
+            ));
+        }
+        if cli.backends.is_empty() {
+            return Err(ParseError::MissingBackends);
+        }
+    } else if !have_input {
         return Err(ParseError::MissingInput);
     }
     if cli.command == Command::Sample && cli.output.is_none() {
@@ -675,6 +758,64 @@ mod tests {
         );
         let progress = parse(&argv("sample in.csv -o out.csv --progress")).unwrap();
         assert!(progress.progress);
+    }
+
+    #[test]
+    fn parses_router_command() {
+        let cli = parse(&argv(
+            "router --backend 127.0.0.1:8081 --backend 127.0.0.1:8082 \
+             --addr 0.0.0.0:8080 --vnodes 128 --health-interval-ms 250 --workers 4",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Router);
+        assert_eq!(cli.backends, vec!["127.0.0.1:8081", "127.0.0.1:8082"]);
+        assert_eq!(cli.addr, "0.0.0.0:8080");
+        assert_eq!(cli.vnodes, 128);
+        assert_eq!(cli.health_interval_ms, 250);
+        assert_eq!(cli.workers, 4);
+
+        let defaults = parse(&argv("router --backends 127.0.0.1:9001,127.0.0.1:9002")).unwrap();
+        assert_eq!(defaults.backends.len(), 2);
+        assert_eq!(defaults.vnodes, 64);
+        assert_eq!(defaults.health_interval_ms, 500);
+        assert_eq!(defaults.addr, "127.0.0.1:8080");
+        assert_eq!(defaults.request_timeout_ms, 10_000);
+        assert_eq!(defaults.access_log, None);
+
+        // Both spellings compose.
+        let mixed = parse(&argv("router --backends a:1,b:2 --backend c:3")).unwrap();
+        assert_eq!(mixed.backends, vec!["a:1", "b:2", "c:3"]);
+    }
+
+    #[test]
+    fn router_rejects_bad_shapes() {
+        assert_eq!(parse(&argv("router")), Err(ParseError::MissingBackends));
+        assert_eq!(
+            parse(&argv("router --vnodes 32")),
+            Err(ParseError::MissingBackends)
+        );
+        assert_eq!(
+            parse(&argv("router --backend a:1 data.csv")),
+            Err(ParseError::UnknownFlag("data.csv".into())),
+            "the router takes no input CSV"
+        );
+        assert_eq!(
+            parse(&argv("router --backend a:1 --vnodes 0")),
+            Err(ParseError::BadValue("--vnodes".into()))
+        );
+        assert_eq!(
+            parse(&argv("router --backend a:1 --health-interval-ms 0")),
+            Err(ParseError::BadValue("--health-interval-ms".into()))
+        );
+        assert_eq!(
+            parse(&argv("router --backends ,")),
+            Err(ParseError::BadValue("--backends".into()))
+        );
+        // Outside `router`, --backend still selects the granulation index.
+        assert_eq!(
+            parse(&argv("inspect data.csv --backend 127.0.0.1:8081")),
+            Err(ParseError::UnknownBackend("127.0.0.1:8081".into()))
+        );
     }
 
     #[test]

@@ -61,12 +61,17 @@ pub fn build_sampler(
 /// a single class where sampling needs two) — stringified for the user
 /// instead of panicking.
 pub fn run(cli: &Cli) -> Result<String, String> {
+    // The router fronts gb-serve backends and never reads a CSV.
+    if cli.command == Command::Router {
+        return router(cli);
+    }
     let data = read_csv(&cli.input, &CsvOptions::default())
         .map_err(|e| format!("{}: {e}", cli.input.display()))?;
     match cli.command {
         Command::Sample => sample(cli, &data),
         Command::Inspect => Ok(inspect(cli, &data)),
         Command::Serve => serve(cli, &data),
+        Command::Router => unreachable!("handled above"),
     }
 }
 
@@ -294,6 +299,52 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
         println!("access log: one JSON line per request -> {target}");
     }
     let handle = server.start().map_err(|e| e.to_string())?;
+    handle.wait();
+    Ok(String::new())
+}
+
+/// `gbabs router`: front N gb-serve backends with a consistent-hash
+/// sharding router. Tenants are partitioned over the backends, publishes
+/// replicate to every healthy shard, and unhealthy backends are routed
+/// around (see `docs/CLUSTER.md`). Runs until the process is killed.
+///
+/// # Errors
+/// Bind failures and an empty backend list, stringified.
+fn router(cli: &Cli) -> Result<String, String> {
+    use gb_serve::{Router, RouterConfig};
+
+    let config = RouterConfig {
+        addr: cli.addr.clone(),
+        backends: cli.backends.clone(),
+        workers: cli.workers,
+        vnodes: cli.vnodes,
+        health_interval: std::time::Duration::from_millis(cli.health_interval_ms),
+        request_timeout: std::time::Duration::from_millis(cli.request_timeout_ms),
+        access_log: cli.access_log.clone(),
+        ..RouterConfig::default()
+    };
+    let router = Router::bind(config).map_err(|e| format!("bind {}: {e}", cli.addr))?;
+    let addr = router.local_addr().map_err(|e| e.to_string())?;
+    // One synchronous health pass so the first requests don't race the
+    // background prober.
+    router.warm_up();
+    println!(
+        "routing {} backend(s) ({} vnodes each, /readyz every {} ms) on http://{addr}",
+        cli.backends.len(),
+        cli.vnodes,
+        cli.health_interval_ms,
+    );
+    for backend in &cli.backends {
+        println!("  backend http://{backend}");
+    }
+    println!(
+        "endpoints: POST /predict | POST /sample | POST/DELETE /models/{{name}} | \
+         GET /model /models /cluster /healthz /readyz /metrics /debug/requests"
+    );
+    if let Some(target) = &cli.access_log {
+        println!("access log: one JSON line per request -> {target}");
+    }
+    let handle = router.start().map_err(|e| e.to_string())?;
     handle.wait();
     Ok(String::new())
 }

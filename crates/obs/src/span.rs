@@ -28,10 +28,13 @@ pub enum Stage {
     StoreIo,
     /// Time rendering and writing the response.
     Serialize,
+    /// Time a router spent forwarding the request to a backend (the full
+    /// hop: connect/reuse, write, wait, read — including any retries).
+    Forward,
 }
 
 /// Number of stages (sizes the per-request timing array).
-pub const N_STAGES: usize = 5;
+pub const N_STAGES: usize = 6;
 
 impl Stage {
     /// Every stage, in pipeline order.
@@ -41,6 +44,7 @@ impl Stage {
         Stage::Predict,
         Stage::StoreIo,
         Stage::Serialize,
+        Stage::Forward,
     ];
 
     /// Wire spelling (access-log field names append `_us`).
@@ -52,6 +56,7 @@ impl Stage {
             Stage::Predict => "predict",
             Stage::StoreIo => "store_io",
             Stage::Serialize => "serialize",
+            Stage::Forward => "forward",
         }
     }
 
@@ -62,6 +67,7 @@ impl Stage {
             Stage::Predict => 2,
             Stage::StoreIo => 3,
             Stage::Serialize => 4,
+            Stage::Forward => 5,
         }
     }
 }

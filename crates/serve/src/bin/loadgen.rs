@@ -17,8 +17,8 @@
 //! loadgen --addr 127.0.0.1:8080 [--threads 4] [--duration-s 5]
 //!         [--batch 1] [--model default] [--models N]
 //!         [--lo 0.0] [--hi 1.0] [--seed 42]
-//!         [--chaos] [--deadline-ms MS] [--retry-budget-ms 2000]
-//!         [--max-attempts 4]
+//!         [--chaos] [--cluster] [--deadline-ms MS]
+//!         [--retry-budget-ms 2000] [--max-attempts 4]
 //! ```
 //!
 //! # Chaos mode (`--chaos`)
@@ -48,6 +48,17 @@
 //! baseline (see `BENCH_SERVE.json` entry 2 for the recorded pair). All
 //! N tenants must already be registered and share one dimensionality
 //! (dims are probed from `{model}-0`).
+//!
+//! # Cluster mode (`--cluster`)
+//!
+//! Point `--addr` at a `gbabs router` instead of a single backend. The
+//! flag implies `--chaos` (the retrying client absorbs the brief 503
+//! window while the router marks a killed backend down and fails over
+//! along the ring), and after the run the router's `GET /cluster`
+//! topology — backend list, health, ring ownership — is embedded in the
+//! report under `"cluster"` so a recorded run states which shards served
+//! it. Combine with `--models N` so requests spread across shards: each
+//! tenant routes to exactly one backend. See `docs/CLUSTER.md`.
 
 use gb_obs::percentile_sorted_us;
 use gb_serve::{HttpClient, RetryPolicy, RetryingClient};
@@ -81,6 +92,9 @@ struct Args {
     seed: u64,
     /// Retry-on-failure mode for fault/restart testing.
     chaos: bool,
+    /// Target is a `gbabs router`: implies `--chaos` and appends the
+    /// router's `/cluster` topology to the report.
+    cluster: bool,
     /// Per-request deadline sent as `X-Deadline-Ms` (0 = none).
     deadline_ms: u64,
     /// Per-request retry budget in chaos mode.
@@ -123,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
         hi: 1.0,
         seed: 42,
         chaos: false,
+        cluster: false,
         deadline_ms: 0,
         retry_budget_ms: 2_000,
         max_attempts: RetryPolicy::default().max_attempts,
@@ -148,6 +163,10 @@ fn parse_args() -> Result<Args, String> {
             "--hi" => args.hi = value(arg)?.parse().map_err(|_| "bad --hi")?,
             "--seed" => args.seed = value(arg)?.parse().map_err(|_| "bad --seed")?,
             "--chaos" => args.chaos = true,
+            "--cluster" => {
+                args.cluster = true;
+                args.chaos = true;
+            }
             "--deadline-ms" => {
                 args.deadline_ms = value(arg)?.parse().map_err(|_| "bad --deadline-ms")?;
             }
@@ -369,6 +388,26 @@ fn chaos_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> 
     report
 }
 
+/// Best-effort fetch of the router's `GET /cluster` topology after a
+/// `--cluster` run. Failures degrade to `None` (rendered as JSON `null`)
+/// rather than failing the run: the load numbers are already collected,
+/// and the router may legitimately be mid-drain when we ask.
+fn fetch_cluster(args: &Args) -> Option<serde::Value> {
+    let mut client = RetryingClient::new(
+        &args.addr,
+        Duration::from_secs(5),
+        RetryPolicy::default(),
+        args.seed,
+    );
+    let resp = client
+        .send("GET", "/cluster", None, &[], Duration::from_secs(5))
+        .ok()?;
+    if resp.status != 200 {
+        return None;
+    }
+    serde_json::from_str(&resp.body).ok()
+}
+
 /// Percentile over exact sorted samples, reported in milliseconds. The
 /// interpolation lives in `gb-obs` so server-side estimates and loadgen
 /// reports share one definition.
@@ -503,6 +542,14 @@ fn main() {
             fields.push((
                 "amplification".into(),
                 serde::Value::Num(attempts as f64 / logical as f64),
+            ));
+        }
+    }
+    if args.cluster {
+        if let serde::Value::Obj(fields) = &mut report {
+            fields.push((
+                "cluster".into(),
+                fetch_cluster(&args).unwrap_or(serde::Value::Null),
             ));
         }
     }

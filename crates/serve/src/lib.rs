@@ -92,6 +92,17 @@
 //! decorrelated jitter, honoring `Retry-After`). The model store carries a
 //! deterministic fault-injection seam ([`store::FaultPolicy`], feature
 //! `fault-inject`) that the crash-recovery torture tests drive.
+//!
+//! ## Sharding
+//!
+//! One server process is one **shard**. The [`router`] module scales the
+//! tier horizontally: a `gbabs router` front end consistent-hashes tenant
+//! names over N shared-nothing gb-serve backends ([`router::HashRing`]),
+//! health-checks them via `/readyz`, fails over along the ring on
+//! transport errors, and replicates `POST /models/{name}` publishes to
+//! every healthy shard so failover never 404s. Request ids and deadlines
+//! propagate across the hop. See `docs/CLUSTER.md` for the operator's
+//! guide.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -103,6 +114,7 @@ pub mod errors;
 pub mod http;
 pub mod metrics;
 pub mod registry;
+pub mod router;
 pub mod server;
 pub mod store;
 
@@ -112,6 +124,7 @@ pub use deadline::Deadline;
 pub use errors::{ErrorCode, ServeError};
 pub use metrics::{LatencyHistogram, TenantRegistry, TenantStats};
 pub use registry::{LoadOptions, ModelRegistry, ModelStats, PublishError, ServingModel};
+pub use router::{HashRing, Router, RouterConfig, RouterHandle};
 pub use server::{ServeConfig, Server, ServerHandle, SERVER_VERSION};
 #[cfg(feature = "fault-inject")]
 pub use store::FaultPolicy;

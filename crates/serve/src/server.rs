@@ -792,7 +792,7 @@ fn metrics_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
 /// Emits one latency histogram family in Prometheus exposition format:
 /// cumulative `_bucket` series over the log2 µs buckets plus `+Inf`,
 /// `_sum`, and `_count`.
-fn prom_histogram(
+pub(crate) fn prom_histogram(
     p: &mut PromText,
     name: &str,
     help: &str,
