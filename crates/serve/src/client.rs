@@ -48,12 +48,24 @@ impl HttpClient {
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
-        let stream = TcpStream::connect(addr)?;
+        let stream = TcpStream::connect_timeout(&addr, timeout.max(Duration::from_millis(1)))?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self { stream, reader })
+    }
+
+    /// Rebinds the socket read/write timeout (a keep-alive connection
+    /// outlives the request that dialed it, so each request must bring
+    /// its own budget).
+    ///
+    /// # Errors
+    /// Propagates `set_read_timeout`/`set_write_timeout` failures.
+    pub fn set_io_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream.set_read_timeout(Some(timeout))?;
+        self.stream.set_write_timeout(Some(timeout))
     }
 
     /// Sends one request and reads the full response.
@@ -220,9 +232,10 @@ fn next_u64(state: &mut u64) -> u64 {
 }
 
 impl RetryingClient {
-    /// A client for `addr` with a per-attempt socket `timeout` and a
-    /// deterministic jitter stream from `seed`. No connection is opened
-    /// until the first send.
+    /// A client for `addr` with a per-attempt socket `timeout` (an upper
+    /// bound — each attempt is further shrunk to the send's remaining
+    /// budget) and a deterministic jitter stream from `seed`. No
+    /// connection is opened until the first send.
     #[must_use]
     pub fn new(addr: impl Into<String>, timeout: Duration, policy: RetryPolicy, seed: u64) -> Self {
         let prev_sleep = policy.base;
@@ -275,7 +288,15 @@ impl RetryingClient {
         loop {
             attempt += 1;
             self.stats.attempts += 1;
-            let result = self.try_once(method, path, body, headers);
+            // Each wire attempt's socket timeout is the configured
+            // per-attempt timeout shrunk to the remaining budget, so a
+            // single blocking read on a hung-but-connected server can
+            // never outlive the caller's deadline.
+            let io_timeout = self
+                .timeout
+                .min(give_up_at.saturating_duration_since(Instant::now()))
+                .max(Duration::from_millis(10));
+            let result = self.try_once(method, path, body, headers, io_timeout);
             let hint = match &result {
                 Ok(resp) if !retryable_status(resp.status) => return result,
                 Ok(resp) => retry_hint(resp),
@@ -300,19 +321,23 @@ impl RetryingClient {
         }
     }
 
-    /// One wire attempt, dialing a fresh connection if needed.
+    /// One wire attempt under `io_timeout`, dialing a fresh connection if
+    /// needed (the dial itself is bounded by the same timeout).
     fn try_once(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
         headers: &[(&str, String)],
+        io_timeout: Duration,
     ) -> std::io::Result<ClientResponse> {
         if self.conn.is_none() {
-            self.conn = Some(HttpClient::connect(self.addr.as_str(), self.timeout)?);
+            self.conn = Some(HttpClient::connect(self.addr.as_str(), io_timeout)?);
         }
         let conn = self.conn.as_mut().expect("just connected");
-        let result = conn.send(method, path, body, headers);
+        let result = conn
+            .set_io_timeout(io_timeout)
+            .and_then(|()| conn.send(method, path, body, headers));
         if result.is_err() {
             self.conn = None;
         }
@@ -473,6 +498,36 @@ mod tests {
         assert_eq!(resp.status, 503);
         assert!(started.elapsed() < Duration::from_secs(2));
         assert_eq!(client.stats.gave_up, 1);
+    }
+
+    #[test]
+    fn budget_bounds_a_hung_read() {
+        // A backend that accepts the connection and then never responds:
+        // the per-attempt socket timeout must shrink to the remaining
+        // budget so the blocking read can't run to the full configured
+        // timeout.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { break };
+                held.push(stream);
+            }
+        });
+        let mut client =
+            RetryingClient::new(addr.to_string(), Duration::from_secs(10), quick_policy(), 7);
+        let started = Instant::now();
+        let result = client.send("GET", "/x", None, &[], Duration::from_millis(200));
+        assert!(
+            result.is_err(),
+            "hung server must surface a transport error"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "hung read must be cut at the budget, not the 10s socket timeout, took {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

@@ -385,7 +385,12 @@ impl Router {
                 std::thread::Builder::new()
                     .name(format!("gb-router-worker-{i}"))
                     .spawn(move || loop {
-                        match rx.lock().expect("worker queue").recv() {
+                        // Bind before matching: a match scrutinee's
+                        // MutexGuard lives to the end of the match, which
+                        // would hold the queue lock across the (long)
+                        // connection and serialize the whole pool.
+                        let conn = rx.lock().expect("worker queue").recv();
+                        match conn {
                             Ok(stream) => {
                                 queued.fetch_sub(1, Ordering::SeqCst);
                                 handle_connection(stream, &ctx);
@@ -839,10 +844,35 @@ fn tenant_from_body(body: &str) -> Result<String, String> {
     }
 }
 
-/// `GET /model?name=`: forwards to the tenant's owner (query preserved).
+/// Percent-encodes one query value (RFC 3986 unreserved bytes pass
+/// through, everything else is `%XX`-escaped). The router routes on
+/// *decoded* tenant names, so rebuilding a forwarded query string from
+/// one must re-encode it — a raw space would split the request line and
+/// a raw `&`/`%`/`#` would be re-parsed as query structure, silently
+/// addressing the wrong tenant.
+fn encode_query_value(s: &str) -> String {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char);
+            }
+            _ => {
+                out.push('%');
+                out.push(HEX[usize::from(b >> 4)] as char);
+                out.push(HEX[usize::from(b & 0xf)] as char);
+            }
+        }
+    }
+    out
+}
+
+/// `GET /model?name=`: forwards to the tenant's owner (query re-encoded
+/// from the decoded name).
 fn model_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response {
     let tenant = req.query_param("name").unwrap_or("default").to_string();
-    let path = format!("/model?name={tenant}");
+    let path = format!("/model?name={}", encode_query_value(&tenant));
     forward_owned(ctx, obs, &tenant, &req.deadline, "GET", &path, None)
 }
 
@@ -916,12 +946,16 @@ fn models_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response
 }
 
 /// `POST /models/{name}` and `DELETE /models/{name}`: replicated
-/// publishes. Models are small relative to traffic, so every healthy
-/// backend stores every tenant — the ring decides who *serves* it warm,
-/// and a failed-over tenant cold-loads on the successor instead of
-/// 404ing. Publish succeeds only if **all** healthy replicas accept
-/// (failures return the retryable 503 `store_io` shape); delete treats a
-/// 404 replica as already-done.
+/// publishes. Models are small relative to traffic, so every backend
+/// stores every tenant — the ring decides who *serves* it warm, and a
+/// failed-over tenant cold-loads on the successor instead of 404ing.
+/// Publish succeeds only if **every configured** replica accepts: a
+/// rejecting replica *or one that is down at publish time* yields the
+/// retryable 503 `store_io` shape, so the client re-publishes until the
+/// full replica set has the model (a down replica would otherwise rejoin
+/// the ring with its old tenants but without models published during its
+/// downtime, and failover would 404). Delete treats a 404 replica as
+/// already-done.
 fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response {
     let name = req.path.trim_start_matches("/models/");
     if name.is_empty() || name.contains('/') {
@@ -940,8 +974,10 @@ fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Respons
     let mut results = Vec::new();
     let mut replicas = 0u64;
     let mut failures = Vec::new();
+    let mut skipped = Vec::new();
     for backend in &ctx.backends {
         if !backend.healthy.load(Ordering::SeqCst) {
+            skipped.push(backend.addr.clone());
             continue;
         }
         let outcome = forward_once(
@@ -972,7 +1008,7 @@ fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Respons
             ("status", Value::Num(f64::from(status))),
         ]));
     }
-    if replicas == 0 && results.is_empty() {
+    if results.is_empty() {
         ctx.metrics.no_owner.fetch_add(1, Ordering::Relaxed);
         return err_response(
             ctx,
@@ -980,13 +1016,21 @@ fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Respons
             ServeError::overloaded(format!("no healthy backend to replicate '{name}' to")),
         );
     }
-    if !failures.is_empty() {
+    // A replica that was down at publish time is as incomplete as one
+    // that rejected: it will rejoin the ring with its old tenants but
+    // without this model, and failover to it would 404. Surface both as
+    // the retryable store_io 503 so the client re-publishes until the
+    // full configured replica set has the model.
+    if !failures.is_empty() || !skipped.is_empty() {
+        let mut detail = failures;
+        detail.extend(skipped.into_iter().map(|addr| format!("{addr} -> down")));
         return err_response(
             ctx,
             obs,
             ServeError::store_io(format!(
-                "replication incomplete for '{name}': {}",
-                failures.join(", ")
+                "replication incomplete for '{name}' ({replicas}/{} replicas): {}",
+                ctx.backends.len(),
+                detail.join(", ")
             )),
         );
     }
@@ -1408,6 +1452,16 @@ mod tests {
             Ok(_) => panic!("bind accepted an empty backend list"),
             Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
         }
+    }
+
+    #[test]
+    fn query_values_are_percent_encoded_on_the_hop() {
+        assert_eq!(encode_query_value("plain-Name_0.~"), "plain-Name_0.~");
+        assert_eq!(encode_query_value("a b"), "a%20b");
+        assert_eq!(encode_query_value("a&b=c"), "a%26b%3Dc");
+        assert_eq!(encode_query_value("50%"), "50%25");
+        assert_eq!(encode_query_value("x#y"), "x%23y");
+        assert_eq!(encode_query_value("naïve"), "na%C3%AFve");
     }
 
     #[test]

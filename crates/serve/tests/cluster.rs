@@ -202,6 +202,67 @@ fn request_id_propagates_through_the_hop() {
 }
 
 #[test]
+fn publish_with_a_down_replica_is_a_retryable_store_io_503() {
+    let (_data, model) = fixture();
+    let a = boot_backend(&model, &[]);
+    let b = boot_backend(&model, &[]);
+    let router = boot_router(&[&a, &b]);
+    b.stop();
+    // Let the 50ms health poll mark the dead shard down, so the publish
+    // exercises the skipped-replica path (a transport failure on the hop
+    // yields the same 503 either way).
+    std::thread::sleep(Duration::from_millis(300));
+
+    // A publish that cannot reach the full configured replica set must
+    // NOT report success: the down shard would rejoin the ring without
+    // this model and failover to it would 404.
+    let model_json = serde_json::to_string(&model).unwrap();
+    let publish_body = format!("{{\"model\":{model_json},\"k\":1}}");
+    let mut c = HttpClient::connect(router.addr(), Duration::from_secs(20)).unwrap();
+    let (status, body) = c
+        .request("POST", "/models/degraded", Some(&publish_body))
+        .unwrap();
+    assert_eq!(status, 503, "{body}");
+    let v: Value = serde_json::from_str(&body).unwrap();
+    assert_eq!(
+        v.get("code"),
+        Some(&Value::Str("store_io".into())),
+        "{body}"
+    );
+    assert_eq!(v.get("retryable"), Some(&Value::Bool(true)), "{body}");
+
+    // The 503 is about completeness, not rollback: the surviving shard
+    // accepted the model, and an idempotent re-publish converges the
+    // replica set once the dead shard returns.
+    let mut direct = HttpClient::connect(a.addr(), Duration::from_secs(20)).unwrap();
+    let (status, body) = direct.request("GET", "/model?name=degraded", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    router.stop();
+    a.stop();
+}
+
+#[test]
+fn tenant_names_with_reserved_bytes_route_intact() {
+    let (_data, model) = fixture();
+    // A tenant whose name holds a space, an ampersand, and a percent —
+    // everything that would break a naively rebuilt query string.
+    let tenant = "spaced & 100% tenant";
+    let backend = boot_backend(&model, &[tenant]);
+    let router = boot_router(&[&backend]);
+
+    let mut c = HttpClient::connect(router.addr(), Duration::from_secs(20)).unwrap();
+    let (status, body) = c
+        .request("GET", "/model?name=spaced%20%26%20100%25%20tenant", None)
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(tenant), "wrong tenant served: {body}");
+
+    router.stop();
+    backend.stop();
+}
+
+#[test]
 fn no_healthy_owner_is_a_retryable_503_with_retry_after() {
     let (data, model) = fixture();
     let backend = boot_backend(&model, &["default"]);
