@@ -114,6 +114,10 @@ pub struct Cli {
     /// are evicted to disk when exceeded (`serve` only; requires
     /// `--model-dir`).
     pub model_mem_budget: Option<u64>,
+    /// Store versions retained per tenant before the oldest links of the
+    /// chain are garbage-collected after each mutation (`serve` only;
+    /// requires `--model-dir`). `None` retains every version.
+    pub max_versions: Option<usize>,
     /// Per-request deadline in milliseconds (`serve` only); 0 disables
     /// deadline enforcement and restores the legacy single-read-timeout
     /// behaviour.
@@ -203,6 +207,9 @@ pub enum ParseError {
     /// `--store-fault-rate` without `--model-dir` (there is no store to
     /// inject faults into), or a rate outside (0, 1].
     BadFaultRate,
+    /// `--max-versions` without `--model-dir` (there is no version chain
+    /// without a store).
+    VersionsWithoutDir,
     /// `router` without any `--backend`/`--backends`.
     MissingBackends,
 }
@@ -251,6 +258,13 @@ impl fmt::Display for ParseError {
                     "--store-fault-rate requires --model-dir and a rate in (0, 1]"
                 )
             }
+            ParseError::VersionsWithoutDir => {
+                write!(
+                    f,
+                    "--max-versions requires --model-dir (version chains live \
+                     in the model store)"
+                )
+            }
             ParseError::MissingBackends => {
                 write!(
                     f,
@@ -271,7 +285,7 @@ usage:
   gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
   gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
                 [--k K] [--workers W] [--no-batch] [--batch-wait MICROS]
-                [--model-dir DIR] [--model-mem-budget BYTES]
+                [--model-dir DIR] [--model-mem-budget BYTES] [--max-versions N]
                 [--request-timeout-ms MS] [--store-fault-rate P] [--store-fault-seed S]
                 [--access-log PATH|stderr]
   gbabs router  --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
@@ -302,6 +316,9 @@ options:
   --model-mem-budget BYTES
                       serve: resident-model memory budget (suffixes K/M/G);
                       LRU tenants are evicted to the model dir when exceeded
+  --max-versions N    serve: retain at most N store versions per tenant,
+                      garbage-collecting the oldest after each mutation
+                      (requires --model-dir; default retains all)
   --request-timeout-ms MS
                       serve: per-request deadline (default 10000); slow or
                       stalled requests are rejected 408/504 when it expires;
@@ -355,6 +372,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         batch_wait_us: 300,
         model_dir: None,
         model_mem_budget: None,
+        max_versions: None,
         request_timeout_ms: 10_000,
         store_fault_rate: None,
         store_fault_seed: 42,
@@ -466,6 +484,15 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                     parse_bytes(&value(arg)?).ok_or_else(|| ParseError::BadValue(arg.clone()))?,
                 );
             }
+            "--max-versions" => {
+                let n: usize = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+                if n == 0 {
+                    return Err(ParseError::BadValue(arg.clone()));
+                }
+                cli.max_versions = Some(n);
+            }
             "--request-timeout-ms" => {
                 cli.request_timeout_ms = value(arg)?
                     .parse()
@@ -525,6 +552,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         if cli.model_dir.is_none() || !(rate > 0.0 && rate <= 1.0) {
             return Err(ParseError::BadFaultRate);
         }
+    }
+    if cli.max_versions.is_some() && cli.model_dir.is_none() {
+        return Err(ParseError::VersionsWithoutDir);
     }
     Ok(cli)
 }

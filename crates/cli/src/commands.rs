@@ -245,6 +245,10 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
         }
         None => Arc::new(ModelRegistry::new()),
     };
+    registry.set_max_versions(cli.max_versions);
+    if let Some(n) = cli.max_versions {
+        println!("version retention: newest {n} store version(s) per tenant");
+    }
     let options = LoadOptions {
         k: cli.k,
         n_classes: Some(data.n_classes()),
@@ -292,7 +296,8 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
         cli.backend,
     );
     println!(
-        "endpoints: POST /predict | POST /sample | POST/DELETE /models/{{name}} | \
+        "endpoints: POST /predict | POST /sample | POST/DELETE/GET /models/{{name}} | \
+         POST /models/{{name}}/rows /models/{{name}}/rollback | \
          GET /model /models /healthz /readyz /metrics /debug/requests"
     );
     if let Some(target) = &cli.access_log {

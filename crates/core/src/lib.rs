@@ -78,5 +78,6 @@ pub use borderline::{
 // without depending on gb-obs directly.
 pub use gb_obs::{ProgressEvent, ProgressPhase};
 pub use gbknn::{DistanceRule, GbKnn, GbKnnConfig};
+pub use rdgbg::incremental::{canonical_rd_gbg, AppendStats, MaintainedModel};
 pub use rdgbg::{rd_gbg, rd_gbg_with_progress, ProgressSink, RdGbgConfig, RdGbgModel};
 pub use sampler::{GbabsSampler, NoSampling, SampleResult, Sampler};

@@ -1,0 +1,596 @@
+//! Incremental RD-GBG maintenance: canonical-order granulation with a
+//! decision trace, and append-with-prefix-reuse whose output is
+//! **bit-identical to a from-scratch rebuild on the union dataset**.
+//!
+//! # Why a canonical order
+//!
+//! [`super::rd_gbg`] draws candidate centers with an RNG whose stream
+//! depends on the evolving per-class pool sizes, so appending even one row
+//! perturbs every subsequent draw — no incremental scheme can reproduce
+//! the stochastic trace without redoing it. The maintenance engine
+//! therefore fixes the candidate order to a **canonical sweep**: rows are
+//! considered in ascending row id, each exactly once, with the identical
+//! per-candidate mathematics (Eq. 2 density verdicts, Eq. 3 heterogeneous
+//! stop, Eq. 4–6 conflict restriction, one range query for the members).
+//! Every cover invariant of the stochastic algorithm holds unchanged —
+//! purity 1.0, pairwise non-overlap, exact partition into
+//! balls ∪ noise — and the output is a *pure function of the row
+//! sequence*, which is what makes "incremental == rebuild" a meaningful,
+//! testable contract rather than an approximation.
+//!
+//! # Prefix reuse
+//!
+//! Each sweep decision records an **influence radius**: the largest
+//! squared distance from the candidate any index query inspected
+//! (`max(ρ-hood radius, diffusion bound)`, `∞` when fewer than ρ rows
+//! remained). A decision is provably unchanged by rows that are all
+//! strictly farther than its influence radius:
+//!
+//! * the ρ-neighbourhood cannot admit a farther row (new rows also carry
+//!   larger row ids, so exact-tie ordering favours the old rows — and the
+//!   cut test below is inclusive anyway);
+//! * the member range query is bounded by the diffusion bound, which the
+//!   influence radius dominates;
+//! * a new heterogeneous row between the conflict radius and the old
+//!   nearest-heterogeneous distance shrinks `d_het` without changing the
+//!   chosen bound or the member set.
+//!
+//! [`MaintainedModel::append`] finds the earliest decision whose influence
+//! ball contains any appended row (`d² ≤ influence²`, conservative), **replays**
+//! every decision before it verbatim — tombstone deletions, conflict-ball
+//! pushes, low-density marks, noise removals, no index queries — and
+//! resumes the live sweep from the following row. The always-available
+//! oracle is [`canonical_rd_gbg`] on the union dataset; the equivalence is
+//! property-tested ball-for-ball across all exact backends in
+//! `tests/ingest_oracle.rs`.
+
+use crate::ball::GranularBall;
+use crate::conflict::BallConflictIndex;
+use crate::rdgbg::RdGbgModel;
+use gb_dataset::distance::sq_euclidean;
+use gb_dataset::index::{GranulationBackend, NeighborIndex, RangeBound};
+use gb_dataset::Dataset;
+
+/// What one canonical-sweep candidate decision did (the replayable part).
+#[derive(Debug, Clone)]
+enum DecisionKind {
+    /// Candidate grew a diffusion ball (members were tombstoned, the ball
+    /// joined the conflict index).
+    Ball(GranularBall),
+    /// Candidate was routed to the low-density set `L` (still absorbable
+    /// by later balls, orphaned at the end if never absorbed).
+    LowDensity,
+    /// Candidate itself was detected as class noise and removed.
+    CandidateNoise,
+}
+
+/// One replayable decision of the canonical sweep.
+#[derive(Debug, Clone)]
+struct Decision {
+    /// Candidate row id (decisions are strictly ascending in `row`).
+    row: usize,
+    /// Squared influence radius: appended rows strictly farther than this
+    /// from the candidate cannot change the decision. `∞` when the
+    /// ρ-neighbourhood was not full.
+    influence_sq: f64,
+    /// The `h == 1` noisy nearest neighbour removed *before* diffusion.
+    noisy_neighbor: Option<usize>,
+    kind: DecisionKind,
+}
+
+/// Mutable sweep state shared by replay and the live sweep.
+struct SweepState {
+    index: Box<dyn NeighborIndex>,
+    low_density: Vec<bool>,
+    conflicts: BallConflictIndex,
+    noise: Vec<usize>,
+}
+
+/// Re-applies a prefix of decisions without any index queries: the exact
+/// tombstone deletions, conflict pushes, low-density marks, and noise
+/// removals the live sweep performed when the decisions were first made.
+fn replay(state: &mut SweepState, prefix: &[Decision]) {
+    for d in prefix {
+        if let Some(bad) = d.noisy_neighbor {
+            state.index.delete(bad);
+            state.noise.push(bad);
+        }
+        match &d.kind {
+            DecisionKind::Ball(ball) => {
+                for &m in &ball.members {
+                    state.index.delete(m);
+                }
+                state.conflicts.push(&ball.center, ball.radius);
+            }
+            DecisionKind::LowDensity => state.low_density[d.row] = true,
+            DecisionKind::CandidateNoise => {
+                state.index.delete(d.row);
+                state.noise.push(d.row);
+            }
+        }
+    }
+}
+
+/// The live canonical sweep from `start_row` (inclusive), appending one
+/// decision per alive, non-low-density row.
+fn live_sweep(
+    state: &mut SweepState,
+    data: &Dataset,
+    rho: usize,
+    start_row: usize,
+    trace: &mut Vec<Decision>,
+) {
+    for row in start_row..data.n_samples() {
+        if !state.index.is_alive(row) || state.low_density[row] {
+            continue;
+        }
+        let label = data.label(row);
+        let c = data.row(row);
+
+        // One ρ-sized k-NN query serves the nearest-neighbour check, the
+        // neighbourhood vote, and the verdict's influence radius. Same
+        // semantics as `super::detect_center`; inlined to expose the hood.
+        let hood = state.index.k_nearest_sq(c, rho, Some(row));
+        let mut influence_sq = if hood.len() < rho {
+            // The neighbourhood was not full: any appended row could join
+            // it, so the decision is influenced at any distance.
+            f64::INFINITY
+        } else {
+            hood.last().map_or(f64::INFINITY, |n| n.sq_dist)
+        };
+        let noisy_neighbor = match hood.first() {
+            None => {
+                // No other undivided sample: low-density, orphaned later.
+                state.low_density[row] = true;
+                trace.push(Decision {
+                    row,
+                    influence_sq,
+                    noisy_neighbor: None,
+                    kind: DecisionKind::LowDensity,
+                });
+                continue;
+            }
+            Some(&nn) if data.label(nn.row) == label => None,
+            Some(&nn) => {
+                let h = hood.iter().filter(|n| data.label(n.row) != label).count();
+                if h == hood.len() {
+                    // h == ρ: the candidate is class noise.
+                    state.index.delete(row);
+                    state.noise.push(row);
+                    trace.push(Decision {
+                        row,
+                        influence_sq,
+                        noisy_neighbor: None,
+                        kind: DecisionKind::CandidateNoise,
+                    });
+                    continue;
+                } else if h == 1 {
+                    Some(nn.row)
+                } else {
+                    // 1 < h < ρ: low-density candidate.
+                    state.low_density[row] = true;
+                    trace.push(Decision {
+                        row,
+                        influence_sq,
+                        noisy_neighbor: None,
+                        kind: DecisionKind::LowDensity,
+                    });
+                    continue;
+                }
+            }
+        };
+        if let Some(bad) = noisy_neighbor {
+            state.index.delete(bad);
+            state.noise.push(bad);
+        }
+
+        // Diffusion: identical bound selection and single range query as
+        // the stochastic engine (see `super::rd_gbg_with_progress`).
+        let d_het_sq = state
+            .index
+            .nearest_heterogeneous_sq(c, label, Some(row))
+            .map_or(f64::INFINITY, |h| h.sq_dist);
+        let rconf = state.conflicts.conflict_radius(c);
+        let (sq_bound, bound_kind) = if rconf * rconf < d_het_sq {
+            (rconf * rconf, RangeBound::Inclusive)
+        } else {
+            (d_het_sq, RangeBound::Strict)
+        };
+        if sq_bound.is_finite() {
+            influence_sq = influence_sq.max(sq_bound);
+        } else {
+            influence_sq = f64::INFINITY;
+        }
+        let hits = state.index.range_sq(c, sq_bound, bound_kind, Some(row));
+        let r_sq = hits.iter().fold(0.0f64, |m, h| m.max(h.sq_dist));
+        let r = r_sq.sqrt();
+
+        if r > 0.0 {
+            let mut members: Vec<usize> = hits.iter().map(|h| h.row).collect();
+            members.push(row);
+            members.sort_unstable();
+            for &m in &members {
+                debug_assert!(state.index.is_alive(m));
+                debug_assert_eq!(data.label(m), label, "diffusion must stay pure");
+                state.index.delete(m);
+            }
+            let ball = GranularBall {
+                center: c.to_vec(),
+                radius: r,
+                label,
+                members,
+                center_row: Some(row),
+                purity: 1.0,
+            };
+            state.conflicts.push(&ball.center, ball.radius);
+            trace.push(Decision {
+                row,
+                influence_sq,
+                noisy_neighbor,
+                kind: DecisionKind::Ball(ball),
+            });
+        } else {
+            state.low_density[row] = true;
+            trace.push(Decision {
+                row,
+                influence_sq,
+                noisy_neighbor,
+                kind: DecisionKind::LowDensity,
+            });
+        }
+    }
+}
+
+/// Runs replay + live sweep + orphan phase and assembles the model.
+fn sweep(
+    data: &Dataset,
+    rho: usize,
+    backend: GranulationBackend,
+    prefix: &[Decision],
+) -> (RdGbgModel, Vec<Decision>) {
+    assert!(rho >= 2, "density tolerance must be at least 2");
+    assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
+    let mut state = SweepState {
+        index: backend.build(data),
+        low_density: vec![false; data.n_samples()],
+        conflicts: BallConflictIndex::new(data.n_features()),
+        noise: Vec::new(),
+    };
+    let mut trace: Vec<Decision> = prefix.to_vec();
+    replay(&mut state, prefix);
+    let start_row = prefix.last().map_or(0, |d| d.row + 1);
+    live_sweep(&mut state, data, rho, start_row, &mut trace);
+
+    // Orphan phase: surviving rows (all low-density or unreachable)
+    // become radius-0 balls, recomputed fresh on every build — they are
+    // not part of the trace because later appends can legitimately absorb
+    // them into new diffusion balls.
+    let mut balls: Vec<GranularBall> = trace
+        .iter()
+        .filter_map(|d| match &d.kind {
+            DecisionKind::Ball(b) => Some(b.clone()),
+            _ => None,
+        })
+        .collect();
+    let mut orphan_count = 0usize;
+    for row in (0..data.n_samples()).filter(|&r| state.index.is_alive(r)) {
+        balls.push(GranularBall {
+            center: data.row(row).to_vec(),
+            radius: 0.0,
+            label: data.label(row),
+            members: vec![row],
+            center_row: Some(row),
+            purity: 1.0,
+        });
+        orphan_count += 1;
+    }
+    let model = RdGbgModel {
+        balls,
+        noise: state.noise,
+        orphan_count,
+        // The canonical engine is a single deterministic pass; the field
+        // is kept for envelope compatibility with the stochastic engine.
+        iterations: 1,
+    };
+    (model, trace)
+}
+
+/// Canonical-order RD-GBG over `data`: the **full-rebuild oracle** of the
+/// maintenance path. A pure function of `(row sequence, ρ)` — no RNG —
+/// producing a cover with the same invariants as [`super::rd_gbg`]
+/// (purity, non-overlap, exact partition) and bit-identical output across
+/// every exact backend.
+///
+/// # Panics
+/// Panics when `rho < 2` or the dataset is empty.
+#[must_use]
+pub fn canonical_rd_gbg(data: &Dataset, rho: usize, backend: GranulationBackend) -> RdGbgModel {
+    sweep(data, rho, backend, &[]).0
+}
+
+/// Telemetry of one [`MaintainedModel::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendStats {
+    /// Rows appended by this call.
+    pub appended: usize,
+    /// Sweep decisions replayed verbatim from the previous trace.
+    pub reused_decisions: usize,
+    /// Sweep decisions recomputed by the live sweep (dirty region + new
+    /// rows).
+    pub recomputed_decisions: usize,
+    /// Diffusion balls carried over unchanged.
+    pub reused_balls: usize,
+    /// Diffusion balls produced by the live sweep.
+    pub rebuilt_balls: usize,
+    /// `true` when no prefix could be reused (equivalent work to the
+    /// oracle rebuild).
+    pub full_rebuild: bool,
+}
+
+/// A granular-ball model under online maintenance: the backing dataset,
+/// the canonical-order cover, and the decision trace that makes appends
+/// incremental. The serving tier keeps one of these per maintained tenant;
+/// persistence stores only `(rows, labels, ρ)` — the trace is rebuilt
+/// deterministically on cold load via [`MaintainedModel::build`].
+#[derive(Debug, Clone)]
+pub struct MaintainedModel {
+    data: Dataset,
+    rho: usize,
+    backend: GranulationBackend,
+    model: RdGbgModel,
+    trace: Vec<Decision>,
+}
+
+impl MaintainedModel {
+    /// Builds the canonical cover of `data` from scratch and retains the
+    /// decision trace for future appends.
+    ///
+    /// # Panics
+    /// Panics when `rho < 2` or the dataset is empty.
+    #[must_use]
+    pub fn build(data: Dataset, rho: usize, backend: GranulationBackend) -> Self {
+        let (model, trace) = sweep(&data, rho, backend, &[]);
+        Self {
+            data,
+            rho,
+            backend,
+            model,
+            trace,
+        }
+    }
+
+    /// The current cover (bit-identical to
+    /// [`canonical_rd_gbg`]`(self.data(), self.rho(), backend)`).
+    #[must_use]
+    pub fn model(&self) -> &RdGbgModel {
+        &self.model
+    }
+
+    /// The backing dataset (initial rows + every appended row, in arrival
+    /// order).
+    #[must_use]
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Density tolerance ρ the cover is maintained under.
+    #[must_use]
+    pub fn rho(&self) -> usize {
+        self.rho
+    }
+
+    /// Neighbour-index backend the sweep queries run against (the cover is
+    /// backend-invariant; this only selects the query structure).
+    #[must_use]
+    pub fn backend(&self) -> GranulationBackend {
+        self.backend
+    }
+
+    /// Appends labelled rows (`features` is row-major,
+    /// `labels.len() * n_features` long) and re-granulates the dirty
+    /// region: the longest clean prefix of the decision trace is replayed
+    /// verbatim and the canonical sweep resumes after it.
+    ///
+    /// # Panics
+    /// Panics when the feature buffer is not `labels.len() * n_features`
+    /// long or any label is `>= n_classes` — callers (the serving tier)
+    /// validate first.
+    pub fn append(&mut self, features: &[f64], labels: &[u32]) -> AppendStats {
+        let p = self.data.n_features();
+        assert_eq!(
+            features.len(),
+            labels.len() * p,
+            "feature buffer does not match label count"
+        );
+        if labels.is_empty() {
+            return AppendStats {
+                appended: 0,
+                reused_decisions: self.trace.len(),
+                recomputed_decisions: 0,
+                reused_balls: self.model.balls.len() - self.model.orphan_count,
+                rebuilt_balls: 0,
+                full_rebuild: false,
+            };
+        }
+        for (row, &label) in features.chunks_exact(p).zip(labels) {
+            self.data.push_row(row, label);
+        }
+
+        // Cut: earliest decision whose influence ball contains any new
+        // row (inclusive — exact ties conservatively invalidate).
+        let new_rows: Vec<&[f64]> = features.chunks_exact(p).collect();
+        let cut = self
+            .trace
+            .iter()
+            .position(|d| {
+                d.influence_sq.is_infinite()
+                    || new_rows
+                        .iter()
+                        .any(|r| sq_euclidean(self.data.row(d.row), r) <= d.influence_sq)
+            })
+            .unwrap_or(self.trace.len());
+
+        let reused_balls = self.trace[..cut]
+            .iter()
+            .filter(|d| matches!(d.kind, DecisionKind::Ball(_)))
+            .count();
+        let (model, trace) = sweep(&self.data, self.rho, self.backend, &self.trace[..cut]);
+        let stats = AppendStats {
+            appended: labels.len(),
+            reused_decisions: cut,
+            recomputed_decisions: trace.len() - cut,
+            reused_balls,
+            rebuilt_balls: model.balls.len() - model.orphan_count - reused_balls,
+            full_rebuild: cut == 0,
+        };
+        self.model = model;
+        self.trace = trace;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gb_dataset::catalog::DatasetId;
+
+    fn assert_models_equal(a: &RdGbgModel, b: &RdGbgModel, ctx: &str) {
+        assert_eq!(a.noise, b.noise, "{ctx}: noise");
+        assert_eq!(a.orphan_count, b.orphan_count, "{ctx}: orphans");
+        assert_eq!(a.balls.len(), b.balls.len(), "{ctx}: ball count");
+        for (i, (x, y)) in a.balls.iter().zip(&b.balls).enumerate() {
+            assert_eq!(x.members, y.members, "{ctx}: ball {i} members");
+            assert_eq!(
+                x.radius.to_bits(),
+                y.radius.to_bits(),
+                "{ctx}: ball {i} radius"
+            );
+            assert_eq!(x.label, y.label, "{ctx}: ball {i} label");
+            assert_eq!(x.center, y.center, "{ctx}: ball {i} center");
+        }
+    }
+
+    fn union(base: &Dataset, feats: &[f64], labels: &[u32]) -> Dataset {
+        let mut u = base.clone();
+        for (row, &l) in feats.chunks_exact(base.n_features()).zip(labels) {
+            u.push_row(row, l);
+        }
+        u
+    }
+
+    #[test]
+    fn canonical_build_satisfies_cover_invariants() {
+        let data = DatasetId::S5.generate(0.05, 3);
+        let model = canonical_rd_gbg(&data, 5, GranulationBackend::Auto);
+        crate::diagnostics::verify_rdgbg_invariants(&data, &model).unwrap();
+    }
+
+    #[test]
+    fn canonical_build_is_backend_invariant() {
+        let data = DatasetId::S2.generate(0.1, 6);
+        let reference = canonical_rd_gbg(&data, 5, GranulationBackend::Brute);
+        for backend in [GranulationBackend::KdTree, GranulationBackend::VpTree] {
+            let model = canonical_rd_gbg(&data, 5, backend);
+            assert_models_equal(&model, &reference, &format!("{backend}"));
+        }
+    }
+
+    #[test]
+    fn append_matches_oracle_on_catalog_data() {
+        let base = DatasetId::S5.generate(0.05, 3);
+        let mut maintained = MaintainedModel::build(base.clone(), 5, GranulationBackend::Auto);
+        // Rows near the existing mass, plus a far outlier.
+        let feats = vec![0.1, 0.2, 0.15, 0.22, 50.0, 50.0];
+        let labels = vec![0, 1, 0];
+        let stats = maintained.append(&feats, &labels);
+        assert_eq!(stats.appended, 3);
+        let oracle = canonical_rd_gbg(&union(&base, &feats, &labels), 5, GranulationBackend::Auto);
+        assert_models_equal(maintained.model(), &oracle, "append vs oracle");
+        crate::diagnostics::verify_rdgbg_invariants(maintained.data(), maintained.model()).unwrap();
+    }
+
+    #[test]
+    fn repeated_appends_stay_equal_to_oracle() {
+        let base = DatasetId::S5.generate(0.08, 9);
+        let mut maintained = MaintainedModel::build(base.clone(), 5, GranulationBackend::KdTree);
+        let mut all_feats: Vec<f64> = Vec::new();
+        let mut all_labels: Vec<u32> = Vec::new();
+        let mut seed = 77u64;
+        for round in 0..4 {
+            let mut feats = Vec::new();
+            let mut labels = Vec::new();
+            for i in 0..3 {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = (seed >> 33) as f64 / (1u64 << 31) as f64;
+                feats.push(a * 2.0 - 0.5);
+                feats.push((i as f64).mul_add(0.3, a));
+                labels.push((round + i) as u32 % 2);
+            }
+            maintained.append(&feats, &labels);
+            all_feats.extend_from_slice(&feats);
+            all_labels.extend_from_slice(&labels);
+            let oracle = canonical_rd_gbg(
+                &union(&base, &all_feats, &all_labels),
+                5,
+                GranulationBackend::KdTree,
+            );
+            assert_models_equal(maintained.model(), &oracle, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_force_a_cut_and_stay_equal() {
+        let base = DatasetId::S5.generate(0.05, 4);
+        let mut maintained = MaintainedModel::build(base.clone(), 5, GranulationBackend::VpTree);
+        // Exact duplicate of row 0: lies inside whatever ball absorbed it.
+        let feats: Vec<f64> = base.row(0).to_vec();
+        let labels = vec![base.label(0)];
+        let stats = maintained.append(&feats, &labels);
+        assert!(
+            stats.recomputed_decisions > 0,
+            "a duplicate inside the cover must dirty at least one decision"
+        );
+        let oracle = canonical_rd_gbg(
+            &union(&base, &feats, &labels),
+            5,
+            GranulationBackend::VpTree,
+        );
+        assert_models_equal(maintained.model(), &oracle, "duplicate");
+    }
+
+    #[test]
+    fn far_outlier_reuses_the_whole_prefix() {
+        let data = DatasetId::S5.generate(0.05, 4);
+        let mut maintained = MaintainedModel::build(data, 5, GranulationBackend::Auto);
+        let n_decisions = maintained.trace.len();
+        // Far from every influence ball with a finite radius.
+        let stats = maintained.append(&[1e6, 1e6], &[0]);
+        assert!(
+            stats.reused_decisions > 0,
+            "a far outlier should reuse some prefix (got {stats:?})"
+        );
+        assert!(stats.reused_decisions <= n_decisions);
+        let oracle_rho_guard = maintained.model();
+        assert!(oracle_rho_guard.balls.iter().any(|b| b.radius == 0.0));
+    }
+
+    #[test]
+    fn empty_append_is_a_noop() {
+        let data = DatasetId::S5.generate(0.05, 3);
+        let mut maintained = MaintainedModel::build(data, 5, GranulationBackend::Auto);
+        let before = maintained.model().balls.len();
+        let stats = maintained.append(&[], &[]);
+        assert_eq!(stats.appended, 0);
+        assert!(!stats.full_rebuild);
+        assert_eq!(maintained.model().balls.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn rejects_out_of_range_labels() {
+        let data = DatasetId::S5.generate(0.05, 3);
+        let mut maintained = MaintainedModel::build(data, 5, GranulationBackend::Auto);
+        let n_classes = maintained.data().n_classes();
+        maintained.append(&[0.0, 0.0], &[n_classes as u32]);
+    }
+}

@@ -31,6 +31,8 @@
 //! * every input row ends up in exactly one ball or in the detected-noise
 //!   list.
 
+pub mod incremental;
+
 use crate::ball::GranularBall;
 use crate::conflict::BallConflictIndex;
 use gb_dataset::index::{GranulationBackend, NeighborIndex, RangeBound};

@@ -31,10 +31,14 @@ pub enum Stage {
     /// Time a router spent forwarding the request to a backend (the full
     /// hop: connect/reuse, write, wait, read — including any retries).
     Forward,
+    /// Time spent in online maintenance: incremental re-granulation,
+    /// version persistence, and predictor rebuild for `/rows` appends and
+    /// rollbacks.
+    Ingest,
 }
 
 /// Number of stages (sizes the per-request timing array).
-pub const N_STAGES: usize = 6;
+pub const N_STAGES: usize = 7;
 
 impl Stage {
     /// Every stage, in pipeline order.
@@ -45,6 +49,7 @@ impl Stage {
         Stage::StoreIo,
         Stage::Serialize,
         Stage::Forward,
+        Stage::Ingest,
     ];
 
     /// Wire spelling (access-log field names append `_us`).
@@ -57,6 +62,7 @@ impl Stage {
             Stage::StoreIo => "store_io",
             Stage::Serialize => "serialize",
             Stage::Forward => "forward",
+            Stage::Ingest => "ingest",
         }
     }
 
@@ -68,6 +74,7 @@ impl Stage {
             Stage::StoreIo => 3,
             Stage::Serialize => 4,
             Stage::Forward => 5,
+            Stage::Ingest => 6,
         }
     }
 }

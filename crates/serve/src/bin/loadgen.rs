@@ -19,7 +19,20 @@
 //!         [--lo 0.0] [--hi 1.0] [--seed 42]
 //!         [--chaos] [--cluster] [--deadline-ms MS]
 //!         [--retry-budget-ms 2000] [--max-attempts 4]
+//!         [--ingest-rate R] [--ingest-batch 8] [--ingest-model NAME]
+//!         [--ingest-classes 2]
 //! ```
+//!
+//! # Online-maintenance writer (`--ingest-rate R`)
+//!
+//! With `--ingest-rate R > 0` one dedicated **open-loop** writer thread
+//! posts `--ingest-batch` labelled rows to `/models/{name}/rows` R times
+//! per second (tenant `--ingest-model`, default `--model`) while the
+//! reader threads stay on `/predict` — the sustained-updates regime of
+//! `BENCH_SERVE.json` entry 6. The writer never retries (an append is
+//! not idempotent); failed appends are counted in the report's `ingest`
+//! section alongside append latency percentiles and the last
+//! acknowledged `store_version`/`n_rows`.
 //!
 //! # Chaos mode (`--chaos`)
 //!
@@ -102,6 +115,16 @@ struct Args {
     /// Wire attempts per logical request in chaos mode. Raise together
     /// with `--retry-budget-ms` to ride out a server restart mid-run.
     max_attempts: u32,
+    /// Target append rate (appends/s) for the online-maintenance writer
+    /// thread; 0 disables ingest.
+    ingest_rate: f64,
+    /// Labelled rows per append.
+    ingest_batch: usize,
+    /// Tenant the writer appends into (defaults to `--model`).
+    ingest_model: Option<String>,
+    /// Label range for generated rows (labels are drawn uniformly from
+    /// `0..ingest_classes`).
+    ingest_classes: u32,
 }
 
 impl Args {
@@ -141,6 +164,10 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms: 0,
         retry_budget_ms: 2_000,
         max_attempts: RetryPolicy::default().max_attempts,
+        ingest_rate: 0.0,
+        ingest_batch: 8,
+        ingest_model: None,
+        ingest_classes: 2,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -176,6 +203,16 @@ fn parse_args() -> Result<Args, String> {
             "--max-attempts" => {
                 args.max_attempts = value(arg)?.parse().map_err(|_| "bad --max-attempts")?;
             }
+            "--ingest-rate" => {
+                args.ingest_rate = value(arg)?.parse().map_err(|_| "bad --ingest-rate")?;
+            }
+            "--ingest-batch" => {
+                args.ingest_batch = value(arg)?.parse().map_err(|_| "bad --ingest-batch")?;
+            }
+            "--ingest-model" => args.ingest_model = Some(value(arg)?),
+            "--ingest-classes" => {
+                args.ingest_classes = value(arg)?.parse().map_err(|_| "bad --ingest-classes")?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -184,6 +221,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.threads == 0 || args.batch == 0 || args.models == 0 || args.max_attempts == 0 {
         return Err("--threads, --batch, --models and --max-attempts must be positive".into());
+    }
+    if args.ingest_rate < 0.0 || (args.ingest_rate > 0.0 && args.ingest_batch == 0) {
+        return Err("--ingest-rate must be >= 0 and --ingest-batch positive".into());
+    }
+    if args.ingest_classes < 2 {
+        return Err("--ingest-classes must be at least 2".into());
     }
     Ok(args)
 }
@@ -388,6 +431,116 @@ fn chaos_loop(args: &Args, dims: usize, thread_id: usize, stop: &AtomicBool) -> 
     report
 }
 
+/// What the paced writer thread observed over the run.
+#[derive(Default)]
+struct IngestReport {
+    appends: u64,
+    rows: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+    /// `store_version` from the last acknowledged append (0 = none).
+    last_store_version: u64,
+    /// `n_rows` from the last acknowledged append.
+    last_n_rows: u64,
+}
+
+/// Builds one `/models/{name}/rows` body: `ingest_batch` labelled rows
+/// over the same `--lo..--hi` cube the readers query, labels uniform over
+/// `0..ingest_classes`. The body always declares `n_classes`: creation
+/// otherwise infers the label space from the first batch, and a batch
+/// that happens to miss the top label would pin the tenant too narrow and
+/// 400 every later batch.
+fn ingest_body(args: &Args, dims: usize, state: &mut u64) -> String {
+    let mut body = String::with_capacity(batch_capacity(args.ingest_batch, dims) + 64);
+    body.push_str("{\"rows\":[");
+    let mut labels = Vec::with_capacity(args.ingest_batch);
+    for r in 0..args.ingest_batch {
+        if r > 0 {
+            body.push(',');
+        }
+        body.push('[');
+        for d in 0..dims {
+            if d > 0 {
+                body.push(',');
+            }
+            let v = args.lo + unit_f64(state) * (args.hi - args.lo);
+            let _ = write!(body, "{v:.6}");
+        }
+        body.push(']');
+        labels.push(next_u64(state) % u64::from(args.ingest_classes));
+    }
+    body.push_str("],\"labels\":[");
+    for (i, label) in labels.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "{label}");
+    }
+    let _ = write!(body, "],\"n_classes\":{}}}", args.ingest_classes);
+    body
+}
+
+/// The online-maintenance writer: an **open-loop** paced thread posting
+/// `--ingest-batch` labelled rows to `/models/{name}/rows` at
+/// `--ingest-rate` appends/s while the reader threads hammer `/predict`.
+/// Appends always go through the plain (non-retrying) client — an append
+/// is not idempotent, so a retry after an ambiguous transport failure
+/// could double-ingest; failures are counted instead.
+fn ingest_loop(args: &Args, dims: usize, stop: &AtomicBool) -> IngestReport {
+    let mut report = IngestReport::default();
+    let tenant = args
+        .ingest_model
+        .clone()
+        .unwrap_or_else(|| args.model.clone());
+    let path = format!("/models/{tenant}/rows");
+    let Ok(mut client) = HttpClient::connect(&args.addr, Duration::from_secs(10)) else {
+        report.errors += 1;
+        return report;
+    };
+    let interval = Duration::from_secs_f64(1.0 / args.ingest_rate);
+    let mut state = args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x1a9e57;
+    let mut round = 0u64;
+    let mut next = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep((next - now).min(Duration::from_millis(50)));
+            continue;
+        }
+        next += interval;
+        let id = format!("lg-{:x}-ingest-{round:x}", args.seed);
+        round += 1;
+        let body = ingest_body(args, dims, &mut state);
+        let headers = [("X-Request-Id", id)];
+        let t0 = Instant::now();
+        match client.send("POST", &path, Some(&body), &headers) {
+            Ok(resp) if resp.status == 200 => {
+                let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                report.appends += 1;
+                report.rows += args.ingest_batch as u64;
+                report.latencies_us.push(us);
+                if let Ok(v) = serde_json::from_str::<serde::Value>(&resp.body) {
+                    if let Some(serde::Value::Num(n)) = v.get("store_version") {
+                        report.last_store_version = *n as u64;
+                    }
+                    if let Some(serde::Value::Num(n)) = v.get("n_rows") {
+                        report.last_n_rows = *n as u64;
+                    }
+                }
+            }
+            Ok(_) => report.errors += 1,
+            Err(_) => {
+                report.errors += 1;
+                match HttpClient::connect(&args.addr, Duration::from_secs(10)) {
+                    Ok(c) => client = c,
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+    report
+}
+
 /// Best-effort fetch of the router's `GET /cluster` topology after a
 /// `--cluster` run. Failures degrade to `None` (rendered as JSON `null`)
 /// rather than failing the run: the load numbers are already collected,
@@ -432,28 +585,37 @@ fn main() {
     };
     let stop = AtomicBool::new(false);
     let started = Instant::now();
-    let reports: Vec<ThreadReport> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = (0..args.threads)
-            .map(|t| {
+    let (reports, ingest): (Vec<ThreadReport>, Option<IngestReport>) =
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..args.threads)
+                .map(|t| {
+                    let args = &args;
+                    let stop = &stop;
+                    s.spawn(move |_| {
+                        if args.chaos {
+                            chaos_loop(args, dims, t, stop)
+                        } else {
+                            client_loop(args, dims, t, stop)
+                        }
+                    })
+                })
+                .collect();
+            let ingest_handle = (args.ingest_rate > 0.0).then(|| {
                 let args = &args;
                 let stop = &stop;
-                s.spawn(move |_| {
-                    if args.chaos {
-                        chaos_loop(args, dims, t, stop)
-                    } else {
-                        client_loop(args, dims, t, stop)
-                    }
-                })
-            })
-            .collect();
-        std::thread::sleep(Duration::from_secs_f64(args.duration_s));
-        stop.store(true, Ordering::Relaxed);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect()
-    })
-    .expect("client scope");
+                s.spawn(move |_| ingest_loop(args, dims, stop))
+            });
+            std::thread::sleep(Duration::from_secs_f64(args.duration_s));
+            stop.store(true, Ordering::Relaxed);
+            (
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect(),
+                ingest_handle.map(|h| h.join().expect("ingest thread")),
+            )
+        })
+        .expect("client scope");
     let elapsed = started.elapsed().as_secs_f64();
 
     let mut latencies: Vec<u64> = Vec::new();
@@ -542,6 +704,60 @@ fn main() {
             fields.push((
                 "amplification".into(),
                 serde::Value::Num(attempts as f64 / logical as f64),
+            ));
+        }
+    }
+    if let Some(mut ing) = ingest {
+        ing.latencies_us.sort_unstable();
+        if let serde::Value::Obj(fields) = &mut report {
+            fields.push((
+                "ingest".into(),
+                serde::Value::Obj(vec![
+                    ("rate_target".into(), serde::Value::Num(args.ingest_rate)),
+                    ("batch".into(), serde::Value::Num(args.ingest_batch as f64)),
+                    ("appends".into(), serde::Value::Num(ing.appends as f64)),
+                    ("rows".into(), serde::Value::Num(ing.rows as f64)),
+                    ("errors".into(), serde::Value::Num(ing.errors as f64)),
+                    (
+                        "appends_s".into(),
+                        serde::Value::Num(ing.appends as f64 / elapsed),
+                    ),
+                    (
+                        "rows_s".into(),
+                        serde::Value::Num(ing.rows as f64 / elapsed),
+                    ),
+                    (
+                        "last_store_version".into(),
+                        serde::Value::Num(ing.last_store_version as f64),
+                    ),
+                    (
+                        "last_n_rows".into(),
+                        serde::Value::Num(ing.last_n_rows as f64),
+                    ),
+                    (
+                        "latency_ms".into(),
+                        serde::Value::Obj(vec![
+                            (
+                                "p50".into(),
+                                serde::Value::Num(percentile(&ing.latencies_us, 0.50)),
+                            ),
+                            (
+                                "p90".into(),
+                                serde::Value::Num(percentile(&ing.latencies_us, 0.90)),
+                            ),
+                            (
+                                "p99".into(),
+                                serde::Value::Num(percentile(&ing.latencies_us, 0.99)),
+                            ),
+                            (
+                                "max".into(),
+                                serde::Value::Num(
+                                    ing.latencies_us.last().map_or(0.0, |&v| v as f64 / 1000.0),
+                                ),
+                            ),
+                        ]),
+                    ),
+                ]),
             ));
         }
     }

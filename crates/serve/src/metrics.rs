@@ -30,6 +30,12 @@ pub struct Metrics {
     pub reloads: AtomicU64,
     /// Tenants deleted via `DELETE /models/{name}`.
     pub deletes: AtomicU64,
+    /// Accepted `/models/{name}/rows` appends (online maintenance).
+    pub appends: AtomicU64,
+    /// Labelled rows ingested through accepted appends.
+    pub append_rows: AtomicU64,
+    /// Accepted `/models/{name}/rollback` requests.
+    pub rollbacks: AtomicU64,
     /// 4xx responses (bad JSON, unknown model, bad shapes).
     pub client_errors: AtomicU64,
     /// 5xx responses other than shed 503s (contained predict failures).
@@ -162,6 +168,12 @@ pub struct TenantStats {
     pub rows: AtomicU64,
     /// Hot reloads of this tenant's model.
     pub reloads: AtomicU64,
+    /// Accepted row appends into this tenant (online maintenance).
+    pub appends: AtomicU64,
+    /// Labelled rows ingested into this tenant.
+    pub append_rows: AtomicU64,
+    /// Accepted rollbacks of this tenant's version chain.
+    pub rollbacks: AtomicU64,
     /// Errors attributed to this tenant, by [`ErrorCode`].
     pub errors: ErrorStats,
     /// Predict-path latency for this tenant.
@@ -184,6 +196,18 @@ impl TenantStats {
             (
                 "reloads".into(),
                 Value::Num(self.reloads.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "appends".into(),
+                Value::Num(self.appends.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "append_rows".into(),
+                Value::Num(self.append_rows.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "rollbacks".into(),
+                Value::Num(self.rollbacks.load(Ordering::Relaxed) as f64),
             ),
             ("errors_by_code".into(), self.errors.to_value()),
             ("predict_latency_us".into(), self.predict_latency.to_value()),

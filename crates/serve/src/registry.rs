@@ -42,12 +42,13 @@
 //! `GET /metrics`).
 
 use crate::metrics::LatencyHistogram;
-use crate::store::{ModelStore, ScanReport};
+use crate::store::{MaintainedTenant, ModelStore, ScanReport};
 use gb_dataset::index::GranulationBackend;
-use gbabs::{DistanceRule, GbKnn, GranularBall, RdGbgModel};
+use gb_dataset::Dataset;
+use gbabs::{AppendStats, DistanceRule, GbKnn, GranularBall, MaintainedModel, RdGbgModel};
 use serde::Value;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -147,6 +148,19 @@ pub struct ServingModel {
     pub resident_bytes: u64,
 }
 
+impl std::fmt::Debug for ServingModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServingModel")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("n_features", &self.n_features)
+            .field("n_classes", &self.n_classes)
+            .field("backend", &self.backend)
+            .field("resident_bytes", &self.resident_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Parameters for loading a model into the registry.
 #[derive(Debug, Clone)]
 pub struct LoadOptions {
@@ -193,6 +207,113 @@ impl std::fmt::Display for PublishError {
 }
 
 impl std::error::Error for PublishError {}
+
+/// Why an ingest (`/rows` append or rollback) failed.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The request itself is wrong (bad rows, tenant not maintained,
+    /// rollback target malformed) — the client's fault (HTTP 400).
+    Rejected(String),
+    /// The tenant or the pinned version does not exist (HTTP 404).
+    NotFound(String),
+    /// Store I/O failed; nothing was swapped, memory and disk stay
+    /// consistent (HTTP 503 — retryable).
+    Store(String),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Rejected(m) | IngestError::NotFound(m) => write!(f, "{m}"),
+            IngestError::Store(m) => write!(f, "model store: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Acknowledgement of one accepted `/rows` append (or tenant creation).
+#[derive(Debug)]
+pub struct IngestReceipt {
+    /// The model now serving.
+    pub serving: Arc<ServingModel>,
+    /// Store version this mutation committed (0 when no store is
+    /// attached — nothing was persisted).
+    pub store_version: u64,
+    /// True when this call created the tenant.
+    pub created: bool,
+    /// Total rows backing the tenant after the append.
+    pub n_rows: usize,
+    /// Incremental-sweep telemetry (`None` for a creation, which is a
+    /// from-scratch build by definition).
+    pub stats: Option<AppendStats>,
+}
+
+/// Acknowledgement of one accepted rollback.
+#[derive(Debug)]
+pub struct RollbackReceipt {
+    /// The model now serving.
+    pub serving: Arc<ServingModel>,
+    /// New head version carrying the rolled-back content.
+    pub store_version: u64,
+    /// The version whose content was re-activated.
+    pub rolled_back_to: u64,
+}
+
+/// Metadata of one version of a tenant's chain (`GET /models/{name}`).
+#[derive(Debug, Clone)]
+pub struct VersionInfo {
+    /// Tenant name.
+    pub name: String,
+    /// The version this metadata describes.
+    pub version: u64,
+    /// The chain head (active version).
+    pub head: u64,
+    /// Every version currently retained on disk, ascending.
+    pub versions: Vec<u64>,
+    /// Payload checksum of this version's parent (`None` for a root).
+    pub parent: Option<u64>,
+    /// Balls in this version's cover.
+    pub n_balls: usize,
+    /// Backing rows (`None` for model-only tenants).
+    pub n_rows: Option<usize>,
+    /// True when this version carries maintained rows (ingest-capable).
+    pub maintained: bool,
+    /// Serialized size of this version on disk.
+    pub file_bytes: u64,
+}
+
+/// Predictor + granulation parameters for tenants created through
+/// `/rows` (existing maintained tenants reuse the parameters they were
+/// created with).
+#[derive(Debug, Clone)]
+pub struct CreateOptions {
+    /// Density tolerance ρ for the maintained granulation (≥ 2).
+    pub rho: usize,
+    /// Class count; `None` derives `max label + 1` from the first batch.
+    /// Appends may never introduce a label outside this range.
+    pub n_classes: Option<usize>,
+    /// Predictor options (k, rule, backend label).
+    pub load: LoadOptions,
+}
+
+impl Default for CreateOptions {
+    fn default() -> Self {
+        Self {
+            rho: 5,
+            n_classes: None,
+            load: LoadOptions::default(),
+        }
+    }
+}
+
+/// Live ingest state of one maintained tenant: the incremental model plus
+/// the predictor options every committed version is rebuilt with.
+struct MaintainedEntry {
+    model: Arc<Mutex<MaintainedModel>>,
+    options: LoadOptions,
+    n_classes: usize,
+}
 
 /// A predictor built and sized outside the registry lock, awaiting its
 /// version + swap.
@@ -279,10 +400,17 @@ pub struct ModelRegistry {
     versions: AtomicU64,
     store: Option<ModelStore>,
     budget_bytes: Option<u64>,
-    /// Serializes persist-then-swap sequences (publish, remove) so the
-    /// store file and the registry entry can never disagree about which
-    /// version won a race.
+    /// Serializes persist-then-swap sequences (publish, remove, append,
+    /// rollback) so the store file and the registry entry can never
+    /// disagree about which version won a race.
     publish_lock: Mutex<()>,
+    /// Live ingest state per maintained tenant (rebuilt lazily from the
+    /// persisted rows on the first append after a restart).
+    maintained: Mutex<HashMap<String, MaintainedEntry>>,
+    /// Version-chain retention per tenant (0 = unbounded). Old versions
+    /// beyond this are garbage-collected after each commit; the head is
+    /// never collected.
+    max_versions: AtomicUsize,
     /// Files the boot scan quarantined (surfaced by `GET /readyz` so a
     /// post-crash restart that sidelined corrupt tenants is observable).
     boot_quarantined: usize,
@@ -518,16 +646,20 @@ impl ModelRegistry {
             }
             None => false,
         };
+        // A full publish replaces the tenant with a fixed cover: any live
+        // ingest state is superseded (the new version has no backing rows).
+        self.maintained
+            .lock()
+            .expect("maintained lock")
+            .remove(name);
+        if persisted {
+            self.gc_after_commit(name);
+        }
         // A cold reload that started *before* the save above read the old
         // file; let it settle before swapping so the accepted model cannot
         // be clobbered by the stale rebuild. (Reloads starting after the
         // save read the new file, so they can never roll us back.)
-        {
-            let mut inner = self.inner.lock().expect("registry lock");
-            while inner.loading.contains(name) {
-                inner = self.loaded.wait(inner).expect("registry condvar");
-            }
-        }
+        self.settle_loading(name);
         Ok(self.swap_in(name, built, options.backend, persisted))
     }
 
@@ -561,6 +693,384 @@ impl ModelRegistry {
         let model = <RdGbgModel as serde::Deserialize>::from_value(value)
             .map_err(|e| PublishError::Rejected(format!("bad model: {e}")))?;
         self.publish(name, &model, options)
+    }
+
+    /// Sets version-chain retention: after each commit, old versions
+    /// beyond the newest `n` are garbage-collected (`None` = keep all).
+    pub fn set_max_versions(&self, n: Option<usize>) {
+        self.max_versions.store(n.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Best-effort chain GC after a commit, honouring `max_versions`.
+    fn gc_after_commit(&self, name: &str) {
+        let keep = self.max_versions.load(Ordering::Relaxed);
+        if keep == 0 {
+            return;
+        }
+        if let Some(store) = &self.store {
+            // GC failures never fail the mutation that triggered them —
+            // the commit is already durable; retention catches up on the
+            // next commit.
+            let _ = store.gc_versions(name, keep);
+        }
+    }
+
+    /// Blocks until no cold reload of `name` is in flight (a reload that
+    /// started before a store write read the old file; letting it settle
+    /// before the swap keeps the accepted model from being clobbered).
+    fn settle_loading(&self, name: &str) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        while inner.loading.contains(name) {
+            inner = self.loaded.wait(inner).expect("registry condvar");
+        }
+    }
+
+    /// Validates an ingest batch against a fixed width and class count.
+    fn validate_rows(
+        features: &[f64],
+        labels: &[u32],
+        n_features: usize,
+        n_classes: usize,
+    ) -> Result<(), IngestError> {
+        if labels.is_empty() {
+            return Err(IngestError::Rejected("no rows in request".into()));
+        }
+        if n_features == 0 || features.len() != labels.len() * n_features {
+            return Err(IngestError::Rejected(format!(
+                "feature buffer has {} values for {} rows × {} features",
+                features.len(),
+                labels.len(),
+                n_features
+            )));
+        }
+        if !features.iter().all(|x| x.is_finite()) {
+            return Err(IngestError::Rejected(
+                "rows contain non-finite feature values".into(),
+            ));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| (l as usize) >= n_classes) {
+            return Err(IngestError::Rejected(format!(
+                "label {bad} out of range for {n_classes} classes"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Resolves the live ingest state of `name`, rebuilding it from the
+    /// persisted rows when the tenant is maintained on disk but has not
+    /// been appended to since boot. Must run under the publish lock.
+    ///
+    /// `Ok(None)` means the tenant does not exist at all (the caller may
+    /// create it); a tenant that exists without maintained rows is
+    /// `Err(Rejected)`.
+    fn resolve_maintained(&self, name: &str) -> Result<Option<()>, IngestError> {
+        if self
+            .maintained
+            .lock()
+            .expect("maintained lock")
+            .contains_key(name)
+        {
+            return Ok(Some(()));
+        }
+        let on_disk = self
+            .store
+            .as_ref()
+            .and_then(|s| s.head_version(name))
+            .is_some();
+        if on_disk {
+            let store = self.store.as_ref().expect("checked above");
+            let envelope = store.load(name).map_err(IngestError::Store)?;
+            let Some(m) = envelope.maintained else {
+                return Err(IngestError::Rejected(format!(
+                    "tenant '{name}' was published as a fixed model and has no \
+                     backing rows; republish through /models/{name} or delete \
+                     and recreate it through /rows"
+                )));
+            };
+            let n_classes = envelope.options.n_classes.unwrap_or(2);
+            let data = Dataset::from_parts(m.features, m.labels, m.n_features, n_classes);
+            let rebuilt = MaintainedModel::build(data, m.rho, envelope.options.backend);
+            self.maintained.lock().expect("maintained lock").insert(
+                name.to_string(),
+                MaintainedEntry {
+                    model: Arc::new(Mutex::new(rebuilt)),
+                    options: envelope.options,
+                    n_classes,
+                },
+            );
+            return Ok(Some(()));
+        }
+        // Memory-only resident tenants have no rows to maintain either.
+        let resident = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .resident
+            .contains_key(name);
+        if resident {
+            return Err(IngestError::Rejected(format!(
+                "tenant '{name}' is a memory-only model with no backing rows"
+            )));
+        }
+        Ok(None)
+    }
+
+    /// Commits the current state of a maintained tenant: persists a new
+    /// immutable version (when a store is attached), re-accounts the
+    /// resident footprint from the measured envelope size, GCs the chain,
+    /// and swaps the rebuilt predictor in.
+    fn commit_maintained(
+        &self,
+        name: &str,
+        entry_options: &LoadOptions,
+        n_classes: usize,
+        state: &MaintainedModel,
+    ) -> Result<(Arc<ServingModel>, u64), IngestError> {
+        let mut built = Self::build(state.model(), entry_options).map_err(IngestError::Rejected)?;
+        let store_version = match &self.store {
+            Some(store) => {
+                let data = state.data();
+                let maint = MaintainedTenant {
+                    rho: state.rho(),
+                    n_features: data.n_features(),
+                    features: data.features().to_vec(),
+                    labels: data.labels().to_vec(),
+                };
+                let saved = store
+                    .save_version(name, state.model(), entry_options, n_classes, Some(&maint))
+                    .map_err(IngestError::Store)?;
+                // Measured-not-estimated, re-measured per mutation: a
+                // tenant grown by appends is re-accounted against the
+                // byte budget at every commit.
+                built.resident_bytes = saved.bytes;
+                self.gc_after_commit(name);
+                saved.version
+            }
+            None => 0,
+        };
+        self.settle_loading(name);
+        let serving = self.swap_in(name, built, entry_options.backend, self.store.is_some());
+        Ok((serving, store_version))
+    }
+
+    /// Appends labelled rows to a maintained tenant (creating it when the
+    /// name is entirely new), re-granulates the dirty region incrementally,
+    /// persists the result as a new immutable store version, and swaps the
+    /// rebuilt predictor in atomically. The resulting cover is bit-identical
+    /// to a from-scratch rebuild on the union dataset (the incremental ==
+    /// oracle contract, enforced by `tests/ingest_oracle.rs`).
+    ///
+    /// `features` is row-major, `labels.len() * n_features` long.
+    /// `create` is consulted only when the tenant does not exist yet.
+    ///
+    /// # Errors
+    /// [`IngestError::Rejected`] for malformed batches, label/width
+    /// mismatches, and tenants without backing rows; [`IngestError::Store`]
+    /// when persisting the new version fails (nothing is swapped).
+    pub fn append_rows(
+        &self,
+        name: &str,
+        features: &[f64],
+        labels: &[u32],
+        n_features: usize,
+        create: &CreateOptions,
+    ) -> Result<IngestReceipt, IngestError> {
+        if self.store.is_some() && !ModelStore::valid_name(name) {
+            return Err(IngestError::Rejected(format!(
+                "invalid model name '{name}': use 1-128 chars of [A-Za-z0-9._-], \
+                 not starting with '.' or ending in '.v<digits>'"
+            )));
+        }
+        let _publishing = self.publish_lock.lock().expect("publish lock");
+        let existing = self.resolve_maintained(name)?;
+        if existing.is_some() {
+            let (model_arc, options, n_classes) = {
+                let map = self.maintained.lock().expect("maintained lock");
+                let e = map.get(name).expect("resolved above");
+                (Arc::clone(&e.model), e.options.clone(), e.n_classes)
+            };
+            let mut state = model_arc.lock().expect("maintained model lock");
+            if n_features != state.data().n_features() {
+                return Err(IngestError::Rejected(format!(
+                    "rows have {n_features} features but tenant '{name}' has {}",
+                    state.data().n_features()
+                )));
+            }
+            Self::validate_rows(features, labels, n_features, n_classes)?;
+            // Snapshot before mutating: a failed commit must leave the
+            // in-memory state exactly where the durable head is, so an
+            // errored batch is never half-ingested (and a client retry
+            // after a clean error cannot double-append).
+            let backup = state.clone();
+            let stats = state.append(features, labels);
+            let (serving, store_version) =
+                match self.commit_maintained(name, &options, n_classes, &state) {
+                    Ok(committed) => committed,
+                    Err(e) => {
+                        *state = backup;
+                        return Err(e);
+                    }
+                };
+            return Ok(IngestReceipt {
+                serving,
+                store_version,
+                created: false,
+                n_rows: state.data().n_samples(),
+                stats: Some(stats),
+            });
+        }
+        // Creation: the first batch founds the tenant.
+        if create.rho < 2 {
+            return Err(IngestError::Rejected(format!(
+                "rho must be at least 2, got {}",
+                create.rho
+            )));
+        }
+        let derived = labels.iter().map(|&l| l as usize + 1).max().unwrap_or(1);
+        let n_classes = create.n_classes.unwrap_or(derived).max(derived);
+        Self::validate_rows(features, labels, n_features, n_classes)?;
+        let mut options = create.load.clone();
+        options.n_classes = Some(n_classes);
+        let data = Dataset::from_parts(features.to_vec(), labels.to_vec(), n_features, n_classes);
+        let state = MaintainedModel::build(data, create.rho, options.backend);
+        let (serving, store_version) = self.commit_maintained(name, &options, n_classes, &state)?;
+        let n_rows = state.data().n_samples();
+        self.maintained.lock().expect("maintained lock").insert(
+            name.to_string(),
+            MaintainedEntry {
+                model: Arc::new(Mutex::new(state)),
+                options,
+                n_classes,
+            },
+        );
+        Ok(IngestReceipt {
+            serving,
+            store_version,
+            created: true,
+            n_rows,
+            stats: None,
+        })
+    }
+
+    /// Atomically re-activates a retained version: its content is copied
+    /// forward as a **new** head (the chain stays append-only and
+    /// single-file-atomic), the live ingest state is restored from the
+    /// rolled-back rows (or dropped, for a model-only version), and the
+    /// rebuilt predictor is swapped in.
+    ///
+    /// # Errors
+    /// [`IngestError::NotFound`] when the tenant or the pinned version does
+    /// not exist; [`IngestError::Store`] on I/O failures;
+    /// [`IngestError::Rejected`] for registries without a store.
+    pub fn rollback(&self, name: &str, version: u64) -> Result<RollbackReceipt, IngestError> {
+        let Some(store) = &self.store else {
+            return Err(IngestError::Rejected(
+                "rollback requires a persistent store (--model-dir)".into(),
+            ));
+        };
+        if !ModelStore::valid_name(name) {
+            return Err(IngestError::NotFound(format!("no model named '{name}'")));
+        }
+        let _publishing = self.publish_lock.lock().expect("publish lock");
+        let versions = store.versions_on_disk(name);
+        if versions.is_empty() {
+            return Err(IngestError::NotFound(format!("no model named '{name}'")));
+        }
+        if !versions.contains(&version) {
+            return Err(IngestError::NotFound(format!(
+                "tenant '{name}' has no version {version} (retained: {versions:?})"
+            )));
+        }
+        let envelope = store
+            .load_version(name, version)
+            .map_err(IngestError::Store)?;
+        let n_classes = envelope.options.n_classes.unwrap_or(2);
+        let saved = store
+            .save_version(
+                name,
+                &envelope.model,
+                &envelope.options,
+                n_classes,
+                envelope.maintained.as_ref(),
+            )
+            .map_err(IngestError::Store)?;
+        self.gc_after_commit(name);
+        let mut built =
+            Self::build(&envelope.model, &envelope.options).map_err(IngestError::Rejected)?;
+        built.resident_bytes = saved.bytes;
+        // Restore (or drop) the live ingest state to match the rolled-back
+        // content, so the next append continues from exactly this version.
+        {
+            let mut map = self.maintained.lock().expect("maintained lock");
+            match envelope.maintained {
+                Some(m) => {
+                    let data = Dataset::from_parts(m.features, m.labels, m.n_features, n_classes);
+                    let rebuilt = MaintainedModel::build(data, m.rho, envelope.options.backend);
+                    map.insert(
+                        name.to_string(),
+                        MaintainedEntry {
+                            model: Arc::new(Mutex::new(rebuilt)),
+                            options: envelope.options.clone(),
+                            n_classes,
+                        },
+                    );
+                }
+                None => {
+                    map.remove(name);
+                }
+            }
+        }
+        self.settle_loading(name);
+        let serving = self.swap_in(name, built, envelope.options.backend, true);
+        Ok(RollbackReceipt {
+            serving,
+            store_version: saved.version,
+            rolled_back_to: version,
+        })
+    }
+
+    /// Chain metadata for `GET /models/{name}[?version=]`: `None` pins the
+    /// head. Returns `Ok(None)` when the tenant has no store presence (a
+    /// memory-only tenant has no chain to inspect).
+    ///
+    /// # Errors
+    /// [`IngestError::NotFound`] for a pinned version that is not retained;
+    /// [`IngestError::Store`] when reading the version fails.
+    pub fn version_info(
+        &self,
+        name: &str,
+        version: Option<u64>,
+    ) -> Result<Option<VersionInfo>, IngestError> {
+        let Some(store) = &self.store else {
+            return Ok(None);
+        };
+        if !ModelStore::valid_name(name) {
+            return Ok(None);
+        }
+        let versions = store.versions_on_disk(name);
+        let Some(&head) = versions.last() else {
+            return Ok(None);
+        };
+        let pinned = version.unwrap_or(head);
+        if !versions.contains(&pinned) {
+            return Err(IngestError::NotFound(format!(
+                "tenant '{name}' has no version {pinned} (retained: {versions:?})"
+            )));
+        }
+        let envelope = store
+            .load_version(name, pinned)
+            .map_err(IngestError::Store)?;
+        Ok(Some(VersionInfo {
+            name: name.to_string(),
+            version: pinned,
+            head,
+            versions,
+            parent: envelope.parent,
+            n_balls: envelope.model.balls.len(),
+            n_rows: envelope.maintained.as_ref().map(|m| m.labels.len()),
+            maintained: envelope.maintained.is_some(),
+            file_bytes: envelope.file_bytes,
+        }))
     }
 
     /// Resolves a **resident** model by name, bumping its recency (the
@@ -701,6 +1211,10 @@ impl ModelRegistry {
     /// Store deletion failures (the registry entry is already gone).
     pub fn remove(&self, name: &str) -> Result<bool, String> {
         let _publishing = self.publish_lock.lock().expect("publish lock");
+        self.maintained
+            .lock()
+            .expect("maintained lock")
+            .remove(name);
         let existed = {
             let mut inner = self.inner.lock().expect("registry lock");
             let was_resident = inner.resident.remove(name);
@@ -1054,6 +1568,293 @@ mod tests {
             "single-flight: 8 concurrent acquires, one disk load"
         );
         assert_eq!(reg.stats.hits.load(Ordering::Relaxed), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Seeds an ingest batch: `n` rows of two interleaved Gaussian-ish
+    /// clusters (deterministic), flat features + labels.
+    fn ingest_batch(n: usize, seed: u64) -> (Vec<f64>, Vec<u32>) {
+        let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        };
+        let mut features = Vec::with_capacity(n * 2);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = (i % 2) as u32;
+            let cx = if label == 0 { 0.0 } else { 4.0 };
+            features.push(cx + next());
+            features.push(cx + next());
+            labels.push(label);
+        }
+        (features, labels)
+    }
+
+    #[test]
+    fn append_rows_creates_appends_and_survives_restart() {
+        let dir = tempdir("ingest");
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        let (f0, l0) = ingest_batch(40, 1);
+        let r0 = reg
+            .append_rows("live", &f0, &l0, 2, &CreateOptions::default())
+            .unwrap();
+        assert!(r0.created);
+        assert_eq!(r0.store_version, 1);
+        assert_eq!(r0.n_rows, 40);
+        assert!(r0.stats.is_none());
+        let (f1, l1) = ingest_batch(10, 2);
+        let r1 = reg
+            .append_rows("live", &f1, &l1, 2, &CreateOptions::default())
+            .unwrap();
+        assert!(!r1.created);
+        assert_eq!(r1.store_version, 2);
+        assert_eq!(r1.n_rows, 50);
+        assert!(r1.stats.is_some());
+
+        // The served cover must equal the from-scratch oracle on the union.
+        let mut union_f = f0.clone();
+        union_f.extend_from_slice(&f1);
+        let mut union_l = l0.clone();
+        union_l.extend_from_slice(&l1);
+        let union = Dataset::from_parts(union_f.clone(), union_l.clone(), 2, 2);
+        let oracle = gbabs::canonical_rd_gbg(&union, 5, GranulationBackend::Auto);
+        assert_eq!(r1.serving.stats.n_balls, oracle.balls.len());
+
+        // Restart: the maintained rows persisted, so an append after a
+        // fresh boot continues the chain — and still matches the oracle.
+        drop(reg);
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg2, report) = ModelRegistry::with_store(store, None).unwrap();
+        assert_eq!(report.found.len(), 1);
+        assert_eq!(report.found[0].version, 2);
+        let (f2, l2) = ingest_batch(10, 3);
+        let r2 = reg2
+            .append_rows("live", &f2, &l2, 2, &CreateOptions::default())
+            .unwrap();
+        assert_eq!(r2.store_version, 3);
+        assert_eq!(r2.n_rows, 60);
+        union_f.extend_from_slice(&f2);
+        union_l.extend_from_slice(&l2);
+        let union = Dataset::from_parts(union_f, union_l, 2, 2);
+        let oracle = gbabs::canonical_rd_gbg(&union, 5, GranulationBackend::Auto);
+        assert_eq!(r2.serving.stats.n_balls, oracle.balls.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_to_fixed_model_is_rejected_and_bad_batches_never_commit() {
+        let dir = tempdir("ingest_reject");
+        let data = DatasetId::S5.generate(0.05, 3);
+        let model = rd_gbg(&data, &RdGbgConfig::default());
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        reg.publish("fixed", &model, &LoadOptions::default())
+            .unwrap();
+        let (f, l) = ingest_batch(10, 4);
+        let err = reg
+            .append_rows("fixed", &f, &l, 2, &CreateOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Rejected(_)), "{err}");
+        assert_eq!(
+            reg.store().unwrap().head_version("fixed"),
+            Some(1),
+            "a rejected append must not commit a version"
+        );
+        // Bad batches on a maintained tenant.
+        let (f0, l0) = ingest_batch(40, 5);
+        reg.append_rows("live", &f0, &l0, 2, &CreateOptions::default())
+            .unwrap();
+        for (bf, bl, why) in [
+            (vec![1.0, 2.0, 3.0], vec![0u32], "width mismatch"),
+            (vec![1.0, f64::NAN], vec![0], "non-finite feature"),
+            (vec![1.0, 2.0], vec![9], "label out of range"),
+            (vec![], vec![], "empty batch"),
+        ] {
+            let err = reg
+                .append_rows("live", &bf, &bl, 2, &CreateOptions::default())
+                .unwrap_err();
+            assert!(matches!(err, IngestError::Rejected(_)), "{why}: {err}");
+        }
+        assert_eq!(reg.store().unwrap().head_version("live"), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_reactivates_old_content_and_future_appends_fork_from_it() {
+        let dir = tempdir("rollback");
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        let (f0, l0) = ingest_batch(40, 6);
+        reg.append_rows("t", &f0, &l0, 2, &CreateOptions::default())
+            .unwrap();
+        let (f1, l1) = ingest_batch(20, 7);
+        let r1 = reg
+            .append_rows("t", &f1, &l1, 2, &CreateOptions::default())
+            .unwrap();
+        assert_eq!(r1.n_rows, 60);
+        let rb = reg.rollback("t", 1).unwrap();
+        assert_eq!(rb.rolled_back_to, 1);
+        assert_eq!(rb.store_version, 3, "rollback commits a new head");
+        let info = reg.version_info("t", None).unwrap().unwrap();
+        assert_eq!(info.head, 3);
+        assert_eq!(info.n_rows, Some(40), "head carries the v1 rows again");
+        // Pinned reads still see every retained version.
+        assert_eq!(
+            reg.version_info("t", Some(2)).unwrap().unwrap().n_rows,
+            Some(60)
+        );
+        // An append after the rollback forks from the rolled-back rows.
+        let (f2, l2) = ingest_batch(5, 8);
+        let r2 = reg
+            .append_rows("t", &f2, &l2, 2, &CreateOptions::default())
+            .unwrap();
+        assert_eq!(r2.n_rows, 45, "60-row branch is dead, 40+5 live");
+        assert_eq!(r2.store_version, 4);
+        // Unknown versions are NotFound.
+        assert!(matches!(
+            reg.rollback("t", 99).unwrap_err(),
+            IngestError::NotFound(_)
+        ));
+        assert!(matches!(
+            reg.rollback("ghost", 1).unwrap_err(),
+            IngestError::NotFound(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_versions_gc_trims_chains_after_commits() {
+        let dir = tempdir("gc");
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        reg.set_max_versions(Some(3));
+        let (f0, l0) = ingest_batch(40, 9);
+        reg.append_rows("t", &f0, &l0, 2, &CreateOptions::default())
+            .unwrap();
+        for round in 0..5 {
+            let (f, l) = ingest_batch(4, 10 + round);
+            reg.append_rows("t", &f, &l, 2, &CreateOptions::default())
+                .unwrap();
+        }
+        let info = reg.version_info("t", None).unwrap().unwrap();
+        assert_eq!(info.head, 6);
+        assert_eq!(info.versions, [4, 5, 6], "retention keeps the newest 3");
+        assert!(matches!(
+            reg.version_info("t", Some(1)).unwrap_err(),
+            IngestError::NotFound(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The error-commits-nothing contract the serving tier promises its
+    /// clients: an append whose store commit fails must leave the
+    /// in-memory model exactly at the durable head, so retrying the same
+    /// batch after a clean error can never double-ingest it. The
+    /// mid-append crash torture schedules lean on this to retry 503s.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn failed_store_commit_rolls_the_memory_back_so_retries_are_safe() {
+        use crate::store::FaultPolicy;
+        let dir = tempdir("ingest_fault");
+        let store = ModelStore::open(&dir).unwrap();
+        let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+        let (f0, l0) = ingest_batch(40, 30);
+        let (f1, l1) = ingest_batch(20, 31);
+        // Walk the deterministic fault schedule until a seed makes the
+        // commit fail (at rate 1.0 some seeds still draw only a latency
+        // fault, which succeeds) — each candidate gets a fresh tenant so a
+        // seed that happens to commit cannot pollute the one under test.
+        let mut failed = false;
+        for seed in 0..64 {
+            let name = format!("t{seed}");
+            reg.append_rows(&name, &f0, &l0, 2, &CreateOptions::default())
+                .unwrap();
+            let store = reg.store().unwrap();
+            store.set_fault_policy(Some(FaultPolicy::new(1.0, seed)));
+            let attempt = reg.append_rows(&name, &f1, &l1, 2, &CreateOptions::default());
+            store.set_fault_policy(None);
+            let Err(err) = attempt else { continue };
+            assert!(matches!(err, IngestError::Store(_)), "{err}");
+            failed = true;
+            // In memory the serving model still reflects only batch 0.
+            let base = Dataset::from_parts(f0.clone(), l0.clone(), 2, 2);
+            let oracle0 = gbabs::canonical_rd_gbg(&base, 5, GranulationBackend::Auto);
+            assert_eq!(
+                reg.get(&name).unwrap().stats.n_balls,
+                oracle0.balls.len(),
+                "failed commit must not leave the batch half-ingested"
+            );
+            // The retry lands the batch exactly once.
+            let retry = reg
+                .append_rows(&name, &f1, &l1, 2, &CreateOptions::default())
+                .unwrap();
+            assert_eq!(retry.n_rows, 60, "40 + 20, not 40 + 2*20");
+            let mut uf = f0.clone();
+            uf.extend_from_slice(&f1);
+            let mut ul = l0.clone();
+            ul.extend_from_slice(&l1);
+            let union = Dataset::from_parts(uf, ul, 2, 2);
+            let oracle = gbabs::canonical_rd_gbg(&union, 5, GranulationBackend::Auto);
+            assert_eq!(retry.serving.stats.n_balls, oracle.balls.len());
+            break;
+        }
+        assert!(failed, "no seed in 0..64 produced a store fault on commit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: resident-byte accounting must track append
+    /// growth. A tenant grown by `/rows` alone re-measures its footprint at
+    /// every version commit, so the LRU byte budget fires without a single
+    /// publish or cold reload.
+    #[test]
+    fn appends_alone_grow_the_footprint_and_force_eviction() {
+        let dir = tempdir("ingest_evict");
+        let store = ModelStore::open(&dir).unwrap();
+        let (f0, l0) = ingest_batch(40, 20);
+        // Budget: comfortably fits two 40-row tenants, but not one of them
+        // grown several times larger.
+        let probe = {
+            let store = ModelStore::open(dir.join("probe")).unwrap();
+            let (reg, _) = ModelRegistry::with_store(store, None).unwrap();
+            reg.append_rows("p", &f0, &l0, 2, &CreateOptions::default())
+                .unwrap()
+                .serving
+                .resident_bytes
+        };
+        let (reg, _) = ModelRegistry::with_store(store, Some(probe * 3)).unwrap();
+        reg.append_rows("bystander", &f0, &l0, 2, &CreateOptions::default())
+            .unwrap();
+        reg.append_rows("grower", &f0, &l0, 2, &CreateOptions::default())
+            .unwrap();
+        assert_eq!(reg.snapshot().resident, 2, "both fit initially");
+        let mut evicted = false;
+        for round in 0..12 {
+            let (f, l) = ingest_batch(40, 21 + round);
+            let r = reg
+                .append_rows("grower", &f, &l, 2, &CreateOptions::default())
+                .unwrap();
+            assert!(
+                r.serving.resident_bytes > probe,
+                "footprint must be re-measured as the tenant grows"
+            );
+            if reg.stats.evictions.load(Ordering::Relaxed) > 0 {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(
+            evicted,
+            "appends alone must push the grower over budget and evict the \
+             LRU bystander: {:?}",
+            reg.snapshot()
+        );
+        assert!(reg.get("bystander").is_none(), "bystander went cold");
+        assert!(reg.get("grower").is_some(), "the grower itself stays");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

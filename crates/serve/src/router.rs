@@ -648,6 +648,7 @@ fn route(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response {
         ("POST" | "DELETE", path) if path.starts_with("/models/") => {
             publish_endpoint(req, ctx, obs)
         }
+        ("GET", path) if path.starts_with("/models/") => version_endpoint(req, ctx, obs),
         (
             _,
             "/healthz" | "/readyz" | "/metrics" | "/cluster" | "/debug/requests" | "/predict"
@@ -956,8 +957,25 @@ fn models_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response
 /// the ring with its old tenants but without models published during its
 /// downtime, and failover would 404). Delete treats a 404 replica as
 /// already-done.
+///
+/// `POST /models/{name}/rows` and `/models/{name}/rollback` replicate
+/// through the same loop: online maintenance is deterministic (the same
+/// append sequence re-granulates to the same cover on every replica), so
+/// full-set fan-out keeps the shards' version chains converged. Unlike a
+/// publish, an append is **not** idempotent — on a partial failure the
+/// caller must reconcile (roll every replica back to a common version)
+/// instead of blindly retrying; see `docs/CLUSTER.md`.
 fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response {
-    let name = req.path.trim_start_matches("/models/");
+    let rest = req.path.trim_start_matches("/models/");
+    // Only POST carries maintenance actions; a DELETE with an action
+    // suffix stays multi-segment and is rejected below.
+    let name = if req.method == "POST" {
+        rest.strip_suffix("/rows")
+            .or_else(|| rest.strip_suffix("/rollback"))
+            .unwrap_or(rest)
+    } else {
+        rest
+    };
     if name.is_empty() || name.contains('/') {
         return err_response(
             ctx,
@@ -1034,7 +1052,15 @@ fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Respons
             )),
         );
     }
-    let verb = if delete { "deleted" } else { "published" };
+    let verb = if delete {
+        "deleted"
+    } else if name != rest && rest.ends_with("/rows") {
+        "appended"
+    } else if name != rest {
+        "rolled_back"
+    } else {
+        "published"
+    };
     Response::json(
         200,
         render(&obj(vec![
@@ -1043,6 +1069,34 @@ fn publish_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Respons
             ("results", Value::Arr(results)),
         ])),
     )
+}
+
+/// `GET /models/{name}[?version=N]`: version-chain metadata, forwarded to
+/// the tenant's owner shard (replication keeps the chains converged, so
+/// the owner's answer stands for the cluster).
+fn version_endpoint(req: &Request, ctx: &RouterCtx, obs: &mut ObsCtx) -> Response {
+    let name = req.path.trim_start_matches("/models/");
+    if name.is_empty() || name.contains('/') {
+        return err_response(
+            ctx,
+            obs,
+            ServeError::bad_request("model name must be a single path segment"),
+        );
+    }
+    let path = match req.query_param("version") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => format!("{}?version={v}", req.path),
+            Err(_) => {
+                return err_response(
+                    ctx,
+                    obs,
+                    ServeError::bad_request("'version' must be a non-negative integer"),
+                )
+            }
+        },
+        None => req.path.clone(),
+    };
+    forward_owned(ctx, obs, name, &req.deadline, "GET", &path, None)
 }
 
 /// Build-info fields shared by the router's health and metrics bodies.

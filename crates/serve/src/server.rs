@@ -14,7 +14,9 @@ use crate::deadline::Deadline;
 use crate::errors::{ErrorCode, ServeError};
 use crate::http::{peek_head, read_request, HttpError, Response};
 use crate::metrics::{LatencyHistogram, Metrics, TenantRegistry, LATENCY_BUCKETS};
-use crate::registry::{LoadOptions, ModelRegistry, PublishError, ServingModel};
+use crate::registry::{
+    CreateOptions, IngestError, LoadOptions, ModelRegistry, PublishError, ServingModel, VersionInfo,
+};
 use gb_dataset::index::GranulationBackend;
 use gb_obs::{gen_request_id, AccessLog, DebugRing, PromText, RequestCtx as ObsCtx, Stage};
 use gbabs::{DistanceRule, ProgressEvent};
@@ -525,8 +527,23 @@ fn route(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Respo
         ("GET", "/model") => model_endpoint(req, ctx, obs),
         ("POST", "/predict") => predict_endpoint(req, ctx, obs),
         ("POST", "/sample") => sample_endpoint(req, ctx, obs),
+        ("POST", path)
+            if path
+                .strip_prefix("/models/")
+                .is_some_and(|rest| rest.ends_with("/rows")) =>
+        {
+            ingest_endpoint(req, ctx, obs)
+        }
+        ("POST", path)
+            if path
+                .strip_prefix("/models/")
+                .is_some_and(|rest| rest.ends_with("/rollback")) =>
+        {
+            rollback_endpoint(req, ctx, obs)
+        }
         ("POST", path) if path.starts_with("/models/") => reload_endpoint(req, ctx, obs),
         ("DELETE", path) if path.starts_with("/models/") => delete_endpoint(req, ctx, obs),
+        ("GET", path) if path.starts_with("/models/") => version_endpoint(req, ctx, obs),
         (
             _,
             "/healthz" | "/readyz" | "/metrics" | "/debug/requests" | "/models" | "/model"
@@ -724,11 +741,23 @@ fn metrics_endpoint(req: &crate::http::Request, ctx: &ServerCtx) -> Response {
                     "delete",
                     Value::Num(m.deletes.load(Ordering::Relaxed) as f64),
                 ),
+                (
+                    "append",
+                    Value::Num(m.appends.load(Ordering::Relaxed) as f64),
+                ),
+                (
+                    "rollback",
+                    Value::Num(m.rollbacks.load(Ordering::Relaxed) as f64),
+                ),
             ]),
         ),
         (
             "predict_rows",
             Value::Num(m.predict_rows.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "append_rows",
+            Value::Num(m.append_rows.load(Ordering::Relaxed) as f64),
         ),
         (
             "client_errors",
@@ -856,6 +885,8 @@ fn prometheus_metrics(ctx: &ServerCtx) -> String {
         ("healthz", &m.health_requests),
         ("reload", &m.reloads),
         ("delete", &m.deletes),
+        ("append", &m.appends),
+        ("rollback", &m.rollbacks),
     ] {
         p.sample(
             "gb_requests_total",
@@ -868,6 +899,16 @@ fn prometheus_metrics(ctx: &ServerCtx) -> String {
         "gb_predict_rows_total",
         &[],
         m.predict_rows.load(Ordering::Relaxed) as f64,
+    );
+    p.metric(
+        "gb_append_rows_total",
+        "counter",
+        "Labelled rows ingested through online maintenance",
+    );
+    p.sample(
+        "gb_append_rows_total",
+        &[],
+        m.append_rows.load(Ordering::Relaxed) as f64,
     );
     p.metric("gb_errors_total", "counter", "Errors by taxonomy code");
     for code in ErrorCode::ALL {
@@ -1028,6 +1069,21 @@ fn prometheus_metrics(ctx: &ServerCtx) -> String {
             "Hot reloads by tenant",
         );
         p.metric(
+            "gb_tenant_appends_total",
+            "counter",
+            "Accepted row appends by tenant",
+        );
+        p.metric(
+            "gb_tenant_append_rows_total",
+            "counter",
+            "Ingested rows by tenant",
+        );
+        p.metric(
+            "gb_tenant_rollbacks_total",
+            "counter",
+            "Accepted rollbacks by tenant",
+        );
+        p.metric(
             "gb_tenant_errors_total",
             "counter",
             "Errors by tenant and code",
@@ -1053,6 +1109,21 @@ fn prometheus_metrics(ctx: &ServerCtx) -> String {
                 "gb_tenant_reloads_total",
                 &[("tenant", tenant)],
                 stats.reloads.load(Ordering::Relaxed) as f64,
+            );
+            p.sample(
+                "gb_tenant_appends_total",
+                &[("tenant", tenant)],
+                stats.appends.load(Ordering::Relaxed) as f64,
+            );
+            p.sample(
+                "gb_tenant_append_rows_total",
+                &[("tenant", tenant)],
+                stats.append_rows.load(Ordering::Relaxed) as f64,
+            );
+            p.sample(
+                "gb_tenant_rollbacks_total",
+                &[("tenant", tenant)],
+                stats.rollbacks.load(Ordering::Relaxed) as f64,
             );
             // Zero-count codes are skipped: tenant × code is the one label
             // product here that can sprawl.
@@ -1511,5 +1582,331 @@ fn reload_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx
         Err(e @ PublishError::Store(_)) => {
             err_response(ctx, obs, ServeError::store_io(e.to_string()))
         }
+    }
+}
+
+/// Maps an [`IngestError`] onto the closed error taxonomy: client-caused
+/// rejections are 400s, unknown tenants/versions 404s, store failures the
+/// same 503 `store_io` code cold reloads use.
+fn ingest_error(e: IngestError) -> ServeError {
+    match e {
+        IngestError::Rejected(m) => ServeError::bad_request(m),
+        IngestError::NotFound(m) => ServeError::not_found(m),
+        IngestError::Store(m) => ServeError::store_io(m),
+    }
+}
+
+/// Extracts the tenant name from `/models/{name}/{action}`, rejecting
+/// empty and multi-segment names the same way publish/delete do.
+fn mutation_tenant<'a>(path: &'a str, action: &str) -> Result<&'a str, String> {
+    let name = path
+        .trim_start_matches("/models/")
+        .strip_suffix(action)
+        .unwrap_or("");
+    if name.is_empty() || name.contains('/') {
+        return Err("model name must be a single path segment".into());
+    }
+    Ok(name)
+}
+
+/// Parses a labelled batch from an ingest body: `"rows"` (array of equal
+/// width numeric arrays) and `"labels"` (array of non-negative integers,
+/// one per row). Returns the flattened features, labels, and row width.
+fn extract_labelled_rows(body: &Value) -> Result<(Vec<f64>, Vec<u32>, usize), String> {
+    let Some(Value::Arr(rows)) = body.get("rows") else {
+        return Err("missing 'rows' (array of arrays)".into());
+    };
+    let Some(Value::Arr(labels)) = body.get("labels") else {
+        return Err("missing 'labels' (array of non-negative integers)".into());
+    };
+    if rows.is_empty() {
+        return Err("'rows' is empty".into());
+    }
+    if labels.len() != rows.len() {
+        return Err(format!(
+            "{} labels for {} rows; provide exactly one label per row",
+            labels.len(),
+            rows.len()
+        ));
+    }
+    let Some(Value::Arr(first)) = rows.first() else {
+        return Err("row 0 is not an array".into());
+    };
+    let n_features = first.len();
+    if n_features == 0 {
+        return Err("row 0 is empty; rows need at least one feature".into());
+    }
+    let mut flat = Vec::with_capacity(rows.len() * n_features);
+    for (i, row) in rows.iter().enumerate() {
+        let Value::Arr(values) = row else {
+            return Err(format!("row {i} is not an array"));
+        };
+        if values.len() != n_features {
+            return Err(format!(
+                "row {i} has {} values, row 0 has {n_features}",
+                values.len()
+            ));
+        }
+        for v in values {
+            let Value::Num(x) = v else {
+                return Err(format!("row {i} contains a non-numeric value"));
+            };
+            if !x.is_finite() {
+                return Err(format!("row {i} contains a non-finite value"));
+            }
+            flat.push(*x);
+        }
+    }
+    let mut out = Vec::with_capacity(labels.len());
+    for (i, label) in labels.iter().enumerate() {
+        match label {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= f64::from(u32::MAX) => {
+                out.push(*n as u32);
+            }
+            _ => return Err(format!("label {i} is not a non-negative integer")),
+        }
+    }
+    Ok((flat, out, n_features))
+}
+
+/// Parses the creation parameters an ingest body may carry (`rho`,
+/// `n_classes`, `k`, `rule`); they only apply when the batch creates the
+/// tenant — appends to an existing maintained tenant keep its parameters.
+fn extract_create_options(body: &Value) -> Result<CreateOptions, String> {
+    let mut create = CreateOptions::default();
+    match body.get("rho") {
+        Some(Value::Num(n)) if *n >= 2.0 && n.fract() == 0.0 => create.rho = *n as usize,
+        None => {}
+        Some(_) => return Err("'rho' must be an integer of at least 2".into()),
+    }
+    match body.get("n_classes") {
+        Some(Value::Num(n)) if *n >= 2.0 && n.fract() == 0.0 => {
+            create.n_classes = Some(*n as usize);
+        }
+        None => {}
+        Some(_) => return Err("'n_classes' must be an integer of at least 2".into()),
+    }
+    match body.get("k") {
+        Some(Value::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => create.load.k = *n as usize,
+        None => {}
+        Some(_) => return Err("'k' must be a positive integer".into()),
+    }
+    match body.get("rule") {
+        Some(Value::Str(s)) if s.eq_ignore_ascii_case("surface") => {
+            create.load.rule = DistanceRule::Surface;
+        }
+        Some(Value::Str(s)) if s.eq_ignore_ascii_case("center") => {
+            create.load.rule = DistanceRule::Center;
+        }
+        None => {}
+        Some(_) => return Err("'rule' must be 'surface' or 'center'".into()),
+    }
+    Ok(create)
+}
+
+/// Renders an [`AppendStats`] telemetry block for ingest acks.
+fn append_stats_value(stats: &gbabs::AppendStats) -> Value {
+    obj(vec![
+        ("appended", Value::Num(stats.appended as f64)),
+        (
+            "reused_decisions",
+            Value::Num(stats.reused_decisions as f64),
+        ),
+        (
+            "recomputed_decisions",
+            Value::Num(stats.recomputed_decisions as f64),
+        ),
+        ("reused_balls", Value::Num(stats.reused_balls as f64)),
+        ("rebuilt_balls", Value::Num(stats.rebuilt_balls as f64)),
+        ("full_rebuild", Value::Bool(stats.full_rebuild)),
+    ])
+}
+
+/// `POST /models/{name}/rows`: online maintenance. Appends labelled rows
+/// to a maintained tenant (creating it on first contact), re-granulates
+/// incrementally, persists a new immutable store version, and swaps the
+/// rebuilt predictor in — all under the registry's publish lock, timed as
+/// the `ingest` stage.
+fn ingest_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
+    let name = match mutation_tenant(&req.path, "/rows") {
+        Ok(name) => name,
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
+    };
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
+    };
+    let (features, labels, n_features) = match extract_labelled_rows(&body) {
+        Ok(batch) => batch,
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
+    };
+    let create = match extract_create_options(&body) {
+        Ok(c) => c,
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
+    };
+    obs.rows = labels.len() as u64;
+    // Same gate as predict: an expired request must not trigger a
+    // re-granulation whose result it can no longer read.
+    if req.deadline.expired() {
+        return err_response(
+            ctx,
+            obs,
+            ServeError::deadline_exceeded("deadline expired before ingest"),
+        );
+    }
+    let receipt = match obs.time(Stage::Ingest, || {
+        ctx.registry
+            .append_rows(name, &features, &labels, n_features, &create)
+    }) {
+        Ok(receipt) => receipt,
+        Err(e) => return err_response(ctx, obs, ingest_error(e)),
+    };
+    ctx.metrics.appends.fetch_add(1, Ordering::Relaxed);
+    ctx.metrics
+        .append_rows
+        .fetch_add(labels.len() as u64, Ordering::Relaxed);
+    obs.tenant = Some(name.to_string());
+    let tenant = ctx.tenants.touch(name);
+    tenant.appends.fetch_add(1, Ordering::Relaxed);
+    tenant
+        .append_rows
+        .fetch_add(labels.len() as u64, Ordering::Relaxed);
+    let request_id = obs.id.clone();
+    obs.time(Stage::Serialize, || {
+        let mut fields = vec![
+            ("model", Value::Str(name.to_string())),
+            ("created", Value::Bool(receipt.created)),
+            ("appended", Value::Num(labels.len() as f64)),
+            ("n_rows", Value::Num(receipt.n_rows as f64)),
+            ("version", Value::Num(receipt.serving.version as f64)),
+            ("store_version", Value::Num(receipt.store_version as f64)),
+            ("n_balls", Value::Num(receipt.serving.stats.n_balls as f64)),
+            ("request_id", Value::Str(request_id)),
+        ];
+        if let Some(stats) = &receipt.stats {
+            fields.push(("incremental", append_stats_value(stats)));
+        }
+        Response::json(200, render(&obj(fields)))
+    })
+}
+
+/// `POST /models/{name}/rollback`: re-activates a retained version by
+/// copying its content forward as a **new** head — the chain stays
+/// append-only, so the rollback itself is auditable and revertible.
+fn rollback_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
+    let name = match mutation_tenant(&req.path, "/rollback") {
+        Ok(name) => name,
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
+    };
+    let body = match parse_body(req) {
+        Ok(v) => v,
+        Err(e) => return err_response(ctx, obs, ServeError::bad_request(e)),
+    };
+    let version = match body.get("version") {
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+        _ => {
+            return err_response(
+                ctx,
+                obs,
+                ServeError::bad_request("missing 'version' (non-negative integer)"),
+            )
+        }
+    };
+    if req.deadline.expired() {
+        return err_response(
+            ctx,
+            obs,
+            ServeError::deadline_exceeded("deadline expired before rollback"),
+        );
+    }
+    let receipt = match obs.time(Stage::Ingest, || ctx.registry.rollback(name, version)) {
+        Ok(receipt) => receipt,
+        Err(e) => return err_response(ctx, obs, ingest_error(e)),
+    };
+    ctx.metrics.rollbacks.fetch_add(1, Ordering::Relaxed);
+    obs.tenant = Some(name.to_string());
+    ctx.tenants
+        .touch(name)
+        .rollbacks
+        .fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        200,
+        render(&obj(vec![
+            ("model", Value::Str(name.to_string())),
+            ("rolled_back_to", Value::Num(receipt.rolled_back_to as f64)),
+            ("store_version", Value::Num(receipt.store_version as f64)),
+            ("version", Value::Num(receipt.serving.version as f64)),
+            ("n_balls", Value::Num(receipt.serving.stats.n_balls as f64)),
+        ])),
+    )
+}
+
+/// Renders one [`VersionInfo`] (`GET /models/{name}[?version=N]`).
+fn version_info_value(info: &VersionInfo) -> Value {
+    obj(vec![
+        ("name", Value::Str(info.name.clone())),
+        ("version", Value::Num(info.version as f64)),
+        ("head", Value::Num(info.head as f64)),
+        (
+            "versions",
+            Value::Arr(
+                info.versions
+                    .iter()
+                    .map(|&v| Value::Num(v as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "parent",
+            info.parent
+                .map_or(Value::Null, |p| Value::Str(format!("{p:016x}"))),
+        ),
+        ("n_balls", Value::Num(info.n_balls as f64)),
+        (
+            "n_rows",
+            info.n_rows.map_or(Value::Null, |n| Value::Num(n as f64)),
+        ),
+        ("maintained", Value::Bool(info.maintained)),
+        ("file_bytes", Value::Num(info.file_bytes as f64)),
+    ])
+}
+
+/// `GET /models/{name}[?version=N]`: version-chain metadata for one
+/// tenant — the head and retained versions, plus the pinned version's
+/// cover/row counts when `?version=` asks for a specific link.
+fn version_endpoint(req: &crate::http::Request, ctx: &ServerCtx, obs: &mut ObsCtx) -> Response {
+    let name = req.path.trim_start_matches("/models/");
+    if name.is_empty() || name.contains('/') {
+        return err_response(
+            ctx,
+            obs,
+            ServeError::bad_request("model name must be a single path segment"),
+        );
+    }
+    ctx.metrics.model_requests.fetch_add(1, Ordering::Relaxed);
+    let version = match req.query_param("version") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                return err_response(
+                    ctx,
+                    obs,
+                    ServeError::bad_request("'version' must be a non-negative integer"),
+                )
+            }
+        },
+        None => None,
+    };
+    match obs.time(Stage::StoreIo, || ctx.registry.version_info(name, version)) {
+        Ok(Some(info)) => {
+            obs.tenant = Some(info.name.clone());
+            Response::json(200, render(&version_info_value(&info)))
+        }
+        Ok(None) => err_response(
+            ctx,
+            obs,
+            ServeError::not_found(format!("no model named '{name}'")),
+        ),
+        Err(e) => err_response(ctx, obs, ingest_error(e)),
     }
 }

@@ -10,13 +10,15 @@
 //!
 //! # On-disk format
 //!
-//! One file per tenant, `<name>.json`, with a one-line header ahead of the
-//! JSON payload:
+//! One file per tenant **version**, `<name>.v<N>.json` (N ≥ 1, strictly
+//! increasing), with a one-line header ahead of the JSON payload:
 //!
 //! ```text
 //! GBSTORE1 fnv1a64=<16 hex digits> len=<payload bytes>\n
-//! {"format":1,"name":"...","k":1,"rule":"surface","n_classes":2,
-//!  "backend":"auto","model":{ ...RdGbgModel... }}
+//! {"format":1,"name":"...","version":3,"parent":"<16 hex digits>",
+//!  "k":1,"rule":"surface","n_classes":2,"backend":"auto",
+//!  "maintained":{...rows+labels+rho, maintained tenants only...},
+//!  "model":{ ...RdGbgModel... }}
 //! ```
 //!
 //! The header names the format version, the FNV-1a/64 checksum of the
@@ -24,7 +26,28 @@
 //! are both detected before a single payload byte is trusted. The envelope
 //! persists everything a reload needs to rebuild a **bit-identical**
 //! predictor: the ball cover plus the [`LoadOptions`] it was accepted with
-//! (`k`, distance rule, class count, backend label).
+//! (`k`, distance rule, class count, backend label), and for maintained
+//! tenants the backing rows so incremental ingest survives restarts.
+//!
+//! # Version chain
+//!
+//! Every mutation (publish, `/rows` append, rollback) writes a **new
+//! immutable version file**; nothing is ever rewritten in place. The
+//! envelope's `version` must match the filename's `v<N>` and `parent`
+//! carries the payload checksum of the previously committed version (the
+//! chain link; `null` for a chain root). The **active** version of a
+//! tenant is simply the highest `N` present — activation is one atomic
+//! file rename, so a crash mid-mutation leaves either the parent active
+//! (new file absent or torn → quarantined at boot) or the child active
+//! (complete file present), never a torn hybrid. Rollback re-activates an
+//! old version by copying its content forward as a new head, which keeps
+//! the chain append-only and single-file-atomic. Pre-chain stores
+//! (`<name>.json`, no `version` field) load as version 0 chain roots.
+//! Old versions beyond a retention budget are garbage-collected with
+//! [`ModelStore::gc_versions`]; the head is never collected.
+//!
+//! Tenant names ending in a `.v<digits>` component are rejected to keep
+//! the `tenant × version → filename` mapping unambiguous.
 //!
 //! # Crash safety
 //!
@@ -67,6 +90,37 @@ const FORMAT: f64 = 1.0;
 /// Suffix appended to corrupt files at boot.
 const QUARANTINE_SUFFIX: &str = ".quarantine";
 
+/// Splits a file stem of the form `<tenant>.v<N>` into `(tenant, N)`.
+/// Returns `None` for stems without a version component (legacy files).
+fn split_version_stem(stem: &str) -> Option<(&str, u64)> {
+    let (tenant, last) = stem.rsplit_once('.')?;
+    let digits = last.strip_prefix('v')?;
+    if tenant.is_empty() || digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    Some((tenant, digits.parse().ok()?))
+}
+
+/// True when `file_name` is part of `tenant`'s on-disk footprint: a legacy
+/// or version file, a quarantined sibling of either, or a stray temp file.
+fn file_belongs_to_tenant(file_name: &str, tenant: &str) -> bool {
+    let name = file_name
+        .strip_suffix(QUARANTINE_SUFFIX)
+        .unwrap_or(file_name);
+    let name = match name.strip_prefix('.') {
+        // Hidden files are ours only when they are `.{...}.tmp` litter.
+        Some(rest) => match rest.strip_suffix(".tmp") {
+            Some(base) => base,
+            None => return false,
+        },
+        None => name,
+    };
+    let Some(stem) = name.strip_suffix(".json") else {
+        return false;
+    };
+    stem == tenant || split_version_stem(stem).is_some_and(|(t, _)| t == tenant)
+}
+
 /// FNV-1a 64-bit checksum (dependency-free, stable across platforms).
 #[must_use]
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -78,16 +132,40 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The backing rows of a maintained tenant, persisted alongside the cover
+/// so incremental ingest survives restarts (the decision trace is rebuilt
+/// deterministically from these rows on cold load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaintainedTenant {
+    /// Density tolerance ρ the cover is maintained under.
+    pub rho: usize,
+    /// Feature count per row.
+    pub n_features: usize,
+    /// Row-major feature buffer (initial rows + appends, arrival order).
+    pub features: Vec<f64>,
+    /// One label per row.
+    pub labels: Vec<u32>,
+}
+
 /// A model as read back from disk: the cover plus the load options it was
 /// accepted with, sufficient to rebuild a bit-identical predictor.
 #[derive(Debug)]
 pub struct StoredEnvelope {
-    /// Tenant name (always equals the file stem).
+    /// Tenant name (the file stem without the `.v<N>` version component).
     pub name: String,
     /// The persisted ball cover.
     pub model: RdGbgModel,
     /// Load options to rebuild the predictor exactly as accepted.
     pub options: LoadOptions,
+    /// Version of this envelope in the tenant's chain (0 = pre-chain
+    /// legacy file).
+    pub version: u64,
+    /// Payload checksum of the previously committed version (`None` for a
+    /// chain root).
+    pub parent: Option<u64>,
+    /// Backing rows of a maintained tenant (`None` for model-only
+    /// tenants).
+    pub maintained: Option<MaintainedTenant>,
     /// Size of the serialized envelope as read (header + payload) — the
     /// measured footprint the registry accounts against its byte budget.
     pub file_bytes: u64,
@@ -98,8 +176,24 @@ pub struct StoredEnvelope {
 pub struct StoredMeta {
     /// Tenant name.
     pub name: String,
-    /// Size of the tenant file on disk.
+    /// Active (highest valid) version of the tenant's chain.
+    pub version: u64,
+    /// Size of the active version file on disk.
     pub file_bytes: u64,
+}
+
+/// Receipt for one committed version: what [`ModelStore::save_version`]
+/// wrote and the identity the registry needs for accounting and chaining.
+#[derive(Debug, Clone, Copy)]
+pub struct SavedVersion {
+    /// Version number committed (previous head + 1).
+    pub version: u64,
+    /// Serialized size (header + payload) — the measured footprint the
+    /// registry accounts against its byte budget.
+    pub bytes: u64,
+    /// FNV-1a/64 checksum of the payload — the chain link the *next*
+    /// version will record as its parent.
+    pub checksum: u64,
 }
 
 /// Outcome of a boot-time directory scan.
@@ -305,8 +399,10 @@ impl ModelStore {
     }
 
     /// True when `name` is usable as a tenant file stem: non-empty, at
-    /// most 128 bytes, `[A-Za-z0-9._-]` only, and not starting with `.`
-    /// (hidden files are reserved for temp files).
+    /// most 128 bytes, `[A-Za-z0-9._-]` only, not starting with `.`
+    /// (hidden files are reserved for temp files), and not ending in a
+    /// `.v<digits>` component (reserved for version files, so the
+    /// `tenant × version → filename` mapping stays unambiguous).
     #[must_use]
     pub fn valid_name(name: &str) -> bool {
         !name.is_empty()
@@ -315,23 +411,73 @@ impl ModelStore {
             && name
                 .bytes()
                 .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+            && split_version_stem(name).is_none()
     }
 
+    /// Path of the pre-chain legacy file (version 0).
     fn path_for(&self, name: &str) -> Result<PathBuf, String> {
-        if !Self::valid_name(name) {
-            return Err(format!(
-                "invalid model name '{name}': use 1-128 chars of [A-Za-z0-9._-], \
-                 not starting with '.'"
-            ));
-        }
+        self.check_name(name)?;
         Ok(self.dir.join(format!("{name}.json")))
     }
 
-    /// Persists `model` + `options` under `name`, atomically replacing any
-    /// previous version of the file (write temp → fsync → rename → fsync
-    /// directory). Returns the serialized size in bytes (header +
-    /// payload) — the measured footprint the registry accounts against
-    /// its byte budget.
+    /// Path of one version file in the tenant's chain.
+    fn version_path(&self, name: &str, version: u64) -> Result<PathBuf, String> {
+        self.check_name(name)?;
+        if version == 0 {
+            return self.path_for(name);
+        }
+        Ok(self.dir.join(format!("{name}.v{version}.json")))
+    }
+
+    fn check_name(&self, name: &str) -> Result<(), String> {
+        if !Self::valid_name(name) {
+            return Err(format!(
+                "invalid model name '{name}': use 1-128 chars of [A-Za-z0-9._-], \
+                 not starting with '.' or ending in '.v<digits>'"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Every on-disk version of `name`, ascending (0 = legacy file). Files
+    /// are listed, not validated — the boot scan is what quarantines
+    /// corrupt chain members.
+    #[must_use]
+    pub fn versions_on_disk(&self, name: &str) -> Vec<u64> {
+        if !Self::valid_name(name) {
+            return Vec::new();
+        }
+        let mut versions: Vec<u64> = Vec::new();
+        if self.dir.join(format!("{name}.json")).exists() {
+            versions.push(0);
+        }
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let file_name = entry.file_name();
+                let Some(stem) = file_name.to_str().and_then(|f| f.strip_suffix(".json")) else {
+                    continue;
+                };
+                if let Some((tenant, v)) = split_version_stem(stem) {
+                    if tenant == name {
+                        versions.push(v);
+                    }
+                }
+            }
+        }
+        versions.sort_unstable();
+        versions
+    }
+
+    /// The active (highest on-disk) version of `name`, if any file exists.
+    #[must_use]
+    pub fn head_version(&self, name: &str) -> Option<u64> {
+        self.versions_on_disk(name).last().copied()
+    }
+
+    /// Persists `model` + `options` under `name` as the next version of
+    /// its chain. Convenience wrapper over [`ModelStore::save_version`]
+    /// returning just the serialized size, for callers that do not track
+    /// chains.
     ///
     /// # Errors
     /// Invalid names and any I/O failure, stringified for the HTTP layer.
@@ -342,20 +488,44 @@ impl ModelStore {
         options: &LoadOptions,
         n_classes: usize,
     ) -> Result<u64, String> {
-        let path = self.path_for(name)?;
-        let payload = render_envelope(name, model, options, n_classes);
-        let header = format!(
-            "{MAGIC} fnv1a64={:016x} len={}\n",
-            fnv1a64(payload.as_bytes()),
-            payload.len()
-        );
+        self.save_version(name, model, options, n_classes, None)
+            .map(|saved| saved.bytes)
+    }
+
+    /// Commits a new immutable version: head + 1, with `parent` set to the
+    /// current head's payload checksum (the chain link). The write is
+    /// atomic (temp → fsync → rename → dir fsync), so a crash leaves
+    /// either the parent active or the complete child active.
+    ///
+    /// # Errors
+    /// Invalid names and any I/O failure, stringified for the HTTP layer.
+    pub fn save_version(
+        &self,
+        name: &str,
+        model: &RdGbgModel,
+        options: &LoadOptions,
+        n_classes: usize,
+        maintained: Option<&MaintainedTenant>,
+    ) -> Result<SavedVersion, String> {
+        let (version, parent) = match self.head_version(name) {
+            Some(head) => (head + 1, self.payload_checksum(name, head)),
+            None => (1, None),
+        };
+        let path = self.version_path(name, version)?;
+        let payload = render_envelope(name, model, options, n_classes, version, parent, maintained);
+        let checksum = fnv1a64(payload.as_bytes());
+        let header = format!("{MAGIC} fnv1a64={checksum:016x} len={}\n", payload.len());
         #[cfg(feature = "fault-inject")]
         if let Some((draw, latency)) = self.draw_fault() {
             if let Some(result) = self.inject_save_fault(draw, latency, &path, &header, &payload) {
-                return result;
+                return result.map(|bytes| SavedVersion {
+                    version,
+                    bytes,
+                    checksum,
+                });
             }
         }
-        let tmp = self.dir.join(format!(".{name}.json.tmp"));
+        let tmp = self.dir.join(format!(".{name}.v{version}.json.tmp"));
         let io = |what: &str, e: std::io::Error| format!("{what} {}: {e}", tmp.display());
         {
             let mut f = fs::File::create(&tmp).map_err(|e| io("create", e))?;
@@ -372,62 +542,158 @@ impl ModelStore {
         if let Ok(d) = fs::File::open(&self.dir) {
             let _ = d.sync_all();
         }
-        Ok((header.len() + payload.len()) as u64)
+        Ok(SavedVersion {
+            version,
+            bytes: (header.len() + payload.len()) as u64,
+            checksum,
+        })
     }
 
-    /// Reads, checksums, and parses the tenant file for `name`.
+    /// Payload checksum of one on-disk version, read from its header line
+    /// (no payload verification — used only as the best-effort chain link
+    /// for the next commit).
+    fn payload_checksum(&self, name: &str, version: u64) -> Option<u64> {
+        let path = self.version_path(name, version).ok()?;
+        let bytes = fs::read(path).ok()?;
+        let newline = bytes.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+        header
+            .split_whitespace()
+            .find_map(|p| p.strip_prefix("fnv1a64="))
+            .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+    }
+
+    /// Reads, checksums, and parses the **active** (highest on-disk)
+    /// version of `name`.
     ///
     /// # Errors
-    /// Missing files, checksum/format mismatches, and envelope-shape
-    /// failures, each with a message naming the file.
+    /// Missing tenants, checksum/format mismatches, and envelope-shape
+    /// failures, each with a message naming the file. A torn head is an
+    /// error here — the boot scan is what quarantines it and thereby
+    /// re-activates the parent.
     pub fn load(&self, name: &str) -> Result<StoredEnvelope, String> {
-        let path = self.path_for(name)?;
+        let head = self
+            .head_version(name)
+            .ok_or_else(|| format!("no store file for tenant '{name}'"))?;
+        self.load_version(name, head)
+    }
+
+    /// Reads, checksums, and parses one pinned version of `name`'s chain.
+    ///
+    /// # Errors
+    /// Missing versions, checksum/format mismatches, and envelope-shape
+    /// failures, each with a message naming the file.
+    pub fn load_version(&self, name: &str, version: u64) -> Result<StoredEnvelope, String> {
+        let path = self.version_path(name, version)?;
         let bytes = fs::read(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
         #[cfg(feature = "fault-inject")]
         let bytes = self.inject_load_fault(bytes);
         let payload = verify(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
         let mut envelope =
             parse_envelope(name, payload).map_err(|e| format!("{}: {e}", path.display()))?;
+        if envelope.version != version {
+            return Err(format!(
+                "{}: envelope says version {} but the filename says {version}",
+                path.display(),
+                envelope.version
+            ));
+        }
         envelope.file_bytes = bytes.len() as u64;
         Ok(envelope)
     }
 
-    /// Current on-disk size of the tenant file, if present (used to label
-    /// cold catalog entries).
+    /// Current on-disk size of the tenant's active version file, if any
+    /// (used to label cold catalog entries).
     #[must_use]
     pub fn file_bytes(&self, name: &str) -> Option<u64> {
-        let path = self.path_for(name).ok()?;
+        let head = self.head_version(name)?;
+        let path = self.version_path(name, head).ok()?;
         fs::metadata(path).map(|m| m.len()).ok()
     }
 
-    /// Deletes the tenant file for `name`. Returns `false` when there was
-    /// nothing to delete.
+    /// Deletes the tenant's **entire chain**: every version file, the
+    /// legacy file, quarantined siblings, and stray temp files. Returns
+    /// `false` when there was nothing to delete.
     ///
     /// # Errors
     /// Invalid names and I/O failures other than not-found.
     pub fn delete(&self, name: &str) -> Result<bool, String> {
-        let path = self.path_for(name)?;
-        match fs::remove_file(&path) {
-            Ok(()) => {
-                if let Ok(d) = fs::File::open(&self.dir) {
-                    let _ = d.sync_all();
-                }
-                Ok(true)
+        self.check_name(name)?;
+        let mut removed = false;
+        let mut errors: Vec<String> = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(e) => return Err(format!("list {}: {e}", self.dir.display())),
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let file_name = entry.file_name();
+            let Some(file_name) = file_name.to_str() else {
+                continue;
+            };
+            if !file_belongs_to_tenant(file_name, name) {
+                continue;
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
-            Err(e) => Err(format!("delete {}: {e}", path.display())),
+            match fs::remove_file(entry.path()) {
+                Ok(()) => removed = true,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => errors.push(format!("delete {}: {e}", entry.path().display())),
+            }
         }
+        if removed {
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        if let Some(first) = errors.into_iter().next() {
+            return Err(first);
+        }
+        Ok(removed)
     }
 
-    /// Validates every `<name>.json` in the directory: well-formed files
-    /// become catalog entries, corrupt ones are renamed aside with a
-    /// `.quarantine` suffix (never deleted) and reported.
+    /// Garbage-collects the tenant's chain down to the `keep` newest
+    /// versions (the head is always retained; `keep` is clamped to ≥ 1).
+    /// Returns the versions removed.
+    ///
+    /// # Errors
+    /// Invalid names and I/O failures other than not-found.
+    pub fn gc_versions(&self, name: &str, keep: usize) -> Result<Vec<u64>, String> {
+        let keep = keep.max(1);
+        let versions = self.versions_on_disk(name);
+        if versions.len() <= keep {
+            return Ok(Vec::new());
+        }
+        let mut removed = Vec::new();
+        for &v in &versions[..versions.len() - keep] {
+            let path = self.version_path(name, v)?;
+            match fs::remove_file(&path) {
+                Ok(()) => removed.push(v),
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(format!("gc {}: {e}", path.display())),
+            }
+        }
+        if !removed.is_empty() {
+            if let Ok(d) = fs::File::open(&self.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Validates every store file in the directory: well-formed files
+    /// become chain members, corrupt ones are renamed aside with a
+    /// `.quarantine` suffix (never deleted) and reported. Each tenant
+    /// yields one catalog entry naming its active (highest **valid**)
+    /// version — so quarantining a torn head is exactly what re-activates
+    /// the parent after a mid-mutation crash.
     ///
     /// # Errors
     /// Propagates directory-listing failures only — per-file failures are
     /// quarantines, not errors.
     pub fn scan(&self) -> std::io::Result<ScanReport> {
         let mut report = ScanReport::default();
+        // tenant -> (version, file_bytes) of the highest valid version.
+        let mut heads: std::collections::BTreeMap<String, (u64, u64)> =
+            std::collections::BTreeMap::new();
         let mut paths: Vec<PathBuf> = fs::read_dir(&self.dir)?
             .filter_map(Result::ok)
             .map(|e| e.path())
@@ -440,22 +706,29 @@ impl ModelStore {
             let Some(stem) = file_name.strip_suffix(".json") else {
                 continue; // temp files, quarantined files, foreign files
             };
-            if !Self::valid_name(stem) {
-                continue; // hidden temp files (leading '.')
+            if stem.starts_with('.') {
+                continue; // hidden temp files
+            }
+            let (tenant, version) = match split_version_stem(stem) {
+                Some((tenant, version)) => (tenant, version),
+                None => (stem, 0),
+            };
+            if !Self::valid_name(tenant) {
+                continue;
             }
             let ok = fs::read(&path)
                 .map_err(|e| e.to_string())
                 .and_then(|bytes| {
                     let payload = verify(&bytes)?;
-                    check_envelope_shape(stem, payload)
+                    check_envelope_shape(tenant, version, payload)
                 });
             match ok {
                 Ok(()) => {
                     let file_bytes = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-                    report.found.push(StoredMeta {
-                        name: stem.to_string(),
-                        file_bytes,
-                    });
+                    let head = heads.entry(tenant.to_string()).or_insert((version, 0));
+                    if version >= head.0 {
+                        *head = (version, file_bytes);
+                    }
                 }
                 Err(_) => {
                     let aside = path.with_file_name(format!("{file_name}{QUARANTINE_SUFFIX}"));
@@ -465,6 +738,13 @@ impl ModelStore {
                     report.quarantined.push(aside);
                 }
             }
+        }
+        for (name, (version, file_bytes)) in heads {
+            report.found.push(StoredMeta {
+                name,
+                version,
+                file_bytes,
+            });
         }
         Ok(report)
     }
@@ -518,30 +798,64 @@ fn rule_name(rule: DistanceRule) -> &'static str {
     }
 }
 
-/// Renders the JSON payload (no header) for one tenant.
+/// Renders the JSON payload (no header) for one version of one tenant.
 fn render_envelope(
     name: &str,
     model: &RdGbgModel,
     options: &LoadOptions,
     n_classes: usize,
+    version: u64,
+    parent: Option<u64>,
+    maintained: Option<&MaintainedTenant>,
 ) -> String {
-    let envelope = Value::Obj(vec![
+    let mut fields = vec![
         ("format".into(), Value::Num(FORMAT)),
         ("name".into(), Value::Str(name.to_string())),
+        ("version".into(), Value::Num(version as f64)),
+        (
+            "parent".into(),
+            parent.map_or(Value::Null, |p| Value::Str(format!("{p:016x}"))),
+        ),
         ("k".into(), Value::Num(options.k as f64)),
         ("rule".into(), Value::Str(rule_name(options.rule).into())),
         ("n_classes".into(), Value::Num(n_classes as f64)),
         ("backend".into(), Value::Str(options.backend.to_string())),
-        ("model".into(), model.to_value()),
-    ]);
-    serde_json::to_string(&envelope).unwrap_or_else(|_| "{}".into())
+    ];
+    if let Some(m) = maintained {
+        fields.push((
+            "maintained".into(),
+            Value::Obj(vec![
+                ("rho".into(), Value::Num(m.rho as f64)),
+                ("n_features".into(), Value::Num(m.n_features as f64)),
+                (
+                    "features".into(),
+                    Value::Arr(m.features.iter().map(|&x| Value::Num(x)).collect()),
+                ),
+                (
+                    "labels".into(),
+                    Value::Arr(m.labels.iter().map(|&l| Value::Num(f64::from(l))).collect()),
+                ),
+            ]),
+        ));
+    }
+    fields.push(("model".into(), model.to_value()));
+    serde_json::to_string(&Value::Obj(fields)).unwrap_or_else(|_| "{}".into())
+}
+
+/// Everything `envelope_fields` decodes short of the ball cover itself.
+struct EnvelopeFields {
+    v: Value,
+    k: usize,
+    rule: DistanceRule,
+    n_classes: usize,
+    backend: GranulationBackend,
+    version: u64,
+    parent: Option<u64>,
+    maintained: Option<MaintainedTenant>,
 }
 
 /// Envelope fields shared by full parse and boot-time shape check.
-fn envelope_fields(
-    expected_name: &str,
-    payload: &str,
-) -> Result<(Value, usize, DistanceRule, usize, GranulationBackend), String> {
+fn envelope_fields(expected_name: &str, payload: &str) -> Result<EnvelopeFields, String> {
     let v: Value = serde_json::from_str(payload).map_err(|e| format!("bad envelope JSON: {e}"))?;
     match v.get("format") {
         Some(Value::Num(f)) if *f == FORMAT => {}
@@ -555,6 +869,20 @@ fn envelope_fields(
             ))
         }
     }
+    // Pre-chain envelopes have no `version` field: they are version 0
+    // chain roots by definition.
+    let version = match v.get("version") {
+        None => 0,
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => *n as u64,
+        other => return Err(format!("bad 'version' {other:?}")),
+    };
+    let parent = match v.get("parent") {
+        None | Some(Value::Null) => None,
+        Some(Value::Str(hex)) => Some(
+            u64::from_str_radix(hex, 16).map_err(|_| format!("bad 'parent' checksum '{hex}'"))?,
+        ),
+        other => return Err(format!("bad 'parent' {other:?}")),
+    };
     let k = match v.get("k") {
         Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
         other => return Err(format!("bad 'k' {other:?}")),
@@ -574,36 +902,113 @@ fn envelope_fields(
         }
         other => return Err(format!("bad 'backend' {other:?}")),
     };
+    let maintained = match v.get("maintained") {
+        None | Some(Value::Null) => None,
+        Some(m @ Value::Obj(_)) => Some(parse_maintained(m, n_classes)?),
+        other => return Err(format!("bad 'maintained' {other:?}")),
+    };
     if !matches!(v.get("model"), Some(Value::Obj(_))) {
         return Err("missing 'model' object".into());
     }
-    Ok((v, k, rule, n_classes, backend))
+    Ok(EnvelopeFields {
+        v,
+        k,
+        rule,
+        n_classes,
+        backend,
+        version,
+        parent,
+        maintained,
+    })
+}
+
+/// Decodes and validates the `maintained` block of a maintained tenant.
+fn parse_maintained(m: &Value, n_classes: usize) -> Result<MaintainedTenant, String> {
+    let rho = match m.get("rho") {
+        Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
+        other => return Err(format!("bad 'maintained.rho' {other:?}")),
+    };
+    let n_features = match m.get("n_features") {
+        Some(Value::Num(n)) if *n >= 1.0 => *n as usize,
+        other => return Err(format!("bad 'maintained.n_features' {other:?}")),
+    };
+    let features = match m.get("features") {
+        Some(Value::Arr(xs)) => xs
+            .iter()
+            .map(|x| match x {
+                Value::Num(f) => Ok(*f),
+                other => Err(format!("bad feature value {other:?}")),
+            })
+            .collect::<Result<Vec<f64>, String>>()?,
+        other => return Err(format!("bad 'maintained.features' {other:?}")),
+    };
+    let labels = match m.get("labels") {
+        Some(Value::Arr(xs)) => xs
+            .iter()
+            .map(|x| match x {
+                Value::Num(f) if *f >= 0.0 && f.fract() == 0.0 && (*f as usize) < n_classes => {
+                    Ok(*f as u32)
+                }
+                other => Err(format!("bad label value {other:?}")),
+            })
+            .collect::<Result<Vec<u32>, String>>()?,
+        other => return Err(format!("bad 'maintained.labels' {other:?}")),
+    };
+    if features.len() != labels.len() * n_features {
+        return Err(format!(
+            "maintained rows are torn: {} feature values for {} labels × {} features",
+            features.len(),
+            labels.len(),
+            n_features
+        ));
+    }
+    Ok(MaintainedTenant {
+        rho,
+        n_features,
+        features,
+        labels,
+    })
 }
 
 /// Full parse: envelope fields + the ball cover itself.
 fn parse_envelope(expected_name: &str, payload: &str) -> Result<StoredEnvelope, String> {
-    let (v, k, rule, n_classes, backend) = envelope_fields(expected_name, payload)?;
-    let model_value = v.get("model").expect("checked by envelope_fields");
+    let fields = envelope_fields(expected_name, payload)?;
+    let model_value = fields.v.get("model").expect("checked by envelope_fields");
     let model = <RdGbgModel as serde::Deserialize>::from_value(model_value)
         .map_err(|e| format!("bad persisted model: {e}"))?;
     Ok(StoredEnvelope {
         name: expected_name.to_string(),
         model,
         options: LoadOptions {
-            k,
-            rule,
-            n_classes: Some(n_classes),
-            backend,
+            k: fields.k,
+            rule: fields.rule,
+            n_classes: Some(fields.n_classes),
+            backend: fields.backend,
         },
+        version: fields.version,
+        parent: fields.parent,
+        maintained: fields.maintained,
         // Filled in by `ModelStore::load`, which knows the raw file size.
         file_bytes: 0,
     })
 }
 
 /// Boot-time validation: header already checked; verify the envelope shape
-/// without paying for a full cover deserialization per tenant.
-fn check_envelope_shape(expected_name: &str, payload: &str) -> Result<(), String> {
-    envelope_fields(expected_name, payload).map(|_| ())
+/// (including that the embedded version matches the filename) without
+/// paying for a full cover deserialization per tenant.
+fn check_envelope_shape(
+    expected_name: &str,
+    expected_version: u64,
+    payload: &str,
+) -> Result<(), String> {
+    let fields = envelope_fields(expected_name, payload)?;
+    if fields.version != expected_version {
+        return Err(format!(
+            "envelope says version {} but the filename says {expected_version}",
+            fields.version
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -667,6 +1072,7 @@ mod tests {
         let report = store.scan().unwrap();
         assert_eq!(report.found.len(), 1);
         assert_eq!(report.found[0].name, "m");
+        assert_eq!(report.found[0].version, 2, "two saves, head is v2");
         assert!(report.quarantined.is_empty());
         // No temp litter left behind.
         let leftovers: Vec<_> = fs::read_dir(&dir)
@@ -686,7 +1092,7 @@ mod tests {
         store
             .save("rotten", &model, &LoadOptions::default(), 2)
             .unwrap();
-        let path = dir.join("rotten.json");
+        let path = dir.join("rotten.v1.json");
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x01;
@@ -713,16 +1119,19 @@ mod tests {
             .save("good", &model, &LoadOptions::default(), 2)
             .unwrap();
         // Truncated file.
-        let good = fs::read(dir.join("good.json")).unwrap();
+        let good = fs::read(dir.join("good.v1.json")).unwrap();
         fs::write(dir.join("cut.json"), &good[..good.len() / 2]).unwrap();
         // Not a store file at all.
         fs::write(dir.join("junk.json"), b"{\"not\":\"a store file\"}").unwrap();
         // Valid store file whose envelope names a different tenant.
-        fs::copy(dir.join("good.json"), dir.join("imposter.json")).unwrap();
+        fs::copy(dir.join("good.v1.json"), dir.join("imposter.v1.json")).unwrap();
+        // Valid store file copied to the wrong slot in its own chain.
+        fs::copy(dir.join("good.v1.json"), dir.join("good.v7.json")).unwrap();
         let report = store.scan().unwrap();
         let names: Vec<&str> = report.found.iter().map(|m| m.name.as_str()).collect();
         assert_eq!(names, ["good"], "{report:?}");
-        assert_eq!(report.quarantined.len(), 3, "{report:?}");
+        assert_eq!(report.found[0].version, 1, "forged v7 must not become head");
+        assert_eq!(report.quarantined.len(), 4, "{report:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -736,6 +1145,160 @@ mod tests {
         assert!(store.delete("gone").unwrap());
         assert!(!store.delete("gone").unwrap(), "second delete is a no-op");
         assert!(store.load("gone").is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite fix: DELETE must remove the tenant's *entire* on-disk
+    /// footprint — every chain version, the legacy file, quarantined
+    /// siblings, and temp litter — leaving the directory empty of the
+    /// tenant, while an unrelated tenant with a prefix-sharing name is
+    /// untouched.
+    #[test]
+    fn delete_removes_the_whole_chain_and_quarantined_siblings() {
+        let dir = tempdir("delete_chain");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        for _ in 0..3 {
+            store
+                .save("gone", &model, &LoadOptions::default(), 2)
+                .unwrap();
+        }
+        // Legacy pre-chain file, quarantined sibling, temp litter.
+        fs::write(dir.join("gone.json"), b"legacy").unwrap();
+        fs::write(dir.join("gone.v2.json.quarantine"), b"torn").unwrap();
+        fs::write(dir.join(".gone.v9.json.tmp"), b"stray").unwrap();
+        // A different tenant sharing the name as a prefix must survive.
+        store
+            .save("gone2", &model, &LoadOptions::default(), 2)
+            .unwrap();
+        assert!(store.delete("gone").unwrap());
+        let survivors: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(survivors, ["gone2.v1.json"], "{survivors:?}");
+        assert!(store.head_version("gone").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The chain contract end to end: saves bump the head, each version
+    /// stays pinnable, parents link by payload checksum, and GC trims the
+    /// oldest versions but never the head.
+    #[test]
+    fn version_chain_pins_links_and_gcs() {
+        let dir = tempdir("chain");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        let mut checksums = Vec::new();
+        for k in 1..=4usize {
+            let options = LoadOptions {
+                k,
+                ..LoadOptions::default()
+            };
+            let saved = store.save_version("t", &model, &options, 2, None).unwrap();
+            assert_eq!(saved.version, k as u64);
+            checksums.push(saved.checksum);
+        }
+        assert_eq!(store.head_version("t"), Some(4));
+        assert_eq!(store.load("t").unwrap().options.k, 4, "head wins");
+        for v in 1..=4u64 {
+            let env = store.load_version("t", v).unwrap();
+            assert_eq!(env.version, v);
+            assert_eq!(env.options.k as u64, v, "pinned read sees its version");
+            let expected_parent = if v == 1 {
+                None
+            } else {
+                Some(checksums[v as usize - 2])
+            };
+            assert_eq!(env.parent, expected_parent, "chain link at v{v}");
+        }
+        let removed = store.gc_versions("t", 2).unwrap();
+        assert_eq!(removed, [1, 2]);
+        assert!(store.load_version("t", 1).is_err());
+        assert!(store.load_version("t", 3).is_ok());
+        assert_eq!(store.head_version("t"), Some(4));
+        // keep=0 clamps to 1: everything but the head goes, the head stays.
+        assert_eq!(store.gc_versions("t", 0).unwrap(), [3]);
+        assert_eq!(store.head_version("t"), Some(4));
+        assert!(store.load("t").is_ok(), "head is kept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Maintained tenants persist their backing rows bit-exactly so
+    /// incremental ingest survives restarts.
+    // The over-precise literal below is deliberate: it rounds to a value
+    // whose shortest decimal rendering has 17 digits, stressing the
+    // serializer's roundtrip fidelity.
+    #[allow(clippy::excessive_precision)]
+    #[test]
+    fn maintained_rows_roundtrip_bit_exactly() {
+        let dir = tempdir("maintained");
+        let store = ModelStore::open(&dir).unwrap();
+        let maintained = MaintainedTenant {
+            rho: 3,
+            n_features: 2,
+            features: vec![
+                0.125,
+                -1.5,
+                f64::MIN_POSITIVE,
+                3.000_000_000_000_000_7,
+                0.0,
+                9.0,
+            ],
+            labels: vec![0, 1, 1],
+        };
+        store
+            .save_version(
+                "live",
+                &fixture_model(),
+                &LoadOptions::default(),
+                2,
+                Some(&maintained),
+            )
+            .unwrap();
+        let back = store.load("live").unwrap();
+        let got = back.maintained.expect("maintained block persisted");
+        assert_eq!(got.rho, 3);
+        assert_eq!(got.n_features, 2);
+        assert_eq!(got.labels, maintained.labels);
+        assert_eq!(got.features.len(), maintained.features.len());
+        for (a, b) in got.features.iter().zip(&maintained.features) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "features must roundtrip bit-exactly"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Pre-chain `<name>.json` files load as version-0 chain roots and a
+    /// later save starts the chain above them.
+    #[test]
+    fn legacy_file_is_version_zero_root() {
+        let dir = tempdir("legacy");
+        let store = ModelStore::open(&dir).unwrap();
+        let model = fixture_model();
+        // Forge a legacy file by writing a v1 file and renaming it would
+        // trip the version==stem check, so render a true pre-chain
+        // envelope through the public API of this module.
+        let payload = render_envelope("old", &model, &LoadOptions::default(), 2, 0, None, None);
+        let header = format!(
+            "{MAGIC} fnv1a64={:016x} len={}\n",
+            fnv1a64(payload.as_bytes()),
+            payload.len()
+        );
+        fs::write(dir.join("old.json"), format!("{header}{payload}")).unwrap();
+        assert_eq!(store.head_version("old"), Some(0));
+        assert_eq!(store.load("old").unwrap().version, 0);
+        let report = store.scan().unwrap();
+        assert_eq!(report.found.len(), 1);
+        assert_eq!(report.found[0].version, 0);
+        let saved = store.save("old", &model, &LoadOptions::default(), 2);
+        saved.unwrap();
+        assert_eq!(store.head_version("old"), Some(1));
+        assert_eq!(store.load("old").unwrap().version, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -782,9 +1345,10 @@ mod tests {
                             assert!(!load_err.contains("injected"), "{load_err}");
                             let report = store.scan().unwrap();
                             assert!(
-                                report.quarantined.iter().any(|p| p
-                                    .to_string_lossy()
-                                    .contains("victim.json.quarantine")),
+                                report.quarantined.iter().any(|p| {
+                                    let p = p.to_string_lossy();
+                                    p.contains("victim.v") && p.ends_with(".json.quarantine")
+                                }),
                                 "{report:?}"
                             );
                             // Clear quarantine litter for the next round.
@@ -852,7 +1416,11 @@ mod tests {
                 "'{bad}' must be rejected before touching the filesystem"
             );
         }
-        assert!(ModelStore::valid_name("ok-name_2.v1"));
+        // `.v<digits>` suffixes are reserved for version files.
+        assert!(!ModelStore::valid_name("ok-name_2.v1"));
+        assert!(!ModelStore::valid_name("a.v007"));
+        assert!(ModelStore::valid_name("ok-name_2.v1x"));
+        assert!(ModelStore::valid_name("ok-name_2.version"));
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -55,7 +55,7 @@ fn truncation_at_every_byte_offset_is_a_clean_error() {
     store
         .save("t", &tiny_model(), &LoadOptions::default(), 2)
         .unwrap();
-    let path = dir.join("t.json");
+    let path = dir.join("t.v1.json");
     let pristine = fs::read(&path).unwrap();
     assert!(pristine.len() > 64, "fixture too small to be interesting");
 
@@ -65,7 +65,7 @@ fn truncation_at_every_byte_offset_is_a_clean_error() {
             .load("t")
             .expect_err(&format!("truncation to {cut} bytes must not load"));
         assert!(
-            !err.is_empty() && err.contains("t.json"),
+            !err.is_empty() && err.contains("t.v1.json"),
             "error must name the file: {err}"
         );
     }
@@ -92,7 +92,7 @@ fn random_single_bit_flips_never_yield_a_silently_wrong_model() {
     let store = ModelStore::open(&dir).unwrap();
     let model = tiny_model();
     store.save("b", &model, &LoadOptions::default(), 2).unwrap();
-    let path = dir.join("b.json");
+    let path = dir.join("b.v1.json");
     let pristine = fs::read(&path).unwrap();
     let header_end = pristine.iter().position(|&b| b == b'\n').unwrap();
 

@@ -350,7 +350,7 @@ fn corrupt_store_files_are_quarantined_at_boot_and_serving_continues() {
             .unwrap();
     }
     // Bit rot in one tenant + a file that was never a store file.
-    let rotten = dir.join("rotten.json");
+    let rotten = dir.join("rotten.v1.json");
     let mut bytes = std::fs::read(&rotten).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x40;
@@ -378,7 +378,7 @@ fn corrupt_store_files_are_quarantined_at_boot_and_serving_continues() {
     assert_eq!(status, 404, "quarantined tenant must not resolve");
     // ...and preserved on disk for inspection, not deleted.
     assert!(!rotten.exists());
-    assert!(dir.join("rotten.json.quarantine").exists());
+    assert!(dir.join("rotten.v1.json.quarantine").exists());
     assert!(dir.join("garbage.json.quarantine").exists());
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
@@ -392,12 +392,15 @@ fn delete_endpoint_removes_tenant_and_store_file() {
     let handle = boot_with_store(&dir, None);
     let mut c = client(&handle);
     publish(&mut c, "doomed", &model_json, 1, "surface");
-    assert!(dir.join("doomed.json").exists());
+    assert!(dir.join("doomed.v1.json").exists());
 
     let (status, body) = c.request("DELETE", "/models/doomed", None).unwrap();
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("doomed"), "{body}");
-    assert!(!dir.join("doomed.json").exists(), "store file must go too");
+    assert!(
+        !dir.join("doomed.v1.json").exists(),
+        "store file must go too"
+    );
     let (status, _) = c
         .request("POST", "/predict", Some(&rows_json(&data, "doomed", &[0])))
         .unwrap();

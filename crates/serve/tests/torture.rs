@@ -347,3 +347,252 @@ fn crash_recovery_schedules_10_to_19() {
         run_schedule(seed);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Mid-append crash schedules: the kill lands while `/models/{name}/rows`
+// is re-granulating and writing a NEW store version. The invariant is the
+// version-chain cousin of the publish one: the recovered head is either
+// the pre-append version or the completed post-append version — never a
+// torn hybrid — with acked rows ≤ recovered rows ≤ attempted rows, rows
+// recovered only in whole batches, bit-identical to the sequence the
+// client sent, and the served predictions matching an offline canonical
+// rebuild of exactly the recovered rows.
+// ---------------------------------------------------------------------------
+
+const APPEND_TENANT: &str = "gamma";
+const APPEND_BATCH: usize = 4;
+
+/// Row `i` of the deterministic append sequence. A pure function of `i`,
+/// so any recovered prefix can be regenerated and compared bit-for-bit.
+fn append_row(i: usize) -> ([f64; 2], u32) {
+    let label = (i % 2) as u32;
+    let base = if label == 0 { 0.0 } else { 4.0 };
+    let x = base + (i / 2) as f64 * 0.137;
+    let y = (i * 7 % 23) as f64 / 23.0;
+    ([x, y], label)
+}
+
+/// `/rows` body carrying batch `b`: rows `b*APPEND_BATCH ..` exclusive.
+fn append_batch_body(b: usize) -> String {
+    let mut rows = String::new();
+    let mut labels = String::new();
+    for i in b * APPEND_BATCH..(b + 1) * APPEND_BATCH {
+        if !rows.is_empty() {
+            rows.push(',');
+            labels.push(',');
+        }
+        let ([x, y], label) = append_row(i);
+        let _ = write!(rows, "[{x},{y}]");
+        let _ = write!(labels, "{label}");
+    }
+    format!("{{\"rows\":[{rows}],\"labels\":[{labels}]}}")
+}
+
+/// Append bookkeeping: every count is in rows, not batches.
+#[derive(Default, Debug)]
+struct AppendCounters {
+    /// Highest `n_rows` any 200 ack reported.
+    acked: usize,
+    /// Rows across all batches a POST was attempted for.
+    attempted: usize,
+}
+
+/// Appends consecutive batches until `stop`. A batch is retried after a
+/// **clean** non-200 (the registry guarantees an errored append commits
+/// nothing, durably or in memory, so a retry cannot double-ingest and
+/// cannot leave a gap in the sequence); a **transport** failure is
+/// ambiguous — the batch may or may not have committed — so the appender
+/// stops instead of risking a duplicate. Acked rows therefore form a
+/// gap-free prefix of the sequence, with at most one ambiguous trailing
+/// batch.
+fn appender(addr: &str, stop: &AtomicBool) -> AppendCounters {
+    let mut counters = AppendCounters::default();
+    let mut client = connect(addr).ok();
+    let mut b = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        let Some(cl) = client.as_mut() else {
+            client = connect(addr).ok();
+            continue;
+        };
+        let body = append_batch_body(b);
+        counters.attempted = (b + 1) * APPEND_BATCH;
+        match cl.request(
+            "POST",
+            &format!("/models/{APPEND_TENANT}/rows"),
+            Some(&body),
+        ) {
+            Ok((200, resp)) => {
+                if let Some(n) = json_num(&resp, "n_rows") {
+                    counters.acked = counters.acked.max(n as usize);
+                }
+                b += 1;
+            }
+            Ok(_) => {}      // clean failure: nothing committed, retry batch b
+            Err(_) => break, // ambiguous: batch b may have landed — stop
+        }
+    }
+    counters
+}
+
+/// One seeded mid-append schedule: append under predict traffic, SIGKILL
+/// at a seeded moment (every third seed also under injected store
+/// faults), restart, verify the chain.
+fn run_append_schedule(seed: u64) {
+    let dir = tempdir(&format!("a{seed}"));
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xfeed_f00d;
+    let fault_rate = if seed % 3 == 2 { 0.4 } else { 0.0 };
+    let kill_after = Duration::from_millis(20 + next_u64(&mut rng) % 131);
+
+    let mut booted = spawn_server(&dir, fault_rate, seed);
+    assert_eq!(booted.quarantined, 0, "fresh dir must boot clean");
+    let stop = AtomicBool::new(false);
+    let counters = std::thread::scope(|s| {
+        let addr = booted.addr.clone();
+        let append_handle = {
+            let stop = &stop;
+            let addr = addr.clone();
+            s.spawn(move || appender(&addr, stop))
+        };
+        {
+            let stop = &stop;
+            s.spawn(move || predictor(&addr, stop));
+        }
+        std::thread::sleep(kill_after);
+        booted.child.kill().expect("SIGKILL crash_server");
+        let _ = booted.child.wait();
+        stop.store(true, Ordering::Relaxed);
+        append_handle.join().expect("appender thread")
+    });
+
+    // Restart on the same directory, injection off.
+    let mut recovered = spawn_server(&dir, 0.0, 0);
+    let store = ModelStore::open(&dir).expect("scratch store handle");
+    let mut client = connect(&recovered.addr).expect("connect recovered server");
+    let AppendCounters { acked, attempted } = counters;
+
+    match store.load(APPEND_TENANT) {
+        Ok(env) => {
+            let maintained = env
+                .maintained
+                .as_ref()
+                .expect("ingest-created tenant carries its rows");
+            let n_rec = maintained.labels.len();
+            // acked rows are fsync-durable before the 200 leaves the
+            // server; unacked batches may or may not have landed.
+            assert!(
+                acked <= n_rec && n_rec <= attempted,
+                "seed {seed}: recovered {n_rec} rows outside \
+                 acked {acked}..=attempted {attempted}"
+            );
+            // A version commits a whole batch or none of it.
+            assert_eq!(
+                n_rec % APPEND_BATCH,
+                0,
+                "seed {seed}: recovered a torn batch ({n_rec} rows)"
+            );
+            // Bit-identical prefix of the deterministic sequence.
+            for i in 0..n_rec {
+                let ([x, y], label) = append_row(i);
+                assert_eq!(
+                    maintained.features[2 * i].to_bits(),
+                    x.to_bits(),
+                    "seed {seed}: row {i} x diverged"
+                );
+                assert_eq!(
+                    maintained.features[2 * i + 1].to_bits(),
+                    y.to_bits(),
+                    "seed {seed}: row {i} y diverged"
+                );
+                assert_eq!(maintained.labels[i], label, "seed {seed}: row {i} label");
+            }
+            // Every retained version of the chain loads cleanly (a torn
+            // head may only exist quarantined, never as a loadable link).
+            let versions = store.versions_on_disk(APPEND_TENANT);
+            assert!(!versions.is_empty(), "seed {seed}");
+            for &v in &versions {
+                let link = store
+                    .load_version(APPEND_TENANT, v)
+                    .unwrap_or_else(|e| panic!("seed {seed}: version {v} torn: {e}"));
+                assert_eq!(link.version, v, "seed {seed}");
+            }
+            assert_eq!(env.version, *versions.last().unwrap(), "seed {seed}");
+            // Served predictions equal an offline canonical rebuild on
+            // exactly the recovered rows — restart-equivalence of the
+            // maintained state.
+            let data = gb_dataset::Dataset::from_parts(
+                maintained.features.clone(),
+                maintained.labels.clone(),
+                2,
+                2,
+            );
+            let oracle = gbabs::canonical_rd_gbg(
+                &data,
+                maintained.rho,
+                gb_dataset::index::GranulationBackend::Auto,
+            );
+            let offline = GbKnn::from_model(&oracle, 2, 1);
+            let rows = probe_rows();
+            let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+            let expected = offline.predict_batch(&flat, 2);
+            let (status, body) = client
+                .request(
+                    "POST",
+                    "/predict",
+                    Some(&predict_body(APPEND_TENANT, &rows)),
+                )
+                .expect("POST /predict");
+            assert_eq!(status, 200, "seed {seed}: {body}");
+            assert_eq!(
+                predictions_of(&body),
+                expected,
+                "seed {seed}: served predictions diverge from canonical rebuild"
+            );
+            // And the version endpoint agrees with the store's view.
+            let (status, body) = client
+                .request("GET", &format!("/models/{APPEND_TENANT}"), None)
+                .expect("GET /models/{name}");
+            assert_eq!(status, 200, "seed {seed}: {body}");
+            assert_eq!(
+                json_num(&body, "head"),
+                Some(env.version as f64),
+                "seed {seed}: {body}"
+            );
+            assert_eq!(
+                json_num(&body, "n_rows"),
+                Some(n_rec as f64),
+                "seed {seed}: {body}"
+            );
+        }
+        Err(_) => {
+            // No loadable head at all: only legal if no append was ever
+            // acked or the boot scan quarantined the torn root.
+            assert!(
+                acked == 0 || recovered.quarantined > 0,
+                "seed {seed}: acked {acked} rows but the chain is gone \
+                 without a quarantine"
+            );
+            let (status, _) = client
+                .request("GET", &format!("/model?name={APPEND_TENANT}"), None)
+                .expect("GET /model");
+            assert_eq!(status, 404, "seed {seed}");
+        }
+    }
+
+    recovered.child.kill().expect("stop recovered server");
+    let _ = recovered.child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_append_crash_schedules_0_to_9() {
+    for seed in 0..10 {
+        run_append_schedule(seed);
+    }
+}
+
+#[test]
+fn mid_append_crash_schedules_10_to_19() {
+    for seed in 10..20 {
+        run_append_schedule(seed);
+    }
+}
