@@ -24,8 +24,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gb_dataset::distance::{
-    active_kernel, sq_euclidean_naive, sq_euclidean_one_to_many, sq_euclidean_scalar,
-    sq_euclidean_with, Kernel,
+    active_kernel, manhattan_dist_block, manhattan_one_to_many, sq_dist_block, sq_euclidean_naive,
+    sq_euclidean_one_to_many, sq_euclidean_scalar, sq_euclidean_with, Kernel,
 };
 use gb_dataset::rng::rng_from_seed;
 use rand::Rng;
@@ -118,5 +118,77 @@ fn sq_euclidean_one_to_many_scalar(query: &[f64], block: &[f64], out: &mut [f64]
     gb_dataset::distance::sq_euclidean_one_to_many_with(Kernel::Scalar, query, block, out);
 }
 
-criterion_group!(benches, bench_kernels);
+/// Queries per many-to-many tile scan — the `predict_batch` regime (a
+/// handful of in-flight queries against one model's centers).
+const N_QUERIES: usize = 16;
+
+/// Many-to-many micro-benchmarks — the contract-v2 tentpole regime.
+///
+/// Measures `N_QUERIES` query rows against the same `N_ROWS`-row block two
+/// ways at each width:
+///
+/// * `repeated` — one [`sq_euclidean_one_to_many`] scan per query (what
+///   `predict_batch` did before contract v2);
+/// * `blocked` — one [`sq_dist_block`] call: the 2-query × 4-row FMA
+///   register tile reuses every loaded row vector across both queries.
+///
+/// The two are bit-identical (`tests/kernel_parity.rs`); the acceptance
+/// bar is blocked ≥ 1.5× over repeated at p ≥ 64 (ratio gate in
+/// `ci/bench-thresholds.json`).
+fn bench_many_to_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("many_to_many");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for p in [16usize, 64, 256] {
+        let mut rng = rng_from_seed(p as u64);
+        let queries: Vec<f64> = (0..N_QUERIES * p)
+            .map(|_| rng.gen_range(-3.0..3.0))
+            .collect();
+        let block: Vec<f64> = (0..N_ROWS * p).map(|_| rng.gen_range(-3.0..3.0)).collect();
+        let label = format!("p{p}");
+
+        group.bench_with_input(BenchmarkId::new("repeated", &label), &p, |b, &p| {
+            let mut out = vec![0.0f64; N_QUERIES * N_ROWS];
+            b.iter(|| {
+                for (q, orow) in queries.chunks_exact(p).zip(out.chunks_exact_mut(N_ROWS)) {
+                    sq_euclidean_one_to_many(black_box(q), black_box(&block), orow);
+                }
+                out[N_QUERIES * N_ROWS - 1]
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("blocked", &label), &p, |b, &p| {
+            let mut out = vec![0.0f64; N_QUERIES * N_ROWS];
+            b.iter(|| {
+                sq_dist_block(black_box(&queries), black_box(&block), p, &mut out);
+                out[N_QUERIES * N_ROWS - 1]
+            });
+        });
+
+        // Manhattan rows: the L1 blocked kernel decomposes into repeated
+        // one-to-many scans (no register tile yet), so these cells record
+        // the dispatch-amortization delta only.
+        group.bench_with_input(BenchmarkId::new("repeated_l1", &label), &p, |b, &p| {
+            let mut out = vec![0.0f64; N_QUERIES * N_ROWS];
+            b.iter(|| {
+                for (q, orow) in queries.chunks_exact(p).zip(out.chunks_exact_mut(N_ROWS)) {
+                    manhattan_one_to_many(black_box(q), black_box(&block), orow);
+                }
+                out[N_QUERIES * N_ROWS - 1]
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("blocked_l1", &label), &p, |b, &p| {
+            let mut out = vec![0.0f64; N_QUERIES * N_ROWS];
+            b.iter(|| {
+                manhattan_dist_block(black_box(&queries), black_box(&block), p, &mut out);
+                out[N_QUERIES * N_ROWS - 1]
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_many_to_many);
 criterion_main!(benches);

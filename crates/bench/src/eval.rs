@@ -14,6 +14,7 @@ use gb_dataset::noise::inject_class_noise;
 use gb_dataset::rng::derive_seed;
 use gb_dataset::split::stratified_k_fold;
 use gb_dataset::Dataset;
+use gb_dataset::Metric;
 use gb_metrics::{accuracy, g_mean};
 use gbabs::{GbabsSampler, Sampler};
 use parking_lot::Mutex;
@@ -139,6 +140,7 @@ fn run_fold(
         GbabsSampler {
             density_tolerance: cfg.gbabs_rho,
             backend: cfg.backend,
+            metric: Metric::SqEuclidean,
         }
         .sample(&train, fold_seed)
         .ratio(&train)

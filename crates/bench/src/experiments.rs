@@ -14,6 +14,7 @@ use gb_dataset::noise::inject_class_noise;
 use gb_dataset::rng::derive_seed;
 use gb_dataset::split::stratified_subsample;
 use gb_dataset::Dataset;
+use gb_dataset::Metric;
 use gb_metrics::ranking::ordinal_ranks;
 use gb_metrics::stats::kde;
 use gb_metrics::wilcoxon::wilcoxon_signed_rank;
@@ -239,6 +240,7 @@ pub fn fig6(cfg: &HarnessConfig) {
             let ga = GbabsSampler {
                 density_tolerance: cfg.gbabs_rho,
                 backend: cfg.backend,
+                metric: Metric::SqEuclidean,
             }
             .sample(&d, seed);
             let gg = Ggbs::default().sample(&d, seed);
@@ -600,6 +602,7 @@ pub fn fig10(cfg: &HarnessConfig) {
             let out = GbabsSampler {
                 density_tolerance: rho,
                 backend: cfg.backend,
+                metric: Metric::SqEuclidean,
             }
             .sample(&d, derive_seed(cfg.seed, 1010));
             row.push(f(out.ratio(&d)));
@@ -798,6 +801,7 @@ pub fn svm_study(cfg: &HarnessConfig) {
                 let gb = GbabsSampler {
                     density_tolerance: cfg.gbabs_rho,
                     backend: cfg.backend,
+                    metric: Metric::SqEuclidean,
                 }
                 .sample(&train, derive_seed(cfg.seed, fi as u64));
                 n_train += train.n_samples() as f64;

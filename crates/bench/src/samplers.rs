@@ -2,6 +2,7 @@
 
 use gb_dataset::index::GranulationBackend;
 use gb_dataset::Dataset;
+use gb_dataset::Metric;
 use gb_sampling::{BorderlineSmote, Ggbs, Igbs, Smote, SmoteNc, Srs, TomekLinks};
 use gbabs::{GbabsSampler, NoSampling, SampleResult, Sampler};
 
@@ -91,6 +92,7 @@ impl SamplerKind {
             SamplerKind::Gbabs => GbabsSampler {
                 density_tolerance: gbabs_rho,
                 backend,
+                metric: Metric::SqEuclidean,
             }
             .sample(train, seed),
             SamplerKind::Ggbs => Ggbs {

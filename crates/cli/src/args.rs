@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no external CLI dependency).
 
 use gb_dataset::index::GranulationBackend;
+use gb_dataset::Metric;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -94,6 +95,10 @@ pub struct Cli {
     /// ggbs/igbs). All backends produce identical output; this only
     /// selects the query asymptotics.
     pub backend: GranulationBackend,
+    /// Distance metric for granulation and prediction (GBABS method and
+    /// `inspect`/`serve`): squared-Euclidean (default, the paper's
+    /// metric), Manhattan, or cosine.
+    pub metric: Metric,
     /// Listen address (`serve` only).
     pub addr: String,
     /// GB-kNN vote size k (`serve` only).
@@ -118,6 +123,10 @@ pub struct Cli {
     /// chain are garbage-collected after each mutation (`serve` only;
     /// requires `--model-dir`). `None` retains every version.
     pub max_versions: Option<usize>,
+    /// Warm-ahead at boot: rebuild this many of the most-recently-used
+    /// tenants in the background once the server starts (`serve` only;
+    /// requires `--model-dir`). 0 disables.
+    pub preload: usize,
     /// Per-request deadline in milliseconds (`serve` only); 0 disables
     /// deadline enforcement and restores the legacy single-read-timeout
     /// behaviour.
@@ -197,6 +206,8 @@ pub enum ParseError {
     UnknownMethod(String),
     /// `--backend` value not recognized.
     UnknownBackend(String),
+    /// `--metric` value not recognized.
+    UnknownMetric(String),
     /// Ratio-based method without `--ratio`, or ratio out of (0, 1].
     BadRatio,
     /// `--rho` below 2 (the density rules need ρ ≥ 2).
@@ -210,6 +221,9 @@ pub enum ParseError {
     /// `--max-versions` without `--model-dir` (there is no version chain
     /// without a store).
     VersionsWithoutDir,
+    /// `--preload` without `--model-dir` (there are no cold tenants to
+    /// warm without a store).
+    PreloadWithoutDir,
     /// `router` without any `--backend`/`--backends`.
     MissingBackends,
 }
@@ -239,6 +253,12 @@ impl fmt::Display for ParseError {
                     "unknown backend '{b}' (expected auto, brute, kdtree or vptree)"
                 )
             }
+            ParseError::UnknownMetric(m) => {
+                write!(
+                    f,
+                    "unknown metric '{m}' (expected sqeuclidean, manhattan or cosine)"
+                )
+            }
             ParseError::BadRatio => {
                 write!(f, "this method requires --ratio in (0, 1]")
             }
@@ -265,6 +285,13 @@ impl fmt::Display for ParseError {
                      in the model store)"
                 )
             }
+            ParseError::PreloadWithoutDir => {
+                write!(
+                    f,
+                    "--preload requires --model-dir (only persisted tenants \
+                     can be warmed at boot)"
+                )
+            }
             ParseError::MissingBackends => {
                 write!(
                     f,
@@ -281,11 +308,11 @@ impl std::error::Error for ParseError {}
 pub const USAGE: &str = "\
 usage:
   gbabs sample  INPUT.csv -o OUTPUT.csv [--method M] [--rho N] [--ratio R] [--seed S] [--backend B]
-                [--progress]
-  gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B]
-  gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B]
+                [--metric D] [--progress]
+  gbabs inspect INPUT.csv [--rho N] [--seed S] [--backend B] [--metric D]
+  gbabs serve   INPUT.csv [--addr HOST:PORT] [--rho N] [--seed S] [--backend B] [--metric D]
                 [--k K] [--workers W] [--no-batch] [--batch-wait MICROS]
-                [--model-dir DIR] [--model-mem-budget BYTES] [--max-versions N]
+                [--model-dir DIR] [--model-mem-budget BYTES] [--max-versions N] [--preload N]
                 [--request-timeout-ms MS] [--store-fault-rate P] [--store-fault-seed S]
                 [--access-log PATH|stderr]
   gbabs router  --backend HOST:PORT [--backend HOST:PORT ...] [--addr HOST:PORT]
@@ -305,6 +332,8 @@ options:
   --seed S            RNG seed (default 42)
   --backend B         granulation index: auto (default), brute, kdtree,
                       vptree — output-identical, speed differs
+  --metric D          distance metric: sqeuclidean (default, the paper's
+                      metric), manhattan, cosine (gbabs/inspect/serve)
   --addr HOST:PORT    serve listen address (default 127.0.0.1:8080)
   --k K               serve: GB-kNN vote size (default 1)
   --workers W         serve: worker threads (default 8)
@@ -319,6 +348,8 @@ options:
   --max-versions N    serve: retain at most N store versions per tenant,
                       garbage-collecting the oldest after each mutation
                       (requires --model-dir; default retains all)
+  --preload N         serve: rebuild the N most-recently-used tenants in
+                      the background at boot (requires --model-dir)
   --request-timeout-ms MS
                       serve: per-request deadline (default 10000); slow or
                       stalled requests are rejected 408/504 when it expires;
@@ -365,6 +396,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         ratio: None,
         seed: 42,
         backend: GranulationBackend::Auto,
+        metric: Metric::SqEuclidean,
         addr: "127.0.0.1:8080".to_string(),
         k: 1,
         workers: 8,
@@ -373,6 +405,7 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
         model_dir: None,
         model_mem_budget: None,
         max_versions: None,
+        preload: 0,
         request_timeout_ms: 10_000,
         store_fault_rate: None,
         store_fault_seed: 42,
@@ -425,6 +458,10 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 let v = value(arg)?;
                 cli.backend =
                     GranulationBackend::from_str_opt(&v).ok_or(ParseError::UnknownBackend(v))?;
+            }
+            "--metric" => {
+                let v = value(arg)?;
+                cli.metric = Metric::parse(&v).map_err(|_| ParseError::UnknownMetric(v))?;
             }
             "--backends" => {
                 let v = value(arg)?;
@@ -493,6 +530,11 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
                 }
                 cli.max_versions = Some(n);
             }
+            "--preload" => {
+                cli.preload = value(arg)?
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(arg.clone()))?;
+            }
             "--request-timeout-ms" => {
                 cli.request_timeout_ms = value(arg)?
                     .parse()
@@ -555,6 +597,9 @@ pub fn parse(args: &[String]) -> Result<Cli, ParseError> {
     }
     if cli.max_versions.is_some() && cli.model_dir.is_none() {
         return Err(ParseError::VersionsWithoutDir);
+    }
+    if cli.preload > 0 && cli.model_dir.is_none() {
+        return Err(ParseError::PreloadWithoutDir);
     }
     Ok(cli)
 }
@@ -845,6 +890,39 @@ mod tests {
         assert_eq!(
             parse(&argv("inspect data.csv --backend 127.0.0.1:8081")),
             Err(ParseError::UnknownBackend("127.0.0.1:8081".into()))
+        );
+    }
+
+    #[test]
+    fn parses_metric_flag() {
+        let cli = parse(&argv("inspect data.csv --metric manhattan")).unwrap();
+        assert_eq!(cli.metric, Metric::Manhattan);
+        let cosine = parse(&argv("serve data.csv --metric cosine")).unwrap();
+        assert_eq!(cosine.metric, Metric::Cosine);
+        let l2 = parse(&argv("sample in.csv -o o.csv --metric l2")).unwrap();
+        assert_eq!(l2.metric, Metric::SqEuclidean, "alias accepted");
+        let defaults = parse(&argv("inspect data.csv")).unwrap();
+        assert_eq!(defaults.metric, Metric::SqEuclidean);
+        assert_eq!(
+            parse(&argv("inspect data.csv --metric hamming")),
+            Err(ParseError::UnknownMetric("hamming".into()))
+        );
+    }
+
+    #[test]
+    fn parses_preload_flag() {
+        let cli = parse(&argv("serve data.csv --model-dir d --preload 3")).unwrap();
+        assert_eq!(cli.preload, 3);
+        let defaults = parse(&argv("serve data.csv")).unwrap();
+        assert_eq!(defaults.preload, 0);
+        assert_eq!(
+            parse(&argv("serve data.csv --preload 3")),
+            Err(ParseError::PreloadWithoutDir),
+            "warming needs a store to warm from"
+        );
+        assert_eq!(
+            parse(&argv("serve data.csv --model-dir d --preload some")),
+            Err(ParseError::BadValue("--preload".into()))
         );
     }
 

@@ -13,18 +13,22 @@ use std::fmt::Write as _;
 /// Builds the requested sampler. `ratio` must be validated by the parser
 /// for the ratio-based methods; `backend` selects the neighbour index of
 /// every granulation-based method (GBABS, GGBS, IGBS) — output-invariant,
-/// speed only — and is ignored by the index-free samplers.
+/// speed only — and is ignored by the index-free samplers. `metric`
+/// selects the distance metric of the GBABS granulation (the baselines
+/// stay squared-Euclidean, matching their papers).
 #[must_use]
 pub fn build_sampler(
     method: Method,
     rho: usize,
     ratio: Option<f64>,
     backend: gb_dataset::index::GranulationBackend,
+    metric: gb_dataset::Metric,
 ) -> Box<dyn Sampler> {
     match method {
         Method::Gbabs => Box::new(GbabsSampler {
             density_tolerance: rho,
             backend,
+            metric,
         }),
         Method::Ggbs => Box::new(Ggbs {
             config: gb_sampling::ggbs::GgbsConfig {
@@ -84,7 +88,7 @@ fn sample(cli: &Cli, data: &Dataset) -> Result<String, String> {
             data.n_samples()
         ));
     }
-    let sampler = build_sampler(cli.method, cli.rho, cli.ratio, cli.backend);
+    let sampler = build_sampler(cli.method, cli.rho, cli.ratio, cli.backend, cli.metric);
     let out = if cli.progress && cli.method == Method::Gbabs {
         // Instrumented path: same algorithm, with per-iteration progress
         // events printed to stderr. The sink only observes — the sampled
@@ -93,6 +97,7 @@ fn sample(cli: &Cli, data: &Dataset) -> Result<String, String> {
             density_tolerance: cli.rho,
             seed: cli.seed,
             backend: cli.backend,
+            metric: cli.metric,
             ..RdGbgConfig::default()
         };
         let mut sink = |e: &gbabs::ProgressEvent| eprintln!("{e}");
@@ -137,6 +142,7 @@ fn inspect(cli: &Cli, data: &Dataset) -> String {
         density_tolerance: cli.rho,
         seed: cli.seed,
         backend: cli.backend,
+        metric: cli.metric,
         ..RdGbgConfig::default()
     };
     let summary = gb_dataset::summary::describe(data);
@@ -220,6 +226,7 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
         density_tolerance: cli.rho,
         seed: cli.seed,
         backend: cli.backend,
+        metric: cli.metric,
         ..RdGbgConfig::default()
     };
     let model = gbabs::rd_gbg(data, &cfg);
@@ -281,6 +288,7 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
             batch_wait: std::time::Duration::from_micros(cli.batch_wait_us),
             request_timeout: std::time::Duration::from_millis(cli.request_timeout_ms),
             access_log: cli.access_log.clone(),
+            preload: cli.preload,
             ..ServeConfig::default()
         },
         registry,
@@ -288,13 +296,20 @@ fn serve(cli: &Cli, data: &Dataset) -> Result<String, String> {
     .map_err(|e| format!("bind {}: {e}", cli.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     println!(
-        "serving '{}' ({} balls over {} rows, k = {}, backend {}) on http://{addr}",
+        "serving '{}' ({} balls over {} rows, k = {}, metric {}, backend {}) on http://{addr}",
         data.name(),
         served.stats.n_balls,
         data.n_samples(),
         cli.k,
+        cli.metric.name(),
         cli.backend,
     );
+    if cli.preload > 0 {
+        println!(
+            "preload: warming up to {} most-recently-used tenant(s) in the background",
+            cli.preload
+        );
+    }
     println!(
         "endpoints: POST /predict | POST /sample | POST/DELETE/GET /models/{{name}} | \
          POST /models/{{name}}/rows /models/{{name}}/rollback | \

@@ -4,6 +4,13 @@ use gbabs_cli::args::USAGE;
 use gbabs_cli::{commands, parse};
 
 fn main() {
+    // Fail fast on a misspelled GB_SIMD before any work starts: a typo'd
+    // tier must be a startup error naming the valid tiers, never a silent
+    // fall-through to auto-detection.
+    if let Err(e) = gb_dataset::validate_simd_env() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") {
         print!("{USAGE}");

@@ -153,6 +153,7 @@ pub fn borderline_over_balls(data: &Dataset, balls: Vec<GranularBall>) -> (Vec<u
         noise: Vec::new(),
         orphan_count: 0,
         iterations: 0,
+        metric: gb_dataset::distance::Metric::SqEuclidean,
     };
     borderline_from_model(data, &model)
 }

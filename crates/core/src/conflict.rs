@@ -24,14 +24,23 @@
 //! bounds are relaxed by `1 − 1e−12` so `sqrt` rounding can only cause
 //! extra visits, and `min`/counting are order-independent — results are
 //! bit-identical to the brute scans.
+//!
+//! Metric: distances here are **rank-space** center distances under the
+//! granulation's [`Metric`] — Euclidean for squared-Euclidean (and for
+//! cosine, whose granulation runs over normalized rows where Euclidean is
+//! the chord), L1 for Manhattan. The per-axis pruning bound `|Δdim|` is a
+//! valid lower bound on both the L2 and the L1 center distance, so the
+//! same tree serves every metric.
 
-use gb_dataset::distance::euclidean;
+use gb_dataset::distance::{euclidean, Metric};
 
 pub(crate) struct BallConflictIndex {
     /// Flattened centers of every ball seen (row-major).
     centers: Vec<f64>,
     radii: Vec<f64>,
     n_features: usize,
+    /// Rank-space metric for center distances.
+    metric: Metric,
     nodes: Vec<ConflictNode>,
     root: u32,
     /// Balls `0..indexed` live in the tree; `indexed..len` are the brute
@@ -59,10 +68,18 @@ const CONFLICT_PRUNE_SLACK: f64 = 1.0 - 1e-12;
 
 impl BallConflictIndex {
     pub(crate) fn new(n_features: usize) -> Self {
+        Self::new_with(n_features, Metric::SqEuclidean)
+    }
+
+    /// An empty index whose center distances run in `metric`'s rank space.
+    /// Cosine granulations pass `SqEuclidean` here (they operate on
+    /// normalized rows where Euclidean *is* the chord).
+    pub(crate) fn new_with(n_features: usize, metric: Metric) -> Self {
         Self {
             centers: Vec::new(),
             radii: Vec::new(),
             n_features,
+            metric,
             nodes: Vec::new(),
             root: NO_NODE,
             indexed: 0,
@@ -234,29 +251,49 @@ impl BallConflictIndex {
         id
     }
 
+    /// Gap from `c` to a stored ball under `dist`, the rank-space
+    /// center distance. `dist` is monomorphized by the public entry
+    /// points (the sequential `euclidean` for L2 — the sub-lane and
+    /// historical shape — `manhattan` otherwise) so the per-ball loop
+    /// carries no enum dispatch and index answers stay bit-identical
+    /// with the naive loops.
     #[inline]
-    fn gap(&self, ball: u32, c: &[f64]) -> f64 {
-        (euclidean(self.center(ball), c) - self.radii[ball as usize]).max(0.0)
+    fn gap_with(&self, ball: u32, c: &[f64], dist: impl Fn(&[f64], &[f64]) -> f64) -> f64 {
+        (dist(self.center(ball), c) - self.radii[ball as usize]).max(0.0)
     }
 
     /// `min_b (‖center_b − c‖ − r_b)⁺`, or `+inf` with no balls.
     pub(crate) fn conflict_radius(&self, c: &[f64]) -> f64 {
+        // Branch on the metric once per query, not per ball visit.
+        match self.metric {
+            Metric::SqEuclidean | Metric::Cosine => self.conflict_radius_with(c, euclidean),
+            Metric::Manhattan => self.conflict_radius_with(c, gb_dataset::distance::manhattan),
+        }
+    }
+
+    fn conflict_radius_with(&self, c: &[f64], dist: impl Fn(&[f64], &[f64]) -> f64 + Copy) -> f64 {
         let mut best = f64::INFINITY;
         // Brute buffer first (most recent balls are usually nearby).
         for b in self.indexed as u32..self.len() as u32 {
-            best = best.min(self.gap(b, c));
+            best = best.min(self.gap_with(b, c, dist));
         }
         if self.root != NO_NODE {
-            self.query_rec(self.root, c, &mut best);
+            self.query_rec(self.root, c, &mut best, dist);
         }
         best
     }
 
-    fn query_rec(&self, node: u32, c: &[f64], best: &mut f64) {
+    fn query_rec(
+        &self,
+        node: u32,
+        c: &[f64],
+        best: &mut f64,
+        dist: impl Fn(&[f64], &[f64]) -> f64 + Copy,
+    ) {
         match &self.nodes[node as usize] {
             ConflictNode::Leaf { balls } => {
                 for &b in balls {
-                    *best = best.min(self.gap(b, c));
+                    *best = best.min(self.gap_with(b, c, dist));
                 }
             }
             ConflictNode::Split {
@@ -272,11 +309,11 @@ impl BallConflictIndex {
                 } else {
                     (*right, *left)
                 };
-                self.query_rec(near, c, best);
+                self.query_rec(near, c, best, dist);
                 // Any ball on the far side is at least |diff| away from c
                 // on this axis, so its gap is ≥ |diff| − r_max.
                 if (diff.abs() - r_max) * CONFLICT_PRUNE_SLACK <= *best {
-                    self.query_rec(far, c, best);
+                    self.query_rec(far, c, best, dist);
                 }
             }
         }
@@ -286,23 +323,48 @@ impl BallConflictIndex {
     /// `(c, radius)` — the exact predicate of `GranularBall::overlaps`:
     /// `‖center_b − c‖ < r_b + radius − eps`.
     pub(crate) fn count_overlapping(&self, c: &[f64], radius: f64, eps: f64) -> usize {
+        match self.metric {
+            Metric::SqEuclidean | Metric::Cosine => {
+                self.count_overlapping_with(c, radius, eps, euclidean)
+            }
+            Metric::Manhattan => {
+                self.count_overlapping_with(c, radius, eps, gb_dataset::distance::manhattan)
+            }
+        }
+    }
+
+    fn count_overlapping_with(
+        &self,
+        c: &[f64],
+        radius: f64,
+        eps: f64,
+        dist: impl Fn(&[f64], &[f64]) -> f64 + Copy,
+    ) -> usize {
         let mut count = 0;
         for b in self.indexed as u32..self.len() as u32 {
-            if euclidean(self.center(b), c) < self.radii[b as usize] + radius - eps {
+            if dist(self.center(b), c) < self.radii[b as usize] + radius - eps {
                 count += 1;
             }
         }
         if self.root != NO_NODE {
-            self.count_rec(self.root, c, radius, eps, &mut count);
+            self.count_rec(self.root, c, radius, eps, &mut count, dist);
         }
         count
     }
 
-    fn count_rec(&self, node: u32, c: &[f64], radius: f64, eps: f64, count: &mut usize) {
+    fn count_rec(
+        &self,
+        node: u32,
+        c: &[f64],
+        radius: f64,
+        eps: f64,
+        count: &mut usize,
+        dist: impl Fn(&[f64], &[f64]) -> f64 + Copy,
+    ) {
         match &self.nodes[node as usize] {
             ConflictNode::Leaf { balls } => {
                 for &b in balls {
-                    if euclidean(self.center(b), c) < self.radii[b as usize] + radius - eps {
+                    if dist(self.center(b), c) < self.radii[b as usize] + radius - eps {
                         *count += 1;
                     }
                 }
@@ -320,12 +382,12 @@ impl BallConflictIndex {
                 } else {
                     (*right, *left)
                 };
-                self.count_rec(near, c, radius, eps, count);
+                self.count_rec(near, c, radius, eps, count, dist);
                 // A far-side ball is ≥ |diff| from c, so it overlaps only if
                 // |diff| < r_max + radius − eps. Relaxed so rounding can
                 // only cause extra visits, never a miss.
                 if diff.abs() * CONFLICT_PRUNE_SLACK < r_max + radius - eps {
-                    self.count_rec(far, c, radius, eps, count);
+                    self.count_rec(far, c, radius, eps, count, dist);
                 }
             }
         }

@@ -250,6 +250,7 @@ mod tests {
             noise: vec![],
             orphan_count: 0,
             iterations: 1,
+            metric: gb_dataset::distance::Metric::SqEuclidean,
         };
         let err = verify_rdgbg_invariants(&data, &model).unwrap_err();
         assert!(
@@ -273,6 +274,7 @@ mod tests {
             noise: vec![],
             orphan_count: 0,
             iterations: 1,
+            metric: gb_dataset::distance::Metric::SqEuclidean,
         };
         let err = verify_rdgbg_invariants(&data, &model).unwrap_err();
         assert!(err.contains("impure"), "{err}");

@@ -12,8 +12,13 @@
 
 use crate::ball::GranularBall;
 use crate::rdgbg::{rd_gbg, RdGbgConfig, RdGbgModel};
-use gb_dataset::distance::sq_euclidean_one_to_many;
+use gb_dataset::distance::Metric;
 use gb_dataset::Dataset;
+
+/// Queries per blocked many-to-many kernel call in [`GbKnn::predict_batch`].
+/// Each center-matrix block is loaded once and streamed against the whole
+/// query tile (kernel contract v2's register-blocked micro-kernel).
+const PREDICT_TILE: usize = 16;
 
 /// How a query's distance to a ball is measured.
 ///
@@ -55,11 +60,16 @@ impl Default for GbKnnConfig {
 pub struct GbKnn {
     balls: Vec<GranularBall>,
     /// Ball centers flattened row-major (`n_balls × n_features`) so the
-    /// per-query center scan runs through the batched SIMD kernel.
+    /// per-query center scan runs through the batched SIMD kernel. Cosine
+    /// models hold normalized centers (RD-GBG granulates cosine covers in
+    /// normalized space), so no re-preparation happens here.
     centers: Vec<f64>,
     n_classes: usize,
     k: usize,
     rule: DistanceRule,
+    /// Metric the cover was granulated under; queries are measured — and
+    /// for cosine, normalized — the same way.
+    metric: Metric,
 }
 
 impl GbKnn {
@@ -95,6 +105,7 @@ impl GbKnn {
             n_classes,
             k,
             rule: DistanceRule::Surface,
+            metric: model.metric,
         }
     }
 
@@ -128,39 +139,50 @@ impl GbKnn {
         self.rule
     }
 
+    /// The metric queries are measured under (inherited from the cover).
+    #[must_use]
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
     /// Overrides the distance rule (for callers building via
     /// [`Self::from_model`], which defaults to [`DistanceRule::Surface`]).
     pub fn set_rule(&mut self, rule: DistanceRule) {
         self.rule = rule;
     }
 
-    /// Distances from `row` to every ball under the configured rule
-    /// (surface distance is signed: negative inside the ball). One batched
-    /// kernel call over the flattened center matrix, then a cheap
-    /// `sqrt`/radius pass. Every prediction path shares this function, so
-    /// `predict_row`, `predict`, and `predict_batch` are mutually
-    /// bit-identical for any kernel tier.
-    fn ball_distances(&self, row: &[f64]) -> Vec<(f64, usize)> {
+    /// Kernel-space distances (squared Euclidean / L1 / chord²) from a
+    /// *prepared* query to every ball center: one batched kernel call over
+    /// the flattened center matrix.
+    fn kernel_distances(&self, prepared_row: &[f64]) -> Vec<f64> {
         let mut sq = vec![0.0f64; self.balls.len()];
-        sq_euclidean_one_to_many(row, &self.centers, &mut sq);
-        sq.into_iter()
+        self.metric
+            .one_to_many(prepared_row, &self.centers, &mut sq);
+        sq
+    }
+
+    /// Votes over the `k` rule-nearest balls given kernel-space distances
+    /// to every center (ties toward the smaller label). Converts to rank
+    /// space, applies the distance rule (surface distance is signed:
+    /// negative inside the ball), and majority-votes. Every prediction
+    /// path funnels through this function on kernel values that are
+    /// bit-identical whether they came from the one-to-many kernel or the
+    /// blocked many-to-many kernel (contract v2), so `predict_row`,
+    /// `predict`, and `predict_batch` are mutually bit-identical for any
+    /// kernel tier.
+    fn vote(&self, kernel: &[f64]) -> u32 {
+        let mut dists: Vec<(f64, usize)> = kernel
+            .iter()
             .enumerate()
-            .map(|(i, d_sq)| {
-                let center_dist = d_sq.sqrt();
+            .map(|(i, &d_sq)| {
+                let center_dist = self.metric.rank_of(d_sq);
                 let d = match self.rule {
                     DistanceRule::Surface => center_dist - self.balls[i].radius,
                     DistanceRule::Center => center_dist,
                 };
                 (d, i)
             })
-            .collect()
-    }
-
-    /// Predicts the label of one feature row by majority vote among the `k`
-    /// nearest balls (ties toward the smaller label).
-    #[must_use]
-    pub fn predict_row(&self, row: &[f64]) -> u32 {
-        let mut dists = self.ball_distances(row);
+            .collect();
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| {
             a.0.partial_cmp(&b.0)
@@ -179,6 +201,14 @@ impl GbKnn {
             .unwrap_or(0)
     }
 
+    /// Predicts the label of one feature row by majority vote among the `k`
+    /// nearest balls (ties toward the smaller label).
+    #[must_use]
+    pub fn predict_row(&self, row: &[f64]) -> u32 {
+        let prepared = self.metric.prepare_query(row);
+        self.vote(&self.kernel_distances(&prepared))
+    }
+
     /// Predicts every row of `data`. Rows are scored in parallel — each
     /// prediction is independent, and results are returned in row order, so
     /// the output is identical to the sequential loop.
@@ -190,7 +220,11 @@ impl GbKnn {
     /// Predicts every row of a raw row-major feature buffer, in parallel
     /// and in row order — the predictor-reuse entry point for callers (like
     /// the `gb-serve` micro-batcher) that assemble query rows without
-    /// building a [`Dataset`]. Bit-identical to calling
+    /// building a [`Dataset`]. Queries tile in groups of [`PREDICT_TILE`]
+    /// through the register-blocked many-to-many kernel, so the center
+    /// matrix streams once per tile instead of once per row. The blocked
+    /// kernel is bit-identical to repeated one-to-many calls (contract
+    /// v2), so the output is bit-identical to calling
     /// [`Self::predict_row`] on each row sequentially.
     ///
     /// # Panics
@@ -210,10 +244,34 @@ impl GbKnn {
             "feature buffer must be a whole number of rows"
         );
         let n = features.len() / n_features;
-        (0..n)
+        let nb = self.balls.len();
+        let tiles: Vec<Vec<u32>> = (0..n.div_ceil(PREDICT_TILE))
             .into_par_iter()
-            .map(|i| self.predict_row(&features[i * n_features..(i + 1) * n_features]))
-            .collect()
+            .map(|t| {
+                let lo = t * PREDICT_TILE;
+                let hi = (lo + PREDICT_TILE).min(n);
+                let nq = hi - lo;
+                let raw = &features[lo * n_features..hi * n_features];
+                // Cosine prepares (normalizes) the query tile; the other
+                // metrics measure the rows as-is.
+                let prepared;
+                let tile: &[f64] = if self.metric.normalizes() {
+                    let mut buf = raw.to_vec();
+                    self.metric.prepare_rows(&mut buf, n_features);
+                    prepared = buf;
+                    &prepared
+                } else {
+                    raw
+                };
+                let mut dists = vec![0.0f64; nq * nb];
+                self.metric
+                    .dist_block(tile, &self.centers, n_features, &mut dists);
+                (0..nq)
+                    .map(|qi| self.vote(&dists[qi * nb..(qi + 1) * nb]))
+                    .collect()
+            })
+            .collect();
+        tiles.into_iter().flatten().collect()
     }
 }
 

@@ -77,6 +77,10 @@ pub use borderline::{
 // Re-exported so downstream crates (CLI, serve) can consume progress events
 // without depending on gb-obs directly.
 pub use gb_obs::{ProgressEvent, ProgressPhase};
+// Re-exported because `RdGbgModel` and the config builders carry a
+// `Metric` field; constructors shouldn't need a gb-dataset dependency
+// just to name it.
+pub use gb_dataset::Metric;
 pub use gbknn::{DistanceRule, GbKnn, GbKnnConfig};
 pub use rdgbg::incremental::{canonical_rd_gbg, AppendStats, MaintainedModel};
 pub use rdgbg::{rd_gbg, rd_gbg_with_progress, ProgressSink, RdGbgConfig, RdGbgModel};

@@ -291,6 +291,9 @@ fn sweep(
         // The canonical engine is a single deterministic pass; the field
         // is kept for envelope compatibility with the stochastic engine.
         iterations: 1,
+        // The maintenance engine granulates in the paper's metric only —
+        // its influence-radius algebra is squared-Euclidean.
+        metric: gb_dataset::distance::Metric::SqEuclidean,
     };
     (model, trace)
 }

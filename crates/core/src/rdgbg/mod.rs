@@ -35,6 +35,7 @@ pub mod incremental;
 
 use crate::ball::GranularBall;
 use crate::conflict::BallConflictIndex;
+use gb_dataset::distance::{l2_normalize_rows, Metric};
 use gb_dataset::index::{GranulationBackend, NeighborIndex, RangeBound};
 use gb_dataset::rng::rng_from_seed;
 use gb_dataset::Dataset;
@@ -67,6 +68,11 @@ pub struct RdGbgConfig {
     /// Neighbour-index backend for the granulation hot path. Every backend
     /// yields a bit-identical model; this only selects the asymptotics.
     pub backend: GranulationBackend,
+    /// Distance metric for granulation. Manhattan granulates with L1
+    /// distances throughout (radii are L1 radii); cosine granulates over an
+    /// L2-normalized copy of the rows — chord geometry on the unit sphere —
+    /// and the model stores **normalized** centers.
+    pub metric: Metric,
 }
 
 impl Default for RdGbgConfig {
@@ -77,6 +83,7 @@ impl Default for RdGbgConfig {
             restrict_overlap: true,
             detect_noise: true,
             backend: GranulationBackend::Auto,
+            metric: Metric::SqEuclidean,
         }
     }
 }
@@ -97,6 +104,13 @@ impl RdGbgConfig {
         self.backend = backend;
         self
     }
+
+    /// Builder-style metric override.
+    #[must_use]
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
 }
 
 /// Output of RD-GBG: the ball cover plus bookkeeping.
@@ -110,6 +124,12 @@ pub struct RdGbgModel {
     pub orphan_count: usize,
     /// Number of global iterations executed.
     pub iterations: usize,
+    /// Metric the cover was granulated under. Radii are rank-space
+    /// distances in this metric; cosine covers hold **normalized** centers
+    /// (radii are chords). Absent in models stored before contract v2 →
+    /// squared Euclidean.
+    #[serde(default)]
+    pub metric: Metric,
 }
 
 impl RdGbgModel {
@@ -290,13 +310,33 @@ pub fn rd_gbg_with_progress(
     );
     assert!(data.n_samples() > 0, "cannot granulate an empty dataset");
 
+    // Cosine granulates in chord geometry: an L2-normalized copy of the
+    // rows drives the squared-Euclidean machinery unchanged (Euclidean on
+    // unit vectors *is* the chord), and the produced centers come out
+    // normalized. Other metrics run on the rows as-is with their own
+    // kernels.
+    let normalized_data;
+    let (data, inner) = if config.metric == Metric::Cosine {
+        let mut feats = data.features().to_vec();
+        l2_normalize_rows(&mut feats, data.n_features());
+        normalized_data = Dataset::from_parts(
+            feats,
+            data.labels().to_vec(),
+            data.n_features(),
+            data.n_classes(),
+        );
+        (&normalized_data, Metric::SqEuclidean)
+    } else {
+        (data, config.metric)
+    };
+
     let n = data.n_samples();
     // `U` lives inside the index as its alive set; `L` stays separate
     // (low-density rows remain in `U` and can still be absorbed by balls).
-    let mut index = config.backend.build(data);
+    let mut index = config.backend.build_with(data, inner);
     let mut low_density = vec![false; n];
     let mut balls: Vec<GranularBall> = Vec::new();
-    let mut conflicts = BallConflictIndex::new(data.n_features());
+    let mut conflicts = BallConflictIndex::new_with(data.n_features(), inner);
     let mut noise: Vec<usize> = Vec::new();
     let mut rng = rng_from_seed(config.seed);
     let mut iterations = 0usize;
@@ -393,14 +433,18 @@ pub fn rd_gbg_with_progress(
             } else {
                 f64::INFINITY
             };
-            let (sq_bound, bound_kind) = if rconf * rconf < d_het_sq {
-                (rconf * rconf, RangeBound::Inclusive)
+            // `plane_gap` converts the rank-space conflict radius into the
+            // kernel space the index answers in (square for L2/chord,
+            // identity for L1).
+            let rconf_k = inner.plane_gap(rconf);
+            let (sq_bound, bound_kind) = if rconf_k < d_het_sq {
+                (rconf_k, RangeBound::Inclusive)
             } else {
                 (d_het_sq, RangeBound::Strict)
             };
             let hits = index.range_sq(c, sq_bound, bound_kind, Some(center_row));
             let r_sq = hits.iter().fold(0.0f64, |m, h| m.max(h.sq_dist));
-            let r = r_sq.sqrt();
+            let r = inner.rank_of(r_sq);
 
             if r > 0.0 {
                 let mut members: Vec<usize> = hits.iter().map(|h| h.row).collect();
@@ -471,6 +515,7 @@ pub fn rd_gbg_with_progress(
         noise,
         orphan_count,
         iterations,
+        metric: config.metric,
     }
 }
 
@@ -583,6 +628,44 @@ mod tests {
                 assert_eq!(a.members, b.members, "{backend}");
                 assert_eq!(a.radius, b.radius, "{backend}");
                 assert_eq!(a.label, b.label, "{backend}");
+            }
+        }
+    }
+
+    #[test]
+    fn backends_produce_bit_identical_models_under_each_metric() {
+        // Contract v2 extends the cross-backend bit-identity guarantee to
+        // every supported metric: for a fixed `Metric`, brute force, the
+        // KD-tree, and the VP-tree must granulate to the same model, bit
+        // for bit (radii included).
+        let data = DatasetId::S2.generate(0.1, 6);
+        for metric in Metric::ALL {
+            let cfg = RdGbgConfig {
+                seed: 11,
+                ..RdGbgConfig::default()
+            }
+            .with_metric(metric);
+            let reference = rd_gbg(&data, &cfg.with_backend(GranulationBackend::Brute));
+            if metric == Metric::SqEuclidean {
+                // The geometric invariants (containment, non-overlap) are
+                // stated in Euclidean ball space; other metrics granulate
+                // in their own geometry, where only bit-identity applies.
+                check_invariants(&data, &reference);
+            }
+            for backend in [GranulationBackend::KdTree, GranulationBackend::VpTree] {
+                let model = rd_gbg(&data, &cfg.with_backend(backend));
+                assert_eq!(model.noise, reference.noise, "{metric}/{backend}");
+                assert_eq!(model.iterations, reference.iterations, "{metric}/{backend}");
+                assert_eq!(
+                    model.balls.len(),
+                    reference.balls.len(),
+                    "{metric}/{backend}"
+                );
+                for (a, b) in model.balls.iter().zip(reference.balls.iter()) {
+                    assert_eq!(a.members, b.members, "{metric}/{backend}");
+                    assert_eq!(a.radius.to_bits(), b.radius.to_bits(), "{metric}/{backend}");
+                    assert_eq!(a.label, b.label, "{metric}/{backend}");
+                }
             }
         }
     }

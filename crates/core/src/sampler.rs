@@ -63,6 +63,9 @@ pub struct GbabsSampler {
     pub density_tolerance: usize,
     /// Neighbour-index backend for the granulation (output-invariant).
     pub backend: GranulationBackend,
+    /// Distance metric the granulation (and therefore the borderline
+    /// detection) runs under.
+    pub metric: gb_dataset::distance::Metric,
 }
 
 impl Default for GbabsSampler {
@@ -70,6 +73,7 @@ impl Default for GbabsSampler {
         Self {
             density_tolerance: 5,
             backend: GranulationBackend::Auto,
+            metric: gb_dataset::distance::Metric::SqEuclidean,
         }
     }
 }
@@ -86,6 +90,7 @@ impl Sampler for GbabsSampler {
                 density_tolerance: self.density_tolerance,
                 seed,
                 backend: self.backend,
+                metric: self.metric,
                 ..Default::default()
             },
         );

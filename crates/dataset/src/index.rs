@@ -5,13 +5,20 @@
 //!
 //! Contract shared by every backend (property-tested in `gbabs`):
 //!
-//! * all distances are **squared** Euclidean — `sqrt` is deferred until a
-//!   ball radius is finalized;
+//! * all distances are **kernel values** of the index's
+//!   [`Metric`](crate::distance::Metric) — squared Euclidean by default,
+//!   L1 for Manhattan, squared chord (on internally L2-normalized rows)
+//!   for cosine. The monotone `rank_of` map (`sqrt` / identity) is
+//!   deferred until a ball radius is finalized. Field names say `sq_*`
+//!   for continuity with the Euclidean-only era;
 //! * k-NN results are the exact `k` nearest *alive* rows ordered by
 //!   `(sq_dist, row)` ascending, ties broken toward the smaller row;
-//! * range queries return every alive row within the (squared) bound, in
-//!   unspecified order;
-//! * deleted rows never appear in any result.
+//! * range queries return every alive row within the (kernel-space) bound,
+//!   in unspecified order;
+//! * deleted rows never appear in any result;
+//! * cosine indexes normalize build rows once and every query per call
+//!   through the same scalar helper, so normalized coordinates — and hence
+//!   all results — are bit-identical across backends and kernel tiers.
 //!
 //! Because every backend is exact and applies the identical tie-break, the
 //! RD-GBG models built on top of them are **bit-identical** across
@@ -29,9 +36,7 @@
 //! dataset shape.
 
 use crate::dataset::Dataset;
-use crate::distance::{
-    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
-};
+use crate::distance::{calibrated_leaf_size, manhattan, sq_euclidean, Metric, LANE_WIDTH};
 use crate::kdtree::KdTree;
 use crate::vptree::VpTree;
 use std::fmt;
@@ -253,26 +258,63 @@ impl<I: NeighborIndex + ?Sized> Iterator for DistanceOrdered<'_, I> {
     }
 }
 
-/// Rows per batched-kernel call in [`assign_to_nearest`].
+/// Rows per blocked-kernel call in [`assign_to_nearest`].
 const ASSIGN_BLOCK: usize = 128;
 
 /// Bulk assign-to-nearest-centroid — the Lloyd-step query shape of the
-/// k-division / 2-means granulation lineage, routed through the batched
-/// SIMD kernel. For every row of the row-major `points` block (each
-/// `n_features` wide), writes the index of its nearest centroid in the
-/// row-major `centroids` block into `out`; ties break toward the **smaller
-/// centroid index**, so callers that gather centroids in ascending row
-/// order inherit the workspace's smaller-row tie-break.
+/// k-division / 2-means granulation lineage, routed through the blocked
+/// many-to-many kernel with the **centroids as the query tile**. For every
+/// row of the row-major `points` block (each `n_features` wide), writes the
+/// index of its nearest centroid in the row-major `centroids` block into
+/// `out`; ties break toward the **smaller centroid index**, so callers
+/// that gather centroids in ascending row order inherit the workspace's
+/// smaller-row tie-break.
 ///
-/// Determinism: distances come from [`sq_euclidean_one_to_many`], which is
+/// Determinism: distances come from [`sq_dist_block`], which is
 /// bit-identical to the per-pair kernels per the width-keyed contract (and
-/// `(a-b)²` is bitwise symmetric), so replacing a hand-rolled per-pair
-/// argmin loop with this call cannot change an assignment.
+/// `(a-b)²` is bitwise symmetric), and the argmin still walks centroids in
+/// ascending index with strict `<` — so routing through the register tile
+/// cannot change an assignment.
 ///
 /// # Panics
 /// Panics unless `points.len()` and `centroids.len()` are multiples of
 /// `n_features` (`n_features > 0`) and `out` holds one slot per point row.
 pub fn assign_to_nearest(points: &[f64], centroids: &[f64], n_features: usize, out: &mut [u32]) {
+    assign_prepared(Metric::SqEuclidean, points, centroids, n_features, out);
+}
+
+/// [`assign_to_nearest`] under an explicit metric. Cosine normalizes
+/// copies of both blocks first (the Lloyd callers pass raw means); the
+/// other metrics run zero-copy.
+///
+/// # Panics
+/// Same shape contract as [`assign_to_nearest`].
+pub fn assign_to_nearest_with(
+    metric: Metric,
+    points: &[f64],
+    centroids: &[f64],
+    n_features: usize,
+    out: &mut [u32],
+) {
+    if metric.normalizes() {
+        let mut pts = points.to_vec();
+        let mut cents = centroids.to_vec();
+        metric.prepare_rows(&mut pts, n_features);
+        metric.prepare_rows(&mut cents, n_features);
+        assign_prepared(metric, &pts, &cents, n_features, out);
+    } else {
+        assign_prepared(metric, points, centroids, n_features, out);
+    }
+}
+
+/// Shared argmin sweep over kernel-ready blocks.
+fn assign_prepared(
+    metric: Metric,
+    points: &[f64],
+    centroids: &[f64],
+    n_features: usize,
+    out: &mut [u32],
+) {
     assert!(n_features > 0, "assign_to_nearest needs n_features > 0");
     assert_eq!(
         points.len(),
@@ -291,7 +333,9 @@ pub fn assign_to_nearest(points: &[f64], centroids: &[f64], n_features: usize, o
         n_centroids <= u32::MAX as usize,
         "centroid index must fit u32"
     );
-    let mut dists = [0.0f64; ASSIGN_BLOCK];
+    // Centroid-major scratch: dists[ci * rows + r], exactly the blocked
+    // kernel's output layout with centroids as queries.
+    let mut dists = vec![0.0f64; n_centroids * ASSIGN_BLOCK];
     let mut best = [f64::INFINITY; ASSIGN_BLOCK];
     let mut lo = 0usize;
     while lo < out.len() {
@@ -302,13 +346,19 @@ pub fn assign_to_nearest(points: &[f64], centroids: &[f64], n_features: usize, o
         // Parity with the per-pair loops: centroid 0 wins when no distance
         // compares below +inf (all-NaN rows included).
         out[lo..hi].fill(0);
-        for (ci, centroid) in centroids.chunks_exact(n_features).enumerate() {
-            sq_euclidean_one_to_many(centroid, block, &mut dists[..rows]);
-            for r in 0..rows {
+        metric.dist_block(
+            centroids,
+            block,
+            n_features,
+            &mut dists[..n_centroids * rows],
+        );
+        for ci in 0..n_centroids {
+            let crow = &dists[ci * rows..(ci + 1) * rows];
+            for (r, &d) in crow.iter().enumerate() {
                 // Strict `<` keeps the earliest centroid on ties, exactly
                 // like the per-pair loops this replaces.
-                if dists[r] < best[r] {
-                    best[r] = dists[r];
+                if d < best[r] {
+                    best[r] = d;
                     out[lo + r] = ci as u32;
                 }
             }
@@ -320,6 +370,12 @@ pub fn assign_to_nearest(points: &[f64], centroids: &[f64], n_features: usize, o
 /// A nearest-neighbour index over the rows of a dataset snapshot, with
 /// tombstone deletion. See the module docs for the exactness contract.
 pub trait NeighborIndex: Send + Sync {
+    /// The metric this index computes kernel values in. Backends built via
+    /// [`GranulationBackend::build_with`] report the metric they were given.
+    fn metric(&self) -> Metric {
+        Metric::SqEuclidean
+    }
+
     /// Rows the index was built over (alive + deleted).
     fn n_rows(&self) -> usize;
 
@@ -382,11 +438,12 @@ pub trait NeighborIndex: Send + Sync {
 
     /// Bulk assign-to-nearest-centroid over caller-supplied row-major
     /// blocks — the Lloyd-step query of the k-division / 2-means lineage.
-    /// The default implementation is the dense batched-kernel sweep
-    /// [`assign_to_nearest`] (backend-independent by construction: every
-    /// backend runs the identical SIMD path, so outputs cannot differ);
-    /// it lives on the trait so a future centroid-indexed backend can
-    /// override it for large centroid sets without touching callers.
+    /// The default implementation is the dense blocked-kernel sweep
+    /// [`assign_to_nearest_with`] under [`NeighborIndex::metric`]
+    /// (backend-independent by construction: every backend runs the
+    /// identical SIMD path, so outputs cannot differ); it lives on the
+    /// trait so a future centroid-indexed backend can override it for
+    /// large centroid sets without touching callers.
     ///
     /// # Panics
     /// Same block-shape contract as [`assign_to_nearest`].
@@ -397,7 +454,7 @@ pub trait NeighborIndex: Send + Sync {
         n_features: usize,
         out: &mut [u32],
     ) {
-        assign_to_nearest(points, centroids, n_features, out);
+        assign_to_nearest_with(self.metric(), points, centroids, n_features, out);
     }
 }
 
@@ -464,10 +521,12 @@ impl Tombstones {
 pub struct BruteIndex {
     labels: Vec<u32>,
     n_features: usize,
+    metric: Metric,
     /// Dense list of alive rows (unordered); `alive_points` is parallel to
     /// it, one `n_features`-wide block per entry.
     alive_rows: Vec<u32>,
-    /// Row-major coordinates of the alive rows, in `alive_rows` order.
+    /// Row-major coordinates of the alive rows (metric-prepared: cosine
+    /// normalizes them at build), in `alive_rows` order.
     alive_points: Vec<f64>,
     /// `position[row]` = index into `alive_rows`, or `u32::MAX` if deleted.
     position: Vec<u32>,
@@ -490,25 +549,42 @@ enum ScanFilter<'a> {
 }
 
 impl BruteIndex {
-    /// Builds the index over every row of `data`.
+    /// Builds the index over every row of `data` (squared Euclidean).
     ///
     /// # Panics
     /// Panics on an empty dataset.
     #[must_use]
     pub fn build(data: &Dataset) -> Self {
+        Self::build_with(data, Metric::SqEuclidean)
+    }
+
+    /// Builds the index over every row of `data` under `metric` (cosine
+    /// normalizes the packed coordinate buffer once, here).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn build_with(data: &Dataset, metric: Metric) -> Self {
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
         let n = data.n_samples();
+        let mut alive_points = data.features().to_vec();
+        metric.prepare_rows(&mut alive_points, data.n_features());
         Self {
             labels: data.labels().to_vec(),
             n_features: data.n_features(),
+            metric,
             alive_rows: (0..n as u32).collect(),
-            alive_points: data.features().to_vec(),
+            alive_points,
             position: (0..n as u32).collect(),
         }
     }
 }
 
 impl NeighborIndex for BruteIndex {
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
     fn n_rows(&self) -> usize {
         self.position.len()
     }
@@ -547,7 +623,8 @@ impl NeighborIndex for BruteIndex {
         if k == 0 {
             return Vec::new();
         }
-        self.scan_best(query, k, self.skip_filter(skip))
+        let query = self.metric.prepare_query(query);
+        self.scan_best(&query, k, self.skip_filter(skip))
             .into_sorted()
     }
 
@@ -557,8 +634,9 @@ impl NeighborIndex for BruteIndex {
         label: u32,
         skip: Option<usize>,
     ) -> Option<SqNeighbor> {
+        let query = self.metric.prepare_query(query);
         let keep = move |row: u32| Some(row as usize) != skip && self.labels[row as usize] != label;
-        self.scan_best(query, 1, ScanFilter::Keep(&keep))
+        self.scan_best(&query, 1, ScanFilter::Keep(&keep))
             .into_sorted()
             .first()
             .copied()
@@ -571,6 +649,8 @@ impl NeighborIndex for BruteIndex {
         bound: RangeBound,
         skip: Option<usize>,
     ) -> Vec<SqNeighbor> {
+        let query = self.metric.prepare_query(query);
+        let query = &*query;
         let chunks = self.scan_chunks();
         let filter = self.skip_filter(skip);
         let scan_one = |slot_lo: usize, slot_hi: usize| {
@@ -651,7 +731,7 @@ impl BruteIndex {
             ScanFilter::SkipSlot(skip_slot) if p >= LANE_WIDTH => {
                 while lo < slot_hi {
                     let hi = (lo + SCAN_BLOCK).min(slot_hi);
-                    sq_euclidean_one_to_many(
+                    self.metric.one_to_many(
                         query,
                         &self.alive_points[lo * p..hi * p],
                         &mut dists[..hi - lo],
@@ -664,9 +744,21 @@ impl BruteIndex {
                     lo = hi;
                 }
             }
+            ScanFilter::SkipSlot(skip_slot) if self.metric == Metric::Manhattan => {
+                // Sub-lane L1 rows: same bare-loop shape as the Euclidean
+                // arm below, with the L1 inline kernel.
+                for s in slot_lo..slot_hi {
+                    if s != skip_slot {
+                        let d = manhattan(query, &self.alive_points[s * p..(s + 1) * p]);
+                        hit(self.alive_rows[s], d);
+                    }
+                }
+            }
             ScanFilter::SkipSlot(skip_slot) => {
                 // Sub-lane rows: no vector work to batch — one tight loop
                 // of the inline per-pair kernel over the packed buffer.
+                // (Cosine shares it: its kernel value is squared Euclidean
+                // on the pre-normalized buffer/query.)
                 for s in slot_lo..slot_hi {
                     if s != skip_slot {
                         let d = sq_euclidean(query, &self.alive_points[s * p..(s + 1) * p]);
@@ -675,11 +767,21 @@ impl BruteIndex {
                 }
             }
             ScanFilter::Keep(keep) if p < LANE_WIDTH => {
-                // Sub-lane rows: fused filter + inline per-pair kernel.
-                for s in slot_lo..slot_hi {
-                    if keep(self.alive_rows[s]) {
-                        let d = sq_euclidean(query, &self.alive_points[s * p..(s + 1) * p]);
-                        hit(self.alive_rows[s], d);
+                // Sub-lane rows: fused filter + inline per-pair kernel,
+                // one metric branch hoisted out of the loop.
+                if self.metric == Metric::Manhattan {
+                    for s in slot_lo..slot_hi {
+                        if keep(self.alive_rows[s]) {
+                            let d = manhattan(query, &self.alive_points[s * p..(s + 1) * p]);
+                            hit(self.alive_rows[s], d);
+                        }
+                    }
+                } else {
+                    for s in slot_lo..slot_hi {
+                        if keep(self.alive_rows[s]) {
+                            let d = sq_euclidean(query, &self.alive_points[s * p..(s + 1) * p]);
+                            hit(self.alive_rows[s], d);
+                        }
                     }
                 }
             }
@@ -693,7 +795,7 @@ impl BruteIndex {
                         kept += usize::from(admitted[s - lo]);
                     }
                     if kept == hi - lo {
-                        sq_euclidean_one_to_many(
+                        self.metric.one_to_many(
                             query,
                             &self.alive_points[lo * p..hi * p],
                             &mut dists[..hi - lo],
@@ -704,10 +806,9 @@ impl BruteIndex {
                     } else if kept > 0 {
                         for s in lo..hi {
                             if admitted[s - lo] {
-                                let d = sq_euclidean_dispatched(
-                                    query,
-                                    &self.alive_points[s * p..(s + 1) * p],
-                                );
+                                let d = self
+                                    .metric
+                                    .pair(query, &self.alive_points[s * p..(s + 1) * p]);
                                 hit(self.alive_rows[s], d);
                             }
                         }
@@ -818,16 +919,36 @@ impl GranulationBackend {
         }
     }
 
-    /// Builds an index over every row of `data`.
+    /// Builds an index over every row of `data` (squared Euclidean).
     ///
     /// # Panics
     /// Panics on an empty dataset.
     #[must_use]
     pub fn build(self, data: &Dataset) -> Box<dyn NeighborIndex> {
+        self.build_with(data, Metric::SqEuclidean)
+    }
+
+    /// Builds an index over every row of `data` under `metric`. Tree
+    /// backends take their bucket size from the kernel-aware calibration
+    /// sweep ([`calibrated_leaf_size`]) instead of the pre-v2 hardcoded 16
+    /// — leaf size changes traversal granularity only, never results.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn build_with(self, data: &Dataset, metric: Metric) -> Box<dyn NeighborIndex> {
         match self.resolve(data.n_samples(), data.n_features()) {
-            GranulationBackend::Brute => Box::new(BruteIndex::build(data)),
-            GranulationBackend::KdTree => Box::new(KdTree::build(data, 16)),
-            GranulationBackend::VpTree => Box::new(VpTree::build(data)),
+            GranulationBackend::Brute => Box::new(BruteIndex::build_with(data, metric)),
+            GranulationBackend::KdTree => Box::new(KdTree::build_with(
+                data,
+                calibrated_leaf_size(data.n_features()),
+                metric,
+            )),
+            GranulationBackend::VpTree => Box::new(VpTree::build_with(
+                data,
+                calibrated_leaf_size(data.n_features()),
+                metric,
+            )),
             GranulationBackend::Auto => unreachable!("resolve returns concrete"),
         }
     }

@@ -17,18 +17,24 @@
 //!
 //! For rows of a lane width or more, leaf buckets keep a
 //! **leaf-contiguous** copy of their rows' coordinates so a fully-admitted
-//! leaf scan is one batched [`sq_euclidean_one_to_many`] call — the SIMD
+//! leaf scan is one batched [`Metric::one_to_many`] call — the SIMD
 //! kernel streams a gap-free block instead of chasing row indices — while
-//! filtered leaves pay per-pair [`sq_euclidean_dispatched`] calls for
-//! admitted rows only (same lane tree → same bits). Sub-lane datasets skip
-//! the copy and scan per-pair with the inline sequential kernel, which is
-//! both the fastest and the canonical order at those widths. Cross-backend
+//! filtered leaves pay per-pair [`Metric::pair`] calls for admitted rows
+//! only (same lane tree → same bits). Sub-lane datasets skip the copy and
+//! scan per-pair with the inline sequential kernel, which is both the
+//! fastest and the canonical order at those widths. Cross-backend
 //! bit-identity is preserved in every case.
+//!
+//! Splitting-plane pruning is metric-aware: the gap to a splitting plane is
+//! `diff²` in squared-Euclidean kernel space, `|diff|` in Manhattan, and
+//! `diff²` again for cosine (chord² on the unit sphere still obeys the
+//! Euclidean plane bound since normalized rows live in the same ambient
+//! space). Cosine builds index a **normalized copy** of the rows and
+//! normalize each query on entry, so the tree's geometry is plain
+//! Euclidean over unit vectors.
 
 use crate::dataset::Dataset;
-use crate::distance::{
-    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
-};
+use crate::distance::{manhattan, sq_euclidean, Metric, LANE_WIDTH};
 use crate::index::{KBest, NeighborIndex, RangeBound, SqNeighbor, Tombstones};
 use crate::neighbors::Neighbor;
 
@@ -74,28 +80,44 @@ pub struct KdTree {
     n_features: usize,
     n_rows: usize,
     leaf_size: usize,
+    metric: Metric,
     tombstones: Tombstones,
 }
 
 impl KdTree {
     /// Builds the index over every row of `data`. `leaf_size` controls the
-    /// bucket size (16 is a good default).
+    /// bucket size (16 is a good default; see
+    /// [`crate::distance::calibrated_leaf_size`] for the measured choice).
     ///
     /// # Panics
     /// Panics if the dataset is empty or `leaf_size == 0`.
     #[must_use]
     pub fn build(data: &Dataset, leaf_size: usize) -> Self {
+        Self::build_with(data, leaf_size, Metric::SqEuclidean)
+    }
+
+    /// Builds the index under `metric`. Cosine stores an L2-normalized copy
+    /// of the rows (queries are normalized on entry), so tree construction
+    /// and pruning always run in plain Euclidean / L1 geometry.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `leaf_size == 0`.
+    #[must_use]
+    pub fn build_with(data: &Dataset, leaf_size: usize, metric: Metric) -> Self {
         assert!(leaf_size > 0, "leaf size must be positive");
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
         let n = data.n_samples();
+        let mut points = data.features().to_vec();
+        metric.prepare_rows(&mut points, data.n_features());
         let mut tree = Self {
             nodes: Vec::new(),
-            points: data.features().to_vec(),
+            points,
             leaf_points: Vec::with_capacity(data.features().len()),
             labels: data.labels().to_vec(),
             n_features: data.n_features(),
             n_rows: n,
             leaf_size,
+            metric,
             tombstones: Tombstones::new(n),
         };
         let mut rows: Vec<u32> = (0..n as u32).collect();
@@ -243,7 +265,7 @@ impl KdTree {
             .into_iter()
             .map(|h| Neighbor {
                 index: h.row,
-                distance: h.sq_dist.sqrt(),
+                distance: self.metric.rank_of(h.sq_dist),
             })
             .collect()
     }
@@ -269,10 +291,22 @@ impl KdTree {
             // Sub-lane rows have no vector work to batch: one fused loop
             // of the inline per-pair kernel over `points`, exactly the
             // pre-SIMD shape (no leaf_points copy exists at these widths).
-            for &r in rows {
-                if pass(r) {
-                    let base = r as usize * p;
-                    hit(r, sq_euclidean(query, &self.points[base..base + p]));
+            // The metric branch is hoisted so the hot loop stays tight
+            // (cosine shares the squared-Euclidean loop: rows and query
+            // are already normalized).
+            if self.metric == Metric::Manhattan {
+                for &r in rows {
+                    if pass(r) {
+                        let base = r as usize * p;
+                        hit(r, manhattan(query, &self.points[base..base + p]));
+                    }
+                }
+            } else {
+                for &r in rows {
+                    if pass(r) {
+                        let base = r as usize * p;
+                        hit(r, sq_euclidean(query, &self.points[base..base + p]));
+                    }
                 }
             }
             return;
@@ -289,7 +323,7 @@ impl KdTree {
                 kept += usize::from(admitted[i]);
             }
             if kept == block.len() {
-                sq_euclidean_one_to_many(
+                self.metric.one_to_many(
                     query,
                     &self.leaf_points[(start + lo) * p..(start + hi) * p],
                     &mut dists[..block.len()],
@@ -303,7 +337,7 @@ impl KdTree {
                         let base = (start + lo + i) * p;
                         hit(
                             r,
-                            sq_euclidean_dispatched(query, &self.leaf_points[base..base + p]),
+                            self.metric.pair(query, &self.leaf_points[base..base + p]),
                         );
                     }
                 }
@@ -313,12 +347,20 @@ impl KdTree {
     }
 
     /// Shared leaf/split traversal for best-k queries with a row filter.
+    ///
+    /// `gap` is the metric's splitting-plane bound (`Metric::plane_gap`)
+    /// monomorphized by the caller: the traversal visits thousands of
+    /// split nodes per query and an enum dispatch per visit costs ~25%
+    /// at low widths, so the branch happens once at the public entry
+    /// points and the recursion compiles to the bare `diff * diff`
+    /// (or `diff.abs()`) it had before metrics were pluggable.
     fn search_filtered(
         &self,
         node: usize,
         query: &[f64],
         skip: Option<usize>,
         keep: &impl Fn(u32) -> bool,
+        gap: &impl Fn(f64) -> f64,
         best: &mut KBest,
     ) {
         match &self.nodes[node] {
@@ -343,14 +385,17 @@ impl KdTree {
                 } else {
                     (*right, *left)
                 };
-                self.search_filtered(near, query, skip, keep, best);
-                if diff * diff <= best.worst_sq() {
-                    self.search_filtered(far, query, skip, keep, best);
+                self.search_filtered(near, query, skip, keep, gap, best);
+                if gap(diff) <= best.worst_sq() {
+                    self.search_filtered(far, query, skip, keep, gap, best);
                 }
             }
         }
     }
 
+    /// `gap` is the monomorphized `Metric::plane_gap` — see
+    /// [`Self::search_filtered`] for why it is a parameter.
+    #[allow(clippy::too_many_arguments)]
     fn range_rec(
         &self,
         node: usize,
@@ -358,6 +403,7 @@ impl KdTree {
         sq_bound: f64,
         bound: RangeBound,
         skip: Option<usize>,
+        gap: &impl Fn(f64) -> f64,
         out: &mut Vec<SqNeighbor>,
     ) {
         match &self.nodes[node] {
@@ -390,9 +436,9 @@ impl KdTree {
                 } else {
                     (*right, *left)
                 };
-                self.range_rec(near, query, sq_bound, bound, skip, out);
-                if bound.admits(diff * diff, sq_bound) {
-                    self.range_rec(far, query, sq_bound, bound, skip, out);
+                self.range_rec(near, query, sq_bound, bound, skip, gap, out);
+                if bound.admits(gap(diff), sq_bound) {
+                    self.range_rec(far, query, sq_bound, bound, skip, gap, out);
                 }
             }
         }
@@ -402,6 +448,10 @@ impl KdTree {
 impl NeighborIndex for KdTree {
     fn n_rows(&self) -> usize {
         self.n_rows
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
     }
 
     fn n_alive(&self) -> usize {
@@ -429,8 +479,18 @@ impl NeighborIndex for KdTree {
         if k == 0 || self.nodes.is_empty() {
             return Vec::new();
         }
+        let query = self.metric.prepare_query(query);
         let mut best = KBest::new(k);
-        self.search_filtered(0, query, skip, &|_| true, &mut best);
+        // Branch on the metric once, not per node visit; each arm must
+        // match `Metric::plane_gap` exactly to keep answers bit-identical.
+        match self.metric {
+            Metric::Manhattan => {
+                self.search_filtered(0, &query, skip, &|_| true, &|d: f64| d.abs(), &mut best);
+            }
+            Metric::SqEuclidean | Metric::Cosine => {
+                self.search_filtered(0, &query, skip, &|_| true, &|d: f64| d * d, &mut best);
+            }
+        }
         best.into_sorted()
     }
 
@@ -443,14 +503,17 @@ impl NeighborIndex for KdTree {
         if self.nodes.is_empty() {
             return None;
         }
+        let query = self.metric.prepare_query(query);
         let mut best = KBest::new(1);
-        self.search_filtered(
-            0,
-            query,
-            skip,
-            &|r| self.labels[r as usize] != label,
-            &mut best,
-        );
+        let keep = |r: u32| self.labels[r as usize] != label;
+        match self.metric {
+            Metric::Manhattan => {
+                self.search_filtered(0, &query, skip, &keep, &|d: f64| d.abs(), &mut best);
+            }
+            Metric::SqEuclidean | Metric::Cosine => {
+                self.search_filtered(0, &query, skip, &keep, &|d: f64| d * d, &mut best);
+            }
+        }
         best.into_sorted().first().copied()
     }
 
@@ -464,7 +527,23 @@ impl NeighborIndex for KdTree {
         assert_eq!(query.len(), self.n_features, "query width mismatch");
         let mut out = Vec::new();
         if !self.nodes.is_empty() {
-            self.range_rec(0, query, sq_bound, bound, skip, &mut out);
+            let query = self.metric.prepare_query(query);
+            match self.metric {
+                Metric::Manhattan => {
+                    self.range_rec(
+                        0,
+                        &query,
+                        sq_bound,
+                        bound,
+                        skip,
+                        &|d: f64| d.abs(),
+                        &mut out,
+                    );
+                }
+                Metric::SqEuclidean | Metric::Cosine => {
+                    self.range_rec(0, &query, sq_bound, bound, skip, &|d: f64| d * d, &mut out);
+                }
+            }
         }
         out
     }

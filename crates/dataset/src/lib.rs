@@ -39,6 +39,6 @@ pub mod synth;
 pub mod vptree;
 
 pub use dataset::{Dataset, DatasetError, FeatureKind};
-pub use distance::{active_kernel, Kernel};
+pub use distance::{active_kernel, validate_simd_env, Kernel, Metric, CONTRACT_VERSION};
 pub use index::{GranulationBackend, NeighborIndex, SqNeighbor};
 pub use neighbors::Neighbor;

@@ -13,10 +13,17 @@
 //! rows only (same lane tree → same bits). Sub-lane rows keep the fused
 //! per-pair loop — there is no vector work to batch at p < 4, and the
 //! inline sequential kernel is the fastest thing there is.
+//!
+//! The all-rows self-join ([`k_nearest_all_rows`], the Tomek/ENN shape)
+//! additionally tiles *queries* in groups of [`QUERY_TILE`] through the
+//! register-blocked many-to-many kernel [`sq_dist_block`], which reuses
+//! each candidate-row load across the whole query tile. The blocked kernel
+//! is bit-identical to repeated one-to-many calls (kernel contract v2), so
+//! results match the per-row path exactly.
 
 use crate::dataset::Dataset;
 use crate::distance::{
-    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
+    sq_dist_block, sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -24,6 +31,10 @@ use std::collections::BinaryHeap;
 /// Rows per batched-kernel call in the scan loops (the distance buffer lives
 /// on the stack).
 const SCAN_BLOCK: usize = 128;
+
+/// Queries per blocked many-to-many call in the all-rows self-join. Each
+/// candidate-row block is loaded once and streamed against the whole tile.
+const QUERY_TILE: usize = 16;
 
 /// A neighbour hit: dataset row index plus (non-squared) distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,22 +101,7 @@ pub fn k_nearest_filtered(
     let mut dists = [0.0f64; SCAN_BLOCK];
     let mut admitted = [false; SCAN_BLOCK];
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-    let insert = |heap: &mut BinaryHeap<HeapEntry>, i: usize, d: f64| {
-        if heap.len() < k {
-            heap.push(HeapEntry {
-                sq_dist: d,
-                index: i,
-            });
-        } else if let Some(top) = heap.peek() {
-            if d < top.sq_dist || (d == top.sq_dist && i < top.index) {
-                heap.pop();
-                heap.push(HeapEntry {
-                    sq_dist: d,
-                    index: i,
-                });
-            }
-        }
-    };
+    let insert = |heap: &mut BinaryHeap<HeapEntry>, i: usize, d: f64| heap_insert(heap, k, i, d);
     if p < LANE_WIDTH {
         // Sub-lane rows have no vector work to batch: one fused loop of
         // the inline per-pair kernel, exactly the pre-SIMD shape.
@@ -148,6 +144,25 @@ pub fn k_nearest_filtered(
         lo = hi;
     }
     finish_heap(heap)
+}
+
+/// Pushes `(d, i)` into a bounded best-`k` max-heap (ties break toward the
+/// lower row index, matching the sorted output order).
+fn heap_insert(heap: &mut BinaryHeap<HeapEntry>, k: usize, i: usize, d: f64) {
+    if heap.len() < k {
+        heap.push(HeapEntry {
+            sq_dist: d,
+            index: i,
+        });
+    } else if let Some(top) = heap.peek() {
+        if d < top.sq_dist || (d == top.sq_dist && i < top.index) {
+            heap.pop();
+            heap.push(HeapEntry {
+                sq_dist: d,
+                index: i,
+            });
+        }
+    }
 }
 
 /// Drains a best-`k` heap into ascending `(distance, row)` order.
@@ -220,13 +235,57 @@ pub fn k_nearest_batch(data: &Dataset, queries: &[&[f64]], k: usize) -> Vec<Vec<
 /// per-row search carries an extra filter (ENN's class edit rule, the
 /// SMOTE family's same-class donor search) parallelize their own filtered
 /// loops instead.
+/// Rows of a lane width or more tile their queries through the blocked
+/// many-to-many kernel so every candidate-row block is loaded once per
+/// [`QUERY_TILE`] queries; sub-lane widths keep the per-row scan (the
+/// blocked kernel has no vector work there). Either way the results are
+/// bit-identical to the sequential per-row calls.
 #[must_use]
 pub fn k_nearest_all_rows(data: &Dataset, k: usize) -> Vec<Vec<Neighbor>> {
     use rayon::prelude::*;
-    (0..data.n_samples())
+    let n = data.n_samples();
+    let p = data.n_features();
+    if k == 0 {
+        return vec![Vec::new(); n];
+    }
+    if p < LANE_WIDTH {
+        return (0..n)
+            .into_par_iter()
+            .map(|i| k_nearest(data, data.row(i), k, Some(i)))
+            .collect();
+    }
+    let feats = data.features();
+    let tiles: Vec<Vec<Vec<Neighbor>>> = (0..n.div_ceil(QUERY_TILE))
         .into_par_iter()
-        .map(|i| k_nearest(data, data.row(i), k, Some(i)))
-        .collect()
+        .map(|t| {
+            let q_lo = t * QUERY_TILE;
+            let q_hi = (q_lo + QUERY_TILE).min(n);
+            let nq = q_hi - q_lo;
+            let queries = &feats[q_lo * p..q_hi * p];
+            let mut dists = vec![0.0f64; nq * SCAN_BLOCK];
+            let mut heaps: Vec<BinaryHeap<HeapEntry>> =
+                (0..nq).map(|_| BinaryHeap::with_capacity(k + 1)).collect();
+            let mut lo = 0;
+            while lo < n {
+                let hi = (lo + SCAN_BLOCK).min(n);
+                let rows = hi - lo;
+                sq_dist_block(queries, &feats[lo * p..hi * p], p, &mut dists[..nq * rows]);
+                for (qi, heap) in heaps.iter_mut().enumerate() {
+                    let self_row = q_lo + qi;
+                    let row_d = &dists[qi * rows..(qi + 1) * rows];
+                    for (r, &d) in row_d.iter().enumerate() {
+                        let i = lo + r;
+                        if i != self_row {
+                            heap_insert(heap, k, i, d);
+                        }
+                    }
+                }
+                lo = hi;
+            }
+            heaps.into_iter().map(finish_heap).collect()
+        })
+        .collect();
+    tiles.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

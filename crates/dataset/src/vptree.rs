@@ -20,19 +20,28 @@
 //! (1 − 1e−12) so `sqrt` rounding can only cause an extra visit, never a
 //! missed exact neighbour.
 //!
-//! Partitions of ≤ `VP_LEAF_SIZE` (16) rows stop splitting and become bucket
-//! leaves, shrinking the arena ~16×. For rows of a lane width or more the
+//! Partitions of at most the build-time bucket size (default
+//! [`VP_LEAF_SIZE`] = 16, calibrated per width by
+//! [`crate::distance::calibrated_leaf_size`]) stop splitting and become
+//! bucket leaves, shrinking the arena. For rows of a lane width or more the
 //! leaves keep their coordinates in a **leaf-contiguous** buffer so a
-//! fully-admitted bucket scan is one batched [`sq_euclidean_one_to_many`]
-//! call and vantage distances use the dispatched lane-tree kernel;
-//! sub-lane datasets scan per-pair with the inline sequential kernel
-//! (fastest and canonical at those widths). Bit-identity across backends
-//! holds in every case — see `gb_dataset::distance`'s width-keyed
-//! contract.
+//! fully-admitted bucket scan is one batched [`Metric::one_to_many`] call
+//! and vantage distances use the dispatched lane-tree kernel; sub-lane
+//! datasets scan per-pair with the inline sequential kernel (fastest and
+//! canonical at those widths). Bit-identity across backends holds in every
+//! case — see `gb_dataset::distance`'s width-keyed contract.
+//!
+//! Metric support: acceptance runs in kernel space (squared Euclidean,
+//! L1, or chord² for cosine over normalized rows); pruning runs in **rank
+//! space** (`Metric::rank_of` of the kernel value), where every supported
+//! metric satisfies the triangle inequality — `sqrt` for squared
+//! Euclidean, identity for Manhattan, chord (`sqrt`) for cosine. Rank
+//! bounds convert back to kernel space via [`Metric::plane_gap`] before
+//! comparing against the best-k heap.
 
 use crate::dataset::Dataset;
 use crate::distance::{
-    sq_euclidean, sq_euclidean_dispatched, sq_euclidean_one_to_many, LANE_WIDTH,
+    manhattan, manhattan_dispatched, sq_euclidean, sq_euclidean_dispatched, Metric, LANE_WIDTH,
 };
 use crate::index::{KBest, NeighborIndex, RangeBound, SqNeighbor, Tombstones};
 use crate::neighbors::Neighbor;
@@ -52,8 +61,8 @@ enum Node {
         inside: u32,
         outside: u32,
     },
-    /// A bucket of rows scanned in one batched-kernel call; partitions of
-    /// at most `VP_LEAF_SIZE` (16) rows stop splitting.
+    /// A bucket of rows scanned in batched-kernel chunks; partitions of
+    /// at most `leaf_size` rows stop splitting.
     Leaf {
         /// Row indices stored at this leaf.
         rows: Vec<u32>,
@@ -64,11 +73,17 @@ enum Node {
 
 const NONE: u32 = u32::MAX;
 
-/// Partition size below which a bucket leaf is emitted instead of another
-/// vantage split. Matches the KD-tree's default bucket size: the metric
-/// pruning gained by splitting a handful of rows never beats one contiguous
-/// SIMD sweep over them.
-const VP_LEAF_SIZE: usize = 16;
+/// Default partition size below which a bucket leaf is emitted instead of
+/// another vantage split. Matches the KD-tree's default bucket size: the
+/// metric pruning gained by splitting a handful of rows never beats one
+/// contiguous SIMD sweep over them. [`VpTree::build_with`] accepts a
+/// calibrated size instead.
+pub const VP_LEAF_SIZE: usize = 16;
+
+/// Rows per batched-kernel call when scanning a leaf block (calibrated
+/// leaf sizes can exceed the stack scratch, so leaf scans chunk — same
+/// shape as the KD-tree's leaf scan).
+const LEAF_BLOCK: usize = 16;
 
 /// Conservative slack on prune bounds: compensates `sqrt` rounding so the
 /// traversal can only over-visit, never over-prune.
@@ -90,6 +105,8 @@ pub struct VpTree {
     labels: Vec<u32>,
     n_features: usize,
     n_rows: usize,
+    leaf_size: usize,
+    metric: Metric,
     tombstones: Tombstones,
 }
 
@@ -103,16 +120,32 @@ impl VpTree {
     /// Panics if the dataset is empty.
     #[must_use]
     pub fn build(data: &Dataset) -> Self {
+        Self::build_with(data, VP_LEAF_SIZE, Metric::SqEuclidean)
+    }
+
+    /// Builds the index with an explicit bucket size under `metric`. Cosine
+    /// stores an L2-normalized copy of the rows (queries are normalized on
+    /// entry), so all tree geometry runs over unit vectors.
+    ///
+    /// # Panics
+    /// Panics if the dataset is empty or `leaf_size == 0`.
+    #[must_use]
+    pub fn build_with(data: &Dataset, leaf_size: usize, metric: Metric) -> Self {
+        assert!(leaf_size > 0, "leaf size must be positive");
         assert!(data.n_samples() > 0, "cannot index an empty dataset");
         let n = data.n_samples();
+        let mut points = data.features().to_vec();
+        metric.prepare_rows(&mut points, data.n_features());
         let mut tree = Self {
-            nodes: Vec::with_capacity(n / VP_LEAF_SIZE.max(1) * 2 + 1),
+            nodes: Vec::with_capacity(n / leaf_size.max(1) * 2 + 1),
             root: NONE,
-            points: data.features().to_vec(),
+            points,
             leaf_points: Vec::with_capacity(data.features().len()),
             labels: data.labels().to_vec(),
             n_features: data.n_features(),
             n_rows: n,
+            leaf_size,
+            metric,
             tombstones: Tombstones::new(n),
         };
         let mut rows: Vec<u32> = (0..n as u32).collect();
@@ -167,43 +200,58 @@ impl VpTree {
         if p < LANE_WIDTH {
             // Sub-lane rows have no vector work to batch: one fused loop
             // of the inline per-pair kernel over `points` (no leaf_points
-            // copy exists at these widths).
-            for &r in rows {
-                if pass(r) {
-                    let base = r as usize * p;
-                    hit(r, sq_euclidean(query, &self.points[base..base + p]));
+            // copy exists at these widths). The metric branch is hoisted;
+            // cosine shares the squared-Euclidean loop over normalized
+            // rows.
+            if self.metric == Metric::Manhattan {
+                for &r in rows {
+                    if pass(r) {
+                        let base = r as usize * p;
+                        hit(r, manhattan(query, &self.points[base..base + p]));
+                    }
+                }
+            } else {
+                for &r in rows {
+                    if pass(r) {
+                        let base = r as usize * p;
+                        hit(r, sq_euclidean(query, &self.points[base..base + p]));
+                    }
                 }
             }
             return;
         }
-        // VP leaves never exceed VP_LEAF_SIZE rows, so one stack buffer
-        // covers the whole bucket.
-        let mut admitted = [false; VP_LEAF_SIZE];
-        let mut kept = 0usize;
-        for (i, &r) in rows.iter().enumerate() {
-            admitted[i] = pass(r);
-            kept += usize::from(admitted[i]);
-        }
-        if kept == rows.len() {
-            let mut dists = [0.0f64; VP_LEAF_SIZE];
-            sq_euclidean_one_to_many(
-                query,
-                &self.leaf_points[start * p..(start + rows.len()) * p],
-                &mut dists[..rows.len()],
-            );
-            for (i, &r) in rows.iter().enumerate() {
-                hit(r, dists[i]);
+        let mut dists = [0.0f64; LEAF_BLOCK];
+        let mut admitted = [false; LEAF_BLOCK];
+        let mut lo = 0;
+        while lo < rows.len() {
+            let hi = (lo + LEAF_BLOCK).min(rows.len());
+            let block = &rows[lo..hi];
+            let mut kept = 0usize;
+            for (i, &r) in block.iter().enumerate() {
+                admitted[i] = pass(r);
+                kept += usize::from(admitted[i]);
             }
-        } else if kept > 0 {
-            for (i, &r) in rows.iter().enumerate() {
-                if admitted[i] {
-                    let base = (start + i) * p;
-                    hit(
-                        r,
-                        sq_euclidean_dispatched(query, &self.leaf_points[base..base + p]),
-                    );
+            if kept == block.len() {
+                self.metric.one_to_many(
+                    query,
+                    &self.leaf_points[(start + lo) * p..(start + hi) * p],
+                    &mut dists[..block.len()],
+                );
+                for (i, &r) in block.iter().enumerate() {
+                    hit(r, dists[i]);
+                }
+            } else if kept > 0 {
+                for (i, &r) in block.iter().enumerate() {
+                    if admitted[i] {
+                        let base = (start + lo + i) * p;
+                        hit(
+                            r,
+                            self.metric.pair(query, &self.leaf_points[base..base + p]),
+                        );
+                    }
                 }
             }
+            lo = hi;
         }
     }
 
@@ -218,18 +266,20 @@ impl VpTree {
         if rows.is_empty() {
             return NONE;
         }
-        if rows.len() <= VP_LEAF_SIZE {
+        if rows.len() <= self.leaf_size {
             return self.push_leaf(rows);
         }
         let (&vantage, rest) = rows.split_first().expect("non-empty partition");
-        // Partition the remaining rows by distance-to-vantage around the
-        // median: the inside half gets at least one row, and mu is the
-        // largest inside distance so "≤ mu" matches the partition exactly.
+        // Partition the remaining rows by rank-space distance-to-vantage
+        // around the median: the inside half gets at least one row, and mu
+        // is the largest inside distance so "≤ mu" matches the partition
+        // exactly.
         let mut sorted: Vec<(f64, u32)> = rest
             .iter()
             .map(|&r| {
                 (
-                    sq_euclidean_dispatched(self.row(vantage), self.row(r)).sqrt(),
+                    self.metric
+                        .rank_of(self.metric.pair(self.row(vantage), self.row(r))),
                     r,
                 )
             })
@@ -286,7 +336,7 @@ impl VpTree {
             .into_iter()
             .map(|h| Neighbor {
                 index: h.row,
-                distance: h.sq_dist.sqrt(),
+                distance: self.metric.rank_of(h.sq_dist),
             })
             .collect()
     }
@@ -294,12 +344,21 @@ impl VpTree {
     /// Shared best-k traversal with a row filter. Acceptance happens in
     /// squared space (exact ties by row); pruning uses real distances with
     /// [`PRUNE_SLACK`].
+    /// `pair`, `rank`, and `gap` are the metric's kernel, rank map, and
+    /// plane-gap bound monomorphized by the public entry points — the
+    /// traversal touches one vantage per node and an enum dispatch per
+    /// visit is measurable at low widths, so the metric branch happens
+    /// once per query (same rationale as the KD-tree traversals).
+    #[allow(clippy::too_many_arguments)]
     fn search_filtered(
         &self,
         node: u32,
         query: &[f64],
         skip: Option<usize>,
         keep: &impl Fn(u32) -> bool,
+        pair: &impl Fn(&[f64], &[f64]) -> f64,
+        rank: &impl Fn(f64) -> f64,
+        gap: &impl Fn(f64) -> f64,
         best: &mut KBest,
     ) {
         if node == NONE {
@@ -323,28 +382,31 @@ impl VpTree {
                 outside,
             } => (*vantage, *mu, *inside, *outside),
         };
-        let d_sq = sq_euclidean_dispatched(query, self.row(vantage));
+        let d_sq = pair(query, self.row(vantage));
         if self.tombstones.is_alive(vantage as usize)
             && skip != Some(vantage as usize)
             && keep(vantage)
         {
             best.insert(d_sq, vantage as usize);
         }
-        let d = d_sq.sqrt();
+        let d = rank(d_sq);
         // Visit the likelier side first, prune the other with the
-        // triangle-inequality bound.
+        // triangle-inequality bound (valid in rank space for every
+        // supported metric).
         let (first, second, second_bound) = if d <= mu {
             (inside, outside, mu - d)
         } else {
             (outside, inside, d - mu)
         };
-        self.search_filtered(first, query, skip, keep, best);
+        self.search_filtered(first, query, skip, keep, pair, rank, gap, best);
         let b = second_bound.max(0.0) * PRUNE_SLACK;
-        if b * b <= best.worst_sq() {
-            self.search_filtered(second, query, skip, keep, best);
+        if gap(b) <= best.worst_sq() {
+            self.search_filtered(second, query, skip, keep, pair, rank, gap, best);
         }
     }
 
+    /// `pair` and `rank` are monomorphized by [`NeighborIndex::range_sq`]
+    /// — see [`Self::search_filtered`].
     #[allow(clippy::too_many_arguments)]
     fn range_rec(
         &self,
@@ -354,6 +416,8 @@ impl VpTree {
         radius: f64,
         bound: RangeBound,
         skip: Option<usize>,
+        pair: &impl Fn(&[f64], &[f64]) -> f64,
+        rank: &impl Fn(f64) -> f64,
         out: &mut Vec<SqNeighbor>,
     ) {
         if node == NONE {
@@ -384,7 +448,7 @@ impl VpTree {
                 outside,
             } => (*vantage, *mu, *inside, *outside),
         };
-        let d_sq = sq_euclidean_dispatched(query, self.row(vantage));
+        let d_sq = pair(query, self.row(vantage));
         if self.tombstones.is_alive(vantage as usize)
             && skip != Some(vantage as usize)
             && bound.admits(d_sq, sq_bound)
@@ -394,16 +458,20 @@ impl VpTree {
                 sq_dist: d_sq,
             });
         }
-        let d = d_sq.sqrt();
+        let d = rank(d_sq);
         // Inside subtree: distances to vantage ≤ mu, so the minimum
         // possible distance to the query is d − mu; outside: mu − d.
         let inside_min = ((d - mu).max(0.0)) * PRUNE_SLACK;
         if inside_min <= radius {
-            self.range_rec(inside, query, sq_bound, radius, bound, skip, out);
+            self.range_rec(
+                inside, query, sq_bound, radius, bound, skip, pair, rank, out,
+            );
         }
         let outside_min = ((mu - d).max(0.0)) * PRUNE_SLACK;
         if outside_min <= radius {
-            self.range_rec(outside, query, sq_bound, radius, bound, skip, out);
+            self.range_rec(
+                outside, query, sq_bound, radius, bound, skip, pair, rank, out,
+            );
         }
     }
 }
@@ -411,6 +479,10 @@ impl VpTree {
 impl NeighborIndex for VpTree {
     fn n_rows(&self) -> usize {
         self.n_rows
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
     }
 
     fn n_alive(&self) -> usize {
@@ -438,8 +510,33 @@ impl NeighborIndex for VpTree {
         if k == 0 {
             return Vec::new();
         }
+        let query = self.metric.prepare_query(query);
         let mut best = KBest::new(k);
-        self.search_filtered(self.root, query, skip, &|_| true, &mut best);
+        // Branch on the metric once per query; each arm must match
+        // `Metric::{pair, rank_of, plane_gap}` exactly so answers stay
+        // bit-identical with the enum-dispatched forms.
+        match self.metric {
+            Metric::Manhattan => self.search_filtered(
+                self.root,
+                &query,
+                skip,
+                &|_| true,
+                &manhattan_dispatched,
+                &|d: f64| d,
+                &|d: f64| d.abs(),
+                &mut best,
+            ),
+            Metric::SqEuclidean | Metric::Cosine => self.search_filtered(
+                self.root,
+                &query,
+                skip,
+                &|_| true,
+                &sq_euclidean_dispatched,
+                &|d: f64| d.sqrt(),
+                &|d: f64| d * d,
+                &mut best,
+            ),
+        }
         best.into_sorted()
     }
 
@@ -449,14 +546,31 @@ impl NeighborIndex for VpTree {
         label: u32,
         skip: Option<usize>,
     ) -> Option<SqNeighbor> {
+        let query = self.metric.prepare_query(query);
         let mut best = KBest::new(1);
-        self.search_filtered(
-            self.root,
-            query,
-            skip,
-            &|r| self.labels[r as usize] != label,
-            &mut best,
-        );
+        let keep = |r: u32| self.labels[r as usize] != label;
+        match self.metric {
+            Metric::Manhattan => self.search_filtered(
+                self.root,
+                &query,
+                skip,
+                &keep,
+                &manhattan_dispatched,
+                &|d: f64| d,
+                &|d: f64| d.abs(),
+                &mut best,
+            ),
+            Metric::SqEuclidean | Metric::Cosine => self.search_filtered(
+                self.root,
+                &query,
+                skip,
+                &keep,
+                &sq_euclidean_dispatched,
+                &|d: f64| d.sqrt(),
+                &|d: f64| d * d,
+                &mut best,
+            ),
+        }
         best.into_sorted().first().copied()
     }
 
@@ -472,9 +586,33 @@ impl NeighborIndex for VpTree {
         let radius = if sq_bound == f64::INFINITY {
             f64::INFINITY
         } else {
-            sq_bound.max(0.0).sqrt()
+            self.metric.rank_of(sq_bound.max(0.0))
         };
-        self.range_rec(self.root, query, sq_bound, radius, bound, skip, &mut out);
+        let query = self.metric.prepare_query(query);
+        match self.metric {
+            Metric::Manhattan => self.range_rec(
+                self.root,
+                &query,
+                sq_bound,
+                radius,
+                bound,
+                skip,
+                &manhattan_dispatched,
+                &|d: f64| d,
+                &mut out,
+            ),
+            Metric::SqEuclidean | Metric::Cosine => self.range_rec(
+                self.root,
+                &query,
+                sq_bound,
+                radius,
+                bound,
+                skip,
+                &sq_euclidean_dispatched,
+                &|d: f64| d.sqrt(),
+                &mut out,
+            ),
+        }
         out
     }
 }

@@ -209,3 +209,218 @@ fn batched_boundary_rejects_long_block() {
     let mut out = vec![0.0; 2];
     sq_euclidean_one_to_many(&[0.0; 4], &[1.0; 9], &mut out);
 }
+
+// ---------------------------------------------------------------------------
+// Contract v2 additions: Manhattan parity, blocked many-to-many, Metric
+// dispatch, and shape panics (PR 10).
+// ---------------------------------------------------------------------------
+
+use gb_dataset::distance::{
+    manhattan, manhattan_dist_block_with, manhattan_one_to_many_with, manhattan_scalar,
+    manhattan_with, sq_dist_block, sq_dist_block_with, Metric,
+};
+
+/// Row-major (queries, block, p) triples with p spanning the sub-lane,
+/// one-vector, and multi-vector width classes.
+fn block_inputs() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, usize)> {
+    (1usize..12, 0usize..5, 0usize..9).prop_flat_map(|(p, nq, nr)| {
+        (
+            proptest::collection::vec(coord(), p * nq),
+            proptest::collection::vec(coord(), p * nr),
+            Just(p),
+        )
+    })
+}
+
+proptest! {
+    /// The L1 kernel obeys the same tier contract as the squared-Euclidean
+    /// one: every host tier is bit-identical to the scalar 4-lane tree, and
+    /// the dispatched width-keying falls back to sequential order below
+    /// `LANE_WIDTH`.
+    #[test]
+    fn manhattan_tiers_bit_identical((a, b) in vec_pair()) {
+        let want = manhattan_scalar(&a, &b);
+        for tier in Kernel::available() {
+            let got = manhattan_with(tier, &a, &b);
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "tier {} diverged: {} vs {}",
+                tier.name(),
+                got,
+                want
+            );
+        }
+        if a.len() <= 2 {
+            // At n <= 2 the sequential and lane orders coincide.
+            prop_assert_eq!(manhattan(&a, &b).to_bits(), want.to_bits());
+        }
+    }
+
+    /// The L1 lane tree agrees with the sequential oracle within the same
+    /// scaled-ULP reassociation bound as the squared kernel (all summands
+    /// non-negative).
+    #[test]
+    fn manhattan_lane_tree_close_to_naive((a, b) in vec_pair()) {
+        let naive = manhattan(&a, &b);
+        let lanes = manhattan_scalar(&a, &b);
+        let n = a.len() as f64;
+        let tol = f64::EPSILON * naive * (n + 4.0) + f64::MIN_POSITIVE;
+        prop_assert!(
+            (lanes - naive).abs() <= tol,
+            "lanes {} vs naive {} (n = {})",
+            lanes,
+            naive,
+            a.len()
+        );
+        prop_assert!(lanes >= 0.0);
+    }
+
+    /// The blocked many-to-many kernel is bit-identical to repeated
+    /// one-to-many calls on every tier — the register tile must be a pure
+    /// scheduling change, never a numeric one. This is the invariant that
+    /// lets `predict_batch` / Lloyd steps switch to [`sq_dist_block`]
+    /// without re-baselining any stored model.
+    #[test]
+    fn blocked_matches_repeated_one_to_many((queries, block, p) in block_inputs()) {
+        let nq = queries.len() / p;
+        let nr = block.len() / p;
+        let mut blocked = vec![f64::NAN; nq * nr];
+        let mut repeated = vec![f64::NAN; nr];
+        for tier in Kernel::available() {
+            sq_dist_block_with(tier, &queries, &block, p, &mut blocked);
+            for (qi, q) in queries.chunks_exact(p).enumerate() {
+                sq_euclidean_one_to_many_with(tier, q, &block, &mut repeated);
+                for (r, &want) in repeated.iter().enumerate() {
+                    prop_assert_eq!(
+                        blocked[qi * nr + r].to_bits(),
+                        want.to_bits(),
+                        "tier {} query {} row {}",
+                        tier.name(),
+                        qi,
+                        r
+                    );
+                }
+            }
+        }
+        // L1 blocked path: same invariant.
+        for tier in Kernel::available() {
+            manhattan_dist_block_with(tier, &queries, &block, p, &mut blocked);
+            for (qi, q) in queries.chunks_exact(p).enumerate() {
+                manhattan_one_to_many_with(tier, q, &block, &mut repeated);
+                for (r, &want) in repeated.iter().enumerate() {
+                    prop_assert_eq!(
+                        blocked[qi * nr + r].to_bits(),
+                        want.to_bits(),
+                        "L1 tier {} query {} row {}",
+                        tier.name(),
+                        qi,
+                        r
+                    );
+                }
+            }
+        }
+    }
+
+    /// [`Metric`] dispatch is a pure router: for every metric, the batched
+    /// and blocked entry points agree bit-for-bit with the metric's
+    /// dispatched per-pair kernel on prepared inputs.
+    #[test]
+    fn metric_dispatch_matches_per_pair((queries, block, p) in block_inputs()) {
+        let nq = queries.len() / p;
+        let nr = block.len() / p;
+        for metric in Metric::ALL {
+            let mut qs = queries.clone();
+            let mut rows = block.clone();
+            metric.prepare_rows(&mut qs, p);
+            metric.prepare_rows(&mut rows, p);
+            let mut blocked = vec![f64::NAN; nq * nr];
+            metric.dist_block(&qs, &rows, p, &mut blocked);
+            let mut o2m = vec![f64::NAN; nr];
+            for (qi, q) in qs.chunks_exact(p).enumerate() {
+                metric.one_to_many(q, &rows, &mut o2m);
+                for (r, row) in rows.chunks_exact(p).enumerate() {
+                    let want = metric.pair(q, row);
+                    prop_assert_eq!(
+                        o2m[r].to_bits(),
+                        want.to_bits(),
+                        "{} one_to_many row {}",
+                        metric.name(),
+                        r
+                    );
+                    prop_assert_eq!(
+                        blocked[qi * nr + r].to_bits(),
+                        want.to_bits(),
+                        "{} blocked q{} r{}",
+                        metric.name(),
+                        qi,
+                        r
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cosine preparation yields unit-ish rows, and `prepare_query` on an
+    /// already-normalized row is a bitwise no-op for the other metrics.
+    #[test]
+    fn cosine_prepare_normalizes(row in proptest::collection::vec(-1e3f64..1e3, 1..20)) {
+        let prepared = Metric::Cosine.prepare_query(&row);
+        let norm: f64 = prepared.iter().map(|x| x * x).sum();
+        // Zero rows stay zero; everything else lands on the unit sphere.
+        prop_assert!(norm == 0.0 || (norm - 1.0).abs() < 1e-9, "norm {}", norm);
+        for metric in [Metric::SqEuclidean, Metric::Manhattan] {
+            prop_assert!(matches!(
+                metric.prepare_query(&row),
+                std::borrow::Cow::Borrowed(_)
+            ));
+        }
+    }
+}
+
+/// Hosts with AVX2 + FMA must expose the `fma` tier (and resolve it as
+/// distinct from `avx2` in name only — results are bit-identical, which
+/// `all_tiers_bit_identical` already drives).
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn fma_tier_listed_when_supported() {
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        assert!(
+            Kernel::available().contains(&Kernel::Fma),
+            "avx2+fma host must list the fma tier: {:?}",
+            Kernel::available()
+        );
+    }
+}
+
+/// The blocked kernel's shape contract: misaligned query strides panic.
+#[test]
+#[should_panic(expected = "queries must be row-major")]
+fn blocked_rejects_misaligned_queries() {
+    let mut out = vec![0.0; 2];
+    sq_dist_block(&[0.0; 7], &[1.0; 8], 4, &mut out);
+}
+
+/// Misaligned block strides panic.
+#[test]
+#[should_panic(expected = "block must be row-major")]
+fn blocked_rejects_misaligned_block() {
+    let mut out = vec![0.0; 2];
+    sq_dist_block(&[0.0; 4], &[1.0; 9], 4, &mut out);
+}
+
+/// Wrong output size panics (never a silent partial write).
+#[test]
+#[should_panic(expected = "out must be")]
+fn blocked_rejects_wrong_out_len() {
+    let mut out = vec![0.0; 3];
+    sq_dist_block(&[0.0; 8], &[1.0; 8], 4, &mut out);
+}
+
+/// `p == 0` is a hard error, not an empty result.
+#[test]
+#[should_panic(expected = "p > 0")]
+fn blocked_rejects_zero_width() {
+    let mut out = vec![0.0; 0];
+    sq_dist_block(&[], &[], 0, &mut out);
+}

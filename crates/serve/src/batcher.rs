@@ -402,6 +402,7 @@ mod tests {
             noise: vec![],
             orphan_count: 0,
             iterations: 1,
+            metric: gb_dataset::Metric::SqEuclidean,
         };
         let bad = Arc::new(ServingModel {
             name: "poisoned".into(),

@@ -1203,6 +1203,35 @@ impl ModelRegistry {
         serving
     }
 
+    /// Warms the `n` most-recently-written cold tenants (by store-file
+    /// mtime — the best recency signal that survives a restart) by
+    /// acquiring each, so the first real request after a boot hits a
+    /// resident predictor instead of paying a cold reload. Returns how
+    /// many tenants were successfully made resident. Reload failures are
+    /// skipped, not fatal: preload is an optimization, and the tenant
+    /// stays cold for the request path to retry (or quarantine) later.
+    pub fn preload_recent(&self, n: usize) -> usize {
+        let Some(store) = &self.store else {
+            return 0;
+        };
+        if n == 0 {
+            return 0;
+        }
+        let mut cold: Vec<(String, std::time::SystemTime)> = {
+            let inner = self.inner.lock().expect("registry lock");
+            inner
+                .cold
+                .keys()
+                .filter_map(|name| store.modified(name).map(|t| (name.clone(), t)))
+                .collect()
+        };
+        cold.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        cold.truncate(n);
+        cold.iter()
+            .filter(|(name, _)| matches!(self.acquire(name), Ok(Some(_))))
+            .count()
+    }
+
     /// Removes a tenant everywhere: resident state, cold catalog, and the
     /// store file (when a store is attached). Returns whether anything
     /// existed. In-flight requests holding the `Arc` finish unaffected.
@@ -1381,6 +1410,7 @@ mod tests {
             noise: vec![],
             orphan_count: 0,
             iterations: 1,
+            metric: gb_dataset::Metric::SqEuclidean,
         };
         for (bad, why) in [
             (mk(vec![ball(vec![0.0], f64::INFINITY)]), "infinite radius"),

@@ -69,6 +69,11 @@ pub struct ServeConfig {
     /// Capacity of the `/debug/requests` ring: how many slowest and how
     /// many most-recent errored requests are retained in memory.
     pub debug_ring: usize,
+    /// Warm-ahead at boot: rebuild this many of the most-recently-written
+    /// cold tenants in a background thread once the server starts, so
+    /// first requests after a restart hit resident predictors. `0`
+    /// (default) disables preloading.
+    pub preload: usize,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +91,7 @@ impl Default for ServeConfig {
             max_body_bytes: 64 << 20,
             access_log: None,
             debug_ring: 64,
+            preload: 0,
         }
     }
 }
@@ -132,6 +138,12 @@ impl Server {
     /// # Errors
     /// Propagates bind failures.
     pub fn bind(config: ServeConfig, registry: Arc<ModelRegistry>) -> std::io::Result<Server> {
+        // A typo'd GB_SIMD tier must stop the boot with a message naming
+        // the valid tiers, not silently auto-detect: replicas that
+        // disagree on the kernel tier would still agree on results
+        // (contract v2), but the operator asked for something specific.
+        gb_dataset::validate_simd_env()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let listener = TcpListener::bind(&config.addr)?;
         let batcher = config.micro_batch.then(|| {
             Batcher::start(
@@ -195,6 +207,25 @@ impl Server {
                                 handle_connection(stream, &ctx);
                             }
                             Err(_) => return, // accept loop gone
+                        }
+                    })?,
+            );
+        }
+        if ctx.config.preload > 0 {
+            // Warm-ahead runs off the request path: the listener is
+            // already accepting, cold tenants stay servable throughout
+            // (a concurrent request simply coalesces onto the same
+            // single-flight reload), and the thread exits when done.
+            let preload_ctx = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("gb-serve-preload".into())
+                    .spawn(move || {
+                        let warmed = preload_ctx
+                            .registry
+                            .preload_recent(preload_ctx.config.preload);
+                        if warmed > 0 {
+                            eprintln!("gb-serve: preloaded {warmed} tenant(s)");
                         }
                     })?,
             );
@@ -495,13 +526,20 @@ fn err_response(ctx: &ServerCtx, obs: &mut ObsCtx, err: ServeError) -> Response 
     err.to_response_with_id(&obs.id)
 }
 
-/// Build-info fields shared by `/healthz`, `/readyz`, and `/metrics`.
+/// Build-info fields shared by `/healthz`, `/readyz`, and `/metrics`:
+/// server version, active SIMD tier, and the distance-kernel contract
+/// version — fleet tooling uses the pair (kernel, contract) to detect
+/// tier drift across replicas before it becomes result drift.
 fn build_info_fields() -> Vec<(&'static str, Value)> {
     vec![
         ("version", Value::Str(SERVER_VERSION.into())),
         (
             "kernel",
             Value::Str(gb_dataset::active_kernel().name().into()),
+        ),
+        (
+            "kernel_contract",
+            Value::Num(f64::from(gb_dataset::CONTRACT_VERSION)),
         ),
     ]
 }
@@ -856,13 +894,16 @@ fn prometheus_metrics(ctx: &ServerCtx) -> String {
     p.metric(
         "gb_build_info",
         "gauge",
-        "Build version and active SIMD kernel (value is always 1)",
+        "Build version, active SIMD kernel, and kernel contract version \
+         (value is always 1)",
     );
+    let contract = gb_dataset::CONTRACT_VERSION.to_string();
     p.sample(
         "gb_build_info",
         &[
             ("version", SERVER_VERSION),
             ("kernel", gb_dataset::active_kernel().name()),
+            ("kernel_contract", contract.as_str()),
         ],
         1.0,
     );
@@ -1165,6 +1206,7 @@ fn model_stats_value(model: &ServingModel) -> Value {
         ("n_features", Value::Num(model.n_features as f64)),
         ("n_classes", Value::Num(model.n_classes as f64)),
         ("k", Value::Num(model.predictor.k() as f64)),
+        ("metric", Value::Str(model.predictor.metric().name().into())),
         ("backend", Value::Str(model.backend.to_string())),
         ("n_balls", Value::Num(s.n_balls as f64)),
         ("n_singletons", Value::Num(s.n_singletons as f64)),

@@ -611,6 +611,15 @@ impl ModelStore {
         fs::metadata(path).map(|m| m.len()).ok()
     }
 
+    /// Modification time of the tenant's active version file, if any —
+    /// the recency signal `--preload` ranks tenants by at boot.
+    #[must_use]
+    pub fn modified(&self, name: &str) -> Option<std::time::SystemTime> {
+        let head = self.head_version(name)?;
+        let path = self.version_path(name, head).ok()?;
+        fs::metadata(path).and_then(|m| m.modified()).ok()
+    }
+
     /// Deletes the tenant's **entire chain**: every version file, the
     /// legacy file, quarantined siblings, and stray temp files. Returns
     /// `false` when there was nothing to delete.

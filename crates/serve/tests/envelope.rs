@@ -36,6 +36,7 @@ fn tiny_model() -> RdGbgModel {
         noise: vec![7],
         orphan_count: 1,
         iterations: 4,
+        metric: gbabs::Metric::SqEuclidean,
     }
 }
 

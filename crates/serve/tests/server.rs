@@ -362,6 +362,7 @@ fn sample_endpoint_matches_offline_gbabs() {
     let offline = gbabs::GbabsSampler {
         density_tolerance: 5,
         backend: gb_dataset::index::GranulationBackend::Auto,
+        metric: gbabs::Metric::SqEuclidean,
     }
     .sample(&upload, 7);
     let expected: Vec<usize> = offline.kept_rows.expect("undersampler");

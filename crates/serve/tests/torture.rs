@@ -63,6 +63,7 @@ fn cover(c: usize) -> RdGbgModel {
         noise: vec![],
         orphan_count: 1,
         iterations: c,
+        metric: gbabs::Metric::SqEuclidean,
     }
 }
 

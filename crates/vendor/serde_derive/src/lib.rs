@@ -3,7 +3,8 @@
 //! syn/quote — the registry is unreachable), so it supports exactly the
 //! shapes this workspace derives on:
 //!
-//! * structs with named fields,
+//! * structs with named fields (`#[serde(default)]` on a field makes it
+//!   optional on deserialize, filled from `Default::default()`),
 //! * enums whose variants are all unit variants.
 //!
 //! Anything else (tuple structs, generics, data-carrying enums) is a
@@ -13,19 +14,39 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Parsed shape of the derive input.
 enum Shape {
-    /// `struct Name { field, ... }`
-    Struct { name: String, fields: Vec<String> },
+    /// `struct Name { field, ... }`; the flag marks `#[serde(default)]`.
+    Struct {
+        name: String,
+        fields: Vec<(String, bool)>,
+    },
     /// `enum Name { Variant, ... }`
     Enum { name: String, variants: Vec<String> },
 }
 
 /// Skips one attribute (`#` followed by a bracket group) if present.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+fn skip_attrs(tokens: &[TokenTree], i: usize) -> usize {
+    skip_attrs_flagged(tokens, i, &mut false)
+}
+
+/// Like [`skip_attrs`], additionally setting `has_default` when one of the
+/// skipped attributes is `#[serde(default)]`.
+fn skip_attrs_flagged(tokens: &[TokenTree], mut i: usize, has_default: &mut bool) -> usize {
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
                 if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
             {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if id.to_string() == "serde"
+                        && args.delimiter() == Delimiter::Parenthesis
+                        && args.stream().to_string().trim() == "default"
+                    {
+                        *has_default = true;
+                    }
+                }
                 i += 2;
             }
             _ => break,
@@ -78,7 +99,8 @@ fn parse_shape(input: &TokenStream) -> Result<Shape, String> {
             let mut fields = Vec::new();
             let mut j = 0;
             while j < body.len() {
-                j = skip_attrs(&body, j);
+                let mut has_default = false;
+                j = skip_attrs_flagged(&body, j, &mut has_default);
                 j = skip_vis(&body, j);
                 if j >= body.len() {
                     break;
@@ -87,7 +109,7 @@ fn parse_shape(input: &TokenStream) -> Result<Shape, String> {
                     TokenTree::Ident(id) => id.to_string(),
                     other => return Err(format!("expected field name, got {other:?}")),
                 };
-                fields.push(field);
+                fields.push((field, has_default));
                 j += 1;
                 match body.get(j) {
                     Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
@@ -147,7 +169,7 @@ fn compile_error(msg: &str) -> TokenStream {
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = match parse_shape(&input) {
         Ok(s) => s,
@@ -157,7 +179,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .map(|(f, _)| {
                     format!(
                         "fields.push(({f:?}.to_string(), \
                          ::serde::Serialize::to_value(&self.{f})));"
@@ -192,7 +214,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = match parse_shape(&input) {
         Ok(s) => s,
@@ -202,11 +224,19 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
-                         ::serde::Error(format!(\"missing field `{f}` in {name}\")))?)?,"
-                    )
+                .map(|(f, has_default)| {
+                    if *has_default {
+                        format!(
+                            "{f}: match v.get({f:?}) {{ \
+                             Some(x) => ::serde::Deserialize::from_value(x)?, \
+                             None => ::core::default::Default::default() }},"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(v.get({f:?}).ok_or_else(|| \
+                             ::serde::Error(format!(\"missing field `{f}` in {name}\")))?)?,"
+                        )
+                    }
                 })
                 .collect();
             format!(
